@@ -1,0 +1,35 @@
+//! E2/E6 — bandwidth sweeps and the headline numbers of the abstract
+//! (7.5 us / 350.9 MB/s intranode, 34.9 us / 12.1 MB/s internode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppmsg_bench::BENCH_ITERS;
+use ppmsg_sim::experiments::{bandwidth_sweep, headline_numbers};
+
+fn bench(c: &mut Criterion) {
+    let sizes = [1024usize, 2048, 4000, 8192, 16384, 32768];
+    println!("\n=== Intranode bandwidth (paper peak: 350.9 MB/s near 4000 B) ===");
+    for p in bandwidth_sweep(true, &sizes, BENCH_ITERS) {
+        println!("{:>10} B {:>10.1} MB/s", p.size, p.mb_per_s);
+    }
+    println!("\n=== Internode bandwidth (paper peak: 12.1 MB/s) ===");
+    for p in bandwidth_sweep(false, &sizes, BENCH_ITERS) {
+        println!("{:>10} B {:>10.1} MB/s", p.size, p.mb_per_s);
+    }
+    let h = headline_numbers(BENCH_ITERS);
+    println!("\n=== Headline numbers (paper → measured) ===");
+    println!("intranode latency   7.5 us  -> {:.1} us", h.intranode_latency_us);
+    println!("intranode peak BW 350.9 MB/s -> {:.1} MB/s", h.intranode_peak_bw_mb_s);
+    println!("internode latency  34.9 us  -> {:.1} us", h.internode_latency_us);
+    println!("internode peak BW  12.1 MB/s -> {:.1} MB/s", h.internode_peak_bw_mb_s);
+    println!("translation ovhd  12-13 us  -> {:.1} us", h.translation_overhead_us);
+
+    let mut group = c.benchmark_group("bandwidth");
+    group.sample_size(10);
+    group.bench_function("internode_8192B", |b| {
+        b.iter(|| bandwidth_sweep(false, &[8192], 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

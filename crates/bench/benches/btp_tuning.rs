@@ -1,0 +1,31 @@
+//! E3/E4 — the §5.2 BTP tuning experiments: sweep BTP(2) with BTP(1)=0, then
+//! sweep BTP(1) with BTP(2)=680, for a 1400-byte internode message.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppmsg_bench::{print_sweep, BENCH_ITERS};
+use ppmsg_sim::experiments::{btp1_sweep, btp2_sweep};
+
+fn bench(c: &mut Criterion) {
+    let btp2_values = [0, 100, 200, 400, 600, 680, 800, 1000, 1200, 1400];
+    print_sweep(
+        "Section 5.2 test 1: vary BTP(2), BTP(1)=0 (overlap only), 1400-byte message",
+        "BTP(2)",
+        &btp2_sweep(&btp2_values, 1400, BENCH_ITERS),
+    );
+    let btp1_values = [0, 40, 80, 160, 320, 480, 640];
+    print_sweep(
+        "Section 5.2 test 2: vary BTP(1), BTP(2)=680 (full optimisation), 1400-byte message",
+        "BTP(1)",
+        &btp1_sweep(&btp1_values, 1400, BENCH_ITERS),
+    );
+
+    let mut group = c.benchmark_group("btp_tuning");
+    group.sample_size(10);
+    group.bench_function("btp2_sweep_3_points", |b| {
+        b.iter(|| btp2_sweep(&[0, 680, 1400], 1400, 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

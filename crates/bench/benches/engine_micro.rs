@@ -1,0 +1,48 @@
+//! Microbenchmarks of the protocol engine itself (no simulator, no I/O):
+//! cost of posting sends/receives and relaying the resulting packets.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppmsg_core::{Action, Endpoint, ProcessId, ProtocolConfig, Tag};
+
+fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
+    loop {
+        let mut progressed = false;
+        for _ in 0..2 {
+            while let Some(action) = sender.poll_action() {
+                progressed = true;
+                match action {
+                    Action::Transmit { packet, .. } => receiver.handle_packet(sender.id(), packet),
+                    Action::TransmitFrame { frame, .. } => receiver.handle_frame(sender.id(), frame),
+                    _ => {}
+                }
+            }
+            std::mem::swap(sender, receiver);
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_transfer");
+    for size in [64usize, 1024, 8192, 65536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("push_pull_{size}B"), |b| {
+            let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(1 << 20);
+            let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+            let mut r = Endpoint::new(ProcessId::new(1, 0), cfg);
+            let data = Bytes::from(vec![1u8; size]);
+            b.iter(|| {
+                r.post_recv(s.id(), Tag(1), size).unwrap();
+                s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+                relay(&mut s, &mut r);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

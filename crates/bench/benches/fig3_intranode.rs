@@ -1,0 +1,22 @@
+//! E1 / Fig. 3 — intranode single-trip latency vs message size for
+//! Push-Zero, Push-Pull (BTP = 16) and Push-All with a 12 KiB pushed buffer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppmsg_bench::{print_figure, BENCH_ITERS};
+use ppmsg_sim::experiments::{fig3_intranode, fig3_sizes};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the full figure once and print it.
+    let points = fig3_intranode(&fig3_sizes(), BENCH_ITERS);
+    print_figure("Figure 3: intranode single-trip latency (pushed buffer 12 KiB)", &points);
+
+    let mut group = c.benchmark_group("fig3_intranode");
+    group.sample_size(10);
+    group.bench_function("pingpong_4096B_all_modes", |b| {
+        b.iter(|| fig3_intranode(&[4096], 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E5 / Fig. 4 — internode single-trip latency under the optimisation
+//! ablation (none / mask only / overlap only / full), BTP(1)=80, BTP(2)=680.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppmsg_bench::{print_figure, BENCH_ITERS};
+use ppmsg_sim::experiments::{fig4_internode, fig4_sizes};
+
+fn bench(c: &mut Criterion) {
+    let points = fig4_internode(&fig4_sizes(), BENCH_ITERS);
+    print_figure("Figure 4: internode latency with optimisation ablation", &points);
+
+    let mut group = c.benchmark_group("fig4_internode");
+    group.sample_size(10);
+    group.bench_function("pingpong_1400B_all_variants", |b| {
+        b.iter(|| fig4_internode(&[1400], 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

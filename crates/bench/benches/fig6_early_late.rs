@@ -1,0 +1,26 @@
+//! E7/E8 / Fig. 6 — early and late receiver tests (compute-then-communicate
+//! ping-pong, pushed buffer 4 KiB, full optimisation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppmsg_bench::print_figure;
+use ppmsg_sim::experiments::{early_late_test, fig6_sizes, EarlyLateVariant};
+
+fn bench(c: &mut Criterion) {
+    // The compute loops make each iteration expensive; a handful of
+    // iterations per point is plenty in a deterministic simulator.
+    let iters = 8;
+    let early = early_late_test(EarlyLateVariant::Early, &fig6_sizes(), iters);
+    print_figure("Figure 6 (left): early receiver test (x=500k, y=100k NOPs)", &early);
+    let late = early_late_test(EarlyLateVariant::Late, &fig6_sizes(), iters);
+    print_figure("Figure 6 (right): late receiver test (x=100k, y=300k NOPs)", &late);
+
+    let mut group = c.benchmark_group("fig6_early_late");
+    group.sample_size(10);
+    group.bench_function("late_receiver_4096B", |b| {
+        b.iter(|| early_late_test(EarlyLateVariant::Late, &[4096], 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E10 — the real host backend (modern hardware, not a paper figure): wall
+//! clock latency and bandwidth of the intranode shared-memory fabric and the
+//! UDP loopback transport.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppmsg_host::{HostCluster, ProcessId, ProtocolConfig, Tag, UdpEndpoint};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let timeout = Duration::from_secs(10);
+
+    // Intranode shared-memory fabric.
+    let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+    let a = cluster.add_endpoint(0);
+    let b = cluster.add_endpoint(1);
+    let mut group = c.benchmark_group("host_intranode");
+    for size in [16usize, 4096, 65536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("pingpong_{size}B"), |bench| {
+            let data = Bytes::from(vec![7u8; size]);
+            bench.iter(|| {
+                a.send(b.id(), Tag(1), data.clone());
+                let got = b.recv(a.id(), Tag(1), size, timeout).unwrap();
+                b.send(a.id(), Tag(2), got);
+                a.recv(b.id(), Tag(2), size, timeout).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // Internode UDP loopback.
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(256 * 1024);
+    let ua = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    let ub = UdpEndpoint::bind(ProcessId::new(1, 0), proto, "127.0.0.1:0").unwrap();
+    ua.add_peer(ub.id(), ub.local_addr().unwrap());
+    ub.add_peer(ua.id(), ua.local_addr().unwrap());
+    let mut group = c.benchmark_group("host_udp_loopback");
+    group.sample_size(20);
+    for size in [16usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("pingpong_{size}B"), |bench| {
+            let data = Bytes::from(vec![7u8; size]);
+            bench.iter(|| {
+                ua.send(ub.id(), Tag(1), data.clone());
+                let got = ub.recv(ua.id(), Tag(1), size, timeout).unwrap();
+                ub.send(ua.id(), Tag(2), got);
+                ua.recv(ub.id(), Tag(2), size, timeout).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # ppmsg-bench — benchmark harness regenerating the paper's tables and figures
+//!
+//! Each Criterion bench target corresponds to one figure or table of the
+//! paper (see DESIGN.md §4 for the experiment index).  Besides timing the
+//! simulation itself, every bench prints the regenerated figure data — the
+//! same rows/series the paper plots — so `cargo bench` doubles as the
+//! reproduction harness.  EXPERIMENTS.md records the paper-reported values
+//! next to the measured ones.
+
+#![warn(missing_docs)]
+
+use ppmsg_sim::FigurePoint;
+
+/// Number of ping-pong iterations per figure point used by the benches.
+/// Smaller than the paper's 1000 so the whole suite finishes in minutes; the
+/// trimmed-mean latencies are deterministic in the simulator, so extra
+/// iterations only confirm the same numbers.
+pub const BENCH_ITERS: usize = 40;
+
+/// Prints a figure as an aligned table (one row per message size, one column
+/// per series).
+pub fn print_figure(title: &str, points: &[FigurePoint]) {
+    println!("\n=== {title} ===");
+    if points.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let labels: Vec<&str> = points[0].series.iter().map(|(l, _)| l.as_str()).collect();
+    print!("{:>10}", "size(B)");
+    for l in &labels {
+        print!("{l:>22}");
+    }
+    println!();
+    for p in points {
+        print!("{:>10}", p.size);
+        for (_, v) in &p.series {
+            print!("{v:>20.1}us");
+        }
+        println!();
+    }
+}
+
+/// Prints a two-column sweep (e.g. BTP value vs latency).
+pub fn print_sweep(title: &str, x_label: &str, rows: &[(usize, f64)]) {
+    println!("\n=== {title} ===");
+    println!("{x_label:>10}{:>22}", "latency(us)");
+    for (x, v) in rows {
+        println!("{x:>10}{v:>20.1}us");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_helpers_do_not_panic() {
+        print_figure("empty", &[]);
+        print_figure(
+            "one",
+            &[FigurePoint {
+                size: 8,
+                series: vec![("a".into(), 1.0)],
+            }],
+        );
+        print_sweep("sweep", "btp", &[(0, 1.0), (80, 2.0)]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Bytes-To-Push (BTP) policy.
+//!
+//! The BTP parameter is the heart of Push-Pull Messaging: it decides how many
+//! bytes the sender pushes eagerly before the receiver's pull request
+//! arrives.  The paper tunes two values for the internode case —
+//! `BTP(1) = 80` bytes (on the critical path) and `BTP(2) = 680` bytes
+//! (overlapped with the acknowledgement) — and a single 16-byte BTP for the
+//! intranode case.  `BTP = 0` degenerates to the three-phase rendezvous
+//! protocol (Push-Zero) and `BTP = ∞` to a purely eager protocol (Push-All).
+
+use crate::config::{OptFlags, ProtocolMode};
+use serde::{Deserialize, Serialize};
+
+/// How many bytes to push eagerly, and how to split them between the first
+/// and second pushed messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtpPolicy {
+    /// Bytes pushed immediately when the send is posted (`BTP(1)`).
+    pub btp1: usize,
+    /// Bytes pushed overlapped with the acknowledgement (`BTP(2)`).  Only
+    /// used when [`OptFlags::push_ack_overlap`] is enabled; otherwise the
+    /// engine pushes `btp1 + btp2` bytes as a single first push, which
+    /// matches the paper's non-overlapped "raw" Push-Pull variant with
+    /// `BTP = btp1 + btp2`.
+    pub btp2: usize,
+}
+
+impl BtpPolicy {
+    /// The intranode default used throughout Section 5.1 of the paper.
+    pub const INTRANODE_DEFAULT: BtpPolicy = BtpPolicy { btp1: 16, btp2: 0 };
+
+    /// The internode default obtained by the two tuning experiments in
+    /// Section 5.2 of the paper: `BTP(1) = 80`, `BTP(2) = 680`.
+    pub const INTERNODE_DEFAULT: BtpPolicy = BtpPolicy { btp1: 80, btp2: 680 };
+
+    /// Creates a policy with a single (non-split) BTP value.
+    #[inline]
+    pub fn single(btp: usize) -> Self {
+        Self { btp1: btp, btp2: 0 }
+    }
+
+    /// Creates a split policy with explicit `BTP(1)` and `BTP(2)` values.
+    #[inline]
+    pub fn split(btp1: usize, btp2: usize) -> Self {
+        Self { btp1, btp2 }
+    }
+
+    /// The total number of bytes pushed eagerly.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.btp1 + self.btp2
+    }
+
+    /// Size of the pushed buffer required per in-flight unexpected message
+    /// when push-and-acknowledge overlapping is in use.
+    ///
+    /// The paper notes the overlapping technique "can also minimise the size
+    /// of the pushed buffer, where only the larger value of BTP(1) and
+    /// BTP(2) is used as the size of the buffer" — because the two pushed
+    /// fragments are consumed one after the other.
+    #[inline]
+    pub fn min_pushed_buffer(&self) -> usize {
+        self.btp1.max(self.btp2)
+    }
+}
+
+impl Default for BtpPolicy {
+    fn default() -> Self {
+        BtpPolicy::INTERNODE_DEFAULT
+    }
+}
+
+/// The concrete split of one message into pushed and pulled parts.
+///
+/// Computed by [`BtpSplit::plan`] from the protocol mode, the BTP policy,
+/// the optimisation flags, and the message length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtpSplit {
+    /// Bytes carried by the first pushed message (starts at offset 0).
+    pub first_push: usize,
+    /// Bytes carried by the second pushed message (starts at `first_push`).
+    pub second_push: usize,
+    /// Bytes left to be pulled by the receiver (starts at
+    /// `first_push + second_push`).
+    pub pulled: usize,
+}
+
+impl BtpSplit {
+    /// Plans the split of a `len`-byte message.
+    ///
+    /// * `PushAll` pushes everything in the first push.
+    /// * `PushZero` pushes nothing; the first push is a zero-length probe
+    ///   that merely announces the message so the receiver can pull it.
+    /// * `PushPull` pushes `BTP(1)` (+ `BTP(2)` when overlapping) bytes and
+    ///   pulls the rest.  When overlapping is disabled the two BTP values are
+    ///   merged into a single first push, matching the raw protocol.
+    pub fn plan(mode: ProtocolMode, policy: BtpPolicy, opts: OptFlags, len: usize) -> BtpSplit {
+        match mode {
+            ProtocolMode::PushAll => BtpSplit {
+                first_push: len,
+                second_push: 0,
+                pulled: 0,
+            },
+            ProtocolMode::PushZero => BtpSplit {
+                first_push: 0,
+                second_push: 0,
+                pulled: len,
+            },
+            ProtocolMode::PushPull => {
+                if opts.push_ack_overlap {
+                    let first = policy.btp1.min(len);
+                    let second = policy.btp2.min(len - first);
+                    BtpSplit {
+                        first_push: first,
+                        second_push: second,
+                        pulled: len - first - second,
+                    }
+                } else {
+                    let first = policy.total().min(len);
+                    BtpSplit {
+                        first_push: first,
+                        second_push: 0,
+                        pulled: len - first,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total message length described by this split.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.first_push + self.second_push + self.pulled
+    }
+
+    /// `true` when the receiver must issue a pull request to complete the
+    /// message (i.e. some bytes were withheld by the sender).
+    #[inline]
+    pub fn needs_pull(&self) -> bool {
+        self.pulled > 0
+    }
+
+    /// `true` when the message is completed by pushes alone.
+    #[inline]
+    pub fn eager_only(&self) -> bool {
+        self.pulled == 0
+    }
+
+    /// Offset of the second pushed fragment within the message.
+    #[inline]
+    pub fn second_push_offset(&self) -> usize {
+        self.first_push
+    }
+
+    /// Offset of the pulled fragment within the message.
+    #[inline]
+    pub fn pulled_offset(&self) -> usize {
+        self.first_push + self.second_push
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(overlap: bool) -> OptFlags {
+        OptFlags {
+            push_ack_overlap: overlap,
+            ..OptFlags::none()
+        }
+    }
+
+    #[test]
+    fn push_all_pushes_everything() {
+        let s = BtpSplit::plan(ProtocolMode::PushAll, BtpPolicy::split(80, 680), opts(true), 5000);
+        assert_eq!(s.first_push, 5000);
+        assert_eq!(s.second_push, 0);
+        assert_eq!(s.pulled, 0);
+        assert!(s.eager_only());
+    }
+
+    #[test]
+    fn push_zero_pushes_nothing() {
+        let s = BtpSplit::plan(ProtocolMode::PushZero, BtpPolicy::split(80, 680), opts(true), 5000);
+        assert_eq!(s.first_push, 0);
+        assert_eq!(s.second_push, 0);
+        assert_eq!(s.pulled, 5000);
+        assert!(s.needs_pull());
+    }
+
+    #[test]
+    fn push_pull_overlapped_split() {
+        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(true), 5000);
+        assert_eq!(s.first_push, 80);
+        assert_eq!(s.second_push, 680);
+        assert_eq!(s.pulled, 5000 - 760);
+        assert_eq!(s.second_push_offset(), 80);
+        assert_eq!(s.pulled_offset(), 760);
+    }
+
+    #[test]
+    fn push_pull_without_overlap_merges_btp() {
+        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(false), 5000);
+        assert_eq!(s.first_push, 760);
+        assert_eq!(s.second_push, 0);
+        assert_eq!(s.pulled, 5000 - 760);
+    }
+
+    #[test]
+    fn short_messages_fit_entirely_in_pushes() {
+        // Shorter than BTP(1): everything goes in the first push.
+        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(true), 50);
+        assert_eq!(s.first_push, 50);
+        assert_eq!(s.second_push, 0);
+        assert_eq!(s.pulled, 0);
+
+        // Between BTP(1) and BTP(1)+BTP(2): first push full, second partial.
+        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(true), 500);
+        assert_eq!(s.first_push, 80);
+        assert_eq!(s.second_push, 420);
+        assert_eq!(s.pulled, 0);
+        assert!(s.eager_only());
+    }
+
+    #[test]
+    fn split_conserves_length() {
+        for len in [0usize, 1, 15, 16, 17, 80, 760, 761, 1500, 4096, 8192, 65536] {
+            for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+                for overlap in [false, true] {
+                    let s = BtpSplit::plan(mode, BtpPolicy::split(80, 680), opts(overlap), len);
+                    assert_eq!(s.total(), len, "mode={mode:?} overlap={overlap} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_pushed_buffer_is_max_of_split() {
+        assert_eq!(BtpPolicy::split(80, 680).min_pushed_buffer(), 680);
+        assert_eq!(BtpPolicy::split(700, 680).min_pushed_buffer(), 700);
+        assert_eq!(BtpPolicy::single(16).min_pushed_buffer(), 16);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(BtpPolicy::INTRANODE_DEFAULT.total(), 16);
+        assert_eq!(BtpPolicy::INTERNODE_DEFAULT.btp1, 80);
+        assert_eq!(BtpPolicy::INTERNODE_DEFAULT.btp2, 680);
+    }
+
+    #[test]
+    fn zero_length_message() {
+        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::default(), opts(true), 0);
+        assert_eq!(s.total(), 0);
+        assert!(s.eager_only());
+    }
+}

@@ -1,0 +1,330 @@
+//! Protocol configuration: mode, BTP policy, optimisation flags and resource
+//! limits.
+
+use crate::btp::BtpPolicy;
+use crate::error::{Error, Result};
+use crate::reliability::GbnConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which of the three messaging mechanisms from the paper the endpoint runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolMode {
+    /// `BTP = 0`: the classical three-phase / rendezvous protocol.  The push
+    /// phase carries no payload and only announces the message; all data
+    /// flows in the pull phase after the handshake.
+    PushZero,
+    /// The paper's contribution: push `BTP` bytes eagerly, pull the rest.
+    PushPull,
+    /// `BTP = message length`: a purely eager protocol.  Fast when the
+    /// receiver is early, but overwhelms the finite pushed buffer when the
+    /// receiver is late (Fig. 6, right).
+    PushAll,
+}
+
+impl ProtocolMode {
+    /// All three modes, in the order the paper's figures list them.
+    pub const ALL: [ProtocolMode; 3] = [
+        ProtocolMode::PushZero,
+        ProtocolMode::PushPull,
+        ProtocolMode::PushAll,
+    ];
+
+    /// The label the paper's figures use for this mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolMode::PushZero => "push-zero",
+            ProtocolMode::PushPull => "push-pull",
+            ProtocolMode::PushAll => "push-all",
+        }
+    }
+}
+
+/// The optimisation techniques of Section 4, individually toggleable so the
+/// ablation of Fig. 4 (no optimisation / mask only / overlap only / full) can
+/// be reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OptFlags {
+    /// §4.2 Cross-Space Zero Buffer: one-copy transfers between protected
+    /// spaces (and from the NIC buffer straight into the destination buffer).
+    /// When disabled, every cross-space transfer costs an extra staging copy.
+    pub zero_buffer: bool,
+    /// §4.3 Address Translation Overhead Masking: schedule virtual→physical
+    /// translation *after* network transmission has been initiated, and
+    /// inject the first push from user space (direct thread invocation).
+    pub translation_masking: bool,
+    /// §4.4 Push-and-Acknowledge Overlapping: split the pushed bytes into
+    /// `BTP(1)` + `BTP(2)` and overlap the second push with the returning
+    /// acknowledgement.
+    pub push_ack_overlap: bool,
+    /// §4.1 Exploiting parallelism: run the pull phase (the kernel copy into
+    /// the destination buffer) on the least-loaded processor of the node
+    /// rather than on the processor running the application thread.
+    pub parallel_pull: bool,
+}
+
+impl OptFlags {
+    /// No optimisations: the raw Push-Pull mechanism of Section 3.
+    pub const fn none() -> Self {
+        OptFlags {
+            zero_buffer: false,
+            translation_masking: false,
+            push_ack_overlap: false,
+            parallel_pull: false,
+        }
+    }
+
+    /// All four optimisations enabled ("full optimisation" in Fig. 4).
+    pub const fn full() -> Self {
+        OptFlags {
+            zero_buffer: true,
+            translation_masking: true,
+            push_ack_overlap: true,
+            parallel_pull: true,
+        }
+    }
+
+    /// Address-translation masking only (the `[∆]` series in Fig. 4).
+    /// Zero buffer stays enabled because masking is defined on top of it.
+    pub const fn mask_only() -> Self {
+        OptFlags {
+            zero_buffer: true,
+            translation_masking: true,
+            push_ack_overlap: false,
+            parallel_pull: true,
+        }
+    }
+
+    /// Push-and-acknowledge overlapping only (the `[×]` series in Fig. 4).
+    pub const fn overlap_only() -> Self {
+        OptFlags {
+            zero_buffer: true,
+            translation_masking: false,
+            push_ack_overlap: true,
+            parallel_pull: true,
+        }
+    }
+
+    /// Baseline used by Fig. 4's "no optimization" series: zero buffer and
+    /// parallel pull are part of the base implementation, but neither masking
+    /// nor overlapping is applied.
+    pub const fn baseline() -> Self {
+        OptFlags {
+            zero_buffer: true,
+            translation_masking: false,
+            push_ack_overlap: false,
+            parallel_pull: true,
+        }
+    }
+
+    /// The paper's label for this combination in Fig. 4, when it matches one
+    /// of the four measured series.
+    pub fn figure4_label(&self) -> &'static str {
+        match (self.translation_masking, self.push_ack_overlap) {
+            (false, false) => "no optimization",
+            (true, false) => "mask only",
+            (false, true) => "overlap only",
+            (true, true) => "full optimization",
+        }
+    }
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags::full()
+    }
+}
+
+/// Complete configuration of one protocol endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Which messaging mechanism to run.
+    pub mode: ProtocolMode,
+    /// BTP policy used for internode peers.
+    pub internode_btp: BtpPolicy,
+    /// BTP policy used for intranode peers (the paper uses a single 16-byte
+    /// BTP for the intranode experiments).
+    pub intranode_btp: BtpPolicy,
+    /// Optimisation flags.
+    pub opts: OptFlags,
+    /// Capacity of the pushed buffer in bytes (per endpoint).  Unexpected
+    /// pushed data beyond this capacity is dropped and recovered by
+    /// go-back-N retransmission.  Fig. 3 uses 12 KiB, Fig. 6 uses 4 KiB.
+    pub pushed_buffer_capacity: usize,
+    /// Maximum payload bytes carried by a single wire packet (the Ethernet
+    /// MTU minus protocol headers for the internode path).
+    pub max_payload: usize,
+    /// Go-back-N transport configuration for internode channels.
+    pub gbn: GbnConfig,
+    /// Whether intranode transfers bypass the go-back-N layer (shared memory
+    /// is reliable, so they always can; disabling this is only useful for
+    /// testing the ARQ logic over a lossy in-memory channel).
+    pub reliable_intranode: bool,
+}
+
+impl ProtocolConfig {
+    /// Configuration used for the paper's intranode experiments (Fig. 3):
+    /// 16-byte BTP, 12 KiB pushed buffer, full optimisation.
+    pub fn paper_intranode() -> Self {
+        ProtocolConfig {
+            mode: ProtocolMode::PushPull,
+            internode_btp: BtpPolicy::INTERNODE_DEFAULT,
+            intranode_btp: BtpPolicy::INTRANODE_DEFAULT,
+            opts: OptFlags::full(),
+            pushed_buffer_capacity: 12 * 1024,
+            max_payload: 1460,
+            gbn: GbnConfig::default(),
+            reliable_intranode: true,
+        }
+    }
+
+    /// Configuration used for the paper's internode experiments (Fig. 4):
+    /// `BTP(1)=80`, `BTP(2)=680`, 4 KiB pushed buffer.
+    pub fn paper_internode() -> Self {
+        ProtocolConfig {
+            mode: ProtocolMode::PushPull,
+            internode_btp: BtpPolicy::INTERNODE_DEFAULT,
+            intranode_btp: BtpPolicy::INTRANODE_DEFAULT,
+            opts: OptFlags::full(),
+            pushed_buffer_capacity: 4 * 1024,
+            max_payload: 1460,
+            gbn: GbnConfig::default(),
+            reliable_intranode: true,
+        }
+    }
+
+    /// Sets the protocol mode, consuming and returning the configuration.
+    pub fn with_mode(mut self, mode: ProtocolMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the optimisation flags, consuming and returning the configuration.
+    pub fn with_opts(mut self, opts: OptFlags) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the pushed-buffer capacity, consuming and returning the
+    /// configuration.
+    pub fn with_pushed_buffer(mut self, bytes: usize) -> Self {
+        self.pushed_buffer_capacity = bytes;
+        self
+    }
+
+    /// Sets the internode BTP policy, consuming and returning the
+    /// configuration.
+    pub fn with_internode_btp(mut self, policy: BtpPolicy) -> Self {
+        self.internode_btp = policy;
+        self
+    }
+
+    /// Sets the intranode BTP policy, consuming and returning the
+    /// configuration.
+    pub fn with_intranode_btp(mut self, policy: BtpPolicy) -> Self {
+        self.intranode_btp = policy;
+        self
+    }
+
+    /// Validates the configuration, returning a descriptive error for any
+    /// field outside its legal range.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_payload == 0 {
+            return Err(Error::InvalidConfig {
+                what: "max_payload must be non-zero".into(),
+            });
+        }
+        if self.max_payload > 65_536 {
+            return Err(Error::InvalidConfig {
+                what: format!("max_payload {} exceeds 64 KiB", self.max_payload),
+            });
+        }
+        if self.gbn.window == 0 {
+            return Err(Error::InvalidConfig {
+                what: "go-back-N window must be at least 1".into(),
+            });
+        }
+        if self.pushed_buffer_capacity < self.intranode_btp.min_pushed_buffer()
+            || self.pushed_buffer_capacity < self.internode_btp.min_pushed_buffer()
+        {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "pushed buffer of {} bytes is smaller than the BTP policy requires",
+                    self.pushed_buffer_capacity
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::paper_internode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ProtocolConfig::default().validate().unwrap();
+        ProtocolConfig::paper_intranode().validate().unwrap();
+        ProtocolConfig::paper_internode().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_payload_rejected() {
+        let mut cfg = ProtocolConfig::default();
+        cfg.max_payload = 0;
+        assert!(cfg.validate().is_err());
+        cfg.max_payload = 1 << 20;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn pushed_buffer_must_hold_btp() {
+        let cfg = ProtocolConfig::default()
+            .with_internode_btp(BtpPolicy::split(80, 680))
+            .with_pushed_buffer(100);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn figure4_labels() {
+        assert_eq!(OptFlags::baseline().figure4_label(), "no optimization");
+        assert_eq!(OptFlags::mask_only().figure4_label(), "mask only");
+        assert_eq!(OptFlags::overlap_only().figure4_label(), "overlap only");
+        assert_eq!(OptFlags::full().figure4_label(), "full optimization");
+    }
+
+    #[test]
+    fn mode_labels_match_paper() {
+        assert_eq!(ProtocolMode::PushZero.label(), "push-zero");
+        assert_eq!(ProtocolMode::PushPull.label(), "push-pull");
+        assert_eq!(ProtocolMode::PushAll.label(), "push-all");
+        assert_eq!(ProtocolMode::ALL.len(), 3);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = ProtocolConfig::paper_internode()
+            .with_mode(ProtocolMode::PushAll)
+            .with_opts(OptFlags::overlap_only())
+            .with_pushed_buffer(8192)
+            .with_intranode_btp(BtpPolicy::single(32));
+        assert_eq!(cfg.mode, ProtocolMode::PushAll);
+        assert!(!cfg.opts.translation_masking);
+        assert_eq!(cfg.pushed_buffer_capacity, 8192);
+        assert_eq!(cfg.intranode_btp.total(), 32);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn gbn_window_validated() {
+        let mut cfg = ProtocolConfig::default();
+        cfg.gbn.window = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,521 @@
+//! The sans-I/O protocol engine.
+//!
+//! [`Endpoint`] is the per-process protocol state machine.  Backends call
+//! [`Endpoint::post_send`] / [`Endpoint::post_recv`] on behalf of the
+//! application, feed arriving traffic through [`Endpoint::handle_packet`]
+//! (intranode) or [`Endpoint::handle_frame`] (internode, go-back-N framed),
+//! fire timers through [`Endpoint::handle_timer`], and drain the resulting
+//! [`Action`]s with [`Endpoint::poll_action`].
+//!
+//! The engine performs **no I/O and reads no clock**: every externally
+//! visible effect is an [`Action`].  This is what lets the same protocol code
+//! run both inside the discrete-event simulator (`ppmsg-sim`) and over real
+//! sockets and shared memory (`ppmsg-host`).
+
+mod receiver;
+mod sender;
+#[cfg(test)]
+mod tests;
+
+use crate::btp::BtpPolicy;
+use crate::config::ProtocolConfig;
+use crate::error::Error;
+use crate::queues::{Assembly, BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
+use crate::reliability::{Frame, GbnEvent, GoBackN};
+use crate::types::{MessageId, ProcessId, RecvHandle, SendHandle, Tag, TimerId};
+use crate::wire::Packet;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// How a packet is handed to the network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectMode {
+    /// Copied into the NIC's outgoing buffer directly from user space via the
+    /// mapped control registers ("direct thread invocation", §4.3).  No
+    /// system call and no prior address translation are required.
+    UserSpaceDirect,
+    /// Handed to the kernel transmission thread, which requires the source
+    /// buffer's zero buffer (physical scatter list) to have been built.
+    Kernel,
+}
+
+/// Which buffer a [`Action::Translate`] request refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TranslateCtx {
+    /// The source buffer of a send operation.
+    SendSource,
+    /// The destination buffer of a receive operation.
+    RecvDestination,
+}
+
+/// The kind of data movement described by an [`Action::Copy`].
+///
+/// The distinction matters because the number of copies — one (zero buffer)
+/// versus two (staged through the pushed buffer) — is exactly what the
+/// paper's intranode evaluation measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyKind {
+    /// Eagerly pushed data copied straight into the destination buffer
+    /// (receive already posted): the one-copy path.
+    PushDirect,
+    /// Eagerly pushed data staged into the pinned pushed buffer because the
+    /// receive has not been posted yet.
+    PushToPushedBuffer,
+    /// Data moved from the pushed buffer into the destination buffer once the
+    /// receive is posted — the second copy of the two-copy path.
+    DrainPushedBuffer,
+    /// Pulled data copied straight into the destination buffer.  Eligible to
+    /// run on the least-loaded processor (§4.1) when `least_loaded` is set on
+    /// the action.
+    PullDirect,
+    /// The extra staging copy incurred when the cross-space zero buffer
+    /// optimisation is disabled.
+    StagingExtra,
+}
+
+/// Why an incoming frame or packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The pushed buffer had no room for the unexpected data.  The sender's
+    /// go-back-N logic will retransmit the frame later.
+    PushedBufferOverflow,
+    /// The packet referenced a message id this endpoint does not know.
+    UnknownMessage,
+    /// The packet was malformed.
+    Malformed,
+}
+
+/// An externally visible effect requested by the engine.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Build the zero buffer (virtual→physical scatter list) for `bytes`
+    /// bytes of a user buffer.  The backend charges the translation cost
+    /// here; with translation masking this action is emitted *after* the
+    /// network transmissions it would otherwise delay.
+    Translate {
+        /// Which buffer is being translated.
+        ctx: TranslateCtx,
+        /// The peer of the operation the buffer belongs to.
+        peer: ProcessId,
+        /// The message the buffer belongs to.
+        msg_id: MessageId,
+        /// Number of bytes to translate.
+        bytes: usize,
+    },
+    /// Transmit a protocol packet to an **intranode** peer (through the
+    /// kernel's shared queues; no go-back-N framing).
+    Transmit {
+        /// The destination process (same node).
+        dst: ProcessId,
+        /// The packet to deliver to the peer's `handle_packet`.
+        packet: Packet,
+        /// How the packet is injected into the transport.
+        inject: InjectMode,
+    },
+    /// Transmit a go-back-N frame to an **internode** peer.
+    TransmitFrame {
+        /// The destination process (different node).
+        dst: ProcessId,
+        /// The frame to put on the wire.
+        frame: Frame,
+        /// How the frame is injected into the NIC.
+        inject: InjectMode,
+    },
+    /// Account a data copy of `bytes` bytes.  The backend charges memory
+    /// system cost here; the engine has already moved the bytes internally.
+    Copy {
+        /// What kind of copy this is (one-copy vs staged paths).
+        kind: CopyKind,
+        /// The peer the data came from / goes to.
+        peer: ProcessId,
+        /// The message involved.
+        msg_id: MessageId,
+        /// Number of bytes copied.
+        bytes: usize,
+        /// `true` when §4.1 allows this copy to run on the least-loaded
+        /// processor of the node instead of the application's processor.
+        least_loaded: bool,
+    },
+    /// A send operation has been fully handed to the transport.
+    SendComplete {
+        /// Handle returned by `post_send`.
+        handle: SendHandle,
+        /// The destination of the send.
+        peer: ProcessId,
+        /// Message length in bytes.
+        bytes: usize,
+    },
+    /// A receive operation has completed; `data` holds the message.
+    RecvComplete {
+        /// Handle returned by `post_recv`.
+        handle: RecvHandle,
+        /// The source of the message.
+        peer: ProcessId,
+        /// The reassembled message bytes.
+        data: Bytes,
+    },
+    /// A receive operation failed (e.g. the incoming message was larger than
+    /// the posted buffer).
+    RecvFailed {
+        /// Handle returned by `post_recv`.
+        handle: RecvHandle,
+        /// The source of the message.
+        peer: ProcessId,
+        /// Why the receive failed.
+        error: Error,
+    },
+    /// Arm a retransmission timer: call `handle_timer(timer)` after
+    /// `delay_us` microseconds unless it is cancelled first.
+    SetTimer {
+        /// The timer to arm.
+        timer: TimerId,
+        /// Delay in microseconds.
+        delay_us: u64,
+    },
+    /// Cancel a previously armed timer.
+    CancelTimer {
+        /// The timer to cancel.
+        timer: TimerId,
+    },
+    /// An incoming frame was dropped before reaching the protocol layer.
+    PacketDropped {
+        /// The peer that sent the frame.
+        peer: ProcessId,
+        /// Payload bytes lost (will be recovered by retransmission on
+        /// internode channels).
+        bytes: usize,
+        /// Why the frame was dropped.
+        reason: DropReason,
+    },
+    /// An internode channel exceeded its retry budget and was declared dead.
+    ChannelFailed {
+        /// The unreachable peer.
+        peer: ProcessId,
+    },
+}
+
+/// Counters maintained by an endpoint, used by the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Send operations posted.
+    pub sends_posted: u64,
+    /// Receive operations posted.
+    pub recvs_posted: u64,
+    /// Send operations completed.
+    pub sends_completed: u64,
+    /// Receive operations completed.
+    pub recvs_completed: u64,
+    /// Bytes pushed eagerly (first + second pushes).
+    pub bytes_pushed: u64,
+    /// Bytes transferred in the pull phase.
+    pub bytes_pulled: u64,
+    /// Bytes copied straight to the destination buffer (one-copy path).
+    pub bytes_copied_direct: u64,
+    /// Bytes staged through the pushed buffer (two-copy path), counted once
+    /// per staging copy.
+    pub bytes_copied_staged: u64,
+    /// Bytes of extra staging copies caused by disabling the zero buffer.
+    pub bytes_copied_extra: u64,
+    /// Address translation requests issued.
+    pub translations: u64,
+    /// Bytes covered by address translation requests.
+    pub bytes_translated: u64,
+    /// Pull requests sent.
+    pub pull_requests_sent: u64,
+    /// Pull requests served.
+    pub pull_requests_served: u64,
+    /// Frames dropped at the pushed-buffer admission check.
+    pub frames_dropped: u64,
+    /// Bytes dropped at the pushed-buffer admission check.
+    pub bytes_dropped: u64,
+}
+
+/// Reassembly state of one incoming message.
+#[derive(Debug)]
+pub(crate) struct IncomingMsg {
+    #[allow(dead_code)] // kept for diagnostics and symmetry with the key
+    pub(crate) src: ProcessId,
+    pub(crate) msg_id: MessageId,
+    pub(crate) tag: Tag,
+    pub(crate) total_len: usize,
+    pub(crate) eager_len: usize,
+    pub(crate) assembly: Assembly,
+    /// The receive this message has been matched to, if any.
+    pub(crate) matched: Option<RecvHandle>,
+    /// `true` once the pull request for the remainder has been sent.
+    pub(crate) pull_requested: bool,
+    /// Payload bytes of this message currently staged in the pushed buffer.
+    pub(crate) pushed_buffer_bytes: usize,
+    /// Bytes reserved in the pushed buffer for this message, including packet
+    /// headers (what actually counts against the buffer's capacity).
+    pub(crate) pushed_buffer_footprint: usize,
+}
+
+/// The per-process Push-Pull Messaging protocol engine.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: ProcessId,
+    config: ProtocolConfig,
+    next_msg_id: u64,
+    next_handle: u64,
+    pub(crate) send_queue: SendQueue,
+    pub(crate) recv_queue: ReceiveQueue,
+    pub(crate) pushed_buffer: PushedBuffer,
+    pub(crate) buffer_queue: BufferQueue,
+    pub(crate) incoming: HashMap<(u64, u64), IncomingMsg>,
+    channels: HashMap<u64, GoBackN>,
+    pub(crate) actions: VecDeque<Action>,
+    pub(crate) stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Creates an endpoint for process `id` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`ProtocolConfig::validate`] to check first when the configuration
+    /// comes from user input.
+    pub fn new(id: ProcessId, config: ProtocolConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid protocol configuration passed to Endpoint::new");
+        let pushed_buffer = PushedBuffer::new(config.pushed_buffer_capacity);
+        Endpoint {
+            id,
+            config,
+            next_msg_id: 0,
+            next_handle: 0,
+            send_queue: SendQueue::new(),
+            recv_queue: ReceiveQueue::new(),
+            pushed_buffer,
+            buffer_queue: BufferQueue::new(),
+            incoming: HashMap::new(),
+            channels: HashMap::new(),
+            actions: VecDeque::new(),
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// The process this endpoint belongs to.
+    #[inline]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The endpoint's configuration.
+    #[inline]
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Replaces the pushed-buffer capacity at run time ("applications can
+    /// dynamically change the size of the pushed buffer").
+    pub fn resize_pushed_buffer(&mut self, capacity: usize) {
+        self.config.pushed_buffer_capacity = capacity;
+        self.pushed_buffer.resize(capacity);
+    }
+
+    /// A snapshot of this endpoint's statistics.
+    #[inline]
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// Statistics of the pushed buffer (occupancy, overflow events).
+    #[inline]
+    pub fn pushed_buffer_stats(&self) -> crate::queues::PushedBufferStats {
+        self.pushed_buffer.stats()
+    }
+
+    /// Go-back-N statistics for the channel to `peer`, if one exists.
+    pub fn channel_stats(&self, peer: ProcessId) -> Option<crate::reliability::GbnStats> {
+        self.channels.get(&peer.as_u64()).map(|c| c.stats())
+    }
+
+    /// Removes and returns the next pending action, if any.
+    #[inline]
+    pub fn poll_action(&mut self) -> Option<Action> {
+        self.actions.pop_front()
+    }
+
+    /// Drains every pending action into a vector (convenience for tests and
+    /// simple backends).
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        self.actions.drain(..).collect()
+    }
+
+    /// `true` when the endpoint has no pending work: no queued actions, no
+    /// registered sends awaiting a pull, no posted receives, no partially
+    /// assembled incoming messages and no unacknowledged frames.
+    pub fn idle(&self) -> bool {
+        self.actions.is_empty()
+            && self.send_queue.is_empty()
+            && self.recv_queue.is_empty()
+            && self.incoming.is_empty()
+            && self.channels.values().all(|c| c.idle())
+    }
+
+    /// The BTP policy that applies to messages exchanged with `peer`.
+    pub fn btp_for(&self, peer: ProcessId) -> BtpPolicy {
+        if self.id.same_node(&peer) {
+            self.config.intranode_btp
+        } else {
+            self.config.internode_btp
+        }
+    }
+
+    /// Handles a retransmission timer previously requested via
+    /// [`Action::SetTimer`].
+    pub fn handle_timer(&mut self, timer: TimerId) {
+        let peer = timer.peer;
+        let mut events = Vec::new();
+        if let Some(channel) = self.channels.get_mut(&peer.as_u64()) {
+            channel.on_timeout(timer.generation, &mut events);
+        }
+        self.process_gbn_events(peer, events);
+    }
+
+    /// Handles a go-back-N frame arriving from an internode peer.
+    ///
+    /// The pushed-buffer admission check happens *here*, before the frame
+    /// reaches the ARQ receiver: a frame that would overflow the pushed
+    /// buffer is dropped without acknowledgement, exactly as the paper's
+    /// kernel drops packets it has nowhere to put, so the sender's go-back-N
+    /// logic retransmits it later.
+    pub fn handle_frame(&mut self, src: ProcessId, frame: Frame) {
+        if let Frame::Data { packet, .. } = &frame {
+            if self.would_overflow(src, packet) {
+                let bytes = packet.payload.len();
+                self.stats.frames_dropped += 1;
+                self.stats.bytes_dropped += bytes as u64;
+                // Record the rejection against the pushed buffer statistics
+                // (the reservation is known to fail).
+                let _ = self.pushed_buffer.try_reserve(bytes);
+                self.actions.push_back(Action::PacketDropped {
+                    peer: src,
+                    bytes,
+                    reason: DropReason::PushedBufferOverflow,
+                });
+                return;
+            }
+        }
+        let mut events = Vec::new();
+        self.channel_mut(src).on_frame(frame, &mut events);
+        self.process_gbn_events(src, events);
+    }
+
+    /// Handles a raw protocol packet arriving from an intranode peer (or from
+    /// a backend that provides its own reliable transport).
+    pub fn handle_packet(&mut self, src: ProcessId, packet: Packet) {
+        self.process_packet(src, packet);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared by the sender and receiver halves.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_msg_id(&mut self) -> MessageId {
+        let id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        id
+    }
+
+    pub(crate) fn alloc_handle(&mut self) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    pub(crate) fn channel_mut(&mut self, peer: ProcessId) -> &mut GoBackN {
+        let cfg = self.config.gbn;
+        self.channels
+            .entry(peer.as_u64())
+            .or_insert_with(|| GoBackN::new(cfg))
+    }
+
+    /// Sends a protocol packet towards `dst`, choosing the intranode or
+    /// internode path and wrapping in go-back-N frames as needed.
+    pub(crate) fn submit_packet(&mut self, dst: ProcessId, packet: Packet, inject: InjectMode) {
+        if self.id.same_node(&dst) && self.config.reliable_intranode {
+            self.actions.push_back(Action::Transmit {
+                dst,
+                packet,
+                inject,
+            });
+        } else {
+            let mut events = Vec::new();
+            self.channel_mut(dst).send(packet, &mut events);
+            self.emit_gbn_outputs(dst, events, inject);
+        }
+    }
+
+    fn emit_gbn_outputs(&mut self, peer: ProcessId, events: Vec<GbnEvent>, inject: InjectMode) {
+        for event in events {
+            match event {
+                GbnEvent::Transmit(frame) => self.actions.push_back(Action::TransmitFrame {
+                    dst: peer,
+                    frame,
+                    inject,
+                }),
+                GbnEvent::Deliver(packet) => self.process_packet(peer, packet),
+                GbnEvent::SetTimer {
+                    generation,
+                    delay_us,
+                } => self.actions.push_back(Action::SetTimer {
+                    timer: TimerId { peer, generation },
+                    delay_us,
+                }),
+                GbnEvent::CancelTimer { generation } => {
+                    self.actions.push_back(Action::CancelTimer {
+                        timer: TimerId { peer, generation },
+                    })
+                }
+                GbnEvent::ChannelFailed => {
+                    self.actions.push_back(Action::ChannelFailed { peer })
+                }
+            }
+        }
+    }
+
+    fn process_gbn_events(&mut self, peer: ProcessId, events: Vec<GbnEvent>) {
+        // Responses generated inside the ARQ layer (acks, retransmissions)
+        // are kernel-level transmissions.
+        self.emit_gbn_outputs(peer, events, InjectMode::Kernel);
+    }
+
+    /// `true` if accepting `packet` right now would require pushed-buffer
+    /// space that is not available.
+    fn would_overflow(&self, src: ProcessId, packet: &Packet) -> bool {
+        use crate::wire::PacketKind;
+        if packet.payload.is_empty() {
+            return false;
+        }
+        match packet.header.kind {
+            PacketKind::Push(_) | PacketKind::Control => {}
+            // Pull data only flows after the receive was posted, so it is
+            // always copied directly to the destination buffer.
+            PacketKind::PullData | PacketKind::PullRequest => return false,
+        }
+        let key = (src.as_u64(), packet.header.msg_id.0);
+        if let Some(incoming) = self.incoming.get(&key) {
+            if incoming.matched.is_some() {
+                return false;
+            }
+        } else if self
+            .recv_queue
+            .peek_match(src, packet.header.tag)
+            .is_some()
+        {
+            return false;
+        }
+        // The kernel stores the whole packet (header included) in the pushed
+        // buffer, so the footprint is payload plus header.
+        packet.payload.len() + crate::wire::MAX_HEADER_LEN > self.pushed_buffer.free()
+    }
+
+    pub(crate) fn push_action(&mut self, action: Action) {
+        self.actions.push_back(action);
+    }
+}

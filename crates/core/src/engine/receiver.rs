@@ -1,0 +1,447 @@
+//! Receiver-side half of the protocol engine: posting receives, handling
+//! arriving pushes and pulled data, and issuing pull requests.
+
+use super::{Action, CopyKind, DropReason, Endpoint, IncomingMsg, InjectMode, TranslateCtx};
+use crate::error::{Error, Result};
+use crate::queues::{Assembly, PostedReceive, UnexpectedKey};
+use crate::types::{MessageId, ProcessId, RecvHandle, Tag};
+use crate::wire::{Packet, PacketHeader, PacketKind};
+use bytes::Bytes;
+
+impl Endpoint {
+    /// Posts a receive for a message from `src` with tag `tag` into a buffer
+    /// of `capacity` bytes.
+    ///
+    /// If the matching message (or part of it) has already arrived and is
+    /// sitting in the pushed buffer, it is drained into the destination
+    /// buffer immediately (the two-copy path); otherwise the receive is
+    /// registered in the receive queue so arriving data can be copied
+    /// straight to its destination (the one-copy path).  Either way, if the
+    /// sender is withholding a remainder, the pull request is issued as soon
+    /// as the message is known.
+    ///
+    /// Completion is reported through [`Action::RecvComplete`] carrying the
+    /// returned handle.
+    pub fn post_recv(&mut self, src: ProcessId, tag: Tag, capacity: usize) -> Result<RecvHandle> {
+        if src == self.id() {
+            return Err(Error::SelfSend { process: src });
+        }
+        let handle = RecvHandle(self.alloc_handle());
+        self.stats.recvs_posted += 1;
+        let opts = self.config().opts;
+
+        // Without translation masking, the destination buffer's zero buffer
+        // is built up front, on the critical path of the receive operation.
+        let mut translated = false;
+        if opts.zero_buffer && !opts.translation_masking && capacity > 0 {
+            self.stats.translations += 1;
+            self.stats.bytes_translated += capacity as u64;
+            self.push_action(Action::Translate {
+                ctx: TranslateCtx::RecvDestination,
+                peer: src,
+                msg_id: MessageId(u64::MAX), // not yet known
+                bytes: capacity,
+            });
+            translated = true;
+        }
+
+        // Check the buffer queue for an unexpected message that already
+        // arrived (arrow 2b.2 in Fig. 1: drain the pushed buffer).
+        if let Some(key) = self.buffer_queue.match_posted(src, tag) {
+            let incoming = self
+                .incoming
+                .get_mut(&(key.src.as_u64(), key.msg_id.0))
+                .expect("buffer queue entry without incoming state");
+            if incoming.total_len > capacity {
+                let err = Error::ReceiveTooSmall {
+                    posted: capacity,
+                    incoming: incoming.total_len,
+                };
+                // Leave the unexpected message queued so a correctly sized
+                // receive posted later can still claim it.
+                self.buffer_queue.insert(key, tag);
+                self.push_action(Action::RecvFailed {
+                    handle,
+                    peer: src,
+                    error: err.clone(),
+                });
+                return Err(err);
+            }
+            incoming.matched = Some(handle);
+            let buffered = incoming.pushed_buffer_bytes;
+            let footprint = incoming.pushed_buffer_footprint;
+            let msg_id = incoming.msg_id;
+            incoming.pushed_buffer_bytes = 0;
+            incoming.pushed_buffer_footprint = 0;
+            if footprint > 0 {
+                // Second copy of the two-copy path: pushed buffer → user
+                // destination buffer.
+                self.pushed_buffer.release(footprint);
+                self.stats.bytes_copied_staged += buffered as u64;
+                self.push_action(Action::Copy {
+                    kind: CopyKind::DrainPushedBuffer,
+                    peer: src,
+                    msg_id,
+                    bytes: buffered,
+                    least_loaded: false,
+                });
+                if !opts.zero_buffer {
+                    self.stats.bytes_copied_extra += buffered as u64;
+                    self.push_action(Action::Copy {
+                        kind: CopyKind::StagingExtra,
+                        peer: src,
+                        msg_id,
+                        bytes: buffered,
+                        least_loaded: false,
+                    });
+                }
+            }
+            // With masking the destination translation happens here, after
+            // the (possible) pull request below has been scheduled; without
+            // masking it already happened above.
+            self.maybe_pull_and_translate(src, msg_id, translated, capacity);
+            self.try_complete(src, msg_id);
+            return Ok(handle);
+        }
+
+        // No data yet: register the receive so the reception handler can copy
+        // arriving data straight to the destination buffer.
+        self.recv_queue.register(PostedReceive {
+            handle,
+            src,
+            tag,
+            capacity,
+            translated,
+        });
+        Ok(handle)
+    }
+
+    /// Dispatches one protocol packet (already made reliable by the caller or
+    /// by the go-back-N layer).
+    pub(crate) fn process_packet(&mut self, src: ProcessId, packet: Packet) {
+        match packet.header.kind {
+            PacketKind::Push(_) | PacketKind::Control => self.handle_push(src, packet),
+            PacketKind::PullData => self.handle_pull_data(src, packet),
+            PacketKind::PullRequest => self.serve_pull_request(src, &packet),
+        }
+    }
+
+    fn handle_push(&mut self, src: ProcessId, packet: Packet) {
+        let header = packet.header;
+        let key = (src.as_u64(), header.msg_id.0);
+        let opts = self.config().opts;
+
+        // Create (or look up) the reassembly state for this message.
+        if !self.incoming.contains_key(&key) {
+            self.incoming.insert(
+                key,
+                IncomingMsg {
+                    src,
+                    msg_id: header.msg_id,
+                    tag: header.tag,
+                    total_len: header.total_len as usize,
+                    eager_len: header.eager_len as usize,
+                    assembly: Assembly::new(header.total_len as usize),
+                    matched: None,
+                    pull_requested: false,
+                    pushed_buffer_bytes: 0,
+                    pushed_buffer_footprint: 0,
+                },
+            );
+        }
+
+        // Try to match a posted receive if this message is not matched yet.
+        let mut newly_matched = false;
+        let mut matched_capacity = 0usize;
+        let mut translated_at_post = false;
+        if self.incoming[&key].matched.is_none() {
+            if let Some(posted) = self.recv_queue.match_incoming(src, header.tag) {
+                if (header.total_len as usize) > posted.capacity {
+                    let err = Error::ReceiveTooSmall {
+                        posted: posted.capacity,
+                        incoming: header.total_len as usize,
+                    };
+                    self.push_action(Action::RecvFailed {
+                        handle: posted.handle,
+                        peer: src,
+                        error: err,
+                    });
+                    // Drop the message state; further fragments are discarded.
+                    self.incoming.remove(&key);
+                    self.push_action(Action::PacketDropped {
+                        peer: src,
+                        bytes: packet.payload.len(),
+                        reason: DropReason::Malformed,
+                    });
+                    return;
+                }
+                self.incoming.get_mut(&key).unwrap().matched = Some(posted.handle);
+                newly_matched = true;
+                matched_capacity = posted.capacity;
+                translated_at_post = posted.translated;
+            }
+        }
+
+        let is_matched = self.incoming[&key].matched.is_some();
+        let bytes = packet.payload.len();
+
+        if bytes > 0 {
+            if is_matched {
+                // One-copy path: reception handler copies straight into the
+                // destination buffer using the registered zero buffer
+                // (arrow 2a in Fig. 1).
+                self.stats.bytes_copied_direct += bytes as u64;
+                self.push_action(Action::Copy {
+                    kind: CopyKind::PushDirect,
+                    peer: src,
+                    msg_id: header.msg_id,
+                    bytes,
+                    least_loaded: false,
+                });
+                if !opts.zero_buffer {
+                    self.stats.bytes_copied_extra += bytes as u64;
+                    self.push_action(Action::Copy {
+                        kind: CopyKind::StagingExtra,
+                        peer: src,
+                        msg_id: header.msg_id,
+                        bytes,
+                        least_loaded: false,
+                    });
+                }
+            } else {
+                // Unexpected: stage in the pushed buffer (arrow 2b.1).  The
+                // kernel stores the whole packet, header included.
+                let footprint = bytes + crate::wire::MAX_HEADER_LEN;
+                if !self.pushed_buffer.try_reserve(footprint) {
+                    // No room: drop the fragment.  On internode channels the
+                    // admission check in `handle_frame` normally prevents
+                    // this; on intranode channels the data is simply lost and
+                    // the caller is told.
+                    self.stats.frames_dropped += 1;
+                    self.stats.bytes_dropped += bytes as u64;
+                    self.push_action(Action::PacketDropped {
+                        peer: src,
+                        bytes,
+                        reason: DropReason::PushedBufferOverflow,
+                    });
+                    return;
+                }
+                let incoming = self.incoming.get_mut(&key).unwrap();
+                incoming.pushed_buffer_bytes += bytes;
+                incoming.pushed_buffer_footprint += footprint;
+                self.stats.bytes_copied_staged += bytes as u64;
+                self.push_action(Action::Copy {
+                    kind: CopyKind::PushToPushedBuffer,
+                    peer: src,
+                    msg_id: header.msg_id,
+                    bytes,
+                    least_loaded: false,
+                });
+            }
+        }
+
+        // Record the payload in the reassembly buffer.
+        {
+            let incoming = self.incoming.get_mut(&key).unwrap();
+            incoming
+                .assembly
+                .write_at(header.offset as usize, &packet.payload);
+        }
+
+        if !is_matched {
+            // Remember the unexpected message so a later receive can find it.
+            self.buffer_queue.insert(
+                UnexpectedKey {
+                    src,
+                    msg_id: header.msg_id,
+                },
+                header.tag,
+            );
+            return;
+        }
+
+        if newly_matched {
+            // The receive was posted before the data arrived; now that the
+            // message is known, issue the pull request (and, with masking,
+            // the deferred destination translation).
+            self.maybe_pull_and_translate(src, header.msg_id, translated_at_post, matched_capacity);
+        } else {
+            // Already matched earlier: a pull may still be outstanding if the
+            // message was matched via the pushed buffer before any push
+            // carrying `eager_len` arrived.
+            self.maybe_pull_and_translate(src, header.msg_id, true, 0);
+        }
+
+        self.try_complete(src, header.msg_id);
+    }
+
+    fn handle_pull_data(&mut self, src: ProcessId, packet: Packet) {
+        let header = packet.header;
+        let key = (src.as_u64(), header.msg_id.0);
+        let opts = self.config().opts;
+        let Some(incoming) = self.incoming.get_mut(&key) else {
+            self.push_action(Action::PacketDropped {
+                peer: src,
+                bytes: packet.payload.len(),
+                reason: DropReason::UnknownMessage,
+            });
+            return;
+        };
+        let bytes = packet.payload.len();
+        incoming
+            .assembly
+            .write_at(header.offset as usize, &packet.payload);
+        let msg_id = incoming.msg_id;
+        let matched = incoming.matched.is_some();
+
+        if bytes > 0 {
+            if matched {
+                // Pulled data goes straight to the destination buffer; §4.1
+                // allows this copy to run on the least-loaded processor.
+                self.stats.bytes_copied_direct += bytes as u64;
+                let least_loaded = opts.parallel_pull;
+                self.push_action(Action::Copy {
+                    kind: CopyKind::PullDirect,
+                    peer: src,
+                    msg_id,
+                    bytes,
+                    least_loaded,
+                });
+                if !opts.zero_buffer {
+                    self.stats.bytes_copied_extra += bytes as u64;
+                    self.push_action(Action::Copy {
+                        kind: CopyKind::StagingExtra,
+                        peer: src,
+                        msg_id,
+                        bytes,
+                        least_loaded: false,
+                    });
+                }
+            } else {
+                // A pull was requested, so a receive must have been posted;
+                // this branch only happens if the receive was cancelled.
+                let footprint = bytes + crate::wire::MAX_HEADER_LEN;
+                if self.pushed_buffer.try_reserve(footprint) {
+                    let incoming = self.incoming.get_mut(&key).unwrap();
+                    incoming.pushed_buffer_bytes += bytes;
+                    incoming.pushed_buffer_footprint += footprint;
+                    self.stats.bytes_copied_staged += bytes as u64;
+                    self.push_action(Action::Copy {
+                        kind: CopyKind::PushToPushedBuffer,
+                        peer: src,
+                        msg_id,
+                        bytes,
+                        least_loaded: false,
+                    });
+                } else {
+                    self.stats.frames_dropped += 1;
+                    self.stats.bytes_dropped += bytes as u64;
+                    self.push_action(Action::PacketDropped {
+                        peer: src,
+                        bytes,
+                        reason: DropReason::PushedBufferOverflow,
+                    });
+                    return;
+                }
+            }
+        }
+        self.try_complete(src, header.msg_id);
+    }
+
+    /// Issues the pull request for the remainder of `msg_id` if one is needed
+    /// and has not been sent yet, and (with translation masking) schedules
+    /// the deferred destination-buffer translation right after it.
+    fn maybe_pull_and_translate(
+        &mut self,
+        src: ProcessId,
+        msg_id: MessageId,
+        already_translated: bool,
+        capacity: usize,
+    ) {
+        let key = (src.as_u64(), msg_id.0);
+        let opts = self.config().opts;
+        let Some(incoming) = self.incoming.get_mut(&key) else {
+            return;
+        };
+        if incoming.matched.is_none() {
+            return;
+        }
+        let total = incoming.total_len;
+        let eager = incoming.eager_len;
+        let tag = incoming.tag;
+        let needs_pull = total > eager && !incoming.pull_requested;
+        if needs_pull {
+            incoming.pull_requested = true;
+        }
+        let translate_bytes = if !already_translated && opts.zero_buffer && opts.translation_masking
+        {
+            capacity.max(total)
+        } else {
+            0
+        };
+
+        if needs_pull {
+            // The acknowledgement that doubles as the pull request
+            // (arrows 3a/3b in Fig. 1).
+            self.stats.pull_requests_sent += 1;
+            let header = PacketHeader {
+                kind: PacketKind::PullRequest,
+                src: self.id(),
+                dst: src,
+                msg_id,
+                tag,
+                total_len: total as u32,
+                eager_len: eager as u32,
+                offset: eager as u32,
+                payload_len: (total - eager) as u32,
+            };
+            let packet = Packet::new(header, Bytes::new())
+                .expect("pull request construction cannot fail");
+            self.submit_packet(src, packet, InjectMode::Kernel);
+        }
+
+        if translate_bytes > 0 {
+            // §4.3: the destination translation is scheduled after the
+            // network event (the pull request) so its cost is masked by the
+            // wire latency of the pulled data.
+            self.stats.translations += 1;
+            self.stats.bytes_translated += translate_bytes as u64;
+            self.push_action(Action::Translate {
+                ctx: TranslateCtx::RecvDestination,
+                peer: src,
+                msg_id,
+                bytes: translate_bytes,
+            });
+        }
+    }
+
+    /// Delivers the completed message for `msg_id` if every byte has arrived.
+    fn try_complete(&mut self, src: ProcessId, msg_id: MessageId) {
+        let key = (src.as_u64(), msg_id.0);
+        let Some(incoming) = self.incoming.get(&key) else {
+            return;
+        };
+        if incoming.matched.is_none() || !incoming.assembly.is_complete() {
+            return;
+        }
+        let incoming = self.incoming.remove(&key).unwrap();
+        let handle = incoming.matched.unwrap();
+        if incoming.pushed_buffer_footprint > 0 {
+            // Data still accounted against the pushed buffer is released on
+            // delivery (it was matched without an intervening drain action,
+            // which only happens for messages completed entirely from the
+            // pushed buffer).
+            self.pushed_buffer.release(incoming.pushed_buffer_footprint);
+        }
+        self.buffer_queue.remove(UnexpectedKey {
+            src,
+            msg_id,
+        });
+        self.stats.recvs_completed += 1;
+        self.push_action(Action::RecvComplete {
+            handle,
+            peer: src,
+            data: incoming.assembly.into_bytes(),
+        });
+    }
+}

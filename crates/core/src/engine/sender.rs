@@ -1,0 +1,255 @@
+//! Sender-side half of the protocol engine: posting sends (the push phase)
+//! and serving pull requests.
+
+use super::{Action, Endpoint, InjectMode, TranslateCtx};
+use crate::btp::BtpSplit;
+use crate::error::{Error, Result};
+use crate::queues::PendingSend;
+use crate::types::{MessageId, ProcessId, SendHandle, Tag};
+use crate::wire::{Packet, PacketHeader, PacketKind, PushPart};
+use bytes::Bytes;
+
+impl Endpoint {
+    /// Posts a send of `data` to `dst` with user tag `tag`.
+    ///
+    /// This is the push phase of Fig. 1: the first `BTP(1)` bytes (plus the
+    /// `BTP(2)` bytes overlapped with the acknowledgement, when enabled) are
+    /// handed to the transport immediately and the remainder is registered in
+    /// the send queue to be pulled by the receiver.
+    ///
+    /// Completion is reported through [`Action::SendComplete`] carrying the
+    /// returned handle.
+    pub fn post_send(&mut self, dst: ProcessId, tag: Tag, data: Bytes) -> Result<SendHandle> {
+        if dst == self.id() {
+            return Err(Error::SelfSend { process: dst });
+        }
+        let handle = SendHandle(self.alloc_handle());
+        let msg_id = self.alloc_msg_id();
+        let policy = self.btp_for(dst);
+        let opts = self.config().opts;
+        let mode = self.config().mode;
+        let split = BtpSplit::plan(mode, policy, opts, data.len());
+        let total_len = data.len();
+        self.stats.sends_posted += 1;
+
+        // §4.3 Address Translation Overhead Masking decides *when* the source
+        // buffer's zero buffer is built relative to the first transmission.
+        // Without masking the translation is on the critical path: it must
+        // complete before the kernel transmission thread can read the user
+        // buffer.  With masking the pushed bytes are injected from user space
+        // (direct thread invocation) and the translation of the remainder is
+        // scheduled after the transmissions have been initiated.
+        let masking = opts.translation_masking;
+        let zero_buffer = opts.zero_buffer;
+        let inject = if masking {
+            InjectMode::UserSpaceDirect
+        } else {
+            InjectMode::Kernel
+        };
+
+        // The source buffer's zero buffer is only needed when a remainder
+        // will be pulled out of it by the kernel; eagerly pushed bytes are
+        // copied to the NIC (or the peer's kernel queue) at injection time
+        // and need no translation of their own.
+        if zero_buffer && !masking && split.needs_pull() {
+            self.emit_translate(TranslateCtx::SendSource, dst, msg_id, total_len);
+        }
+
+        // First push (may be zero-length for Push-Zero: it still announces
+        // the message so the receiver can start the pull phase).  Pushes
+        // larger than the maximum payload are fragmented; each fragment is an
+        // independently deliverable push packet with its own offset.
+        let first_packets = self.make_push_packets(
+            dst,
+            tag,
+            msg_id,
+            total_len,
+            split,
+            PushPart::First,
+            &data,
+        );
+        for packet in first_packets {
+            self.stats.bytes_pushed += packet.payload.len() as u64;
+            self.submit_packet(dst, packet, inject);
+        }
+
+        // Second push, overlapped with the acknowledgement (§4.4).
+        if split.second_push > 0 {
+            let second_packets = self.make_push_packets(
+                dst,
+                tag,
+                msg_id,
+                total_len,
+                split,
+                PushPart::Second,
+                &data,
+            );
+            for packet in second_packets {
+                self.stats.bytes_pushed += packet.payload.len() as u64;
+                self.submit_packet(dst, packet, inject);
+            }
+        }
+
+        if zero_buffer && masking && split.needs_pull() {
+            // Translation of the (remaining) message is now off the critical
+            // path: the pushes are already in flight.
+            self.emit_translate(TranslateCtx::SendSource, dst, msg_id, total_len);
+        }
+
+        if split.needs_pull() {
+            // Register the send so the pull request can be served later
+            // (arrow 1b.1 in Fig. 1).
+            self.send_queue.register(PendingSend {
+                handle,
+                dst,
+                tag,
+                msg_id,
+                data,
+                split,
+                pull_served: false,
+                fully_transmitted: false,
+                translated: zero_buffer,
+            });
+        } else {
+            // Everything was pushed eagerly; the send is locally complete.
+            self.stats.sends_completed += 1;
+            self.push_action(Action::SendComplete {
+                handle,
+                peer: dst,
+                bytes: total_len,
+            });
+        }
+        Ok(handle)
+    }
+
+    fn make_push_packets(
+        &self,
+        dst: ProcessId,
+        tag: Tag,
+        msg_id: MessageId,
+        total_len: usize,
+        split: BtpSplit,
+        part: PushPart,
+        data: &Bytes,
+    ) -> Vec<Packet> {
+        let (start, len) = match part {
+            PushPart::First => (0, split.first_push),
+            PushPart::Second => (split.second_push_offset(), split.second_push),
+        };
+        let eager_len = (split.first_push + split.second_push) as u32;
+        let max_payload = self.config().max_payload;
+        let mut packets = Vec::with_capacity(len / max_payload + 1);
+        let mut offset = start;
+        let end = start + len;
+        loop {
+            let chunk = (end - offset).min(max_payload);
+            let payload = data.slice(offset..offset + chunk);
+            let header = PacketHeader {
+                kind: PacketKind::Push(part),
+                src: self.id(),
+                dst,
+                msg_id,
+                tag,
+                total_len: total_len as u32,
+                eager_len,
+                offset: offset as u32,
+                payload_len: chunk as u32,
+            };
+            packets.push(
+                Packet::new(header, payload).expect("push packet construction cannot fail"),
+            );
+            offset += chunk;
+            if offset >= end {
+                break;
+            }
+        }
+        packets
+    }
+
+    fn emit_translate(
+        &mut self,
+        ctx: TranslateCtx,
+        peer: ProcessId,
+        msg_id: MessageId,
+        bytes: usize,
+    ) {
+        self.stats.translations += 1;
+        self.stats.bytes_translated += bytes as u64;
+        self.push_action(Action::Translate {
+            ctx,
+            peer,
+            msg_id,
+            bytes,
+        });
+    }
+
+    /// Serves a pull request arriving from `src` (the receiver of one of our
+    /// registered sends): transmits the pulled remainder, fragmented to the
+    /// configured maximum payload size, and completes the send.
+    pub(crate) fn serve_pull_request(&mut self, src: ProcessId, packet: &Packet) {
+        let msg_id = packet.header.msg_id;
+        let Some(pending) = self.send_queue.get_mut(msg_id) else {
+            // Duplicate or stale request: the send already completed.
+            self.push_action(Action::PacketDropped {
+                peer: src,
+                bytes: 0,
+                reason: super::DropReason::UnknownMessage,
+            });
+            return;
+        };
+        if pending.pull_served {
+            return;
+        }
+        pending.pull_served = true;
+        let data = pending.data.clone();
+        let split = pending.split;
+        let handle = pending.handle;
+        let tag = pending.tag;
+        let dst = pending.dst;
+        debug_assert_eq!(dst, src, "pull request must come from the send's destination");
+
+        let total_len = data.len();
+        let eager_len = split.first_push + split.second_push;
+        let max_payload = self.config().max_payload;
+        self.stats.pull_requests_served += 1;
+
+        // Transmit the remainder (arrow 1b.2 in Fig. 1).  The reception
+        // handler at the receive party copies each packet straight into the
+        // destination buffer using the registered zero buffer (arrow 2a).
+        let mut offset = split.pulled_offset();
+        while offset < total_len {
+            let len = (total_len - offset).min(max_payload);
+            let header = PacketHeader {
+                kind: PacketKind::PullData,
+                src: self.id(),
+                dst,
+                msg_id,
+                tag,
+                total_len: total_len as u32,
+                eager_len: eager_len as u32,
+                offset: offset as u32,
+                payload_len: len as u32,
+            };
+            let payload = data.slice(offset..offset + len);
+            let packet =
+                Packet::new(header, payload).expect("pull data packet construction cannot fail");
+            self.stats.bytes_pulled += len as u64;
+            // The pull phase is served by the kernel-side reception handler;
+            // the data leaves through the kernel transmission path.
+            self.submit_packet(dst, packet, InjectMode::Kernel);
+            offset += len;
+        }
+
+        // The message is now fully handed to the transport.
+        if let Some(pending) = self.send_queue.get_mut(msg_id) {
+            pending.fully_transmitted = true;
+        }
+        self.send_queue.remove(msg_id);
+        self.stats.sends_completed += 1;
+        self.push_action(Action::SendComplete {
+            handle,
+            peer: dst,
+            bytes: total_len,
+        });
+    }
+}

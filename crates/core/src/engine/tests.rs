@@ -1,0 +1,577 @@
+//! Unit tests for the protocol engine, driven through an in-memory relay that
+//! simply moves actions between two endpoints (no timing model).
+
+use super::*;
+use crate::config::{OptFlags, ProtocolConfig, ProtocolMode};
+use crate::types::{ProcessId, Tag};
+use crate::wire::PacketKind;
+use bytes::Bytes;
+
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+}
+
+/// Drains one endpoint's actions into its peer, collecting non-transport
+/// actions into `out`.  Returns `true` if any action was processed.
+fn pump(
+    me: &mut Endpoint,
+    other: &mut Endpoint,
+    out: &mut Vec<Action>,
+    timers: &mut Vec<(ProcessId, crate::types::TimerId)>,
+) -> bool {
+    let mut progressed = false;
+    while let Some(action) = me.poll_action() {
+        progressed = true;
+        match action {
+            Action::Transmit { dst, packet, .. } => {
+                assert_eq!(dst, other.id());
+                other.handle_packet(me.id(), packet);
+            }
+            Action::TransmitFrame { dst, frame, .. } => {
+                assert_eq!(dst, other.id());
+                other.handle_frame(me.id(), frame);
+            }
+            Action::SetTimer { timer, .. } => timers.push((me.id(), timer)),
+            Action::CancelTimer { timer } => {
+                timers.retain(|(owner, t)| !(*owner == me.id() && *t == timer));
+            }
+            other_action => out.push(other_action),
+        }
+    }
+    progressed
+}
+
+/// Relays traffic between two endpoints until both are quiescent, returning
+/// every non-transport action each produced (in order).
+fn run_pair(a: &mut Endpoint, b: &mut Endpoint) -> (Vec<Action>, Vec<Action>) {
+    let mut out_a = Vec::new();
+    let mut out_b = Vec::new();
+    let mut timers: Vec<(ProcessId, crate::types::TimerId)> = Vec::new();
+    for _ in 0..10_000 {
+        let mut progressed = false;
+        progressed |= pump(a, b, &mut out_a, &mut timers);
+        progressed |= pump(b, a, &mut out_b, &mut timers);
+        if !progressed {
+            // Fire any outstanding timers once; if nothing new happens, stop.
+            if timers.is_empty() {
+                break;
+            }
+            let (owner, timer) = timers.remove(0);
+            if owner == a.id() {
+                a.handle_timer(timer);
+            } else {
+                b.handle_timer(timer);
+            }
+        }
+    }
+    (out_a, out_b)
+}
+
+fn recv_complete_data(actions: &[Action]) -> Option<Bytes> {
+    actions.iter().find_map(|a| match a {
+        Action::RecvComplete { data, .. } => Some(data.clone()),
+        _ => None,
+    })
+}
+
+fn count_copies(actions: &[Action], kind: CopyKind) -> (usize, usize) {
+    let mut count = 0;
+    let mut bytes = 0;
+    for a in actions {
+        if let Action::Copy { kind: k, bytes: b, .. } = a {
+            if *k == kind {
+                count += 1;
+                bytes += b;
+            }
+        }
+    }
+    (count, bytes)
+}
+
+fn intranode_pair(cfg: ProtocolConfig) -> (Endpoint, Endpoint) {
+    (
+        Endpoint::new(ProcessId::new(0, 0), cfg.clone()),
+        Endpoint::new(ProcessId::new(0, 1), cfg),
+    )
+}
+
+fn internode_pair(cfg: ProtocolConfig) -> (Endpoint, Endpoint) {
+    (
+        Endpoint::new(ProcessId::new(0, 0), cfg.clone()),
+        Endpoint::new(ProcessId::new(1, 0), cfg),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Basic transfer correctness across modes, sizes, and posting orders.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn intranode_transfer_all_modes_and_sizes() {
+    for mode in ProtocolMode::ALL {
+        for len in [0usize, 1, 10, 16, 17, 100, 1000, 3000, 4096, 8192] {
+            let cfg = ProtocolConfig::paper_intranode().with_mode(mode);
+            let (mut s, mut r) = intranode_pair(cfg);
+            let data = payload(len);
+            s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+            r.post_recv(s.id(), Tag(1), len.max(1)).unwrap();
+            let (_sa, ra) = run_pair(&mut s, &mut r);
+            let got = recv_complete_data(&ra)
+                .unwrap_or_else(|| panic!("no completion for mode {mode:?} len {len}"));
+            assert_eq!(got, data, "mode {mode:?} len {len}");
+            assert!(s.idle(), "sender not idle for mode {mode:?} len {len}");
+            assert!(r.idle(), "receiver not idle for mode {mode:?} len {len}");
+        }
+    }
+}
+
+#[test]
+fn internode_transfer_all_modes_and_sizes() {
+    for mode in ProtocolMode::ALL {
+        for len in [0usize, 4, 80, 760, 761, 1460, 1461, 4096, 8192] {
+            let cfg = ProtocolConfig::paper_internode()
+                .with_mode(mode)
+                .with_pushed_buffer(16 * 1024);
+            let (mut s, mut r) = internode_pair(cfg);
+            let data = payload(len);
+            s.post_send(r.id(), Tag(9), data.clone()).unwrap();
+            r.post_recv(s.id(), Tag(9), len).unwrap();
+            let (_sa, ra) = run_pair(&mut s, &mut r);
+            let got = recv_complete_data(&ra)
+                .unwrap_or_else(|| panic!("no completion for mode {mode:?} len {len}"));
+            assert_eq!(got, data, "mode {mode:?} len {len}");
+        }
+    }
+}
+
+#[test]
+fn late_receiver_still_delivers() {
+    // Send first, post the receive only afterwards: the data must be staged
+    // in the pushed buffer and drained on posting.
+    for mode in ProtocolMode::ALL {
+        let cfg = ProtocolConfig::paper_internode()
+            .with_mode(mode)
+            .with_pushed_buffer(64 * 1024);
+        let (mut s, mut r) = internode_pair(cfg);
+        let data = payload(4096);
+        s.post_send(r.id(), Tag(2), data.clone()).unwrap();
+        // Let the pushes propagate before the receive is posted.
+        let (_sa0, _ra0) = run_pair(&mut s, &mut r);
+        r.post_recv(s.id(), Tag(2), 4096).unwrap();
+        let (_sa, ra) = run_pair(&mut s, &mut r);
+        assert_eq!(recv_complete_data(&ra).unwrap(), data, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn early_receiver_uses_one_copy_path() {
+    let cfg = ProtocolConfig::paper_internode();
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(4096);
+    // Receive posted before the send: all data should be copied directly.
+    r.post_recv(s.id(), Tag(3), 4096).unwrap();
+    s.post_send(r.id(), Tag(3), data.clone()).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let (_, staged) = count_copies(&ra, CopyKind::PushToPushedBuffer);
+    assert_eq!(staged, 0, "early receiver must not stage data");
+    let (_, direct_push) = count_copies(&ra, CopyKind::PushDirect);
+    let (_, direct_pull) = count_copies(&ra, CopyKind::PullDirect);
+    assert_eq!(direct_push + direct_pull, 4096);
+}
+
+#[test]
+fn late_receiver_uses_two_copy_path_for_pushed_bytes() {
+    let cfg = ProtocolConfig::paper_internode();
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(4096);
+    s.post_send(r.id(), Tag(3), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    r.post_recv(s.id(), Tag(3), 4096).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    // The eagerly pushed 760 bytes were staged and then drained.
+    let (_, staged) = count_copies(&ra, CopyKind::DrainPushedBuffer);
+    assert_eq!(staged, 760);
+    // The pulled remainder went straight to the destination.
+    let (_, pulled) = count_copies(&ra, CopyKind::PullDirect);
+    assert_eq!(pulled, 4096 - 760);
+}
+
+// ---------------------------------------------------------------------------
+// Mode-specific behaviour.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn push_all_sends_everything_eagerly() {
+    let cfg = ProtocolConfig::paper_internode()
+        .with_mode(ProtocolMode::PushAll)
+        .with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(8192);
+    r.post_recv(s.id(), Tag(0), 8192).unwrap();
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    assert_eq!(s.stats().bytes_pushed, 8192);
+    assert_eq!(s.stats().bytes_pulled, 0);
+    assert_eq!(r.stats().pull_requests_sent, 0);
+}
+
+#[test]
+fn push_zero_pulls_everything() {
+    let cfg = ProtocolConfig::paper_internode().with_mode(ProtocolMode::PushZero);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(8192);
+    r.post_recv(s.id(), Tag(0), 8192).unwrap();
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    assert_eq!(s.stats().bytes_pushed, 0);
+    assert_eq!(s.stats().bytes_pulled, 8192);
+    assert_eq!(r.stats().pull_requests_sent, 1);
+}
+
+#[test]
+fn push_pull_splits_push_and_pull() {
+    let cfg = ProtocolConfig::paper_internode();
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(8192);
+    r.post_recv(s.id(), Tag(0), 8192).unwrap();
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    assert_eq!(s.stats().bytes_pushed, 760);
+    assert_eq!(s.stats().bytes_pulled, 8192 - 760);
+    assert_eq!(s.stats().pull_requests_served, 1);
+}
+
+#[test]
+fn short_message_needs_no_pull_in_push_pull_mode() {
+    let cfg = ProtocolConfig::paper_internode();
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(500);
+    r.post_recv(s.id(), Tag(0), 500).unwrap();
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    assert_eq!(r.stats().pull_requests_sent, 0);
+    assert_eq!(s.stats().bytes_pulled, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Optimisation flags.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overlap_flag_controls_push_splitting() {
+    for (opts, expected_pushes) in [(OptFlags::overlap_only(), 2usize), (OptFlags::baseline(), 1)] {
+        let cfg = ProtocolConfig::paper_internode().with_opts(opts);
+        let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+        let r_id = ProcessId::new(1, 0);
+        s.post_send(r_id, Tag(0), payload(4096)).unwrap();
+        let pushes = s
+            .drain_actions()
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::TransmitFrame {
+                        frame: crate::reliability::Frame::Data { packet, .. },
+                        ..
+                    } if matches!(packet.header.kind, PacketKind::Push(_))
+                )
+            })
+            .count();
+        assert_eq!(pushes, expected_pushes, "opts {opts:?}");
+    }
+}
+
+#[test]
+fn masking_defers_translation_after_first_transmit() {
+    // With masking the first emitted action must be the transmission, with
+    // the translation following it; without masking the translation leads.
+    let check = |opts: OptFlags, translate_first: bool| {
+        let cfg = ProtocolConfig::paper_internode().with_opts(opts);
+        let mut s = Endpoint::new(ProcessId::new(0, 0), cfg);
+        s.post_send(ProcessId::new(1, 0), Tag(0), payload(4096))
+            .unwrap();
+        let actions = s.drain_actions();
+        let translate_pos = actions
+            .iter()
+            .position(|a| matches!(a, Action::Translate { .. }))
+            .expect("translation must be requested");
+        let transmit_pos = actions
+            .iter()
+            .position(|a| matches!(a, Action::TransmitFrame { .. }))
+            .expect("transmission must be requested");
+        if translate_first {
+            assert!(translate_pos < transmit_pos, "opts {opts:?}");
+        } else {
+            assert!(transmit_pos < translate_pos, "opts {opts:?}");
+        }
+    };
+    check(OptFlags::baseline(), true);
+    check(OptFlags::mask_only(), false);
+    check(OptFlags::full(), false);
+}
+
+#[test]
+fn masking_uses_user_space_injection() {
+    let cfg = ProtocolConfig::paper_internode().with_opts(OptFlags::full());
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg);
+    s.post_send(ProcessId::new(1, 0), Tag(0), payload(100))
+        .unwrap();
+    let injections: Vec<InjectMode> = s
+        .drain_actions()
+        .iter()
+        .filter_map(|a| match a {
+            Action::TransmitFrame { inject, .. } => Some(*inject),
+            _ => None,
+        })
+        .collect();
+    assert!(injections.contains(&InjectMode::UserSpaceDirect));
+
+    let cfg = ProtocolConfig::paper_internode().with_opts(OptFlags::baseline());
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg);
+    s.post_send(ProcessId::new(1, 0), Tag(0), payload(100))
+        .unwrap();
+    let injections: Vec<InjectMode> = s
+        .drain_actions()
+        .iter()
+        .filter_map(|a| match a {
+            Action::TransmitFrame { inject, .. } => Some(*inject),
+            _ => None,
+        })
+        .collect();
+    assert!(!injections.contains(&InjectMode::UserSpaceDirect));
+}
+
+#[test]
+fn disabling_zero_buffer_adds_extra_copies() {
+    let mut no_zb = OptFlags::full();
+    no_zb.zero_buffer = false;
+    let cfg = ProtocolConfig::paper_internode().with_opts(no_zb);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(4096);
+    r.post_recv(s.id(), Tag(0), 4096).unwrap();
+    s.post_send(r.id(), Tag(0), data).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    let (_, extra) = count_copies(&ra, CopyKind::StagingExtra);
+    assert_eq!(extra, 4096);
+    assert_eq!(r.stats().bytes_copied_extra, 4096);
+
+    let cfg = ProtocolConfig::paper_internode().with_opts(OptFlags::full());
+    let (mut s, mut r) = internode_pair(cfg);
+    r.post_recv(s.id(), Tag(0), 4096).unwrap();
+    s.post_send(r.id(), Tag(0), payload(4096)).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    let (_, extra) = count_copies(&ra, CopyKind::StagingExtra);
+    assert_eq!(extra, 0);
+}
+
+#[test]
+fn parallel_pull_marks_copies_least_loaded() {
+    let cfg = ProtocolConfig::paper_internode().with_opts(OptFlags::full());
+    let (mut s, mut r) = internode_pair(cfg);
+    r.post_recv(s.id(), Tag(0), 8192).unwrap();
+    s.post_send(r.id(), Tag(0), payload(8192)).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    let pull_copies: Vec<bool> = ra
+        .iter()
+        .filter_map(|a| match a {
+            Action::Copy {
+                kind: CopyKind::PullDirect,
+                least_loaded,
+                ..
+            } => Some(*least_loaded),
+            _ => None,
+        })
+        .collect();
+    assert!(!pull_copies.is_empty());
+    assert!(pull_copies.iter().all(|&b| b));
+}
+
+// ---------------------------------------------------------------------------
+// Pushed-buffer overflow and go-back-N recovery (the Fig. 6 late-receiver
+// collapse of Push-All).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn push_all_overflows_small_pushed_buffer_and_recovers() {
+    let cfg = ProtocolConfig::paper_internode()
+        .with_mode(ProtocolMode::PushAll)
+        .with_pushed_buffer(4 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(8192);
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
+
+    // Relay traffic by hand so the receive can be posted *after* the first
+    // overflow drop, like the late-receiver test does, while keeping the
+    // retransmission timers alive across that boundary.
+    let mut timers: Vec<(ProcessId, crate::types::TimerId)> = Vec::new();
+    let mut out_s = Vec::new();
+    let mut out_r = Vec::new();
+    let mut posted = false;
+    for _ in 0..100_000 {
+        let mut progressed = pump(&mut s, &mut r, &mut out_s, &mut timers);
+        progressed |= pump(&mut r, &mut s, &mut out_r, &mut timers);
+        if !posted && r.stats().frames_dropped > 0 {
+            // Without a posted receive the 8 KiB eager transfer cannot fit in
+            // the 4 KiB pushed buffer: frames were dropped.  Now post it.
+            r.post_recv(s.id(), Tag(0), 8192).unwrap();
+            posted = true;
+            continue;
+        }
+        if !progressed {
+            if recv_complete_data(&out_r).is_some() || timers.is_empty() {
+                break;
+            }
+            let (owner, timer) = timers.remove(0);
+            if owner == s.id() {
+                s.handle_timer(timer);
+            } else {
+                r.handle_timer(timer);
+            }
+        }
+    }
+    assert!(posted, "overflow drop never happened");
+    assert!(r.stats().frames_dropped > 0, "expected overflow drops");
+    assert_eq!(recv_complete_data(&out_r).unwrap(), data);
+    let gbn = s.channel_stats(r.id()).unwrap();
+    assert!(gbn.retransmissions > 0, "go-back-N must have retransmitted");
+}
+
+#[test]
+fn push_pull_does_not_overflow_small_pushed_buffer() {
+    let cfg = ProtocolConfig::paper_internode()
+        .with_mode(ProtocolMode::PushPull)
+        .with_pushed_buffer(4 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(8192);
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    assert_eq!(r.stats().frames_dropped, 0);
+    r.post_recv(s.id(), Tag(0), 8192).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let gbn = s.channel_stats(r.id()).unwrap();
+    assert_eq!(gbn.retransmissions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Message matching.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn messages_match_by_tag() {
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data_a = payload(100);
+    let data_b = payload(2000);
+    s.post_send(r.id(), Tag(1), data_a.clone()).unwrap();
+    s.post_send(r.id(), Tag(2), data_b.clone()).unwrap();
+    // Post the receives in the opposite tag order.
+    let h2 = r.post_recv(s.id(), Tag(2), 2000).unwrap();
+    let h1 = r.post_recv(s.id(), Tag(1), 100).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    let completions: Vec<(RecvHandle, Bytes)> = ra
+        .iter()
+        .filter_map(|a| match a {
+            Action::RecvComplete { handle, data, .. } => Some((*handle, data.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(completions.len(), 2);
+    for (handle, data) in completions {
+        if handle == h1 {
+            assert_eq!(data, data_a);
+        } else {
+            assert_eq!(handle, h2);
+            assert_eq!(data, data_b);
+        }
+    }
+}
+
+#[test]
+fn multiple_messages_same_tag_arrive_in_order() {
+    let cfg = ProtocolConfig::paper_intranode();
+    let (mut s, mut r) = intranode_pair(cfg);
+    let msgs: Vec<Bytes> = (1..=4).map(|i| payload(i * 500)).collect();
+    for m in &msgs {
+        s.post_send(r.id(), Tag(7), m.clone()).unwrap();
+    }
+    for m in &msgs {
+        r.post_recv(s.id(), Tag(7), m.len()).unwrap();
+    }
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    let received: Vec<Bytes> = ra
+        .iter()
+        .filter_map(|a| match a {
+            Action::RecvComplete { data, .. } => Some(data.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(received.len(), 4);
+    for (got, want) in received.iter().zip(&msgs) {
+        assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error handling.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn self_send_rejected() {
+    let cfg = ProtocolConfig::default();
+    let mut e = Endpoint::new(ProcessId::new(0, 0), cfg);
+    assert!(matches!(
+        e.post_send(ProcessId::new(0, 0), Tag(0), payload(10)),
+        Err(Error::SelfSend { .. })
+    ));
+    assert!(matches!(
+        e.post_recv(ProcessId::new(0, 0), Tag(0), 10),
+        Err(Error::SelfSend { .. })
+    ));
+}
+
+#[test]
+fn receive_smaller_than_message_fails() {
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    s.post_send(r.id(), Tag(0), payload(4096)).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    // Message already buffered; a too-small receive is rejected immediately.
+    let err = r.post_recv(s.id(), Tag(0), 100).unwrap_err();
+    assert!(matches!(err, Error::ReceiveTooSmall { .. }));
+    // A correctly sized receive posted afterwards still gets the message.
+    r.post_recv(s.id(), Tag(0), 4096).unwrap();
+    let (_sa, ra) = run_pair(&mut s, &mut r);
+    assert!(recv_complete_data(&ra).is_some());
+}
+
+#[test]
+fn stats_track_operations() {
+    let cfg = ProtocolConfig::paper_internode();
+    let (mut s, mut r) = internode_pair(cfg);
+    r.post_recv(s.id(), Tag(0), 4096).unwrap();
+    s.post_send(r.id(), Tag(0), payload(4096)).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    assert_eq!(s.stats().sends_posted, 1);
+    assert_eq!(s.stats().sends_completed, 1);
+    assert_eq!(r.stats().recvs_posted, 1);
+    assert_eq!(r.stats().recvs_completed, 1);
+    assert_eq!(s.stats().bytes_pushed + s.stats().bytes_pulled, 4096);
+}
+
+#[test]
+fn dynamic_pushed_buffer_resize() {
+    let cfg = ProtocolConfig::paper_internode();
+    let mut e = Endpoint::new(ProcessId::new(0, 0), cfg);
+    assert_eq!(e.config().pushed_buffer_capacity, 4 * 1024);
+    e.resize_pushed_buffer(64 * 1024);
+    assert_eq!(e.config().pushed_buffer_capacity, 64 * 1024);
+}
+
+use crate::types::RecvHandle;

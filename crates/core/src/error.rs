@@ -1,0 +1,127 @@
+//! Error type shared by the protocol engine and its backends.
+
+use crate::types::{ProcessId, Tag};
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the protocol engine.
+///
+/// The engine is written so that misuse is reported rather than panicking:
+/// a malformed packet, an oversized receive, or a peer the configuration
+/// forbids all map to a variant here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A packet could not be decoded from its wire representation.
+    MalformedPacket {
+        /// Human-readable description of what failed to parse.
+        reason: String,
+    },
+    /// A receive was posted with a buffer smaller than the arriving message.
+    ReceiveTooSmall {
+        /// Number of bytes the posted receive can hold.
+        posted: usize,
+        /// Number of bytes the sender is transferring.
+        incoming: usize,
+    },
+    /// The pushed buffer cannot accept more unexpected data and the packet
+    /// was dropped (the sender's go-back-N logic will retransmit it).
+    PushedBufferOverflow {
+        /// Bytes that were attempted to be stored.
+        needed: usize,
+        /// Bytes currently free in the pushed buffer.
+        available: usize,
+    },
+    /// A pull request referenced a message this endpoint never registered.
+    UnknownMessage {
+        /// The peer that issued the request.
+        peer: ProcessId,
+        /// The raw message id from the request.
+        msg_id: u64,
+    },
+    /// A send or receive handle was used after it completed.
+    StaleHandle,
+    /// The engine was asked to send to itself.
+    SelfSend {
+        /// The offending process id.
+        process: ProcessId,
+    },
+    /// No matching receive could ever complete (e.g. duplicate posting for
+    /// the same `(source, tag)` pair when the configuration forbids it).
+    MatchingConflict {
+        /// Source whose match conflicted.
+        source: ProcessId,
+        /// Tag whose match conflicted.
+        tag: Tag,
+    },
+    /// The go-back-N window is exhausted; the caller must retry after
+    /// acknowledgements drain the window.
+    WindowFull,
+    /// A configuration value is outside its legal range.
+    InvalidConfig {
+        /// Description of the invalid field.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
+            Error::ReceiveTooSmall { posted, incoming } => write!(
+                f,
+                "posted receive of {posted} bytes is smaller than incoming message of {incoming} bytes"
+            ),
+            Error::PushedBufferOverflow { needed, available } => write!(
+                f,
+                "pushed buffer overflow: needed {needed} bytes, only {available} free"
+            ),
+            Error::UnknownMessage { peer, msg_id } => {
+                write!(f, "unknown message {msg_id} referenced by {peer}")
+            }
+            Error::StaleHandle => write!(f, "operation handle already completed"),
+            Error::SelfSend { process } => write!(f, "process {process} attempted to send to itself"),
+            Error::MatchingConflict { source, tag } => {
+                write!(f, "conflicting receive posted for source {source}, {tag}")
+            }
+            Error::WindowFull => write!(f, "go-back-N window full"),
+            Error::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::PushedBufferOverflow {
+            needed: 4096,
+            available: 128,
+        };
+        let text = e.to_string();
+        assert!(text.contains("4096"));
+        assert!(text.contains("128"));
+
+        let e = Error::ReceiveTooSmall {
+            posted: 16,
+            incoming: 64,
+        };
+        assert!(e.to_string().contains("16"));
+
+        let e = Error::SelfSend {
+            process: ProcessId::new(1, 1),
+        };
+        assert!(e.to_string().contains("p1.1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&Error::StaleHandle);
+    }
+}

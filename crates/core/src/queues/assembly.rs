@@ -1,0 +1,179 @@
+//! Reassembly of a message from its pushed and pulled fragments.
+
+use bytes::Bytes;
+
+/// Reassembles one incoming message from fragments arriving at arbitrary
+/// offsets (first push, second push, pulled packets).
+///
+/// Duplicate and overlapping fragments are tolerated — only bytes not already
+/// covered count towards completion — which keeps the engine robust if a
+/// retransmitted packet slips past the go-back-N receiver.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    data: Vec<u8>,
+    /// Sorted, disjoint list of covered `[start, end)` intervals.
+    covered: Vec<(usize, usize)>,
+    received: usize,
+}
+
+impl Assembly {
+    /// Creates an assembly buffer for a message of `total_len` bytes.
+    pub fn new(total_len: usize) -> Self {
+        Assembly {
+            data: vec![0u8; total_len],
+            covered: Vec::new(),
+            received: 0,
+        }
+    }
+
+    /// Total length of the message being assembled.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of distinct bytes received so far.
+    #[inline]
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Number of bytes still missing.
+    #[inline]
+    pub fn missing(&self) -> usize {
+        self.data.len() - self.received
+    }
+
+    /// `true` once every byte of the message has been received.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.received == self.data.len()
+    }
+
+    /// Offset of the first byte not yet received, or `total_len` if complete.
+    pub fn first_gap(&self) -> usize {
+        let mut cursor = 0;
+        for &(start, end) in &self.covered {
+            if start > cursor {
+                return cursor;
+            }
+            cursor = cursor.max(end);
+        }
+        cursor
+    }
+
+    /// Writes a fragment at `offset`, returning the number of *newly covered*
+    /// bytes.  Fragments beyond the end of the message are truncated.
+    pub fn write_at(&mut self, offset: usize, fragment: &[u8]) -> usize {
+        if offset >= self.data.len() || fragment.is_empty() {
+            return 0;
+        }
+        let len = fragment.len().min(self.data.len() - offset);
+        self.data[offset..offset + len].copy_from_slice(&fragment[..len]);
+        self.mark_covered(offset, offset + len)
+    }
+
+    fn mark_covered(&mut self, start: usize, end: usize) -> usize {
+        // Insert the new interval and merge, counting newly covered bytes.
+        let before: usize = self.covered.iter().map(|&(s, e)| e - s).sum();
+        self.covered.push((start, end));
+        self.covered.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.covered.len());
+        for &(s, e) in &self.covered {
+            if let Some(last) = merged.last_mut() {
+                if s <= last.1 {
+                    last.1 = last.1.max(e);
+                    continue;
+                }
+            }
+            merged.push((s, e));
+        }
+        self.covered = merged;
+        let after: usize = self.covered.iter().map(|&(s, e)| e - s).sum();
+        let newly = after - before;
+        self.received += newly;
+        newly
+    }
+
+    /// Consumes the assembly and returns the message bytes.  The caller is
+    /// expected to check [`is_complete`](Assembly::is_complete) first; missing
+    /// regions are zero-filled.
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// A read-only view of the (possibly still incomplete) message bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_assembly() {
+        let mut a = Assembly::new(100);
+        assert_eq!(a.write_at(0, &[1u8; 40]), 40);
+        assert!(!a.is_complete());
+        assert_eq!(a.first_gap(), 40);
+        assert_eq!(a.write_at(40, &[2u8; 60]), 60);
+        assert!(a.is_complete());
+        let bytes = a.into_bytes();
+        assert_eq!(&bytes[..40], &[1u8; 40][..]);
+        assert_eq!(&bytes[40..], &[2u8; 60][..]);
+    }
+
+    #[test]
+    fn out_of_order_assembly() {
+        let mut a = Assembly::new(10);
+        assert_eq!(a.write_at(6, &[6, 7, 8, 9]), 4);
+        assert_eq!(a.first_gap(), 0);
+        assert_eq!(a.write_at(0, &[0, 1, 2, 3, 4, 5]), 6);
+        assert!(a.is_complete());
+        assert_eq!(a.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn duplicates_do_not_double_count() {
+        let mut a = Assembly::new(100);
+        assert_eq!(a.write_at(0, &[1u8; 50]), 50);
+        assert_eq!(a.write_at(0, &[1u8; 50]), 0);
+        assert_eq!(a.write_at(25, &[2u8; 50]), 25);
+        assert_eq!(a.received(), 75);
+        assert_eq!(a.missing(), 25);
+    }
+
+    #[test]
+    fn fragment_past_end_is_truncated() {
+        let mut a = Assembly::new(10);
+        assert_eq!(a.write_at(5, &[9u8; 100]), 5);
+        assert!(!a.is_complete());
+        assert_eq!(a.write_at(20, &[9u8; 10]), 0);
+    }
+
+    #[test]
+    fn zero_length_message_is_immediately_complete() {
+        let a = Assembly::new(0);
+        assert!(a.is_complete());
+        assert_eq!(a.first_gap(), 0);
+    }
+
+    #[test]
+    fn empty_fragment_is_noop() {
+        let mut a = Assembly::new(10);
+        assert_eq!(a.write_at(3, &[]), 0);
+        assert_eq!(a.received(), 0);
+    }
+
+    #[test]
+    fn overlapping_middle_fragment() {
+        let mut a = Assembly::new(30);
+        a.write_at(0, &[1u8; 10]);
+        a.write_at(20, &[3u8; 10]);
+        // Overlaps both existing intervals.
+        assert_eq!(a.write_at(5, &[2u8; 20]), 10);
+        assert!(a.is_complete());
+    }
+}

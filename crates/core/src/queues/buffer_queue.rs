@@ -1,0 +1,136 @@
+//! The buffer queue: the ordered index of *unexpected* messages — messages
+//! whose pushed data arrived before the matching receive was posted.
+
+use crate::types::{MessageId, ProcessId, Tag};
+
+/// Key identifying one unexpected message: the sending process plus the
+/// sender-chosen message id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnexpectedKey {
+    /// The sending process.
+    pub src: ProcessId,
+    /// The sender-assigned message id.
+    pub msg_id: MessageId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: UnexpectedKey,
+    tag: Tag,
+}
+
+/// Arrival-ordered index of unexpected messages.
+///
+/// The payload bytes of unexpected messages are accounted against the
+/// [`PushedBuffer`](crate::queues::PushedBuffer) and stored with the
+/// per-message assembly state in the engine; this queue only remembers *which*
+/// messages are waiting and in what order they arrived, so that a newly
+/// posted receive matches the oldest pending message with the right
+/// `(source, tag)` — the same non-overtaking rule the receive queue uses.
+#[derive(Debug, Default)]
+pub struct BufferQueue {
+    entries: Vec<Entry>,
+}
+
+impl BufferQueue {
+    /// Creates an empty buffer queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the arrival of an unexpected message.  Duplicate insertions of
+    /// the same key are ignored (a message becomes "known" on its first
+    /// pushed packet; later fragments do not re-queue it).
+    pub fn insert(&mut self, key: UnexpectedKey, tag: Tag) {
+        if !self.entries.iter().any(|e| e.key == key) {
+            self.entries.push(Entry { key, tag });
+        }
+    }
+
+    /// Finds and removes the oldest unexpected message from `src` with `tag`.
+    pub fn match_posted(&mut self, src: ProcessId, tag: Tag) -> Option<UnexpectedKey> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.key.src == src && e.tag == tag)?;
+        Some(self.entries.remove(idx).key)
+    }
+
+    /// Removes a specific unexpected message (e.g. when it is dropped).
+    pub fn remove(&mut self, key: UnexpectedKey) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.key != key);
+        before != self.entries.len()
+    }
+
+    /// `true` if the message is currently queued as unexpected.
+    pub fn contains(&self, key: UnexpectedKey) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// Number of unexpected messages queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no unexpected messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: ProcessId, id: u64) -> UnexpectedKey {
+        UnexpectedKey {
+            src,
+            msg_id: MessageId(id),
+        }
+    }
+
+    #[test]
+    fn insert_and_match_in_arrival_order() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.insert(key(a, 1), Tag(5));
+        q.insert(key(a, 2), Tag(5));
+        assert_eq!(q.match_posted(a, Tag(5)).unwrap().msg_id, MessageId(1));
+        assert_eq!(q.match_posted(a, Tag(5)).unwrap().msg_id, MessageId(2));
+        assert!(q.match_posted(a, Tag(5)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.insert(key(a, 1), Tag(5));
+        q.insert(key(a, 1), Tag(5));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn match_respects_source_and_tag() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        q.insert(key(a, 1), Tag(5));
+        q.insert(key(b, 2), Tag(5));
+        q.insert(key(a, 3), Tag(6));
+        assert!(q.match_posted(b, Tag(6)).is_none());
+        assert_eq!(q.match_posted(b, Tag(5)).unwrap().msg_id, MessageId(2));
+        assert_eq!(q.match_posted(a, Tag(6)).unwrap().msg_id, MessageId(3));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.insert(key(a, 1), Tag(5));
+        assert!(q.contains(key(a, 1)));
+        assert!(q.remove(key(a, 1)));
+        assert!(!q.remove(key(a, 1)));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! The kernel-shared data structures of Fig. 1.
+//!
+//! Each endpoint (process) shares three structures with the "kernel" side of
+//! its backend:
+//!
+//! * the **send queue** ([`SendQueue`]) registering sends whose remainder is
+//!   waiting to be pulled,
+//! * the **receive queue** ([`ReceiveQueue`]) registering posted receive
+//!   operations so arriving data can be copied straight to its destination,
+//! * the **buffer queue and pushed buffer** ([`BufferQueue`],
+//!   [`PushedBuffer`]) holding pushed data whose destination is not yet
+//!   known.
+//!
+//! [`Assembly`] is the helper that reassembles a message from its pushed and
+//! pulled fragments.
+
+mod assembly;
+mod buffer_queue;
+mod pushed_buffer;
+mod recv_queue;
+mod send_queue;
+
+pub use assembly::Assembly;
+pub use buffer_queue::{BufferQueue, UnexpectedKey};
+pub use pushed_buffer::{PushedBuffer, PushedBufferStats};
+pub use recv_queue::{PostedReceive, ReceiveQueue};
+pub use send_queue::{PendingSend, SendQueue};

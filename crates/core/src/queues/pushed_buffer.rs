@@ -1,0 +1,165 @@
+//! The pushed buffer: a finite, pinned kernel buffer holding pushed data
+//! whose destination is not yet known.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics exposed by the pushed buffer, used by the experiment harness to
+/// explain the Fig. 6 (late receiver) collapse of Push-All.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushedBufferStats {
+    /// Bytes currently resident in the buffer.
+    pub in_use: usize,
+    /// Largest number of bytes ever resident at once.
+    pub high_water: usize,
+    /// Total bytes accepted over the lifetime of the buffer.
+    pub total_accepted: u64,
+    /// Total bytes rejected because the buffer was full (each rejection
+    /// forces a retransmission by the sender's go-back-N logic).
+    pub total_rejected: u64,
+    /// Number of individual reservation attempts that were rejected.
+    pub overflow_events: u64,
+}
+
+/// Byte-capacity accounting for the pushed buffer.
+///
+/// The actual payload bytes live with the message assembly state in the
+/// engine; this type only enforces the capacity limit, because that limit —
+/// 12 KiB in Fig. 3, 4 KiB in Fig. 6 — is what differentiates Push-All from
+/// Push-Pull when the receiver is late.
+#[derive(Debug, Clone)]
+pub struct PushedBuffer {
+    capacity: usize,
+    stats: PushedBufferStats,
+}
+
+impl PushedBuffer {
+    /// Creates a pushed buffer with the given byte capacity.
+    pub fn new(capacity: usize) -> Self {
+        PushedBuffer {
+            capacity,
+            stats: PushedBufferStats::default(),
+        }
+    }
+
+    /// The configured capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.stats.in_use
+    }
+
+    /// Bytes still free (zero when the buffer was shrunk below the amount
+    /// currently in use).
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity.saturating_sub(self.stats.in_use)
+    }
+
+    /// Attempts to reserve `len` bytes for an unexpected pushed fragment.
+    ///
+    /// Returns `true` on success.  On failure nothing is reserved and the
+    /// rejection is recorded; the caller is expected to drop the packet so
+    /// the sender retransmits it later (go-back-N).
+    pub fn try_reserve(&mut self, len: usize) -> bool {
+        if len > self.free() {
+            self.stats.total_rejected += len as u64;
+            self.stats.overflow_events += 1;
+            return false;
+        }
+        self.stats.in_use += len;
+        self.stats.high_water = self.stats.high_water.max(self.stats.in_use);
+        self.stats.total_accepted += len as u64;
+        true
+    }
+
+    /// Releases `len` bytes previously reserved (after the data has been
+    /// copied to its destination buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if more bytes are released than are in use —
+    /// that would indicate an accounting bug in the engine.
+    pub fn release(&mut self, len: usize) {
+        debug_assert!(
+            len <= self.stats.in_use,
+            "pushed buffer released {len} bytes with only {} in use",
+            self.stats.in_use
+        );
+        self.stats.in_use = self.stats.in_use.saturating_sub(len);
+    }
+
+    /// Dynamically resizes the buffer ("applications can dynamically change
+    /// the size of the pushed buffer to adapt to the runtime environment").
+    /// Shrinking below the currently reserved amount keeps the reserved bytes
+    /// but rejects new reservations until enough is released.
+    pub fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// A snapshot of the buffer statistics.
+    #[inline]
+    pub fn stats(&self) -> PushedBufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut pb = PushedBuffer::new(4096);
+        assert!(pb.try_reserve(1024));
+        assert!(pb.try_reserve(1024));
+        assert_eq!(pb.in_use(), 2048);
+        assert_eq!(pb.free(), 2048);
+        pb.release(1024);
+        assert_eq!(pb.in_use(), 1024);
+        assert_eq!(pb.stats().high_water, 2048);
+    }
+
+    #[test]
+    fn overflow_is_rejected_and_counted() {
+        let mut pb = PushedBuffer::new(4096);
+        assert!(pb.try_reserve(4000));
+        assert!(!pb.try_reserve(200));
+        assert_eq!(pb.in_use(), 4000);
+        let s = pb.stats();
+        assert_eq!(s.overflow_events, 1);
+        assert_eq!(s.total_rejected, 200);
+        assert_eq!(s.total_accepted, 4000);
+    }
+
+    #[test]
+    fn exact_fit_accepted() {
+        let mut pb = PushedBuffer::new(100);
+        assert!(pb.try_reserve(100));
+        assert!(!pb.try_reserve(1));
+        pb.release(100);
+        assert!(pb.try_reserve(1));
+    }
+
+    #[test]
+    fn resize_smaller_than_in_use() {
+        let mut pb = PushedBuffer::new(4096);
+        assert!(pb.try_reserve(3000));
+        pb.resize(1024);
+        assert!(!pb.try_reserve(1));
+        assert_eq!(pb.free(), 0);
+        pb.release(3000);
+        assert!(pb.try_reserve(1024));
+    }
+
+    #[test]
+    fn zero_length_reservation_always_succeeds() {
+        let mut pb = PushedBuffer::new(0);
+        assert!(pb.try_reserve(0));
+        assert_eq!(pb.in_use(), 0);
+    }
+}

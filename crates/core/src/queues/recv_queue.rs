@@ -1,0 +1,149 @@
+//! The receive queue: posted receive operations waiting to be matched with
+//! an incoming message.
+
+use crate::types::{ProcessId, RecvHandle, Tag};
+
+/// One posted (not yet matched) receive operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedReceive {
+    /// Handle returned to the application.
+    pub handle: RecvHandle,
+    /// The source process this receive matches.
+    pub src: ProcessId,
+    /// The tag this receive matches.
+    pub tag: Tag,
+    /// Capacity of the destination buffer in bytes.
+    pub capacity: usize,
+    /// `true` once the destination zero buffer has been built (address
+    /// translation of the destination buffer performed).
+    pub translated: bool,
+}
+
+/// The receive queue shared between a process and its kernel side.
+///
+/// Receives are matched to incoming messages by `(source, tag)` in posting
+/// order, which mirrors MPI's non-overtaking rule for a single communicator.
+#[derive(Debug, Default)]
+pub struct ReceiveQueue {
+    posted: Vec<PostedReceive>,
+}
+
+impl ReceiveQueue {
+    /// Creates an empty receive queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a posted receive (arrow 1b in Fig. 1, receive side).
+    pub fn register(&mut self, recv: PostedReceive) {
+        self.posted.push(recv);
+    }
+
+    /// Finds and removes the oldest posted receive matching `(src, tag)`.
+    pub fn match_incoming(&mut self, src: ProcessId, tag: Tag) -> Option<PostedReceive> {
+        let idx = self
+            .posted
+            .iter()
+            .position(|r| r.src == src && r.tag == tag)?;
+        Some(self.posted.remove(idx))
+    }
+
+    /// Returns (without removing) the oldest posted receive matching
+    /// `(src, tag)`.
+    pub fn peek_match(&self, src: ProcessId, tag: Tag) -> Option<&PostedReceive> {
+        self.posted.iter().find(|r| r.src == src && r.tag == tag)
+    }
+
+    /// Cancels a posted receive by handle, returning it if it was still
+    /// pending.
+    pub fn cancel(&mut self, handle: RecvHandle) -> Option<PostedReceive> {
+        let idx = self.posted.iter().position(|r| r.handle == handle)?;
+        Some(self.posted.remove(idx))
+    }
+
+    /// Number of posted receives not yet matched.
+    pub fn len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// `true` when no receives are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.posted.is_empty()
+    }
+
+    /// Iterates over posted receives in posting order.
+    pub fn iter(&self) -> impl Iterator<Item = &PostedReceive> {
+        self.posted.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posted(handle: u64, src: ProcessId, tag: u32, capacity: usize) -> PostedReceive {
+        PostedReceive {
+            handle: RecvHandle(handle),
+            src,
+            tag: Tag(tag),
+            capacity,
+            translated: false,
+        }
+    }
+
+    #[test]
+    fn match_by_source_and_tag() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(0, 1);
+        q.register(posted(1, a, 10, 100));
+        q.register(posted(2, b, 10, 100));
+        q.register(posted(3, a, 20, 100));
+
+        let m = q.match_incoming(b, Tag(10)).unwrap();
+        assert_eq!(m.handle, RecvHandle(2));
+        assert!(q.match_incoming(b, Tag(10)).is_none());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn matching_is_fifo_per_source_tag() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.register(posted(1, a, 5, 64));
+        q.register(posted(2, a, 5, 128));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().handle, RecvHandle(1));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().handle, RecvHandle(2));
+        assert!(q.match_incoming(a, Tag(5)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(2, 1);
+        q.register(posted(9, a, 1, 8));
+        assert!(q.peek_match(a, Tag(1)).is_some());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_by_handle() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.register(posted(1, a, 1, 8));
+        q.register(posted(2, a, 2, 8));
+        assert!(q.cancel(RecvHandle(1)).is_some());
+        assert!(q.cancel(RecvHandle(1)).is_none());
+        assert!(q.match_incoming(a, Tag(1)).is_none());
+        assert!(q.match_incoming(a, Tag(2)).is_some());
+    }
+
+    #[test]
+    fn no_match_for_wrong_tag_or_source() {
+        let mut q = ReceiveQueue::new();
+        q.register(posted(1, ProcessId::new(0, 0), 7, 16));
+        assert!(q.match_incoming(ProcessId::new(0, 0), Tag(8)).is_none());
+        assert!(q.match_incoming(ProcessId::new(1, 0), Tag(7)).is_none());
+        assert_eq!(q.iter().count(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! The send queue: pending send operations whose remainder is waiting to be
+//! pulled by the receiver.
+
+use crate::btp::BtpSplit;
+use crate::types::{MessageId, ProcessId, SendHandle, Tag};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// One registered send operation (arrow 1b.1 in Fig. 1).
+#[derive(Debug, Clone)]
+pub struct PendingSend {
+    /// Handle returned to the application.
+    pub handle: SendHandle,
+    /// The destination process.
+    pub dst: ProcessId,
+    /// The user tag.
+    pub tag: Tag,
+    /// The message identifier chosen by the sender.
+    pub msg_id: MessageId,
+    /// The complete message payload (cheaply sliceable).
+    pub data: Bytes,
+    /// How the message was split into pushed and pulled parts.
+    pub split: BtpSplit,
+    /// `true` once the pull request has been answered (the pulled bytes have
+    /// been handed to the transport).
+    pub pull_served: bool,
+    /// `true` once the whole message has been handed to the transport (but
+    /// not necessarily acknowledged at the transport level).
+    pub fully_transmitted: bool,
+    /// `true` once the source-buffer zero buffer has been built (address
+    /// translation performed).  With translation masking this happens after
+    /// the first push has been injected.
+    pub translated: bool,
+}
+
+impl PendingSend {
+    /// Length of the user message in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for empty messages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The send queue shared between a process and its kernel side.
+#[derive(Debug, Default)]
+pub struct SendQueue {
+    entries: HashMap<u64, PendingSend>,
+    /// Insertion order, for deterministic iteration and diagnostics.
+    order: Vec<u64>,
+}
+
+impl SendQueue {
+    /// Creates an empty send queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pending send, keyed by its message id.
+    pub fn register(&mut self, send: PendingSend) {
+        let key = send.msg_id.0;
+        debug_assert!(!self.entries.contains_key(&key), "duplicate msg_id {key}");
+        self.order.push(key);
+        self.entries.insert(key, send);
+    }
+
+    /// Looks up a pending send by message id.
+    pub fn get(&self, msg_id: MessageId) -> Option<&PendingSend> {
+        self.entries.get(&msg_id.0)
+    }
+
+    /// Mutable lookup by message id.
+    pub fn get_mut(&mut self, msg_id: MessageId) -> Option<&mut PendingSend> {
+        self.entries.get_mut(&msg_id.0)
+    }
+
+    /// Removes a completed send from the queue, returning it.
+    pub fn remove(&mut self, msg_id: MessageId) -> Option<PendingSend> {
+        let removed = self.entries.remove(&msg_id.0);
+        if removed.is_some() {
+            self.order.retain(|&k| k != msg_id.0);
+        }
+        removed
+    }
+
+    /// Number of sends currently registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no sends are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over pending sends in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingSend> {
+        self.order.iter().filter_map(move |k| self.entries.get(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptFlags, ProtocolMode};
+    use crate::btp::BtpPolicy;
+
+    fn pending(msg_id: u64, len: usize) -> PendingSend {
+        PendingSend {
+            handle: SendHandle(msg_id),
+            dst: ProcessId::new(1, 0),
+            tag: Tag(0),
+            msg_id: MessageId(msg_id),
+            data: Bytes::from(vec![0u8; len]),
+            split: BtpSplit::plan(
+                ProtocolMode::PushPull,
+                BtpPolicy::INTERNODE_DEFAULT,
+                OptFlags::full(),
+                len,
+            ),
+            pull_served: false,
+            fully_transmitted: false,
+            translated: false,
+        }
+    }
+
+    #[test]
+    fn register_lookup_remove() {
+        let mut q = SendQueue::new();
+        q.register(pending(1, 4096));
+        q.register(pending(2, 100));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.get(MessageId(1)).unwrap().len(), 4096);
+        assert!(q.get(MessageId(3)).is_none());
+
+        let removed = q.remove(MessageId(1)).unwrap();
+        assert_eq!(removed.handle, SendHandle(1));
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(MessageId(1)).is_none());
+    }
+
+    #[test]
+    fn iteration_is_in_registration_order() {
+        let mut q = SendQueue::new();
+        for id in [5u64, 3, 9, 1] {
+            q.register(pending(id, 10));
+        }
+        let ids: Vec<u64> = q.iter().map(|p| p.msg_id.0).collect();
+        assert_eq!(ids, vec![5, 3, 9, 1]);
+    }
+
+    #[test]
+    fn get_mut_allows_state_transition() {
+        let mut q = SendQueue::new();
+        q.register(pending(7, 5000));
+        let entry = q.get_mut(MessageId(7)).unwrap();
+        assert!(!entry.pull_served);
+        entry.pull_served = true;
+        assert!(q.get(MessageId(7)).unwrap().pull_served);
+    }
+
+    #[test]
+    fn empty_message_flags() {
+        let p = pending(1, 0);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Wire format of protocol packets.
+//!
+//! A [`Packet`] is the unit the protocol engine hands to its transport.  The
+//! internode backend additionally wraps packets in go-back-N
+//! [`frames`](crate::reliability::Frame); the intranode backend moves them
+//! through kernel queues directly.
+//!
+//! The header is a fixed-size, explicitly laid-out structure so that its
+//! on-wire size (needed by the simulator's timing model and counted against
+//! the Ethernet MTU) is a compile-time constant.
+
+use crate::error::{Error, Result};
+use crate::types::{MessageId, ProcessId, Tag};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Identifies which of the two pushed fragments a push packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PushPart {
+    /// The first-pushed message of `BTP(1)` bytes (or the whole eager part
+    /// when push-and-acknowledge overlapping is disabled).
+    First,
+    /// The second-pushed message of `BTP(2)` bytes, transmitted overlapped
+    /// with the acknowledgement.
+    Second,
+}
+
+/// The protocol-level packet types of Push-Pull Messaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Eagerly pushed data (arrow 1a in Fig. 1).  A zero-length first push is
+    /// how Push-Zero announces a message.
+    Push(PushPart),
+    /// The acknowledgement that doubles as a pull request (arrows 3a/3b in
+    /// Fig. 1).  `offset` is the first byte the receiver still needs and
+    /// `request_len` the number of bytes requested.
+    PullRequest,
+    /// Data sent by the sender's reception handler in response to a pull
+    /// request (arrow 1b.2 in Fig. 1); copied straight into the destination
+    /// buffer by the receiver (arrow 2a).
+    PullData,
+    /// A 4-byte application-level acknowledgement used by the bandwidth
+    /// benchmark and the barrier in the early/late receiver tests.  It is a
+    /// normal message at the protocol level but having a distinct kind makes
+    /// traces easier to read.
+    Control,
+}
+
+impl PacketKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PacketKind::Push(PushPart::First) => 0,
+            PacketKind::Push(PushPart::Second) => 1,
+            PacketKind::PullRequest => 2,
+            PacketKind::PullData => 3,
+            PacketKind::Control => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        Ok(match b {
+            0 => PacketKind::Push(PushPart::First),
+            1 => PacketKind::Push(PushPart::Second),
+            2 => PacketKind::PullRequest,
+            3 => PacketKind::PullData,
+            4 => PacketKind::Control,
+            other => {
+                return Err(Error::MalformedPacket {
+                    reason: format!("unknown packet kind {other}"),
+                })
+            }
+        })
+    }
+}
+
+/// Size in bytes of an encoded [`PacketHeader`].
+pub const MAX_HEADER_LEN: usize = 1  // kind
+    + 4 + 4                          // src node + rank
+    + 4 + 4                          // dst node + rank
+    + 8                              // msg_id
+    + 4                              // tag
+    + 4                              // total_len
+    + 4                              // eager_len
+    + 4                              // offset
+    + 4; // payload_len / request_len
+
+/// Fixed-size header carried by every protocol packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketHeader {
+    /// Packet type.
+    pub kind: PacketKind,
+    /// The sending process.
+    pub src: ProcessId,
+    /// The destination process.
+    pub dst: ProcessId,
+    /// Message this packet belongs to (unique per sending process).
+    pub msg_id: MessageId,
+    /// User tag of the message (used by the receiver for matching).
+    pub tag: Tag,
+    /// Total length of the user message in bytes.
+    pub total_len: u32,
+    /// Total number of bytes the sender pushes eagerly (`BTP(1) + BTP(2)`,
+    /// clamped to the message length).  The receiver uses this to decide
+    /// whether a pull request is needed and which bytes to ask for.
+    pub eager_len: u32,
+    /// Byte offset within the message of this packet's payload (for
+    /// `PullRequest` packets: the first byte still required).
+    pub offset: u32,
+    /// Length of the payload carried by this packet (for `PullRequest`
+    /// packets: the number of bytes requested; the payload itself is empty).
+    pub payload_len: u32,
+}
+
+impl PacketHeader {
+    /// Encodes the header into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.kind.to_byte());
+        buf.put_u32(self.src.node.0);
+        buf.put_u32(self.src.local_rank);
+        buf.put_u32(self.dst.node.0);
+        buf.put_u32(self.dst.local_rank);
+        buf.put_u64(self.msg_id.0);
+        buf.put_u32(self.tag.0);
+        buf.put_u32(self.total_len);
+        buf.put_u32(self.eager_len);
+        buf.put_u32(self.offset);
+        buf.put_u32(self.payload_len);
+    }
+
+    /// Decodes a header from `buf`, advancing it by [`MAX_HEADER_LEN`].
+    pub fn decode(buf: &mut impl Buf) -> Result<Self> {
+        if buf.remaining() < MAX_HEADER_LEN {
+            return Err(Error::MalformedPacket {
+                reason: format!(
+                    "truncated header: {} bytes available, {MAX_HEADER_LEN} required",
+                    buf.remaining()
+                ),
+            });
+        }
+        let kind = PacketKind::from_byte(buf.get_u8())?;
+        let src = ProcessId::new(buf.get_u32(), buf.get_u32());
+        let dst = ProcessId::new(buf.get_u32(), buf.get_u32());
+        let msg_id = MessageId(buf.get_u64());
+        let tag = Tag(buf.get_u32());
+        let total_len = buf.get_u32();
+        let eager_len = buf.get_u32();
+        let offset = buf.get_u32();
+        let payload_len = buf.get_u32();
+        Ok(PacketHeader {
+            kind,
+            src,
+            dst,
+            msg_id,
+            tag,
+            total_len,
+            eager_len,
+            offset,
+            payload_len,
+        })
+    }
+}
+
+/// One protocol packet: a header plus (possibly empty) payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The fixed-size header.
+    pub header: PacketHeader,
+    /// Payload bytes.  `Bytes` slices share the underlying user buffer, so
+    /// building a push or pull packet never copies message data.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet, checking that the payload length matches the header.
+    pub fn new(header: PacketHeader, payload: Bytes) -> Result<Self> {
+        let expected = match header.kind {
+            PacketKind::PullRequest => 0,
+            _ => header.payload_len as usize,
+        };
+        if payload.len() != expected {
+            return Err(Error::MalformedPacket {
+                reason: format!(
+                    "payload length {} does not match header payload_len {expected}",
+                    payload.len()
+                ),
+            });
+        }
+        Ok(Packet { header, payload })
+    }
+
+    /// Number of bytes this packet occupies on the wire (header + payload).
+    #[inline]
+    pub fn wire_size(&self) -> usize {
+        MAX_HEADER_LEN + self.payload.len()
+    }
+
+    /// `true` when this packet carries user data (push or pull data).
+    #[inline]
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self.header.kind,
+            PacketKind::Push(_) | PacketKind::PullData | PacketKind::Control
+        ) && !self.payload.is_empty()
+    }
+
+    /// Serialises the packet into a contiguous byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a packet from a contiguous byte buffer.
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        let header = PacketHeader::decode(&mut data)?;
+        let expected = match header.kind {
+            PacketKind::PullRequest => 0,
+            _ => header.payload_len as usize,
+        };
+        if data.len() < expected {
+            return Err(Error::MalformedPacket {
+                reason: format!(
+                    "truncated payload: {} bytes present, {expected} expected",
+                    data.len()
+                ),
+            });
+        }
+        let payload = data.slice(..expected);
+        Packet::new(header, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header(kind: PacketKind) -> PacketHeader {
+        PacketHeader {
+            kind,
+            src: ProcessId::new(0, 1),
+            dst: ProcessId::new(1, 3),
+            msg_id: MessageId(42),
+            tag: Tag(7),
+            total_len: 8192,
+            eager_len: 760,
+            offset: 760,
+            payload_len: 0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_every_kind() {
+        for kind in [
+            PacketKind::Push(PushPart::First),
+            PacketKind::Push(PushPart::Second),
+            PacketKind::PullRequest,
+            PacketKind::PullData,
+            PacketKind::Control,
+        ] {
+            let header = sample_header(kind);
+            let mut buf = BytesMut::new();
+            header.encode(&mut buf);
+            assert_eq!(buf.len(), MAX_HEADER_LEN);
+            let decoded = PacketHeader::decode(&mut buf.freeze()).unwrap();
+            assert_eq!(decoded, header);
+        }
+    }
+
+    #[test]
+    fn packet_roundtrip_with_payload() {
+        let payload = Bytes::from(vec![0xABu8; 680]);
+        let mut header = sample_header(PacketKind::Push(PushPart::Second));
+        header.payload_len = 680;
+        let pkt = Packet::new(header, payload.clone()).unwrap();
+        assert_eq!(pkt.wire_size(), MAX_HEADER_LEN + 680);
+        let encoded = pkt.encode();
+        let decoded = Packet::decode(encoded).unwrap();
+        assert_eq!(decoded, pkt);
+        assert_eq!(decoded.payload, payload);
+    }
+
+    #[test]
+    fn pull_request_has_empty_payload_but_request_len() {
+        let mut header = sample_header(PacketKind::PullRequest);
+        header.payload_len = 4096; // bytes requested
+        let pkt = Packet::new(header, Bytes::new()).unwrap();
+        assert!(!pkt.carries_data());
+        let decoded = Packet::decode(pkt.encode()).unwrap();
+        assert_eq!(decoded.header.payload_len, 4096);
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn mismatched_payload_rejected() {
+        let mut header = sample_header(PacketKind::PullData);
+        header.payload_len = 100;
+        let err = Packet::new(header, Bytes::from(vec![0u8; 50])).unwrap_err();
+        assert!(matches!(err, Error::MalformedPacket { .. }));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = Packet::decode(Bytes::from(vec![0u8; 5])).unwrap_err();
+        assert!(matches!(err, Error::MalformedPacket { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut header = sample_header(PacketKind::PullData);
+        header.payload_len = 300;
+        let pkt = Packet::new(header, Bytes::from(vec![1u8; 300])).unwrap();
+        let encoded = pkt.encode();
+        let truncated = encoded.slice(..MAX_HEADER_LEN + 100);
+        assert!(Packet::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut header = sample_header(PacketKind::Control);
+        header.payload_len = 0;
+        let pkt = Packet::new(header, Bytes::new()).unwrap();
+        let mut bytes = BytesMut::from(&pkt.encode()[..]);
+        bytes[0] = 99;
+        assert!(Packet::decode(bytes.freeze()).is_err());
+    }
+
+    #[test]
+    fn zero_copy_payload_slicing() {
+        // The payload of a packet built from a user buffer shares storage
+        // with that buffer: no copy happens on encode-side construction.
+        let user = Bytes::from(vec![7u8; 4096]);
+        let slice = user.slice(80..760);
+        let mut header = sample_header(PacketKind::Push(PushPart::Second));
+        header.payload_len = 680;
+        let pkt = Packet::new(header, slice.clone()).unwrap();
+        assert_eq!(pkt.payload.as_ptr(), slice.as_ptr());
+    }
+}

@@ -1,0 +1,248 @@
+//! Cross-Space Zero Buffer (§4.2).
+//!
+//! A *zero buffer* is not a data buffer at all: it is a scatter list of
+//! `(physical address, length)` pairs describing where a virtually contiguous
+//! user buffer actually lives in physical memory.  Armed with the zero
+//! buffers of both the source and the destination, a kernel agent can move
+//! the data with a **single copy** even though the two buffers belong to
+//! different protected address spaces — or straight from the NIC's designated
+//! buffer into the destination buffer for internode traffic.
+//!
+//! The protocol engine only needs the *shape* of the translation (how many
+//! pages, therefore how expensive the translation is and whether it can be
+//! masked off the critical path).  The concrete [`AddressTranslator`] is
+//! supplied by the backend: the simulator implements real page tables in
+//! `simsmp::vm`, while the host backend uses [`IdentityTranslator`] because a
+//! user-space library cannot observe physical addresses.
+
+use serde::{Deserialize, Serialize};
+
+/// One physically contiguous extent of a user buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysSegment {
+    /// Starting physical address of the extent.
+    pub phys_addr: u64,
+    /// Number of contiguous bytes at `phys_addr`.
+    pub len: usize,
+}
+
+/// The scatter list describing a virtually contiguous buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ZeroBuffer {
+    /// Virtual address the scatter list was built from.
+    pub virt_addr: u64,
+    /// Physical extents, in virtual-address order.
+    pub segments: Vec<PhysSegment>,
+}
+
+impl ZeroBuffer {
+    /// Builds a zero buffer for the `len` bytes starting at virtual address
+    /// `virt_addr`, using the supplied translator.
+    pub fn build<T: AddressTranslator + ?Sized>(translator: &T, virt_addr: u64, len: usize) -> Self {
+        ZeroBuffer {
+            virt_addr,
+            segments: translator.translate(virt_addr, len),
+        }
+    }
+
+    /// Total number of bytes described by the scatter list.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// Number of physical extents (a proxy for the translation cost: one
+    /// page-table walk per extent boundary).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Checks that the scatter list covers exactly `len` bytes with no
+    /// zero-length segments.
+    pub fn covers_exactly(&self, len: usize) -> bool {
+        self.total_len() == len && self.segments.iter().all(|s| s.len > 0 || len == 0)
+    }
+
+    /// Splits the scatter list at byte offset `at`, returning the head
+    /// (bytes `[0, at)`) and keeping the tail in `self`.
+    ///
+    /// Used when a pulled transfer is fragmented over several packets: each
+    /// packet consumes a prefix of the remaining scatter list.
+    pub fn split_off_prefix(&mut self, at: usize) -> ZeroBuffer {
+        let mut head = Vec::new();
+        let mut remaining = at;
+        let mut rest = Vec::new();
+        for seg in self.segments.drain(..) {
+            if remaining == 0 {
+                rest.push(seg);
+            } else if seg.len <= remaining {
+                remaining -= seg.len;
+                head.push(seg);
+            } else {
+                head.push(PhysSegment {
+                    phys_addr: seg.phys_addr,
+                    len: remaining,
+                });
+                rest.push(PhysSegment {
+                    phys_addr: seg.phys_addr + remaining as u64,
+                    len: seg.len - remaining,
+                });
+                remaining = 0;
+            }
+        }
+        let head_len: usize = head.iter().map(|s| s.len).sum();
+        let head_buf = ZeroBuffer {
+            virt_addr: self.virt_addr,
+            segments: head,
+        };
+        self.virt_addr += head_len as u64;
+        self.segments = rest;
+        head_buf
+    }
+}
+
+/// Supplies virtual→physical translations to the protocol engine.
+pub trait AddressTranslator {
+    /// Translates the `len` bytes starting at `virt_addr` into physical
+    /// extents, in order.  Implementations must cover exactly `len` bytes.
+    fn translate(&self, virt_addr: u64, len: usize) -> Vec<PhysSegment>;
+
+    /// The page size used by this translator; the number of page crossings
+    /// (`len / page_size()` roughly) determines the translation cost.
+    fn page_size(&self) -> usize {
+        4096
+    }
+}
+
+/// A translator for environments where physical addresses are not observable
+/// (the user-space host backend): virtual addresses are passed through as a
+/// single contiguous "physical" extent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityTranslator;
+
+impl AddressTranslator for IdentityTranslator {
+    fn translate(&self, virt_addr: u64, len: usize) -> Vec<PhysSegment> {
+        if len == 0 {
+            return Vec::new();
+        }
+        vec![PhysSegment {
+            phys_addr: virt_addr,
+            len,
+        }]
+    }
+}
+
+/// Number of page-table lookups required to translate a `len`-byte buffer
+/// starting at `virt_addr` with the given page size.
+///
+/// The paper observes that "the address translation overhead grows linearly
+/// as the size of the message increases"; this function is the shared
+/// definition of that linear factor used by both the engine (to decide what
+/// can be masked) and the simulator (to charge the cost).
+pub fn pages_spanned(virt_addr: u64, len: usize, page_size: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let page_size = page_size as u64;
+    let first = virt_addr / page_size;
+    let last = (virt_addr + len as u64 - 1) / page_size;
+    (last - first + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake translator that splits buffers on 4 KiB page boundaries and
+    /// scatters pages pseudo-randomly, mimicking what a real page table does.
+    struct ScatteringTranslator;
+
+    impl AddressTranslator for ScatteringTranslator {
+        fn translate(&self, virt_addr: u64, len: usize) -> Vec<PhysSegment> {
+            let page = 4096u64;
+            let mut out = Vec::new();
+            let mut addr = virt_addr;
+            let mut left = len;
+            while left > 0 {
+                let page_off = addr % page;
+                let in_page = ((page - page_off) as usize).min(left);
+                // Scatter: physical frame = hash of virtual page number.
+                let vpn = addr / page;
+                let pfn = vpn.wrapping_mul(2654435761) % 65536;
+                out.push(PhysSegment {
+                    phys_addr: pfn * page + page_off,
+                    len: in_page,
+                });
+                addr += in_page as u64;
+                left -= in_page;
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn identity_translator_single_segment() {
+        let zb = ZeroBuffer::build(&IdentityTranslator, 0x1000, 8192);
+        assert_eq!(zb.segment_count(), 1);
+        assert!(zb.covers_exactly(8192));
+    }
+
+    #[test]
+    fn identity_translator_empty() {
+        let zb = ZeroBuffer::build(&IdentityTranslator, 0x1000, 0);
+        assert_eq!(zb.segment_count(), 0);
+        assert!(zb.covers_exactly(0));
+    }
+
+    #[test]
+    fn scattered_translation_covers_exactly() {
+        for (addr, len) in [(0u64, 1usize), (100, 4096), (4095, 2), (0x12345, 10000), (0, 65536)] {
+            let zb = ZeroBuffer::build(&ScatteringTranslator, addr, len);
+            assert!(zb.covers_exactly(len), "addr={addr} len={len}");
+        }
+    }
+
+    #[test]
+    fn split_off_prefix_conserves_bytes() {
+        let mut zb = ZeroBuffer::build(&ScatteringTranslator, 0x2345, 10_000);
+        let head = zb.split_off_prefix(1460);
+        assert_eq!(head.total_len(), 1460);
+        assert_eq!(zb.total_len(), 10_000 - 1460);
+        let head2 = zb.split_off_prefix(1460);
+        assert_eq!(head2.total_len(), 1460);
+        assert_eq!(zb.total_len(), 10_000 - 2 * 1460);
+    }
+
+    #[test]
+    fn split_off_prefix_whole_buffer() {
+        let mut zb = ZeroBuffer::build(&ScatteringTranslator, 0, 4096);
+        let head = zb.split_off_prefix(4096);
+        assert_eq!(head.total_len(), 4096);
+        assert_eq!(zb.total_len(), 0);
+    }
+
+    #[test]
+    fn split_off_prefix_more_than_available() {
+        let mut zb = ZeroBuffer::build(&IdentityTranslator, 0, 100);
+        let head = zb.split_off_prefix(500);
+        assert_eq!(head.total_len(), 100);
+        assert_eq!(zb.total_len(), 0);
+    }
+
+    #[test]
+    fn pages_spanned_linear_growth() {
+        assert_eq!(pages_spanned(0, 0, 4096), 0);
+        assert_eq!(pages_spanned(0, 1, 4096), 1);
+        assert_eq!(pages_spanned(0, 4096, 4096), 1);
+        assert_eq!(pages_spanned(0, 4097, 4096), 2);
+        assert_eq!(pages_spanned(4095, 2, 4096), 2);
+        assert_eq!(pages_spanned(0, 8192 * 4, 4096), 8);
+    }
+
+    #[test]
+    fn pages_spanned_unaligned_start() {
+        // 10 bytes crossing a page boundary spans two pages.
+        assert_eq!(pages_spanned(4090, 10, 4096), 2);
+        // Fully inside one page.
+        assert_eq!(pages_spanned(4096, 10, 4096), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Intranode fabric: threads within one OS process exchanging messages
+//! through a shared in-memory "kernel agent", driving the same protocol
+//! engine the simulator uses.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use ppmsg_core::{Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag};
+use ppmsg_core::wire::Packet;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Completion state shared between the user thread and whoever delivers the
+/// completing packet.
+#[derive(Default)]
+struct Completions {
+    received: HashMap<u64, Bytes>,
+    sent: HashMap<u64, usize>,
+}
+
+struct Member {
+    id: ProcessId,
+    engine: Mutex<Endpoint>,
+    completions: Mutex<Completions>,
+    cv: Condvar,
+}
+
+/// The shared state of one intranode fabric (one simulated "SMP node" worth
+/// of processes living in this OS process).
+struct Fabric {
+    members: Mutex<HashMap<u64, Arc<Member>>>,
+}
+
+impl Fabric {
+    fn member(&self, id: ProcessId) -> Option<Arc<Member>> {
+        self.members.lock().get(&id.as_u64()).cloned()
+    }
+
+    /// Routes packets between members until no more traffic is generated.
+    /// This is the "kernel agent": it may run on any thread that produced
+    /// traffic (the paper runs it on the least-loaded processor; here the OS
+    /// scheduler decides).
+    fn route(&self, mut work: VecDeque<(ProcessId, ProcessId, Packet)>) {
+        while let Some((src, dst, packet)) = work.pop_front() {
+            let Some(member) = self.member(dst) else {
+                continue;
+            };
+            let actions = {
+                let mut engine = member.engine.lock();
+                engine.handle_packet(src, packet);
+                engine.drain_actions()
+            };
+            self.apply_actions(&member, actions, &mut work);
+        }
+    }
+
+    /// Applies one member's actions: queue outgoing packets, record
+    /// completions, ignore cost-model hints (translate/copy) which have no
+    /// user-space equivalent.
+    fn apply_actions(
+        &self,
+        member: &Member,
+        actions: Vec<Action>,
+        work: &mut VecDeque<(ProcessId, ProcessId, Packet)>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Transmit { dst, packet, .. } => {
+                    work.push_back((member.id, dst, packet));
+                }
+                Action::TransmitFrame { .. } => {
+                    unreachable!("intranode fabric never uses go-back-N frames")
+                }
+                Action::RecvComplete { handle, data, .. } => {
+                    member.completions.lock().received.insert(handle.0, data);
+                    member.cv.notify_all();
+                }
+                Action::SendComplete { handle, bytes, .. } => {
+                    member.completions.lock().sent.insert(handle.0, bytes);
+                    member.cv.notify_all();
+                }
+                Action::RecvFailed { handle, error, .. } => {
+                    // Surface the failure as an empty completion so the
+                    // blocked receiver wakes up and can report the error.
+                    member
+                        .completions
+                        .lock()
+                        .received
+                        .insert(handle.0, Bytes::new());
+                    member.cv.notify_all();
+                    eprintln!("ppmsg-host: receive {handle:?} failed: {error}");
+                }
+                // Cost-model hints and reliability plumbing: nothing to do on
+                // a real shared-memory path.
+                Action::Translate { .. }
+                | Action::Copy { .. }
+                | Action::SetTimer { .. }
+                | Action::CancelTimer { .. }
+                | Action::PacketDropped { .. }
+                | Action::ChannelFailed { .. } => {}
+            }
+        }
+    }
+}
+
+/// A collection of intranode endpoints sharing one in-memory fabric.
+#[derive(Clone)]
+pub struct HostCluster {
+    fabric: Arc<Fabric>,
+    node: u32,
+    protocol: ProtocolConfig,
+}
+
+impl HostCluster {
+    /// Creates an empty intranode fabric for node `node`, with every endpoint
+    /// using `protocol`.
+    pub fn new(node: u32, protocol: ProtocolConfig) -> Self {
+        HostCluster {
+            fabric: Arc::new(Fabric {
+                members: Mutex::new(HashMap::new()),
+            }),
+            node,
+            protocol,
+        }
+    }
+
+    /// Adds a process to the fabric and returns its endpoint handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local rank was already added.
+    pub fn add_endpoint(&self, local_rank: u32) -> HostEndpoint {
+        let id = ProcessId::new(self.node, local_rank);
+        let member = Arc::new(Member {
+            id,
+            engine: Mutex::new(Endpoint::new(id, self.protocol.clone())),
+            completions: Mutex::new(Completions::default()),
+            cv: Condvar::new(),
+        });
+        let previous = self
+            .fabric
+            .members
+            .lock()
+            .insert(id.as_u64(), member.clone());
+        assert!(previous.is_none(), "endpoint {id} added twice");
+        HostEndpoint {
+            fabric: self.fabric.clone(),
+            member,
+        }
+    }
+}
+
+/// One process's handle onto the intranode fabric.
+#[derive(Clone)]
+pub struct HostEndpoint {
+    fabric: Arc<Fabric>,
+    member: Arc<Member>,
+}
+
+impl HostEndpoint {
+    /// This endpoint's process id.
+    pub fn id(&self) -> ProcessId {
+        self.member.id
+    }
+
+    /// Posts a send of `data` to `peer`.  Returns once the transfer has been
+    /// initiated (the pushed part delivered and the remainder registered for
+    /// pulling); the data is captured by reference count, so the caller may
+    /// drop its handle immediately.
+    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendHandle {
+        let (handle, actions) = {
+            let mut engine = self.member.engine.lock();
+            let handle = engine
+                .post_send(peer, tag, data.into())
+                .expect("post_send failed");
+            (handle, engine.drain_actions())
+        };
+        let mut work = VecDeque::new();
+        self.fabric.apply_actions(&self.member, actions, &mut work);
+        self.fabric.route(work);
+        handle
+    }
+
+    /// Blocks until the send identified by `handle` has been fully handed
+    /// over (for Push-Pull sends this means the receiver has pulled the
+    /// remainder).  Returns the number of bytes sent, or `None` on timeout.
+    pub fn wait_send(&self, handle: SendHandle, timeout: Duration) -> Option<usize> {
+        let mut completions = self.member.completions.lock();
+        loop {
+            if let Some(bytes) = completions.sent.remove(&handle.0) {
+                return Some(bytes);
+            }
+            if self
+                .member
+                .cv
+                .wait_for(&mut completions, timeout)
+                .timed_out()
+            {
+                return completions.sent.remove(&handle.0);
+            }
+        }
+    }
+
+    /// Posts a receive for a message from `peer` with `tag` of at most
+    /// `max_len` bytes and blocks until it arrives (or `timeout` expires, in
+    /// which case `None` is returned).
+    pub fn recv(
+        &self,
+        peer: ProcessId,
+        tag: Tag,
+        max_len: usize,
+        timeout: Duration,
+    ) -> Option<Bytes> {
+        let (handle, actions) = {
+            let mut engine = self.member.engine.lock();
+            let handle = engine.post_recv(peer, tag, max_len).ok()?;
+            (handle, engine.drain_actions())
+        };
+        let mut work = VecDeque::new();
+        self.fabric.apply_actions(&self.member, actions, &mut work);
+        self.fabric.route(work);
+
+        let mut completions = self.member.completions.lock();
+        loop {
+            if let Some(data) = completions.received.remove(&handle.0) {
+                return Some(data);
+            }
+            if self
+                .member
+                .cv
+                .wait_for(&mut completions, timeout)
+                .timed_out()
+            {
+                return completions.received.remove(&handle.0);
+            }
+        }
+    }
+
+    /// Protocol statistics of this endpoint.
+    pub fn stats(&self) -> EndpointStats {
+        self.member.engine.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppmsg_core::ProtocolMode;
+    use std::thread;
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn payload(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn two_thread_pingpong_all_modes() {
+        for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+            let cluster = HostCluster::new(
+                0,
+                ProtocolConfig::paper_intranode()
+                    .with_mode(mode)
+                    .with_pushed_buffer(64 * 1024),
+            );
+            let a = cluster.add_endpoint(0);
+            let b = cluster.add_endpoint(1);
+            let a_id = a.id();
+            let b_id = b.id();
+            let data = payload(8192);
+            let expect = data.clone();
+
+            let receiver = thread::spawn(move || {
+                let got = b.recv(a_id, Tag(5), 8192, T).expect("recv timed out");
+                b.send(a_id, Tag(6), got.clone());
+                got
+            });
+            a.send(b_id, Tag(5), data);
+            let echoed = a.recv(b_id, Tag(6), 8192, T).expect("echo timed out");
+            let got = receiver.join().unwrap();
+            assert_eq!(got, expect, "mode {mode:?}");
+            assert_eq!(echoed, expect, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn late_receiver_is_still_correct() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
+        let a = cluster.add_endpoint(0);
+        let b = cluster.add_endpoint(1);
+        let data = payload(4096);
+        // Send before any receive is posted: data must wait in the pushed
+        // buffer and be drained when the receive appears.
+        let h = a.send(b.id(), Tag(1), data.clone());
+        let got = b.recv(a.id(), Tag(1), 4096, T).expect("recv timed out");
+        assert_eq!(got, data);
+        assert!(a.wait_send(h, T).is_some());
+        assert!(b.stats().bytes_copied_staged > 0);
+    }
+
+    #[test]
+    fn early_receiver_is_one_copy() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
+        let a = cluster.add_endpoint(0);
+        let b = cluster.add_endpoint(1);
+        let a_id = a.id();
+        let b_id = b.id();
+        let data = payload(4096);
+        let expect = data.clone();
+        let receiver = thread::spawn(move || b.recv(a_id, Tag(2), 4096, T));
+        // Give the receiver a moment to post.
+        thread::sleep(Duration::from_millis(50));
+        a.send(b_id, Tag(2), data);
+        assert_eq!(receiver.join().unwrap().unwrap(), expect);
+    }
+
+    #[test]
+    fn many_messages_in_order() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+        let a = cluster.add_endpoint(0);
+        let b = cluster.add_endpoint(1);
+        let count = 50usize;
+        for i in 0..count {
+            a.send(b.id(), Tag(9), payload(i * 37 + 1));
+        }
+        for i in 0..count {
+            let got = b.recv(a.id(), Tag(9), 64 * 1024, T).expect("recv timed out");
+            assert_eq!(got.len(), i * 37 + 1);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_returns_none() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
+        let a = cluster.add_endpoint(0);
+        let _b = cluster.add_endpoint(1);
+        assert!(a
+            .recv(ProcessId::new(0, 1), Tag(1), 64, Duration::from_millis(50))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_endpoint_rejected() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
+        let _a = cluster.add_endpoint(0);
+        let _b = cluster.add_endpoint(0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Internode transport over UDP sockets: the protocol's go-back-N frames are
+//! carried in UDP datagrams, with a background thread per endpoint handling
+//! reception, acknowledgements, and retransmission timers.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use ppmsg_core::reliability::Frame;
+use ppmsg_core::{Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag, TimerId};
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Completions {
+    received: HashMap<u64, Bytes>,
+    sent: HashMap<u64, usize>,
+}
+
+struct Shared {
+    id: ProcessId,
+    engine: Mutex<Endpoint>,
+    socket: UdpSocket,
+    peers: Mutex<HashMap<u64, SocketAddr>>,
+    completions: Mutex<Completions>,
+    cv: Condvar,
+    timers: Mutex<Vec<(Instant, TimerId)>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Executes a batch of engine actions: frames go out on the socket,
+    /// timers are (re)armed, completions wake blocked callers.
+    fn apply_actions(&self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::TransmitFrame { dst, frame, .. } => {
+                    let addr = self.peers.lock().get(&dst.as_u64()).copied();
+                    if let Some(addr) = addr {
+                        let bytes = frame.encode();
+                        // A lost datagram is recovered by go-back-N, so send
+                        // errors (e.g. ECONNREFUSED on loopback) are ignored.
+                        let _ = self.socket.send_to(&bytes, addr);
+                    }
+                }
+                Action::Transmit { dst, .. } => {
+                    panic!("UDP endpoint asked to deliver intranode packet to {dst}")
+                }
+                Action::SetTimer { timer, delay_us } => {
+                    let deadline = Instant::now() + Duration::from_micros(delay_us);
+                    let mut timers = self.timers.lock();
+                    timers.retain(|(_, t)| t.peer != timer.peer);
+                    timers.push((deadline, timer));
+                }
+                Action::CancelTimer { timer } => {
+                    self.timers
+                        .lock()
+                        .retain(|(_, t)| !(t.peer == timer.peer && t.generation == timer.generation));
+                }
+                Action::RecvComplete { handle, data, .. } => {
+                    self.completions.lock().received.insert(handle.0, data);
+                    self.cv.notify_all();
+                }
+                Action::SendComplete { handle, bytes, .. } => {
+                    self.completions.lock().sent.insert(handle.0, bytes);
+                    self.cv.notify_all();
+                }
+                Action::RecvFailed { handle, error, .. } => {
+                    self.completions.lock().received.insert(handle.0, Bytes::new());
+                    self.cv.notify_all();
+                    eprintln!("ppmsg-host/udp: receive {handle:?} failed: {error}");
+                }
+                Action::Translate { .. }
+                | Action::Copy { .. }
+                | Action::PacketDropped { .. } => {}
+                Action::ChannelFailed { peer } => {
+                    eprintln!("ppmsg-host/udp: channel to {peer} failed (peer unreachable)");
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Fires any timers whose deadline has passed.
+    fn fire_due_timers(&self) {
+        let now = Instant::now();
+        let due: Vec<TimerId> = {
+            let mut timers = self.timers.lock();
+            let (fire, keep): (Vec<_>, Vec<_>) = timers.drain(..).partition(|(d, _)| *d <= now);
+            *timers = keep;
+            fire.into_iter().map(|(_, t)| t).collect()
+        };
+        for timer in due {
+            let actions = {
+                let mut engine = self.engine.lock();
+                engine.handle_timer(timer);
+                engine.drain_actions()
+            };
+            self.apply_actions(actions);
+        }
+    }
+}
+
+/// A Push-Pull Messaging endpoint bound to a UDP socket.
+pub struct UdpEndpoint {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl UdpEndpoint {
+    /// Binds an endpoint for process `id` to `bind_addr` (use port 0 for an
+    /// ephemeral port) and starts its reception thread.
+    pub fn bind(
+        id: ProcessId,
+        protocol: ProtocolConfig,
+        bind_addr: &str,
+    ) -> std::io::Result<UdpEndpoint> {
+        let socket = UdpSocket::bind(bind_addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(2)))?;
+        let shared = Arc::new(Shared {
+            id,
+            engine: Mutex::new(Endpoint::new(id, protocol)),
+            socket,
+            peers: Mutex::new(HashMap::new()),
+            completions: Mutex::new(Completions::default()),
+            cv: Condvar::new(),
+            timers: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("ppmsg-udp-{id}"))
+            .spawn(move || {
+                let mut buf = vec![0u8; 65_536];
+                while !worker.shutdown.load(Ordering::Relaxed) {
+                    match worker.socket.recv_from(&mut buf) {
+                        Ok((n, from)) => {
+                            if let Ok(frame) = Frame::decode(Bytes::copy_from_slice(&buf[..n])) {
+                                // Identify the peer by source address.
+                                let peer = {
+                                    let peers = worker.peers.lock();
+                                    peers
+                                        .iter()
+                                        .find(|(_, a)| **a == from)
+                                        .map(|(k, _)| ppmsg_core::ProcessId {
+                                            node: ppmsg_core::NodeId((*k >> 32) as u32),
+                                            local_rank: (*k & 0xFFFF_FFFF) as u32,
+                                        })
+                                };
+                                if let Some(peer) = peer {
+                                    let actions = {
+                                        let mut engine = worker.engine.lock();
+                                        engine.handle_frame(peer, frame);
+                                        engine.drain_actions()
+                                    };
+                                    worker.apply_actions(actions);
+                                }
+                            }
+                        }
+                        Err(ref e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(_) => {}
+                    }
+                    worker.fire_due_timers();
+                }
+            })
+            .expect("failed to spawn UDP reception thread");
+        Ok(UdpEndpoint {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// This endpoint's process id.
+    pub fn id(&self) -> ProcessId {
+        self.shared.id
+    }
+
+    /// The socket address this endpoint is bound to.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.shared.socket.local_addr()
+    }
+
+    /// Registers the address of a peer process.
+    pub fn add_peer(&self, peer: ProcessId, addr: SocketAddr) {
+        self.shared.peers.lock().insert(peer.as_u64(), addr);
+    }
+
+    /// Posts a send of `data` to `peer` and returns immediately.
+    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendHandle {
+        let (handle, actions) = {
+            let mut engine = self.shared.engine.lock();
+            let handle = engine
+                .post_send(peer, tag, data.into())
+                .expect("post_send failed");
+            (handle, engine.drain_actions())
+        };
+        self.shared.apply_actions(actions);
+        handle
+    }
+
+    /// Blocks until the send identified by `handle` has been fully handed to
+    /// the transport, or `timeout` expires.
+    pub fn wait_send(&self, handle: SendHandle, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut completions = self.shared.completions.lock();
+        loop {
+            if let Some(bytes) = completions.sent.remove(&handle.0) {
+                return Some(bytes);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cv.wait_for(&mut completions, deadline - now);
+        }
+    }
+
+    /// Posts a receive and blocks until the message arrives or `timeout`
+    /// expires.
+    pub fn recv(
+        &self,
+        peer: ProcessId,
+        tag: Tag,
+        max_len: usize,
+        timeout: Duration,
+    ) -> Option<Bytes> {
+        let (handle, actions) = {
+            let mut engine = self.shared.engine.lock();
+            let handle = engine.post_recv(peer, tag, max_len).ok()?;
+            (handle, engine.drain_actions())
+        };
+        self.shared.apply_actions(actions);
+        let deadline = Instant::now() + timeout;
+        let mut completions = self.shared.completions.lock();
+        loop {
+            if let Some(data) = completions.received.remove(&handle.0) {
+                return Some(data);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cv.wait_for(&mut completions, deadline - now);
+        }
+    }
+
+    /// Protocol statistics of this endpoint.
+    pub fn stats(&self) -> EndpointStats {
+        self.shared.engine.lock().stats()
+    }
+}
+
+impl Drop for UdpEndpoint {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppmsg_core::ProtocolMode;
+
+    const T: Duration = Duration::from_secs(10);
+
+    fn payload(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    fn pair(protocol: ProtocolConfig) -> (UdpEndpoint, UdpEndpoint) {
+        let a = UdpEndpoint::bind(ProcessId::new(0, 0), protocol.clone(), "127.0.0.1:0").unwrap();
+        let b = UdpEndpoint::bind(ProcessId::new(1, 0), protocol, "127.0.0.1:0").unwrap();
+        a.add_peer(b.id(), b.local_addr().unwrap());
+        b.add_peer(a.id(), a.local_addr().unwrap());
+        (a, b)
+    }
+
+    #[test]
+    fn loopback_transfer_all_modes() {
+        for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+            let protocol = ProtocolConfig::paper_internode()
+                .with_mode(mode)
+                .with_pushed_buffer(64 * 1024);
+            let (a, b) = pair(protocol);
+            let data = payload(8192);
+            let h = a.send(b.id(), Tag(3), data.clone());
+            let got = b.recv(a.id(), Tag(3), 8192, T).expect("recv timed out");
+            assert_eq!(got, data, "mode {mode:?}");
+            assert!(a.wait_send(h, T).is_some(), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn bidirectional_pingpong() {
+        let (a, b) = pair(ProtocolConfig::paper_internode());
+        for i in 1..=10usize {
+            let data = payload(i * 333);
+            a.send(b.id(), Tag(1), data.clone());
+            let got = b.recv(a.id(), Tag(1), 8192, T).unwrap();
+            assert_eq!(got, data);
+            b.send(a.id(), Tag(2), got);
+            let back = a.recv(b.id(), Tag(2), 8192, T).unwrap();
+            assert_eq!(back, data);
+        }
+        assert_eq!(a.stats().sends_completed, 10);
+        assert_eq!(a.stats().recvs_completed, 10);
+    }
+
+    #[test]
+    fn late_receiver_recovers_via_retransmission() {
+        // Push-All with a tiny pushed buffer: the eager frames overflow and
+        // are dropped; go-back-N retransmissions complete the transfer once
+        // the receive is posted.
+        let protocol = ProtocolConfig::paper_internode()
+            .with_mode(ProtocolMode::PushAll)
+            .with_pushed_buffer(4 * 1024);
+        let (a, b) = pair(protocol);
+        let data = payload(16 * 1024);
+        a.send(b.id(), Tag(7), data.clone());
+        std::thread::sleep(Duration::from_millis(120));
+        let got = b.recv(a.id(), Tag(7), 16 * 1024, T).expect("recv timed out");
+        assert_eq!(got, data);
+        assert!(b.stats().frames_dropped > 0, "expected pushed-buffer drops");
+    }
+
+    #[test]
+    fn recv_timeout_returns_none() {
+        let (a, b) = pair(ProtocolConfig::paper_internode());
+        assert!(a
+            .recv(b.id(), Tag(9), 64, Duration::from_millis(100))
+            .is_none());
+    }
+}

@@ -1,0 +1,792 @@
+//! The simulation runtime: processes running scripts on simulated SMP nodes,
+//! exchanging messages through the Push-Pull protocol engine, with every
+//! protocol action charged against simulated hardware.
+
+use ppmsg_core::{
+    Action, Endpoint, InjectMode, ProcessId, ProtocolConfig, RecvHandle, Tag, TimerId,
+};
+use ppmsg_core::reliability::Frame;
+use ppmsg_core::wire::Packet;
+use simnet::{EthernetLink, LinkConfig, Nic, NicConfig, Switch, SwitchConfig};
+use simnet::loss::LossModel;
+use simsmp::cpu::ProcessorId;
+use simsmp::interrupt::InterruptMode;
+use simsmp::time::{SimDuration, SimTime};
+use simsmp::{Engine, EventId, HwConfig, SmpNode};
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-node hardware cost model.
+    pub hw: HwConfig,
+    /// Number of SMP nodes.
+    pub nodes: u32,
+    /// Protocol configuration shared by every endpoint.
+    pub protocol: ProtocolConfig,
+    /// Reception-handler invocation mode (the paper uses symmetric
+    /// interrupts for all optimised tests).
+    pub interrupt_mode: InterruptMode,
+    /// NIC cost/capacity model.
+    pub nic: NicConfig,
+    /// Link model (100 Mbit/s Fast Ethernet by default).
+    pub link: LinkConfig,
+    /// Switch model.
+    pub switch: SwitchConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: two quad Pentium Pro nodes, Fast Ethernet,
+    /// symmetric interrupts.
+    pub fn paper_testbed(protocol: ProtocolConfig) -> Self {
+        ClusterConfig {
+            hw: HwConfig::pentium_pro_1999(),
+            nodes: 2,
+            protocol,
+            interrupt_mode: InterruptMode::Symmetric,
+            nic: NicConfig::default(),
+            link: LinkConfig::default(),
+            switch: SwitchConfig::default(),
+        }
+    }
+}
+
+/// One step of a simulated application process.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Execute `n` NOP instructions on the process's processor.
+    Compute(u64),
+    /// Post a blocking-on-initiation send of `len` bytes to `peer`.
+    Send {
+        /// Destination process.
+        peer: ProcessId,
+        /// Message tag.
+        tag: Tag,
+        /// Message length in bytes.
+        len: usize,
+    },
+    /// Post a receive and block until the message has been delivered.
+    Recv {
+        /// Source process.
+        peer: ProcessId,
+        /// Message tag.
+        tag: Tag,
+        /// Expected message length in bytes.
+        len: usize,
+    },
+    /// Record the current simulated time in the process's mark list under
+    /// `slot` (used by the experiment harness to compute latencies).
+    MarkTime(usize),
+}
+
+/// A process and the script it runs.
+#[derive(Debug, Clone)]
+pub struct ProcessScript {
+    /// The process identity.
+    pub process: ProcessId,
+    /// The operations the process executes, in order.
+    pub ops: Vec<Op>,
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated time at which the last event was processed.
+    pub finished_at: SimTime,
+    /// Time marks recorded by each process: `(slot, time)` pairs in the
+    /// order they were executed.
+    pub marks: HashMap<ProcessId, Vec<(usize, SimTime)>>,
+    /// Protocol statistics per process.
+    pub endpoint_stats: HashMap<ProcessId, ppmsg_core::EndpointStats>,
+    /// Pushed-buffer statistics per process.
+    pub pushed_buffer_stats: HashMap<ProcessId, ppmsg_core::queues::PushedBufferStats>,
+    /// Total frames dropped on the wire or at NIC/pushed-buffer admission.
+    pub frames_dropped: u64,
+    /// Number of simulation events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// The marks of one process, as raw times in slot order.
+    pub fn marks_of(&self, process: ProcessId) -> Vec<SimTime> {
+        self.marks
+            .get(&process)
+            .map(|v| v.iter().map(|&(_, t)| t).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    AppStep { process: ProcessId },
+    RecvRegister { process: ProcessId, peer: ProcessId, tag: Tag, len: usize },
+    HandlerRun { dst: ProcessId, src: ProcessId, item: WireItem, wire_bytes: usize },
+    Timer { owner: ProcessId, timer: TimerId },
+}
+
+#[derive(Debug)]
+enum WireItem {
+    Packet(Packet),
+    Frame(Frame),
+}
+
+#[derive(Debug)]
+struct ScriptState {
+    ops: Vec<Op>,
+    pc: usize,
+    marks: Vec<(usize, SimTime)>,
+    finished: bool,
+}
+
+/// A simulated cluster running Push-Pull Messaging.
+pub struct SimCluster {
+    cfg: ClusterConfig,
+    nodes: Vec<SmpNode>,
+    nics: Vec<Nic>,
+    uplinks: Vec<EthernetLink>,
+    downlinks: Vec<EthernetLink>,
+    switch: Switch,
+    endpoints: HashMap<u64, Endpoint>,
+    scripts: HashMap<u64, ScriptState>,
+    blocked: HashMap<u64, RecvHandle>,
+    recv_done: HashMap<(u64, u64), SimTime>,
+    timer_events: HashMap<(u64, u64, u64), EventId>,
+    loss: LossModel,
+    frames_dropped: u64,
+    max_events: u64,
+}
+
+impl SimCluster {
+    /// Builds a cluster with the given configuration and no processes.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let nodes = (0..cfg.nodes)
+            .map(|i| SmpNode::new(i, cfg.hw.clone(), cfg.interrupt_mode))
+            .collect();
+        let nics = (0..cfg.nodes).map(|_| Nic::new(cfg.nic)).collect();
+        let uplinks = (0..cfg.nodes).map(|_| EthernetLink::new(cfg.link)).collect();
+        let downlinks = (0..cfg.nodes).map(|_| EthernetLink::new(cfg.link)).collect();
+        let switch = Switch::new(cfg.switch, cfg.nodes as usize);
+        SimCluster {
+            cfg,
+            nodes,
+            nics,
+            uplinks,
+            downlinks,
+            switch,
+            endpoints: HashMap::new(),
+            scripts: HashMap::new(),
+            blocked: HashMap::new(),
+            recv_done: HashMap::new(),
+            timer_events: HashMap::new(),
+            loss: LossModel::none(),
+            frames_dropped: 0,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Injects a wire-loss model (defaults to lossless).
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+    }
+
+    /// Caps the number of events processed (safety valve for runaway runs).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Registers a process and the script it runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process's node index is outside the cluster or if the
+    /// process was already added.
+    pub fn add_process(&mut self, script: ProcessScript) {
+        let p = script.process;
+        assert!(
+            (p.node.index()) < self.nodes.len(),
+            "process {p} placed on a node outside the cluster"
+        );
+        assert!(
+            !self.endpoints.contains_key(&p.as_u64()),
+            "process {p} added twice"
+        );
+        self.endpoints
+            .insert(p.as_u64(), Endpoint::new(p, self.cfg.protocol.clone()));
+        self.scripts.insert(
+            p.as_u64(),
+            ScriptState {
+                ops: script.ops,
+                pc: 0,
+                marks: Vec::new(),
+                finished: false,
+            },
+        );
+    }
+
+    /// Runs the simulation until every script has finished and the event
+    /// queue has drained (or the event cap is hit).
+    pub fn run(&mut self) -> RunReport {
+        let mut engine: Engine<Ev> = Engine::new();
+        for key in self.scripts.keys().copied().collect::<Vec<_>>() {
+            let process = ProcessId {
+                node: simsmp_node_of(key),
+                local_rank: (key & 0xFFFF_FFFF) as u32,
+            };
+            engine.schedule_at(SimTime::ZERO, Ev::AppStep { process });
+        }
+        let cap = self.max_events;
+        engine.run_while(|eng, time, ev| {
+            self.handle_event(eng, time, ev);
+            eng.events_processed() < cap
+        });
+        let finished_at = engine.now();
+        let events = engine.events_processed();
+
+        let mut marks = HashMap::new();
+        for (key, s) in &self.scripts {
+            marks.insert(process_from_key(*key), s.marks.clone());
+        }
+        let mut endpoint_stats = HashMap::new();
+        let mut pushed_buffer_stats = HashMap::new();
+        for (key, e) in &self.endpoints {
+            endpoint_stats.insert(process_from_key(*key), e.stats());
+            pushed_buffer_stats.insert(process_from_key(*key), e.pushed_buffer_stats());
+        }
+        RunReport {
+            finished_at,
+            marks,
+            endpoint_stats,
+            pushed_buffer_stats,
+            frames_dropped: self.frames_dropped,
+            events,
+        }
+    }
+
+    /// `true` once every registered script has run to completion.
+    pub fn all_finished(&self) -> bool {
+        self.scripts.values().all(|s| s.finished)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling.
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, engine: &mut Engine<Ev>, time: SimTime, ev: Ev) {
+        match ev {
+            Ev::AppStep { process } => self.advance_script(engine, process, time),
+            Ev::RecvRegister {
+                process,
+                peer,
+                tag,
+                len,
+            } => self.register_receive(engine, process, peer, tag, len, time),
+            Ev::HandlerRun {
+                dst,
+                src,
+                item,
+                wire_bytes,
+            } => self.run_reception_handler(engine, dst, src, item, wire_bytes, time),
+            Ev::Timer { owner, timer } => {
+                self.timer_events
+                    .remove(&(owner.as_u64(), timer.peer.as_u64(), timer.generation));
+                let Some(ep) = self.endpoints.get_mut(&owner.as_u64()) else {
+                    return;
+                };
+                ep.handle_timer(timer);
+                let actions = ep.drain_actions();
+                let cpu = self.nodes[owner.node.index()].processors().least_loaded();
+                self.process_actions(engine, owner, actions, time, cpu, false);
+            }
+        }
+    }
+
+    fn advance_script(&mut self, engine: &mut Engine<Ev>, process: ProcessId, time: SimTime) {
+        let key = process.as_u64();
+        let hw = self.cfg.hw.clone();
+        loop {
+            let (op, pc) = {
+                let script = self.scripts.get_mut(&key).expect("unknown process");
+                if script.pc >= script.ops.len() {
+                    script.finished = true;
+                    return;
+                }
+                (script.ops[script.pc].clone(), script.pc)
+            };
+            match op {
+                Op::MarkTime(slot) => {
+                    let script = self.scripts.get_mut(&key).unwrap();
+                    script.marks.push((slot, time));
+                    script.pc = pc + 1;
+                    continue;
+                }
+                Op::Compute(nops) => {
+                    let cost = hw.compute_cost(nops);
+                    let node = &mut self.nodes[process.node.index()];
+                    let (_, end) = node.run_app_work(process.local_rank, time, cost);
+                    self.scripts.get_mut(&key).unwrap().pc = pc + 1;
+                    engine.schedule_at(end, Ev::AppStep { process });
+                    return;
+                }
+                Op::Send { peer, tag, len } => {
+                    // Stage 1: transmission-thread invocation overhead on the
+                    // application's processor.
+                    let cost = hw.syscall_cost + hw.send_proc_cost;
+                    let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
+                    let (_, t1) = self.nodes[process.node.index()]
+                        .processors_mut()
+                        .run_on(app_cpu, time, cost);
+                    let data = Bytes::from(vec![0u8; len]);
+                    let ep = self.endpoints.get_mut(&key).expect("unknown endpoint");
+                    ep.post_send(peer, tag, data).expect("post_send failed");
+                    let actions = ep.drain_actions();
+                    let end = self.process_actions(engine, process, actions, t1, app_cpu, false);
+                    self.scripts.get_mut(&key).unwrap().pc = pc + 1;
+                    engine.schedule_at(end, Ev::AppStep { process });
+                    return;
+                }
+                Op::Recv { peer, tag, len } => {
+                    // The receive operation's registration work (system call,
+                    // queue insertion, and — without translation masking —
+                    // the destination-buffer translation) happens *before*
+                    // the receive becomes visible to arriving data.  This is
+                    // the race the paper's intranode evaluation hinges on.
+                    let opts = self.cfg.protocol.opts;
+                    let mut prereg = hw.syscall_cost + hw.queue_op_cost;
+                    if opts.zero_buffer && !opts.translation_masking && len > 0 {
+                        prereg += hw.translation_cost(len);
+                    }
+                    let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
+                    let (_, t1) = self.nodes[process.node.index()]
+                        .processors_mut()
+                        .run_on(app_cpu, time, prereg);
+                    self.scripts.get_mut(&key).unwrap().pc = pc + 1;
+                    engine.schedule_at(
+                        t1,
+                        Ev::RecvRegister {
+                            process,
+                            peer,
+                            tag,
+                            len,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    fn register_receive(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        process: ProcessId,
+        peer: ProcessId,
+        tag: Tag,
+        len: usize,
+        time: SimTime,
+    ) {
+        let key = process.as_u64();
+        let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
+        let ep = self.endpoints.get_mut(&key).expect("unknown endpoint");
+        let handle = ep
+            .post_recv(peer, tag, len.max(1))
+            .expect("post_recv failed");
+        let actions = ep.drain_actions();
+        // The destination translation (when not masked) was already charged
+        // as part of the registration work, so skip charging it again.
+        let end = self.process_actions(engine, process, actions, time, app_cpu, true);
+        if let Some(&done) = self.recv_done.get(&(key, handle.0)) {
+            let resume = done.max(end) + self.cfg.hw.wakeup_cost;
+            engine.schedule_at(resume, Ev::AppStep { process });
+        } else {
+            self.blocked.insert(key, handle);
+        }
+    }
+
+    fn run_reception_handler(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        dst: ProcessId,
+        src: ProcessId,
+        item: WireItem,
+        wire_bytes: usize,
+        time: SimTime,
+    ) {
+        let hw = self.cfg.hw.clone();
+        let node_idx = dst.node.index();
+        let internode = !dst.same_node(&src);
+        let (cpu, handler_start) = if internode {
+            // Stage 3: reception-handler invocation via the interrupt
+            // controller (symmetric interrupts pick the least-loaded CPU).
+            self.nics[node_idx].complete_rx(wire_bytes);
+            let d = self.nodes[node_idx].dispatch_reception(time);
+            (d.processor, d.handler_start)
+        } else {
+            // Intranode delivery: the kernel agent runs on a processor other
+            // than the destination application's processor (§4.1).
+            let app_cpu = self.nodes[node_idx].app_processor(dst.local_rank);
+            let cpu = self.nodes[node_idx]
+                .processors()
+                .least_loaded_excluding(app_cpu);
+            (cpu, time)
+        };
+        // Stage 4: reception processing.
+        let (_, after_proc) =
+            self.nodes[node_idx]
+                .processors_mut()
+                .run_on(cpu, handler_start, hw.recv_proc_cost);
+        let Some(ep) = self.endpoints.get_mut(&dst.as_u64()) else {
+            return;
+        };
+        match item {
+            WireItem::Packet(packet) => ep.handle_packet(src, packet),
+            WireItem::Frame(frame) => ep.handle_frame(src, frame),
+        }
+        let actions = ep.drain_actions();
+        self.process_actions(engine, dst, actions, after_proc, cpu, false);
+    }
+
+    /// Converts a batch of protocol actions into simulated time, scheduling
+    /// follow-on events (wire arrivals, timers, application wake-ups).
+    /// Returns the time at which the issuing context finishes its own work.
+    fn process_actions(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        owner: ProcessId,
+        actions: Vec<Action>,
+        start: SimTime,
+        cpu: ProcessorId,
+        skip_translate: bool,
+    ) -> SimTime {
+        let hw = self.cfg.hw.clone();
+        let node_idx = owner.node.index();
+        let mut cursor = start;
+        let mut parallel_end = start;
+        for action in actions {
+            match action {
+                Action::Translate { bytes, .. } => {
+                    if !skip_translate {
+                        let cost = hw.translation_cost(bytes);
+                        let (_, end) =
+                            self.nodes[node_idx].processors_mut().run_on(cpu, cursor, cost);
+                        cursor = end;
+                    }
+                }
+                Action::Copy {
+                    bytes,
+                    least_loaded,
+                    kind,
+                    ..
+                } => {
+                    let cache_hot = matches!(kind, ppmsg_core::CopyKind::DrainPushedBuffer);
+                    let cost = hw.memcpy_cost(bytes, cache_hot);
+                    if least_loaded {
+                        let other = self.nodes[node_idx]
+                            .processors()
+                            .least_loaded_excluding(cpu);
+                        let (_, end) =
+                            self.nodes[node_idx].processors_mut().run_on(other, cursor, cost);
+                        parallel_end = parallel_end.max(end);
+                    } else {
+                        let (_, end) =
+                            self.nodes[node_idx].processors_mut().run_on(cpu, cursor, cost);
+                        cursor = end;
+                    }
+                }
+                Action::Transmit { dst, packet, .. } => {
+                    // Intranode: enqueue a descriptor on the peer's kernel
+                    // queue; the kernel agent wakes up shortly after.
+                    let cost = hw.lock_cost + hw.queue_op_cost;
+                    let (_, end) =
+                        self.nodes[node_idx].processors_mut().run_on(cpu, cursor, cost);
+                    cursor = end;
+                    let wire_bytes = packet.wire_size();
+                    engine.schedule_at(
+                        cursor + hw.wakeup_cost,
+                        Ev::HandlerRun {
+                            dst,
+                            src: owner,
+                            item: WireItem::Packet(packet),
+                            wire_bytes,
+                        },
+                    );
+                }
+                Action::TransmitFrame { dst, frame, inject } => {
+                    let wire_bytes = frame.wire_size();
+                    let user_space = inject == InjectMode::UserSpaceDirect;
+                    let host_cost = if user_space {
+                        self.cfg.nic.user_inject_cost
+                    } else {
+                        self.cfg.nic.kernel_inject_cost
+                    };
+                    let (_, end) =
+                        self.nodes[node_idx].processors_mut().run_on(cpu, cursor, host_cost);
+                    cursor = end;
+                    // Stage 2: data pumping.  DMA into the TX FIFO, wire
+                    // serialisation, switch forwarding, DMA out of the RX
+                    // FIFO at the destination.
+                    let Some(ready) = self.nics[node_idx].enqueue_tx(cursor, wire_bytes) else {
+                        self.frames_dropped += 1;
+                        continue;
+                    };
+                    let at_switch = self.uplinks[node_idx].transmit(ready, 0, wire_bytes);
+                    self.nics[node_idx].complete_tx(wire_bytes);
+                    if self.loss.should_drop() {
+                        self.frames_dropped += 1;
+                        continue;
+                    }
+                    let dst_node = dst.node.index();
+                    let delivered = self.switch.forward(
+                        at_switch,
+                        dst_node,
+                        wire_bytes,
+                        &mut self.downlinks[dst_node],
+                    );
+                    match self.nics[dst_node].enqueue_rx(delivered, wire_bytes) {
+                        Some(visible) => {
+                            engine.schedule_at(
+                                visible,
+                                Ev::HandlerRun {
+                                    dst,
+                                    src: owner,
+                                    item: WireItem::Frame(frame),
+                                    wire_bytes,
+                                },
+                            );
+                        }
+                        None => {
+                            // RX FIFO overflow: the frame is lost and will be
+                            // recovered by go-back-N retransmission.
+                            self.frames_dropped += 1;
+                        }
+                    }
+                }
+                Action::SetTimer { timer, delay_us } => {
+                    let at = cursor + SimDuration::from_micros(delay_us);
+                    let id = engine.schedule_at(
+                        at,
+                        Ev::Timer {
+                            owner,
+                            timer,
+                        },
+                    );
+                    self.timer_events
+                        .insert((owner.as_u64(), timer.peer.as_u64(), timer.generation), id);
+                }
+                Action::CancelTimer { timer } => {
+                    if let Some(id) = self.timer_events.remove(&(
+                        owner.as_u64(),
+                        timer.peer.as_u64(),
+                        timer.generation,
+                    )) {
+                        engine.cancel(id);
+                    }
+                }
+                Action::SendComplete { .. } => {}
+                Action::RecvComplete { handle, .. } => {
+                    let done = cursor.max(parallel_end);
+                    self.recv_done.insert((owner.as_u64(), handle.0), done);
+                    if self.blocked.get(&owner.as_u64()) == Some(&handle) {
+                        self.blocked.remove(&owner.as_u64());
+                        engine.schedule_at(
+                            done + hw.wakeup_cost,
+                            Ev::AppStep { process: owner },
+                        );
+                    }
+                }
+                Action::RecvFailed { error, .. } => {
+                    panic!("simulated receive failed: {error}");
+                }
+                Action::PacketDropped { .. } => {
+                    self.frames_dropped += 1;
+                }
+                Action::ChannelFailed { peer } => {
+                    panic!("go-back-N channel to {peer} failed in simulation");
+                }
+            }
+        }
+        cursor
+    }
+}
+
+fn simsmp_node_of(key: u64) -> ppmsg_core::NodeId {
+    ppmsg_core::NodeId((key >> 32) as u32)
+}
+
+fn process_from_key(key: u64) -> ProcessId {
+    ProcessId {
+        node: simsmp_node_of(key),
+        local_rank: (key & 0xFFFF_FFFF) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppmsg_core::{ProtocolConfig, ProtocolMode};
+
+    fn pingpong_scripts(a: ProcessId, b: ProcessId, len: usize, iters: usize) -> Vec<ProcessScript> {
+        let mut ping = Vec::new();
+        let mut pong = Vec::new();
+        for i in 0..iters {
+            ping.push(Op::MarkTime(i));
+            ping.push(Op::Send {
+                peer: b,
+                tag: Tag(1),
+                len,
+            });
+            ping.push(Op::Recv {
+                peer: b,
+                tag: Tag(2),
+                len,
+            });
+            pong.push(Op::Recv {
+                peer: a,
+                tag: Tag(1),
+                len,
+            });
+            pong.push(Op::Send {
+                peer: a,
+                tag: Tag(2),
+                len,
+            });
+        }
+        ping.push(Op::MarkTime(iters));
+        vec![
+            ProcessScript { process: a, ops: ping },
+            ProcessScript { process: b, ops: pong },
+        ]
+    }
+
+    #[test]
+    fn intranode_pingpong_completes_with_plausible_latency() {
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(0, 1);
+        let cfg = ClusterConfig::paper_testbed(ProtocolConfig::paper_intranode());
+        let mut cluster = SimCluster::new(cfg);
+        for s in pingpong_scripts(a, b, 10, 20) {
+            cluster.add_process(s);
+        }
+        let report = cluster.run();
+        assert!(cluster.all_finished(), "scripts did not finish");
+        let marks = report.marks_of(a);
+        assert_eq!(marks.len(), 21);
+        // Single-trip latency for a 10-byte intranode message should be in
+        // the single-digit-to-low-tens of microseconds (paper: 7.5 us).
+        let rtt = marks[marks.len() - 1].since(marks[marks.len() - 2]);
+        let single_trip_us = rtt.as_micros_f64() / 2.0;
+        assert!(
+            (3.0..30.0).contains(&single_trip_us),
+            "intranode single trip {single_trip_us:.1} us out of range"
+        );
+        assert_eq!(report.frames_dropped, 0);
+    }
+
+    #[test]
+    fn internode_pingpong_completes_with_plausible_latency() {
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        let cfg = ClusterConfig::paper_testbed(ProtocolConfig::paper_internode());
+        let mut cluster = SimCluster::new(cfg);
+        for s in pingpong_scripts(a, b, 4, 20) {
+            cluster.add_process(s);
+        }
+        let report = cluster.run();
+        assert!(cluster.all_finished());
+        let marks = report.marks_of(a);
+        let rtt = marks[marks.len() - 1].since(marks[marks.len() - 2]);
+        let single_trip_us = rtt.as_micros_f64() / 2.0;
+        // Paper: 34.9 us for short messages over Fast Ethernet.
+        assert!(
+            (20.0..60.0).contains(&single_trip_us),
+            "internode single trip {single_trip_us:.1} us out of range"
+        );
+    }
+
+    #[test]
+    fn internode_large_message_latency_scales_with_wire_time() {
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        let cfg = ClusterConfig::paper_testbed(ProtocolConfig::paper_internode());
+        let mut cluster = SimCluster::new(cfg);
+        for s in pingpong_scripts(a, b, 8192, 5) {
+            cluster.add_process(s);
+        }
+        let report = cluster.run();
+        let marks = report.marks_of(a);
+        let rtt = marks[marks.len() - 1].since(marks[marks.len() - 2]);
+        let single_trip_us = rtt.as_micros_f64() / 2.0;
+        // 8 KiB over 100 Mbit/s is at least 650 us of serialisation alone.
+        assert!(
+            single_trip_us > 600.0,
+            "8 KiB single trip {single_trip_us:.1} us implausibly fast"
+        );
+        assert!(
+            single_trip_us < 3000.0,
+            "8 KiB single trip {single_trip_us:.1} us implausibly slow"
+        );
+    }
+
+    #[test]
+    fn all_modes_complete_intranode_and_internode() {
+        for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+            for (a, b) in [
+                (ProcessId::new(0, 0), ProcessId::new(0, 1)),
+                (ProcessId::new(0, 0), ProcessId::new(1, 0)),
+            ] {
+                let protocol = ProtocolConfig::paper_internode()
+                    .with_mode(mode)
+                    .with_pushed_buffer(64 * 1024);
+                let cfg = ClusterConfig::paper_testbed(protocol);
+                let mut cluster = SimCluster::new(cfg);
+                for s in pingpong_scripts(a, b, 3000, 3) {
+                    cluster.add_process(s);
+                }
+                let _ = cluster.run();
+                assert!(cluster.all_finished(), "mode {mode:?} pair {a}->{b} hung");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run_once = || {
+            let a = ProcessId::new(0, 0);
+            let b = ProcessId::new(1, 0);
+            let cfg = ClusterConfig::paper_testbed(ProtocolConfig::paper_internode());
+            let mut cluster = SimCluster::new(cfg);
+            for s in pingpong_scripts(a, b, 1024, 10) {
+                cluster.add_process(s);
+            }
+            cluster.run().finished_at
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn compute_op_costs_time() {
+        let a = ProcessId::new(0, 0);
+        let cfg = ClusterConfig::paper_testbed(ProtocolConfig::paper_intranode());
+        let mut cluster = SimCluster::new(cfg);
+        cluster.add_process(ProcessScript {
+            process: a,
+            ops: vec![Op::MarkTime(0), Op::Compute(100_000), Op::MarkTime(1)],
+        });
+        let report = cluster.run();
+        let marks = report.marks_of(a);
+        let elapsed = marks[1].since(marks[0]);
+        assert_eq!(elapsed, HwConfig::pentium_pro_1999().compute_cost(100_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the cluster")]
+    fn process_on_unknown_node_rejected() {
+        let cfg = ClusterConfig::paper_testbed(ProtocolConfig::paper_internode());
+        let mut cluster = SimCluster::new(cfg);
+        cluster.add_process(ProcessScript {
+            process: ProcessId::new(9, 0),
+            ops: vec![],
+        });
+    }
+}

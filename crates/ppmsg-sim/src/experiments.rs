@@ -1,0 +1,532 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Every function builds a [`SimCluster`] for the paper's testbed, runs the
+//! relevant ping-pong workload, and returns plain data rows so callers
+//! (benches, examples, EXPERIMENTS.md generation) can print or compare them.
+
+use crate::cluster::{ClusterConfig, Op, ProcessScript, SimCluster};
+use ppmsg_core::{BtpPolicy, OptFlags, ProcessId, ProtocolConfig, ProtocolMode, Tag};
+use simsmp::stats::LatencyStats;
+use simsmp::time::SimDuration;
+
+/// Number of ping-pong iterations per measured point.  The paper uses 1000;
+/// the default here is smaller so the full figure sweep stays fast, and the
+/// benches crank it up.
+pub const DEFAULT_ITERS: usize = 60;
+
+/// One latency point of a figure: a message size and the measured
+/// single-trip mean latency for each protocol/optimisation series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigurePoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// `(series label, single-trip mean latency in microseconds)` pairs.
+    pub series: Vec<(String, f64)>,
+}
+
+impl FigurePoint {
+    /// The latency of a named series, if present.
+    pub fn get(&self, label: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the point as a CSV row (`size,v1,v2,...`).
+    pub fn csv_row(&self) -> String {
+        let mut s = self.size.to_string();
+        for (_, v) in &self.series {
+            s.push_str(&format!(",{v:.2}"));
+        }
+        s
+    }
+}
+
+/// One bandwidth point: message size and achieved bandwidth in MB/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Achieved bandwidth in MB/s.
+    pub mb_per_s: f64,
+}
+
+/// The headline numbers of the abstract / §5 / §6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadlineNumbers {
+    /// Intranode single-trip latency of a 10-byte message, µs (paper: 7.5).
+    pub intranode_latency_us: f64,
+    /// Intranode peak bandwidth, MB/s (paper: 350.9).
+    pub intranode_peak_bw_mb_s: f64,
+    /// Internode single-trip latency of a 4-byte message, µs (paper: 34.9).
+    pub internode_latency_us: f64,
+    /// Internode peak bandwidth, MB/s (paper: 12.1).
+    pub internode_peak_bw_mb_s: f64,
+    /// Address-translation overhead hidden by masking for a long (32 KiB)
+    /// buffer, µs (paper: ≈12–13 µs for long messages).
+    pub translation_overhead_us: f64,
+}
+
+/// Which of the two Fig. 6 variants to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EarlyLateVariant {
+    /// Receiver posts its receive before the sender sends
+    /// (x = 500 000, y = 100 000 NOPs).
+    Early,
+    /// Receiver posts its receive well after the sender sends
+    /// (x = 100 000, y = 300 000 NOPs).
+    Late,
+}
+
+impl EarlyLateVariant {
+    /// The `(x, y)` NOP counts from §5.3.
+    pub fn nops(self) -> (u64, u64) {
+        match self {
+            EarlyLateVariant::Early => (500_000, 100_000),
+            EarlyLateVariant::Late => (100_000, 300_000),
+        }
+    }
+
+    /// The label used in Fig. 6.
+    pub fn label(self) -> &'static str {
+        match self {
+            EarlyLateVariant::Early => "early",
+            EarlyLateVariant::Late => "late",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload builders.
+// ---------------------------------------------------------------------------
+
+fn pingpong_scripts(
+    a: ProcessId,
+    b: ProcessId,
+    len: usize,
+    reply_len: usize,
+    iters: usize,
+    compute_x: u64,
+    compute_y: u64,
+) -> Vec<ProcessScript> {
+    let mut ping = Vec::new();
+    let mut pong = Vec::new();
+    // Barrier: a trivial 4-byte exchange, as in the paper.
+    ping.push(Op::Send { peer: b, tag: Tag(99), len: 4 });
+    ping.push(Op::Recv { peer: b, tag: Tag(98), len: 4 });
+    pong.push(Op::Recv { peer: a, tag: Tag(99), len: 4 });
+    pong.push(Op::Send { peer: a, tag: Tag(98), len: 4 });
+    for i in 0..iters {
+        ping.push(Op::MarkTime(i));
+        if compute_x > 0 {
+            ping.push(Op::Compute(compute_x));
+        }
+        ping.push(Op::Send { peer: b, tag: Tag(1), len });
+        if compute_y > 0 {
+            ping.push(Op::Compute(compute_y));
+        }
+        ping.push(Op::Recv { peer: b, tag: Tag(2), len: reply_len });
+
+        if compute_y > 0 {
+            pong.push(Op::Compute(compute_y));
+        }
+        pong.push(Op::Recv { peer: a, tag: Tag(1), len });
+        if compute_x > 0 {
+            pong.push(Op::Compute(compute_x));
+        }
+        pong.push(Op::Send { peer: a, tag: Tag(2), len: reply_len });
+    }
+    ping.push(Op::MarkTime(iters));
+    vec![
+        ProcessScript { process: a, ops: ping },
+        ProcessScript { process: b, ops: pong },
+    ]
+}
+
+/// Runs a ping-pong and returns per-iteration round-trip times.
+#[allow(clippy::too_many_arguments)]
+fn run_pingpong(
+    protocol: ProtocolConfig,
+    intranode: bool,
+    len: usize,
+    reply_len: usize,
+    iters: usize,
+    compute_x: u64,
+    compute_y: u64,
+) -> Vec<SimDuration> {
+    let a = ProcessId::new(0, 0);
+    let b = if intranode {
+        ProcessId::new(0, 1)
+    } else {
+        ProcessId::new(1, 0)
+    };
+    let cfg = ClusterConfig::paper_testbed(protocol);
+    let mut cluster = SimCluster::new(cfg);
+    for s in pingpong_scripts(a, b, len, reply_len, iters, compute_x, compute_y) {
+        cluster.add_process(s);
+    }
+    let report = cluster.run();
+    assert!(cluster.all_finished(), "simulation did not finish");
+    let marks = report.marks_of(a);
+    marks.windows(2).map(|w| w[1].since(w[0])).collect()
+}
+
+/// Single-trip mean latency (µs) of a plain ping-pong, using the paper's
+/// trimmed mean over iterations.
+fn single_trip_us(protocol: ProtocolConfig, intranode: bool, len: usize, iters: usize) -> f64 {
+    let rtts = run_pingpong(protocol, intranode, len, len, iters, 0, 0);
+    let mut stats = LatencyStats::new();
+    for rtt in rtts {
+        stats.record(SimDuration(rtt.as_nanos() / 2));
+    }
+    stats.trimmed_mean().as_micros_f64()
+}
+
+/// Mean time (µs) to send a `len`-byte message one way and get a 4-byte
+/// acknowledgement back — the paper's bandwidth-test primitive.
+fn send_plus_ack_us(protocol: ProtocolConfig, intranode: bool, len: usize, iters: usize) -> f64 {
+    let rtts = run_pingpong(protocol, intranode, len, 4, iters, 0, 0);
+    let mut stats = LatencyStats::new();
+    for rtt in rtts {
+        stats.record(rtt);
+    }
+    stats.trimmed_mean().as_micros_f64()
+}
+
+/// Full loop-body latency (µs) of the compute-then-communicate ping-pong of
+/// Fig. 5 (used by the early/late receiver tests).
+fn loop_latency_us(
+    protocol: ProtocolConfig,
+    len: usize,
+    iters: usize,
+    compute_x: u64,
+    compute_y: u64,
+) -> f64 {
+    let rtts = run_pingpong(protocol, false, len, len, iters, compute_x, compute_y);
+    let mut stats = LatencyStats::new();
+    for rtt in rtts {
+        stats.record(rtt);
+    }
+    stats.trimmed_mean().as_micros_f64()
+}
+
+// ---------------------------------------------------------------------------
+// E1 / Fig. 3 — intranode latency.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Fig. 3: intranode single-trip latency vs message size for
+/// Push-Zero, Push-Pull (BTP = 16) and Push-All, with a 12 KiB pushed buffer.
+pub fn fig3_intranode(sizes: &[usize], iters: usize) -> Vec<FigurePoint> {
+    // The intranode evaluation predates the internode-only masking /
+    // overlapping techniques: zero buffer and parallel pull are on, the
+    // other two off.
+    let opts = OptFlags {
+        zero_buffer: true,
+        translation_masking: false,
+        push_ack_overlap: false,
+        parallel_pull: true,
+    };
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut series = Vec::new();
+            for mode in ProtocolMode::ALL {
+                let protocol = ProtocolConfig::paper_intranode()
+                    .with_mode(mode)
+                    .with_opts(opts)
+                    .with_pushed_buffer(12 * 1024);
+                let us = single_trip_us(protocol, true, size, iters);
+                series.push((mode.label().to_string(), us));
+            }
+            FigurePoint { size, series }
+        })
+        .collect()
+}
+
+/// The message sizes on Fig. 3's x-axis.
+pub fn fig3_sizes() -> Vec<usize> {
+    vec![10, 1000, 3000, 4000, 5000, 8192]
+}
+
+// ---------------------------------------------------------------------------
+// E5 / Fig. 4 — internode latency under the optimisation ablation.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Fig. 4: internode single-trip latency vs message size for the
+/// four optimisation combinations (none / mask only / overlap only / full),
+/// with `BTP(1) = 80`, `BTP(2) = 680`.
+pub fn fig4_internode(sizes: &[usize], iters: usize) -> Vec<FigurePoint> {
+    let variants = [
+        OptFlags::baseline(),
+        OptFlags::mask_only(),
+        OptFlags::overlap_only(),
+        OptFlags::full(),
+    ];
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut series = Vec::new();
+            for opts in variants {
+                let protocol = ProtocolConfig::paper_internode().with_opts(opts);
+                let us = single_trip_us(protocol, false, size, iters);
+                series.push((opts.figure4_label().to_string(), us));
+            }
+            FigurePoint { size, series }
+        })
+        .collect()
+}
+
+/// The message sizes on Fig. 4's x-axis.
+pub fn fig4_sizes() -> Vec<usize> {
+    vec![4, 200, 400, 600, 760, 800, 1000, 1200, 1400]
+}
+
+// ---------------------------------------------------------------------------
+// E3/E4 — BTP tuning (§5.2, tests 1 and 2).
+// ---------------------------------------------------------------------------
+
+/// §5.2 test 1: vary `BTP(2)` with `BTP(1) = 0` (overlap-only optimisation)
+/// and measure the internode single-trip latency of a `msg_len`-byte message.
+/// The paper's knee is at `BTP(2) ≈ 680`.
+pub fn btp2_sweep(btp2_values: &[usize], msg_len: usize, iters: usize) -> Vec<(usize, f64)> {
+    btp2_values
+        .iter()
+        .map(|&btp2| {
+            let protocol = ProtocolConfig::paper_internode()
+                .with_opts(OptFlags::overlap_only())
+                .with_internode_btp(BtpPolicy::split(0, btp2));
+            (btp2, single_trip_us(protocol, false, msg_len, iters))
+        })
+        .collect()
+}
+
+/// §5.2 test 2: fix `BTP(2) = 680` and vary `BTP(1)`.  The paper's minimum is
+/// at `BTP(1) ≈ 80`.
+pub fn btp1_sweep(btp1_values: &[usize], msg_len: usize, iters: usize) -> Vec<(usize, f64)> {
+    btp1_values
+        .iter()
+        .map(|&btp1| {
+            let protocol = ProtocolConfig::paper_internode()
+                .with_opts(OptFlags::full())
+                .with_internode_btp(BtpPolicy::split(btp1, 680));
+            (btp1, single_trip_us(protocol, false, msg_len, iters))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E7/E8 / Fig. 6 — early and late receiver tests.
+// ---------------------------------------------------------------------------
+
+/// Reproduces one panel of Fig. 6: the compute-then-communicate ping-pong
+/// with the receiver forced to be early or late, for all three messaging
+/// mechanisms with full optimisation and a 4 KiB pushed buffer.
+pub fn early_late_test(
+    variant: EarlyLateVariant,
+    sizes: &[usize],
+    iters: usize,
+) -> Vec<FigurePoint> {
+    let (x, y) = variant.nops();
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut series = Vec::new();
+            for mode in ProtocolMode::ALL {
+                let protocol = ProtocolConfig::paper_internode()
+                    .with_mode(mode)
+                    .with_opts(OptFlags::full())
+                    .with_pushed_buffer(4 * 1024);
+                let us = loop_latency_us(protocol, size, iters, x, y);
+                series.push((format!("{}/{}", mode.label(), variant.label()), us));
+            }
+            FigurePoint { size, series }
+        })
+        .collect()
+}
+
+/// The message sizes on Fig. 6's x-axis.
+pub fn fig6_sizes() -> Vec<usize> {
+    vec![4, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192]
+}
+
+// ---------------------------------------------------------------------------
+// E2/E6 — bandwidth and headline numbers.
+// ---------------------------------------------------------------------------
+
+/// Bandwidth sweep following the paper's method: time the transfer of the
+/// message plus a 4-byte acknowledgement, subtract the 4-byte single-trip
+/// latency, and divide the byte count by the remainder.
+pub fn bandwidth_sweep(intranode: bool, sizes: &[usize], iters: usize) -> Vec<BandwidthPoint> {
+    let protocol = if intranode {
+        ProtocolConfig::paper_intranode()
+    } else {
+        ProtocolConfig::paper_internode()
+    };
+    let base_us = single_trip_us(protocol.clone(), intranode, 4, iters);
+    sizes
+        .iter()
+        .map(|&size| {
+            // Time for the message one way plus a 4-byte acknowledgement
+            // back, minus the 4-byte single-trip latency (the paper's
+            // definition).
+            let rtt_us = send_plus_ack_us(protocol.clone(), intranode, size, iters);
+            let transfer_us = (rtt_us - base_us).max(0.001);
+            BandwidthPoint {
+                size,
+                mb_per_s: size as f64 / transfer_us,
+            }
+        })
+        .collect()
+}
+
+/// Computes the headline numbers of the abstract for direct comparison with
+/// the paper (7.5 µs / 350.9 MB/s intranode, 34.9 µs / 12.1 MB/s internode,
+/// ≈12–13 µs translation overhead).
+pub fn headline_numbers(iters: usize) -> HeadlineNumbers {
+    let intranode_latency_us =
+        single_trip_us(ProtocolConfig::paper_intranode(), true, 10, iters);
+    let internode_latency_us =
+        single_trip_us(ProtocolConfig::paper_internode(), false, 4, iters);
+    let intranode_bw = bandwidth_sweep(true, &[2048, 4000, 8192], iters)
+        .into_iter()
+        .map(|p| p.mb_per_s)
+        .fold(0.0f64, f64::max);
+    let internode_bw = bandwidth_sweep(false, &[8192, 16384, 32768], iters)
+        .into_iter()
+        .map(|p| p.mb_per_s)
+        .fold(0.0f64, f64::max);
+    let hw = simsmp::HwConfig::pentium_pro_1999();
+    HeadlineNumbers {
+        intranode_latency_us,
+        intranode_peak_bw_mb_s: intranode_bw,
+        internode_latency_us,
+        internode_peak_bw_mb_s: internode_bw,
+        translation_overhead_us: hw.translation_cost(32 * 1024).as_micros_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITERS: usize = 12;
+
+    #[test]
+    fn fig3_shapes_hold() {
+        let points = fig3_intranode(&[10, 1000, 8192], ITERS);
+        assert_eq!(points.len(), 3);
+        // Latency grows with message size for every mechanism.
+        for mode in ["push-zero", "push-pull", "push-all"] {
+            let small = points[0].get(mode).unwrap();
+            let large = points[2].get(mode).unwrap();
+            assert!(large > small, "{mode}: {small} !< {large}");
+        }
+        // Push-Zero pays the synchronisation penalty for tiny messages:
+        // it must not beat Push-Pull at 10 bytes.
+        let p10 = &points[0];
+        assert!(
+            p10.get("push-zero").unwrap() >= p10.get("push-pull").unwrap() * 0.99,
+            "push-zero should not win for tiny messages"
+        );
+        // Intranode latencies stay well under the internode scale.
+        assert!(p10.get("push-pull").unwrap() < 30.0);
+    }
+
+    #[test]
+    fn fig4_full_optimisation_wins_for_large_messages() {
+        let points = fig4_internode(&[4, 1400], ITERS);
+        let small = &points[0];
+        let large = &points[1];
+        // Below 760 bytes everything is pushed; the four variants must be
+        // close to each other (within a handful of microseconds).
+        let small_vals: Vec<f64> = small.series.iter().map(|&(_, v)| v).collect();
+        let spread = small_vals.iter().cloned().fold(f64::MIN, f64::max)
+            - small_vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 15.0, "small-message spread {spread:.1} us too wide");
+        // At 1400 bytes the fully optimised variant beats the unoptimised one.
+        let no_opt = large.get("no optimization").unwrap();
+        let full = large.get("full optimization").unwrap();
+        assert!(
+            full < no_opt,
+            "full optimisation ({full:.1} us) must beat no optimisation ({no_opt:.1} us)"
+        );
+        // And each individual technique also helps.
+        assert!(large.get("mask only").unwrap() <= no_opt);
+        assert!(large.get("overlap only").unwrap() <= no_opt);
+    }
+
+    #[test]
+    fn late_receiver_push_all_collapses() {
+        let points = early_late_test(EarlyLateVariant::Late, &[4096], 6);
+        let p = &points[0];
+        let push_all = p.get("push-all/late").unwrap();
+        let push_pull = p.get("push-pull/late").unwrap();
+        // Push-All overwhelms the 4 KiB pushed buffer and needs go-back-N
+        // recovery: its latency must be dramatically worse than Push-Pull's.
+        assert!(
+            push_all > push_pull * 2.0,
+            "push-all ({push_all:.0} us) should collapse vs push-pull ({push_pull:.0} us)"
+        );
+    }
+
+    #[test]
+    fn early_receiver_no_collapse() {
+        let points = early_late_test(EarlyLateVariant::Early, &[4096], 6);
+        let p = &points[0];
+        let push_all = p.get("push-all/early").unwrap();
+        let push_pull = p.get("push-pull/early").unwrap();
+        // With an early receiver all mechanisms copy directly; they stay
+        // within a modest factor of each other.
+        assert!(
+            push_all < push_pull * 1.2,
+            "early receiver: push-all {push_all:.0} vs push-pull {push_pull:.0}"
+        );
+    }
+
+    #[test]
+    fn headline_numbers_in_paper_ballpark() {
+        let h = headline_numbers(ITERS);
+        assert!(
+            (3.0..25.0).contains(&h.intranode_latency_us),
+            "intranode latency {:.1} us",
+            h.intranode_latency_us
+        );
+        assert!(
+            (20.0..60.0).contains(&h.internode_latency_us),
+            "internode latency {:.1} us",
+            h.internode_latency_us
+        );
+        assert!(
+            h.intranode_peak_bw_mb_s > 100.0,
+            "intranode bandwidth {:.1} MB/s",
+            h.intranode_peak_bw_mb_s
+        );
+        assert!(
+            (6.0..12.6).contains(&h.internode_peak_bw_mb_s),
+            "internode bandwidth {:.1} MB/s",
+            h.internode_peak_bw_mb_s
+        );
+    }
+
+    #[test]
+    fn btp_sweeps_produce_data() {
+        let sweep2 = btp2_sweep(&[0, 680, 1360], 1400, 8);
+        assert_eq!(sweep2.len(), 3);
+        assert!(sweep2.iter().all(|&(_, us)| us > 0.0));
+        let sweep1 = btp1_sweep(&[0, 80, 400], 1400, 8);
+        assert_eq!(sweep1.len(), 3);
+        assert!(sweep1.iter().all(|&(_, us)| us > 0.0));
+    }
+
+    #[test]
+    fn figure_point_helpers() {
+        let p = FigurePoint {
+            size: 100,
+            series: vec![("a".into(), 1.5), ("b".into(), 2.5)],
+        };
+        assert_eq!(p.get("a"), Some(1.5));
+        assert_eq!(p.get("c"), None);
+        assert_eq!(p.csv_row(), "100,1.50,2.50");
+    }
+}

@@ -1,0 +1,29 @@
+//! # ppmsg-sim — Push-Pull Messaging on the simulated SMP cluster
+//!
+//! This crate binds the sans-I/O protocol engine of `ppmsg-core` to the
+//! discrete-event substrate of `simsmp` and `simnet`, reproducing the system
+//! the paper evaluated: two quad Pentium Pro nodes connected by 100 Mbit/s
+//! Fast Ethernet, with the protocol's four pipeline stages (transmission
+//! thread invocation, data pumping, reception-handler invocation, reception
+//! processing) charged against simulated processors, the memory system, the
+//! NIC, and the wire.
+//!
+//! [`cluster::SimCluster`] is the simulation runtime: processes run small
+//! scripts (compute / send / receive / time-stamp), every protocol
+//! [`Action`](ppmsg_core::Action) is converted into simulated time, and the
+//! clock advances event by event.
+//!
+//! [`experiments`] contains one harness per table/figure of the paper; the
+//! `ppmsg-bench` crate and the repository's examples simply call into it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod experiments;
+
+pub use cluster::{ClusterConfig, Op, ProcessScript, RunReport, SimCluster};
+pub use experiments::{
+    bandwidth_sweep, btp1_sweep, btp2_sweep, early_late_test, fig3_intranode, fig4_internode,
+    headline_numbers, BandwidthPoint, EarlyLateVariant, FigurePoint, HeadlineNumbers,
+};

@@ -1,0 +1,26 @@
+//! # simnet — simulated Fast Ethernet substrate
+//!
+//! Models the network path the paper's prototype used: a D-Link 500TX Fast
+//! Ethernet NIC (DEC 21140) in each node, connected by a 100 Mbit/s
+//! full-duplex link through a store-and-forward switch.
+//!
+//! * [`link`] — wire serialisation and propagation at 100 Mbit/s, including
+//!   Ethernet framing overhead (preamble, header, FCS, inter-frame gap).
+//! * [`nic`] — the network interface card: finite outgoing/incoming FIFO
+//!   buffers, DMA setup costs, a user-mappable register window enabling
+//!   direct (user-space) injection, and interrupt generation.
+//! * [`switch`] — store-and-forward switch latency and per-port queueing.
+//! * [`loss`] — deterministic loss injection for failure testing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod link;
+pub mod loss;
+pub mod nic;
+pub mod switch;
+
+pub use link::{EthernetLink, LinkConfig};
+pub use loss::LossModel;
+pub use nic::{Nic, NicConfig, NicStats};
+pub use switch::{Switch, SwitchConfig};

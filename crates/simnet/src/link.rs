@@ -1,0 +1,188 @@
+//! Fast Ethernet link model: serialisation, framing overhead, propagation.
+
+use serde::{Deserialize, Serialize};
+use simsmp::time::{SimDuration, SimTime};
+
+/// Ethernet framing constants (bytes added around every payload on the wire).
+pub mod framing {
+    /// Preamble + start-of-frame delimiter.
+    pub const PREAMBLE: usize = 8;
+    /// Destination MAC, source MAC, EtherType.
+    pub const HEADER: usize = 14;
+    /// Frame check sequence.
+    pub const FCS: usize = 4;
+    /// Inter-frame gap (expressed in byte times).
+    pub const IFG: usize = 12;
+    /// Minimum Ethernet payload.
+    pub const MIN_PAYLOAD: usize = 46;
+    /// Maximum Ethernet payload (the MTU).
+    pub const MTU: usize = 1500;
+    /// Total per-frame overhead in byte times.
+    pub const PER_FRAME_OVERHEAD: usize = PREAMBLE + HEADER + FCS + IFG;
+}
+
+/// Configuration of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Link speed in megabits per second (100 for Fast Ethernet).
+    pub mbit_per_s: u64,
+    /// One-way propagation delay (cable + PHY).
+    pub propagation: SimDuration,
+    /// `true` for full duplex operation: the two directions do not contend.
+    pub full_duplex: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            mbit_per_s: 100,
+            propagation: SimDuration::from_nanos(500),
+            full_duplex: true,
+        }
+    }
+}
+
+/// A point-to-point Ethernet segment (node ↔ switch or node ↔ node).
+///
+/// The link serialises frames: a frame starts transmitting when the previous
+/// frame in the same direction has left the wire.  Each direction keeps its
+/// own busy time when the link is full duplex.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EthernetLink {
+    config: LinkConfig,
+    busy_until: [SimTime; 2],
+    frames_carried: u64,
+    bytes_carried: u64,
+}
+
+impl EthernetLink {
+    /// Creates a link with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        EthernetLink {
+            config,
+            busy_until: [SimTime::ZERO; 2],
+            frames_carried: 0,
+            bytes_carried: 0,
+        }
+    }
+
+    /// A 100 Mbit/s full-duplex Fast Ethernet link (the paper's network).
+    pub fn fast_ethernet() -> Self {
+        Self::new(LinkConfig::default())
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Time to serialise a frame carrying `payload` bytes onto the wire,
+    /// including Ethernet framing overhead and minimum-frame padding.
+    pub fn serialization_time(&self, payload: usize) -> SimDuration {
+        let padded = payload.max(framing::MIN_PAYLOAD);
+        let wire_bytes = padded + framing::PER_FRAME_OVERHEAD;
+        // bits / (Mbit/s) = microseconds; keep nanosecond precision.
+        let ns = (wire_bytes as u64 * 8 * 1_000) / self.config.mbit_per_s;
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Transmits a frame of `payload` bytes in `direction` (0 or 1), queued
+    /// behind earlier frames in the same direction, starting no earlier than
+    /// `now`.  Returns the time the last bit arrives at the far end.
+    pub fn transmit(&mut self, now: SimTime, direction: usize, payload: usize) -> SimTime {
+        let dir = if self.config.full_duplex { direction % 2 } else { 0 };
+        let start = now.max(self.busy_until[dir]);
+        let done_sending = start + self.serialization_time(payload);
+        self.busy_until[dir] = done_sending;
+        self.frames_carried += 1;
+        self.bytes_carried += payload as u64;
+        done_sending + self.config.propagation
+    }
+
+    /// Number of frames carried so far.
+    pub fn frames_carried(&self) -> u64 {
+        self.frames_carried
+    }
+
+    /// Payload bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// The theoretical payload bandwidth for back-to-back frames of
+    /// `payload` bytes, in MB/s.  Useful for sanity-checking measured
+    /// bandwidth against the 12.5 MB/s wire limit.
+    pub fn effective_bandwidth_mb_s(&self, payload: usize) -> f64 {
+        let t = self.serialization_time(payload);
+        payload as f64 / t.as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_matches_wire_math() {
+        let link = EthernetLink::fast_ethernet();
+        // A 1460-byte payload: (1460 + 38) * 8 bits at 100 Mbit/s = 119.84 us.
+        let t = link.serialization_time(1460);
+        assert_eq!(t.as_nanos(), (1460 + 38) * 8 * 10);
+        // Tiny payloads are padded to the 46-byte minimum.
+        assert_eq!(
+            link.serialization_time(4),
+            link.serialization_time(46)
+        );
+    }
+
+    #[test]
+    fn frames_in_same_direction_serialise() {
+        let mut link = EthernetLink::fast_ethernet();
+        let a = link.transmit(SimTime(0), 0, 1460);
+        let b = link.transmit(SimTime(0), 0, 1460);
+        assert!(b > a);
+        let gap = b.since(a);
+        assert_eq!(gap, link.serialization_time(1460));
+    }
+
+    #[test]
+    fn full_duplex_directions_do_not_contend() {
+        let mut link = EthernetLink::fast_ethernet();
+        let a = link.transmit(SimTime(0), 0, 1460);
+        let b = link.transmit(SimTime(0), 1, 1460);
+        assert_eq!(a, b, "opposite directions run concurrently");
+        assert_eq!(link.frames_carried(), 2);
+    }
+
+    #[test]
+    fn half_duplex_serialises_both_directions() {
+        let mut link = EthernetLink::new(LinkConfig {
+            full_duplex: false,
+            ..LinkConfig::default()
+        });
+        let a = link.transmit(SimTime(0), 0, 1460);
+        let b = link.transmit(SimTime(0), 1, 1460);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn effective_bandwidth_near_wire_limit_for_large_frames() {
+        let link = EthernetLink::fast_ethernet();
+        let bw = link.effective_bandwidth_mb_s(1460);
+        assert!(
+            (11.5..12.5).contains(&bw),
+            "large-frame bandwidth {bw:.2} MB/s should approach 12.5 MB/s"
+        );
+        // Small frames are dominated by overhead.
+        assert!(link.effective_bandwidth_mb_s(4) < 1.0);
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut link = EthernetLink::fast_ethernet();
+        let arrival = link.transmit(SimTime(1_000_000), 0, 100);
+        let expected =
+            SimTime(1_000_000) + link.serialization_time(100) + link.config().propagation;
+        assert_eq!(arrival, expected);
+    }
+}

@@ -1,0 +1,132 @@
+//! Loss injection for failure testing of the go-back-N recovery path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides whether a frame is lost on the wire.
+///
+/// Buffer-overflow drops are modelled by the NIC and the pushed buffer; this
+/// model adds *wire* losses (bit errors, congestion elsewhere) so tests can
+/// exercise the reliability layer under adverse conditions.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No frames are lost.
+    None,
+    /// Each frame is independently lost with probability `p`, driven by a
+    /// deterministic seeded RNG.
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+        /// The RNG state.
+        rng: StdRng,
+    },
+    /// Every `n`-th frame is lost (deterministic, convenient for tests).
+    EveryNth {
+        /// Lose one frame out of every `n`.
+        n: u64,
+        /// Frames observed so far.
+        count: u64,
+    },
+    /// Lose exactly the frames whose index (0-based) is in the list.
+    Explicit {
+        /// Indices of frames to lose.
+        indices: Vec<u64>,
+        /// Frames observed so far.
+        count: u64,
+    },
+}
+
+impl LossModel {
+    /// A lossless wire.
+    pub fn none() -> Self {
+        LossModel::None
+    }
+
+    /// Independent losses with probability `p`, seeded deterministically.
+    pub fn bernoulli(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        LossModel::Bernoulli {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Lose every `n`-th frame.
+    pub fn every_nth(n: u64) -> Self {
+        assert!(n > 0);
+        LossModel::EveryNth { n, count: 0 }
+    }
+
+    /// Lose exactly the frames at the given indices.
+    pub fn explicit(indices: Vec<u64>) -> Self {
+        LossModel::Explicit { indices, count: 0 }
+    }
+
+    /// Returns `true` if the next frame should be dropped.
+    pub fn should_drop(&mut self) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p, rng } => rng.gen::<f64>() < *p,
+            LossModel::EveryNth { n, count } => {
+                *count += 1;
+                *count % *n == 0
+            }
+            LossModel::Explicit { indices, count } => {
+                let idx = *count;
+                *count += 1;
+                indices.contains(&idx)
+            }
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut m = LossModel::none();
+        assert!((0..1000).all(|_| !m.should_drop()));
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let mut m = LossModel::every_nth(3);
+        let pattern: Vec<bool> = (0..9).map(|_| m.should_drop()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn explicit_drops_exact_indices() {
+        let mut m = LossModel::explicit(vec![0, 4]);
+        let pattern: Vec<bool> = (0..6).map(|_| m.should_drop()).collect();
+        assert_eq!(pattern, vec![true, false, false, false, true, false]);
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_per_seed_and_roughly_calibrated() {
+        let mut a = LossModel::bernoulli(0.2, 42);
+        let mut b = LossModel::bernoulli(0.2, 42);
+        let seq_a: Vec<bool> = (0..500).map(|_| a.should_drop()).collect();
+        let seq_b: Vec<bool> = (0..500).map(|_| b.should_drop()).collect();
+        assert_eq!(seq_a, seq_b);
+        let drops = seq_a.iter().filter(|&&d| d).count();
+        assert!((50..150).contains(&drops), "drop count {drops} far from 20%");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let _ = LossModel::bernoulli(1.5, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! NIC model: finite FIFO buffers, DMA costs, user-mappable registers and
+//! interrupt generation (stage 1 and stage 3 of the communication model).
+
+use serde::{Deserialize, Serialize};
+use simsmp::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Cost and capacity parameters of one NIC (calibrated loosely to the DEC
+/// 21140 "Tulip" controller on the D-Link 500TX card).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Capacity of the outgoing FIFO in bytes.
+    pub tx_fifo_bytes: usize,
+    /// Capacity of the incoming FIFO (the "designated buffer") in bytes.
+    pub rx_fifo_bytes: usize,
+    /// Cost of injecting a packet descriptor from **user space** through the
+    /// mapped control registers (direct thread invocation, §4.3).
+    pub user_inject_cost: SimDuration,
+    /// Cost of injecting a packet through the kernel transmission thread
+    /// (system call + driver).
+    pub kernel_inject_cost: SimDuration,
+    /// Per-packet DMA setup cost (descriptor fetch, ring update).
+    pub dma_setup_cost: SimDuration,
+    /// DMA transfer rate between host memory and the NIC, in ns per byte
+    /// (PCI 33 MHz / 32-bit ≈ 133 MB/s peak, ~8 ns/byte sustained).
+    pub dma_ns_per_byte: f64,
+    /// Cost charged on the receive path for raising the interrupt and
+    /// updating descriptors.
+    pub rx_descriptor_cost: SimDuration,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            tx_fifo_bytes: 64 * 1024,
+            rx_fifo_bytes: 64 * 1024,
+            user_inject_cost: SimDuration::from_nanos(900),
+            kernel_inject_cost: SimDuration::from_micros(3),
+            dma_setup_cost: SimDuration::from_nanos(800),
+            dma_ns_per_byte: 8.0,
+            rx_descriptor_cost: SimDuration::from_micros(1),
+        }
+    }
+}
+
+/// Statistics of one NIC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NicStats {
+    /// Frames accepted for transmission.
+    pub tx_frames: u64,
+    /// Payload bytes accepted for transmission.
+    pub tx_bytes: u64,
+    /// Frames received into the RX FIFO.
+    pub rx_frames: u64,
+    /// Payload bytes received into the RX FIFO.
+    pub rx_bytes: u64,
+    /// Frames dropped because the TX FIFO was full.
+    pub tx_drops: u64,
+    /// Frames dropped because the RX FIFO was full.
+    pub rx_drops: u64,
+    /// High-water mark of RX FIFO occupancy in bytes.
+    pub rx_high_water: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct FifoEntry {
+    bytes: usize,
+}
+
+/// One simulated network interface card.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Nic {
+    config: NicConfig,
+    tx_queue: VecDeque<FifoEntry>,
+    tx_occupancy: usize,
+    rx_queue: VecDeque<FifoEntry>,
+    rx_occupancy: usize,
+    /// Time at which the DMA engine finishes its current transfer.
+    dma_busy_until: SimTime,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Creates a NIC with the given configuration.
+    pub fn new(config: NicConfig) -> Self {
+        Nic {
+            config,
+            tx_queue: VecDeque::new(),
+            tx_occupancy: 0,
+            rx_queue: VecDeque::new(),
+            rx_occupancy: 0,
+            dma_busy_until: SimTime::ZERO,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// The NIC configuration.
+    pub fn config(&self) -> NicConfig {
+        self.config
+    }
+
+    /// Host-side cost of handing a `bytes`-byte frame to the NIC.
+    /// `user_space` selects the mapped-register path (no system call).
+    pub fn inject_cost(&self, bytes: usize, user_space: bool) -> SimDuration {
+        let base = if user_space {
+            self.config.user_inject_cost
+        } else {
+            self.config.kernel_inject_cost
+        };
+        base + self.dma_cost(bytes)
+    }
+
+    /// Cost of DMAing `bytes` bytes between host memory and the NIC.
+    pub fn dma_cost(&self, bytes: usize) -> SimDuration {
+        self.config.dma_setup_cost
+            + SimDuration::from_nanos((bytes as f64 * self.config.dma_ns_per_byte).round() as u64)
+    }
+
+    /// Attempts to enqueue a frame of `bytes` payload bytes for transmission
+    /// at time `now`.  Returns the time at which the frame is ready to start
+    /// serialising on the wire (after DMA), or `None` if the TX FIFO is full.
+    pub fn enqueue_tx(&mut self, now: SimTime, bytes: usize) -> Option<SimTime> {
+        if self.tx_occupancy + bytes > self.config.tx_fifo_bytes {
+            self.stats.tx_drops += 1;
+            return None;
+        }
+        self.tx_queue.push_back(FifoEntry { bytes });
+        self.tx_occupancy += bytes;
+        self.stats.tx_frames += 1;
+        self.stats.tx_bytes += bytes as u64;
+        // The DMA engine copies descriptors/data serially.
+        let start = now.max(self.dma_busy_until);
+        let ready = start + self.dma_cost(bytes);
+        self.dma_busy_until = ready;
+        Some(ready)
+    }
+
+    /// Marks a previously enqueued TX frame as having left the wire, freeing
+    /// its FIFO space.
+    pub fn complete_tx(&mut self, bytes: usize) {
+        if let Some(front) = self.tx_queue.pop_front() {
+            debug_assert_eq!(front.bytes, bytes, "TX completions must be in FIFO order");
+            self.tx_occupancy -= front.bytes;
+        }
+    }
+
+    /// Attempts to store an arriving frame of `bytes` payload bytes in the RX
+    /// FIFO at time `now`.  Returns the time at which the frame is visible to
+    /// the host (after DMA into host memory and descriptor update), or `None`
+    /// if the FIFO is full and the frame is dropped.
+    pub fn enqueue_rx(&mut self, now: SimTime, bytes: usize) -> Option<SimTime> {
+        if self.rx_occupancy + bytes > self.config.rx_fifo_bytes {
+            self.stats.rx_drops += 1;
+            return None;
+        }
+        self.rx_queue.push_back(FifoEntry { bytes });
+        self.rx_occupancy += bytes;
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += bytes as u64;
+        self.stats.rx_high_water = self.stats.rx_high_water.max(self.rx_occupancy);
+        let start = now.max(self.dma_busy_until);
+        let visible = start + self.dma_cost(bytes) + self.config.rx_descriptor_cost;
+        self.dma_busy_until = visible;
+        Some(visible)
+    }
+
+    /// Releases the RX FIFO space of a frame after the reception handler has
+    /// consumed it.
+    pub fn complete_rx(&mut self, bytes: usize) {
+        if let Some(front) = self.rx_queue.pop_front() {
+            debug_assert_eq!(front.bytes, bytes, "RX completions must be in FIFO order");
+            self.rx_occupancy -= front.bytes;
+        }
+    }
+
+    /// Current occupancy of the RX FIFO in bytes.
+    pub fn rx_occupancy(&self) -> usize {
+        self.rx_occupancy
+    }
+
+    /// Current occupancy of the TX FIFO in bytes.
+    pub fn tx_occupancy(&self) -> usize {
+        self.tx_occupancy
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+}
+
+impl Default for Nic {
+    fn default() -> Self {
+        Nic::new(NicConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_injection_is_cheaper_than_kernel_injection() {
+        let nic = Nic::default();
+        assert!(nic.inject_cost(100, true) < nic.inject_cost(100, false));
+    }
+
+    #[test]
+    fn dma_cost_grows_with_size() {
+        let nic = Nic::default();
+        assert!(nic.dma_cost(1460) > nic.dma_cost(64));
+    }
+
+    #[test]
+    fn tx_fifo_accounting_and_overflow() {
+        let mut nic = Nic::new(NicConfig {
+            tx_fifo_bytes: 3000,
+            ..NicConfig::default()
+        });
+        assert!(nic.enqueue_tx(SimTime(0), 1460).is_some());
+        assert!(nic.enqueue_tx(SimTime(0), 1460).is_some());
+        // Third frame does not fit.
+        assert!(nic.enqueue_tx(SimTime(0), 1460).is_none());
+        assert_eq!(nic.stats().tx_drops, 1);
+        nic.complete_tx(1460);
+        assert!(nic.enqueue_tx(SimTime(0), 1460).is_some());
+        assert_eq!(nic.tx_occupancy(), 2920);
+    }
+
+    #[test]
+    fn rx_fifo_overflow_drops_frames() {
+        let mut nic = Nic::new(NicConfig {
+            rx_fifo_bytes: 2000,
+            ..NicConfig::default()
+        });
+        assert!(nic.enqueue_rx(SimTime(0), 1460).is_some());
+        assert!(nic.enqueue_rx(SimTime(0), 1460).is_none());
+        assert_eq!(nic.stats().rx_drops, 1);
+        assert_eq!(nic.stats().rx_frames, 1);
+        nic.complete_rx(1460);
+        assert_eq!(nic.rx_occupancy(), 0);
+    }
+
+    #[test]
+    fn dma_serialises_transfers() {
+        let mut nic = Nic::default();
+        let a = nic.enqueue_tx(SimTime(0), 1460).unwrap();
+        let b = nic.enqueue_tx(SimTime(0), 1460).unwrap();
+        assert!(b > a, "second DMA starts after the first finishes");
+    }
+
+    #[test]
+    fn rx_high_water_tracked() {
+        let mut nic = Nic::default();
+        nic.enqueue_rx(SimTime(0), 1000).unwrap();
+        nic.enqueue_rx(SimTime(0), 2000).unwrap();
+        nic.complete_rx(1000);
+        nic.enqueue_rx(SimTime(0), 100).unwrap();
+        assert_eq!(nic.stats().rx_high_water, 3000);
+    }
+}

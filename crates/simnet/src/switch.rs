@@ -1,0 +1,146 @@
+//! Store-and-forward switch model.
+
+use crate::link::EthernetLink;
+use serde::{Deserialize, Serialize};
+use simsmp::time::{SimDuration, SimTime};
+
+/// Configuration of the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Fixed forwarding latency (lookup + scheduling) added to every frame.
+    pub forwarding_latency: SimDuration,
+    /// `true` for store-and-forward operation: the switch must receive the
+    /// complete frame before it starts forwarding it (adds one serialisation
+    /// time); `false` models a cut-through switch.
+    pub store_and_forward: bool,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            forwarding_latency: SimDuration::from_micros(3),
+            store_and_forward: true,
+        }
+    }
+}
+
+/// A small workgroup switch connecting the cluster nodes.
+///
+/// Output-port contention is modelled per destination port: frames towards
+/// the same node queue behind each other, frames towards different nodes do
+/// not interact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Switch {
+    config: SwitchConfig,
+    /// Busy time of each output port, indexed by destination node.
+    port_busy_until: Vec<SimTime>,
+    frames_forwarded: u64,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` output ports.
+    pub fn new(config: SwitchConfig, ports: usize) -> Self {
+        Switch {
+            config,
+            port_busy_until: vec![SimTime::ZERO; ports.max(1)],
+            frames_forwarded: 0,
+        }
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> SwitchConfig {
+        self.config
+    }
+
+    /// Forwards a frame of `payload` bytes that finished arriving at the
+    /// switch at `arrival`, towards output port `dst_port`, using
+    /// `egress_link` for the final hop.  Returns the time the last bit
+    /// reaches the destination node.
+    pub fn forward(
+        &mut self,
+        arrival: SimTime,
+        dst_port: usize,
+        payload: usize,
+        egress_link: &mut EthernetLink,
+    ) -> SimTime {
+        let port = dst_port % self.port_busy_until.len();
+        // Store-and-forward: the frame is already fully received (the caller
+        // hands us the arrival time of the last bit), so only the lookup
+        // latency and egress serialisation remain.
+        let ready = arrival + self.config.forwarding_latency;
+        let start = ready.max(self.port_busy_until[port]);
+        let delivered = egress_link.transmit(start, 0, payload);
+        self.port_busy_until[port] = delivered;
+        self.frames_forwarded += 1;
+        delivered
+    }
+
+    /// Latency the switch itself adds for a frame of `payload` bytes
+    /// (excluding egress-port queueing), useful for latency budgeting.
+    pub fn added_latency(&self, payload: usize, egress_link: &EthernetLink) -> SimDuration {
+        let serialisation = if self.config.store_and_forward {
+            egress_link.serialization_time(payload)
+        } else {
+            SimDuration::ZERO
+        };
+        self.config.forwarding_latency + serialisation
+    }
+
+    /// Number of frames forwarded so far.
+    pub fn frames_forwarded(&self) -> u64 {
+        self.frames_forwarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    #[test]
+    fn forwarding_adds_latency_and_serialisation() {
+        let mut sw = Switch::new(SwitchConfig::default(), 2);
+        let mut egress = EthernetLink::new(LinkConfig::default());
+        let arrival = SimTime(1000);
+        let delivered = sw.forward(arrival, 1, 1460, &mut egress);
+        let expected = arrival
+            + sw.config().forwarding_latency
+            + egress.serialization_time(1460)
+            + egress.config().propagation;
+        assert_eq!(delivered, expected);
+        assert_eq!(sw.frames_forwarded(), 1);
+    }
+
+    #[test]
+    fn same_output_port_contends() {
+        let mut sw = Switch::new(SwitchConfig::default(), 2);
+        let mut egress = EthernetLink::new(LinkConfig::default());
+        let a = sw.forward(SimTime(0), 1, 1460, &mut egress);
+        let b = sw.forward(SimTime(0), 1, 1460, &mut egress);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn different_output_ports_do_not_contend_at_the_switch() {
+        let mut sw = Switch::new(SwitchConfig::default(), 4);
+        let mut egress_a = EthernetLink::new(LinkConfig::default());
+        let mut egress_b = EthernetLink::new(LinkConfig::default());
+        let a = sw.forward(SimTime(0), 1, 1460, &mut egress_a);
+        let b = sw.forward(SimTime(0), 2, 1460, &mut egress_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn added_latency_reflects_store_and_forward() {
+        let egress = EthernetLink::new(LinkConfig::default());
+        let saf = Switch::new(SwitchConfig::default(), 2);
+        let cut = Switch::new(
+            SwitchConfig {
+                store_and_forward: false,
+                ..SwitchConfig::default()
+            },
+            2,
+        );
+        assert!(saf.added_latency(1460, &egress) > cut.added_latency(1460, &egress));
+    }
+}

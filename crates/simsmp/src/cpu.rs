@@ -1,0 +1,223 @@
+//! Processor model: each SMP node has a small number of processors whose
+//! occupancy is tracked so work can be placed on the least-loaded one (§4.1).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a processor within one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessorId(pub usize);
+
+/// One processor of an SMP node.
+///
+/// The model is an availability timeline: a processor executes one piece of
+/// work at a time; new work placed on it starts no earlier than the time its
+/// previous work finishes.  Cumulative busy time is tracked for utilisation
+/// statistics and least-loaded selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Processor {
+    id: ProcessorId,
+    busy_until: SimTime,
+    busy_total: SimDuration,
+    tasks_run: u64,
+}
+
+impl Processor {
+    /// Creates an idle processor.
+    pub fn new(id: ProcessorId) -> Self {
+        Processor {
+            id,
+            busy_until: SimTime::ZERO,
+            busy_total: SimDuration::ZERO,
+            tasks_run: 0,
+        }
+    }
+
+    /// This processor's identifier.
+    #[inline]
+    pub fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    /// The earliest time at which new work can start on this processor.
+    #[inline]
+    pub fn available_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total busy time accumulated so far.
+    #[inline]
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Number of work items executed.
+    #[inline]
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks_run
+    }
+
+    /// `true` if the processor is idle at `now`.
+    #[inline]
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Reserves the processor for `duration` of work requested at `now`.
+    /// Returns the interval `(start, end)` during which the work runs: it
+    /// starts at `max(now, available_at)`.
+    pub fn run(&mut self, now: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+        let start = now.max(self.busy_until);
+        let end = start + duration;
+        self.busy_until = end;
+        self.busy_total += duration;
+        self.tasks_run += 1;
+        (start, end)
+    }
+
+    /// Utilisation over the window `[0, now]`, in `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.as_nanos() == 0 {
+            return 0.0;
+        }
+        (self.busy_total.as_nanos() as f64 / now.as_nanos() as f64).min(1.0)
+    }
+}
+
+/// A bank of processors belonging to one SMP node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessorBank {
+    processors: Vec<Processor>,
+}
+
+impl ProcessorBank {
+    /// Creates `count` idle processors.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "a node needs at least one processor");
+        ProcessorBank {
+            processors: (0..count).map(|i| Processor::new(ProcessorId(i))).collect(),
+        }
+    }
+
+    /// Number of processors in the bank.
+    pub fn len(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// `true` if the bank is empty (never the case for a constructed bank).
+    pub fn is_empty(&self) -> bool {
+        self.processors.is_empty()
+    }
+
+    /// Immutable access to a processor.
+    pub fn get(&self, id: ProcessorId) -> &Processor {
+        &self.processors[id.0]
+    }
+
+    /// Mutable access to a processor.
+    pub fn get_mut(&mut self, id: ProcessorId) -> &mut Processor {
+        &mut self.processors[id.0]
+    }
+
+    /// The processor that becomes available the earliest (the "least loaded"
+    /// processor used by the symmetric-interrupt pull phase, §4.1).  Ties are
+    /// broken towards the lowest processor id, which keeps runs deterministic.
+    pub fn least_loaded(&self) -> ProcessorId {
+        self.processors
+            .iter()
+            .min_by_key(|p| (p.available_at(), p.id().0))
+            .map(|p| p.id())
+            .expect("bank is never empty")
+    }
+
+    /// The least-loaded processor *excluding* `exclude` (used when the pull
+    /// phase must not run on the application's processor).
+    pub fn least_loaded_excluding(&self, exclude: ProcessorId) -> ProcessorId {
+        if self.processors.len() == 1 {
+            return exclude;
+        }
+        self.processors
+            .iter()
+            .filter(|p| p.id() != exclude)
+            .min_by_key(|p| (p.available_at(), p.id().0))
+            .map(|p| p.id())
+            .expect("more than one processor")
+    }
+
+    /// Runs `duration` of work on processor `id`, starting no earlier than
+    /// `now`; returns the `(start, end)` interval.
+    pub fn run_on(&mut self, id: ProcessorId, now: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+        self.get_mut(id).run(now, duration)
+    }
+
+    /// Iterates over the processors.
+    pub fn iter(&self) -> impl Iterator<Item = &Processor> {
+        self.processors.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_serialises_work_on_one_processor() {
+        let mut p = Processor::new(ProcessorId(0));
+        let (s1, e1) = p.run(SimTime(100), SimDuration(50));
+        assert_eq!((s1, e1), (SimTime(100), SimTime(150)));
+        // Requested earlier than available: starts when free.
+        let (s2, e2) = p.run(SimTime(120), SimDuration(30));
+        assert_eq!((s2, e2), (SimTime(150), SimTime(180)));
+        // Requested after an idle gap: starts immediately.
+        let (s3, e3) = p.run(SimTime(500), SimDuration(10));
+        assert_eq!((s3, e3), (SimTime(500), SimTime(510)));
+        assert_eq!(p.busy_total(), SimDuration(90));
+        assert_eq!(p.tasks_run(), 3);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut p = Processor::new(ProcessorId(0));
+        assert_eq!(p.utilization(SimTime::ZERO), 0.0);
+        p.run(SimTime(0), SimDuration(500));
+        assert!((p.utilization(SimTime(1000)) - 0.5).abs() < 1e-9);
+        assert!(p.utilization(SimTime(100)) <= 1.0);
+    }
+
+    #[test]
+    fn least_loaded_picks_earliest_available() {
+        let mut bank = ProcessorBank::new(4);
+        assert_eq!(bank.least_loaded(), ProcessorId(0));
+        bank.run_on(ProcessorId(0), SimTime(0), SimDuration(100));
+        bank.run_on(ProcessorId(1), SimTime(0), SimDuration(50));
+        bank.run_on(ProcessorId(2), SimTime(0), SimDuration(10));
+        // Processor 3 is idle and wins; after loading it, processor 2 wins.
+        assert_eq!(bank.least_loaded(), ProcessorId(3));
+        bank.run_on(ProcessorId(3), SimTime(0), SimDuration(200));
+        assert_eq!(bank.least_loaded(), ProcessorId(2));
+    }
+
+    #[test]
+    fn least_loaded_excluding_app_processor() {
+        let mut bank = ProcessorBank::new(2);
+        assert_eq!(bank.least_loaded_excluding(ProcessorId(0)), ProcessorId(1));
+        bank.run_on(ProcessorId(1), SimTime(0), SimDuration(1_000_000));
+        // Still excludes processor 0 even though it is idle.
+        assert_eq!(bank.least_loaded_excluding(ProcessorId(0)), ProcessorId(1));
+        let single = ProcessorBank::new(1);
+        assert_eq!(single.least_loaded_excluding(ProcessorId(0)), ProcessorId(0));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let bank = ProcessorBank::new(4);
+        assert_eq!(bank.least_loaded(), ProcessorId(0));
+        assert_eq!(bank.least_loaded_excluding(ProcessorId(0)), ProcessorId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_bank_rejected() {
+        let _ = ProcessorBank::new(0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The discrete-event engine: a virtual clock plus a priority queue of
+//! pending events.
+//!
+//! The engine is generic over the event payload type `E`; the binding crate
+//! (`ppmsg-sim`) defines its own event enum and a handler that mutates the
+//! simulated world.  Events scheduled for the same instant fire in
+//! scheduling order (FIFO), which keeps runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at zero and an empty event queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// popped).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        let id = EventId(self.next_seq);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            id,
+            payload,
+        }));
+        id
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event.  Returns `true` if the event had
+    /// not fired yet.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Cancellation is lazy: the event is skipped when popped.
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next non-cancelled event, advancing the clock to its time.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.processed += 1;
+            return Some((ev.time, ev.payload));
+        }
+        None
+    }
+
+    /// Runs the simulation until the event queue is exhausted or `handler`
+    /// returns `false`, whichever comes first.  Returns the number of events
+    /// processed by this call.
+    pub fn run_while(&mut self, mut handler: impl FnMut(&mut Self, SimTime, E) -> bool) -> u64 {
+        let start = self.processed;
+        while let Some((time, payload)) = self.next_event() {
+            if !handler(self, time, payload) {
+                break;
+            }
+        }
+        self.processed - start
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`.
+    /// Events scheduled after the deadline remain queued.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut Self, SimTime, E) -> bool,
+    ) -> u64 {
+        let start = self.processed;
+        loop {
+            let next_time = loop {
+                match self.queue.peek() {
+                    Some(Reverse(ev)) if self.cancelled.contains(&ev.id) => {
+                        let Reverse(ev) = self.queue.pop().unwrap();
+                        self.cancelled.remove(&ev.id);
+                    }
+                    Some(Reverse(ev)) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next_time {
+                Some(t) if t <= deadline => {
+                    let (time, payload) = self.next_event().expect("peeked event must exist");
+                    if !handler(self, time, payload) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_at(SimTime(300), 3);
+        engine.schedule_at(SimTime(100), 1);
+        engine.schedule_at(SimTime(200), 2);
+        let mut seen = Vec::new();
+        engine.run_while(|eng, time, payload| {
+            assert_eq!(eng.now(), time);
+            seen.push((time.as_nanos(), payload));
+            true
+        });
+        assert_eq!(seen, vec![(100, 1), (200, 2), (300, 3)]);
+        assert_eq!(engine.events_processed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_fifo_order() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime(500), i);
+        }
+        let mut seen = Vec::new();
+        engine.run_while(|_, _, p| {
+            seen.push(p);
+            true
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_schedule_more_events() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_at(SimTime(10), 0);
+        let mut count = 0;
+        engine.run_while(|eng, _, payload| {
+            count += 1;
+            if payload < 5 {
+                eng.schedule_in(SimDuration(10), payload + 1);
+            }
+            true
+        });
+        assert_eq!(count, 6);
+        assert_eq!(engine.now(), SimTime(60));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut engine: Engine<&'static str> = Engine::new();
+        let _a = engine.schedule_at(SimTime(10), "keep");
+        let b = engine.schedule_at(SimTime(20), "cancel");
+        let _c = engine.schedule_at(SimTime(30), "keep2");
+        assert!(engine.cancel(b));
+        assert!(!engine.cancel(b), "double cancel reports false");
+        assert!(!engine.cancel(EventId(999)));
+        let mut seen = Vec::new();
+        engine.run_while(|_, _, p| {
+            seen.push(p);
+            true
+        });
+        assert_eq!(seen, vec!["keep", "keep2"]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 1..=10u64 {
+            engine.schedule_at(SimTime(i * 100), i as u32);
+        }
+        let mut seen = Vec::new();
+        engine.run_until(SimTime(450), |_, _, p| {
+            seen.push(p);
+            true
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(engine.now(), SimTime(400));
+        // The rest is still there.
+        let mut rest = Vec::new();
+        engine.run_while(|_, _, p| {
+            rest.push(p);
+            true
+        });
+        assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn handler_returning_false_stops_the_run() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime(10 + i), i as u32);
+        }
+        let n = engine.run_while(|_, _, p| p < 3);
+        assert_eq!(n, 4); // events 0,1,2 return true; 3 returns false.
+        assert_eq!(engine.pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_at(SimTime(100), 1);
+        engine.run_while(|eng, _, _| {
+            eng.schedule_at(SimTime(50), 2);
+            true
+        });
+    }
+}

@@ -1,0 +1,172 @@
+//! Reception-handler invocation: asymmetric interrupts, symmetric interrupts
+//! with least-loaded arbitration, or polling (stage 3 of the communication
+//! model in §2).
+
+use crate::config::HwConfig;
+use crate::cpu::{ProcessorBank, ProcessorId};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How the reception handler is invoked when data arrives at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterruptMode {
+    /// Requests are always delivered to one pre-assigned processor.
+    Asymmetric(ProcessorId),
+    /// Requests can be delivered to different processors; the arbitration
+    /// scheme used here picks the least-loaded one (this is the mode used in
+    /// all of the paper's optimised tests).
+    Symmetric,
+    /// A polling routine watches state variables; the handler starts at the
+    /// next polling tick after arrival.
+    Polling,
+}
+
+/// Statistics of the interrupt controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterruptStats {
+    /// Handler invocations dispatched.
+    pub dispatches: u64,
+    /// Invocations delivered to each processor (indexed by processor id,
+    /// fixed maximum of 16 for simplicity).
+    pub per_processor: [u64; 16],
+}
+
+/// Decides which processor runs the reception handler for an arrival and how
+/// much invocation overhead is charged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterruptController {
+    mode: InterruptMode,
+    stats: InterruptStats,
+}
+
+/// The outcome of dispatching one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Processor chosen to run the reception handler.
+    pub processor: ProcessorId,
+    /// Time at which the handler may begin (arrival + invocation overhead,
+    /// or the next polling tick).
+    pub handler_start: SimTime,
+    /// The invocation overhead charged to the chosen processor.
+    pub overhead: SimDuration,
+}
+
+impl InterruptController {
+    /// Creates a controller with the given invocation mode.
+    pub fn new(mode: InterruptMode) -> Self {
+        InterruptController {
+            mode,
+            stats: InterruptStats::default(),
+        }
+    }
+
+    /// The configured invocation mode.
+    pub fn mode(&self) -> InterruptMode {
+        self.mode
+    }
+
+    /// Dispatches an arrival at time `arrival` on a node whose processors are
+    /// described by `bank`.
+    pub fn dispatch(&mut self, hw: &HwConfig, bank: &ProcessorBank, arrival: SimTime) -> Dispatch {
+        let d = match self.mode {
+            InterruptMode::Asymmetric(p) => Dispatch {
+                processor: p,
+                handler_start: arrival + hw.interrupt_entry_cost,
+                overhead: hw.interrupt_entry_cost,
+            },
+            InterruptMode::Symmetric => {
+                let overhead = hw.interrupt_entry_cost + hw.symmetric_arbitration_cost;
+                Dispatch {
+                    processor: bank.least_loaded(),
+                    handler_start: arrival + overhead,
+                    overhead,
+                }
+            }
+            InterruptMode::Polling => {
+                // The handler starts at the next polling tick on the least
+                // loaded processor; the per-invocation overhead is small.
+                let interval = hw.polling_interval.as_nanos().max(1);
+                let next_tick = arrival.as_nanos().div_ceil(interval) * interval;
+                Dispatch {
+                    processor: bank.least_loaded(),
+                    handler_start: SimTime(next_tick),
+                    overhead: SimDuration::from_nanos(200),
+                }
+            }
+        };
+        self.stats.dispatches += 1;
+        if d.processor.0 < 16 {
+            self.stats.per_processor[d.processor.0] += 1;
+        }
+        d
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> InterruptStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn hw() -> HwConfig {
+        HwConfig::pentium_pro_1999()
+    }
+
+    #[test]
+    fn asymmetric_always_hits_the_assigned_processor() {
+        let mut ic = InterruptController::new(InterruptMode::Asymmetric(ProcessorId(2)));
+        let mut bank = ProcessorBank::new(4);
+        bank.run_on(ProcessorId(2), SimTime(0), SimDuration::from_millis(10));
+        for _ in 0..5 {
+            let d = ic.dispatch(&hw(), &bank, SimTime(100));
+            assert_eq!(d.processor, ProcessorId(2));
+            assert_eq!(d.handler_start, SimTime(100) + hw().interrupt_entry_cost);
+        }
+        assert_eq!(ic.stats().dispatches, 5);
+        assert_eq!(ic.stats().per_processor[2], 5);
+    }
+
+    #[test]
+    fn symmetric_picks_least_loaded_processor() {
+        let mut ic = InterruptController::new(InterruptMode::Symmetric);
+        let mut bank = ProcessorBank::new(4);
+        bank.run_on(ProcessorId(0), SimTime(0), SimDuration::from_millis(1));
+        bank.run_on(ProcessorId(1), SimTime(0), SimDuration::from_millis(2));
+        bank.run_on(ProcessorId(3), SimTime(0), SimDuration::from_millis(3));
+        let d = ic.dispatch(&hw(), &bank, SimTime(0));
+        assert_eq!(d.processor, ProcessorId(2));
+        assert!(d.overhead > hw().interrupt_entry_cost);
+    }
+
+    #[test]
+    fn polling_waits_for_the_next_tick() {
+        let mut ic = InterruptController::new(InterruptMode::Polling);
+        let bank = ProcessorBank::new(4);
+        let interval = hw().polling_interval.as_nanos();
+        let arrival = SimTime(interval + 1);
+        let d = ic.dispatch(&hw(), &bank, arrival);
+        assert_eq!(d.handler_start, SimTime(interval * 2));
+        // Arrival exactly on a tick is served at that tick.
+        let d = ic.dispatch(&hw(), &bank, SimTime(interval));
+        assert_eq!(d.handler_start, SimTime(interval));
+    }
+
+    #[test]
+    fn symmetric_spreads_load_across_processors() {
+        let mut ic = InterruptController::new(InterruptMode::Symmetric);
+        let mut bank = ProcessorBank::new(4);
+        // Dispatch a series of arrivals, each handler occupying the chosen
+        // processor for a while: the controller should rotate processors.
+        for i in 0..8 {
+            let now = SimTime(i * 100);
+            let d = ic.dispatch(&hw(), &bank, now);
+            bank.run_on(d.processor, d.handler_start, SimDuration::from_micros(500));
+        }
+        let touched = ic.stats().per_processor.iter().filter(|&&c| c > 0).count();
+        assert!(touched >= 3, "expected load spreading, got {touched} processors");
+    }
+}

@@ -1,0 +1,44 @@
+//! # simsmp — a discrete-event simulator for commodity SMP cluster nodes
+//!
+//! The Push-Pull Messaging paper was evaluated on two quad Pentium Pro SMP
+//! machines running Linux 2.1.90.  This crate rebuilds that substrate as a
+//! deterministic discrete-event simulation:
+//!
+//! * a nanosecond-resolution virtual clock and event engine ([`engine`]),
+//! * per-processor execution state with load tracking ([`cpu`]),
+//! * a memory-system cost model (copy bandwidth, cache effects) ([`memory`]),
+//! * per-process page tables with virtual→physical translation costs
+//!   ([`vm`]),
+//! * interrupt delivery — asymmetric, symmetric (least-loaded arbitration)
+//!   or polling ([`interrupt`]),
+//! * SMP nodes tying processors, memory and kernel state together
+//!   ([`node`]),
+//! * measurement helpers that reproduce the paper's trimmed-mean methodology
+//!   ([`stats`]).
+//!
+//! All costs come from a [`HwConfig`]; the [`HwConfig::pentium_pro_1999`]
+//! preset is calibrated against the component costs the paper reports.  The
+//! simulation is fully deterministic: all randomness flows from a seeded RNG.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod cpu;
+pub mod engine;
+pub mod interrupt;
+pub mod memory;
+pub mod node;
+pub mod stats;
+pub mod time;
+pub mod vm;
+
+pub use config::HwConfig;
+pub use cpu::{Processor, ProcessorId};
+pub use engine::{Engine, EventId};
+pub use interrupt::{InterruptController, InterruptMode};
+pub use memory::MemorySystem;
+pub use node::SmpNode;
+pub use stats::{BandwidthSample, LatencyStats};
+pub use time::{SimDuration, SimTime};
+pub use vm::{PageTable, PhysExtent};

@@ -1,0 +1,190 @@
+//! An SMP node: processors, the shared memory system, per-process page
+//! tables, and the interrupt controller.
+
+use crate::config::HwConfig;
+use crate::cpu::{ProcessorBank, ProcessorId};
+use crate::interrupt::{Dispatch, InterruptController, InterruptMode};
+use crate::memory::MemorySystem;
+use crate::time::{SimDuration, SimTime};
+use crate::vm::PageTable;
+use std::collections::HashMap;
+
+/// One simulated SMP machine.
+#[derive(Debug)]
+pub struct SmpNode {
+    id: u32,
+    hw: HwConfig,
+    processors: ProcessorBank,
+    memory: MemorySystem,
+    interrupts: InterruptController,
+    page_tables: HashMap<u32, PageTable>,
+}
+
+impl SmpNode {
+    /// Creates a node with `hw.processors_per_node` processors and the given
+    /// reception-handler invocation mode.
+    pub fn new(id: u32, hw: HwConfig, interrupt_mode: InterruptMode) -> Self {
+        let processors = ProcessorBank::new(hw.processors_per_node);
+        let memory = MemorySystem::new(hw.clone());
+        SmpNode {
+            id,
+            hw,
+            processors,
+            memory,
+            interrupts: InterruptController::new(interrupt_mode),
+            page_tables: HashMap::new(),
+        }
+    }
+
+    /// The node identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The hardware configuration of this node.
+    pub fn hw(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// The processor bank.
+    pub fn processors(&self) -> &ProcessorBank {
+        &self.processors
+    }
+
+    /// Mutable access to the processor bank.
+    pub fn processors_mut(&mut self) -> &mut ProcessorBank {
+        &mut self.processors
+    }
+
+    /// The memory system.
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// Mutable access to the memory system.
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.memory
+    }
+
+    /// The interrupt controller.
+    pub fn interrupts(&self) -> &InterruptController {
+        &self.interrupts
+    }
+
+    /// The page table of local process `local_rank`, created on first use.
+    pub fn page_table(&mut self, local_rank: u32) -> &mut PageTable {
+        let page_size = self.hw.page_size;
+        let id = self.id;
+        self.page_tables
+            .entry(local_rank)
+            .or_insert_with(|| PageTable::new(((id as u64) << 32) | local_rank as u64, page_size))
+    }
+
+    /// The processor that application process `local_rank` runs on.  The
+    /// paper binds each communicating process to its own processor; we use a
+    /// simple round-robin assignment.
+    pub fn app_processor(&self, local_rank: u32) -> ProcessorId {
+        ProcessorId(local_rank as usize % self.processors.len())
+    }
+
+    /// Runs `duration` of work for process `local_rank` on its application
+    /// processor, starting no earlier than `now`.  Returns `(start, end)`.
+    pub fn run_app_work(
+        &mut self,
+        local_rank: u32,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let p = self.app_processor(local_rank);
+        self.processors.run_on(p, now, duration)
+    }
+
+    /// Runs `duration` of kernel work on the least-loaded processor (§4.1),
+    /// excluding `avoid` when given (the application's processor).  Returns
+    /// `(processor, start, end)`.
+    pub fn run_kernel_work_least_loaded(
+        &mut self,
+        now: SimTime,
+        duration: SimDuration,
+        avoid: Option<ProcessorId>,
+    ) -> (ProcessorId, SimTime, SimTime) {
+        let p = match avoid {
+            Some(a) => self.processors.least_loaded_excluding(a),
+            None => self.processors.least_loaded(),
+        };
+        let (s, e) = self.processors.run_on(p, now, duration);
+        (p, s, e)
+    }
+
+    /// Dispatches the reception handler for an arrival at `arrival`,
+    /// charging the invocation overhead to the chosen processor.  Returns the
+    /// dispatch decision with the handler start time already serialised
+    /// against the chosen processor's earlier work.
+    pub fn dispatch_reception(&mut self, arrival: SimTime) -> Dispatch {
+        let d = self.interrupts.dispatch(&self.hw, &self.processors, arrival);
+        let (_, end) = self.processors.run_on(d.processor, arrival, d.overhead);
+        Dispatch {
+            processor: d.processor,
+            handler_start: end.max(d.handler_start),
+            overhead: d.overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> SmpNode {
+        SmpNode::new(0, HwConfig::pentium_pro_1999(), InterruptMode::Symmetric)
+    }
+
+    #[test]
+    fn app_processor_assignment_is_stable() {
+        let n = node();
+        assert_eq!(n.app_processor(0), ProcessorId(0));
+        assert_eq!(n.app_processor(1), ProcessorId(1));
+        assert_eq!(n.app_processor(5), ProcessorId(1));
+    }
+
+    #[test]
+    fn page_tables_are_per_process_and_persistent() {
+        let mut n = node();
+        let a1 = n.page_table(0).translate(0x1000, 10_000);
+        let b = n.page_table(1).translate(0x1000, 10_000);
+        let a2 = n.page_table(0).translate(0x1000, 10_000);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn kernel_work_avoids_the_application_processor() {
+        let mut n = node();
+        let app = n.app_processor(0);
+        for _ in 0..10 {
+            let (p, _, _) =
+                n.run_kernel_work_least_loaded(SimTime(0), SimDuration::from_micros(10), Some(app));
+            assert_ne!(p, app);
+        }
+    }
+
+    #[test]
+    fn reception_dispatch_charges_overhead() {
+        let mut n = node();
+        let d = n.dispatch_reception(SimTime(1000));
+        assert!(d.handler_start >= SimTime(1000) + n.hw().interrupt_entry_cost);
+        let busy = n.processors().get(d.processor).busy_total();
+        assert_eq!(busy, d.overhead);
+    }
+
+    #[test]
+    fn app_work_serialises_per_process() {
+        let mut n = node();
+        let (_, e1) = n.run_app_work(0, SimTime(0), SimDuration::from_micros(100));
+        let (s2, _) = n.run_app_work(0, SimTime(0), SimDuration::from_micros(50));
+        assert_eq!(s2, e1);
+        // A different process runs on a different processor, in parallel.
+        let (s3, _) = n.run_app_work(1, SimTime(0), SimDuration::from_micros(50));
+        assert_eq!(s3, SimTime(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Measurement helpers reproducing the paper's methodology.
+//!
+//! "Each test performed one thousand iterations.  Among all timing results,
+//! the first and last 10 % (in terms of execution time) were neglected.  Only
+//! the middle 80 % of the timings was used to calculate the average."
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A collection of latency samples with the paper's trimmed-mean reduction.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<SimDuration>,
+}
+
+impl LatencyStats {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The paper's reduction: sort by execution time, drop the first and last
+    /// 10 %, and average the middle 80 %.  With fewer than ten samples the
+    /// plain mean is returned.
+    pub fn trimmed_mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let trim = sorted.len() / 10;
+        let kept = &sorted[trim..sorted.len() - trim];
+        let kept = if kept.is_empty() { &sorted[..] } else { kept };
+        let sum: u128 = kept.iter().map(|d| d.as_nanos() as u128).sum();
+        SimDuration((sum / kept.len() as u128) as u64)
+    }
+
+    /// Plain arithmetic mean.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        SimDuration((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> SimDuration {
+        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> SimDuration {
+        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The `p`-th percentile (0–100), by nearest-rank.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// One bandwidth measurement: `bytes` transferred in `elapsed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandwidthSample {
+    /// Number of payload bytes transferred.
+    pub bytes: u64,
+    /// Time taken.
+    pub elapsed: SimDuration,
+}
+
+impl BandwidthSample {
+    /// Bandwidth in megabytes per second (decimal MB, as the paper reports).
+    pub fn megabytes_per_second(&self) -> f64 {
+        if self.elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_ignores_outliers() {
+        let mut s = LatencyStats::new();
+        for _ in 0..96 {
+            s.record(SimDuration::from_micros(10));
+        }
+        // Four wild outliers (cold caches, scheduling noise) are trimmed.
+        for _ in 0..4 {
+            s.record(SimDuration::from_millis(50));
+        }
+        let tm = s.trimmed_mean();
+        assert_eq!(tm, SimDuration::from_micros(10));
+        assert!(s.mean() > tm);
+    }
+
+    #[test]
+    fn small_sample_sets_fall_back_to_plain_mean() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_micros(10));
+        s.record(SimDuration::from_micros(20));
+        assert_eq!(s.trimmed_mean(), SimDuration::from_micros(15));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.trimmed_mean(), SimDuration::ZERO);
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.min(), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+        assert_eq!(s.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_max_percentile() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100u64 {
+            s.record(SimDuration::from_micros(i));
+        }
+        assert_eq!(s.min(), SimDuration::from_micros(1));
+        assert_eq!(s.max(), SimDuration::from_micros(100));
+        let p50 = s.percentile(50.0);
+        assert!(p50 >= SimDuration::from_micros(50) && p50 <= SimDuration::from_micros(51));
+        assert!(s.percentile(99.0) >= SimDuration::from_micros(98));
+    }
+
+    #[test]
+    fn bandwidth_sample_math() {
+        let s = BandwidthSample {
+            bytes: 12_100_000,
+            elapsed: SimDuration::from_secs(1),
+        };
+        assert!((s.megabytes_per_second() - 12.1).abs() < 1e-9);
+        let z = BandwidthSample {
+            bytes: 100,
+            elapsed: SimDuration::ZERO,
+        };
+        assert_eq!(z.megabytes_per_second(), 0.0);
+    }
+}

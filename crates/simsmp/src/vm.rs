@@ -1,0 +1,256 @@
+//! Virtual memory: per-process page tables with deterministic
+//! virtual→physical mappings, page pinning, and translation cost accounting.
+//!
+//! The cross-space zero buffer (§4.2) needs the physical scatter list of a
+//! virtually contiguous buffer; this module supplies it.  Physical frames are
+//! assigned on first touch by a deterministic hash of `(process, virtual
+//! page)`, which scatters them like a real allocator would without requiring
+//! a global frame allocator.
+
+use crate::config::HwConfig;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One physically contiguous extent of a translated buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysExtent {
+    /// Starting physical address.
+    pub phys_addr: u64,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+/// Statistics of one page table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTableStats {
+    /// Number of translation requests served.
+    pub translations: u64,
+    /// Total pages walked.
+    pub pages_walked: u64,
+    /// Pages currently pinned.
+    pub pinned_pages: u64,
+}
+
+/// The page table of one simulated process.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    process_seed: u64,
+    page_size: usize,
+    /// Virtual page number → physical frame number, populated on first touch.
+    mappings: HashMap<u64, u64>,
+    pinned: HashMap<u64, bool>,
+    stats: PageTableStats,
+}
+
+impl PageTable {
+    /// Creates the page table for a process.  `process_seed` makes different
+    /// processes receive different (but deterministic) physical layouts.
+    pub fn new(process_seed: u64, page_size: usize) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        PageTable {
+            process_seed,
+            page_size,
+            mappings: HashMap::new(),
+            pinned: HashMap::new(),
+            stats: PageTableStats::default(),
+        }
+    }
+
+    /// The page size of this address space.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn frame_for(&mut self, vpn: u64) -> u64 {
+        let seed = self.process_seed;
+        *self.mappings.entry(vpn).or_insert_with(|| {
+            // SplitMix64-style deterministic scatter.
+            let mut x = vpn
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            // 64 K physical frames (256 MB of RAM at 4 KiB pages), as on the
+            // paper's machines.
+            x % 65_536
+        })
+    }
+
+    /// Translates the `len` bytes starting at virtual address `virt` into a
+    /// physical scatter list.  Adjacent pages that happen to map to adjacent
+    /// frames are merged into a single extent.
+    pub fn translate(&mut self, virt: u64, len: usize) -> Vec<PhysExtent> {
+        self.stats.translations += 1;
+        if len == 0 {
+            return Vec::new();
+        }
+        let page = self.page_size as u64;
+        let mut extents: Vec<PhysExtent> = Vec::new();
+        let mut addr = virt;
+        let mut remaining = len;
+        while remaining > 0 {
+            let vpn = addr / page;
+            let offset = addr % page;
+            let in_page = ((page - offset) as usize).min(remaining);
+            let frame = self.frame_for(vpn);
+            self.stats.pages_walked += 1;
+            let phys = frame * page + offset;
+            if let Some(last) = extents.last_mut() {
+                if last.phys_addr + last.len as u64 == phys {
+                    last.len += in_page;
+                    addr += in_page as u64;
+                    remaining -= in_page;
+                    continue;
+                }
+            }
+            extents.push(PhysExtent {
+                phys_addr: phys,
+                len: in_page,
+            });
+            addr += in_page as u64;
+            remaining -= in_page;
+        }
+        extents
+    }
+
+    /// The cost of translating a `len`-byte buffer under `hw`'s cost model.
+    pub fn translation_cost(&self, hw: &HwConfig, len: usize) -> SimDuration {
+        hw.translation_cost(len)
+    }
+
+    /// Pins the pages covering `[virt, virt+len)` (e.g. the pushed buffer or
+    /// a communication endpoint), preventing them from being "paged out" and
+    /// counting towards the pinned-memory footprint.
+    pub fn pin(&mut self, virt: u64, len: usize) {
+        let page = self.page_size as u64;
+        if len == 0 {
+            return;
+        }
+        let first = virt / page;
+        let last = (virt + len as u64 - 1) / page;
+        for vpn in first..=last {
+            let newly = self.pinned.insert(vpn, true).is_none();
+            if newly {
+                self.stats.pinned_pages += 1;
+            }
+        }
+    }
+
+    /// Unpins the pages covering `[virt, virt+len)`.
+    pub fn unpin(&mut self, virt: u64, len: usize) {
+        let page = self.page_size as u64;
+        if len == 0 {
+            return;
+        }
+        let first = virt / page;
+        let last = (virt + len as u64 - 1) / page;
+        for vpn in first..=last {
+            if self.pinned.remove(&vpn).is_some() {
+                self.stats.pinned_pages -= 1;
+            }
+        }
+    }
+
+    /// `true` if the page containing `virt` is pinned.
+    pub fn is_pinned(&self, virt: u64) -> bool {
+        self.pinned.contains_key(&(virt / self.page_size as u64))
+    }
+
+    /// Bytes of pinned memory (whole pages).
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned.len() * self.page_size
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> PageTableStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_covers_exactly_the_requested_bytes() {
+        let mut pt = PageTable::new(7, 4096);
+        for (virt, len) in [(0u64, 1usize), (100, 4096), (4095, 2), (0x1_2345, 40_000)] {
+            let extents = pt.translate(virt, len);
+            let total: usize = extents.iter().map(|e| e.len).sum();
+            assert_eq!(total, len, "virt={virt:#x} len={len}");
+        }
+        assert!(pt.translate(0, 0).is_empty());
+    }
+
+    #[test]
+    fn translation_is_deterministic_and_stable() {
+        let mut a = PageTable::new(42, 4096);
+        let mut b = PageTable::new(42, 4096);
+        assert_eq!(a.translate(0x8000, 20_000), b.translate(0x8000, 20_000));
+        // Repeated translation of the same range returns the same frames.
+        let first = a.translate(0x8000, 20_000);
+        let second = a.translate(0x8000, 20_000);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_processes_get_different_layouts() {
+        let mut a = PageTable::new(1, 4096);
+        let mut b = PageTable::new(2, 4096);
+        assert_ne!(a.translate(0x8000, 20_000), b.translate(0x8000, 20_000));
+    }
+
+    #[test]
+    fn physical_pages_are_scattered() {
+        // A multi-page buffer should not be one contiguous physical extent
+        // (that is the whole reason zero buffers are scatter lists).
+        let mut pt = PageTable::new(3, 4096);
+        let extents = pt.translate(0, 64 * 1024);
+        assert!(extents.len() > 1, "expected a scattered layout");
+    }
+
+    #[test]
+    fn offsets_within_page_are_preserved()  {
+        let mut pt = PageTable::new(9, 4096);
+        let extents = pt.translate(4096 + 123, 10);
+        assert_eq!(extents.len(), 1);
+        assert_eq!(extents[0].phys_addr % 4096, 123);
+        assert_eq!(extents[0].len, 10);
+    }
+
+    #[test]
+    fn pin_and_unpin_accounting() {
+        let mut pt = PageTable::new(5, 4096);
+        pt.pin(4096, 8192); // pages 1 and 2
+        assert_eq!(pt.stats().pinned_pages, 2);
+        assert_eq!(pt.pinned_bytes(), 8192);
+        assert!(pt.is_pinned(5000));
+        assert!(!pt.is_pinned(0));
+        // Overlapping pin does not double count.
+        pt.pin(4096, 4096);
+        assert_eq!(pt.stats().pinned_pages, 2);
+        pt.unpin(4096, 8192);
+        assert_eq!(pt.stats().pinned_pages, 0);
+        assert!(!pt.is_pinned(5000));
+    }
+
+    #[test]
+    fn stats_track_walks() {
+        let mut pt = PageTable::new(5, 4096);
+        pt.translate(0, 4096 * 3);
+        let s = pt.stats();
+        assert_eq!(s.translations, 1);
+        assert_eq!(s.pages_walked, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn page_size_must_be_power_of_two() {
+        let _ = PageTable::new(0, 3000);
+    }
+}

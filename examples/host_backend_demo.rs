@@ -1,0 +1,57 @@
+//! The real (non-simulated) backend: threads exchanging messages through the
+//! shared-memory fabric and through UDP loopback sockets, using the same
+//! protocol engine the simulator drives.
+//!
+//! Run with: `cargo run --release --example host_backend_demo`
+
+use bytes::Bytes;
+use push_pull_messaging::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let timeout = Duration::from_secs(5);
+
+    // --- intranode: two threads, one shared-memory fabric ----------------
+    let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+    let a = cluster.add_endpoint(0);
+    let b = cluster.add_endpoint(1);
+    let data = Bytes::from(vec![1u8; 65536]);
+    let start = Instant::now();
+    let iters = 2000;
+    for _ in 0..iters {
+        a.send(b.id(), Tag(1), data.clone());
+        let got = b.recv(a.id(), Tag(1), data.len(), timeout).unwrap();
+        b.send(a.id(), Tag(2), got);
+        a.recv(b.id(), Tag(2), data.len(), timeout).unwrap();
+    }
+    let elapsed = start.elapsed();
+    let bytes = 2.0 * iters as f64 * data.len() as f64;
+    println!(
+        "intranode fabric: {iters} x 64 KiB round trips in {:.2?} ({:.0} MB/s)",
+        elapsed,
+        bytes / elapsed.as_secs_f64() / 1e6
+    );
+
+    // --- internode: UDP loopback -----------------------------------------
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(256 * 1024);
+    let ua = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    let ub = UdpEndpoint::bind(ProcessId::new(1, 0), proto, "127.0.0.1:0").unwrap();
+    ua.add_peer(ub.id(), ub.local_addr().unwrap());
+    ub.add_peer(ua.id(), ua.local_addr().unwrap());
+    let data = Bytes::from(vec![2u8; 4096]);
+    let start = Instant::now();
+    let iters = 500;
+    for _ in 0..iters {
+        ua.send(ub.id(), Tag(1), data.clone());
+        let got = ub.recv(ua.id(), Tag(1), data.len(), timeout).unwrap();
+        ub.send(ua.id(), Tag(2), got);
+        ua.recv(ub.id(), Tag(2), data.len(), timeout).unwrap();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "udp loopback: {iters} x 4 KiB round trips in {:.2?} ({:.1} us/rtt)",
+        elapsed,
+        elapsed.as_micros() as f64 / iters as f64
+    );
+    println!("same protocol engine, real OS transports — see ppmsg-sim for the 1999 numbers");
+}

@@ -1,0 +1,42 @@
+//! Reproduce the paper's headline latency/bandwidth numbers on the simulated
+//! 1999 testbed (two quad Pentium Pro nodes, 100 Mbit/s Fast Ethernet).
+//!
+//! Run with: `cargo run --release --example smp_cluster_pingpong`
+
+use ppmsg_sim::experiments::{bandwidth_sweep, fig3_intranode, fig4_internode, fig3_sizes, fig4_sizes, headline_numbers};
+
+fn main() {
+    let iters = 40;
+    println!("Simulating the paper's testbed (this takes a few seconds)...\n");
+
+    let h = headline_numbers(iters);
+    println!("Headline numbers (paper -> measured):");
+    println!("  intranode 10-byte latency:   7.5 us   -> {:6.1} us", h.intranode_latency_us);
+    println!("  intranode peak bandwidth:  350.9 MB/s -> {:6.1} MB/s", h.intranode_peak_bw_mb_s);
+    println!("  internode 4-byte latency:   34.9 us   -> {:6.1} us", h.internode_latency_us);
+    println!("  internode peak bandwidth:   12.1 MB/s -> {:6.1} MB/s", h.internode_peak_bw_mb_s);
+    println!("  masked translation overhead: 12-13 us -> {:6.1} us", h.translation_overhead_us);
+
+    println!("\nFigure 3 (intranode latency, us):");
+    for p in fig3_intranode(&fig3_sizes(), iters) {
+        print!("  {:>6} B", p.size);
+        for (label, v) in &p.series {
+            print!("   {label}={v:.1}");
+        }
+        println!();
+    }
+
+    println!("\nFigure 4 (internode latency, us):");
+    for p in fig4_internode(&fig4_sizes(), iters) {
+        print!("  {:>6} B", p.size);
+        for (label, v) in &p.series {
+            print!("   [{label}]={v:.1}");
+        }
+        println!();
+    }
+
+    println!("\nInternode bandwidth:");
+    for p in bandwidth_sweep(false, &[1024, 4096, 8192, 32768], iters) {
+        println!("  {:>6} B  {:6.1} MB/s", p.size, p.mb_per_s);
+    }
+}

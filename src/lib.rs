@@ -1,0 +1,31 @@
+//! # push-pull-messaging
+//!
+//! Facade crate for the Push-Pull Messaging reproduction (Wong & Wang,
+//! ICPP 1999).  It re-exports the workspace crates so examples, integration
+//! tests and downstream users can depend on a single package:
+//!
+//! * [`core`](ppmsg_core) — the sans-I/O protocol engine (Push-Zero /
+//!   Push-Pull / Push-All, BTP policy, go-back-N, zero-buffer descriptors).
+//! * [`sim`](ppmsg_sim) — the paper's testbed as a discrete-event simulation
+//!   plus the experiment harness for every figure.
+//! * [`host`](ppmsg_host) — the same engine over real shared memory
+//!   (threads) and UDP sockets.
+//! * [`simsmp`] / [`simnet`] — the SMP-node and Fast-Ethernet substrates.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction details.
+
+pub use ppmsg_core as core;
+pub use ppmsg_host as host;
+pub use ppmsg_sim as sim;
+pub use simnet;
+pub use simsmp;
+
+/// The protocol types most users need, re-exported flat.
+pub mod prelude {
+    pub use ppmsg_core::{
+        Action, BtpPolicy, Endpoint, OptFlags, ProcessId, ProtocolConfig, ProtocolMode, Tag,
+    };
+    pub use ppmsg_host::{HostCluster, HostEndpoint, UdpEndpoint};
+    pub use ppmsg_sim::{ClusterConfig, Op, ProcessScript, SimCluster};
+}

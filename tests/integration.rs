@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the protocol engine driven by the
+//! simulator and by the host backend must agree on behaviour, and the
+//! simulated figures must keep the qualitative shapes the paper reports.
+
+use bytes::Bytes;
+use push_pull_messaging::prelude::*;
+use ppmsg_sim::experiments::{
+    bandwidth_sweep, early_late_test, fig3_intranode, fig4_internode, headline_numbers,
+    EarlyLateVariant,
+};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i * 7 % 256) as u8).collect::<Vec<u8>>())
+}
+
+#[test]
+fn host_and_sim_backends_both_deliver_all_modes() {
+    for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+        // Host backend, intranode fabric.
+        let cluster = HostCluster::new(
+            0,
+            ProtocolConfig::paper_intranode()
+                .with_mode(mode)
+                .with_pushed_buffer(128 * 1024),
+        );
+        let a = cluster.add_endpoint(0);
+        let b = cluster.add_endpoint(1);
+        let data = payload(10_000);
+        a.send(b.id(), Tag(1), data.clone());
+        assert_eq!(
+            b.recv(a.id(), Tag(1), 10_000, TIMEOUT).expect("host recv"),
+            data,
+            "host backend, mode {mode:?}"
+        );
+
+        // Simulated cluster, internode path.
+        let protocol = ProtocolConfig::paper_internode()
+            .with_mode(mode)
+            .with_pushed_buffer(128 * 1024);
+        let cfg = ClusterConfig::paper_testbed(protocol);
+        let mut sim = SimCluster::new(cfg);
+        let pa = ProcessId::new(0, 0);
+        let pb = ProcessId::new(1, 0);
+        sim.add_process(ProcessScript {
+            process: pa,
+            ops: vec![Op::Send { peer: pb, tag: Tag(1), len: 10_000 }],
+        });
+        sim.add_process(ProcessScript {
+            process: pb,
+            ops: vec![Op::Recv { peer: pa, tag: Tag(1), len: 10_000 }],
+        });
+        let report = sim.run();
+        assert!(sim.all_finished(), "sim backend, mode {mode:?}");
+        let stats = report.endpoint_stats[&pb];
+        assert_eq!(stats.recvs_completed, 1, "sim backend, mode {mode:?}");
+    }
+}
+
+#[test]
+fn udp_and_intranode_backends_interoperate_with_same_engine_config() {
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let a = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto, "127.0.0.1:0").unwrap();
+    a.add_peer(b.id(), b.local_addr().unwrap());
+    b.add_peer(a.id(), a.local_addr().unwrap());
+    for len in [1usize, 80, 760, 1460, 8192, 40_000] {
+        let data = payload(len);
+        a.send(b.id(), Tag(4), data.clone());
+        assert_eq!(b.recv(a.id(), Tag(4), len, TIMEOUT).unwrap(), data, "len {len}");
+    }
+}
+
+#[test]
+fn figure3_intranode_latency_shapes() {
+    let points = fig3_intranode(&[10, 1000, 4000, 8192], 15);
+    // Latencies rise with size for every mechanism and stay within the
+    // intranode regime (tens of microseconds, not milliseconds).
+    for p in &points {
+        for (label, v) in &p.series {
+            assert!(*v > 0.0 && *v < 500.0, "{label} at {} B = {v}", p.size);
+        }
+    }
+    let small = &points[0];
+    let big = &points[3];
+    for label in ["push-zero", "push-pull", "push-all"] {
+        assert!(big.get(label).unwrap() > small.get(label).unwrap());
+    }
+    // Paper: the minimum latency for a 10-byte message is 7.5 us; ours must
+    // be the same order of magnitude.
+    assert!(small.get("push-pull").unwrap() < 30.0);
+}
+
+#[test]
+fn figure4_optimisations_help_large_messages() {
+    let points = fig4_internode(&[1400], 15);
+    let p = &points[0];
+    let no_opt = p.get("no optimization").unwrap();
+    let mask = p.get("mask only").unwrap();
+    let overlap = p.get("overlap only").unwrap();
+    let full = p.get("full optimization").unwrap();
+    assert!(mask <= no_opt, "masking must not hurt ({mask} vs {no_opt})");
+    assert!(overlap <= no_opt, "overlapping must not hurt ({overlap} vs {no_opt})");
+    assert!(full <= mask && full <= overlap, "full optimisation must be best");
+    // Paper: overlapping hides the (larger) acknowledge latency, masking the
+    // (smaller) translation overhead — so overlapping helps at least as much.
+    assert!(overlap <= mask + 1.0, "overlap ({overlap}) should beat mask ({mask})");
+}
+
+#[test]
+fn figure6_late_receiver_collapse_and_recovery() {
+    let late = early_late_test(EarlyLateVariant::Late, &[2048, 8192], 5);
+    // Below the pushed-buffer size everything is comparable.
+    let small = &late[0];
+    assert!(
+        small.get("push-all/late").unwrap() < small.get("push-pull/late").unwrap() * 1.5,
+        "2 KiB fits the pushed buffer; push-all must not collapse yet"
+    );
+    // Beyond it, Push-All pays go-back-N recovery and collapses; Push-Pull
+    // keeps working and beats Push-Zero.
+    let big = &late[1];
+    let push_all = big.get("push-all/late").unwrap();
+    let push_pull = big.get("push-pull/late").unwrap();
+    let push_zero = big.get("push-zero/late").unwrap();
+    assert!(push_all > push_pull * 2.0, "push-all {push_all} vs push-pull {push_pull}");
+    assert!(push_pull <= push_zero * 1.05, "push-pull {push_pull} vs push-zero {push_zero}");
+}
+
+#[test]
+fn bandwidth_respects_physical_limits() {
+    // Internode bandwidth can approach but never exceed the 12.5 MB/s wire.
+    for p in bandwidth_sweep(false, &[8192, 32768], 15) {
+        assert!(p.mb_per_s > 3.0 && p.mb_per_s < 12.5, "{} B -> {} MB/s", p.size, p.mb_per_s);
+    }
+    // Intranode bandwidth is memory-bound: far above the wire, below the bus.
+    for p in bandwidth_sweep(true, &[4000, 8192], 15) {
+        assert!(p.mb_per_s > 50.0 && p.mb_per_s < 533.0, "{} B -> {} MB/s", p.size, p.mb_per_s);
+    }
+}
+
+#[test]
+fn headline_numbers_reproduced_within_tolerance() {
+    let h = headline_numbers(20);
+    // Within a factor of ~2 of the paper on every headline metric.
+    assert!((3.0..16.0).contains(&h.intranode_latency_us), "{}", h.intranode_latency_us);
+    assert!((17.0..70.0).contains(&h.internode_latency_us), "{}", h.internode_latency_us);
+    assert!(h.intranode_peak_bw_mb_s > 150.0, "{}", h.intranode_peak_bw_mb_s);
+    assert!((6.0..12.5).contains(&h.internode_peak_bw_mb_s), "{}", h.internode_peak_bw_mb_s);
+    assert!((6.0..26.0).contains(&h.translation_overhead_us), "{}", h.translation_overhead_us);
+}

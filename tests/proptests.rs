@@ -1,0 +1,252 @@
+//! Property-based tests on the protocol's core invariants, exercised through
+//! the public API of the facade crate.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use push_pull_messaging::core::queues::Assembly;
+use push_pull_messaging::core::reliability::{Frame, GbnConfig, GbnEvent, GoBackN};
+use push_pull_messaging::core::wire::{Packet, PacketHeader, PacketKind, PushPart};
+use push_pull_messaging::core::zbuf::pages_spanned;
+use push_pull_messaging::core::{BtpPolicy, BtpSplit, MessageId, OptFlags, ProtocolMode};
+use push_pull_messaging::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = ProtocolMode> {
+    prop_oneof![
+        Just(ProtocolMode::PushZero),
+        Just(ProtocolMode::PushPull),
+        Just(ProtocolMode::PushAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BTP split always conserves the message length and never produces
+    /// a negative-sized part, for any policy and message size.
+    #[test]
+    fn btp_split_conserves_length(
+        mode in arb_mode(),
+        btp1 in 0usize..4096,
+        btp2 in 0usize..4096,
+        overlap in any::<bool>(),
+        len in 0usize..200_000,
+    ) {
+        let mut opts = OptFlags::full();
+        opts.push_ack_overlap = overlap;
+        let split = BtpSplit::plan(mode, BtpPolicy::split(btp1, btp2), opts, len);
+        prop_assert_eq!(split.total(), len);
+        prop_assert!(split.first_push <= len);
+        prop_assert!(split.second_push_offset() + split.second_push <= len);
+        prop_assert_eq!(split.pulled_offset() + split.pulled, len);
+    }
+
+    /// Wire round-trip: any packet that encodes must decode to itself.
+    #[test]
+    fn packet_roundtrip(
+        kind in 0u8..5,
+        msg_id in any::<u64>(),
+        tag in any::<u32>(),
+        total in 0u32..100_000,
+        offset in 0u32..100_000,
+        payload_len in 0usize..4096,
+    ) {
+        let kind = match kind {
+            0 => PacketKind::Push(PushPart::First),
+            1 => PacketKind::Push(PushPart::Second),
+            2 => PacketKind::PullRequest,
+            3 => PacketKind::PullData,
+            _ => PacketKind::Control,
+        };
+        let payload_len = if kind == PacketKind::PullRequest { 0 } else { payload_len };
+        let header = PacketHeader {
+            kind,
+            src: ProcessId::new(0, 1),
+            dst: ProcessId::new(1, 0),
+            msg_id: MessageId(msg_id),
+            tag: Tag(tag),
+            total_len: total,
+            eager_len: total.min(760),
+            offset,
+            payload_len: payload_len as u32,
+        };
+        let pkt = Packet::new(header, Bytes::from(vec![0xA5u8; payload_len])).unwrap();
+        let decoded = Packet::decode(pkt.encode()).unwrap();
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    /// Go-back-N frame round-trip.
+    #[test]
+    fn frame_roundtrip(seq in any::<u64>(), len in 0usize..2048) {
+        let header = PacketHeader {
+            kind: PacketKind::PullData,
+            src: ProcessId::new(0, 0),
+            dst: ProcessId::new(1, 0),
+            msg_id: MessageId(9),
+            tag: Tag(2),
+            total_len: len as u32,
+            eager_len: 0,
+            offset: 0,
+            payload_len: len as u32,
+        };
+        let frame = Frame::Data {
+            seq,
+            packet: Packet::new(header, Bytes::from(vec![1u8; len])).unwrap(),
+        };
+        prop_assert_eq!(Frame::decode(frame.encode()).unwrap(), frame);
+    }
+
+    /// Go-back-N delivers every packet exactly once, in order, under any
+    /// loss pattern (as long as losses eventually stop).
+    #[test]
+    fn go_back_n_exactly_once_under_loss(
+        count in 1usize..30,
+        loss_pattern in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let cfg = GbnConfig { window: 8, rto_us: 10, max_retries: 10_000 };
+        let mut sender = GoBackN::new(cfg);
+        let mut receiver = GoBackN::new(cfg);
+        let mut events = Vec::new();
+        for i in 0..count {
+            let header = PacketHeader {
+                kind: PacketKind::PullData,
+                src: ProcessId::new(0, 0),
+                dst: ProcessId::new(1, 0),
+                msg_id: MessageId(i as u64),
+                tag: Tag(0),
+                total_len: 8,
+                eager_len: 0,
+                offset: 0,
+                payload_len: 8,
+            };
+            sender.send(Packet::new(header, Bytes::from(vec![i as u8; 8])).unwrap(), &mut events);
+        }
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut drop_iter = loss_pattern.into_iter();
+        let mut pending_timer = None;
+        let mut steps = 0;
+        while !sender.idle() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "did not converge");
+            let outgoing: Vec<GbnEvent> = std::mem::take(&mut events);
+            let mut to_receiver = Vec::new();
+            for e in outgoing {
+                match e {
+                    GbnEvent::Transmit(f) => {
+                        let drop = matches!(f, Frame::Data { .. }) && drop_iter.next().unwrap_or(false);
+                        if !drop {
+                            to_receiver.push(f);
+                        }
+                    }
+                    GbnEvent::SetTimer { generation, .. } => pending_timer = Some(generation),
+                    GbnEvent::CancelTimer { .. } => pending_timer = None,
+                    _ => {}
+                }
+            }
+            let mut recv_events = Vec::new();
+            for f in to_receiver {
+                receiver.on_frame(f, &mut recv_events);
+            }
+            for e in recv_events {
+                match e {
+                    GbnEvent::Deliver(p) => delivered.push(p.header.msg_id.0),
+                    GbnEvent::Transmit(f) => sender.on_frame(f, &mut events),
+                    _ => {}
+                }
+            }
+            if events.is_empty() && !sender.idle() {
+                if let Some(generation) = pending_timer.take() {
+                    sender.on_timeout(generation, &mut events);
+                }
+            }
+        }
+        prop_assert_eq!(delivered, (0..count as u64).collect::<Vec<_>>());
+    }
+
+    /// Message reassembly covers exactly the bytes written, regardless of
+    /// fragment order, overlap, or duplication.
+    #[test]
+    fn assembly_tracks_coverage_exactly(
+        total in 1usize..8192,
+        fragments in proptest::collection::vec((0usize..8192, 1usize..2048), 1..24),
+    ) {
+        let mut assembly = Assembly::new(total);
+        let mut covered = vec![false; total];
+        for (offset, len) in fragments {
+            let data = vec![0xCDu8; len];
+            assembly.write_at(offset, &data);
+            for i in offset..(offset + len).min(total) {
+                covered[i] = true;
+            }
+        }
+        let expected = covered.iter().filter(|&&c| c).count();
+        prop_assert_eq!(assembly.received(), expected);
+        prop_assert_eq!(assembly.is_complete(), expected == total);
+    }
+
+    /// The page-span helper agrees with a brute-force page enumeration.
+    #[test]
+    fn pages_spanned_matches_bruteforce(addr in 0u64..1_000_000, len in 0usize..100_000) {
+        let fast = pages_spanned(addr, len, 4096);
+        let brute = if len == 0 {
+            0
+        } else {
+            let first = addr / 4096;
+            let last = (addr + len as u64 - 1) / 4096;
+            (last - first + 1) as usize
+        };
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// End-to-end engine property: for any mode, size, and posting order, the
+    /// delivered bytes equal the sent bytes.
+    #[test]
+    fn engine_delivers_exact_bytes(
+        mode in arb_mode(),
+        len in 0usize..20_000,
+        recv_first in any::<bool>(),
+        seed in any::<u8>(),
+    ) {
+        let cfg = ProtocolConfig::paper_internode()
+            .with_mode(mode)
+            .with_pushed_buffer(256 * 1024);
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        let mut sender = Endpoint::new(a, cfg.clone());
+        let mut receiver = Endpoint::new(b, cfg);
+        let data = Bytes::from((0..len).map(|i| (i as u8).wrapping_add(seed)).collect::<Vec<u8>>());
+
+        if recv_first {
+            receiver.post_recv(a, Tag(1), len).unwrap();
+            sender.post_send(b, Tag(1), data.clone()).unwrap();
+        } else {
+            sender.post_send(b, Tag(1), data.clone()).unwrap();
+            receiver.post_recv(a, Tag(1), len).unwrap();
+        }
+
+        let mut delivered = None;
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            while let Some(action) = sender.poll_action() {
+                progressed = true;
+                match action {
+                    Action::TransmitFrame { frame, .. } => receiver.handle_frame(a, frame),
+                    Action::Transmit { packet, .. } => receiver.handle_packet(a, packet),
+                    _ => {}
+                }
+            }
+            while let Some(action) = receiver.poll_action() {
+                progressed = true;
+                match action {
+                    Action::TransmitFrame { frame, .. } => sender.handle_frame(b, frame),
+                    Action::Transmit { packet, .. } => sender.handle_packet(b, packet),
+                    Action::RecvComplete { data, .. } => delivered = Some(data),
+                    _ => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        prop_assert_eq!(delivered.expect("message delivered"), data);
+    }
+}
