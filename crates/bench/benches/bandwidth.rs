@@ -17,11 +17,26 @@ fn bench(c: &mut Criterion) {
     }
     let h = headline_numbers(BENCH_ITERS);
     println!("\n=== Headline numbers (paper → measured) ===");
-    println!("intranode latency   7.5 us  -> {:.1} us", h.intranode_latency_us);
-    println!("intranode peak BW 350.9 MB/s -> {:.1} MB/s", h.intranode_peak_bw_mb_s);
-    println!("internode latency  34.9 us  -> {:.1} us", h.internode_latency_us);
-    println!("internode peak BW  12.1 MB/s -> {:.1} MB/s", h.internode_peak_bw_mb_s);
-    println!("translation ovhd  12-13 us  -> {:.1} us", h.translation_overhead_us);
+    println!(
+        "intranode latency   7.5 us  -> {:.1} us",
+        h.intranode_latency_us
+    );
+    println!(
+        "intranode peak BW 350.9 MB/s -> {:.1} MB/s",
+        h.intranode_peak_bw_mb_s
+    );
+    println!(
+        "internode latency  34.9 us  -> {:.1} us",
+        h.internode_latency_us
+    );
+    println!(
+        "internode peak BW  12.1 MB/s -> {:.1} MB/s",
+        h.internode_peak_bw_mb_s
+    );
+    println!(
+        "translation ovhd  12-13 us  -> {:.1} us",
+        h.translation_overhead_us
+    );
 
     let mut group = c.benchmark_group("bandwidth");
     group.sample_size(10);

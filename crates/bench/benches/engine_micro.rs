@@ -1,9 +1,24 @@
 //! Microbenchmarks of the protocol engine itself (no simulator, no I/O):
-//! cost of posting sends/receives and relaying the resulting packets.
+//! cost of posting sends/receives, relaying the resulting packets, matching
+//! under pending-operation load, and the wire codec.
+//!
+//! Besides the Criterion groups, this bench measures the PR-1 hot-path
+//! numbers directly with `std::time::Instant` and writes them to
+//! `BENCH_PR1.json` at the repository root, comparing the slab/bucket
+//! structures against the pre-refactor baselines preserved in
+//! `ppmsg_bench::baseline`.  That file is the start of the repo's recorded
+//! performance trajectory.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ppmsg_core::{Action, Endpoint, ProcessId, ProtocolConfig, Tag};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ppmsg_bench::baseline::{NaiveReceiveQueue, NaiveSendQueue};
+use ppmsg_core::queues::{PendingSend, PostedReceive, ReceiveQueue, SendQueue};
+use ppmsg_core::wire::PacketBufPool;
+use ppmsg_core::{
+    Action, BtpPolicy, BtpSplit, Endpoint, MessageId, OptFlags, Packet, PacketHeader, PacketKind,
+    ProcessId, ProtocolConfig, ProtocolMode, PushPart, RecvHandle, SendHandle, Tag,
+};
+use std::time::Instant;
 
 fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
     loop {
@@ -13,7 +28,9 @@ fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
                 progressed = true;
                 match action {
                     Action::Transmit { packet, .. } => receiver.handle_packet(sender.id(), packet),
-                    Action::TransmitFrame { frame, .. } => receiver.handle_frame(sender.id(), frame),
+                    Action::TransmitFrame { frame, .. } => {
+                        receiver.handle_frame(sender.id(), frame)
+                    }
                     _ => {}
                 }
             }
@@ -23,6 +40,236 @@ fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
             break;
         }
     }
+}
+
+/// Best-of-samples wall-clock measurement (ns per call of `f`).
+fn ns_per_iter<F: FnMut()>(mut f: F) -> f64 {
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if start.elapsed().as_millis() >= 10 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn posted(handle: u64, src: ProcessId, tag: u32) -> PostedReceive {
+    PostedReceive {
+        handle: RecvHandle(handle),
+        src,
+        tag: Tag(tag),
+        capacity: 4096,
+        translated: false,
+    }
+}
+
+fn pending_send(msg_id: u64) -> PendingSend {
+    PendingSend {
+        handle: SendHandle(msg_id),
+        dst: ProcessId::new(1, 0),
+        tag: Tag(0),
+        msg_id: MessageId(msg_id),
+        data: Bytes::new(),
+        split: BtpSplit::plan(
+            ProtocolMode::PushPull,
+            BtpPolicy::INTERNODE_DEFAULT,
+            OptFlags::full(),
+            0,
+        ),
+        pull_served: false,
+        fully_transmitted: false,
+        translated: false,
+    }
+}
+
+/// One post+match cycle against `pending - 1` resident receives.  The target
+/// tag is registered last, which is the worst case for the baseline's linear
+/// scan and the common case (newest traffic) for a busy endpoint.
+fn bench_recv_match_new(pending: usize) -> f64 {
+    let src = ProcessId::new(0, 0);
+    let mut q = ReceiveQueue::new();
+    for i in 1..pending {
+        q.register(posted(i as u64, src, i as u32));
+    }
+    let target = Tag(0);
+    ns_per_iter(|| {
+        q.register(posted(0, src, 0));
+        black_box(q.match_incoming(src, target).unwrap());
+    })
+}
+
+fn bench_recv_match_naive(pending: usize) -> f64 {
+    let src = ProcessId::new(0, 0);
+    let mut q = NaiveReceiveQueue::new();
+    for i in 1..pending {
+        q.register(posted(i as u64, src, i as u32));
+    }
+    let target = Tag(0);
+    ns_per_iter(|| {
+        q.register(posted(0, src, 0));
+        black_box(q.match_incoming(src, target).unwrap());
+    })
+}
+
+/// One register+complete cycle against `pending - 1` resident sends (the
+/// baseline pays an `order.retain` scan per completion).
+fn bench_send_complete_new(pending: usize) -> f64 {
+    let mut q = SendQueue::new();
+    for i in 1..pending {
+        q.register(pending_send(i as u64));
+    }
+    let mut next = 1_000_000u64;
+    ns_per_iter(|| {
+        let id = next;
+        next += 1;
+        q.register(pending_send(id));
+        black_box(q.remove(MessageId(id)).unwrap());
+    })
+}
+
+fn bench_send_complete_naive(pending: usize) -> f64 {
+    let mut q = NaiveSendQueue::new();
+    for i in 1..pending {
+        q.register(pending_send(i as u64));
+    }
+    let mut next = 1_000_000u64;
+    ns_per_iter(|| {
+        let id = next;
+        next += 1;
+        q.register(pending_send(id));
+        black_box(q.remove(MessageId(id)).unwrap());
+    })
+}
+
+/// Full engine round trips (post_recv + post_send + relay) per iteration,
+/// sized so one measurement covers 10k packets end to end.
+fn bench_pingpong_ns_per_roundtrip(size: usize, rounds: usize) -> f64 {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20);
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut r = Endpoint::new(ProcessId::new(0, 1), cfg);
+    let data = Bytes::from(vec![1u8; size]);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        r.post_recv(s.id(), Tag(1), size).unwrap();
+        s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+        relay(&mut s, &mut r);
+        s.post_recv(r.id(), Tag(2), size).unwrap();
+        r.post_send(s.id(), Tag(2), data.clone()).unwrap();
+        relay(&mut r, &mut s);
+    }
+    start.elapsed().as_nanos() as f64 / rounds as f64 / 2.0
+}
+
+fn sample_packet(payload_len: usize) -> Packet {
+    let header = PacketHeader {
+        kind: PacketKind::Push(PushPart::First),
+        src: ProcessId::new(0, 1),
+        dst: ProcessId::new(1, 3),
+        msg_id: MessageId(42),
+        tag: Tag(7),
+        total_len: payload_len as u32,
+        eager_len: payload_len as u32,
+        offset: 0,
+        payload_len: payload_len as u32,
+    };
+    Packet::new(header, Bytes::from(vec![0xA5u8; payload_len])).unwrap()
+}
+
+fn bench_header_encode_pooled() -> f64 {
+    let pkt = sample_packet(760);
+    let mut pool = PacketBufPool::new();
+    ns_per_iter(|| {
+        let mut buf = pool.acquire(pkt.wire_size());
+        pkt.encode_into(&mut buf);
+        black_box(buf.len());
+        pool.release(buf);
+    })
+}
+
+fn bench_header_encode_fresh() -> f64 {
+    let pkt = sample_packet(760);
+    ns_per_iter(|| {
+        black_box(pkt.encode());
+    })
+}
+
+fn bench_header_decode() -> f64 {
+    let encoded = sample_packet(760).encode();
+    ns_per_iter(|| {
+        black_box(Packet::decode(encoded.clone()).unwrap());
+    })
+}
+
+fn write_bench_json(rows: &[(String, f64)]) {
+    let mut json = String::from("{\n  \"pr\": 1,\n  \"unit\": \"ns/op\",\n  \"benches\": {\n");
+    for (i, (name, ns)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write BENCH_PR1.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn hot_path_report(_c: &mut Criterion) {
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for pending in [1usize, 8, 64] {
+        let new_ns = bench_recv_match_new(pending);
+        let naive_ns = bench_recv_match_naive(pending);
+        println!(
+            "recv match, {pending:>2} pending: new {new_ns:>8.1} ns/op, naive {naive_ns:>8.1} ns/op ({:.1}x)",
+            naive_ns / new_ns
+        );
+        rows.push((format!("recv_match_{pending}_pending_new"), new_ns));
+        rows.push((format!("recv_match_{pending}_pending_naive"), naive_ns));
+    }
+    for pending in [1usize, 8, 64] {
+        let new_ns = bench_send_complete_new(pending);
+        let naive_ns = bench_send_complete_naive(pending);
+        println!(
+            "send complete, {pending:>2} pending: new {new_ns:>8.1} ns/op, naive {naive_ns:>8.1} ns/op ({:.1}x)",
+            naive_ns / new_ns
+        );
+        rows.push((format!("send_complete_{pending}_pending_new"), new_ns));
+        rows.push((format!("send_complete_{pending}_pending_naive"), naive_ns));
+    }
+
+    // 10k packets = 5k round trips of a two-packet exchange.
+    let rt = bench_pingpong_ns_per_roundtrip(64, 5_000);
+    println!("pingpong 64B intranode, 10k packets: {rt:.1} ns/packet");
+    rows.push(("pingpong_10k_packets_64B_ns_per_packet".into(), rt));
+
+    let enc_pooled = bench_header_encode_pooled();
+    let enc_fresh = bench_header_encode_fresh();
+    let dec = bench_header_decode();
+    println!(
+        "codec 760B packet: encode pooled {enc_pooled:.1} ns, encode fresh {enc_fresh:.1} ns, decode {dec:.1} ns"
+    );
+    rows.push(("packet_encode_760B_pooled".into(), enc_pooled));
+    rows.push(("packet_encode_760B_fresh".into(), enc_fresh));
+    rows.push(("packet_decode_760B".into(), dec));
+
+    write_bench_json(&rows);
 }
 
 fn bench(c: &mut Criterion) {
@@ -42,7 +289,42 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    let mut group = c.benchmark_group("engine_match");
+    group.sample_size(20);
+    for pending in [1usize, 8, 64] {
+        group.bench_function(format!("recv_match_{pending}_pending"), |b| {
+            let src = ProcessId::new(0, 0);
+            let mut q = ReceiveQueue::new();
+            for i in 1..pending {
+                q.register(posted(i as u64, src, i as u32));
+            }
+            b.iter(|| {
+                q.register(posted(0, src, 0));
+                black_box(q.match_incoming(src, Tag(0)).unwrap());
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Bytes(sample_packet(760).wire_size() as u64));
+    group.bench_function("encode_pooled_760B", |b| {
+        let pkt = sample_packet(760);
+        let mut pool = PacketBufPool::new();
+        b.iter(|| {
+            let mut buf = pool.acquire(pkt.wire_size());
+            pkt.encode_into(&mut buf);
+            black_box(buf.len());
+            pool.release(buf);
+        });
+    });
+    group.bench_function("decode_760B", |b| {
+        let encoded = sample_packet(760).encode();
+        b.iter(|| black_box(Packet::decode(encoded.clone()).unwrap()));
+    });
+    group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, hot_path_report);
 criterion_main!(benches);

@@ -8,7 +8,10 @@ use ppmsg_sim::experiments::{fig3_intranode, fig3_sizes};
 fn bench(c: &mut Criterion) {
     // Regenerate the full figure once and print it.
     let points = fig3_intranode(&fig3_sizes(), BENCH_ITERS);
-    print_figure("Figure 3: intranode single-trip latency (pushed buffer 12 KiB)", &points);
+    print_figure(
+        "Figure 3: intranode single-trip latency (pushed buffer 12 KiB)",
+        &points,
+    );
 
     let mut group = c.benchmark_group("fig3_intranode");
     group.sample_size(10);

@@ -7,7 +7,10 @@ use ppmsg_sim::experiments::{fig4_internode, fig4_sizes};
 
 fn bench(c: &mut Criterion) {
     let points = fig4_internode(&fig4_sizes(), BENCH_ITERS);
-    print_figure("Figure 4: internode latency with optimisation ablation", &points);
+    print_figure(
+        "Figure 4: internode latency with optimisation ablation",
+        &points,
+    );
 
     let mut group = c.benchmark_group("fig4_internode");
     group.sample_size(10);

@@ -10,9 +10,15 @@ fn bench(c: &mut Criterion) {
     // iterations per point is plenty in a deterministic simulator.
     let iters = 8;
     let early = early_late_test(EarlyLateVariant::Early, &fig6_sizes(), iters);
-    print_figure("Figure 6 (left): early receiver test (x=500k, y=100k NOPs)", &early);
+    print_figure(
+        "Figure 6 (left): early receiver test (x=500k, y=100k NOPs)",
+        &early,
+    );
     let late = early_late_test(EarlyLateVariant::Late, &fig6_sizes(), iters);
-    print_figure("Figure 6 (right): late receiver test (x=100k, y=300k NOPs)", &late);
+    print_figure(
+        "Figure 6 (right): late receiver test (x=100k, y=300k NOPs)",
+        &late,
+    );
 
     let mut group = c.benchmark_group("fig6_early_late");
     group.sample_size(10);

@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let timeout = Duration::from_secs(10);
 
     // Intranode shared-memory fabric.
-    let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
+    );
     let a = cluster.add_endpoint(0);
     let b = cluster.add_endpoint(1);
     let mut group = c.benchmark_group("host_intranode");

@@ -1,0 +1,135 @@
+//! Pre-refactor queue implementations, kept verbatim as benchmark baselines.
+//!
+//! PR 1 replaced the engine's O(n) `Vec::position` receive matching and the
+//! `order.retain` send-completion scan with slab + bucket structures.  These
+//! are the original implementations, preserved so `engine_micro` can measure
+//! the improvement against the real former code rather than a guess — and so
+//! future PRs can re-verify the comparison.
+
+use ppmsg_core::queues::{PendingSend, PostedReceive};
+use ppmsg_core::{MessageId, ProcessId, Tag};
+use std::collections::HashMap;
+
+/// The seed's receive queue: a flat `Vec` matched by linear scan.
+#[derive(Debug, Default)]
+pub struct NaiveReceiveQueue {
+    posted: Vec<PostedReceive>,
+}
+
+impl NaiveReceiveQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a posted receive.
+    pub fn register(&mut self, recv: PostedReceive) {
+        self.posted.push(recv);
+    }
+
+    /// Finds and removes the oldest posted receive matching `(src, tag)` —
+    /// the O(n) scan the slab/bucket rewrite eliminated.
+    pub fn match_incoming(&mut self, src: ProcessId, tag: Tag) -> Option<PostedReceive> {
+        let idx = self
+            .posted
+            .iter()
+            .position(|r| r.src == src && r.tag == tag)?;
+        Some(self.posted.remove(idx))
+    }
+
+    /// Number of pending receives.
+    pub fn len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.posted.is_empty()
+    }
+}
+
+/// The seed's send queue: `HashMap` storage plus an insertion-order `Vec`
+/// whose `retain` ran on every completion.
+#[derive(Debug, Default)]
+pub struct NaiveSendQueue {
+    entries: HashMap<u64, PendingSend>,
+    order: Vec<u64>,
+}
+
+impl NaiveSendQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pending send.
+    pub fn register(&mut self, send: PendingSend) {
+        let key = send.msg_id.0;
+        self.order.push(key);
+        self.entries.insert(key, send);
+    }
+
+    /// Removes a completed send — the `order.retain` scan the intrusive-list
+    /// rewrite eliminated.
+    pub fn remove(&mut self, msg_id: MessageId) -> Option<PendingSend> {
+        let removed = self.entries.remove(&msg_id.0);
+        if removed.is_some() {
+            self.order.retain(|&k| k != msg_id.0);
+        }
+        removed
+    }
+
+    /// Number of pending sends.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppmsg_core::{BtpPolicy, BtpSplit, OptFlags, ProtocolMode, RecvHandle, SendHandle};
+
+    #[test]
+    fn naive_queues_behave_like_queues() {
+        let a = ProcessId::new(0, 0);
+        let mut rq = NaiveReceiveQueue::new();
+        rq.register(PostedReceive {
+            handle: RecvHandle(1),
+            src: a,
+            tag: Tag(4),
+            capacity: 64,
+            translated: false,
+        });
+        assert_eq!(rq.len(), 1);
+        assert!(rq.match_incoming(a, Tag(3)).is_none());
+        assert_eq!(rq.match_incoming(a, Tag(4)).unwrap().handle, RecvHandle(1));
+        assert!(rq.is_empty());
+
+        let mut sq = NaiveSendQueue::new();
+        sq.register(PendingSend {
+            handle: SendHandle(9),
+            dst: a,
+            tag: Tag(0),
+            msg_id: MessageId(9),
+            data: bytes::Bytes::new(),
+            split: BtpSplit::plan(
+                ProtocolMode::PushPull,
+                BtpPolicy::INTERNODE_DEFAULT,
+                OptFlags::full(),
+                0,
+            ),
+            pull_served: false,
+            fully_transmitted: false,
+            translated: false,
+        });
+        assert!(!sq.is_empty());
+        assert_eq!(sq.remove(MessageId(9)).unwrap().handle, SendHandle(9));
+        assert!(sq.remove(MessageId(9)).is_none());
+    }
+}

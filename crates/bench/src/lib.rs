@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use ppmsg_sim::FigurePoint;
 
 /// Number of ping-pong iterations per figure point used by the benches.

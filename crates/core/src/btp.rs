@@ -31,7 +31,10 @@ impl BtpPolicy {
 
     /// The internode default obtained by the two tuning experiments in
     /// Section 5.2 of the paper: `BTP(1) = 80`, `BTP(2) = 680`.
-    pub const INTERNODE_DEFAULT: BtpPolicy = BtpPolicy { btp1: 80, btp2: 680 };
+    pub const INTERNODE_DEFAULT: BtpPolicy = BtpPolicy {
+        btp1: 80,
+        btp2: 680,
+    };
 
     /// Creates a policy with a single (non-split) BTP value.
     #[inline]
@@ -172,7 +175,12 @@ mod tests {
 
     #[test]
     fn push_all_pushes_everything() {
-        let s = BtpSplit::plan(ProtocolMode::PushAll, BtpPolicy::split(80, 680), opts(true), 5000);
+        let s = BtpSplit::plan(
+            ProtocolMode::PushAll,
+            BtpPolicy::split(80, 680),
+            opts(true),
+            5000,
+        );
         assert_eq!(s.first_push, 5000);
         assert_eq!(s.second_push, 0);
         assert_eq!(s.pulled, 0);
@@ -181,7 +189,12 @@ mod tests {
 
     #[test]
     fn push_zero_pushes_nothing() {
-        let s = BtpSplit::plan(ProtocolMode::PushZero, BtpPolicy::split(80, 680), opts(true), 5000);
+        let s = BtpSplit::plan(
+            ProtocolMode::PushZero,
+            BtpPolicy::split(80, 680),
+            opts(true),
+            5000,
+        );
         assert_eq!(s.first_push, 0);
         assert_eq!(s.second_push, 0);
         assert_eq!(s.pulled, 5000);
@@ -190,7 +203,12 @@ mod tests {
 
     #[test]
     fn push_pull_overlapped_split() {
-        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(true), 5000);
+        let s = BtpSplit::plan(
+            ProtocolMode::PushPull,
+            BtpPolicy::split(80, 680),
+            opts(true),
+            5000,
+        );
         assert_eq!(s.first_push, 80);
         assert_eq!(s.second_push, 680);
         assert_eq!(s.pulled, 5000 - 760);
@@ -200,7 +218,12 @@ mod tests {
 
     #[test]
     fn push_pull_without_overlap_merges_btp() {
-        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(false), 5000);
+        let s = BtpSplit::plan(
+            ProtocolMode::PushPull,
+            BtpPolicy::split(80, 680),
+            opts(false),
+            5000,
+        );
         assert_eq!(s.first_push, 760);
         assert_eq!(s.second_push, 0);
         assert_eq!(s.pulled, 5000 - 760);
@@ -209,13 +232,23 @@ mod tests {
     #[test]
     fn short_messages_fit_entirely_in_pushes() {
         // Shorter than BTP(1): everything goes in the first push.
-        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(true), 50);
+        let s = BtpSplit::plan(
+            ProtocolMode::PushPull,
+            BtpPolicy::split(80, 680),
+            opts(true),
+            50,
+        );
         assert_eq!(s.first_push, 50);
         assert_eq!(s.second_push, 0);
         assert_eq!(s.pulled, 0);
 
         // Between BTP(1) and BTP(1)+BTP(2): first push full, second partial.
-        let s = BtpSplit::plan(ProtocolMode::PushPull, BtpPolicy::split(80, 680), opts(true), 500);
+        let s = BtpSplit::plan(
+            ProtocolMode::PushPull,
+            BtpPolicy::split(80, 680),
+            opts(true),
+            500,
+        );
         assert_eq!(s.first_push, 80);
         assert_eq!(s.second_push, 420);
         assert_eq!(s.pulled, 0);
@@ -225,7 +258,11 @@ mod tests {
     #[test]
     fn split_conserves_length() {
         for len in [0usize, 1, 15, 16, 17, 80, 760, 761, 1500, 4096, 8192, 65536] {
-            for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+            for mode in [
+                ProtocolMode::PushZero,
+                ProtocolMode::PushPull,
+                ProtocolMode::PushAll,
+            ] {
                 for overlap in [false, true] {
                     let s = BtpSplit::plan(mode, BtpPolicy::split(80, 680), opts(overlap), len);
                     assert_eq!(s.total(), len, "mode={mode:?} overlap={overlap} len={len}");

@@ -276,8 +276,10 @@ mod tests {
 
     #[test]
     fn invalid_payload_rejected() {
-        let mut cfg = ProtocolConfig::default();
-        cfg.max_payload = 0;
+        let mut cfg = ProtocolConfig {
+            max_payload: 0,
+            ..ProtocolConfig::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.max_payload = 1 << 20;
         assert!(cfg.validate().is_err());

@@ -20,13 +20,14 @@ mod tests;
 use crate::btp::BtpPolicy;
 use crate::config::ProtocolConfig;
 use crate::error::Error;
+use crate::index::{Slab, U64Index};
 use crate::queues::{Assembly, BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
 use crate::reliability::{Frame, GbnEvent, GoBackN};
 use crate::types::{MessageId, ProcessId, RecvHandle, SendHandle, Tag, TimerId};
 use crate::wire::Packet;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// How a packet is handed to the network interface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -229,18 +230,43 @@ pub struct EndpointStats {
     pub frames_dropped: u64,
     /// Bytes dropped at the pushed-buffer admission check.
     pub bytes_dropped: u64,
+    /// Heap-allocation events attributable to the engine's data structures:
+    /// arena growth, index rehashes, assembly/scratch pool misses, and
+    /// action-queue growth.  After warm-up, a steady-state send/receive loop
+    /// must keep this counter constant — the regression test in
+    /// `tests/integration.rs` asserts exactly that.
+    pub steady_allocs: u64,
+}
+
+/// Payload storage of one incoming message.
+///
+/// Small fully-eager messages — the latency-critical regime the paper tunes
+/// BTP for — arrive as a single packet and are delivered as a zero-copy
+/// [`Bytes`] slice of that packet ([`MsgBody::Direct`]), touching neither the
+/// heap nor the assembly pool.  Only genuinely fragmented messages pay for an
+/// assembly buffer.
+#[derive(Debug)]
+pub(crate) enum MsgBody {
+    /// No payload bytes recorded yet (e.g. only the zero-length Push-Zero
+    /// announce has arrived).
+    Empty,
+    /// The whole message arrived in one packet; the payload is shared with
+    /// the packet buffer, no copy and no allocation.
+    Direct(Bytes),
+    /// Multi-fragment reassembly through a pooled [`Assembly`] buffer.
+    Assembling(Assembly),
 }
 
 /// Reassembly state of one incoming message.
 #[derive(Debug)]
 pub(crate) struct IncomingMsg {
-    #[allow(dead_code)] // kept for diagnostics and symmetry with the key
+    #[allow(dead_code)] // kept for diagnostics and symmetry with the peer list
     pub(crate) src: ProcessId,
     pub(crate) msg_id: MessageId,
     pub(crate) tag: Tag,
     pub(crate) total_len: usize,
     pub(crate) eager_len: usize,
-    pub(crate) assembly: Assembly,
+    pub(crate) body: MsgBody,
     /// The receive this message has been matched to, if any.
     pub(crate) matched: Option<RecvHandle>,
     /// `true` once the pull request for the remainder has been sent.
@@ -252,7 +278,42 @@ pub(crate) struct IncomingMsg {
     pub(crate) pushed_buffer_footprint: usize,
 }
 
+impl IncomingMsg {
+    /// `true` once every byte of the message has been received.
+    pub(crate) fn is_complete(&self) -> bool {
+        match &self.body {
+            MsgBody::Direct(_) => true,
+            MsgBody::Assembling(a) => a.is_complete(),
+            MsgBody::Empty => self.total_len == 0,
+        }
+    }
+}
+
+/// Per-peer engine state, addressed by the dense index the peer interner
+/// assigns on first contact.
+#[derive(Debug)]
+struct PeerState {
+    #[allow(dead_code)] // kept for diagnostics; lookups go through the interner
+    id: ProcessId,
+    /// Go-back-N channel for internode peers (lazily created).
+    channel: Option<GoBackN>,
+    /// Slots (into [`Endpoint::incoming`]) of this peer's in-flight incoming
+    /// messages.  A handful at most, so a linear scan beats any index.
+    incoming: Vec<u32>,
+}
+
+/// How many scratch vectors / assembly shells the engine keeps pooled.
+const SCRATCH_POOL_CAP: usize = 8;
+
 /// The per-process Push-Pull Messaging protocol engine.
+///
+/// Steady-state hot-path operations (`post_send`, `post_recv`,
+/// `handle_packet`, `handle_frame`) are allocation-free: message state lives
+/// in slab arenas addressed by dense per-peer indices, matching uses
+/// `(source, tag)`-bucketed O(1) lookups, and every transient buffer (action
+/// queue, go-back-N event scratch, assembly buffers) is pooled and reused.
+/// [`EndpointStats::steady_allocs`] counts the allocation events so
+/// regressions are observable.
 #[derive(Debug)]
 pub struct Endpoint {
     id: ProcessId,
@@ -263,10 +324,21 @@ pub struct Endpoint {
     pub(crate) recv_queue: ReceiveQueue,
     pub(crate) pushed_buffer: PushedBuffer,
     pub(crate) buffer_queue: BufferQueue,
-    pub(crate) incoming: HashMap<(u64, u64), IncomingMsg>,
-    channels: HashMap<u64, GoBackN>,
+    /// Arena of in-flight incoming messages; peers hold slot lists.
+    pub(crate) incoming: Slab<IncomingMsg>,
+    /// Peer interner: `ProcessId::as_u64()` → dense index into `peers`.
+    peer_index: U64Index,
+    peers: Vec<PeerState>,
     pub(crate) actions: VecDeque<Action>,
     pub(crate) stats: EndpointStats,
+    /// Pool of reusable assembly buffers for fragmented messages.
+    assembly_pool: Vec<Assembly>,
+    /// Pool of reusable go-back-N event vectors (nested use during
+    /// in-line delivery takes more than one).
+    gbn_scratch: Vec<Vec<GbnEvent>>,
+    /// Engine-local allocation events (pool misses, queue growth); merged
+    /// with the per-structure counters in [`Endpoint::stats`].
+    alloc_events: u64,
 }
 
 impl Endpoint {
@@ -291,10 +363,14 @@ impl Endpoint {
             recv_queue: ReceiveQueue::new(),
             pushed_buffer,
             buffer_queue: BufferQueue::new(),
-            incoming: HashMap::new(),
-            channels: HashMap::new(),
+            incoming: Slab::new(),
+            peer_index: U64Index::new(),
+            peers: Vec::new(),
             actions: VecDeque::new(),
             stats: EndpointStats::default(),
+            assembly_pool: Vec::new(),
+            gbn_scratch: Vec::new(),
+            alloc_events: 0,
         }
     }
 
@@ -318,9 +394,15 @@ impl Endpoint {
     }
 
     /// A snapshot of this endpoint's statistics.
-    #[inline]
     pub fn stats(&self) -> EndpointStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.steady_allocs = self.alloc_events
+            + self.send_queue.alloc_events()
+            + self.recv_queue.alloc_events()
+            + self.buffer_queue.alloc_events()
+            + self.incoming.alloc_events()
+            + self.peer_index.alloc_events();
+        stats
     }
 
     /// Statistics of the pushed buffer (occupancy, overflow events).
@@ -331,7 +413,11 @@ impl Endpoint {
 
     /// Go-back-N statistics for the channel to `peer`, if one exists.
     pub fn channel_stats(&self, peer: ProcessId) -> Option<crate::reliability::GbnStats> {
-        self.channels.get(&peer.as_u64()).map(|c| c.stats())
+        let slot = self.peer_index.get(peer.as_u64())?;
+        self.peers[slot as usize]
+            .channel
+            .as_ref()
+            .map(|c| c.stats())
     }
 
     /// Removes and returns the next pending action, if any.
@@ -341,9 +427,15 @@ impl Endpoint {
     }
 
     /// Drains every pending action into a vector (convenience for tests and
-    /// simple backends).
+    /// simple backends; allocates — backends with a hot loop should use
+    /// [`Endpoint::drain_actions_into`] or [`Endpoint::poll_action`]).
     pub fn drain_actions(&mut self) -> Vec<Action> {
         self.actions.drain(..).collect()
+    }
+
+    /// Appends every pending action to `out`, reusing its capacity.
+    pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        out.extend(self.actions.drain(..));
     }
 
     /// `true` when the endpoint has no pending work: no queued actions, no
@@ -354,7 +446,10 @@ impl Endpoint {
             && self.send_queue.is_empty()
             && self.recv_queue.is_empty()
             && self.incoming.is_empty()
-            && self.channels.values().all(|c| c.idle())
+            && self
+                .peers
+                .iter()
+                .all(|p| p.channel.as_ref().map(|c| c.idle()).unwrap_or(true))
     }
 
     /// The BTP policy that applies to messages exchanged with `peer`.
@@ -370,11 +465,14 @@ impl Endpoint {
     /// [`Action::SetTimer`].
     pub fn handle_timer(&mut self, timer: TimerId) {
         let peer = timer.peer;
-        let mut events = Vec::new();
-        if let Some(channel) = self.channels.get_mut(&peer.as_u64()) {
-            channel.on_timeout(timer.generation, &mut events);
+        let mut events = self.take_scratch();
+        if let Some(slot) = self.peer_index.get(peer.as_u64()) {
+            if let Some(channel) = self.peers[slot as usize].channel.as_mut() {
+                channel.on_timeout(timer.generation, &mut events);
+            }
         }
-        self.process_gbn_events(peer, events);
+        self.emit_gbn_outputs(peer, &mut events, InjectMode::Kernel);
+        self.put_scratch(events);
     }
 
     /// Handles a go-back-N frame arriving from an internode peer.
@@ -393,7 +491,7 @@ impl Endpoint {
                 // Record the rejection against the pushed buffer statistics
                 // (the reservation is known to fail).
                 let _ = self.pushed_buffer.try_reserve(bytes);
-                self.actions.push_back(Action::PacketDropped {
+                self.push_action(Action::PacketDropped {
                     peer: src,
                     bytes,
                     reason: DropReason::PushedBufferOverflow,
@@ -401,9 +499,10 @@ impl Endpoint {
                 return;
             }
         }
-        let mut events = Vec::new();
+        let mut events = self.take_scratch();
         self.channel_mut(src).on_frame(frame, &mut events);
-        self.process_gbn_events(src, events);
+        self.emit_gbn_outputs(src, &mut events, InjectMode::Kernel);
+        self.put_scratch(events);
     }
 
     /// Handles a raw protocol packet arriving from an intranode peer (or from
@@ -428,33 +527,156 @@ impl Endpoint {
         h
     }
 
+    /// Interns `peer`, returning its dense index (assigned on first
+    /// contact and stable for the endpoint's lifetime).
+    fn peer_slot(&mut self, peer: ProcessId) -> u32 {
+        if let Some(slot) = self.peer_index.get(peer.as_u64()) {
+            return slot;
+        }
+        let slot = self.peers.len() as u32;
+        if self.peers.len() == self.peers.capacity() {
+            self.alloc_events += 1;
+        }
+        self.peers.push(PeerState {
+            id: peer,
+            channel: None,
+            incoming: Vec::new(),
+        });
+        self.peer_index.insert(peer.as_u64(), slot);
+        slot
+    }
+
     pub(crate) fn channel_mut(&mut self, peer: ProcessId) -> &mut GoBackN {
         let cfg = self.config.gbn;
-        self.channels
-            .entry(peer.as_u64())
-            .or_insert_with(|| GoBackN::new(cfg))
+        let slot = self.peer_slot(peer);
+        self.peers[slot as usize]
+            .channel
+            .get_or_insert_with(|| GoBackN::new(cfg))
+    }
+
+    /// Finds the slot of the in-flight incoming message `(src, msg_id)`, if
+    /// any.  Scans the source peer's (short) active list — no tuple hashing.
+    pub(crate) fn incoming_slot(&self, src: ProcessId, msg_id: MessageId) -> Option<u32> {
+        let peer = self.peer_index.get(src.as_u64())?;
+        self.peers[peer as usize]
+            .incoming
+            .iter()
+            .copied()
+            .find(|&slot| {
+                self.incoming
+                    .get(slot)
+                    .map(|m| m.msg_id == msg_id)
+                    .unwrap_or(false)
+            })
+    }
+
+    /// Registers a new incoming message, returning its slot.
+    pub(crate) fn incoming_insert(&mut self, src: ProcessId, msg: IncomingMsg) -> u32 {
+        let peer = self.peer_slot(src);
+        let slot = self.incoming.insert(msg);
+        let list = &mut self.peers[peer as usize].incoming;
+        if list.len() == list.capacity() {
+            self.alloc_events += 1;
+        }
+        list.push(slot);
+        slot
+    }
+
+    /// Removes an incoming message by slot, unlinking it from its peer's
+    /// active list.
+    pub(crate) fn incoming_remove(&mut self, src: ProcessId, slot: u32) -> Option<IncomingMsg> {
+        let msg = self.incoming.remove(slot)?;
+        if let Some(peer) = self.peer_index.get(src.as_u64()) {
+            let list = &mut self.peers[peer as usize].incoming;
+            if let Some(pos) = list.iter().position(|&s| s == slot) {
+                list.swap_remove(pos);
+            }
+        }
+        Some(msg)
+    }
+
+    /// Takes the message bytes out of a completed incoming message,
+    /// recycling its assembly buffer into the pool.
+    pub(crate) fn take_body(&mut self, msg: &mut IncomingMsg) -> Bytes {
+        match std::mem::replace(&mut msg.body, MsgBody::Empty) {
+            MsgBody::Direct(bytes) => bytes,
+            MsgBody::Assembling(mut assembly) => {
+                let bytes = assembly.take_bytes();
+                self.release_assembly(assembly);
+                bytes
+            }
+            MsgBody::Empty => Bytes::new(),
+        }
+    }
+
+    /// Takes an assembly buffer from the pool (or allocates one on a miss).
+    pub(crate) fn acquire_assembly(&mut self, total_len: usize) -> Assembly {
+        match self.assembly_pool.pop() {
+            Some(mut assembly) => {
+                if assembly.reset(total_len) {
+                    self.alloc_events += 1;
+                }
+                assembly
+            }
+            None => {
+                self.alloc_events += 1;
+                Assembly::new(total_len)
+            }
+        }
+    }
+
+    fn release_assembly(&mut self, assembly: Assembly) {
+        if self.assembly_pool.len() < SCRATCH_POOL_CAP {
+            if self.assembly_pool.len() == self.assembly_pool.capacity() {
+                self.alloc_events += 1;
+            }
+            self.assembly_pool.push(assembly);
+        }
+    }
+
+    fn take_scratch(&mut self) -> Vec<GbnEvent> {
+        // A `Vec::new()` miss costs nothing now; its first growth is the
+        // allocation, after which the vector lives in the pool.
+        self.gbn_scratch.pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&mut self, mut events: Vec<GbnEvent>) {
+        debug_assert!(events.is_empty(), "scratch returned with pending events");
+        events.clear();
+        if self.gbn_scratch.len() < SCRATCH_POOL_CAP {
+            if self.gbn_scratch.len() == self.gbn_scratch.capacity() {
+                self.alloc_events += 1;
+            }
+            self.gbn_scratch.push(events);
+        }
     }
 
     /// Sends a protocol packet towards `dst`, choosing the intranode or
     /// internode path and wrapping in go-back-N frames as needed.
     pub(crate) fn submit_packet(&mut self, dst: ProcessId, packet: Packet, inject: InjectMode) {
         if self.id.same_node(&dst) && self.config.reliable_intranode {
-            self.actions.push_back(Action::Transmit {
+            self.push_action(Action::Transmit {
                 dst,
                 packet,
                 inject,
             });
         } else {
-            let mut events = Vec::new();
+            let mut events = self.take_scratch();
             self.channel_mut(dst).send(packet, &mut events);
-            self.emit_gbn_outputs(dst, events, inject);
+            self.emit_gbn_outputs(dst, &mut events, inject);
+            self.put_scratch(events);
         }
     }
 
-    fn emit_gbn_outputs(&mut self, peer: ProcessId, events: Vec<GbnEvent>, inject: InjectMode) {
-        for event in events {
+    fn emit_gbn_outputs(
+        &mut self,
+        peer: ProcessId,
+        events: &mut Vec<GbnEvent>,
+        inject: InjectMode,
+    ) {
+        for event in events.drain(..) {
             match event {
-                GbnEvent::Transmit(frame) => self.actions.push_back(Action::TransmitFrame {
+                GbnEvent::Transmit(frame) => self.push_action(Action::TransmitFrame {
                     dst: peer,
                     frame,
                     inject,
@@ -463,26 +685,16 @@ impl Endpoint {
                 GbnEvent::SetTimer {
                     generation,
                     delay_us,
-                } => self.actions.push_back(Action::SetTimer {
+                } => self.push_action(Action::SetTimer {
                     timer: TimerId { peer, generation },
                     delay_us,
                 }),
-                GbnEvent::CancelTimer { generation } => {
-                    self.actions.push_back(Action::CancelTimer {
-                        timer: TimerId { peer, generation },
-                    })
-                }
-                GbnEvent::ChannelFailed => {
-                    self.actions.push_back(Action::ChannelFailed { peer })
-                }
+                GbnEvent::CancelTimer { generation } => self.push_action(Action::CancelTimer {
+                    timer: TimerId { peer, generation },
+                }),
+                GbnEvent::ChannelFailed => self.push_action(Action::ChannelFailed { peer }),
             }
         }
-    }
-
-    fn process_gbn_events(&mut self, peer: ProcessId, events: Vec<GbnEvent>) {
-        // Responses generated inside the ARQ layer (acks, retransmissions)
-        // are kernel-level transmissions.
-        self.emit_gbn_outputs(peer, events, InjectMode::Kernel);
     }
 
     /// `true` if accepting `packet` right now would require pushed-buffer
@@ -498,16 +710,16 @@ impl Endpoint {
             // always copied directly to the destination buffer.
             PacketKind::PullData | PacketKind::PullRequest => return false,
         }
-        let key = (src.as_u64(), packet.header.msg_id.0);
-        if let Some(incoming) = self.incoming.get(&key) {
-            if incoming.matched.is_some() {
+        if let Some(slot) = self.incoming_slot(src, packet.header.msg_id) {
+            if self
+                .incoming
+                .get(slot)
+                .map(|m| m.matched.is_some())
+                .unwrap_or(false)
+            {
                 return false;
             }
-        } else if self
-            .recv_queue
-            .peek_match(src, packet.header.tag)
-            .is_some()
-        {
+        } else if self.recv_queue.peek_match(src, packet.header.tag).is_some() {
             return false;
         }
         // The kernel stores the whole packet (header included) in the pushed
@@ -516,6 +728,9 @@ impl Endpoint {
     }
 
     pub(crate) fn push_action(&mut self, action: Action) {
+        if self.actions.len() == self.actions.capacity() {
+            self.alloc_events += 1;
+        }
         self.actions.push_back(action);
     }
 }

@@ -1,9 +1,11 @@
 //! Receiver-side half of the protocol engine: posting receives, handling
 //! arriving pushes and pulled data, and issuing pull requests.
 
-use super::{Action, CopyKind, DropReason, Endpoint, IncomingMsg, InjectMode, TranslateCtx};
+use super::{
+    Action, CopyKind, DropReason, Endpoint, IncomingMsg, InjectMode, MsgBody, TranslateCtx,
+};
 use crate::error::{Error, Result};
-use crate::queues::{Assembly, PostedReceive, UnexpectedKey};
+use crate::queues::{PostedReceive, UnexpectedKey};
 use crate::types::{MessageId, ProcessId, RecvHandle, Tag};
 use crate::wire::{Packet, PacketHeader, PacketKind};
 use bytes::Bytes;
@@ -48,10 +50,10 @@ impl Endpoint {
         // Check the buffer queue for an unexpected message that already
         // arrived (arrow 2b.2 in Fig. 1: drain the pushed buffer).
         if let Some(key) = self.buffer_queue.match_posted(src, tag) {
-            let incoming = self
-                .incoming
-                .get_mut(&(key.src.as_u64(), key.msg_id.0))
+            let slot = self
+                .incoming_slot(key.src, key.msg_id)
                 .expect("buffer queue entry without incoming state");
+            let incoming = self.incoming.get_mut(slot).unwrap();
             if incoming.total_len > capacity {
                 let err = Error::ReceiveTooSmall {
                     posted: capacity,
@@ -126,35 +128,73 @@ impl Endpoint {
         }
     }
 
+    /// Records `payload` at `offset` in the message occupying `slot`.
+    ///
+    /// A payload covering the whole message in one packet is stored as a
+    /// zero-copy [`MsgBody::Direct`] reference to the packet buffer; anything
+    /// else goes through a pooled assembly buffer.
+    fn record_payload(&mut self, slot: u32, offset: usize, payload: &Bytes) {
+        if payload.is_empty() {
+            return;
+        }
+        let total = self.incoming.get(slot).expect("live slot").total_len;
+        let whole_message = offset == 0 && payload.len() == total;
+        {
+            let msg = self.incoming.get_mut(slot).unwrap();
+            match &mut msg.body {
+                MsgBody::Empty if whole_message => {
+                    msg.body = MsgBody::Direct(payload.clone());
+                    return;
+                }
+                // Duplicate of an already complete single-packet message
+                // (e.g. a go-back-N retransmission): idempotent.
+                MsgBody::Direct(_) if whole_message => return,
+                MsgBody::Assembling(assembly) => {
+                    assembly.write_at(offset, payload);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Transition Empty/Direct → Assembling through the pool.
+        let mut assembly = self.acquire_assembly(total);
+        let msg = self.incoming.get_mut(slot).unwrap();
+        if let MsgBody::Direct(bytes) = &msg.body {
+            assembly.write_at(0, bytes);
+        }
+        assembly.write_at(offset, payload);
+        msg.body = MsgBody::Assembling(assembly);
+    }
+
     fn handle_push(&mut self, src: ProcessId, packet: Packet) {
         let header = packet.header;
-        let key = (src.as_u64(), header.msg_id.0);
         let opts = self.config().opts;
 
         // Create (or look up) the reassembly state for this message.
-        if !self.incoming.contains_key(&key) {
-            self.incoming.insert(
-                key,
+        let slot = match self.incoming_slot(src, header.msg_id) {
+            Some(slot) => slot,
+            None => self.incoming_insert(
+                src,
                 IncomingMsg {
                     src,
                     msg_id: header.msg_id,
                     tag: header.tag,
                     total_len: header.total_len as usize,
                     eager_len: header.eager_len as usize,
-                    assembly: Assembly::new(header.total_len as usize),
+                    body: MsgBody::Empty,
                     matched: None,
                     pull_requested: false,
                     pushed_buffer_bytes: 0,
                     pushed_buffer_footprint: 0,
                 },
-            );
-        }
+            ),
+        };
 
         // Try to match a posted receive if this message is not matched yet.
         let mut newly_matched = false;
         let mut matched_capacity = 0usize;
         let mut translated_at_post = false;
-        if self.incoming[&key].matched.is_none() {
+        if self.incoming.get(slot).unwrap().matched.is_none() {
             if let Some(posted) = self.recv_queue.match_incoming(src, header.tag) {
                 if (header.total_len as usize) > posted.capacity {
                     let err = Error::ReceiveTooSmall {
@@ -167,7 +207,9 @@ impl Endpoint {
                         error: err,
                     });
                     // Drop the message state; further fragments are discarded.
-                    self.incoming.remove(&key);
+                    if let Some(msg) = self.incoming_remove(src, slot) {
+                        self.discard_body(msg);
+                    }
                     self.push_action(Action::PacketDropped {
                         peer: src,
                         bytes: packet.payload.len(),
@@ -175,14 +217,14 @@ impl Endpoint {
                     });
                     return;
                 }
-                self.incoming.get_mut(&key).unwrap().matched = Some(posted.handle);
+                self.incoming.get_mut(slot).unwrap().matched = Some(posted.handle);
                 newly_matched = true;
                 matched_capacity = posted.capacity;
                 translated_at_post = posted.translated;
             }
         }
 
-        let is_matched = self.incoming[&key].matched.is_some();
+        let is_matched = self.incoming.get(slot).unwrap().matched.is_some();
         let bytes = packet.payload.len();
 
         if bytes > 0 {
@@ -226,7 +268,7 @@ impl Endpoint {
                     });
                     return;
                 }
-                let incoming = self.incoming.get_mut(&key).unwrap();
+                let incoming = self.incoming.get_mut(slot).unwrap();
                 incoming.pushed_buffer_bytes += bytes;
                 incoming.pushed_buffer_footprint += footprint;
                 self.stats.bytes_copied_staged += bytes as u64;
@@ -240,13 +282,8 @@ impl Endpoint {
             }
         }
 
-        // Record the payload in the reassembly buffer.
-        {
-            let incoming = self.incoming.get_mut(&key).unwrap();
-            incoming
-                .assembly
-                .write_at(header.offset as usize, &packet.payload);
-        }
+        // Record the payload (zero-copy for single-packet messages).
+        self.record_payload(slot, header.offset as usize, &packet.payload);
 
         if !is_matched {
             // Remember the unexpected message so a later receive can find it.
@@ -277,9 +314,8 @@ impl Endpoint {
 
     fn handle_pull_data(&mut self, src: ProcessId, packet: Packet) {
         let header = packet.header;
-        let key = (src.as_u64(), header.msg_id.0);
         let opts = self.config().opts;
-        let Some(incoming) = self.incoming.get_mut(&key) else {
+        let Some(slot) = self.incoming_slot(src, header.msg_id) else {
             self.push_action(Action::PacketDropped {
                 peer: src,
                 bytes: packet.payload.len(),
@@ -288,9 +324,8 @@ impl Endpoint {
             return;
         };
         let bytes = packet.payload.len();
-        incoming
-            .assembly
-            .write_at(header.offset as usize, &packet.payload);
+        self.record_payload(slot, header.offset as usize, &packet.payload);
+        let incoming = self.incoming.get(slot).unwrap();
         let msg_id = incoming.msg_id;
         let matched = incoming.matched.is_some();
 
@@ -322,7 +357,7 @@ impl Endpoint {
                 // this branch only happens if the receive was cancelled.
                 let footprint = bytes + crate::wire::MAX_HEADER_LEN;
                 if self.pushed_buffer.try_reserve(footprint) {
-                    let incoming = self.incoming.get_mut(&key).unwrap();
+                    let incoming = self.incoming.get_mut(slot).unwrap();
                     incoming.pushed_buffer_bytes += bytes;
                     incoming.pushed_buffer_footprint += footprint;
                     self.stats.bytes_copied_staged += bytes as u64;
@@ -358,11 +393,11 @@ impl Endpoint {
         already_translated: bool,
         capacity: usize,
     ) {
-        let key = (src.as_u64(), msg_id.0);
         let opts = self.config().opts;
-        let Some(incoming) = self.incoming.get_mut(&key) else {
+        let Some(slot) = self.incoming_slot(src, msg_id) else {
             return;
         };
+        let incoming = self.incoming.get_mut(slot).unwrap();
         if incoming.matched.is_none() {
             return;
         }
@@ -395,8 +430,8 @@ impl Endpoint {
                 offset: eager as u32,
                 payload_len: (total - eager) as u32,
             };
-            let packet = Packet::new(header, Bytes::new())
-                .expect("pull request construction cannot fail");
+            let packet =
+                Packet::new(header, Bytes::new()).expect("pull request construction cannot fail");
             self.submit_packet(src, packet, InjectMode::Kernel);
         }
 
@@ -415,16 +450,23 @@ impl Endpoint {
         }
     }
 
+    /// Returns a dropped message's assembly buffer to the pool.
+    fn discard_body(&mut self, mut msg: IncomingMsg) {
+        let _ = self.take_body(&mut msg);
+    }
+
     /// Delivers the completed message for `msg_id` if every byte has arrived.
     fn try_complete(&mut self, src: ProcessId, msg_id: MessageId) {
-        let key = (src.as_u64(), msg_id.0);
-        let Some(incoming) = self.incoming.get(&key) else {
+        let Some(slot) = self.incoming_slot(src, msg_id) else {
             return;
         };
-        if incoming.matched.is_none() || !incoming.assembly.is_complete() {
-            return;
+        {
+            let incoming = self.incoming.get(slot).unwrap();
+            if incoming.matched.is_none() || !incoming.is_complete() {
+                return;
+            }
         }
-        let incoming = self.incoming.remove(&key).unwrap();
+        let mut incoming = self.incoming_remove(src, slot).unwrap();
         let handle = incoming.matched.unwrap();
         if incoming.pushed_buffer_footprint > 0 {
             // Data still accounted against the pushed buffer is released on
@@ -433,15 +475,14 @@ impl Endpoint {
             // pushed buffer).
             self.pushed_buffer.release(incoming.pushed_buffer_footprint);
         }
-        self.buffer_queue.remove(UnexpectedKey {
-            src,
-            msg_id,
-        });
+        self.buffer_queue
+            .remove_with_tag(UnexpectedKey { src, msg_id }, incoming.tag);
         self.stats.recvs_completed += 1;
+        let data = self.take_body(&mut incoming);
         self.push_action(Action::RecvComplete {
             handle,
             peer: src,
-            data: incoming.assembly.into_bytes(),
+            data,
         });
     }
 }

@@ -59,7 +59,7 @@ impl Endpoint {
         // the message so the receiver can start the pull phase).  Pushes
         // larger than the maximum payload are fragmented; each fragment is an
         // independently deliverable push packet with its own offset.
-        let first_packets = self.make_push_packets(
+        self.emit_push_packets(
             dst,
             tag,
             msg_id,
@@ -67,15 +67,12 @@ impl Endpoint {
             split,
             PushPart::First,
             &data,
+            inject,
         );
-        for packet in first_packets {
-            self.stats.bytes_pushed += packet.payload.len() as u64;
-            self.submit_packet(dst, packet, inject);
-        }
 
         // Second push, overlapped with the acknowledgement (§4.4).
         if split.second_push > 0 {
-            let second_packets = self.make_push_packets(
+            self.emit_push_packets(
                 dst,
                 tag,
                 msg_id,
@@ -83,11 +80,8 @@ impl Endpoint {
                 split,
                 PushPart::Second,
                 &data,
+                inject,
             );
-            for packet in second_packets {
-                self.stats.bytes_pushed += packet.payload.len() as u64;
-                self.submit_packet(dst, packet, inject);
-            }
         }
 
         if zero_buffer && masking && split.needs_pull() {
@@ -122,8 +116,11 @@ impl Endpoint {
         Ok(handle)
     }
 
-    fn make_push_packets(
-        &self,
+    /// Builds and submits the push packets of one part directly — no
+    /// intermediate `Vec<Packet>`, keeping `post_send` allocation-free.
+    #[allow(clippy::too_many_arguments)] // mirrors the packet header fields
+    fn emit_push_packets(
+        &mut self,
         dst: ProcessId,
         tag: Tag,
         msg_id: MessageId,
@@ -131,14 +128,14 @@ impl Endpoint {
         split: BtpSplit,
         part: PushPart,
         data: &Bytes,
-    ) -> Vec<Packet> {
+        inject: InjectMode,
+    ) {
         let (start, len) = match part {
             PushPart::First => (0, split.first_push),
             PushPart::Second => (split.second_push_offset(), split.second_push),
         };
         let eager_len = (split.first_push + split.second_push) as u32;
         let max_payload = self.config().max_payload;
-        let mut packets = Vec::with_capacity(len / max_payload + 1);
         let mut offset = start;
         let end = start + len;
         loop {
@@ -155,15 +152,15 @@ impl Endpoint {
                 offset: offset as u32,
                 payload_len: chunk as u32,
             };
-            packets.push(
-                Packet::new(header, payload).expect("push packet construction cannot fail"),
-            );
+            let packet =
+                Packet::new(header, payload).expect("push packet construction cannot fail");
+            self.stats.bytes_pushed += chunk as u64;
+            self.submit_packet(dst, packet, inject);
             offset += chunk;
             if offset >= end {
                 break;
             }
         }
-        packets
     }
 
     fn emit_translate(
@@ -206,7 +203,10 @@ impl Endpoint {
         let handle = pending.handle;
         let tag = pending.tag;
         let dst = pending.dst;
-        debug_assert_eq!(dst, src, "pull request must come from the send's destination");
+        debug_assert_eq!(
+            dst, src,
+            "pull request must come from the send's destination"
+        );
 
         let total_len = data.len();
         let eager_len = split.first_push + split.second_push;

@@ -78,7 +78,10 @@ fn count_copies(actions: &[Action], kind: CopyKind) -> (usize, usize) {
     let mut count = 0;
     let mut bytes = 0;
     for a in actions {
-        if let Action::Copy { kind: k, bytes: b, .. } = a {
+        if let Action::Copy {
+            kind: k, bytes: b, ..
+        } = a
+        {
             if *k == kind {
                 count += 1;
                 bytes += b;
@@ -265,7 +268,10 @@ fn short_message_needs_no_pull_in_push_pull_mode() {
 
 #[test]
 fn overlap_flag_controls_push_splitting() {
-    for (opts, expected_pushes) in [(OptFlags::overlap_only(), 2usize), (OptFlags::baseline(), 1)] {
+    for (opts, expected_pushes) in [
+        (OptFlags::overlap_only(), 2usize),
+        (OptFlags::baseline(), 1),
+    ] {
         let cfg = ProtocolConfig::paper_internode().with_opts(opts);
         let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
         let r_id = ProcessId::new(1, 0);

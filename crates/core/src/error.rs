@@ -18,6 +18,13 @@ pub enum Error {
         /// Human-readable description of what failed to parse.
         reason: String,
     },
+    /// A packet carried an unrecognised kind byte.  Kept separate from
+    /// [`Error::MalformedPacket`] so the decode hot path can report the raw
+    /// byte without allocating a `String`.
+    UnknownPacketKind {
+        /// The unrecognised kind byte.
+        byte: u8,
+    },
     /// A receive was posted with a buffer smaller than the arriving message.
     ReceiveTooSmall {
         /// Number of bytes the posted receive can hold.
@@ -69,6 +76,9 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
+            Error::UnknownPacketKind { byte } => {
+                write!(f, "malformed packet: unknown packet kind {byte}")
+            }
             Error::ReceiveTooSmall { posted, incoming } => write!(
                 f,
                 "posted receive of {posted} bytes is smaller than incoming message of {incoming} bytes"

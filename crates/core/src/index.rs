@@ -1,0 +1,602 @@
+//! Index structures for the allocation-free hot path.
+//!
+//! The protocol engine's steady state must not touch the heap (§5 of the
+//! paper measures microsecond-scale latencies; a single `malloc` is visible
+//! at that scale).  Three building blocks make that possible:
+//!
+//! * [`Slab`] — a `Vec<Option<T>>` arena with an intrusive free list.  Slots
+//!   are reused after removal, so a post/complete cycle allocates only until
+//!   the arena has grown to the peak working-set size.
+//! * [`U64Index`] — an open-addressed `u64 → u32` hash index (fibonacci
+//!   hashing, backward-shift deletion — no tombstones, so endless key churn
+//!   never degrades the table).  Used for message-id and peer-id lookup
+//!   without tuple hashing or per-probe allocation.
+//! * [`SrcTagMap`] — an open-addressed map from `(source, tag)` to the
+//!   head/tail of an intrusive FIFO chain threaded through a [`Slab`].  This
+//!   is what turns receive matching and unexpected-message lookup from O(n)
+//!   scans into O(1) amortized bucket operations.
+//!
+//! Every structure counts the allocations it performs ([`Slab::alloc_events`]
+//! &c.), which is how [`EndpointStats::steady_allocs`]
+//! (crate::engine::EndpointStats) detects a hot path that regressed into
+//! allocating.
+
+/// Sentinel index meaning "no slot" in intrusive links.
+pub const NIL: u32 = u32::MAX;
+
+/// A slot arena: `Vec<Option<T>>` plus a free list of vacated slots.
+///
+/// `insert` returns a dense `u32` slot id that stays valid until `remove`.
+/// Removed slots are recycled in LIFO order, keeping the working set compact
+/// and cache-warm.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+    alloc_events: u64,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty arena without allocating.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            alloc_events: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its slot id.
+    #[inline]
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            debug_assert!(self.slots[slot as usize].is_none());
+            self.slots[slot as usize] = Some(value);
+            return slot;
+        }
+        if self.slots.len() == self.slots.capacity() {
+            self.alloc_events += 1;
+        }
+        let slot = self.slots.len() as u32;
+        assert!(slot != NIL, "slab overflow");
+        self.slots.push(Some(value));
+        slot
+    }
+
+    /// Removes and returns the value in `slot`, recycling the slot.
+    #[inline]
+    pub fn remove(&mut self, slot: u32) -> Option<T> {
+        let value = self.slots.get_mut(slot as usize)?.take()?;
+        self.len -= 1;
+        if self.free.len() == self.free.capacity() {
+            self.alloc_events += 1;
+        }
+        self.free.push(slot);
+        Some(value)
+    }
+
+    /// Borrows the value in `slot`.
+    #[inline]
+    pub fn get(&self, slot: u32) -> Option<&T> {
+        self.slots.get(slot as usize)?.as_ref()
+    }
+
+    /// Mutably borrows the value in `slot`.
+    #[inline]
+    pub fn get_mut(&mut self, slot: u32) -> Option<&mut T> {
+        self.slots.get_mut(slot as usize)?.as_mut()
+    }
+
+    /// Iterates over `(slot, value)` pairs in slot order (not insertion
+    /// order).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (i as u32, v)))
+    }
+
+    /// Number of heap allocations this arena has performed.
+    #[inline]
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Empty,
+    Occupied,
+}
+
+/// Multiplicative (fibonacci) hash spreading `key` over `2^bits` buckets.
+#[inline]
+fn fib_hash(key: u64, mask: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask as usize
+}
+
+#[derive(Debug, Clone, Copy)]
+struct U64Entry {
+    key: u64,
+    value: u32,
+    state: SlotState,
+}
+
+/// An open-addressed `u64 → u32` hash index with backward-shift deletion.
+///
+/// Steady-state insert/lookup/remove never allocate; the table doubles when
+/// three quarters full (counted in [`U64Index::alloc_events`]).  Deletion
+/// shifts displaced entries back instead of leaving tombstones, so endless
+/// churn of fresh keys (monotonically increasing message ids!) never degrades
+/// the table or forces rehashes.
+#[derive(Debug, Clone, Default)]
+pub struct U64Index {
+    entries: Vec<U64Entry>,
+    live: usize,
+    alloc_events: u64,
+}
+
+impl U64Index {
+    /// Creates an empty index without allocating.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no entry is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.entries.len() * 2).max(8);
+        self.alloc_events += 1;
+        let old = std::mem::replace(
+            &mut self.entries,
+            vec![
+                U64Entry {
+                    key: 0,
+                    value: 0,
+                    state: SlotState::Empty,
+                };
+                new_cap
+            ],
+        );
+        self.live = 0;
+        for e in old {
+            if e.state == SlotState::Occupied {
+                self.insert(e.key, e.value);
+            }
+        }
+    }
+
+    /// Inserts or updates the mapping `key → value`.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: u32) {
+        if !self.entries.is_empty() {
+            let mask = self.entries.len() as u64 - 1;
+            let mut i = fib_hash(key, mask);
+            loop {
+                match self.entries[i].state {
+                    SlotState::Empty => {
+                        // New entry: grow first if the table is at the load
+                        // threshold (updates-in-place above never rehash).
+                        if self.live * 4 >= self.entries.len() * 3 {
+                            break;
+                        }
+                        self.entries[i] = U64Entry {
+                            key,
+                            value,
+                            state: SlotState::Occupied,
+                        };
+                        self.live += 1;
+                        return;
+                    }
+                    SlotState::Occupied if self.entries[i].key == key => {
+                        self.entries[i].value = value;
+                        return;
+                    }
+                    SlotState::Occupied => {}
+                }
+                i = (i + 1) & mask as usize;
+            }
+        }
+        self.grow();
+        self.insert(key, value);
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.entries.len() as u64 - 1;
+        let mut i = fib_hash(key, mask);
+        loop {
+            match self.entries[i].state {
+                SlotState::Empty => return None,
+                SlotState::Occupied if self.entries[i].key == key => {
+                    return Some(self.entries[i].value)
+                }
+                _ => {}
+            }
+            i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Removes `key`, returning its value.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let cap = self.entries.len();
+        let mask = cap as u64 - 1;
+        let mut i = fib_hash(key, mask);
+        loop {
+            match self.entries[i].state {
+                SlotState::Empty => return None,
+                SlotState::Occupied if self.entries[i].key == key => {
+                    let value = self.entries[i].value;
+                    // Backward-shift deletion: pull displaced entries of the
+                    // probe run back so no tombstone is needed.
+                    let mut hole = i;
+                    let mut j = i;
+                    loop {
+                        j = (j + 1) & mask as usize;
+                        if self.entries[j].state == SlotState::Empty {
+                            break;
+                        }
+                        let ideal = fib_hash(self.entries[j].key, mask);
+                        // Move entry j into the hole iff its ideal slot lies
+                        // cyclically at or before the hole (i.e. the hole is
+                        // inside its probe run).
+                        if (j + cap - ideal) % cap >= (j + cap - hole) % cap {
+                            self.entries[hole] = self.entries[j];
+                            hole = j;
+                        }
+                    }
+                    self.entries[hole].state = SlotState::Empty;
+                    self.live -= 1;
+                    return Some(value);
+                }
+                SlotState::Occupied => {}
+            }
+            i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Number of heap allocations (initial table + rehashes) performed.
+    #[inline]
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+/// Head and tail of one `(source, tag)` FIFO chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chain {
+    /// Slot id of the oldest element, or [`NIL`].
+    pub head: u32,
+    /// Slot id of the newest element, or [`NIL`].
+    pub tail: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SrcTagEntry {
+    src: u64,
+    tag: u32,
+    chain: Chain,
+    state: SlotState,
+}
+
+/// An open-addressed map from `(source, tag)` to a FIFO [`Chain`] threaded
+/// through a caller-owned [`Slab`].
+///
+/// This is the O(1) tag-matching core: posting appends to the chain and
+/// matching pops its head.  The full `(src, tag)` key is stored, so hash
+/// collisions cannot cause a false match.  Buckets are never deleted —
+/// queues keep a drained bucket (`head == NIL`) alive because its
+/// `(source, tag)` pair will almost certainly be used again, so the map only
+/// ever grows to the number of distinct pairs seen.
+#[derive(Debug, Clone, Default)]
+pub struct SrcTagMap {
+    entries: Vec<SrcTagEntry>,
+    live: usize,
+    alloc_events: u64,
+}
+
+#[inline]
+fn src_tag_hash(src: u64, tag: u32) -> u64 {
+    // Mix the tag into the high half so peers differing only in tag don't
+    // cluster.
+    src ^ ((tag as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) << 1)
+}
+
+impl SrcTagMap {
+    /// Creates an empty map without allocating.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live buckets (distinct `(src, tag)` pairs with a non-empty
+    /// chain).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no bucket is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.entries.len() * 2).max(8);
+        self.alloc_events += 1;
+        let old = std::mem::replace(
+            &mut self.entries,
+            vec![
+                SrcTagEntry {
+                    src: 0,
+                    tag: 0,
+                    chain: Chain {
+                        head: NIL,
+                        tail: NIL
+                    },
+                    state: SlotState::Empty,
+                };
+                new_cap
+            ],
+        );
+        self.live = 0;
+        for e in old {
+            if e.state == SlotState::Occupied {
+                self.set(e.src, e.tag, e.chain);
+            }
+        }
+    }
+
+    /// Returns the chain for `(src, tag)`, if present.
+    #[inline]
+    pub fn get(&self, src: u64, tag: u32) -> Option<Chain> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.entries.len() as u64 - 1;
+        let mut i = fib_hash(src_tag_hash(src, tag), mask);
+        loop {
+            let e = &self.entries[i];
+            match e.state {
+                SlotState::Empty => return None,
+                SlotState::Occupied if e.src == src && e.tag == tag => return Some(e.chain),
+                _ => {}
+            }
+            i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Mutable access to the chain for `(src, tag)`, probing once.
+    #[inline]
+    pub fn get_mut(&mut self, src: u64, tag: u32) -> Option<&mut Chain> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.entries.len() as u64 - 1;
+        let mut i = fib_hash(src_tag_hash(src, tag), mask);
+        loop {
+            match self.entries[i].state {
+                SlotState::Empty => return None,
+                SlotState::Occupied if self.entries[i].src == src && self.entries[i].tag == tag => {
+                    return Some(&mut self.entries[i].chain)
+                }
+                SlotState::Occupied => {}
+            }
+            i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Inserts or replaces the chain for `(src, tag)`.
+    #[inline]
+    pub fn set(&mut self, src: u64, tag: u32, chain: Chain) {
+        if !self.entries.is_empty() {
+            let mask = self.entries.len() as u64 - 1;
+            let mut i = fib_hash(src_tag_hash(src, tag), mask);
+            loop {
+                match self.entries[i].state {
+                    SlotState::Empty => {
+                        // New bucket: grow first at the load threshold
+                        // (updates-in-place above never rehash).
+                        if self.live * 4 >= self.entries.len() * 3 {
+                            break;
+                        }
+                        self.entries[i] = SrcTagEntry {
+                            src,
+                            tag,
+                            chain,
+                            state: SlotState::Occupied,
+                        };
+                        self.live += 1;
+                        return;
+                    }
+                    SlotState::Occupied
+                        if self.entries[i].src == src && self.entries[i].tag == tag =>
+                    {
+                        self.entries[i].chain = chain;
+                        return;
+                    }
+                    SlotState::Occupied => {}
+                }
+                i = (i + 1) & mask as usize;
+            }
+        }
+        self.grow();
+        self.set(src, tag, chain);
+    }
+
+    /// Number of heap allocations (initial table + rehashes) performed.
+    #[inline]
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_insert_remove_reuses_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        let c = slab.insert("c");
+        assert_eq!(c, a, "vacated slot is recycled");
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.get(c), Some(&"c"));
+        assert_eq!(slab.remove(a), Some("c"));
+        assert_eq!(slab.remove(a), None);
+    }
+
+    #[test]
+    fn slab_iterates_occupied_only() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let _b = slab.insert(2);
+        slab.remove(a);
+        let seen: Vec<i32> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn u64_index_basics() {
+        let mut idx = U64Index::new();
+        assert_eq!(idx.get(1), None);
+        for k in 0..100u64 {
+            idx.insert(k * 7, k as u32);
+        }
+        assert_eq!(idx.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(idx.get(k * 7), Some(k as u32));
+        }
+        assert_eq!(idx.remove(7), Some(1));
+        assert_eq!(idx.get(7), None);
+        assert_eq!(idx.remove(7), None);
+        idx.insert(7, 99);
+        assert_eq!(idx.get(7), Some(99));
+    }
+
+    #[test]
+    fn u64_index_update_in_place() {
+        let mut idx = U64Index::new();
+        idx.insert(5, 1);
+        idx.insert(5, 2);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(5), Some(2));
+    }
+
+    #[test]
+    fn u64_index_steady_state_does_not_allocate() {
+        let mut idx = U64Index::new();
+        for k in 0..4u64 {
+            idx.insert(k, k as u32);
+        }
+        let allocs = idx.alloc_events();
+        for round in 0..10_000u64 {
+            idx.insert(round % 4, round as u32);
+            idx.remove(round % 4);
+            idx.insert(round % 4, round as u32);
+        }
+        assert_eq!(idx.alloc_events(), allocs, "steady churn must not allocate");
+    }
+
+    #[test]
+    fn u64_index_churn_still_finds_keys() {
+        let mut idx = U64Index::new();
+        // Heavy insert/remove cycling exercises backward-shift deletion.
+        for round in 0..1000u64 {
+            idx.insert(round, round as u32);
+            if round >= 10 {
+                assert_eq!(idx.remove(round - 10), Some((round - 10) as u32));
+            }
+        }
+        assert_eq!(idx.len(), 10);
+        for k in 990..1000u64 {
+            assert_eq!(idx.get(k), Some(k as u32));
+        }
+    }
+
+    #[test]
+    fn src_tag_map_distinguishes_full_keys() {
+        let mut m = SrcTagMap::new();
+        m.set(1, 10, Chain { head: 1, tail: 1 });
+        m.set(1, 11, Chain { head: 2, tail: 2 });
+        m.set(2, 10, Chain { head: 3, tail: 3 });
+        assert_eq!(m.get(1, 10).unwrap().head, 1);
+        assert_eq!(m.get(1, 11).unwrap().head, 2);
+        assert_eq!(m.get(2, 10).unwrap().head, 3);
+        assert_eq!(m.get(2, 11), None);
+        m.get_mut(1, 10).unwrap().head = 9;
+        assert_eq!(m.get(1, 10).unwrap().head, 9);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn src_tag_map_survives_growth() {
+        let mut m = SrcTagMap::new();
+        for i in 0..500u32 {
+            m.set(i as u64, i, Chain { head: i, tail: i });
+        }
+        for i in 0..500u32 {
+            assert_eq!(m.get(i as u64, i).unwrap().head, i, "key {i}");
+        }
+        assert_eq!(m.get(500, 500), None);
+        assert_eq!(m.len(), 500);
+    }
+
+    #[test]
+    fn set_at_load_threshold_updates_in_place_without_rehash() {
+        let mut m = SrcTagMap::new();
+        // Fill to exactly the load threshold (8-slot table, 6 live).
+        for i in 0..6u32 {
+            m.set(i as u64, i, Chain { head: i, tail: i });
+        }
+        let allocs = m.alloc_events();
+        for _ in 0..100 {
+            m.set(0, 0, Chain { head: 42, tail: 42 });
+        }
+        assert_eq!(m.alloc_events(), allocs, "updates must not rehash");
+        assert_eq!(m.get(0, 0).unwrap().head, 42);
+    }
+}

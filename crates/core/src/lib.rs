@@ -79,6 +79,7 @@ pub mod btp;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod index;
 pub mod queues;
 pub mod reliability;
 pub mod types;
@@ -89,8 +90,9 @@ pub use btp::{BtpPolicy, BtpSplit};
 pub use config::{OptFlags, ProtocolConfig, ProtocolMode};
 pub use engine::{Action, CopyKind, Endpoint, EndpointStats, InjectMode, TranslateCtx};
 pub use error::{Error, Result};
+pub use index::{Slab, SrcTagMap, U64Index};
 pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
-pub use reliability::{GoBackN, GbnConfig, GbnEvent};
+pub use reliability::{GbnConfig, GbnEvent, GoBackN};
 pub use types::{MessageId, NodeId, ProcessId, RecvHandle, SendHandle, Tag, TimerId};
-pub use wire::{Packet, PacketHeader, PacketKind, PushPart, MAX_HEADER_LEN};
+pub use wire::{Packet, PacketBufPool, PacketHeader, PacketKind, PushPart, MAX_HEADER_LEN};
 pub use zbuf::{AddressTranslator, IdentityTranslator, PhysSegment, ZeroBuffer};

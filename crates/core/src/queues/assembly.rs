@@ -26,6 +26,18 @@ impl Assembly {
         }
     }
 
+    /// Re-initialises the buffer for a new message of `total_len` bytes,
+    /// reusing existing capacity.  Returns `true` when the backing storage
+    /// had to grow (i.e. the call allocated).
+    pub fn reset(&mut self, total_len: usize) -> bool {
+        let grew = self.data.capacity() < total_len;
+        self.data.clear();
+        self.data.resize(total_len, 0);
+        self.covered.clear();
+        self.received = 0;
+        grew
+    }
+
     /// Total length of the message being assembled.
     #[inline]
     pub fn total_len(&self) -> usize {
@@ -74,23 +86,31 @@ impl Assembly {
     }
 
     fn mark_covered(&mut self, start: usize, end: usize) -> usize {
-        // Insert the new interval and merge, counting newly covered bytes.
-        let before: usize = self.covered.iter().map(|&(s, e)| e - s).sum();
-        self.covered.push((start, end));
-        self.covered.sort_unstable();
-        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.covered.len());
-        for &(s, e) in &self.covered {
-            if let Some(last) = merged.last_mut() {
-                if s <= last.1 {
-                    last.1 = last.1.max(e);
-                    continue;
-                }
-            }
-            merged.push((s, e));
+        // In-place sorted-interval merge: the list stays sorted and disjoint,
+        // so the new interval overlaps (or touches) at most one contiguous
+        // run of existing intervals.  No temporary list is allocated — this
+        // runs once per arriving fragment on the hot path.
+        let cov = &mut self.covered;
+        let i = cov.partition_point(|&(_, e)| e < start);
+        if i == cov.len() || cov[i].0 > end {
+            // No overlap and no adjacency: plain insertion.
+            cov.insert(i, (start, end));
+            self.received += end - start;
+            return end - start;
         }
-        self.covered = merged;
-        let after: usize = self.covered.iter().map(|&(s, e)| e - s).sum();
-        let newly = after - before;
+        let mut existing = 0;
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut j = i;
+        while j < cov.len() && cov[j].0 <= end {
+            existing += cov[j].1 - cov[j].0;
+            new_start = new_start.min(cov[j].0);
+            new_end = new_end.max(cov[j].1);
+            j += 1;
+        }
+        cov[i] = (new_start, new_end);
+        cov.drain(i + 1..j);
+        let newly = (new_end - new_start) - existing;
         self.received += newly;
         newly
     }
@@ -100,6 +120,15 @@ impl Assembly {
     /// regions are zero-filled.
     pub fn into_bytes(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Extracts the message bytes, leaving an empty shell that can be
+    /// returned to an assembly pool (the interval list keeps its capacity;
+    /// the data storage necessarily moves out with the message).
+    pub fn take_bytes(&mut self) -> Bytes {
+        self.covered.clear();
+        self.received = 0;
+        Bytes::from(std::mem::take(&mut self.data))
     }
 
     /// A read-only view of the (possibly still incomplete) message bytes.

@@ -1,6 +1,7 @@
 //! The buffer queue: the ordered index of *unexpected* messages — messages
 //! whose pushed data arrived before the matching receive was posted.
 
+use crate::index::{Chain, Slab, SrcTagMap, NIL};
 use crate::types::{MessageId, ProcessId, Tag};
 
 /// Key identifying one unexpected message: the sending process plus the
@@ -14,9 +15,12 @@ pub struct UnexpectedKey {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Node {
     key: UnexpectedKey,
     tag: Tag,
+    /// Next-younger unexpected message with the same `(src, tag)`, or
+    /// [`NIL`].
+    next: u32,
 }
 
 /// Arrival-ordered index of unexpected messages.
@@ -27,9 +31,15 @@ struct Entry {
 /// messages are waiting and in what order they arrived, so that a newly
 /// posted receive matches the oldest pending message with the right
 /// `(source, tag)` — the same non-overtaking rule the receive queue uses.
+///
+/// Like [`ReceiveQueue`](crate::queues::ReceiveQueue), entries live in a slab
+/// threaded into per-`(source, tag)` FIFO chains, making insert/match/remove
+/// O(1) amortized (O(chain length) for mid-chain removal, which only happens
+/// when a message is dropped) and allocation-free in steady state.
 #[derive(Debug, Default)]
 pub struct BufferQueue {
-    entries: Vec<Entry>,
+    nodes: Slab<Node>,
+    buckets: SrcTagMap,
 }
 
 impl BufferQueue {
@@ -41,41 +51,150 @@ impl BufferQueue {
     /// Records the arrival of an unexpected message.  Duplicate insertions of
     /// the same key are ignored (a message becomes "known" on its first
     /// pushed packet; later fragments do not re-queue it).
+    #[inline]
     pub fn insert(&mut self, key: UnexpectedKey, tag: Tag) {
-        if !self.entries.iter().any(|e| e.key == key) {
-            self.entries.push(Entry { key, tag });
+        let src = key.src.as_u64();
+        match self.buckets.get(src, tag.0) {
+            Some(chain) => {
+                // Duplicate check only walks this message's own (src, tag)
+                // chain — the handful of same-source same-tag messages in
+                // flight, not every unexpected message.
+                let mut cursor = chain.head;
+                while cursor != NIL {
+                    let node = self.nodes.get(cursor).expect("chain must be intact");
+                    if node.key == key {
+                        return;
+                    }
+                    cursor = node.next;
+                }
+                let slot = self.nodes.insert(Node {
+                    key,
+                    tag,
+                    next: NIL,
+                });
+                let chain = self
+                    .buckets
+                    .get_mut(src, tag.0)
+                    .expect("bucket disappeared");
+                if chain.head == NIL {
+                    chain.head = slot;
+                    chain.tail = slot;
+                } else {
+                    let tail = chain.tail;
+                    chain.tail = slot;
+                    self.nodes
+                        .get_mut(tail)
+                        .expect("bucket tail must be live")
+                        .next = slot;
+                }
+            }
+            None => {
+                let slot = self.nodes.insert(Node {
+                    key,
+                    tag,
+                    next: NIL,
+                });
+                self.buckets.set(
+                    src,
+                    tag.0,
+                    Chain {
+                        head: slot,
+                        tail: slot,
+                    },
+                );
+            }
         }
     }
 
     /// Finds and removes the oldest unexpected message from `src` with `tag`.
+    /// Buckets persist after draining, as in
+    /// [`ReceiveQueue`](crate::queues::ReceiveQueue).
+    #[inline]
     pub fn match_posted(&mut self, src: ProcessId, tag: Tag) -> Option<UnexpectedKey> {
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.key.src == src && e.tag == tag)?;
-        Some(self.entries.remove(idx).key)
+        let key = src.as_u64();
+        let chain = self.buckets.get_mut(key, tag.0)?;
+        let head = chain.head;
+        if head == NIL {
+            return None;
+        }
+        let node = self.nodes.remove(head).expect("bucket head must be live");
+        if node.next == NIL {
+            chain.head = NIL;
+            chain.tail = NIL;
+        } else {
+            chain.head = node.next;
+        }
+        Some(node.key)
     }
 
-    /// Removes a specific unexpected message (e.g. when it is dropped).
+    /// Removes a specific unexpected message whose tag is known (the engine
+    /// always knows it from the message state).  O(chain length).
+    pub fn remove_with_tag(&mut self, key: UnexpectedKey, tag: Tag) -> bool {
+        let src = key.src.as_u64();
+        let Some(chain) = self.buckets.get(src, tag.0) else {
+            return false;
+        };
+        let mut prev = NIL;
+        let mut cursor = chain.head;
+        while cursor != NIL {
+            let node = *self.nodes.get(cursor).expect("chain must be intact");
+            if node.key == key {
+                self.nodes.remove(cursor);
+                if prev != NIL {
+                    self.nodes.get_mut(prev).unwrap().next = node.next;
+                }
+                let chain = self.buckets.get_mut(src, tag.0).unwrap();
+                if prev == NIL {
+                    chain.head = node.next;
+                }
+                if chain.tail == cursor {
+                    chain.tail = prev;
+                }
+                if chain.head == NIL {
+                    chain.tail = NIL;
+                }
+                return true;
+            }
+            prev = cursor;
+            cursor = node.next;
+        }
+        false
+    }
+
+    /// Removes a specific unexpected message by key alone (e.g. when it is
+    /// dropped and its tag is no longer at hand).  O(n); prefer
+    /// [`BufferQueue::remove_with_tag`] on hot paths.
     pub fn remove(&mut self, key: UnexpectedKey) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.key != key);
-        before != self.entries.len()
+        let Some(tag) = self
+            .nodes
+            .iter()
+            .find(|(_, n)| n.key == key)
+            .map(|(_, n)| n.tag)
+        else {
+            return false;
+        };
+        self.remove_with_tag(key, tag)
     }
 
     /// `true` if the message is currently queued as unexpected.
     pub fn contains(&self, key: UnexpectedKey) -> bool {
-        self.entries.iter().any(|e| e.key == key)
+        self.nodes.iter().any(|(_, n)| n.key == key)
     }
 
     /// Number of unexpected messages queued.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.nodes.len()
     }
 
     /// `true` when no unexpected messages are queued.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.nodes.is_empty()
+    }
+
+    /// Number of heap allocations this queue has performed (steady state
+    /// must not add any).
+    pub fn alloc_events(&self) -> u64 {
+        self.nodes.alloc_events() + self.buckets.alloc_events()
     }
 }
 
@@ -132,5 +251,23 @@ mod tests {
         assert!(q.remove(key(a, 1)));
         assert!(!q.remove(key(a, 1)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_with_tag_unlinks_any_chain_position() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        for id in 1..=4u64 {
+            q.insert(key(a, id), Tag(9));
+        }
+        assert!(q.remove_with_tag(key(a, 2), Tag(9)), "middle");
+        assert!(q.remove_with_tag(key(a, 4), Tag(9)), "tail");
+        assert!(!q.remove_with_tag(key(a, 2), Tag(9)), "already gone");
+        assert_eq!(q.match_posted(a, Tag(9)).unwrap().msg_id, MessageId(1));
+        assert_eq!(q.match_posted(a, Tag(9)).unwrap().msg_id, MessageId(3));
+        assert!(q.match_posted(a, Tag(9)).is_none());
+        // Bucket is reusable after a full drain.
+        q.insert(key(a, 5), Tag(9));
+        assert_eq!(q.match_posted(a, Tag(9)).unwrap().msg_id, MessageId(5));
     }
 }

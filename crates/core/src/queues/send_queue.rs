@@ -2,9 +2,9 @@
 //! pulled by the receiver.
 
 use crate::btp::BtpSplit;
+use crate::index::{Slab, U64Index, NIL};
 use crate::types::{MessageId, ProcessId, SendHandle, Tag};
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// One registered send operation (arrow 1b.1 in Fig. 1).
 #[derive(Debug, Clone)]
@@ -47,68 +47,142 @@ impl PendingSend {
     }
 }
 
+#[derive(Debug)]
+struct Node {
+    send: PendingSend,
+    /// Registration-order links (doubly linked so completion unlinks in
+    /// O(1) instead of the `order.retain` scan the original used).
+    prev: u32,
+    next: u32,
+}
+
 /// The send queue shared between a process and its kernel side.
+///
+/// Pending sends live in a slab addressed through an open-addressed
+/// message-id index; registration order is kept by intrusive links.  All of
+/// register / lookup / remove are O(1) amortized and allocation-free in
+/// steady state.
 #[derive(Debug, Default)]
 pub struct SendQueue {
-    entries: HashMap<u64, PendingSend>,
-    /// Insertion order, for deterministic iteration and diagnostics.
-    order: Vec<u64>,
+    nodes: Slab<Node>,
+    by_msg_id: U64Index,
+    head: u32,
+    tail: u32,
 }
 
 impl SendQueue {
     /// Creates an empty send queue.
     pub fn new() -> Self {
-        Self::default()
+        SendQueue {
+            nodes: Slab::new(),
+            by_msg_id: U64Index::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     /// Registers a pending send, keyed by its message id.
+    #[inline]
     pub fn register(&mut self, send: PendingSend) {
         let key = send.msg_id.0;
-        debug_assert!(!self.entries.contains_key(&key), "duplicate msg_id {key}");
-        self.order.push(key);
-        self.entries.insert(key, send);
+        debug_assert!(self.by_msg_id.get(key).is_none(), "duplicate msg_id {key}");
+        let slot = self.nodes.insert(Node {
+            send,
+            prev: self.tail,
+            next: NIL,
+        });
+        if self.tail != NIL {
+            self.nodes.get_mut(self.tail).unwrap().next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.by_msg_id.insert(key, slot);
     }
 
     /// Looks up a pending send by message id.
+    #[inline]
     pub fn get(&self, msg_id: MessageId) -> Option<&PendingSend> {
-        self.entries.get(&msg_id.0)
+        let slot = self.by_msg_id.get(msg_id.0)?;
+        Some(&self.nodes.get(slot)?.send)
     }
 
     /// Mutable lookup by message id.
+    #[inline]
     pub fn get_mut(&mut self, msg_id: MessageId) -> Option<&mut PendingSend> {
-        self.entries.get_mut(&msg_id.0)
+        let slot = self.by_msg_id.get(msg_id.0)?;
+        Some(&mut self.nodes.get_mut(slot)?.send)
     }
 
     /// Removes a completed send from the queue, returning it.
+    #[inline]
     pub fn remove(&mut self, msg_id: MessageId) -> Option<PendingSend> {
-        let removed = self.entries.remove(&msg_id.0);
-        if removed.is_some() {
-            self.order.retain(|&k| k != msg_id.0);
+        let slot = self.by_msg_id.remove(msg_id.0)?;
+        let node = self.nodes.remove(slot).expect("indexed slot must be live");
+        if node.prev != NIL {
+            self.nodes.get_mut(node.prev).unwrap().next = node.next;
+        } else {
+            self.head = node.next;
         }
-        removed
+        if node.next != NIL {
+            self.nodes.get_mut(node.next).unwrap().prev = node.prev;
+        } else {
+            self.tail = node.prev;
+        }
+        Some(node.send)
     }
 
     /// Number of sends currently registered.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.nodes.len()
     }
 
     /// `true` when no sends are pending.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.nodes.is_empty()
     }
 
     /// Iterates over pending sends in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &PendingSend> {
-        self.order.iter().filter_map(move |k| self.entries.get(k))
+        OrderIter {
+            queue: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Number of heap allocations this queue has performed (steady state
+    /// must not add any).
+    pub fn alloc_events(&self) -> u64 {
+        self.nodes.alloc_events() + self.by_msg_id.alloc_events()
+    }
+}
+
+struct OrderIter<'a> {
+    queue: &'a SendQueue,
+    cursor: u32,
+}
+
+impl<'a> Iterator for OrderIter<'a> {
+    type Item = &'a PendingSend;
+    fn next(&mut self) -> Option<&'a PendingSend> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = self
+            .queue
+            .nodes
+            .get(self.cursor)
+            .expect("order links intact");
+        self.cursor = node.next;
+        Some(&node.send)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{OptFlags, ProtocolMode};
     use crate::btp::BtpPolicy;
+    use crate::config::{OptFlags, ProtocolMode};
 
     fn pending(msg_id: u64, len: usize) -> PendingSend {
         PendingSend {
@@ -155,6 +229,21 @@ mod tests {
     }
 
     #[test]
+    fn order_survives_interior_removal() {
+        let mut q = SendQueue::new();
+        for id in [5u64, 3, 9, 1] {
+            q.register(pending(id, 10));
+        }
+        q.remove(MessageId(9)).unwrap();
+        q.remove(MessageId(5)).unwrap();
+        let ids: Vec<u64> = q.iter().map(|p| p.msg_id.0).collect();
+        assert_eq!(ids, vec![3, 1]);
+        q.register(pending(7, 10));
+        let ids: Vec<u64> = q.iter().map(|p| p.msg_id.0).collect();
+        assert_eq!(ids, vec![3, 1, 7]);
+    }
+
+    #[test]
     fn get_mut_allows_state_transition() {
         let mut q = SendQueue::new();
         q.register(pending(7, 5000));
@@ -169,5 +258,22 @@ mod tests {
         let p = pending(1, 0);
         assert!(p.is_empty());
         assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn steady_register_remove_cycle_does_not_allocate() {
+        let mut q = SendQueue::new();
+        for id in 0..4u64 {
+            q.register(pending(id, 16));
+        }
+        for id in 0..4u64 {
+            q.remove(MessageId(id)).unwrap();
+        }
+        let allocs = q.alloc_events();
+        for id in 4..10_000u64 {
+            q.register(pending(id, 16));
+            assert!(q.remove(MessageId(id)).is_some());
+        }
+        assert_eq!(q.alloc_events(), allocs, "steady churn must not allocate");
     }
 }

@@ -84,20 +84,30 @@ impl Frame {
         }
     }
 
-    /// Serialises the frame.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_size());
+    /// Serialises the frame into `buf` (appended after any existing
+    /// contents) without intermediate allocations.  Use with a
+    /// [`PacketBufPool`](crate::wire::PacketBufPool) buffer to keep the
+    /// transmit path allocation-free.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.wire_size());
         match self {
             Frame::Data { seq, packet } => {
                 buf.put_u8(0);
                 buf.put_u64(*seq);
-                buf.extend_from_slice(&packet.encode());
+                packet.encode_into(buf);
             }
             Frame::Ack { next_expected } => {
                 buf.put_u8(1);
                 buf.put_u64(*next_expected);
             }
         }
+    }
+
+    /// Serialises the frame into a freshly allocated buffer.  Prefer
+    /// [`Frame::encode_into`] on hot paths.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
@@ -512,10 +522,7 @@ mod tests {
             &mut out,
         );
         assert_eq!(delivered(&out).len(), 1);
-        assert_eq!(
-            transmit_frames(&out),
-            vec![Frame::Ack { next_expected: 1 }]
-        );
+        assert_eq!(transmit_frames(&out), vec![Frame::Ack { next_expected: 1 }]);
     }
 
     #[test]
@@ -561,13 +568,13 @@ mod tests {
             steps += 1;
             assert!(steps < 10_000, "did not converge");
             // Process sender events.
-            let drained: Vec<GbnEvent> = events.drain(..).collect();
+            let drained: Vec<GbnEvent> = std::mem::take(&mut events);
             for e in drained {
                 match e {
                     GbnEvent::Transmit(f) => {
                         if matches!(f, Frame::Data { .. }) {
                             drop_counter += 1;
-                            if drop_counter % 3 == 0 {
+                            if drop_counter.is_multiple_of(3) {
                                 continue; // lost
                             }
                         }

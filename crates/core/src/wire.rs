@@ -64,11 +64,9 @@ impl PacketKind {
             2 => PacketKind::PullRequest,
             3 => PacketKind::PullData,
             4 => PacketKind::Control,
-            other => {
-                return Err(Error::MalformedPacket {
-                    reason: format!("unknown packet kind {other}"),
-                })
-            }
+            // Non-allocating error: the decode path runs per packet and must
+            // not construct a String just to reject garbage.
+            other => return Err(Error::UnknownPacketKind { byte: other }),
         })
     }
 }
@@ -203,15 +201,26 @@ impl Packet {
         ) && !self.payload.is_empty()
     }
 
-    /// Serialises the packet into a contiguous byte buffer.
+    /// Serialises the packet into `buf` (appended after any existing
+    /// contents).  Use with a [`PacketBufPool`]-managed buffer to keep the
+    /// transmit path allocation-free once the buffer capacity has warmed up.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.wire_size());
+        self.header.encode(buf);
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Serialises the packet into a freshly allocated contiguous byte
+    /// buffer.  Prefer [`Packet::encode_into`] on hot paths.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size());
-        self.header.encode(&mut buf);
-        buf.extend_from_slice(&self.payload);
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
-    /// Parses a packet from a contiguous byte buffer.
+    /// Parses a packet from a contiguous byte buffer.  The payload is a
+    /// [`Bytes::split_to`] sub-slice of `data`: it shares the input
+    /// allocation and copies nothing.
     pub fn decode(mut data: Bytes) -> Result<Self> {
         let header = PacketHeader::decode(&mut data)?;
         let expected = match header.kind {
@@ -226,8 +235,62 @@ impl Packet {
                 ),
             });
         }
-        let payload = data.slice(..expected);
+        let payload = data.split_to(expected);
         Packet::new(header, payload)
+    }
+}
+
+/// A free list of reusable encode buffers.
+///
+/// Backends encode every outgoing packet/frame; without a pool each encode
+/// allocates a fresh `BytesMut`.  Acquire a buffer, encode into it, hand the
+/// bytes to the transport, and release the buffer: once the pooled buffers
+/// have grown to the largest wire size in use, the encode path performs zero
+/// heap allocations.
+#[derive(Debug, Default)]
+pub struct PacketBufPool {
+    free: Vec<BytesMut>,
+    alloc_events: u64,
+}
+
+/// Buffers beyond this count are dropped on release rather than pooled.
+const PACKET_BUF_POOL_CAP: usize = 32;
+
+impl PacketBufPool {
+    /// Creates an empty pool without allocating.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer with at least `capacity` bytes reserved.
+    pub fn acquire(&mut self, capacity: usize) -> BytesMut {
+        match self.free.pop() {
+            Some(mut buf) => {
+                if buf.capacity() < capacity {
+                    self.alloc_events += 1;
+                }
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                self.alloc_events += 1;
+                BytesMut::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn release(&mut self, mut buf: BytesMut) {
+        if self.free.len() < PACKET_BUF_POOL_CAP {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of times `acquire` had to allocate or grow a buffer (steady
+    /// state must not add any).
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
     }
 }
 

@@ -38,7 +38,11 @@ pub struct ZeroBuffer {
 impl ZeroBuffer {
     /// Builds a zero buffer for the `len` bytes starting at virtual address
     /// `virt_addr`, using the supplied translator.
-    pub fn build<T: AddressTranslator + ?Sized>(translator: &T, virt_addr: u64, len: usize) -> Self {
+    pub fn build<T: AddressTranslator + ?Sized>(
+        translator: &T,
+        virt_addr: u64,
+        len: usize,
+    ) -> Self {
         ZeroBuffer {
             virt_addr,
             segments: translator.translate(virt_addr, len),
@@ -57,9 +61,11 @@ impl ZeroBuffer {
     }
 
     /// Checks that the scatter list covers exactly `len` bytes with no
-    /// zero-length segments.
+    /// zero-length segments.  A zero-length segment is malformed regardless
+    /// of `len`: an empty buffer must have an empty scatter list, not a list
+    /// of degenerate extents.
     pub fn covers_exactly(&self, len: usize) -> bool {
-        self.total_len() == len && self.segments.iter().all(|s| s.len > 0 || len == 0)
+        self.total_len() == len && self.segments.iter().all(|s| s.len > 0)
     }
 
     /// Splits the scatter list at byte offset `at`, returning the head
@@ -194,8 +200,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_segment_is_always_malformed() {
+        let zb = ZeroBuffer {
+            virt_addr: 0,
+            segments: vec![PhysSegment {
+                phys_addr: 0x1000,
+                len: 0,
+            }],
+        };
+        // Total length is 0, but a degenerate extent must still fail.
+        assert!(!zb.covers_exactly(0));
+        let mixed = ZeroBuffer {
+            virt_addr: 0,
+            segments: vec![
+                PhysSegment {
+                    phys_addr: 0x1000,
+                    len: 8,
+                },
+                PhysSegment {
+                    phys_addr: 0x2000,
+                    len: 0,
+                },
+            ],
+        };
+        assert!(!mixed.covers_exactly(8));
+    }
+
+    #[test]
     fn scattered_translation_covers_exactly() {
-        for (addr, len) in [(0u64, 1usize), (100, 4096), (4095, 2), (0x12345, 10000), (0, 65536)] {
+        for (addr, len) in [
+            (0u64, 1usize),
+            (100, 4096),
+            (4095, 2),
+            (0x12345, 10000),
+            (0, 65536),
+        ] {
             let zb = ZeroBuffer::build(&ScatteringTranslator, addr, len);
             assert!(zb.covers_exactly(len), "addr={addr} len={len}");
         }

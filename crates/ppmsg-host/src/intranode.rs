@@ -4,8 +4,8 @@
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
-use ppmsg_core::{Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag};
 use ppmsg_core::wire::Packet;
+use ppmsg_core::{Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,31 +39,34 @@ impl Fabric {
     /// Routes packets between members until no more traffic is generated.
     /// This is the "kernel agent": it may run on any thread that produced
     /// traffic (the paper runs it on the least-loaded processor; here the OS
-    /// scheduler decides).
+    /// scheduler decides).  One action buffer is reused across every hop, so
+    /// routing a message exchange performs no per-packet allocation.
     fn route(&self, mut work: VecDeque<(ProcessId, ProcessId, Packet)>) {
+        let mut actions = Vec::new();
         while let Some((src, dst, packet)) = work.pop_front() {
             let Some(member) = self.member(dst) else {
                 continue;
             };
-            let actions = {
+            {
                 let mut engine = member.engine.lock();
                 engine.handle_packet(src, packet);
-                engine.drain_actions()
-            };
-            self.apply_actions(&member, actions, &mut work);
+                engine.drain_actions_into(&mut actions);
+            }
+            self.apply_actions(&member, &mut actions, &mut work);
         }
     }
 
     /// Applies one member's actions: queue outgoing packets, record
     /// completions, ignore cost-model hints (translate/copy) which have no
-    /// user-space equivalent.
+    /// user-space equivalent.  Drains `actions`, leaving its capacity for
+    /// reuse.
     fn apply_actions(
         &self,
         member: &Member,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
         work: &mut VecDeque<(ProcessId, ProcessId, Packet)>,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Transmit { dst, packet, .. } => {
                     work.push_back((member.id, dst, packet));
@@ -168,15 +171,18 @@ impl HostEndpoint {
     /// pulling); the data is captured by reference count, so the caller may
     /// drop its handle immediately.
     pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendHandle {
-        let (handle, actions) = {
+        let mut actions = Vec::new();
+        let handle = {
             let mut engine = self.member.engine.lock();
             let handle = engine
                 .post_send(peer, tag, data.into())
                 .expect("post_send failed");
-            (handle, engine.drain_actions())
+            engine.drain_actions_into(&mut actions);
+            handle
         };
         let mut work = VecDeque::new();
-        self.fabric.apply_actions(&self.member, actions, &mut work);
+        self.fabric
+            .apply_actions(&self.member, &mut actions, &mut work);
         self.fabric.route(work);
         handle
     }
@@ -211,13 +217,16 @@ impl HostEndpoint {
         max_len: usize,
         timeout: Duration,
     ) -> Option<Bytes> {
-        let (handle, actions) = {
+        let mut actions = Vec::new();
+        let handle = {
             let mut engine = self.member.engine.lock();
             let handle = engine.post_recv(peer, tag, max_len).ok()?;
-            (handle, engine.drain_actions())
+            engine.drain_actions_into(&mut actions);
+            handle
         };
         let mut work = VecDeque::new();
-        self.fabric.apply_actions(&self.member, actions, &mut work);
+        self.fabric
+            .apply_actions(&self.member, &mut actions, &mut work);
         self.fabric.route(work);
 
         let mut completions = self.member.completions.lock();
@@ -256,7 +265,11 @@ mod tests {
 
     #[test]
     fn two_thread_pingpong_all_modes() {
-        for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+        for mode in [
+            ProtocolMode::PushZero,
+            ProtocolMode::PushPull,
+            ProtocolMode::PushAll,
+        ] {
             let cluster = HostCluster::new(
                 0,
                 ProtocolConfig::paper_intranode()
@@ -285,7 +298,10 @@ mod tests {
 
     #[test]
     fn late_receiver_is_still_correct() {
-        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
+        let cluster = HostCluster::new(
+            0,
+            ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024),
+        );
         let a = cluster.add_endpoint(0);
         let b = cluster.add_endpoint(1);
         let data = payload(4096);
@@ -316,7 +332,10 @@ mod tests {
 
     #[test]
     fn many_messages_in_order() {
-        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+        let cluster = HostCluster::new(
+            0,
+            ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
+        );
         let a = cluster.add_endpoint(0);
         let b = cluster.add_endpoint(1);
         let count = 50usize;
@@ -324,7 +343,9 @@ mod tests {
             a.send(b.id(), Tag(9), payload(i * 37 + 1));
         }
         for i in 0..count {
-            let got = b.recv(a.id(), Tag(9), 64 * 1024, T).expect("recv timed out");
+            let got = b
+                .recv(a.id(), Tag(9), 64 * 1024, T)
+                .expect("recv timed out");
             assert_eq!(got.len(), i * 37 + 1);
         }
     }

@@ -5,7 +5,10 @@
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use ppmsg_core::reliability::Frame;
-use ppmsg_core::{Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag, TimerId};
+use ppmsg_core::wire::PacketBufPool;
+use ppmsg_core::{
+    Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag, TimerId,
+};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,22 +30,33 @@ struct Shared {
     completions: Mutex<Completions>,
     cv: Condvar,
     timers: Mutex<Vec<(Instant, TimerId)>>,
+    /// Reusable encode buffers: frame serialisation allocates nothing once
+    /// the pool has warmed up to the largest frame size in flight.
+    codec: Mutex<PacketBufPool>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
     /// Executes a batch of engine actions: frames go out on the socket,
-    /// timers are (re)armed, completions wake blocked callers.
-    fn apply_actions(&self, actions: Vec<Action>) {
-        for action in actions {
+    /// timers are (re)armed, completions wake blocked callers.  Drains
+    /// `actions`, leaving its capacity for the caller to reuse.
+    fn apply_actions(&self, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::TransmitFrame { dst, frame, .. } => {
                     let addr = self.peers.lock().get(&dst.as_u64()).copied();
                     if let Some(addr) = addr {
-                        let bytes = frame.encode();
+                        // One pool lock covers acquire/encode/send/release;
+                        // transmits from the reception thread and user
+                        // threads are serialised here anyway by the engine
+                        // lock that produced them.
+                        let mut codec = self.codec.lock();
+                        let mut buf = codec.acquire(frame.wire_size());
+                        frame.encode_into(&mut buf);
                         // A lost datagram is recovered by go-back-N, so send
                         // errors (e.g. ECONNREFUSED on loopback) are ignored.
-                        let _ = self.socket.send_to(&bytes, addr);
+                        let _ = self.socket.send_to(&buf, addr);
+                        codec.release(buf);
                     }
                 }
                 Action::Transmit { dst, .. } => {
@@ -55,9 +69,9 @@ impl Shared {
                     timers.push((deadline, timer));
                 }
                 Action::CancelTimer { timer } => {
-                    self.timers
-                        .lock()
-                        .retain(|(_, t)| !(t.peer == timer.peer && t.generation == timer.generation));
+                    self.timers.lock().retain(|(_, t)| {
+                        !(t.peer == timer.peer && t.generation == timer.generation)
+                    });
                 }
                 Action::RecvComplete { handle, data, .. } => {
                     self.completions.lock().received.insert(handle.0, data);
@@ -68,13 +82,14 @@ impl Shared {
                     self.cv.notify_all();
                 }
                 Action::RecvFailed { handle, error, .. } => {
-                    self.completions.lock().received.insert(handle.0, Bytes::new());
+                    self.completions
+                        .lock()
+                        .received
+                        .insert(handle.0, Bytes::new());
                     self.cv.notify_all();
                     eprintln!("ppmsg-host/udp: receive {handle:?} failed: {error}");
                 }
-                Action::Translate { .. }
-                | Action::Copy { .. }
-                | Action::PacketDropped { .. } => {}
+                Action::Translate { .. } | Action::Copy { .. } | Action::PacketDropped { .. } => {}
                 Action::ChannelFailed { peer } => {
                     eprintln!("ppmsg-host/udp: channel to {peer} failed (peer unreachable)");
                     self.cv.notify_all();
@@ -83,8 +98,9 @@ impl Shared {
         }
     }
 
-    /// Fires any timers whose deadline has passed.
-    fn fire_due_timers(&self) {
+    /// Fires any timers whose deadline has passed, reusing the caller's
+    /// action buffer.
+    fn fire_due_timers(&self, actions: &mut Vec<Action>) {
         let now = Instant::now();
         let due: Vec<TimerId> = {
             let mut timers = self.timers.lock();
@@ -93,11 +109,11 @@ impl Shared {
             fire.into_iter().map(|(_, t)| t).collect()
         };
         for timer in due {
-            let actions = {
+            {
                 let mut engine = self.engine.lock();
                 engine.handle_timer(timer);
-                engine.drain_actions()
-            };
+                engine.drain_actions_into(actions);
+            }
             self.apply_actions(actions);
         }
     }
@@ -127,6 +143,7 @@ impl UdpEndpoint {
             completions: Mutex::new(Completions::default()),
             cv: Condvar::new(),
             timers: Mutex::new(Vec::new()),
+            codec: Mutex::new(PacketBufPool::new()),
             shutdown: AtomicBool::new(false),
         });
         let worker = shared.clone();
@@ -134,6 +151,9 @@ impl UdpEndpoint {
             .name(format!("ppmsg-udp-{id}"))
             .spawn(move || {
                 let mut buf = vec![0u8; 65_536];
+                // Reused across packets: the reception path allocates only a
+                // copy of each datagram's bytes.
+                let mut actions: Vec<Action> = Vec::new();
                 while !worker.shutdown.load(Ordering::Relaxed) {
                     match worker.socket.recv_from(&mut buf) {
                         Ok((n, from)) => {
@@ -141,21 +161,20 @@ impl UdpEndpoint {
                                 // Identify the peer by source address.
                                 let peer = {
                                     let peers = worker.peers.lock();
-                                    peers
-                                        .iter()
-                                        .find(|(_, a)| **a == from)
-                                        .map(|(k, _)| ppmsg_core::ProcessId {
+                                    peers.iter().find(|(_, a)| **a == from).map(|(k, _)| {
+                                        ppmsg_core::ProcessId {
                                             node: ppmsg_core::NodeId((*k >> 32) as u32),
                                             local_rank: (*k & 0xFFFF_FFFF) as u32,
-                                        })
+                                        }
+                                    })
                                 };
                                 if let Some(peer) = peer {
-                                    let actions = {
+                                    {
                                         let mut engine = worker.engine.lock();
                                         engine.handle_frame(peer, frame);
-                                        engine.drain_actions()
-                                    };
-                                    worker.apply_actions(actions);
+                                        engine.drain_actions_into(&mut actions);
+                                    }
+                                    worker.apply_actions(&mut actions);
                                 }
                             }
                         }
@@ -164,7 +183,7 @@ impl UdpEndpoint {
                                 || e.kind() == std::io::ErrorKind::TimedOut => {}
                         Err(_) => {}
                     }
-                    worker.fire_due_timers();
+                    worker.fire_due_timers(&mut actions);
                 }
             })
             .expect("failed to spawn UDP reception thread");
@@ -191,14 +210,16 @@ impl UdpEndpoint {
 
     /// Posts a send of `data` to `peer` and returns immediately.
     pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendHandle {
-        let (handle, actions) = {
+        let mut actions = Vec::new();
+        let handle = {
             let mut engine = self.shared.engine.lock();
             let handle = engine
                 .post_send(peer, tag, data.into())
                 .expect("post_send failed");
-            (handle, engine.drain_actions())
+            engine.drain_actions_into(&mut actions);
+            handle
         };
-        self.shared.apply_actions(actions);
+        self.shared.apply_actions(&mut actions);
         handle
     }
 
@@ -228,12 +249,14 @@ impl UdpEndpoint {
         max_len: usize,
         timeout: Duration,
     ) -> Option<Bytes> {
-        let (handle, actions) = {
+        let mut actions = Vec::new();
+        let handle = {
             let mut engine = self.shared.engine.lock();
             let handle = engine.post_recv(peer, tag, max_len).ok()?;
-            (handle, engine.drain_actions())
+            engine.drain_actions_into(&mut actions);
+            handle
         };
-        self.shared.apply_actions(actions);
+        self.shared.apply_actions(&mut actions);
         let deadline = Instant::now() + timeout;
         let mut completions = self.shared.completions.lock();
         loop {
@@ -284,7 +307,11 @@ mod tests {
 
     #[test]
     fn loopback_transfer_all_modes() {
-        for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+        for mode in [
+            ProtocolMode::PushZero,
+            ProtocolMode::PushPull,
+            ProtocolMode::PushAll,
+        ] {
             let protocol = ProtocolConfig::paper_internode()
                 .with_mode(mode)
                 .with_pushed_buffer(64 * 1024);
@@ -325,7 +352,9 @@ mod tests {
         let data = payload(16 * 1024);
         a.send(b.id(), Tag(7), data.clone());
         std::thread::sleep(Duration::from_millis(120));
-        let got = b.recv(a.id(), Tag(7), 16 * 1024, T).expect("recv timed out");
+        let got = b
+            .recv(a.id(), Tag(7), 16 * 1024, T)
+            .expect("recv timed out");
         assert_eq!(got, data);
         assert!(b.stats().frames_dropped > 0, "expected pushed-buffer drops");
     }

@@ -2,13 +2,13 @@
 //! exchanging messages through the Push-Pull protocol engine, with every
 //! protocol action charged against simulated hardware.
 
-use ppmsg_core::{
-    Action, Endpoint, InjectMode, ProcessId, ProtocolConfig, RecvHandle, Tag, TimerId,
-};
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::Packet;
-use simnet::{EthernetLink, LinkConfig, Nic, NicConfig, Switch, SwitchConfig};
+use ppmsg_core::{
+    Action, Endpoint, InjectMode, ProcessId, ProtocolConfig, RecvHandle, Tag, TimerId, U64Index,
+};
 use simnet::loss::LossModel;
+use simnet::{EthernetLink, LinkConfig, Nic, NicConfig, Switch, SwitchConfig};
 use simsmp::cpu::ProcessorId;
 use simsmp::interrupt::InterruptMode;
 use simsmp::time::{SimDuration, SimTime};
@@ -120,10 +120,25 @@ impl RunReport {
 
 #[derive(Debug)]
 enum Ev {
-    AppStep { process: ProcessId },
-    RecvRegister { process: ProcessId, peer: ProcessId, tag: Tag, len: usize },
-    HandlerRun { dst: ProcessId, src: ProcessId, item: WireItem, wire_bytes: usize },
-    Timer { owner: ProcessId, timer: TimerId },
+    AppStep {
+        process: ProcessId,
+    },
+    RecvRegister {
+        process: ProcessId,
+        peer: ProcessId,
+        tag: Tag,
+        len: usize,
+    },
+    HandlerRun {
+        dst: ProcessId,
+        src: ProcessId,
+        item: WireItem,
+        wire_bytes: usize,
+    },
+    Timer {
+        owner: ProcessId,
+        timer: TimerId,
+    },
 }
 
 #[derive(Debug)]
@@ -140,6 +155,39 @@ struct ScriptState {
     finished: bool,
 }
 
+/// Per-process simulation state, indexed by the dense process index the
+/// cluster assigns at `add_process` time.  Everything the per-event hot path
+/// touches is a direct vector access — the `HashMap` probes of the original
+/// implementation are gone.
+struct ProcState {
+    id: ProcessId,
+    endpoint: Endpoint,
+    script: ScriptState,
+    /// The receive handle the process is currently blocked on, if any.
+    blocked: Option<RecvHandle>,
+    /// Completion time of each finished receive, indexed by handle value
+    /// (handles are dense per endpoint, so this is a flat table).
+    recv_done: Vec<Option<SimTime>>,
+    /// Outstanding retransmission timers `(peer key, generation, event)`.
+    /// Go-back-N keeps at most one timer per peer channel, so a linear scan
+    /// over this short list is cheaper than any map.
+    timers: Vec<(u64, u64, EventId)>,
+}
+
+impl ProcState {
+    fn recv_done_at(&self, handle: RecvHandle) -> Option<SimTime> {
+        self.recv_done.get(handle.0 as usize).copied().flatten()
+    }
+
+    fn set_recv_done(&mut self, handle: RecvHandle, time: SimTime) {
+        let idx = handle.0 as usize;
+        if self.recv_done.len() <= idx {
+            self.recv_done.resize(idx + 1, None);
+        }
+        self.recv_done[idx] = Some(time);
+    }
+}
+
 /// A simulated cluster running Push-Pull Messaging.
 pub struct SimCluster {
     cfg: ClusterConfig,
@@ -148,11 +196,12 @@ pub struct SimCluster {
     uplinks: Vec<EthernetLink>,
     downlinks: Vec<EthernetLink>,
     switch: Switch,
-    endpoints: HashMap<u64, Endpoint>,
-    scripts: HashMap<u64, ScriptState>,
-    blocked: HashMap<u64, RecvHandle>,
-    recv_done: HashMap<(u64, u64), SimTime>,
-    timer_events: HashMap<(u64, u64, u64), EventId>,
+    /// Dense per-process state; `proc_index` interns `ProcessId`s.
+    procs: Vec<ProcState>,
+    proc_index: U64Index,
+    /// Reusable action buffer (drained endpoint actions land here instead of
+    /// a fresh `Vec` per event).
+    action_buf: Vec<Action>,
     loss: LossModel,
     frames_dropped: u64,
     max_events: u64,
@@ -165,8 +214,12 @@ impl SimCluster {
             .map(|i| SmpNode::new(i, cfg.hw.clone(), cfg.interrupt_mode))
             .collect();
         let nics = (0..cfg.nodes).map(|_| Nic::new(cfg.nic)).collect();
-        let uplinks = (0..cfg.nodes).map(|_| EthernetLink::new(cfg.link)).collect();
-        let downlinks = (0..cfg.nodes).map(|_| EthernetLink::new(cfg.link)).collect();
+        let uplinks = (0..cfg.nodes)
+            .map(|_| EthernetLink::new(cfg.link))
+            .collect();
+        let downlinks = (0..cfg.nodes)
+            .map(|_| EthernetLink::new(cfg.link))
+            .collect();
         let switch = Switch::new(cfg.switch, cfg.nodes as usize);
         SimCluster {
             cfg,
@@ -175,15 +228,21 @@ impl SimCluster {
             uplinks,
             downlinks,
             switch,
-            endpoints: HashMap::new(),
-            scripts: HashMap::new(),
-            blocked: HashMap::new(),
-            recv_done: HashMap::new(),
-            timer_events: HashMap::new(),
+            procs: Vec::new(),
+            proc_index: U64Index::new(),
+            action_buf: Vec::new(),
             loss: LossModel::none(),
             frames_dropped: 0,
             max_events: 50_000_000,
         }
+    }
+
+    /// Dense index of `process`, panicking for unknown processes.
+    #[inline]
+    fn proc_idx(&self, process: ProcessId) -> usize {
+        self.proc_index
+            .get(process.as_u64())
+            .expect("unknown process") as usize
     }
 
     /// Injects a wire-loss model (defaults to lossless).
@@ -209,32 +268,32 @@ impl SimCluster {
             "process {p} placed on a node outside the cluster"
         );
         assert!(
-            !self.endpoints.contains_key(&p.as_u64()),
+            self.proc_index.get(p.as_u64()).is_none(),
             "process {p} added twice"
         );
-        self.endpoints
-            .insert(p.as_u64(), Endpoint::new(p, self.cfg.protocol.clone()));
-        self.scripts.insert(
-            p.as_u64(),
-            ScriptState {
+        let idx = self.procs.len() as u32;
+        self.proc_index.insert(p.as_u64(), idx);
+        self.procs.push(ProcState {
+            id: p,
+            endpoint: Endpoint::new(p, self.cfg.protocol.clone()),
+            script: ScriptState {
                 ops: script.ops,
                 pc: 0,
                 marks: Vec::new(),
                 finished: false,
             },
-        );
+            blocked: None,
+            recv_done: Vec::new(),
+            timers: Vec::new(),
+        });
     }
 
     /// Runs the simulation until every script has finished and the event
     /// queue has drained (or the event cap is hit).
     pub fn run(&mut self) -> RunReport {
         let mut engine: Engine<Ev> = Engine::new();
-        for key in self.scripts.keys().copied().collect::<Vec<_>>() {
-            let process = ProcessId {
-                node: simsmp_node_of(key),
-                local_rank: (key & 0xFFFF_FFFF) as u32,
-            };
-            engine.schedule_at(SimTime::ZERO, Ev::AppStep { process });
+        for p in &self.procs {
+            engine.schedule_at(SimTime::ZERO, Ev::AppStep { process: p.id });
         }
         let cap = self.max_events;
         engine.run_while(|eng, time, ev| {
@@ -245,14 +304,12 @@ impl SimCluster {
         let events = engine.events_processed();
 
         let mut marks = HashMap::new();
-        for (key, s) in &self.scripts {
-            marks.insert(process_from_key(*key), s.marks.clone());
-        }
         let mut endpoint_stats = HashMap::new();
         let mut pushed_buffer_stats = HashMap::new();
-        for (key, e) in &self.endpoints {
-            endpoint_stats.insert(process_from_key(*key), e.stats());
-            pushed_buffer_stats.insert(process_from_key(*key), e.pushed_buffer_stats());
+        for p in &self.procs {
+            marks.insert(p.id, p.script.marks.clone());
+            endpoint_stats.insert(p.id, p.endpoint.stats());
+            pushed_buffer_stats.insert(p.id, p.endpoint.pushed_buffer_stats());
         }
         RunReport {
             finished_at,
@@ -266,7 +323,7 @@ impl SimCluster {
 
     /// `true` once every registered script has run to completion.
     pub fn all_finished(&self) -> bool {
-        self.scripts.values().all(|s| s.finished)
+        self.procs.iter().all(|p| p.script.finished)
     }
 
     // ------------------------------------------------------------------
@@ -289,25 +346,31 @@ impl SimCluster {
                 wire_bytes,
             } => self.run_reception_handler(engine, dst, src, item, wire_bytes, time),
             Ev::Timer { owner, timer } => {
-                self.timer_events
-                    .remove(&(owner.as_u64(), timer.peer.as_u64(), timer.generation));
-                let Some(ep) = self.endpoints.get_mut(&owner.as_u64()) else {
+                let Some(idx) = self.proc_index.get(owner.as_u64()) else {
                     return;
                 };
-                ep.handle_timer(timer);
-                let actions = ep.drain_actions();
+                let idx = idx as usize;
+                let proc = &mut self.procs[idx];
+                let peer_key = timer.peer.as_u64();
+                proc.timers.retain(|&(peer, generation, _)| {
+                    !(peer == peer_key && generation == timer.generation)
+                });
+                proc.endpoint.handle_timer(timer);
+                let mut actions = std::mem::take(&mut self.action_buf);
+                self.procs[idx].endpoint.drain_actions_into(&mut actions);
                 let cpu = self.nodes[owner.node.index()].processors().least_loaded();
-                self.process_actions(engine, owner, actions, time, cpu, false);
+                self.process_actions(engine, owner, &mut actions, time, cpu, false);
+                self.action_buf = actions;
             }
         }
     }
 
     fn advance_script(&mut self, engine: &mut Engine<Ev>, process: ProcessId, time: SimTime) {
-        let key = process.as_u64();
+        let idx = self.proc_idx(process);
         let hw = self.cfg.hw.clone();
         loop {
             let (op, pc) = {
-                let script = self.scripts.get_mut(&key).expect("unknown process");
+                let script = &mut self.procs[idx].script;
                 if script.pc >= script.ops.len() {
                     script.finished = true;
                     return;
@@ -316,7 +379,7 @@ impl SimCluster {
             };
             match op {
                 Op::MarkTime(slot) => {
-                    let script = self.scripts.get_mut(&key).unwrap();
+                    let script = &mut self.procs[idx].script;
                     script.marks.push((slot, time));
                     script.pc = pc + 1;
                     continue;
@@ -325,7 +388,7 @@ impl SimCluster {
                     let cost = hw.compute_cost(nops);
                     let node = &mut self.nodes[process.node.index()];
                     let (_, end) = node.run_app_work(process.local_rank, time, cost);
-                    self.scripts.get_mut(&key).unwrap().pc = pc + 1;
+                    self.procs[idx].script.pc = pc + 1;
                     engine.schedule_at(end, Ev::AppStep { process });
                     return;
                 }
@@ -333,16 +396,20 @@ impl SimCluster {
                     // Stage 1: transmission-thread invocation overhead on the
                     // application's processor.
                     let cost = hw.syscall_cost + hw.send_proc_cost;
-                    let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
+                    let app_cpu =
+                        self.nodes[process.node.index()].app_processor(process.local_rank);
                     let (_, t1) = self.nodes[process.node.index()]
                         .processors_mut()
                         .run_on(app_cpu, time, cost);
                     let data = Bytes::from(vec![0u8; len]);
-                    let ep = self.endpoints.get_mut(&key).expect("unknown endpoint");
+                    let ep = &mut self.procs[idx].endpoint;
                     ep.post_send(peer, tag, data).expect("post_send failed");
-                    let actions = ep.drain_actions();
-                    let end = self.process_actions(engine, process, actions, t1, app_cpu, false);
-                    self.scripts.get_mut(&key).unwrap().pc = pc + 1;
+                    let mut actions = std::mem::take(&mut self.action_buf);
+                    self.procs[idx].endpoint.drain_actions_into(&mut actions);
+                    let end =
+                        self.process_actions(engine, process, &mut actions, t1, app_cpu, false);
+                    self.action_buf = actions;
+                    self.procs[idx].script.pc = pc + 1;
                     engine.schedule_at(end, Ev::AppStep { process });
                     return;
                 }
@@ -357,11 +424,12 @@ impl SimCluster {
                     if opts.zero_buffer && !opts.translation_masking && len > 0 {
                         prereg += hw.translation_cost(len);
                     }
-                    let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
+                    let app_cpu =
+                        self.nodes[process.node.index()].app_processor(process.local_rank);
                     let (_, t1) = self.nodes[process.node.index()]
                         .processors_mut()
                         .run_on(app_cpu, time, prereg);
-                    self.scripts.get_mut(&key).unwrap().pc = pc + 1;
+                    self.procs[idx].script.pc = pc + 1;
                     engine.schedule_at(
                         t1,
                         Ev::RecvRegister {
@@ -386,21 +454,23 @@ impl SimCluster {
         len: usize,
         time: SimTime,
     ) {
-        let key = process.as_u64();
+        let idx = self.proc_idx(process);
         let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
-        let ep = self.endpoints.get_mut(&key).expect("unknown endpoint");
-        let handle = ep
+        let handle = self.procs[idx]
+            .endpoint
             .post_recv(peer, tag, len.max(1))
             .expect("post_recv failed");
-        let actions = ep.drain_actions();
+        let mut actions = std::mem::take(&mut self.action_buf);
+        self.procs[idx].endpoint.drain_actions_into(&mut actions);
         // The destination translation (when not masked) was already charged
         // as part of the registration work, so skip charging it again.
-        let end = self.process_actions(engine, process, actions, time, app_cpu, true);
-        if let Some(&done) = self.recv_done.get(&(key, handle.0)) {
+        let end = self.process_actions(engine, process, &mut actions, time, app_cpu, true);
+        self.action_buf = actions;
+        if let Some(done) = self.procs[idx].recv_done_at(handle) {
             let resume = done.max(end) + self.cfg.hw.wakeup_cost;
             engine.schedule_at(resume, Ev::AppStep { process });
         } else {
-            self.blocked.insert(key, handle);
+            self.procs[idx].blocked = Some(handle);
         }
     }
 
@@ -436,15 +506,20 @@ impl SimCluster {
             self.nodes[node_idx]
                 .processors_mut()
                 .run_on(cpu, handler_start, hw.recv_proc_cost);
-        let Some(ep) = self.endpoints.get_mut(&dst.as_u64()) else {
+        let Some(idx) = self.proc_index.get(dst.as_u64()) else {
             return;
         };
+        let ep = &mut self.procs[idx as usize].endpoint;
         match item {
             WireItem::Packet(packet) => ep.handle_packet(src, packet),
             WireItem::Frame(frame) => ep.handle_frame(src, frame),
         }
-        let actions = ep.drain_actions();
-        self.process_actions(engine, dst, actions, after_proc, cpu, false);
+        let mut actions = std::mem::take(&mut self.action_buf);
+        self.procs[idx as usize]
+            .endpoint
+            .drain_actions_into(&mut actions);
+        self.process_actions(engine, dst, &mut actions, after_proc, cpu, false);
+        self.action_buf = actions;
     }
 
     /// Converts a batch of protocol actions into simulated time, scheduling
@@ -454,22 +529,24 @@ impl SimCluster {
         &mut self,
         engine: &mut Engine<Ev>,
         owner: ProcessId,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
         start: SimTime,
         cpu: ProcessorId,
         skip_translate: bool,
     ) -> SimTime {
         let hw = self.cfg.hw.clone();
         let node_idx = owner.node.index();
+        let owner_idx = self.proc_idx(owner);
         let mut cursor = start;
         let mut parallel_end = start;
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Translate { bytes, .. } => {
                     if !skip_translate {
                         let cost = hw.translation_cost(bytes);
-                        let (_, end) =
-                            self.nodes[node_idx].processors_mut().run_on(cpu, cursor, cost);
+                        let (_, end) = self.nodes[node_idx]
+                            .processors_mut()
+                            .run_on(cpu, cursor, cost);
                         cursor = end;
                     }
                 }
@@ -485,12 +562,14 @@ impl SimCluster {
                         let other = self.nodes[node_idx]
                             .processors()
                             .least_loaded_excluding(cpu);
-                        let (_, end) =
-                            self.nodes[node_idx].processors_mut().run_on(other, cursor, cost);
+                        let (_, end) = self.nodes[node_idx]
+                            .processors_mut()
+                            .run_on(other, cursor, cost);
                         parallel_end = parallel_end.max(end);
                     } else {
-                        let (_, end) =
-                            self.nodes[node_idx].processors_mut().run_on(cpu, cursor, cost);
+                        let (_, end) = self.nodes[node_idx]
+                            .processors_mut()
+                            .run_on(cpu, cursor, cost);
                         cursor = end;
                     }
                 }
@@ -498,8 +577,9 @@ impl SimCluster {
                     // Intranode: enqueue a descriptor on the peer's kernel
                     // queue; the kernel agent wakes up shortly after.
                     let cost = hw.lock_cost + hw.queue_op_cost;
-                    let (_, end) =
-                        self.nodes[node_idx].processors_mut().run_on(cpu, cursor, cost);
+                    let (_, end) = self.nodes[node_idx]
+                        .processors_mut()
+                        .run_on(cpu, cursor, cost);
                     cursor = end;
                     let wire_bytes = packet.wire_size();
                     engine.schedule_at(
@@ -520,8 +600,9 @@ impl SimCluster {
                     } else {
                         self.cfg.nic.kernel_inject_cost
                     };
-                    let (_, end) =
-                        self.nodes[node_idx].processors_mut().run_on(cpu, cursor, host_cost);
+                    let (_, end) = self.nodes[node_idx]
+                        .processors_mut()
+                        .run_on(cpu, cursor, host_cost);
                     cursor = end;
                     // Stage 2: data pumping.  DMA into the TX FIFO, wire
                     // serialisation, switch forwarding, DMA out of the RX
@@ -564,35 +645,29 @@ impl SimCluster {
                 }
                 Action::SetTimer { timer, delay_us } => {
                     let at = cursor + SimDuration::from_micros(delay_us);
-                    let id = engine.schedule_at(
-                        at,
-                        Ev::Timer {
-                            owner,
-                            timer,
-                        },
-                    );
-                    self.timer_events
-                        .insert((owner.as_u64(), timer.peer.as_u64(), timer.generation), id);
+                    let id = engine.schedule_at(at, Ev::Timer { owner, timer });
+                    self.procs[owner_idx]
+                        .timers
+                        .push((timer.peer.as_u64(), timer.generation, id));
                 }
                 Action::CancelTimer { timer } => {
-                    if let Some(id) = self.timer_events.remove(&(
-                        owner.as_u64(),
-                        timer.peer.as_u64(),
-                        timer.generation,
-                    )) {
+                    let peer_key = timer.peer.as_u64();
+                    let timers = &mut self.procs[owner_idx].timers;
+                    if let Some(pos) = timers.iter().position(|&(peer, generation, _)| {
+                        peer == peer_key && generation == timer.generation
+                    }) {
+                        let (_, _, id) = timers.swap_remove(pos);
                         engine.cancel(id);
                     }
                 }
                 Action::SendComplete { .. } => {}
                 Action::RecvComplete { handle, .. } => {
                     let done = cursor.max(parallel_end);
-                    self.recv_done.insert((owner.as_u64(), handle.0), done);
-                    if self.blocked.get(&owner.as_u64()) == Some(&handle) {
-                        self.blocked.remove(&owner.as_u64());
-                        engine.schedule_at(
-                            done + hw.wakeup_cost,
-                            Ev::AppStep { process: owner },
-                        );
+                    let proc = &mut self.procs[owner_idx];
+                    proc.set_recv_done(handle, done);
+                    if proc.blocked == Some(handle) {
+                        proc.blocked = None;
+                        engine.schedule_at(done + hw.wakeup_cost, Ev::AppStep { process: owner });
                     }
                 }
                 Action::RecvFailed { error, .. } => {
@@ -610,23 +685,17 @@ impl SimCluster {
     }
 }
 
-fn simsmp_node_of(key: u64) -> ppmsg_core::NodeId {
-    ppmsg_core::NodeId((key >> 32) as u32)
-}
-
-fn process_from_key(key: u64) -> ProcessId {
-    ProcessId {
-        node: simsmp_node_of(key),
-        local_rank: (key & 0xFFFF_FFFF) as u32,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ppmsg_core::{ProtocolConfig, ProtocolMode};
 
-    fn pingpong_scripts(a: ProcessId, b: ProcessId, len: usize, iters: usize) -> Vec<ProcessScript> {
+    fn pingpong_scripts(
+        a: ProcessId,
+        b: ProcessId,
+        len: usize,
+        iters: usize,
+    ) -> Vec<ProcessScript> {
         let mut ping = Vec::new();
         let mut pong = Vec::new();
         for i in 0..iters {
@@ -654,8 +723,14 @@ mod tests {
         }
         ping.push(Op::MarkTime(iters));
         vec![
-            ProcessScript { process: a, ops: ping },
-            ProcessScript { process: b, ops: pong },
+            ProcessScript {
+                process: a,
+                ops: ping,
+            },
+            ProcessScript {
+                process: b,
+                ops: pong,
+            },
         ]
     }
 
@@ -730,7 +805,11 @@ mod tests {
 
     #[test]
     fn all_modes_complete_intranode_and_internode() {
-        for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+        for mode in [
+            ProtocolMode::PushZero,
+            ProtocolMode::PushPull,
+            ProtocolMode::PushAll,
+        ] {
             for (a, b) in [
                 (ProcessId::new(0, 0), ProcessId::new(0, 1)),
                 (ProcessId::new(0, 0), ProcessId::new(1, 0)),

@@ -113,34 +113,72 @@ fn pingpong_scripts(
     let mut ping = Vec::new();
     let mut pong = Vec::new();
     // Barrier: a trivial 4-byte exchange, as in the paper.
-    ping.push(Op::Send { peer: b, tag: Tag(99), len: 4 });
-    ping.push(Op::Recv { peer: b, tag: Tag(98), len: 4 });
-    pong.push(Op::Recv { peer: a, tag: Tag(99), len: 4 });
-    pong.push(Op::Send { peer: a, tag: Tag(98), len: 4 });
+    ping.push(Op::Send {
+        peer: b,
+        tag: Tag(99),
+        len: 4,
+    });
+    ping.push(Op::Recv {
+        peer: b,
+        tag: Tag(98),
+        len: 4,
+    });
+    pong.push(Op::Recv {
+        peer: a,
+        tag: Tag(99),
+        len: 4,
+    });
+    pong.push(Op::Send {
+        peer: a,
+        tag: Tag(98),
+        len: 4,
+    });
     for i in 0..iters {
         ping.push(Op::MarkTime(i));
         if compute_x > 0 {
             ping.push(Op::Compute(compute_x));
         }
-        ping.push(Op::Send { peer: b, tag: Tag(1), len });
+        ping.push(Op::Send {
+            peer: b,
+            tag: Tag(1),
+            len,
+        });
         if compute_y > 0 {
             ping.push(Op::Compute(compute_y));
         }
-        ping.push(Op::Recv { peer: b, tag: Tag(2), len: reply_len });
+        ping.push(Op::Recv {
+            peer: b,
+            tag: Tag(2),
+            len: reply_len,
+        });
 
         if compute_y > 0 {
             pong.push(Op::Compute(compute_y));
         }
-        pong.push(Op::Recv { peer: a, tag: Tag(1), len });
+        pong.push(Op::Recv {
+            peer: a,
+            tag: Tag(1),
+            len,
+        });
         if compute_x > 0 {
             pong.push(Op::Compute(compute_x));
         }
-        pong.push(Op::Send { peer: a, tag: Tag(2), len: reply_len });
+        pong.push(Op::Send {
+            peer: a,
+            tag: Tag(2),
+            len: reply_len,
+        });
     }
     ping.push(Op::MarkTime(iters));
     vec![
-        ProcessScript { process: a, ops: ping },
-        ProcessScript { process: b, ops: pong },
+        ProcessScript {
+            process: a,
+            ops: ping,
+        },
+        ProcessScript {
+            process: b,
+            ops: pong,
+        },
     ]
 }
 
@@ -384,10 +422,8 @@ pub fn bandwidth_sweep(intranode: bool, sizes: &[usize], iters: usize) -> Vec<Ba
 /// the paper (7.5 µs / 350.9 MB/s intranode, 34.9 µs / 12.1 MB/s internode,
 /// ≈12–13 µs translation overhead).
 pub fn headline_numbers(iters: usize) -> HeadlineNumbers {
-    let intranode_latency_us =
-        single_trip_us(ProtocolConfig::paper_intranode(), true, 10, iters);
-    let internode_latency_us =
-        single_trip_us(ProtocolConfig::paper_internode(), false, 4, iters);
+    let intranode_latency_us = single_trip_us(ProtocolConfig::paper_intranode(), true, 10, iters);
+    let internode_latency_us = single_trip_us(ProtocolConfig::paper_internode(), false, 4, iters);
     let intranode_bw = bandwidth_sweep(true, &[2048, 4000, 8192], iters)
         .into_iter()
         .map(|p| p.mb_per_s)
@@ -443,7 +479,10 @@ mod tests {
         let small_vals: Vec<f64> = small.series.iter().map(|&(_, v)| v).collect();
         let spread = small_vals.iter().cloned().fold(f64::MIN, f64::max)
             - small_vals.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 15.0, "small-message spread {spread:.1} us too wide");
+        assert!(
+            spread < 15.0,
+            "small-message spread {spread:.1} us too wide"
+        );
         // At 1400 bytes the fully optimised variant beats the unoptimised one.
         let no_opt = large.get("no optimization").unwrap();
         let full = large.get("full optimization").unwrap();

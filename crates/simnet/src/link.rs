@@ -90,7 +90,11 @@ impl EthernetLink {
     /// behind earlier frames in the same direction, starting no earlier than
     /// `now`.  Returns the time the last bit arrives at the far end.
     pub fn transmit(&mut self, now: SimTime, direction: usize, payload: usize) -> SimTime {
-        let dir = if self.config.full_duplex { direction % 2 } else { 0 };
+        let dir = if self.config.full_duplex {
+            direction % 2
+        } else {
+            0
+        };
         let start = now.max(self.busy_until[dir]);
         let done_sending = start + self.serialization_time(payload);
         self.busy_until[dir] = done_sending;
@@ -129,10 +133,7 @@ mod tests {
         let t = link.serialization_time(1460);
         assert_eq!(t.as_nanos(), (1460 + 38) * 8 * 10);
         // Tiny payloads are padded to the 46-byte minimum.
-        assert_eq!(
-            link.serialization_time(4),
-            link.serialization_time(46)
-        );
+        assert_eq!(link.serialization_time(4), link.serialization_time(46));
     }
 
     #[test]

@@ -8,9 +8,10 @@ use rand::{Rng, SeedableRng};
 /// Buffer-overflow drops are modelled by the NIC and the pushed buffer; this
 /// model adds *wire* losses (bit errors, congestion elsewhere) so tests can
 /// exercise the reliability layer under adverse conditions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum LossModel {
     /// No frames are lost.
+    #[default]
     None,
     /// Each frame is independently lost with probability `p`, driven by a
     /// deterministic seeded RNG.
@@ -80,12 +81,6 @@ impl LossModel {
     }
 }
 
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,7 +116,10 @@ mod tests {
         let seq_b: Vec<bool> = (0..500).map(|_| b.should_drop()).collect();
         assert_eq!(seq_a, seq_b);
         let drops = seq_a.iter().filter(|&&d| d).count();
-        assert!((50..150).contains(&drops), "drop count {drops} far from 20%");
+        assert!(
+            (50..150).contains(&drops),
+            "drop count {drops} far from 20%"
+        );
     }
 
     #[test]

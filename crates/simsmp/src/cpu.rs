@@ -146,7 +146,12 @@ impl ProcessorBank {
 
     /// Runs `duration` of work on processor `id`, starting no earlier than
     /// `now`; returns the `(start, end)` interval.
-    pub fn run_on(&mut self, id: ProcessorId, now: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+    pub fn run_on(
+        &mut self,
+        id: ProcessorId,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> (SimTime, SimTime) {
         self.get_mut(id).run(now, duration)
     }
 
@@ -205,7 +210,10 @@ mod tests {
         // Still excludes processor 0 even though it is idle.
         assert_eq!(bank.least_loaded_excluding(ProcessorId(0)), ProcessorId(1));
         let single = ProcessorBank::new(1);
-        assert_eq!(single.least_loaded_excluding(ProcessorId(0)), ProcessorId(0));
+        assert_eq!(
+            single.least_loaded_excluding(ProcessorId(0)),
+            ProcessorId(0)
+        );
     }
 
     #[test]

@@ -167,6 +167,9 @@ mod tests {
             bank.run_on(d.processor, d.handler_start, SimDuration::from_micros(500));
         }
         let touched = ic.stats().per_processor.iter().filter(|&&c| c > 0).count();
-        assert!(touched >= 3, "expected load spreading, got {touched} processors");
+        assert!(
+            touched >= 3,
+            "expected load spreading, got {touched} processors"
+        );
     }
 }

@@ -121,7 +121,9 @@ impl SmpNode {
     /// dispatch decision with the handler start time already serialised
     /// against the chosen processor's earlier work.
     pub fn dispatch_reception(&mut self, arrival: SimTime) -> Dispatch {
-        let d = self.interrupts.dispatch(&self.hw, &self.processors, arrival);
+        let d = self
+            .interrupts
+            .dispatch(&self.hw, &self.processors, arrival);
         let (_, end) = self.processors.run_on(d.processor, arrival, d.overhead);
         Dispatch {
             processor: d.processor,

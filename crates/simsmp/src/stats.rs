@@ -61,12 +61,20 @@ impl LatencyStats {
 
     /// Minimum sample.
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Maximum sample.
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// The `p`-th percentile (0–100), by nearest-rank.

@@ -136,7 +136,10 @@ impl SimTime {
     /// Panics if `earlier` is later than `self` (a causality bug).
     #[inline]
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(earlier <= self, "time went backwards: {earlier:?} > {self:?}");
+        debug_assert!(
+            earlier <= self,
+            "time went backwards: {earlier:?} > {self:?}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 

@@ -47,7 +47,10 @@ impl PageTable {
     /// Creates the page table for a process.  `process_seed` makes different
     /// processes receive different (but deterministic) physical layouts.
     pub fn new(process_seed: u64, page_size: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         PageTable {
             process_seed,
             page_size,
@@ -215,7 +218,7 @@ mod tests {
     }
 
     #[test]
-    fn offsets_within_page_are_preserved()  {
+    fn offsets_within_page_are_preserved() {
         let mut pt = PageTable::new(9, 4096);
         let extents = pt.translate(4096 + 123, 10);
         assert_eq!(extents.len(), 1);

@@ -12,7 +12,10 @@ fn main() {
     let iters = 6;
     for variant in [EarlyLateVariant::Early, EarlyLateVariant::Late] {
         let (x, y) = variant.nops();
-        println!("\n{} receiver test (x = {x} NOPs, y = {y} NOPs), loop latency in us:", variant.label());
+        println!(
+            "\n{} receiver test (x = {x} NOPs, y = {y} NOPs), loop latency in us:",
+            variant.label()
+        );
         for p in early_late_test(variant, &sizes, iters) {
             print!("  {:>6} B", p.size);
             for (label, v) in &p.series {

@@ -12,7 +12,10 @@ fn main() {
     let timeout = Duration::from_secs(5);
 
     // --- intranode: two threads, one shared-memory fabric ----------------
-    let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
+    );
     let a = cluster.add_endpoint(0);
     let b = cluster.add_endpoint(1);
     let data = Bytes::from(vec![1u8; 65536]);

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use push_pull_messaging::prelude::*;
 use bytes::Bytes;
+use push_pull_messaging::prelude::*;
 
 fn main() {
     let cfg = ProtocolConfig::paper_intranode();
@@ -16,7 +16,10 @@ fn main() {
     let mut receiver = Endpoint::new(bob, cfg);
 
     let message = Bytes::from(vec![42u8; 4096]);
-    println!("posting a {}-byte send (mode: push-pull, BTP = 16)", message.len());
+    println!(
+        "posting a {}-byte send (mode: push-pull, BTP = 16)",
+        message.len()
+    );
     sender.post_send(bob, Tag(7), message.clone()).unwrap();
     receiver.post_recv(alice, Tag(7), 4096).unwrap();
 

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --release --example smp_cluster_pingpong`
 
-use ppmsg_sim::experiments::{bandwidth_sweep, fig3_intranode, fig4_internode, fig3_sizes, fig4_sizes, headline_numbers};
+use ppmsg_sim::experiments::{
+    bandwidth_sweep, fig3_intranode, fig3_sizes, fig4_internode, fig4_sizes, headline_numbers,
+};
 
 fn main() {
     let iters = 40;
@@ -11,11 +13,26 @@ fn main() {
 
     let h = headline_numbers(iters);
     println!("Headline numbers (paper -> measured):");
-    println!("  intranode 10-byte latency:   7.5 us   -> {:6.1} us", h.intranode_latency_us);
-    println!("  intranode peak bandwidth:  350.9 MB/s -> {:6.1} MB/s", h.intranode_peak_bw_mb_s);
-    println!("  internode 4-byte latency:   34.9 us   -> {:6.1} us", h.internode_latency_us);
-    println!("  internode peak bandwidth:   12.1 MB/s -> {:6.1} MB/s", h.internode_peak_bw_mb_s);
-    println!("  masked translation overhead: 12-13 us -> {:6.1} us", h.translation_overhead_us);
+    println!(
+        "  intranode 10-byte latency:   7.5 us   -> {:6.1} us",
+        h.intranode_latency_us
+    );
+    println!(
+        "  intranode peak bandwidth:  350.9 MB/s -> {:6.1} MB/s",
+        h.intranode_peak_bw_mb_s
+    );
+    println!(
+        "  internode 4-byte latency:   34.9 us   -> {:6.1} us",
+        h.internode_latency_us
+    );
+    println!(
+        "  internode peak bandwidth:   12.1 MB/s -> {:6.1} MB/s",
+        h.internode_peak_bw_mb_s
+    );
+    println!(
+        "  masked translation overhead: 12-13 us -> {:6.1} us",
+        h.translation_overhead_us
+    );
 
     println!("\nFigure 3 (intranode latency, us):");
     for p in fig3_intranode(&fig3_sizes(), iters) {

@@ -3,11 +3,11 @@
 //! simulated figures must keep the qualitative shapes the paper reports.
 
 use bytes::Bytes;
-use push_pull_messaging::prelude::*;
 use ppmsg_sim::experiments::{
     bandwidth_sweep, early_late_test, fig3_intranode, fig4_internode, headline_numbers,
     EarlyLateVariant,
 };
+use push_pull_messaging::prelude::*;
 use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(10);
@@ -18,7 +18,11 @@ fn payload(len: usize) -> Bytes {
 
 #[test]
 fn host_and_sim_backends_both_deliver_all_modes() {
-    for mode in [ProtocolMode::PushZero, ProtocolMode::PushPull, ProtocolMode::PushAll] {
+    for mode in [
+        ProtocolMode::PushZero,
+        ProtocolMode::PushPull,
+        ProtocolMode::PushAll,
+    ] {
         // Host backend, intranode fabric.
         let cluster = HostCluster::new(
             0,
@@ -46,11 +50,19 @@ fn host_and_sim_backends_both_deliver_all_modes() {
         let pb = ProcessId::new(1, 0);
         sim.add_process(ProcessScript {
             process: pa,
-            ops: vec![Op::Send { peer: pb, tag: Tag(1), len: 10_000 }],
+            ops: vec![Op::Send {
+                peer: pb,
+                tag: Tag(1),
+                len: 10_000,
+            }],
         });
         sim.add_process(ProcessScript {
             process: pb,
-            ops: vec![Op::Recv { peer: pa, tag: Tag(1), len: 10_000 }],
+            ops: vec![Op::Recv {
+                peer: pa,
+                tag: Tag(1),
+                len: 10_000,
+            }],
         });
         let report = sim.run();
         assert!(sim.all_finished(), "sim backend, mode {mode:?}");
@@ -69,7 +81,11 @@ fn udp_and_intranode_backends_interoperate_with_same_engine_config() {
     for len in [1usize, 80, 760, 1460, 8192, 40_000] {
         let data = payload(len);
         a.send(b.id(), Tag(4), data.clone());
-        assert_eq!(b.recv(a.id(), Tag(4), len, TIMEOUT).unwrap(), data, "len {len}");
+        assert_eq!(
+            b.recv(a.id(), Tag(4), len, TIMEOUT).unwrap(),
+            data,
+            "len {len}"
+        );
     }
 }
 
@@ -102,11 +118,20 @@ fn figure4_optimisations_help_large_messages() {
     let overlap = p.get("overlap only").unwrap();
     let full = p.get("full optimization").unwrap();
     assert!(mask <= no_opt, "masking must not hurt ({mask} vs {no_opt})");
-    assert!(overlap <= no_opt, "overlapping must not hurt ({overlap} vs {no_opt})");
-    assert!(full <= mask && full <= overlap, "full optimisation must be best");
+    assert!(
+        overlap <= no_opt,
+        "overlapping must not hurt ({overlap} vs {no_opt})"
+    );
+    assert!(
+        full <= mask && full <= overlap,
+        "full optimisation must be best"
+    );
     // Paper: overlapping hides the (larger) acknowledge latency, masking the
     // (smaller) translation overhead — so overlapping helps at least as much.
-    assert!(overlap <= mask + 1.0, "overlap ({overlap}) should beat mask ({mask})");
+    assert!(
+        overlap <= mask + 1.0,
+        "overlap ({overlap}) should beat mask ({mask})"
+    );
 }
 
 #[test]
@@ -124,19 +149,35 @@ fn figure6_late_receiver_collapse_and_recovery() {
     let push_all = big.get("push-all/late").unwrap();
     let push_pull = big.get("push-pull/late").unwrap();
     let push_zero = big.get("push-zero/late").unwrap();
-    assert!(push_all > push_pull * 2.0, "push-all {push_all} vs push-pull {push_pull}");
-    assert!(push_pull <= push_zero * 1.05, "push-pull {push_pull} vs push-zero {push_zero}");
+    assert!(
+        push_all > push_pull * 2.0,
+        "push-all {push_all} vs push-pull {push_pull}"
+    );
+    assert!(
+        push_pull <= push_zero * 1.05,
+        "push-pull {push_pull} vs push-zero {push_zero}"
+    );
 }
 
 #[test]
 fn bandwidth_respects_physical_limits() {
     // Internode bandwidth can approach but never exceed the 12.5 MB/s wire.
     for p in bandwidth_sweep(false, &[8192, 32768], 15) {
-        assert!(p.mb_per_s > 3.0 && p.mb_per_s < 12.5, "{} B -> {} MB/s", p.size, p.mb_per_s);
+        assert!(
+            p.mb_per_s > 3.0 && p.mb_per_s < 12.5,
+            "{} B -> {} MB/s",
+            p.size,
+            p.mb_per_s
+        );
     }
     // Intranode bandwidth is memory-bound: far above the wire, below the bus.
     for p in bandwidth_sweep(true, &[4000, 8192], 15) {
-        assert!(p.mb_per_s > 50.0 && p.mb_per_s < 533.0, "{} B -> {} MB/s", p.size, p.mb_per_s);
+        assert!(
+            p.mb_per_s > 50.0 && p.mb_per_s < 533.0,
+            "{} B -> {} MB/s",
+            p.size,
+            p.mb_per_s
+        );
     }
 }
 
@@ -144,9 +185,29 @@ fn bandwidth_respects_physical_limits() {
 fn headline_numbers_reproduced_within_tolerance() {
     let h = headline_numbers(20);
     // Within a factor of ~2 of the paper on every headline metric.
-    assert!((3.0..16.0).contains(&h.intranode_latency_us), "{}", h.intranode_latency_us);
-    assert!((17.0..70.0).contains(&h.internode_latency_us), "{}", h.internode_latency_us);
-    assert!(h.intranode_peak_bw_mb_s > 150.0, "{}", h.intranode_peak_bw_mb_s);
-    assert!((6.0..12.5).contains(&h.internode_peak_bw_mb_s), "{}", h.internode_peak_bw_mb_s);
-    assert!((6.0..26.0).contains(&h.translation_overhead_us), "{}", h.translation_overhead_us);
+    assert!(
+        (3.0..16.0).contains(&h.intranode_latency_us),
+        "{}",
+        h.intranode_latency_us
+    );
+    assert!(
+        (17.0..70.0).contains(&h.internode_latency_us),
+        "{}",
+        h.internode_latency_us
+    );
+    assert!(
+        h.intranode_peak_bw_mb_s > 150.0,
+        "{}",
+        h.intranode_peak_bw_mb_s
+    );
+    assert!(
+        (6.0..12.5).contains(&h.internode_peak_bw_mb_s),
+        "{}",
+        h.internode_peak_bw_mb_s
+    );
+    assert!(
+        (6.0..26.0).contains(&h.translation_overhead_us),
+        "{}",
+        h.translation_overhead_us
+    );
 }

@@ -174,8 +174,8 @@ proptest! {
         for (offset, len) in fragments {
             let data = vec![0xCDu8; len];
             assembly.write_at(offset, &data);
-            for i in offset..(offset + len).min(total) {
-                covered[i] = true;
+            for c in covered.iter_mut().take((offset + len).min(total)).skip(offset) {
+                *c = true;
             }
         }
         let expected = covered.iter().filter(|&&c| c).count();
@@ -248,5 +248,369 @@ proptest! {
             }
         }
         prop_assert_eq!(delivered.expect("message delivered"), data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PR-1 structures: the slab/bucket queues must behave exactly like the naive
+// Vec / HashMap models they replaced, under arbitrary interleavings of
+// post / match / cancel / complete.
+// ---------------------------------------------------------------------------
+
+mod models {
+    use push_pull_messaging::core::queues::{PendingSend, PostedReceive};
+    use push_pull_messaging::core::{MessageId, ProcessId, Tag};
+    use std::collections::HashMap;
+
+    /// The original receive queue: linear scan over a flat `Vec`.
+    #[derive(Default)]
+    pub struct ModelRecvQueue {
+        posted: Vec<PostedReceive>,
+    }
+
+    impl ModelRecvQueue {
+        pub fn register(&mut self, recv: PostedReceive) {
+            self.posted.push(recv);
+        }
+
+        pub fn match_incoming(&mut self, src: ProcessId, tag: Tag) -> Option<PostedReceive> {
+            let idx = self
+                .posted
+                .iter()
+                .position(|r| r.src == src && r.tag == tag)?;
+            Some(self.posted.remove(idx))
+        }
+
+        pub fn peek_match(&self, src: ProcessId, tag: Tag) -> Option<&PostedReceive> {
+            self.posted.iter().find(|r| r.src == src && r.tag == tag)
+        }
+
+        pub fn cancel(
+            &mut self,
+            handle: push_pull_messaging::core::RecvHandle,
+        ) -> Option<PostedReceive> {
+            let idx = self.posted.iter().position(|r| r.handle == handle)?;
+            Some(self.posted.remove(idx))
+        }
+
+        pub fn len(&self) -> usize {
+            self.posted.len()
+        }
+    }
+
+    /// The original buffer queue: linear scan, dedup by key.
+    #[derive(Default)]
+    pub struct ModelBufferQueue {
+        entries: Vec<(ProcessId, MessageId, Tag)>,
+    }
+
+    impl ModelBufferQueue {
+        pub fn insert(&mut self, src: ProcessId, msg_id: MessageId, tag: Tag) {
+            if !self
+                .entries
+                .iter()
+                .any(|&(s, m, _)| s == src && m == msg_id)
+            {
+                self.entries.push((src, msg_id, tag));
+            }
+        }
+
+        pub fn match_posted(&mut self, src: ProcessId, tag: Tag) -> Option<MessageId> {
+            let idx = self
+                .entries
+                .iter()
+                .position(|&(s, _, t)| s == src && t == tag)?;
+            Some(self.entries.remove(idx).1)
+        }
+
+        pub fn remove(&mut self, src: ProcessId, msg_id: MessageId) -> bool {
+            let before = self.entries.len();
+            self.entries.retain(|&(s, m, _)| !(s == src && m == msg_id));
+            before != self.entries.len()
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+    }
+
+    /// The original send queue: `HashMap` plus order `Vec` with `retain`.
+    #[derive(Default)]
+    pub struct ModelSendQueue {
+        entries: HashMap<u64, PendingSend>,
+        order: Vec<u64>,
+    }
+
+    impl ModelSendQueue {
+        pub fn register(&mut self, send: PendingSend) {
+            let key = send.msg_id.0;
+            self.order.push(key);
+            self.entries.insert(key, send);
+        }
+
+        pub fn get(&self, msg_id: MessageId) -> Option<&PendingSend> {
+            self.entries.get(&msg_id.0)
+        }
+
+        pub fn remove(&mut self, msg_id: MessageId) -> Option<PendingSend> {
+            let removed = self.entries.remove(&msg_id.0);
+            if removed.is_some() {
+                self.order.retain(|&k| k != msg_id.0);
+            }
+            removed
+        }
+
+        pub fn iter_ids(&self) -> Vec<u64> {
+            self.order
+                .iter()
+                .filter(|k| self.entries.contains_key(k))
+                .copied()
+                .collect()
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The bucketed receive queue and the naive model agree on every
+    /// register / match / peek / cancel interleaving.
+    #[test]
+    fn recv_queue_matches_naive_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..3, 0u32..3), 1..80),
+    ) {
+        use push_pull_messaging::core::queues::{PostedReceive, ReceiveQueue};
+        use push_pull_messaging::core::RecvHandle;
+
+        let srcs = [ProcessId::new(0, 0), ProcessId::new(0, 1), ProcessId::new(1, 0)];
+        let mut real = ReceiveQueue::new();
+        let mut model = models::ModelRecvQueue::default();
+        let mut next_handle = 0u64;
+        for (kind, src_sel, tag) in ops {
+            let src = srcs[src_sel as usize];
+            let tag = Tag(tag);
+            match kind {
+                0 | 3 => {
+                    let recv = PostedReceive {
+                        handle: RecvHandle(next_handle),
+                        src,
+                        tag,
+                        capacity: 64,
+                        translated: false,
+                    };
+                    next_handle += 1;
+                    real.register(recv);
+                    model.register(recv);
+                }
+                1 => {
+                    prop_assert_eq!(real.match_incoming(src, tag), model.match_incoming(src, tag));
+                }
+                _ => {
+                    // Cancel a pseudo-random previously issued handle (may
+                    // already be matched/cancelled: both must agree).
+                    if next_handle > 0 {
+                        let h = RecvHandle((tag.0 as u64 * 7 + src_sel as u64) % next_handle);
+                        prop_assert_eq!(real.cancel(h), model.cancel(h));
+                    }
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+            for &s in &srcs {
+                for t in 0..3 {
+                    prop_assert_eq!(
+                        real.peek_match(s, Tag(t)).copied(),
+                        model.peek_match(s, Tag(t)).copied()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bucketed unexpected-message queue agrees with the naive model
+    /// under insert / match / remove interleavings.  Tags are a function of
+    /// the message id, as in the real protocol (a message never changes tag).
+    #[test]
+    fn buffer_queue_matches_naive_model(
+        ops in proptest::collection::vec((0u8..3, 0u8..2, 0u64..12), 1..80),
+    ) {
+        use push_pull_messaging::core::queues::{BufferQueue, UnexpectedKey};
+        use push_pull_messaging::core::MessageId;
+
+        let srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0)];
+        let mut real = BufferQueue::new();
+        let mut model = models::ModelBufferQueue::default();
+        for (kind, src_sel, msg) in ops {
+            let src = srcs[src_sel as usize];
+            let msg_id = MessageId(msg);
+            let tag = Tag((msg % 3) as u32);
+            match kind {
+                0 => {
+                    real.insert(UnexpectedKey { src, msg_id }, tag);
+                    model.insert(src, msg_id, tag);
+                }
+                1 => {
+                    prop_assert_eq!(
+                        real.match_posted(src, tag).map(|k| k.msg_id),
+                        model.match_posted(src, tag)
+                    );
+                }
+                _ => {
+                    prop_assert_eq!(
+                        real.remove_with_tag(UnexpectedKey { src, msg_id }, tag),
+                        model.remove(src, msg_id)
+                    );
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+            prop_assert_eq!(real.is_empty(), model.len() == 0);
+        }
+    }
+
+    /// The slab-indexed send queue agrees with the naive model, including
+    /// registration-order iteration after arbitrary interior removals.
+    #[test]
+    fn send_queue_matches_naive_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..24), 1..80),
+    ) {
+        use push_pull_messaging::core::queues::{PendingSend, SendQueue};
+        use push_pull_messaging::core::{MessageId, SendHandle};
+
+        let mut real = SendQueue::new();
+        let mut model = models::ModelSendQueue::default();
+        let mut next_id = 0u64;
+        for (kind, sel) in ops {
+            match kind {
+                0 => {
+                    let send = PendingSend {
+                        handle: SendHandle(next_id),
+                        dst: ProcessId::new(1, 0),
+                        tag: Tag(0),
+                        msg_id: MessageId(next_id),
+                        data: Bytes::new(),
+                        split: BtpSplit::plan(
+                            ProtocolMode::PushPull,
+                            BtpPolicy::INTERNODE_DEFAULT,
+                            OptFlags::full(),
+                            0,
+                        ),
+                        pull_served: false,
+                        fully_transmitted: false,
+                        translated: false,
+                    };
+                    next_id += 1;
+                    real.register(send.clone());
+                    model.register(send);
+                }
+                1 => {
+                    let id = MessageId(sel);
+                    prop_assert_eq!(
+                        real.remove(id).map(|s| s.handle),
+                        model.remove(id).map(|s| s.handle)
+                    );
+                }
+                _ => {
+                    let id = MessageId(sel);
+                    prop_assert_eq!(
+                        real.get(id).map(|s| s.handle),
+                        model.get(id).map(|s| s.handle)
+                    );
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+            let real_order: Vec<u64> = real.iter().map(|s| s.msg_id.0).collect();
+            prop_assert_eq!(real_order, model.iter_ids());
+        }
+    }
+
+    /// End-to-end: the slab-indexed engine preserves MPI's per-(source, tag)
+    /// FIFO matching for any mix of tags, sizes, and posting orders.
+    #[test]
+    fn slab_engine_preserves_fifo_matching(
+        sizes in proptest::collection::vec(1usize..2000, 1..8),
+        tag_sels in proptest::collection::vec(0u32..3, 1..8),
+        recv_first in any::<bool>(),
+    ) {
+        let k = sizes.len().min(tag_sels.len());
+        let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(1 << 20);
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        let mut sender = Endpoint::new(a, cfg.clone());
+        let mut receiver = Endpoint::new(b, cfg);
+
+        // Message i carries a distinctive byte pattern.
+        let payloads: Vec<Bytes> = (0..k)
+            .map(|i| Bytes::from(vec![(i * 31 + 7) as u8; sizes[i]]))
+            .collect();
+
+        let post_sends = |sender: &mut Endpoint| {
+            for i in 0..k {
+                sender.post_send(b, Tag(tag_sels[i]), payloads[i].clone()).unwrap();
+            }
+        };
+        let post_recvs = |receiver: &mut Endpoint| -> Vec<(u32, push_pull_messaging::core::RecvHandle)> {
+            (0..k)
+                .map(|i| {
+                    let tag = tag_sels[i];
+                    (tag, receiver.post_recv(a, Tag(tag), 4096).unwrap())
+                })
+                .collect()
+        };
+
+        let handles = if recv_first {
+            let h = post_recvs(&mut receiver);
+            post_sends(&mut sender);
+            h
+        } else {
+            post_sends(&mut sender);
+            post_recvs(&mut receiver)
+        };
+
+        // Relay until quiet.
+        let mut delivered: Vec<(push_pull_messaging::core::RecvHandle, Bytes)> = Vec::new();
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            while let Some(action) = sender.poll_action() {
+                progressed = true;
+                match action {
+                    Action::TransmitFrame { frame, .. } => receiver.handle_frame(a, frame),
+                    Action::Transmit { packet, .. } => receiver.handle_packet(a, packet),
+                    _ => {}
+                }
+            }
+            while let Some(action) = receiver.poll_action() {
+                progressed = true;
+                match action {
+                    Action::TransmitFrame { frame, .. } => sender.handle_frame(b, frame),
+                    Action::Transmit { packet, .. } => sender.handle_packet(b, packet),
+                    Action::RecvComplete { handle, data, .. } => delivered.push((handle, data)),
+                    _ => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        prop_assert_eq!(delivered.len(), k, "every message delivered exactly once");
+
+        // The j-th receive posted on tag t must hold the j-th message sent
+        // on tag t (non-overtaking rule), for every interleaving.
+        let mut sent_per_tag: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for (i, &tag) in tag_sels.iter().enumerate().take(k) {
+            sent_per_tag.entry(tag).or_default().push(i);
+        }
+        let mut seen_per_tag: std::collections::HashMap<u32, usize> = Default::default();
+        let by_handle: std::collections::HashMap<u64, Bytes> =
+            delivered.into_iter().map(|(h, d)| (h.0, d)).collect();
+        for (tag, handle) in handles {
+            let j = *seen_per_tag.entry(tag).or_default();
+            seen_per_tag.insert(tag, j + 1);
+            let msg_idx = sent_per_tag[&tag][j];
+            let got = by_handle.get(&handle.0).expect("handle completed");
+            prop_assert_eq!(got, &payloads[msg_idx], "tag {} position {}", tag, j);
+        }
     }
 }

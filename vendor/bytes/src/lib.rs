@@ -1,0 +1,510 @@
+//! Vendored, dependency-free subset of the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the small slice of the `bytes` API it actually uses: [`Bytes`] (cheaply
+//! cloneable, sliceable, reference-counted byte buffers), [`BytesMut`]
+//! (growable builder that freezes into `Bytes`), and the [`Buf`]/[`BufMut`]
+//! cursor traits.  Semantics match the upstream crate for this subset;
+//! `Bytes::slice`/`split_to`/`clone` never copy payload bytes.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut, Index, IndexMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// Clones and sub-slices share one reference-counted allocation; an empty
+/// `Bytes` holds no allocation at all.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    /// `None` encodes the empty buffer without touching the heap.
+    data: Option<Arc<Vec<u8>>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes` without allocating.
+    #[inline]
+    pub const fn new() -> Self {
+        Bytes {
+            data: None,
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Copies `data` into a freshly allocated `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the view holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match &self.data {
+            Some(arc) => &arc[self.start..self.end],
+            None => &[],
+        }
+    }
+
+    /// Returns a sub-view of `self` for the given range.  Shares the
+    /// underlying allocation; never copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end,
+            "slice index starts at {begin} but ends at {end}"
+        );
+        assert!(end <= len, "range end {end} out of bounds for length {len}");
+        if begin == end {
+            return Bytes::new();
+        }
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Splits the view at `at`: returns bytes `[0, at)` and leaves
+    /// `[at, len)` in `self`.  Both halves share the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of bounds for length {}",
+            self.len()
+        );
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Splits the view at `at`: leaves bytes `[0, at)` in `self` and returns
+    /// `[at, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_off({at}) out of bounds for length {}",
+            self.len()
+        );
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        if end == 0 {
+            return Bytes::new();
+        }
+        Bytes {
+            data: Some(Arc::new(v)),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len() > 32 {
+            write!(f, "...({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A growable byte buffer that freezes into an immutable [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer without allocating.
+    #[inline]
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Clears the contents, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Appends `data` to the buffer.
+    #[inline]
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    #[inline]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { buf: v.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Index<usize> for BytesMut {
+    type Output = u8;
+    #[inline]
+    fn index(&self, i: usize) -> &u8 {
+        &self.buf[i]
+    }
+}
+
+impl IndexMut<usize> for BytesMut {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut u8 {
+        &mut self.buf[i]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.buf.len())
+    }
+}
+
+/// Read cursor over a contiguous byte source (big-endian accessors, matching
+/// the upstream `bytes::Buf` defaults).
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the source.
+    fn remaining(&self) -> usize;
+    /// The remaining bytes as one contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `u32` and advances.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64` and advances.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance({cnt}) past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl<T: Buf + ?Sized> Buf for &mut T {
+    #[inline]
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Write cursor over a growable byte sink (big-endian writers, matching the
+/// upstream `bytes::BufMut` defaults).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_sharing_and_slicing() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.as_ptr(), b[1..].as_ptr(), "slices share storage");
+        let mut t = s.clone();
+        let head = t.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(&t[..], &[4]);
+    }
+
+    #[test]
+    fn empty_bytes_do_not_allocate() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        assert!(b.data.is_none());
+        let s = Bytes::from(vec![1u8]).slice(0..0);
+        assert!(s.data.is_none());
+    }
+
+    #[test]
+    fn bytesmut_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u32(0xDEAD_BEEF);
+        m.put_u64(42);
+        assert_eq!(m.len(), 13);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn buf_for_slices() {
+        let raw = [0u8, 0, 0, 5, 9];
+        let mut cursor: &[u8] = &raw;
+        assert_eq!(cursor.get_u32(), 5);
+        assert_eq!(cursor.get_u8(), 9);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

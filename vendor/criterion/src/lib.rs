@@ -1,0 +1,207 @@
+//! Vendored, dependency-free stand-in for the Criterion benchmark harness.
+//!
+//! Implements the subset of the Criterion API the workspace's bench targets
+//! use (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `iter`, `criterion_group!`, `criterion_main!`).  Timing is a straight
+//! `std::time::Instant` measurement: each benchmark is auto-calibrated to a
+//! batch of iterations long enough to time reliably, then the best of
+//! `sample_size` batches is reported as ns/iter (best-of filters scheduler
+//! noise, matching how the paper reports minimum latencies).
+
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a computed value.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting throughput next to a timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// One measurement, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    result: Option<Measurement>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best-of-samples ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes >= 5 ms (or the
+        // batch is already enormous for very cheap routines).
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 5 || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        let samples = self.sample_size.clamp(3, 100);
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.result = Some(Measurement { ns_per_iter: best });
+    }
+}
+
+fn report(group: Option<&str>, name: &str, m: Measurement, throughput: Option<Throughput>) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let mut line = format!("bench {label:<50} {:>14.1} ns/iter", m.ns_per_iter);
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let mb_s = bytes as f64 / (m.ns_per_iter / 1e9) / 1e6;
+        line.push_str(&format!("  ({mb_s:.1} MB/s)"));
+    }
+    println!("{line}");
+}
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI filtering is not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            result: None,
+            sample_size: 20,
+        };
+        f(&mut b);
+        if let Some(m) = b.result {
+            report(None, &name.into(), m, None);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            result: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if let Some(m) = b.result {
+            report(Some(&self.name), &name.into(), m, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

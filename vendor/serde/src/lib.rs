@@ -1,0 +1,8 @@
+//! Vendored serde facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` + `#[derive(Serialize, Deserialize)]` keep compiling without
+//! crates.io access.  No runtime serialisation machinery is provided (nothing
+//! in the workspace serialises at runtime).
+
+pub use serde_derive::{Deserialize, Serialize};

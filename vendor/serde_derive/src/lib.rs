@@ -1,0 +1,20 @@
+//! Vendored no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on its public types for downstream
+//! users, but nothing in-tree actually serialises, and the build environment
+//! has no access to crates.io.  These derives expand to nothing, so the
+//! attribute positions stay source-compatible with the real `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` compiling.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` compiling.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
