@@ -2,12 +2,14 @@
 //! cost of posting sends/receives, relaying the resulting packets, matching
 //! under pending-operation load, and the wire codec.
 //!
-//! Besides the Criterion groups, this bench measures the PR-1 hot-path
-//! numbers directly with `std::time::Instant` and writes them to
-//! `BENCH_PR1.json` at the repository root, comparing the slab/bucket
-//! structures against the pre-refactor baselines preserved in
-//! `ppmsg_bench::baseline`.  That file is the start of the repo's recorded
-//! performance trajectory.
+//! Besides the Criterion groups, this bench measures the hot-path numbers
+//! directly with `std::time::Instant` and writes them to `BENCH_PR2.json`
+//! at the repository root: the PR-1 slab/bucket structure numbers (re-run so
+//! regressions against `BENCH_PR1.json` are visible), the PR-2 operations
+//! layer (engine-buffered `post_recv` vs caller-buffered `post_recv_into`
+//! on the multi-fragment pull path, and exact-vs-wildcard matching), each
+//! against the pre-refactor baselines preserved in `ppmsg_bench::baseline`
+//! where one exists.
 
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -15,8 +17,9 @@ use ppmsg_bench::baseline::{NaiveReceiveQueue, NaiveSendQueue};
 use ppmsg_core::queues::{PendingSend, PostedReceive, ReceiveQueue, SendQueue};
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
-    Action, BtpPolicy, BtpSplit, Endpoint, MessageId, OptFlags, Packet, PacketHeader, PacketKind,
-    ProcessId, ProtocolConfig, ProtocolMode, PushPart, RecvHandle, SendHandle, Tag,
+    Action, BtpPolicy, BtpSplit, Endpoint, MessageId, OpId, OptFlags, Packet, PacketHeader,
+    PacketKind, ProcessId, ProtocolConfig, ProtocolMode, PushPart, RecvBuf, RecvOp, SendOp, Tag,
+    TruncationPolicy, ANY_SOURCE,
 };
 use std::time::Instant;
 
@@ -71,17 +74,18 @@ fn ns_per_iter<F: FnMut()>(mut f: F) -> f64 {
 
 fn posted(handle: u64, src: ProcessId, tag: u32) -> PostedReceive {
     PostedReceive {
-        handle: RecvHandle(handle),
+        op: RecvOp::from_raw(handle as u32, 0),
         src,
         tag: Tag(tag),
         capacity: 4096,
         translated: false,
+        policy: TruncationPolicy::Error,
     }
 }
 
 fn pending_send(msg_id: u64) -> PendingSend {
     PendingSend {
-        handle: SendHandle(msg_id),
+        op: SendOp::from_raw(msg_id as u32, 0),
         dst: ProcessId::new(1, 0),
         tag: Tag(0),
         msg_id: MessageId(msg_id),
@@ -172,8 +176,89 @@ fn bench_pingpong_ns_per_roundtrip(size: usize, rounds: usize) -> f64 {
         s.post_recv(r.id(), Tag(2), size).unwrap();
         r.post_send(s.id(), Tag(2), data.clone()).unwrap();
         relay(&mut r, &mut s);
+        while s.poll_completion().is_some() {}
+        while r.poll_completion().is_some() {}
     }
     start.elapsed().as_nanos() as f64 / rounds as f64 / 2.0
+}
+
+/// One multi-fragment pulled transfer per iteration with an engine-buffered
+/// receive: the delivery allocates a reassembly handoff every round.
+fn bench_pull_recv(size: usize) -> f64 {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20);
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut r = Endpoint::new(ProcessId::new(0, 1), cfg);
+    let data = Bytes::from(vec![1u8; size]);
+    ns_per_iter(|| {
+        let op = r.post_recv(s.id(), Tag(1), size).unwrap();
+        s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+        relay(&mut s, &mut r);
+        while s.poll_completion().is_some() {}
+        let mut got = false;
+        while let Some(c) = r.poll_completion() {
+            if c.op == OpId::Recv(op) {
+                black_box(c.data.as_ref().map(|d| d.len()));
+                got = true;
+            }
+        }
+        assert!(got, "pull transfer did not complete");
+    })
+}
+
+/// Same transfer through `post_recv_into` with one recycled `RecvBuf`: the
+/// pull path reassembles into caller-owned storage, allocation-free.
+fn bench_pull_recv_into(size: usize) -> f64 {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20);
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut r = Endpoint::new(ProcessId::new(0, 1), cfg);
+    let data = Bytes::from(vec![1u8; size]);
+    let mut recycled = Some(RecvBuf::with_capacity(size));
+    ns_per_iter(|| {
+        let buf = recycled.take().expect("buffer in flight");
+        let op = r
+            .post_recv_into(s.id(), Tag(1), buf, TruncationPolicy::Error)
+            .unwrap();
+        s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+        relay(&mut s, &mut r);
+        while s.poll_completion().is_some() {}
+        while let Some(c) = r.poll_completion() {
+            if c.op == OpId::Recv(op) {
+                let buf = c.buf.expect("caller buffer handed back");
+                black_box(buf.len());
+                recycled = Some(buf);
+            }
+        }
+        assert!(recycled.is_some(), "pull transfer did not complete");
+    })
+}
+
+/// Exact post+match cycle while a wildcard receive is resident: measures the
+/// cost of the four-bucket probe relative to the wildcard-free fast path.
+fn bench_recv_match_exact_with_wildcard_resident(pending: usize) -> f64 {
+    let src = ProcessId::new(0, 0);
+    let mut q = ReceiveQueue::new();
+    for i in 1..pending {
+        q.register(posted(i as u64, src, i as u32));
+    }
+    // A resident any-source receive on a tag the loop never matches.
+    q.register(posted(1_000_000, ANY_SOURCE, 999));
+    ns_per_iter(|| {
+        q.register(posted(0, src, 0));
+        black_box(q.match_incoming(src, Tag(0)).unwrap());
+    })
+}
+
+/// Post+match cycle where the wildcard receive itself matches.
+fn bench_recv_match_wildcard_pop(pending: usize) -> f64 {
+    let src = ProcessId::new(0, 0);
+    let mut q = ReceiveQueue::new();
+    for i in 1..pending {
+        q.register(posted(i as u64, src, i as u32));
+    }
+    ns_per_iter(|| {
+        q.register(posted(0, ANY_SOURCE, 0));
+        black_box(q.match_incoming(src, Tag(0)).unwrap());
+    })
 }
 
 fn sample_packet(payload_len: usize) -> Packet {
@@ -217,15 +302,15 @@ fn bench_header_decode() -> f64 {
 }
 
 fn write_bench_json(rows: &[(String, f64)]) {
-    let mut json = String::from("{\n  \"pr\": 1,\n  \"unit\": \"ns/op\",\n  \"benches\": {\n");
+    let mut json = String::from("{\n  \"pr\": 2,\n  \"unit\": \"ns/op\",\n  \"benches\": {\n");
     for (i, (name, ns)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
     }
     json.push_str("  }\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
     if let Err(e) = std::fs::write(path, json) {
-        eprintln!("failed to write BENCH_PR1.json: {e}");
+        eprintln!("failed to write BENCH_PR2.json: {e}");
     } else {
         println!("wrote {path}");
     }
@@ -258,6 +343,28 @@ fn hot_path_report(_c: &mut Criterion) {
     let rt = bench_pingpong_ns_per_roundtrip(64, 5_000);
     println!("pingpong 64B intranode, 10k packets: {rt:.1} ns/packet");
     rows.push(("pingpong_10k_packets_64B_ns_per_packet".into(), rt));
+
+    // PR-2: the multi-fragment pull path, engine-buffered vs caller-buffered.
+    for size in [4096usize, 65536] {
+        let engine_ns = bench_pull_recv(size);
+        let caller_ns = bench_pull_recv_into(size);
+        println!(
+            "pull transfer {size:>5} B: post_recv {engine_ns:>9.1} ns/op, post_recv_into {caller_ns:>9.1} ns/op ({:.2}x)",
+            engine_ns / caller_ns
+        );
+        rows.push((format!("pull_{size}B_post_recv"), engine_ns));
+        rows.push((format!("pull_{size}B_post_recv_into"), caller_ns));
+    }
+
+    // PR-2: wildcard matching vs the exact fast path (8 pending receives).
+    let exact_ns = bench_recv_match_new(8);
+    let resident_ns = bench_recv_match_exact_with_wildcard_resident(8);
+    let wild_ns = bench_recv_match_wildcard_pop(8);
+    println!(
+        "recv match, 8 pending: exact {exact_ns:.1} ns/op, exact+wildcard-resident {resident_ns:.1} ns/op, wildcard pop {wild_ns:.1} ns/op"
+    );
+    rows.push(("recv_match_8_pending_wildcard_resident".into(), resident_ns));
+    rows.push(("recv_match_8_pending_wildcard_pop".into(), wild_ns));
 
     let enc_pooled = bench_header_encode_pooled();
     let enc_fresh = bench_header_encode_fresh();

@@ -93,27 +93,33 @@ impl NaiveSendQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppmsg_core::{BtpPolicy, BtpSplit, OptFlags, ProtocolMode, RecvHandle, SendHandle};
+    use ppmsg_core::{
+        BtpPolicy, BtpSplit, OptFlags, ProtocolMode, RecvOp, SendOp, TruncationPolicy,
+    };
 
     #[test]
     fn naive_queues_behave_like_queues() {
         let a = ProcessId::new(0, 0);
         let mut rq = NaiveReceiveQueue::new();
         rq.register(PostedReceive {
-            handle: RecvHandle(1),
+            op: RecvOp::from_raw(1, 0),
             src: a,
             tag: Tag(4),
             capacity: 64,
             translated: false,
+            policy: TruncationPolicy::Error,
         });
         assert_eq!(rq.len(), 1);
         assert!(rq.match_incoming(a, Tag(3)).is_none());
-        assert_eq!(rq.match_incoming(a, Tag(4)).unwrap().handle, RecvHandle(1));
+        assert_eq!(
+            rq.match_incoming(a, Tag(4)).unwrap().op,
+            RecvOp::from_raw(1, 0)
+        );
         assert!(rq.is_empty());
 
         let mut sq = NaiveSendQueue::new();
         sq.register(PendingSend {
-            handle: SendHandle(9),
+            op: SendOp::from_raw(9, 0),
             dst: a,
             tag: Tag(0),
             msg_id: MessageId(9),
@@ -129,7 +135,7 @@ mod tests {
             translated: false,
         });
         assert!(!sq.is_empty());
-        assert_eq!(sq.remove(MessageId(9)).unwrap().handle, SendHandle(9));
+        assert_eq!(sq.remove(MessageId(9)).unwrap().op, SendOp::from_raw(9, 0));
         assert!(sq.remove(MessageId(9)).is_none());
     }
 }

@@ -1,16 +1,24 @@
 //! The sans-I/O protocol engine.
 //!
 //! [`Endpoint`] is the per-process protocol state machine.  Backends call
-//! [`Endpoint::post_send`] / [`Endpoint::post_recv`] on behalf of the
-//! application, feed arriving traffic through [`Endpoint::handle_packet`]
-//! (intranode) or [`Endpoint::handle_frame`] (internode, go-back-N framed),
-//! fire timers through [`Endpoint::handle_timer`], and drain the resulting
-//! [`Action`]s with [`Endpoint::poll_action`].
+//! [`Endpoint::post_send`] / [`Endpoint::post_recv`] /
+//! [`Endpoint::post_recv_into`] on behalf of the application, feed arriving
+//! traffic through [`Endpoint::handle_packet`] (intranode) or
+//! [`Endpoint::handle_frame`] (internode, go-back-N framed), fire timers
+//! through [`Endpoint::handle_timer`], and drain the resulting [`Action`]s
+//! with [`Endpoint::poll_action`].
 //!
 //! The engine performs **no I/O and reads no clock**: every externally
 //! visible effect is an [`Action`].  This is what lets the same protocol code
 //! run both inside the discrete-event simulator (`ppmsg-sim`) and over real
 //! sockets and shared memory (`ppmsg-host`).
+//!
+//! Operation **completions** do not travel through the action stream: they
+//! land in a per-endpoint completion queue ([`Completion`]), drained in
+//! batches with [`Endpoint::poll_completion`] /
+//! [`Endpoint::drain_completions_into`].  Actions are the backend's
+//! obligations (move these bytes, arm this timer); completions are the
+//! application's results (this operation finished, with this status).
 
 mod receiver;
 mod sender;
@@ -19,11 +27,11 @@ mod tests;
 
 use crate::btp::BtpPolicy;
 use crate::config::ProtocolConfig;
-use crate::error::Error;
 use crate::index::{Slab, U64Index};
+use crate::ops::{Completion, OpTable, RecvBuf, RecvOp, TruncationPolicy};
 use crate::queues::{Assembly, BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
 use crate::reliability::{Frame, GbnEvent, GoBackN};
-use crate::types::{MessageId, ProcessId, RecvHandle, SendHandle, Tag, TimerId};
+use crate::types::{MessageId, ProcessId, Tag, TimerId};
 use crate::wire::Packet;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -138,34 +146,6 @@ pub enum Action {
         /// processor of the node instead of the application's processor.
         least_loaded: bool,
     },
-    /// A send operation has been fully handed to the transport.
-    SendComplete {
-        /// Handle returned by `post_send`.
-        handle: SendHandle,
-        /// The destination of the send.
-        peer: ProcessId,
-        /// Message length in bytes.
-        bytes: usize,
-    },
-    /// A receive operation has completed; `data` holds the message.
-    RecvComplete {
-        /// Handle returned by `post_recv`.
-        handle: RecvHandle,
-        /// The source of the message.
-        peer: ProcessId,
-        /// The reassembled message bytes.
-        data: Bytes,
-    },
-    /// A receive operation failed (e.g. the incoming message was larger than
-    /// the posted buffer).
-    RecvFailed {
-        /// Handle returned by `post_recv`.
-        handle: RecvHandle,
-        /// The source of the message.
-        peer: ProcessId,
-        /// Why the receive failed.
-        error: Error,
-    },
     /// Arm a retransmission timer: call `handle_timer(timer)` after
     /// `delay_us` microseconds unless it is cancelled first.
     SetTimer {
@@ -207,6 +187,14 @@ pub struct EndpointStats {
     pub sends_completed: u64,
     /// Receive operations completed.
     pub recvs_completed: u64,
+    /// Receive operations that completed with an error status (e.g. a
+    /// too-small buffer under [`TruncationPolicy::Error`]).
+    pub recvs_failed: u64,
+    /// Receive operations cancelled before they matched a message.
+    pub recvs_cancelled: u64,
+    /// Receive operations that completed truncated
+    /// ([`TruncationPolicy::Truncate`]).
+    pub recvs_truncated: u64,
     /// Bytes pushed eagerly (first + second pushes).
     pub bytes_pushed: u64,
     /// Bytes transferred in the pull phase.
@@ -255,6 +243,11 @@ pub(crate) enum MsgBody {
     Direct(Bytes),
     /// Multi-fragment reassembly through a pooled [`Assembly`] buffer.
     Assembling(Assembly),
+    /// Reassembly directly into the caller-owned buffer of a
+    /// [`Endpoint::post_recv_into`] operation: fragments land in the
+    /// application's storage and the buffer is handed back in the
+    /// completion — the engine never owns the message bytes.
+    Caller(RecvBuf),
 }
 
 /// Reassembly state of one incoming message.
@@ -268,7 +261,7 @@ pub(crate) struct IncomingMsg {
     pub(crate) eager_len: usize,
     pub(crate) body: MsgBody,
     /// The receive this message has been matched to, if any.
-    pub(crate) matched: Option<RecvHandle>,
+    pub(crate) matched: Option<RecvOp>,
     /// `true` once the pull request for the remainder has been sent.
     pub(crate) pull_requested: bool,
     /// Payload bytes of this message currently staged in the pushed buffer.
@@ -284,6 +277,7 @@ impl IncomingMsg {
         match &self.body {
             MsgBody::Direct(_) => true,
             MsgBody::Assembling(a) => a.is_complete(),
+            MsgBody::Caller(buf) => buf.is_complete(),
             MsgBody::Empty => self.total_len == 0,
         }
     }
@@ -305,21 +299,38 @@ struct PeerState {
 /// How many scratch vectors / assembly shells the engine keeps pooled.
 const SCRATCH_POOL_CAP: usize = 8;
 
+/// Live state of one in-flight receive operation, slab-indexed by its
+/// [`RecvOp`] handle.
+#[derive(Debug)]
+pub(crate) struct RecvRec {
+    /// Caller-owned destination buffer of a [`Endpoint::post_recv_into`]
+    /// receive; moved into the message body at match time and handed back in
+    /// the completion.
+    pub(crate) buf: Option<RecvBuf>,
+    /// Capacity of the destination buffer in bytes.
+    pub(crate) capacity: usize,
+    /// What to do when the arriving message exceeds `capacity`.  Consulted
+    /// through the matcher's [`PostedReceive`](crate::queues::PostedReceive)
+    /// copy on the match path; kept here for diagnostics.
+    #[allow(dead_code)]
+    pub(crate) policy: TruncationPolicy,
+}
+
 /// The per-process Push-Pull Messaging protocol engine.
 ///
 /// Steady-state hot-path operations (`post_send`, `post_recv`,
-/// `handle_packet`, `handle_frame`) are allocation-free: message state lives
-/// in slab arenas addressed by dense per-peer indices, matching uses
-/// `(source, tag)`-bucketed O(1) lookups, and every transient buffer (action
-/// queue, go-back-N event scratch, assembly buffers) is pooled and reused.
-/// [`EndpointStats::steady_allocs`] counts the allocation events so
-/// regressions are observable.
+/// `post_recv_into`, `handle_packet`, `handle_frame`, completion draining)
+/// are allocation-free: message and operation state lives in slab arenas
+/// addressed by dense per-peer indices, matching uses `(source,
+/// tag)`-bucketed O(1) lookups, and every transient buffer (action queue,
+/// completion queue, go-back-N event scratch, assembly buffers) is pooled
+/// and reused.  [`EndpointStats::steady_allocs`] counts the allocation
+/// events so regressions are observable.
 #[derive(Debug)]
 pub struct Endpoint {
     id: ProcessId,
     config: ProtocolConfig,
     next_msg_id: u64,
-    next_handle: u64,
     pub(crate) send_queue: SendQueue,
     pub(crate) recv_queue: ReceiveQueue,
     pub(crate) pushed_buffer: PushedBuffer,
@@ -330,6 +341,12 @@ pub struct Endpoint {
     peer_index: U64Index,
     peers: Vec<PeerState>,
     pub(crate) actions: VecDeque<Action>,
+    /// Completed operations awaiting [`Endpoint::poll_completion`].
+    pub(crate) completions: VecDeque<Completion>,
+    /// Generation-checked table of in-flight send operations.
+    pub(crate) send_ops: OpTable<()>,
+    /// Generation-checked table of in-flight receive operations.
+    pub(crate) recv_ops: OpTable<RecvRec>,
     pub(crate) stats: EndpointStats,
     /// Pool of reusable assembly buffers for fragmented messages.
     assembly_pool: Vec<Assembly>,
@@ -358,7 +375,6 @@ impl Endpoint {
             id,
             config,
             next_msg_id: 0,
-            next_handle: 0,
             send_queue: SendQueue::new(),
             recv_queue: ReceiveQueue::new(),
             pushed_buffer,
@@ -367,6 +383,9 @@ impl Endpoint {
             peer_index: U64Index::new(),
             peers: Vec::new(),
             actions: VecDeque::new(),
+            completions: VecDeque::new(),
+            send_ops: OpTable::new(),
+            recv_ops: OpTable::new(),
             stats: EndpointStats::default(),
             assembly_pool: Vec::new(),
             gbn_scratch: Vec::new(),
@@ -401,7 +420,15 @@ impl Endpoint {
             + self.recv_queue.alloc_events()
             + self.buffer_queue.alloc_events()
             + self.incoming.alloc_events()
-            + self.peer_index.alloc_events();
+            + self.peer_index.alloc_events()
+            + self.send_ops.alloc_events()
+            + self.recv_ops.alloc_events()
+            + self
+                .peers
+                .iter()
+                .filter_map(|p| p.channel.as_ref())
+                .map(|c| c.alloc_events())
+                .sum::<u64>();
         stats
     }
 
@@ -438,9 +465,32 @@ impl Endpoint {
         out.extend(self.actions.drain(..));
     }
 
-    /// `true` when the endpoint has no pending work: no queued actions, no
-    /// registered sends awaiting a pull, no posted receives, no partially
-    /// assembled incoming messages and no unacknowledged frames.
+    /// Removes and returns the next pending completion, if any.
+    ///
+    /// Completions are produced in the order operations finish; draining
+    /// them is how the application observes operation results (the action
+    /// stream only carries backend obligations).
+    #[inline]
+    pub fn poll_completion(&mut self) -> Option<Completion> {
+        self.completions.pop_front()
+    }
+
+    /// Appends every pending completion to `out`, reusing its capacity.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.extend(self.completions.drain(..));
+    }
+
+    /// Number of completions waiting to be drained.
+    #[inline]
+    pub fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// `true` when the endpoint has no pending protocol work: no queued
+    /// actions, no registered sends awaiting a pull, no posted receives, no
+    /// partially assembled incoming messages and no unacknowledged frames.
+    /// Undrained completions do not count — they are results waiting for the
+    /// application, not work waiting for the protocol.
     pub fn idle(&self) -> bool {
         self.actions.is_empty()
             && self.send_queue.is_empty()
@@ -521,10 +571,11 @@ impl Endpoint {
         id
     }
 
-    pub(crate) fn alloc_handle(&mut self) -> u64 {
-        let h = self.next_handle;
-        self.next_handle += 1;
-        h
+    pub(crate) fn push_completion(&mut self, completion: Completion) {
+        if self.completions.len() == self.completions.capacity() {
+            self.alloc_events += 1;
+        }
+        self.completions.push_back(completion);
     }
 
     /// Interns `peer`, returning its dense index (assigned on first
@@ -596,7 +647,8 @@ impl Endpoint {
     }
 
     /// Takes the message bytes out of a completed incoming message,
-    /// recycling its assembly buffer into the pool.
+    /// recycling its assembly buffer into the pool.  Caller-buffered bodies
+    /// are extracted whole at completion and never reach this path.
     pub(crate) fn take_body(&mut self, msg: &mut IncomingMsg) -> Bytes {
         match std::mem::replace(&mut msg.body, MsgBody::Empty) {
             MsgBody::Direct(bytes) => bytes,
@@ -605,6 +657,7 @@ impl Endpoint {
                 self.release_assembly(assembly);
                 bytes
             }
+            MsgBody::Caller(_) => unreachable!("caller buffer extracted at completion"),
             MsgBody::Empty => Bytes::new(),
         }
     }

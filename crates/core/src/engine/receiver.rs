@@ -1,18 +1,26 @@
-//! Receiver-side half of the protocol engine: posting receives, handling
-//! arriving pushes and pulled data, and issuing pull requests.
+//! Receiver-side half of the protocol engine: posting receives (engine- or
+//! caller-buffered), handling arriving pushes and pulled data, issuing pull
+//! requests, cancellation, and completion delivery.
 
 use super::{
-    Action, CopyKind, DropReason, Endpoint, IncomingMsg, InjectMode, MsgBody, TranslateCtx,
+    Action, CopyKind, DropReason, Endpoint, IncomingMsg, InjectMode, MsgBody, RecvRec, TranslateCtx,
 };
 use crate::error::{Error, Result};
+use crate::ops::{Completion, OpId, RecvBuf, RecvOp, Status, TruncationPolicy};
 use crate::queues::{PostedReceive, UnexpectedKey};
-use crate::types::{MessageId, ProcessId, RecvHandle, Tag};
+use crate::types::{MessageId, ProcessId, Tag};
 use crate::wire::{Packet, PacketHeader, PacketKind};
 use bytes::Bytes;
 
 impl Endpoint {
-    /// Posts a receive for a message from `src` with tag `tag` into a buffer
-    /// of `capacity` bytes.
+    /// Posts a receive for a message from `src` with tag `tag` into an
+    /// engine-managed buffer of `capacity` bytes, with the default
+    /// [`TruncationPolicy::Error`].
+    ///
+    /// `src` may be [`ANY_SOURCE`](crate::types::ANY_SOURCE) and `tag` may
+    /// be [`ANY_TAG`](crate::types::ANY_TAG); wildcard receives match in the
+    /// same global posting order an MPI implementation's linear scan would
+    /// use.
     ///
     /// If the matching message (or part of it) has already arrived and is
     /// sitting in the pushed buffer, it is drained into the destination
@@ -22,13 +30,65 @@ impl Endpoint {
     /// sender is withholding a remainder, the pull request is issued as soon
     /// as the message is known.
     ///
-    /// Completion is reported through [`Action::RecvComplete`] carrying the
-    /// returned handle.
-    pub fn post_recv(&mut self, src: ProcessId, tag: Tag, capacity: usize) -> Result<RecvHandle> {
+    /// Completion is reported through the completion queue
+    /// ([`Endpoint::poll_completion`]) as a [`Completion`] carrying the
+    /// returned [`RecvOp`]; the message bytes arrive in the completion's
+    /// `data` field.
+    pub fn post_recv(&mut self, src: ProcessId, tag: Tag, capacity: usize) -> Result<RecvOp> {
+        self.post_recv_opts(src, tag, capacity, TruncationPolicy::Error, None)
+    }
+
+    /// [`Endpoint::post_recv`] with an explicit [`TruncationPolicy`].
+    pub fn post_recv_with(
+        &mut self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        self.post_recv_opts(src, tag, capacity, policy, None)
+    }
+
+    /// Posts a receive that reassembles the message **directly into the
+    /// caller-owned buffer** `buf` — no engine-side assembly buffer and no
+    /// owned-`Bytes` handoff, so even the multi-fragment pull path performs
+    /// zero heap allocations in steady state.
+    ///
+    /// The buffer travels with the operation and is handed back in the
+    /// [`Completion`]'s `buf` field (also on cancellation and failure), so
+    /// one buffer can be recycled across receives indefinitely.
+    pub fn post_recv_into(
+        &mut self,
+        src: ProcessId,
+        tag: Tag,
+        mut buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        let capacity = buf.capacity();
+        // Clear any previous message view immediately: a recycled buffer
+        // handed back unused (cancellation, failure) must read as empty,
+        // not as the bytes of the message it carried last time.
+        buf.begin(0);
+        self.post_recv_opts(src, tag, capacity, policy, Some(buf))
+    }
+
+    fn post_recv_opts(
+        &mut self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+        buf: Option<RecvBuf>,
+    ) -> Result<RecvOp> {
         if src == self.id() {
             return Err(Error::SelfSend { process: src });
         }
-        let handle = RecvHandle(self.alloc_handle());
+        let (op_slot, op_generation) = self.recv_ops.insert(RecvRec {
+            buf,
+            capacity,
+            policy,
+        });
+        let op = RecvOp::from_raw(op_slot, op_generation);
         self.stats.recvs_posted += 1;
         let opts = self.config().opts;
 
@@ -48,74 +108,179 @@ impl Endpoint {
         }
 
         // Check the buffer queue for an unexpected message that already
-        // arrived (arrow 2b.2 in Fig. 1: drain the pushed buffer).
-        if let Some(key) = self.buffer_queue.match_posted(src, tag) {
+        // arrived (arrow 2b.2 in Fig. 1: drain the pushed buffer).  Peeking
+        // first keeps arrival order intact when the receive turns out to be
+        // too small and the message must stay queued.
+        if let Some((key, msg_tag)) = self.buffer_queue.peek_unexpected(src, tag) {
             let slot = self
                 .incoming_slot(key.src, key.msg_id)
                 .expect("buffer queue entry without incoming state");
-            let incoming = self.incoming.get_mut(slot).unwrap();
-            if incoming.total_len > capacity {
-                let err = Error::ReceiveTooSmall {
-                    posted: capacity,
-                    incoming: incoming.total_len,
-                };
-                // Leave the unexpected message queued so a correctly sized
-                // receive posted later can still claim it.
-                self.buffer_queue.insert(key, tag);
-                self.push_action(Action::RecvFailed {
-                    handle,
-                    peer: src,
-                    error: err.clone(),
-                });
-                return Err(err);
+            let total = self.incoming.get(slot).unwrap().total_len;
+            if total > capacity && policy == TruncationPolicy::Error {
+                // The receive fails; the message is unharmed and stays
+                // queued for the next adequate receive (the seed dropped its
+                // partial state here, poisoning the message forever).
+                self.fail_recv(op, key.src, msg_tag, capacity, total);
+                return Ok(op);
             }
-            incoming.matched = Some(handle);
-            let buffered = incoming.pushed_buffer_bytes;
-            let footprint = incoming.pushed_buffer_footprint;
-            let msg_id = incoming.msg_id;
-            incoming.pushed_buffer_bytes = 0;
-            incoming.pushed_buffer_footprint = 0;
-            if footprint > 0 {
-                // Second copy of the two-copy path: pushed buffer → user
-                // destination buffer.
-                self.pushed_buffer.release(footprint);
-                self.stats.bytes_copied_staged += buffered as u64;
-                self.push_action(Action::Copy {
-                    kind: CopyKind::DrainPushedBuffer,
-                    peer: src,
-                    msg_id,
-                    bytes: buffered,
-                    least_loaded: false,
-                });
-                if !opts.zero_buffer {
-                    self.stats.bytes_copied_extra += buffered as u64;
-                    self.push_action(Action::Copy {
-                        kind: CopyKind::StagingExtra,
-                        peer: src,
-                        msg_id,
-                        bytes: buffered,
-                        least_loaded: false,
-                    });
-                }
-            }
-            // With masking the destination translation happens here, after
-            // the (possible) pull request below has been scheduled; without
-            // masking it already happened above.
-            self.maybe_pull_and_translate(src, msg_id, translated, capacity);
-            self.try_complete(src, msg_id);
-            return Ok(handle);
+            self.buffer_queue.remove_with_tag(key, msg_tag);
+            self.attach_to_incoming(key.src, slot, op, translated, capacity);
+            self.try_complete(key.src, key.msg_id);
+            return Ok(op);
         }
 
         // No data yet: register the receive so the reception handler can copy
         // arriving data straight to the destination buffer.
         self.recv_queue.register(PostedReceive {
-            handle,
+            op,
             src,
             tag,
             capacity,
             translated,
+            policy,
         });
-        Ok(handle)
+        Ok(op)
+    }
+
+    /// Cancels a posted receive that has not yet matched a message.
+    ///
+    /// Returns `true` if the operation was cancelled, in which case a
+    /// [`Status::Cancelled`] completion (carrying back any caller-owned
+    /// buffer) is queued and the operation can never complete afterwards.
+    /// Returns `false` when the handle is stale or the operation has already
+    /// matched an arriving message — a matched receive is owed data that is
+    /// possibly already in flight and must run to completion.
+    pub fn cancel(&mut self, op: RecvOp) -> bool {
+        let Some(posted) = self.recv_queue.cancel(op) else {
+            return false;
+        };
+        let rec = self
+            .recv_ops
+            .remove(op.slot(), op.generation())
+            .expect("queued receive without operation record");
+        self.stats.recvs_cancelled += 1;
+        self.push_completion(Completion {
+            op: OpId::Recv(op),
+            peer: posted.src,
+            tag: posted.tag,
+            len: 0,
+            status: Status::Cancelled,
+            data: None,
+            buf: rec.buf,
+        });
+        true
+    }
+
+    /// Retires a receive with [`Error::ReceiveTooSmall`], handing back any
+    /// caller-owned buffer.
+    fn fail_recv(&mut self, op: RecvOp, peer: ProcessId, tag: Tag, posted: usize, incoming: usize) {
+        let rec = self
+            .recv_ops
+            .remove(op.slot(), op.generation())
+            .expect("failing receive without operation record");
+        self.stats.recvs_failed += 1;
+        self.push_completion(Completion {
+            op: OpId::Recv(op),
+            peer,
+            tag,
+            len: 0,
+            status: Status::Error(Error::ReceiveTooSmall { posted, incoming }),
+            data: None,
+            buf: rec.buf,
+        });
+    }
+
+    /// Binds a receive operation to the incoming message in `slot`: records
+    /// the match, moves a caller-owned buffer into the message body (copying
+    /// any already staged bytes into it), releases the message's pushed
+    /// buffer reservation (the two-copy drain), and issues the pull request
+    /// / deferred translation as needed.
+    ///
+    /// The caller is responsible for invoking [`Endpoint::try_complete`]
+    /// afterwards (directly or at the end of packet processing).
+    fn attach_to_incoming(
+        &mut self,
+        src: ProcessId,
+        slot: u32,
+        op: RecvOp,
+        translated_at_post: bool,
+        capacity: usize,
+    ) {
+        let (msg_id, total) = {
+            let incoming = self.incoming.get_mut(slot).expect("attaching to live slot");
+            incoming.matched = Some(op);
+            (incoming.msg_id, incoming.total_len)
+        };
+
+        // Caller-buffered receive: reassemble into the application's storage
+        // from here on, first draining whatever was staged so far.
+        let buf = self
+            .recv_ops
+            .get_mut(op.slot(), op.generation())
+            .expect("matching receive without operation record")
+            .buf
+            .take();
+        if let Some(mut buf) = buf {
+            buf.begin(total);
+            match std::mem::replace(
+                &mut self.incoming.get_mut(slot).unwrap().body,
+                MsgBody::Empty,
+            ) {
+                MsgBody::Empty => {}
+                MsgBody::Direct(bytes) => {
+                    buf.write_at(0, &bytes);
+                }
+                MsgBody::Assembling(assembly) => {
+                    // Only genuinely received intervals may be marked
+                    // covered in the caller buffer.
+                    for &(start, end) in assembly.covered_intervals() {
+                        buf.write_at(start, &assembly.as_slice()[start..end]);
+                    }
+                    self.release_assembly(assembly);
+                }
+                MsgBody::Caller(_) => unreachable!("message matched twice"),
+            }
+            self.incoming.get_mut(slot).unwrap().body = MsgBody::Caller(buf);
+        }
+
+        // Drain the pushed-buffer reservation: the second copy of the
+        // two-copy path (pushed buffer → destination buffer).
+        let (buffered, footprint) = {
+            let incoming = self.incoming.get_mut(slot).unwrap();
+            let pair = (
+                incoming.pushed_buffer_bytes,
+                incoming.pushed_buffer_footprint,
+            );
+            incoming.pushed_buffer_bytes = 0;
+            incoming.pushed_buffer_footprint = 0;
+            pair
+        };
+        if footprint > 0 {
+            self.pushed_buffer.release(footprint);
+            self.stats.bytes_copied_staged += buffered as u64;
+            self.push_action(Action::Copy {
+                kind: CopyKind::DrainPushedBuffer,
+                peer: src,
+                msg_id,
+                bytes: buffered,
+                least_loaded: false,
+            });
+            if !self.config().opts.zero_buffer {
+                self.stats.bytes_copied_extra += buffered as u64;
+                self.push_action(Action::Copy {
+                    kind: CopyKind::StagingExtra,
+                    peer: src,
+                    msg_id,
+                    bytes: buffered,
+                    least_loaded: false,
+                });
+            }
+        }
+
+        // With masking the destination translation happens here, after the
+        // (possible) pull request has been scheduled; without masking it
+        // already happened at posting time.
+        self.maybe_pull_and_translate(src, msg_id, translated_at_post, capacity);
     }
 
     /// Dispatches one protocol packet (already made reliable by the caller or
@@ -130,9 +295,10 @@ impl Endpoint {
 
     /// Records `payload` at `offset` in the message occupying `slot`.
     ///
-    /// A payload covering the whole message in one packet is stored as a
-    /// zero-copy [`MsgBody::Direct`] reference to the packet buffer; anything
-    /// else goes through a pooled assembly buffer.
+    /// Caller-buffered messages write straight into the application's
+    /// storage.  Otherwise, a payload covering the whole message in one
+    /// packet is stored as a zero-copy [`MsgBody::Direct`] reference to the
+    /// packet buffer; anything else goes through a pooled assembly buffer.
     fn record_payload(&mut self, slot: u32, offset: usize, payload: &Bytes) {
         if payload.is_empty() {
             return;
@@ -142,6 +308,10 @@ impl Endpoint {
         {
             let msg = self.incoming.get_mut(slot).unwrap();
             match &mut msg.body {
+                MsgBody::Caller(buf) => {
+                    buf.write_at(offset, payload);
+                    return;
+                }
                 MsgBody::Empty if whole_message => {
                     msg.body = MsgBody::Direct(payload.clone());
                     return;
@@ -191,36 +361,18 @@ impl Endpoint {
         };
 
         // Try to match a posted receive if this message is not matched yet.
-        let mut newly_matched = false;
-        let mut matched_capacity = 0usize;
-        let mut translated_at_post = false;
+        // A too-small receive under `TruncationPolicy::Error` is consumed
+        // with an error completion and the message moves on to the next
+        // posted receive — it is never dropped or poisoned.
         if self.incoming.get(slot).unwrap().matched.is_none() {
-            if let Some(posted) = self.recv_queue.match_incoming(src, header.tag) {
-                if (header.total_len as usize) > posted.capacity {
-                    let err = Error::ReceiveTooSmall {
-                        posted: posted.capacity,
-                        incoming: header.total_len as usize,
-                    };
-                    self.push_action(Action::RecvFailed {
-                        handle: posted.handle,
-                        peer: src,
-                        error: err,
-                    });
-                    // Drop the message state; further fragments are discarded.
-                    if let Some(msg) = self.incoming_remove(src, slot) {
-                        self.discard_body(msg);
-                    }
-                    self.push_action(Action::PacketDropped {
-                        peer: src,
-                        bytes: packet.payload.len(),
-                        reason: DropReason::Malformed,
-                    });
-                    return;
+            let total = header.total_len as usize;
+            while let Some(posted) = self.recv_queue.match_incoming(src, header.tag) {
+                if total > posted.capacity && posted.policy == TruncationPolicy::Error {
+                    self.fail_recv(posted.op, src, header.tag, posted.capacity, total);
+                    continue;
                 }
-                self.incoming.get_mut(slot).unwrap().matched = Some(posted.handle);
-                newly_matched = true;
-                matched_capacity = posted.capacity;
-                translated_at_post = posted.translated;
+                self.attach_to_incoming(src, slot, posted.op, posted.translated, posted.capacity);
+                break;
             }
         }
 
@@ -297,17 +449,10 @@ impl Endpoint {
             return;
         }
 
-        if newly_matched {
-            // The receive was posted before the data arrived; now that the
-            // message is known, issue the pull request (and, with masking,
-            // the deferred destination translation).
-            self.maybe_pull_and_translate(src, header.msg_id, translated_at_post, matched_capacity);
-        } else {
-            // Already matched earlier: a pull may still be outstanding if the
-            // message was matched via the pushed buffer before any push
-            // carrying `eager_len` arrived.
-            self.maybe_pull_and_translate(src, header.msg_id, true, 0);
-        }
+        // A pull may still be outstanding if the message was matched before
+        // any push carrying `eager_len` arrived (`attach_to_incoming` already
+        // issued it for the newly-matched case; this call is a no-op then).
+        self.maybe_pull_and_translate(src, header.msg_id, true, 0);
 
         self.try_complete(src, header.msg_id);
     }
@@ -353,8 +498,9 @@ impl Endpoint {
                     });
                 }
             } else {
-                // A pull was requested, so a receive must have been posted;
-                // this branch only happens if the receive was cancelled.
+                // A pull was requested, so a receive must have been matched;
+                // this branch only happens for stray pull data (e.g. a
+                // duplicate after completion recreated the state).
                 let footprint = bytes + crate::wire::MAX_HEADER_LEN;
                 if self.pushed_buffer.try_reserve(footprint) {
                     let incoming = self.incoming.get_mut(slot).unwrap();
@@ -450,13 +596,9 @@ impl Endpoint {
         }
     }
 
-    /// Returns a dropped message's assembly buffer to the pool.
-    fn discard_body(&mut self, mut msg: IncomingMsg) {
-        let _ = self.take_body(&mut msg);
-    }
-
-    /// Delivers the completed message for `msg_id` if every byte has arrived.
-    fn try_complete(&mut self, src: ProcessId, msg_id: MessageId) {
+    /// Delivers the completed message for `msg_id` if every byte has arrived,
+    /// retiring the receive operation and queueing its [`Completion`].
+    pub(crate) fn try_complete(&mut self, src: ProcessId, msg_id: MessageId) {
         let Some(slot) = self.incoming_slot(src, msg_id) else {
             return;
         };
@@ -467,7 +609,7 @@ impl Endpoint {
             }
         }
         let mut incoming = self.incoming_remove(src, slot).unwrap();
-        let handle = incoming.matched.unwrap();
+        let op = incoming.matched.unwrap();
         if incoming.pushed_buffer_footprint > 0 {
             // Data still accounted against the pushed buffer is released on
             // delivery (it was matched without an intervening drain action,
@@ -477,12 +619,44 @@ impl Endpoint {
         }
         self.buffer_queue
             .remove_with_tag(UnexpectedKey { src, msg_id }, incoming.tag);
+        let rec = self
+            .recv_ops
+            .remove(op.slot(), op.generation())
+            .expect("completed receive without operation record");
+        let total = incoming.total_len;
+        let truncated = total > rec.capacity;
+        let (data, buf, len) = match std::mem::replace(&mut incoming.body, MsgBody::Empty) {
+            MsgBody::Caller(caller_buf) => {
+                let len = caller_buf.len();
+                (None, Some(caller_buf), len)
+            }
+            body => {
+                incoming.body = body;
+                let bytes = self.take_body(&mut incoming);
+                if truncated {
+                    // Truncating delivery: hand over the prefix that fits.
+                    (Some(bytes.slice(..rec.capacity)), None, rec.capacity)
+                } else {
+                    let len = bytes.len();
+                    (Some(bytes), None, len)
+                }
+            }
+        };
         self.stats.recvs_completed += 1;
-        let data = self.take_body(&mut incoming);
-        self.push_action(Action::RecvComplete {
-            handle,
+        let status = if truncated {
+            self.stats.recvs_truncated += 1;
+            Status::Truncated { message_len: total }
+        } else {
+            Status::Ok
+        };
+        self.push_completion(Completion {
+            op: OpId::Recv(op),
             peer: src,
+            tag: incoming.tag,
+            len,
+            status,
             data,
+            buf,
         });
     }
 }

@@ -4,8 +4,9 @@
 use super::{Action, Endpoint, InjectMode, TranslateCtx};
 use crate::btp::BtpSplit;
 use crate::error::{Error, Result};
+use crate::ops::{Completion, OpId, SendOp, Status};
 use crate::queues::PendingSend;
-use crate::types::{MessageId, ProcessId, SendHandle, Tag};
+use crate::types::{MessageId, ProcessId, Tag};
 use crate::wire::{Packet, PacketHeader, PacketKind, PushPart};
 use bytes::Bytes;
 
@@ -17,13 +18,15 @@ impl Endpoint {
     /// handed to the transport immediately and the remainder is registered in
     /// the send queue to be pulled by the receiver.
     ///
-    /// Completion is reported through [`Action::SendComplete`] carrying the
-    /// returned handle.
-    pub fn post_send(&mut self, dst: ProcessId, tag: Tag, data: Bytes) -> Result<SendHandle> {
+    /// Completion is reported through the completion queue
+    /// ([`Endpoint::poll_completion`]) as a [`Completion`] carrying the
+    /// returned [`SendOp`].
+    pub fn post_send(&mut self, dst: ProcessId, tag: Tag, data: Bytes) -> Result<SendOp> {
         if dst == self.id() {
             return Err(Error::SelfSend { process: dst });
         }
-        let handle = SendHandle(self.alloc_handle());
+        let (op_slot, op_generation) = self.send_ops.insert(());
+        let op = SendOp::from_raw(op_slot, op_generation);
         let msg_id = self.alloc_msg_id();
         let policy = self.btp_for(dst);
         let opts = self.config().opts;
@@ -94,7 +97,7 @@ impl Endpoint {
             // Register the send so the pull request can be served later
             // (arrow 1b.1 in Fig. 1).
             self.send_queue.register(PendingSend {
-                handle,
+                op,
                 dst,
                 tag,
                 msg_id,
@@ -106,14 +109,26 @@ impl Endpoint {
             });
         } else {
             // Everything was pushed eagerly; the send is locally complete.
-            self.stats.sends_completed += 1;
-            self.push_action(Action::SendComplete {
-                handle,
-                peer: dst,
-                bytes: total_len,
-            });
+            self.complete_send(op, dst, tag, total_len);
         }
-        Ok(handle)
+        Ok(op)
+    }
+
+    /// Retires a send operation and queues its completion.
+    fn complete_send(&mut self, op: SendOp, peer: ProcessId, tag: Tag, bytes: usize) {
+        self.send_ops
+            .remove(op.slot(), op.generation())
+            .expect("completing send without live operation record");
+        self.stats.sends_completed += 1;
+        self.push_completion(Completion {
+            op: OpId::Send(op),
+            peer,
+            tag,
+            len: bytes,
+            status: Status::Ok,
+            data: None,
+            buf: None,
+        });
     }
 
     /// Builds and submits the push packets of one part directly — no
@@ -200,7 +215,7 @@ impl Endpoint {
         pending.pull_served = true;
         let data = pending.data.clone();
         let split = pending.split;
-        let handle = pending.handle;
+        let op = pending.op;
         let tag = pending.tag;
         let dst = pending.dst;
         debug_assert_eq!(
@@ -245,11 +260,6 @@ impl Endpoint {
             pending.fully_transmitted = true;
         }
         self.send_queue.remove(msg_id);
-        self.stats.sends_completed += 1;
-        self.push_action(Action::SendComplete {
-            handle,
-            peer: dst,
-            bytes: total_len,
-        });
+        self.complete_send(op, dst, tag, total_len);
     }
 }

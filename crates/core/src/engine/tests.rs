@@ -3,6 +3,8 @@
 
 use super::*;
 use crate::config::{OptFlags, ProtocolConfig, ProtocolMode};
+use crate::error::Error;
+use crate::ops::{Completion, OpId, Status};
 use crate::types::{ProcessId, Tag};
 use crate::wire::PacketKind;
 use bytes::Bytes;
@@ -67,11 +69,21 @@ fn run_pair(a: &mut Endpoint, b: &mut Endpoint) -> (Vec<Action>, Vec<Action>) {
     (out_a, out_b)
 }
 
-fn recv_complete_data(actions: &[Action]) -> Option<Bytes> {
-    actions.iter().find_map(|a| match a {
-        Action::RecvComplete { data, .. } => Some(data.clone()),
-        _ => None,
-    })
+/// Drains an endpoint's completion queue.
+fn completions(e: &mut Endpoint) -> Vec<Completion> {
+    let mut out = Vec::new();
+    e.drain_completions_into(&mut out);
+    out
+}
+
+/// The payload of the first successful receive completion, if any.
+fn recv_complete_data(e: &mut Endpoint) -> Option<Bytes> {
+    completions(e)
+        .into_iter()
+        .find_map(|c| match (c.op, c.status) {
+            (OpId::Recv(_), Status::Ok) => c.data,
+            _ => None,
+        })
 }
 
 fn count_copies(actions: &[Action], kind: CopyKind) -> (usize, usize) {
@@ -118,8 +130,8 @@ fn intranode_transfer_all_modes_and_sizes() {
             let data = payload(len);
             s.post_send(r.id(), Tag(1), data.clone()).unwrap();
             r.post_recv(s.id(), Tag(1), len.max(1)).unwrap();
-            let (_sa, ra) = run_pair(&mut s, &mut r);
-            let got = recv_complete_data(&ra)
+            let (_sa, _ra) = run_pair(&mut s, &mut r);
+            let got = recv_complete_data(&mut r)
                 .unwrap_or_else(|| panic!("no completion for mode {mode:?} len {len}"));
             assert_eq!(got, data, "mode {mode:?} len {len}");
             assert!(s.idle(), "sender not idle for mode {mode:?} len {len}");
@@ -139,8 +151,8 @@ fn internode_transfer_all_modes_and_sizes() {
             let data = payload(len);
             s.post_send(r.id(), Tag(9), data.clone()).unwrap();
             r.post_recv(s.id(), Tag(9), len).unwrap();
-            let (_sa, ra) = run_pair(&mut s, &mut r);
-            let got = recv_complete_data(&ra)
+            let (_sa, _ra) = run_pair(&mut s, &mut r);
+            let got = recv_complete_data(&mut r)
                 .unwrap_or_else(|| panic!("no completion for mode {mode:?} len {len}"));
             assert_eq!(got, data, "mode {mode:?} len {len}");
         }
@@ -161,8 +173,8 @@ fn late_receiver_still_delivers() {
         // Let the pushes propagate before the receive is posted.
         let (_sa0, _ra0) = run_pair(&mut s, &mut r);
         r.post_recv(s.id(), Tag(2), 4096).unwrap();
-        let (_sa, ra) = run_pair(&mut s, &mut r);
-        assert_eq!(recv_complete_data(&ra).unwrap(), data, "mode {mode:?}");
+        let (_sa, _ra) = run_pair(&mut s, &mut r);
+        assert_eq!(recv_complete_data(&mut r).unwrap(), data, "mode {mode:?}");
     }
 }
 
@@ -175,7 +187,7 @@ fn early_receiver_uses_one_copy_path() {
     r.post_recv(s.id(), Tag(3), 4096).unwrap();
     s.post_send(r.id(), Tag(3), data.clone()).unwrap();
     let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     let (_, staged) = count_copies(&ra, CopyKind::PushToPushedBuffer);
     assert_eq!(staged, 0, "early receiver must not stage data");
     let (_, direct_push) = count_copies(&ra, CopyKind::PushDirect);
@@ -192,7 +204,7 @@ fn late_receiver_uses_two_copy_path_for_pushed_bytes() {
     let _ = run_pair(&mut s, &mut r);
     r.post_recv(s.id(), Tag(3), 4096).unwrap();
     let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     // The eagerly pushed 760 bytes were staged and then drained.
     let (_, staged) = count_copies(&ra, CopyKind::DrainPushedBuffer);
     assert_eq!(staged, 760);
@@ -214,8 +226,8 @@ fn push_all_sends_everything_eagerly() {
     let data = payload(8192);
     r.post_recv(s.id(), Tag(0), 8192).unwrap();
     s.post_send(r.id(), Tag(0), data.clone()).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     assert_eq!(s.stats().bytes_pushed, 8192);
     assert_eq!(s.stats().bytes_pulled, 0);
     assert_eq!(r.stats().pull_requests_sent, 0);
@@ -228,8 +240,8 @@ fn push_zero_pulls_everything() {
     let data = payload(8192);
     r.post_recv(s.id(), Tag(0), 8192).unwrap();
     s.post_send(r.id(), Tag(0), data.clone()).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     assert_eq!(s.stats().bytes_pushed, 0);
     assert_eq!(s.stats().bytes_pulled, 8192);
     assert_eq!(r.stats().pull_requests_sent, 1);
@@ -242,8 +254,8 @@ fn push_pull_splits_push_and_pull() {
     let data = payload(8192);
     r.post_recv(s.id(), Tag(0), 8192).unwrap();
     s.post_send(r.id(), Tag(0), data.clone()).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     assert_eq!(s.stats().bytes_pushed, 760);
     assert_eq!(s.stats().bytes_pulled, 8192 - 760);
     assert_eq!(s.stats().pull_requests_served, 1);
@@ -256,8 +268,8 @@ fn short_message_needs_no_pull_in_push_pull_mode() {
     let data = payload(500);
     r.post_recv(s.id(), Tag(0), 500).unwrap();
     s.post_send(r.id(), Tag(0), data.clone()).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     assert_eq!(r.stats().pull_requests_sent, 0);
     assert_eq!(s.stats().bytes_pulled, 0);
 }
@@ -419,9 +431,13 @@ fn push_all_overflows_small_pushed_buffer_and_recovers() {
     let mut out_s = Vec::new();
     let mut out_r = Vec::new();
     let mut posted = false;
+    let mut delivered: Option<Bytes> = None;
     for _ in 0..100_000 {
         let mut progressed = pump(&mut s, &mut r, &mut out_s, &mut timers);
         progressed |= pump(&mut r, &mut s, &mut out_r, &mut timers);
+        if delivered.is_none() {
+            delivered = recv_complete_data(&mut r);
+        }
         if !posted && r.stats().frames_dropped > 0 {
             // Without a posted receive the 8 KiB eager transfer cannot fit in
             // the 4 KiB pushed buffer: frames were dropped.  Now post it.
@@ -430,7 +446,7 @@ fn push_all_overflows_small_pushed_buffer_and_recovers() {
             continue;
         }
         if !progressed {
-            if recv_complete_data(&out_r).is_some() || timers.is_empty() {
+            if delivered.is_some() || timers.is_empty() {
                 break;
             }
             let (owner, timer) = timers.remove(0);
@@ -443,7 +459,7 @@ fn push_all_overflows_small_pushed_buffer_and_recovers() {
     }
     assert!(posted, "overflow drop never happened");
     assert!(r.stats().frames_dropped > 0, "expected overflow drops");
-    assert_eq!(recv_complete_data(&out_r).unwrap(), data);
+    assert_eq!(delivered.unwrap(), data);
     let gbn = s.channel_stats(r.id()).unwrap();
     assert!(gbn.retransmissions > 0, "go-back-N must have retransmitted");
 }
@@ -459,8 +475,8 @@ fn push_pull_does_not_overflow_small_pushed_buffer() {
     let _ = run_pair(&mut s, &mut r);
     assert_eq!(r.stats().frames_dropped, 0);
     r.post_recv(s.id(), Tag(0), 8192).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert_eq!(recv_complete_data(&ra).unwrap(), data);
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
     let gbn = s.channel_stats(r.id()).unwrap();
     assert_eq!(gbn.retransmissions, 0);
 }
@@ -480,20 +496,21 @@ fn messages_match_by_tag() {
     // Post the receives in the opposite tag order.
     let h2 = r.post_recv(s.id(), Tag(2), 2000).unwrap();
     let h1 = r.post_recv(s.id(), Tag(1), 100).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    let completions: Vec<(RecvHandle, Bytes)> = ra
-        .iter()
-        .filter_map(|a| match a {
-            Action::RecvComplete { handle, data, .. } => Some((*handle, data.clone())),
-            _ => None,
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    let done: Vec<(OpId, Bytes)> = completions(&mut r)
+        .into_iter()
+        .map(|c| {
+            assert_eq!(c.status, Status::Ok);
+            let data = c.data.clone().unwrap();
+            (c.op, data)
         })
         .collect();
-    assert_eq!(completions.len(), 2);
-    for (handle, data) in completions {
-        if handle == h1 {
+    assert_eq!(done.len(), 2);
+    for (op, data) in done {
+        if op == OpId::Recv(h1) {
             assert_eq!(data, data_a);
         } else {
-            assert_eq!(handle, h2);
+            assert_eq!(op, OpId::Recv(h2));
             assert_eq!(data, data_b);
         }
     }
@@ -510,12 +527,12 @@ fn multiple_messages_same_tag_arrive_in_order() {
     for m in &msgs {
         r.post_recv(s.id(), Tag(7), m.len()).unwrap();
     }
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    let received: Vec<Bytes> = ra
-        .iter()
-        .filter_map(|a| match a {
-            Action::RecvComplete { data, .. } => Some(data.clone()),
-            _ => None,
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    let received: Vec<Bytes> = completions(&mut r)
+        .into_iter()
+        .filter_map(|c| match c.op {
+            OpId::Recv(_) => c.data,
+            OpId::Send(_) => None,
         })
         .collect();
     assert_eq!(received.len(), 4);
@@ -546,15 +563,293 @@ fn self_send_rejected() {
 fn receive_smaller_than_message_fails() {
     let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
     let (mut s, mut r) = internode_pair(cfg);
-    s.post_send(r.id(), Tag(0), payload(4096)).unwrap();
+    let data = payload(4096);
+    s.post_send(r.id(), Tag(0), data.clone()).unwrap();
     let _ = run_pair(&mut s, &mut r);
-    // Message already buffered; a too-small receive is rejected immediately.
-    let err = r.post_recv(s.id(), Tag(0), 100).unwrap_err();
-    assert!(matches!(err, Error::ReceiveTooSmall { .. }));
+    // Message already buffered; a too-small receive completes with an error
+    // (and, under the default policy, leaves the message unharmed).
+    let small = r.post_recv(s.id(), Tag(0), 100).unwrap();
+    let failed = completions(&mut r)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(small))
+        .expect("error completion");
+    assert!(matches!(
+        failed.status,
+        Status::Error(Error::ReceiveTooSmall {
+            posted: 100,
+            incoming: 4096
+        })
+    ));
     // A correctly sized receive posted afterwards still gets the message.
     r.post_recv(s.id(), Tag(0), 4096).unwrap();
-    let (_sa, ra) = run_pair(&mut s, &mut r);
-    assert!(recv_complete_data(&ra).is_some());
+    let (_sa, _ra) = run_pair(&mut s, &mut r);
+    assert_eq!(recv_complete_data(&mut r).unwrap(), data);
+}
+
+// ---------------------------------------------------------------------------
+// Operations layer: wildcards, cancellation, truncation, caller buffers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wildcard_receive_matches_any_source_and_tag() {
+    use crate::types::{ANY_SOURCE, ANY_TAG};
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(3000);
+    let op = r.post_recv(ANY_SOURCE, ANY_TAG, 4096).unwrap();
+    s.post_send(r.id(), Tag(99), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    let done = completions(&mut r)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(op))
+        .expect("wildcard receive completed");
+    assert_eq!(done.status, Status::Ok);
+    // The completion reports the concrete source and tag, not the selector.
+    assert_eq!(done.peer, s.id());
+    assert_eq!(done.tag, Tag(99));
+    assert_eq!(done.data.unwrap(), data);
+}
+
+#[test]
+fn wildcard_receive_claims_buffered_unexpected_message() {
+    use crate::types::ANY_SOURCE;
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(2048);
+    s.post_send(r.id(), Tag(5), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    // The message sits unexpected; an any-source receive takes it.
+    let op = r.post_recv(ANY_SOURCE, Tag(5), 2048).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    let done = completions(&mut r)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(op))
+        .expect("completed");
+    assert_eq!(done.data.unwrap(), data);
+}
+
+#[test]
+fn cancelled_receive_completes_cancelled_and_never_again() {
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let op = r.post_recv(s.id(), Tag(1), 4096).unwrap();
+    assert!(r.cancel(op), "pending receive must cancel");
+    assert!(!r.cancel(op), "second cancel must fail (stale handle)");
+    let done = completions(&mut r);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].status, Status::Cancelled);
+    assert_eq!(done[0].op, OpId::Recv(op));
+    // A message arriving afterwards must not complete the cancelled op; it
+    // waits for the replacement receive instead.
+    let data = payload(1000);
+    s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    assert!(
+        completions(&mut r).is_empty(),
+        "cancelled op must stay silent"
+    );
+    let op2 = r.post_recv(s.id(), Tag(1), 4096).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    let done = completions(&mut r);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].op, OpId::Recv(op2));
+    assert_eq!(done[0].data.as_ref().unwrap(), &data);
+}
+
+#[test]
+fn matched_receive_cannot_be_cancelled() {
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let op = r.post_recv(s.id(), Tag(1), 8192).unwrap();
+    s.post_send(r.id(), Tag(1), payload(8192)).unwrap();
+    // Deliver only the eager pushes so the receive is matched but not
+    // complete: pump once without firing timers or serving the pull.
+    let mut out = Vec::new();
+    let mut timers = Vec::new();
+    pump(&mut s, &mut r, &mut out, &mut timers);
+    assert!(!r.cancel(op), "matched receive must refuse cancellation");
+    let _ = run_pair(&mut s, &mut r);
+    assert_eq!(
+        completions(&mut r)
+            .iter()
+            .filter(|c| c.op == OpId::Recv(op))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn truncation_error_policy_preserves_message_for_next_receive() {
+    // The ROADMAP PR-1 poisoning bug: a too-small receive used to drop the
+    // message's first fragment with its state, hanging the next receive.
+    for recv_first in [false, true] {
+        let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+        let (mut s, mut r) = internode_pair(cfg);
+        let data = payload(8192);
+        let small = if recv_first {
+            let op = r.post_recv(s.id(), Tag(3), 64).unwrap();
+            s.post_send(r.id(), Tag(3), data.clone()).unwrap();
+            op
+        } else {
+            s.post_send(r.id(), Tag(3), data.clone()).unwrap();
+            let _ = run_pair(&mut s, &mut r);
+            r.post_recv(s.id(), Tag(3), 64).unwrap()
+        };
+        let _ = run_pair(&mut s, &mut r);
+        let failed = completions(&mut r)
+            .into_iter()
+            .find(|c| c.op == OpId::Recv(small))
+            .expect("error completion");
+        assert!(
+            matches!(failed.status, Status::Error(Error::ReceiveTooSmall { .. })),
+            "recv_first {recv_first}"
+        );
+        // The message is unharmed: an adequate receive gets every byte.
+        let ok = r.post_recv(s.id(), Tag(3), 8192).unwrap();
+        let _ = run_pair(&mut s, &mut r);
+        let done = completions(&mut r)
+            .into_iter()
+            .find(|c| c.op == OpId::Recv(ok))
+            .unwrap_or_else(|| panic!("no recovery completion, recv_first {recv_first}"));
+        assert_eq!(done.status, Status::Ok, "recv_first {recv_first}");
+        assert_eq!(done.data.unwrap(), data, "recv_first {recv_first}");
+    }
+}
+
+#[test]
+fn truncate_policy_delivers_prefix() {
+    for recv_first in [false, true] {
+        let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+        let (mut s, mut r) = internode_pair(cfg);
+        let data = payload(4096);
+        let op = if recv_first {
+            let op = r
+                .post_recv_with(s.id(), Tag(1), 100, TruncationPolicy::Truncate)
+                .unwrap();
+            s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+            op
+        } else {
+            s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+            let _ = run_pair(&mut s, &mut r);
+            r.post_recv_with(s.id(), Tag(1), 100, TruncationPolicy::Truncate)
+                .unwrap()
+        };
+        let _ = run_pair(&mut s, &mut r);
+        let done = completions(&mut r)
+            .into_iter()
+            .find(|c| c.op == OpId::Recv(op))
+            .unwrap_or_else(|| panic!("no completion, recv_first {recv_first}"));
+        assert_eq!(
+            done.status,
+            Status::Truncated { message_len: 4096 },
+            "recv_first {recv_first}"
+        );
+        assert_eq!(done.len, 100);
+        assert_eq!(done.data.unwrap(), data.slice(..100));
+        assert!(s.idle() && r.idle(), "recv_first {recv_first}");
+    }
+}
+
+#[test]
+fn recv_into_reassembles_into_caller_buffer() {
+    for recv_first in [false, true] {
+        for len in [0usize, 1, 80, 760, 1461, 8192] {
+            let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+            let (mut s, mut r) = internode_pair(cfg);
+            let data = payload(len);
+            let buf = RecvBuf::with_capacity(8192);
+            let op = if recv_first {
+                let op = r
+                    .post_recv_into(s.id(), Tag(1), buf, TruncationPolicy::Error)
+                    .unwrap();
+                s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+                op
+            } else {
+                s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+                let _ = run_pair(&mut s, &mut r);
+                r.post_recv_into(s.id(), Tag(1), buf, TruncationPolicy::Error)
+                    .unwrap()
+            };
+            let _ = run_pair(&mut s, &mut r);
+            let done = completions(&mut r)
+                .into_iter()
+                .find(|c| c.op == OpId::Recv(op))
+                .unwrap_or_else(|| panic!("no completion, recv_first {recv_first} len {len}"));
+            assert_eq!(done.status, Status::Ok, "recv_first {recv_first} len {len}");
+            assert!(done.data.is_none());
+            let buf = done.buf.expect("caller buffer handed back");
+            assert_eq!(buf.len(), len, "recv_first {recv_first} len {len}");
+            assert_eq!(
+                buf.as_slice(),
+                &data[..],
+                "recv_first {recv_first} len {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recycled_recv_buf_reads_empty_when_returned_unused() {
+    // A buffer that carried a message last time must not present those
+    // stale bytes when it comes back from a cancelled (or failed) receive.
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(1024);
+    let op = r
+        .post_recv_into(
+            s.id(),
+            Tag(1),
+            RecvBuf::with_capacity(1024),
+            TruncationPolicy::Error,
+        )
+        .unwrap();
+    s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    let done = completions(&mut r)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(op))
+        .unwrap();
+    let buf = done.buf.unwrap();
+    assert_eq!(buf.as_slice(), &data[..]);
+    // Recycle, post again, cancel before any match.
+    let op2 = r
+        .post_recv_into(s.id(), Tag(2), buf, TruncationPolicy::Error)
+        .unwrap();
+    assert!(r.cancel(op2));
+    let cancelled = completions(&mut r)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(op2))
+        .unwrap();
+    assert_eq!(cancelled.status, Status::Cancelled);
+    assert_eq!(cancelled.payload(), Some(&[][..]));
+    let buf = cancelled.buf.unwrap();
+    assert_eq!(buf.len(), 0, "unused buffer must read empty");
+    assert!(buf.as_slice().is_empty());
+}
+
+#[test]
+fn recv_into_truncates_into_small_buffer() {
+    let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);
+    let (mut s, mut r) = internode_pair(cfg);
+    let data = payload(4096);
+    let op = r
+        .post_recv_into(
+            s.id(),
+            Tag(1),
+            RecvBuf::with_capacity(128),
+            TruncationPolicy::Truncate,
+        )
+        .unwrap();
+    s.post_send(r.id(), Tag(1), data.clone()).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    let done = completions(&mut r)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(op))
+        .expect("completion");
+    assert_eq!(done.status, Status::Truncated { message_len: 4096 });
+    let buf = done.buf.unwrap();
+    assert_eq!(buf.len(), 128);
+    assert_eq!(buf.as_slice(), &data[..128]);
 }
 
 #[test]
@@ -579,5 +874,3 @@ fn dynamic_pushed_buffer_resize() {
     e.resize_pushed_buffer(64 * 1024);
     assert_eq!(e.config().pushed_buffer_capacity, 64 * 1024);
 }
-
-use crate::types::RecvHandle;

@@ -13,14 +13,41 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// forbids all map to a variant here.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
-    /// A packet could not be decoded from its wire representation.
-    MalformedPacket {
-        /// Human-readable description of what failed to parse.
-        reason: String,
+    /// A packet's fixed-size header was cut short on the wire.  All decode
+    /// errors are field-carrying (no `String`) so the per-packet decode path
+    /// never allocates just to reject garbage.
+    TruncatedHeader {
+        /// Bytes a full header requires.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
     },
-    /// A packet carried an unrecognised kind byte.  Kept separate from
-    /// [`Error::MalformedPacket`] so the decode hot path can report the raw
-    /// byte without allocating a `String`.
+    /// A packet's payload was shorter than its header declared.
+    TruncatedPayload {
+        /// Payload bytes the header declared.
+        need: usize,
+        /// Payload bytes actually present.
+        have: usize,
+    },
+    /// A packet was constructed with a payload whose length contradicts its
+    /// header.
+    PayloadLenMismatch {
+        /// Payload length the header declares.
+        declared: usize,
+        /// Length of the payload actually supplied.
+        actual: usize,
+    },
+    /// A go-back-N frame was too short to carry its sequencing header.
+    TruncatedFrame {
+        /// Bytes actually available (a frame header needs 9).
+        have: usize,
+    },
+    /// A go-back-N frame carried an unrecognised kind byte.
+    UnknownFrameKind {
+        /// The unrecognised kind byte.
+        byte: u8,
+    },
+    /// A packet carried an unrecognised kind byte.
     UnknownPacketKind {
         /// The unrecognised kind byte.
         byte: u8,
@@ -75,7 +102,24 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
+            Error::TruncatedHeader { need, have } => write!(
+                f,
+                "malformed packet: truncated header ({have} bytes available, {need} required)"
+            ),
+            Error::TruncatedPayload { need, have } => write!(
+                f,
+                "malformed packet: truncated payload ({have} bytes present, {need} expected)"
+            ),
+            Error::PayloadLenMismatch { declared, actual } => write!(
+                f,
+                "malformed packet: payload length {actual} does not match header payload_len {declared}"
+            ),
+            Error::TruncatedFrame { have } => {
+                write!(f, "malformed frame: {have} bytes is too short")
+            }
+            Error::UnknownFrameKind { byte } => {
+                write!(f, "malformed frame: unknown frame kind {byte}")
+            }
             Error::UnknownPacketKind { byte } => {
                 write!(f, "malformed packet: unknown packet kind {byte}")
             }

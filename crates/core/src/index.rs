@@ -17,9 +17,9 @@
 //!   scans into O(1) amortized bucket operations.
 //!
 //! Every structure counts the allocations it performs ([`Slab::alloc_events`]
-//! &c.), which is how [`EndpointStats::steady_allocs`]
-//! (crate::engine::EndpointStats) detects a hot path that regressed into
-//! allocating.
+//! &c.), which is how
+//! [`EndpointStats::steady_allocs`](crate::engine::EndpointStats::steady_allocs)
+//! detects a hot path that regressed into allocating.
 
 /// Sentinel index meaning "no slot" in intrusive links.
 pub const NIL: u32 = u32::MAX;

@@ -34,8 +34,15 @@
 //! protocol (**Push-Zero**); setting `BTP = n` degenerates to a purely eager
 //! protocol (**Push-All**).  Both are implemented and used as baselines.
 //!
+//! ## Operation lifecycle
+//!
+//! `post_send` / `post_recv` return typed, generation-checked handles
+//! ([`SendOp`] / [`RecvOp`]); backends relay the engine's [`Action`]s
+//! (transmissions, copies, timers) while operation results arrive as
+//! [`Completion`]s on a separate per-endpoint completion queue:
+//!
 //! ```
-//! use ppmsg_core::{Endpoint, ProcessId, ProtocolConfig, ProtocolMode, Tag, Action};
+//! use ppmsg_core::{Endpoint, ProcessId, ProtocolConfig, ProtocolMode, Tag, Action, Status};
 //! use bytes::Bytes;
 //!
 //! let cfg = ProtocolConfig::default().with_mode(ProtocolMode::PushPull);
@@ -44,11 +51,10 @@
 //! let mut sender = Endpoint::new(a, cfg.clone());
 //! let mut receiver = Endpoint::new(b, cfg);
 //!
-//! sender.post_send(b, Tag(7), Bytes::from(vec![42u8; 4096]));
-//! receiver.post_recv(a, Tag(7), 4096);
+//! sender.post_send(b, Tag(7), Bytes::from(vec![42u8; 4096])).unwrap();
+//! let op = receiver.post_recv(a, Tag(7), 4096).unwrap();
 //!
 //! // Relay packets between the two endpoints until both sides are idle.
-//! let mut delivered = None;
 //! loop {
 //!     let mut progressed = false;
 //!     while let Some(action) = sender.poll_action() {
@@ -59,17 +65,20 @@
 //!     }
 //!     while let Some(action) = receiver.poll_action() {
 //!         progressed = true;
-//!         match action {
-//!             Action::Transmit { packet, .. } => sender.handle_packet(b, packet),
-//!             Action::RecvComplete { data, .. } => delivered = Some(data),
-//!             _ => {}
+//!         if let Action::Transmit { packet, .. } = action {
+//!             sender.handle_packet(b, packet);
 //!         }
 //!     }
 //!     if !progressed {
 //!         break;
 //!     }
 //! }
-//! assert_eq!(delivered.unwrap().len(), 4096);
+//!
+//! // Results are drained from the completion queue, not the action stream.
+//! let completion = receiver.poll_completion().expect("receive completed");
+//! assert_eq!(completion.op, op.into());
+//! assert_eq!(completion.status, Status::Ok);
+//! assert_eq!(completion.data.unwrap().len(), 4096);
 //! ```
 
 #![warn(missing_docs)]
@@ -80,6 +89,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod ops;
 pub mod queues;
 pub mod reliability;
 pub mod types;
@@ -91,8 +101,9 @@ pub use config::{OptFlags, ProtocolConfig, ProtocolMode};
 pub use engine::{Action, CopyKind, Endpoint, EndpointStats, InjectMode, TranslateCtx};
 pub use error::{Error, Result};
 pub use index::{Slab, SrcTagMap, U64Index};
+pub use ops::{Completion, OpId, RecvBuf, RecvOp, SendOp, Status, TruncationPolicy};
 pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
 pub use reliability::{GbnConfig, GbnEvent, GoBackN};
-pub use types::{MessageId, NodeId, ProcessId, RecvHandle, SendHandle, Tag, TimerId};
+pub use types::{MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG};
 pub use wire::{Packet, PacketBufPool, PacketHeader, PacketKind, PushPart, MAX_HEADER_LEN};
 pub use zbuf::{AddressTranslator, IdentityTranslator, PhysSegment, ZeroBuffer};

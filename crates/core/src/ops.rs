@@ -1,0 +1,460 @@
+//! The operations layer: typed operation handles, completions, and
+//! caller-owned receive buffers.
+//!
+//! [`Endpoint::post_send`](crate::Endpoint::post_send) and
+//! [`Endpoint::post_recv`](crate::Endpoint::post_recv) return [`SendOp`] /
+//! [`RecvOp`] handles backed by a generation-checked slab (`OpTable`), so
+//! issuing an operation never allocates in steady state and a handle reused
+//! after completion is detected instead of silently aliasing a newer
+//! operation.  Completions are reported through a per-endpoint completion
+//! queue ([`Completion`] records drained with
+//! [`Endpoint::poll_completion`](crate::Endpoint::poll_completion)),
+//! **separate** from the backend-facing [`Action`](crate::Action) stream:
+//! backends route packets, applications consume completions.
+//!
+//! Receives additionally support:
+//!
+//! * **caller-owned buffers** ([`RecvBuf`], posted with
+//!   [`Endpoint::post_recv_into`](crate::Endpoint::post_recv_into)): the
+//!   engine reassembles pushed and pulled fragments directly into the
+//!   caller's storage and hands the buffer back in the completion, making
+//!   even the multi-fragment pull path allocation-free;
+//! * **wildcard matching** ([`ANY_SOURCE`](crate::types::ANY_SOURCE) /
+//!   [`ANY_TAG`](crate::types::ANY_TAG));
+//! * **cancellation** ([`Endpoint::cancel`](crate::Endpoint::cancel)) and
+//!   **truncation policies** ([`TruncationPolicy`]) for receives smaller
+//!   than the arriving message.
+
+use crate::error::Error;
+use crate::queues::merge_interval;
+use crate::types::{ProcessId, Tag};
+use bytes::Bytes;
+use std::fmt;
+
+/// Handle of a posted send operation.
+///
+/// Identifies one in-flight send until its [`Completion`] is produced; the
+/// pair `(slot, generation)` is generation-checked, so a handle held past
+/// completion can never be confused with a newer operation that reuses the
+/// same slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SendOp {
+    slot: u32,
+    generation: u32,
+}
+
+/// Handle of a posted receive operation.
+///
+/// See [`SendOp`] for the generation-checking rationale.  A `RecvOp` can be
+/// cancelled with [`Endpoint::cancel`](crate::Endpoint::cancel) while it is
+/// still unmatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecvOp {
+    slot: u32,
+    generation: u32,
+}
+
+macro_rules! op_impl {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Reconstructs a handle from its raw parts.  Intended for tests,
+            /// benchmarks, and backends that index per-operation state by
+            /// slot; handles used with an engine must originate from it.
+            #[inline]
+            pub fn from_raw(slot: u32, generation: u32) -> Self {
+                Self { slot, generation }
+            }
+
+            /// The dense slab slot of this operation.  Slots are reused after
+            /// completion, so a slot alone does not identify an operation —
+            /// always pair it with [`Self::generation`].
+            #[inline]
+            pub fn slot(&self) -> u32 {
+                self.slot
+            }
+
+            /// The generation the slot had when this operation was issued.
+            #[inline]
+            pub fn generation(&self) -> u32 {
+                self.generation
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}.{}"), self.slot, self.generation)
+            }
+        }
+    };
+}
+
+op_impl!(SendOp, "send");
+op_impl!(RecvOp, "recv");
+
+/// Either kind of operation handle, as carried by a [`Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpId {
+    /// A send operation.
+    Send(SendOp),
+    /// A receive operation.
+    Recv(RecvOp),
+}
+
+impl From<SendOp> for OpId {
+    fn from(op: SendOp) -> Self {
+        OpId::Send(op)
+    }
+}
+
+impl From<RecvOp> for OpId {
+    fn from(op: RecvOp) -> Self {
+        OpId::Recv(op)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpId::Send(op) => op.fmt(f),
+            OpId::Recv(op) => op.fmt(f),
+        }
+    }
+}
+
+/// What a posted receive does when the arriving message is larger than its
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TruncationPolicy {
+    /// The receive completes with [`Status::Error`] carrying
+    /// [`Error::ReceiveTooSmall`]; the message itself is **unharmed** and
+    /// stays queued as unexpected, so the next adequate receive gets it in
+    /// full.  (The seed dropped the message's partial state instead, which
+    /// poisoned it: a later big-enough receive would hang forever waiting for
+    /// the discarded eager prefix.)
+    #[default]
+    Error,
+    /// The receive accepts the message and completes with
+    /// [`Status::Truncated`], delivering the first `capacity` bytes; the
+    /// remainder is discarded on delivery.
+    Truncate,
+}
+
+/// Terminal status of an operation, as reported in its [`Completion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// The operation completed normally.
+    Ok,
+    /// The receive completed but the message was larger than the posted
+    /// buffer; only the first `capacity` bytes were delivered
+    /// ([`TruncationPolicy::Truncate`]).
+    Truncated {
+        /// Full length of the message in bytes (the completion's `len` field
+        /// holds the number of bytes actually delivered).
+        message_len: usize,
+    },
+    /// The receive was cancelled before it matched a message.
+    Cancelled,
+    /// The operation failed.
+    Error(Error),
+}
+
+impl Status {
+    /// `true` for [`Status::Ok`].
+    #[inline]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Status::Ok)
+    }
+}
+
+/// One completed operation, drained from the endpoint's completion queue.
+#[derive(Debug)]
+pub struct Completion {
+    /// The operation this completion belongs to.
+    pub op: OpId,
+    /// The remote process: destination for sends, message source for
+    /// receives.  For a cancelled receive this echoes the posted selector
+    /// (which may be [`ANY_SOURCE`](crate::types::ANY_SOURCE)).
+    pub peer: ProcessId,
+    /// The message tag (the posted selector for cancelled receives).
+    pub tag: Tag,
+    /// Bytes transferred: the message length for sends and complete
+    /// receives, the delivered prefix for truncated receives, `0` for
+    /// cancelled or failed operations.
+    pub len: usize,
+    /// How the operation ended.
+    pub status: Status,
+    /// The message bytes of an engine-buffered receive
+    /// ([`Endpoint::post_recv`](crate::Endpoint::post_recv)).  `None` for
+    /// sends and caller-buffered receives.
+    pub data: Option<Bytes>,
+    /// The caller-owned buffer of a
+    /// [`post_recv_into`](crate::Endpoint::post_recv_into) receive, handed
+    /// back for reuse (also on cancellation and failure).
+    pub buf: Option<RecvBuf>,
+}
+
+impl Completion {
+    /// The delivered message bytes of a receive completion, regardless of
+    /// whether the receive was engine-buffered or caller-buffered.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match (&self.data, &self.buf) {
+            (Some(data), _) => Some(&data[..]),
+            (None, Some(buf)) => Some(buf.as_slice()),
+            (None, None) => None,
+        }
+    }
+}
+
+/// A caller-owned destination buffer for
+/// [`post_recv_into`](crate::Endpoint::post_recv_into).
+///
+/// The engine reassembles the message's pushed and pulled fragments directly
+/// into this storage — no engine-side assembly buffer, no owned-`Bytes`
+/// handoff — and returns the buffer in the [`Completion`].  Reusing one
+/// `RecvBuf` across receives makes the pull path allocation-free in steady
+/// state.
+///
+/// A buffer smaller than the arriving message behaves according to the
+/// posted [`TruncationPolicy`].
+#[derive(Debug, Default)]
+pub struct RecvBuf {
+    /// Caller storage; `data.len()` is the capacity of the receive.
+    data: Vec<u8>,
+    /// Sorted, disjoint covered `[start, end)` intervals over the *message*
+    /// range `[0, total)` (which may exceed the capacity when truncating).
+    covered: Vec<(usize, usize)>,
+    received: usize,
+    total: usize,
+}
+
+impl RecvBuf {
+    /// Creates a buffer able to receive messages of up to `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecvBuf {
+            data: vec![0u8; capacity],
+            covered: Vec::new(),
+            received: 0,
+            total: 0,
+        }
+    }
+
+    /// Wraps caller storage; the vector's length is the receive capacity.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        RecvBuf {
+            data,
+            covered: Vec::new(),
+            received: 0,
+            total: 0,
+        }
+    }
+
+    /// The receive capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of message bytes present after a completed receive
+    /// (`min(message length, capacity)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.total.min(self.data.len())
+    }
+
+    /// `true` when no message bytes are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The delivered message bytes (valid after the completion).
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        let len = self.len();
+        &self.data[..len]
+    }
+
+    /// Unwraps the underlying storage.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Re-initialises the buffer for a message of `total` bytes, keeping the
+    /// interval list's capacity.
+    pub(crate) fn begin(&mut self, total: usize) {
+        self.covered.clear();
+        self.received = 0;
+        self.total = total;
+    }
+
+    /// Records a fragment at `offset` in the message, copying the bytes that
+    /// fit below the capacity and counting coverage over the full message
+    /// range.  Returns the number of newly covered message bytes.
+    pub(crate) fn write_at(&mut self, offset: usize, fragment: &[u8]) -> usize {
+        if offset >= self.total || fragment.is_empty() {
+            return 0;
+        }
+        let end = (offset + fragment.len()).min(self.total);
+        let copy_end = end.min(self.data.len());
+        if offset < copy_end {
+            self.data[offset..copy_end].copy_from_slice(&fragment[..copy_end - offset]);
+        }
+        let newly = merge_interval(&mut self.covered, offset, end);
+        self.received += newly;
+        newly
+    }
+
+    /// `true` once every byte of the message range has been received.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.received == self.total
+    }
+}
+
+/// A generation-checked slab of in-flight operations.
+///
+/// Issuing an operation pops a recycled slot (or grows the arena once, at
+/// peak working-set size); completing it bumps the slot's generation so any
+/// held handle goes stale.  Steady-state post/complete cycles never allocate;
+/// growth is counted in [`OpTable::alloc_events`].
+#[derive(Debug)]
+pub(crate) struct OpTable<T> {
+    slots: Vec<(u32, Option<T>)>,
+    free: Vec<u32>,
+    alloc_events: u64,
+}
+
+impl<T> Default for OpTable<T> {
+    fn default() -> Self {
+        OpTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            alloc_events: 0,
+        }
+    }
+}
+
+impl<T> OpTable<T> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value`, returning `(slot, generation)`.
+    pub(crate) fn insert(&mut self, value: T) -> (u32, u32) {
+        if let Some(slot) = self.free.pop() {
+            let entry = &mut self.slots[slot as usize];
+            debug_assert!(entry.1.is_none());
+            entry.1 = Some(value);
+            return (slot, entry.0);
+        }
+        if self.slots.len() == self.slots.capacity() {
+            self.alloc_events += 1;
+        }
+        let slot = self.slots.len() as u32;
+        self.slots.push((0, Some(value)));
+        (slot, 0)
+    }
+
+    pub(crate) fn get_mut(&mut self, slot: u32, generation: u32) -> Option<&mut T> {
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.0 != generation {
+            return None;
+        }
+        entry.1.as_mut()
+    }
+
+    /// Removes the operation, bumping the slot generation so the handle goes
+    /// stale, and recycles the slot.
+    pub(crate) fn remove(&mut self, slot: u32, generation: u32) -> Option<T> {
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.0 != generation {
+            return None;
+        }
+        let value = entry.1.take()?;
+        entry.0 = entry.0.wrapping_add(1);
+        if self.free.len() == self.free.capacity() {
+            self.alloc_events += 1;
+        }
+        self.free.push(slot);
+        Some(value)
+    }
+
+    /// Number of live operations.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Number of heap allocations this table has performed.
+    pub(crate) fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_table_generation_checking() {
+        let mut t: OpTable<&'static str> = OpTable::new();
+        let (slot, g0) = t.insert("a");
+        assert_eq!(t.get_mut(slot, g0), Some(&mut "a"));
+        assert_eq!(t.remove(slot, g0), Some("a"));
+        // Stale handle: same slot, old generation.
+        assert_eq!(t.get_mut(slot, g0), None);
+        assert_eq!(t.remove(slot, g0), None);
+        // Slot is recycled with a new generation.
+        let (slot2, g1) = t.insert("b");
+        assert_eq!(slot2, slot);
+        assert_ne!(g1, g0);
+        assert_eq!(t.get_mut(slot, g0), None);
+        assert_eq!(t.get_mut(slot, g1), Some(&mut "b"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn op_table_steady_cycle_does_not_allocate() {
+        let mut t: OpTable<u64> = OpTable::new();
+        for i in 0..4 {
+            t.insert(i);
+        }
+        for slot in 0..4u32 {
+            t.remove(slot, 0).unwrap();
+        }
+        let allocs = t.alloc_events();
+        for round in 0..10_000u64 {
+            let (slot, generation) = t.insert(round);
+            assert_eq!(t.remove(slot, generation), Some(round));
+        }
+        assert_eq!(t.alloc_events(), allocs, "steady churn must not allocate");
+    }
+
+    #[test]
+    fn recv_buf_reassembles_and_clamps() {
+        let mut buf = RecvBuf::with_capacity(8);
+        buf.begin(12); // message larger than the buffer: truncating receive
+        assert_eq!(buf.write_at(4, &[4, 5, 6, 7, 8, 9, 10, 11]), 8);
+        assert_eq!(buf.write_at(0, &[0, 1, 2, 3]), 4);
+        assert!(buf.is_complete());
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Duplicates do not double-count.
+        assert_eq!(buf.write_at(0, &[0, 1]), 0);
+        // Reuse for a smaller message.
+        buf.begin(3);
+        assert!(!buf.is_complete());
+        assert_eq!(buf.write_at(0, &[9, 9, 9]), 3);
+        assert!(buf.is_complete());
+        assert_eq!(buf.as_slice(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn op_display_and_raw_roundtrip() {
+        let op = RecvOp::from_raw(3, 7);
+        assert_eq!(op.slot(), 3);
+        assert_eq!(op.generation(), 7);
+        assert_eq!(op.to_string(), "recv3.7");
+        assert_eq!(SendOp::from_raw(1, 0).to_string(), "send1.0");
+        assert_eq!(OpId::from(op), OpId::Recv(op));
+    }
+}

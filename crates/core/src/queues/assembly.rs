@@ -2,6 +2,37 @@
 
 use bytes::Bytes;
 
+/// Merges `[start, end)` into a sorted, disjoint interval list in place,
+/// returning the number of *newly covered* positions.
+///
+/// This is the coverage-tracking core shared by [`Assembly`] (engine-owned
+/// reassembly buffers) and [`RecvBuf`](crate::ops::RecvBuf) (caller-owned
+/// destination buffers).  The list stays sorted and disjoint, so the new
+/// interval overlaps (or touches) at most one contiguous run of existing
+/// intervals and no temporary list is allocated — this runs once per
+/// arriving fragment on the hot path.
+pub(crate) fn merge_interval(cov: &mut Vec<(usize, usize)>, start: usize, end: usize) -> usize {
+    let i = cov.partition_point(|&(_, e)| e < start);
+    if i == cov.len() || cov[i].0 > end {
+        // No overlap and no adjacency: plain insertion.
+        cov.insert(i, (start, end));
+        return end - start;
+    }
+    let mut existing = 0;
+    let mut new_start = start;
+    let mut new_end = end;
+    let mut j = i;
+    while j < cov.len() && cov[j].0 <= end {
+        existing += cov[j].1 - cov[j].0;
+        new_start = new_start.min(cov[j].0);
+        new_end = new_end.max(cov[j].1);
+        j += 1;
+    }
+    cov[i] = (new_start, new_end);
+    cov.drain(i + 1..j);
+    (new_end - new_start) - existing
+}
+
 /// Reassembles one incoming message from fragments arriving at arbitrary
 /// offsets (first push, second push, pulled packets).
 ///
@@ -82,37 +113,16 @@ impl Assembly {
         }
         let len = fragment.len().min(self.data.len() - offset);
         self.data[offset..offset + len].copy_from_slice(&fragment[..len]);
-        self.mark_covered(offset, offset + len)
-    }
-
-    fn mark_covered(&mut self, start: usize, end: usize) -> usize {
-        // In-place sorted-interval merge: the list stays sorted and disjoint,
-        // so the new interval overlaps (or touches) at most one contiguous
-        // run of existing intervals.  No temporary list is allocated — this
-        // runs once per arriving fragment on the hot path.
-        let cov = &mut self.covered;
-        let i = cov.partition_point(|&(_, e)| e < start);
-        if i == cov.len() || cov[i].0 > end {
-            // No overlap and no adjacency: plain insertion.
-            cov.insert(i, (start, end));
-            self.received += end - start;
-            return end - start;
-        }
-        let mut existing = 0;
-        let mut new_start = start;
-        let mut new_end = end;
-        let mut j = i;
-        while j < cov.len() && cov[j].0 <= end {
-            existing += cov[j].1 - cov[j].0;
-            new_start = new_start.min(cov[j].0);
-            new_end = new_end.max(cov[j].1);
-            j += 1;
-        }
-        cov[i] = (new_start, new_end);
-        cov.drain(i + 1..j);
-        let newly = (new_end - new_start) - existing;
+        let newly = merge_interval(&mut self.covered, offset, offset + len);
         self.received += newly;
         newly
+    }
+
+    /// The sorted, disjoint covered `[start, end)` intervals recorded so far
+    /// (used when draining a partially assembled message into a caller-owned
+    /// buffer: only genuinely received bytes may be marked covered there).
+    pub(crate) fn covered_intervals(&self) -> &[(usize, usize)] {
+        &self.covered
     }
 
     /// Consumes the assembly and returns the message bytes.  The caller is

@@ -18,6 +18,9 @@ pub struct UnexpectedKey {
 struct Node {
     key: UnexpectedKey,
     tag: Tag,
+    /// Global arrival sequence, used to arbitrate FIFO order across buckets
+    /// when a wildcard receive scans for the oldest matching message.
+    seq: u64,
     /// Next-younger unexpected message with the same `(src, tag)`, or
     /// [`NIL`].
     next: u32,
@@ -40,6 +43,7 @@ struct Node {
 pub struct BufferQueue {
     nodes: Slab<Node>,
     buckets: SrcTagMap,
+    next_seq: u64,
 }
 
 impl BufferQueue {
@@ -54,6 +58,8 @@ impl BufferQueue {
     #[inline]
     pub fn insert(&mut self, key: UnexpectedKey, tag: Tag) {
         let src = key.src.as_u64();
+        let seq = self.next_seq;
+        self.next_seq += 1;
         match self.buckets.get(src, tag.0) {
             Some(chain) => {
                 // Duplicate check only walks this message's own (src, tag)
@@ -70,6 +76,7 @@ impl BufferQueue {
                 let slot = self.nodes.insert(Node {
                     key,
                     tag,
+                    seq,
                     next: NIL,
                 });
                 let chain = self
@@ -92,6 +99,7 @@ impl BufferQueue {
                 let slot = self.nodes.insert(Node {
                     key,
                     tag,
+                    seq,
                     next: NIL,
                 });
                 self.buckets.set(
@@ -106,25 +114,50 @@ impl BufferQueue {
         }
     }
 
-    /// Finds and removes the oldest unexpected message from `src` with `tag`.
-    /// Buckets persist after draining, as in
-    /// [`ReceiveQueue`](crate::queues::ReceiveQueue).
+    /// Returns (without removing) the oldest unexpected message matching a
+    /// posted receive's selector, which may use
+    /// [`ANY_SOURCE`](crate::types::ANY_SOURCE) /
+    /// [`ANY_TAG`](crate::types::ANY_TAG) wildcards.  The message's concrete
+    /// key and tag are returned so the caller can claim it with
+    /// [`BufferQueue::remove_with_tag`] once it decides to consume it.
+    ///
+    /// The exact-selector path is a single O(1) bucket probe; a wildcard
+    /// selector scans the (short) set of pending unexpected messages for the
+    /// smallest arrival sequence — posting a wildcard receive is not a
+    /// per-packet operation, so the scan is off the hot path.
+    pub fn peek_unexpected(&self, src: ProcessId, tag: Tag) -> Option<(UnexpectedKey, Tag)> {
+        if !src.is_any_source() && !tag.is_any() {
+            let chain = self.buckets.get(src.as_u64(), tag.0)?;
+            if chain.head == NIL {
+                return None;
+            }
+            let node = self
+                .nodes
+                .get(chain.head)
+                .expect("bucket head must be live");
+            return Some((node.key, node.tag));
+        }
+        let mut best: Option<&Node> = None;
+        for (_, node) in self.nodes.iter() {
+            let src_ok = src.is_any_source() || node.key.src == src;
+            let tag_ok = tag.is_any() || node.tag == tag;
+            if src_ok && tag_ok && best.map(|b| node.seq < b.seq).unwrap_or(true) {
+                best = Some(node);
+            }
+        }
+        best.map(|node| (node.key, node.tag))
+    }
+
+    /// Finds and removes the oldest unexpected message matching `src` and
+    /// `tag` (wildcards allowed): a peek-and-claim convenience over
+    /// [`BufferQueue::peek_unexpected`] + [`BufferQueue::remove_with_tag`],
+    /// so there is exactly one copy of the FIFO-pop logic.  The engine
+    /// itself peeks first (it may decide *not* to claim a too-small match).
     #[inline]
     pub fn match_posted(&mut self, src: ProcessId, tag: Tag) -> Option<UnexpectedKey> {
-        let key = src.as_u64();
-        let chain = self.buckets.get_mut(key, tag.0)?;
-        let head = chain.head;
-        if head == NIL {
-            return None;
-        }
-        let node = self.nodes.remove(head).expect("bucket head must be live");
-        if node.next == NIL {
-            chain.head = NIL;
-            chain.tail = NIL;
-        } else {
-            chain.head = node.next;
-        }
-        Some(node.key)
+        let (key, msg_tag) = self.peek_unexpected(src, tag)?;
+        self.remove_with_tag(key, msg_tag);
+        Some(key)
     }
 
     /// Removes a specific unexpected message whose tag is known (the engine
@@ -251,6 +284,32 @@ mod tests {
         assert!(q.remove(key(a, 1)));
         assert!(!q.remove(key(a, 1)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_unexpected_honours_wildcards_in_arrival_order() {
+        use crate::types::{ANY_SOURCE, ANY_TAG};
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        q.insert(key(b, 1), Tag(5));
+        q.insert(key(a, 2), Tag(6));
+        q.insert(key(a, 3), Tag(5));
+        // Exact peek: oldest in its own bucket.
+        assert_eq!(q.peek_unexpected(a, Tag(5)).unwrap().0.msg_id, MessageId(3));
+        // Any-source peek: oldest with the tag across sources.
+        assert_eq!(
+            q.peek_unexpected(ANY_SOURCE, Tag(5)).unwrap().0.msg_id,
+            MessageId(1)
+        );
+        // Any-tag peek: oldest from the source.
+        assert_eq!(q.peek_unexpected(a, ANY_TAG).unwrap().0, key(a, 2));
+        // Fully wild: global oldest, with its concrete tag reported.
+        let (k, tag) = q.peek_unexpected(ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!(k, key(b, 1));
+        assert_eq!(tag, Tag(5));
+        // Peek does not remove.
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

@@ -20,6 +20,7 @@ mod pushed_buffer;
 mod recv_queue;
 mod send_queue;
 
+pub(crate) use assembly::merge_interval;
 pub use assembly::Assembly;
 pub use buffer_queue::{BufferQueue, UnexpectedKey};
 pub use pushed_buffer::{PushedBuffer, PushedBufferStats};

@@ -2,28 +2,42 @@
 //! an incoming message.
 
 use crate::index::{Chain, Slab, SrcTagMap, NIL};
-use crate::types::{ProcessId, RecvHandle, Tag};
+use crate::ops::{RecvOp, TruncationPolicy};
+use crate::types::{ProcessId, Tag, ANY_SOURCE, ANY_TAG};
 
 /// One posted (not yet matched) receive operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PostedReceive {
-    /// Handle returned to the application.
-    pub handle: RecvHandle,
-    /// The source process this receive matches.
+    /// Operation handle returned to the application.
+    pub op: RecvOp,
+    /// The source process this receive matches (may be [`ANY_SOURCE`]).
     pub src: ProcessId,
-    /// The tag this receive matches.
+    /// The tag this receive matches (may be [`ANY_TAG`]).
     pub tag: Tag,
     /// Capacity of the destination buffer in bytes.
     pub capacity: usize,
     /// `true` once the destination zero buffer has been built (address
     /// translation of the destination buffer performed).
     pub translated: bool,
+    /// What to do when the arriving message exceeds `capacity`.
+    pub policy: TruncationPolicy,
+}
+
+impl PostedReceive {
+    /// `true` when this receive uses a wildcard source or tag selector.
+    #[inline]
+    fn is_wildcard(&self) -> bool {
+        self.src.is_any_source() || self.tag.is_any()
+    }
 }
 
 #[derive(Debug)]
 struct Node {
     recv: PostedReceive,
-    /// Next-younger receive with the same `(src, tag)`, or [`NIL`].
+    /// Global posting sequence, used to arbitrate FIFO order *across*
+    /// buckets when wildcard receives are outstanding.
+    seq: u64,
+    /// Next-younger receive with the same selector, or [`NIL`].
     next: u32,
 }
 
@@ -31,17 +45,26 @@ struct Node {
 ///
 /// Receives are matched to incoming messages by `(source, tag)` in posting
 /// order, which mirrors MPI's non-overtaking rule for a single communicator.
+/// [`ANY_SOURCE`] / [`ANY_TAG`] selectors participate in the same order: an
+/// incoming message matches the *oldest* posted receive whose selector
+/// accepts it, exactly as a linear scan over the posting order would.
 ///
 /// Internally the queue is a slab of posted receives threaded into per
-/// `(source, tag)` FIFO chains indexed by an open-addressed bucket map, so
-/// `register`, `match_incoming` and `peek_match` are O(1) amortized and
-/// allocation-free in steady state (the O(n) `Vec::position` scan of the
-/// original implementation is kept alive only as a benchmark baseline in
-/// `ppmsg-bench`).
+/// selector FIFO chains indexed by an open-addressed bucket map (the
+/// wildcard selectors hash like any other key).  While no wildcard receive
+/// is outstanding, `register`, `match_incoming` and `peek_match` are O(1)
+/// amortized exactly as before — the exact-match fast path gives nothing up.
+/// With wildcards outstanding a match probes at most four buckets (exact,
+/// any-source, any-tag, any-any) and pops the head with the smallest posting
+/// sequence: still O(1), just with a larger constant.
 #[derive(Debug, Default)]
 pub struct ReceiveQueue {
     nodes: Slab<Node>,
     buckets: SrcTagMap,
+    next_seq: u64,
+    /// Number of live wildcard receives; the exact-match fast path is taken
+    /// whenever this is zero.
+    wildcard_live: usize,
 }
 
 impl ReceiveQueue {
@@ -52,15 +75,24 @@ impl ReceiveQueue {
 
     /// Registers a posted receive (arrow 1b in Fig. 1, receive side).
     ///
-    /// Buckets persist after their chain drains (a `(src, tag)` pair that
-    /// matched once will almost certainly match again), so the steady-state
-    /// cycle is one probe to append and one probe to pop — no bucket
-    /// creation or backward-shift deletion per message.
+    /// Buckets persist after their chain drains (a selector that matched
+    /// once will almost certainly match again), so the steady-state cycle is
+    /// one probe to append and one probe to pop — no bucket creation or
+    /// backward-shift deletion per message.
     #[inline]
     pub fn register(&mut self, recv: PostedReceive) {
         let src = recv.src.as_u64();
         let tag = recv.tag.0;
-        let slot = self.nodes.insert(Node { recv, next: NIL });
+        if recv.is_wildcard() {
+            self.wildcard_live += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.nodes.insert(Node {
+            recv,
+            seq,
+            next: NIL,
+        });
         match self.buckets.get_mut(src, tag) {
             Some(chain) if chain.head != NIL => {
                 let tail = chain.tail;
@@ -85,11 +117,10 @@ impl ReceiveQueue {
         }
     }
 
-    /// Finds and removes the oldest posted receive matching `(src, tag)`.
+    /// Pops the head of the `(src key, tag key)` bucket, if any.
     #[inline]
-    pub fn match_incoming(&mut self, src: ProcessId, tag: Tag) -> Option<PostedReceive> {
-        let key = src.as_u64();
-        let chain = self.buckets.get_mut(key, tag.0)?;
+    fn pop_head(&mut self, src: u64, tag: u32) -> Option<PostedReceive> {
+        let chain = self.buckets.get_mut(src, tag)?;
         let head = chain.head;
         if head == NIL {
             return None; // drained bucket kept alive for reuse
@@ -101,43 +132,92 @@ impl ReceiveQueue {
         } else {
             chain.head = node.next;
         }
+        if node.recv.is_wildcard() {
+            self.wildcard_live -= 1;
+        }
         Some(node.recv)
     }
 
-    /// Returns (without removing) the oldest posted receive matching
-    /// `(src, tag)`.
+    /// Head sequence of the `(src key, tag key)` bucket, if it has one.
     #[inline]
-    pub fn peek_match(&self, src: ProcessId, tag: Tag) -> Option<&PostedReceive> {
-        let chain = self.buckets.get(src.as_u64(), tag.0)?;
+    fn head_seq(&self, src: u64, tag: u32) -> Option<u64> {
+        let chain = self.buckets.get(src, tag)?;
         if chain.head == NIL {
             return None;
         }
-        Some(
-            &self
-                .nodes
-                .get(chain.head)
-                .expect("bucket head must be live")
-                .recv,
-        )
+        Some(self.nodes.get(chain.head).expect("live head").seq)
     }
 
-    /// Cancels a posted receive by handle, returning it if it was still
-    /// pending.
+    /// The four bucket keys an incoming `(src, tag)` message can match.
+    #[inline]
+    fn candidate_keys(src: ProcessId, tag: Tag) -> [(u64, u32); 4] {
+        [
+            (src.as_u64(), tag.0),
+            (ANY_SOURCE.as_u64(), tag.0),
+            (src.as_u64(), ANY_TAG.0),
+            (ANY_SOURCE.as_u64(), ANY_TAG.0),
+        ]
+    }
+
+    /// Finds and removes the oldest posted receive matching an incoming
+    /// message from `src` with `tag` (both concrete), honouring wildcard
+    /// selectors in global posting order.
+    #[inline]
+    pub fn match_incoming(&mut self, src: ProcessId, tag: Tag) -> Option<PostedReceive> {
+        if self.wildcard_live == 0 {
+            // Exact fast path: one bucket probe, as in the PR-1 design.
+            return self.pop_head(src.as_u64(), tag.0);
+        }
+        let keys = Self::candidate_keys(src, tag);
+        let mut best: Option<(u64, usize)> = None;
+        for (i, &(s, t)) in keys.iter().enumerate() {
+            if let Some(seq) = self.head_seq(s, t) {
+                if best.map(|(b, _)| seq < b).unwrap_or(true) {
+                    best = Some((seq, i));
+                }
+            }
+        }
+        let (_, i) = best?;
+        self.pop_head(keys[i].0, keys[i].1)
+    }
+
+    /// Returns (without removing) the oldest posted receive that would match
+    /// an incoming message from `src` with `tag`.
+    #[inline]
+    pub fn peek_match(&self, src: ProcessId, tag: Tag) -> Option<&PostedReceive> {
+        let mut best: Option<(u64, u32)> = None;
+        let keys = Self::candidate_keys(src, tag);
+        let probes = if self.wildcard_live == 0 { 1 } else { 4 };
+        for &(s, t) in keys.iter().take(probes) {
+            if let Some(chain) = self.buckets.get(s, t) {
+                if chain.head != NIL {
+                    let seq = self.nodes.get(chain.head).expect("live head").seq;
+                    if best.map(|(b, _)| seq < b).unwrap_or(true) {
+                        best = Some((seq, chain.head));
+                    }
+                }
+            }
+        }
+        best.map(|(_, slot)| &self.nodes.get(slot).expect("live head").recv)
+    }
+
+    /// Cancels a posted receive by operation handle, returning it if it was
+    /// still pending.
     ///
     /// Cancellation is a cold path (it never runs per packet), so it scans
     /// the slab for the handle and then unlinks the node from its chain.
-    pub fn cancel(&mut self, handle: RecvHandle) -> Option<PostedReceive> {
+    pub fn cancel(&mut self, op: RecvOp) -> Option<PostedReceive> {
         let slot = self
             .nodes
             .iter()
-            .find(|(_, n)| n.recv.handle == handle)
+            .find(|(_, n)| n.recv.op == op)
             .map(|(slot, _)| slot)?;
         let (src, tag) = {
             let n = self.nodes.get(slot).unwrap();
             (n.recv.src.as_u64(), n.recv.tag.0)
         };
         let chain = self.buckets.get(src, tag).expect("node without bucket");
-        if chain.head == slot {
+        let node = if chain.head == slot {
             let node = self.nodes.remove(slot).unwrap();
             let chain = self.buckets.get_mut(src, tag).unwrap();
             if node.next == NIL {
@@ -146,21 +226,26 @@ impl ReceiveQueue {
             } else {
                 chain.head = node.next;
             }
-            return Some(node.recv);
-        }
-        // Walk the chain to find the predecessor.
-        let mut prev = chain.head;
-        loop {
-            let next = self.nodes.get(prev).expect("chain must be intact").next;
-            if next == slot {
-                break;
+            node
+        } else {
+            // Walk the chain to find the predecessor.
+            let mut prev = chain.head;
+            loop {
+                let next = self.nodes.get(prev).expect("chain must be intact").next;
+                if next == slot {
+                    break;
+                }
+                prev = next;
             }
-            prev = next;
-        }
-        let node = self.nodes.remove(slot).unwrap();
-        self.nodes.get_mut(prev).unwrap().next = node.next;
-        if chain.tail == slot {
-            self.buckets.get_mut(src, tag).unwrap().tail = prev;
+            let node = self.nodes.remove(slot).unwrap();
+            self.nodes.get_mut(prev).unwrap().next = node.next;
+            if chain.tail == slot {
+                self.buckets.get_mut(src, tag).unwrap().tail = prev;
+            }
+            node
+        };
+        if node.recv.is_wildcard() {
+            self.wildcard_live -= 1;
         }
         Some(node.recv)
     }
@@ -176,8 +261,8 @@ impl ReceiveQueue {
     }
 
     /// Iterates over posted receives (slot order; FIFO order is only
-    /// guaranteed *within* one `(source, tag)` chain, which is all the
-    /// matching rule requires).
+    /// guaranteed *within* one selector chain, which together with the
+    /// cross-bucket sequence arbitration is all the matching rule requires).
     pub fn iter(&self) -> impl Iterator<Item = &PostedReceive> {
         self.nodes.iter().map(|(_, n)| &n.recv)
     }
@@ -195,12 +280,17 @@ mod tests {
 
     fn posted(handle: u64, src: ProcessId, tag: u32, capacity: usize) -> PostedReceive {
         PostedReceive {
-            handle: RecvHandle(handle),
+            op: RecvOp::from_raw(handle as u32, 0),
             src,
             tag: Tag(tag),
             capacity,
             translated: false,
+            policy: TruncationPolicy::Error,
         }
+    }
+
+    fn op(handle: u64) -> RecvOp {
+        RecvOp::from_raw(handle as u32, 0)
     }
 
     #[test]
@@ -213,7 +303,7 @@ mod tests {
         q.register(posted(3, a, 20, 100));
 
         let m = q.match_incoming(b, Tag(10)).unwrap();
-        assert_eq!(m.handle, RecvHandle(2));
+        assert_eq!(m.op, op(2));
         assert!(q.match_incoming(b, Tag(10)).is_none());
         assert_eq!(q.len(), 2);
     }
@@ -224,8 +314,8 @@ mod tests {
         let a = ProcessId::new(0, 0);
         q.register(posted(1, a, 5, 64));
         q.register(posted(2, a, 5, 128));
-        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().handle, RecvHandle(1));
-        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().handle, RecvHandle(2));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(1));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(2));
         assert!(q.match_incoming(a, Tag(5)).is_none());
     }
 
@@ -244,8 +334,8 @@ mod tests {
         let a = ProcessId::new(0, 0);
         q.register(posted(1, a, 1, 8));
         q.register(posted(2, a, 2, 8));
-        assert!(q.cancel(RecvHandle(1)).is_some());
-        assert!(q.cancel(RecvHandle(1)).is_none());
+        assert!(q.cancel(op(1)).is_some());
+        assert!(q.cancel(op(1)).is_none());
         assert!(q.match_incoming(a, Tag(1)).is_none());
         assert!(q.match_incoming(a, Tag(2)).is_some());
     }
@@ -257,14 +347,14 @@ mod tests {
         q.register(posted(1, a, 5, 8));
         q.register(posted(2, a, 5, 8));
         q.register(posted(3, a, 5, 8));
-        assert!(q.cancel(RecvHandle(2)).is_some());
-        assert!(q.cancel(RecvHandle(3)).is_some());
+        assert!(q.cancel(op(2)).is_some());
+        assert!(q.cancel(op(3)).is_some());
         // Chain stays intact: handle 1 still matches, then nothing.
-        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().handle, RecvHandle(1));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(1));
         assert!(q.match_incoming(a, Tag(5)).is_none());
         // Bucket is usable after a full drain.
         q.register(posted(4, a, 5, 8));
-        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().handle, RecvHandle(4));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(4));
     }
 
     #[test]
@@ -274,6 +364,55 @@ mod tests {
         assert!(q.match_incoming(ProcessId::new(0, 0), Tag(8)).is_none());
         assert!(q.match_incoming(ProcessId::new(1, 0), Tag(7)).is_none());
         assert_eq!(q.iter().count(), 1);
+    }
+
+    #[test]
+    fn wildcard_source_matches_any_peer_in_posting_order() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        q.register(posted(1, ANY_SOURCE, 5, 8));
+        q.register(posted(2, a, 5, 8));
+        // The wildcard was posted first, so it wins for either source.
+        assert_eq!(q.match_incoming(b, Tag(5)).unwrap().op, op(1));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(2));
+        assert!(q.match_incoming(a, Tag(5)).is_none());
+    }
+
+    #[test]
+    fn exact_receive_beats_younger_wildcard() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.register(posted(1, a, 5, 8));
+        q.register(posted(2, ANY_SOURCE, ANY_TAG.0, 8));
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(1));
+        // The any/any receive takes whatever arrives next.
+        assert_eq!(
+            q.match_incoming(ProcessId::new(3, 3), Tag(9)).unwrap().op,
+            op(2)
+        );
+    }
+
+    #[test]
+    fn wildcard_tag_matches_and_fast_path_recovers() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.register(posted(1, a, ANY_TAG.0, 8));
+        assert_eq!(q.match_incoming(a, Tag(42)).unwrap().op, op(1));
+        // No wildcards left: the exact fast path is active again and still
+        // correct.
+        q.register(posted(2, a, 7, 8));
+        assert_eq!(q.match_incoming(a, Tag(7)).unwrap().op, op(2));
+    }
+
+    #[test]
+    fn peek_sees_wildcards() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.register(posted(1, ANY_SOURCE, ANY_TAG.0, 8));
+        assert_eq!(q.peek_match(a, Tag(3)).unwrap().op, op(1));
+        assert!(q.cancel(op(1)).is_some());
+        assert!(q.peek_match(a, Tag(3)).is_none());
     }
 
     #[test]
@@ -297,5 +436,19 @@ mod tests {
             allocs,
             "steady matching must not allocate"
         );
+    }
+
+    #[test]
+    fn steady_wildcard_cycle_does_not_allocate() {
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        q.register(posted(0, ANY_SOURCE, 0, 16));
+        q.match_incoming(a, Tag(0)).unwrap();
+        let allocs = q.alloc_events();
+        for round in 0..10_000u64 {
+            q.register(posted(round, ANY_SOURCE, 0, 16));
+            assert!(q.match_incoming(a, Tag(0)).is_some());
+        }
+        assert_eq!(q.alloc_events(), allocs, "wildcards must not allocate");
     }
 }

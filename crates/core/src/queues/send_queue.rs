@@ -3,14 +3,15 @@
 
 use crate::btp::BtpSplit;
 use crate::index::{Slab, U64Index, NIL};
-use crate::types::{MessageId, ProcessId, SendHandle, Tag};
+use crate::ops::SendOp;
+use crate::types::{MessageId, ProcessId, Tag};
 use bytes::Bytes;
 
 /// One registered send operation (arrow 1b.1 in Fig. 1).
 #[derive(Debug, Clone)]
 pub struct PendingSend {
-    /// Handle returned to the application.
-    pub handle: SendHandle,
+    /// Operation handle returned to the application.
+    pub op: SendOp,
     /// The destination process.
     pub dst: ProcessId,
     /// The user tag.
@@ -186,7 +187,7 @@ mod tests {
 
     fn pending(msg_id: u64, len: usize) -> PendingSend {
         PendingSend {
-            handle: SendHandle(msg_id),
+            op: SendOp::from_raw(msg_id as u32, 0),
             dst: ProcessId::new(1, 0),
             tag: Tag(0),
             msg_id: MessageId(msg_id),
@@ -213,7 +214,7 @@ mod tests {
         assert!(q.get(MessageId(3)).is_none());
 
         let removed = q.remove(MessageId(1)).unwrap();
-        assert_eq!(removed.handle, SendHandle(1));
+        assert_eq!(removed.op, SendOp::from_raw(1, 0));
         assert_eq!(q.len(), 1);
         assert!(q.remove(MessageId(1)).is_none());
     }

@@ -114,8 +114,10 @@ impl Frame {
     /// Parses a frame.
     pub fn decode(mut data: Bytes) -> Result<Self> {
         if data.remaining() < 9 {
-            return Err(Error::MalformedPacket {
-                reason: format!("frame too short: {} bytes", data.remaining()),
+            // Field-carrying error: the decode path runs per frame and must
+            // not allocate just to reject garbage.
+            return Err(Error::TruncatedFrame {
+                have: data.remaining(),
             });
         }
         let kind = data.get_u8();
@@ -128,9 +130,7 @@ impl Frame {
             1 => Ok(Frame::Ack {
                 next_expected: value,
             }),
-            other => Err(Error::MalformedPacket {
-                reason: format!("unknown frame kind {other}"),
-            }),
+            other => Err(Error::UnknownFrameKind { byte: other }),
         }
     }
 }
@@ -176,23 +176,31 @@ pub struct GoBackN {
     // --- receiver side ---
     next_expected: u64,
     stats: GbnStats,
+    /// Heap allocations performed by the channel's queues after construction
+    /// (growth beyond the window-sized initial capacity).  Folded into
+    /// [`EndpointStats::steady_allocs`](crate::EndpointStats::steady_allocs).
+    alloc_events: u64,
 }
 
 impl GoBackN {
-    /// Creates a channel with the given configuration.
+    /// Creates a channel with the given configuration.  Both queues are
+    /// pre-sized to the window from the configuration, so a channel that
+    /// never backlogs past its window performs no queue allocation after
+    /// this call.
     pub fn new(cfg: GbnConfig) -> Self {
         GoBackN {
             cfg,
             next_seq: 0,
             base: 0,
-            in_flight: VecDeque::new(),
-            pending: VecDeque::new(),
+            in_flight: VecDeque::with_capacity(cfg.window),
+            pending: VecDeque::with_capacity(cfg.window),
             timer_generation: 0,
             timer_armed: false,
             retries: 0,
             failed: false,
             next_expected: 0,
             stats: GbnStats::default(),
+            alloc_events: 0,
         }
     }
 
@@ -200,6 +208,9 @@ impl GoBackN {
     /// emitted immediately while the window has room; the rest are sent as
     /// acknowledgements open the window.
     pub fn send(&mut self, packet: Packet, out: &mut Vec<GbnEvent>) {
+        if self.pending.len() == self.pending.capacity() {
+            self.alloc_events += 1;
+        }
         self.pending.push_back(packet);
         self.pump(out);
     }
@@ -286,6 +297,9 @@ impl GoBackN {
             };
             let seq = self.next_seq;
             self.next_seq += 1;
+            if self.in_flight.len() == self.in_flight.capacity() {
+                self.alloc_events += 1;
+            }
             self.in_flight.push_back((seq, packet.clone()));
             self.stats.frames_sent += 1;
             out.push(GbnEvent::Transmit(Frame::Data { seq, packet }));
@@ -337,6 +351,12 @@ impl GoBackN {
     /// A snapshot of the channel statistics.
     pub fn stats(&self) -> GbnStats {
         self.stats
+    }
+
+    /// Number of heap allocations the channel's queues performed after
+    /// construction (steady state within the window must not add any).
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
     }
 
     /// The configuration the channel was created with.
@@ -609,6 +629,57 @@ mod tests {
         }
         assert_eq!(delivered_ids, (0..total).collect::<Vec<_>>());
         assert!(sender.stats().retransmissions > 0);
+    }
+
+    #[test]
+    fn window_sized_queues_never_allocate_within_window() {
+        let cfg = GbnConfig {
+            window: 8,
+            ..Default::default()
+        };
+        let mut sender = GoBackN::new(cfg);
+        let mut receiver = GoBackN::new(cfg);
+        let mut events = Vec::new();
+        let mut acks = Vec::new();
+        for i in 0..1000u64 {
+            sender.send(pkt(i, 16), &mut events);
+            for e in events.drain(..) {
+                if let GbnEvent::Transmit(f) = e {
+                    receiver.on_frame(f, &mut acks);
+                }
+            }
+            for e in acks.drain(..) {
+                if let GbnEvent::Transmit(f) = e {
+                    sender.on_frame(f, &mut events);
+                }
+            }
+            events.clear();
+        }
+        assert!(sender.idle());
+        assert_eq!(
+            sender.alloc_events(),
+            0,
+            "in-window traffic must not grow the pre-sized queues"
+        );
+        assert_eq!(receiver.alloc_events(), 0);
+    }
+
+    #[test]
+    fn backlog_past_window_is_counted_as_allocation() {
+        let cfg = GbnConfig {
+            window: 2,
+            ..Default::default()
+        };
+        let mut sender = GoBackN::new(cfg);
+        let mut events = Vec::new();
+        for i in 0..8 {
+            sender.send(pkt(i, 8), &mut events);
+        }
+        assert!(sender.backlog() > sender.config().window);
+        assert!(
+            sender.alloc_events() > 0,
+            "growth events must be observable"
+        );
     }
 
     #[test]

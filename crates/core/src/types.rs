@@ -61,6 +61,12 @@ impl ProcessId {
     pub fn as_u64(&self) -> u64 {
         ((self.node.0 as u64) << 32) | self.local_rank as u64
     }
+
+    /// `true` when this value is the [`ANY_SOURCE`] wildcard selector.
+    #[inline]
+    pub fn is_any_source(&self) -> bool {
+        *self == ANY_SOURCE
+    }
 }
 
 impl fmt::Display for ProcessId {
@@ -72,6 +78,14 @@ impl fmt::Display for ProcessId {
 /// A user-level message tag used for matching sends to receives, as in MPI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Tag(pub u32);
+
+impl Tag {
+    /// `true` when this value is the [`ANY_TAG`] wildcard selector.
+    #[inline]
+    pub fn is_any(&self) -> bool {
+        *self == ANY_TAG
+    }
+}
 
 impl fmt::Display for Tag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -100,17 +114,21 @@ impl fmt::Display for MessageId {
     }
 }
 
-/// Handle returned by [`Endpoint::post_send`](crate::Endpoint::post_send);
-/// the matching [`Action::SendComplete`](crate::Action::SendComplete) carries
-/// the same handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct SendHandle(pub u64);
+/// Wildcard source selector for posted receives: matches a message from any
+/// peer, as MPI's `MPI_ANY_SOURCE` does.
+///
+/// This is a reserved [`ProcessId`] value (`node u32::MAX, rank u32::MAX`);
+/// real processes must not use it.
+pub const ANY_SOURCE: ProcessId = ProcessId {
+    node: NodeId(u32::MAX),
+    local_rank: u32::MAX,
+};
 
-/// Handle returned by [`Endpoint::post_recv`](crate::Endpoint::post_recv);
-/// the matching [`Action::RecvComplete`](crate::Action::RecvComplete) carries
-/// the same handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct RecvHandle(pub u64);
+/// Wildcard tag selector for posted receives: matches a message with any
+/// tag, as MPI's `MPI_ANY_TAG` does.
+///
+/// This is a reserved [`Tag`] value (`u32::MAX`); senders must not use it.
+pub const ANY_TAG: Tag = Tag(u32::MAX);
 
 /// Identifies a protocol timer (used by the go-back-N retransmission logic).
 ///
@@ -170,5 +188,14 @@ mod tests {
         let a = ProcessId::new(0, 5);
         let b = ProcessId::new(1, 0);
         assert!(a < b);
+    }
+
+    #[test]
+    fn wildcard_sentinels_are_recognised() {
+        assert!(ANY_SOURCE.is_any_source());
+        assert!(!ProcessId::new(0, 0).is_any_source());
+        assert!(ANY_TAG.is_any());
+        assert!(!Tag(0).is_any());
+        assert_eq!(ANY_SOURCE.as_u64(), u64::MAX);
     }
 }

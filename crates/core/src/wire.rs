@@ -128,11 +128,11 @@ impl PacketHeader {
     /// Decodes a header from `buf`, advancing it by [`MAX_HEADER_LEN`].
     pub fn decode(buf: &mut impl Buf) -> Result<Self> {
         if buf.remaining() < MAX_HEADER_LEN {
-            return Err(Error::MalformedPacket {
-                reason: format!(
-                    "truncated header: {} bytes available, {MAX_HEADER_LEN} required",
-                    buf.remaining()
-                ),
+            // Field-carrying error: the decode path runs per packet and must
+            // not allocate just to reject garbage.
+            return Err(Error::TruncatedHeader {
+                need: MAX_HEADER_LEN,
+                have: buf.remaining(),
             });
         }
         let kind = PacketKind::from_byte(buf.get_u8())?;
@@ -176,11 +176,9 @@ impl Packet {
             _ => header.payload_len as usize,
         };
         if payload.len() != expected {
-            return Err(Error::MalformedPacket {
-                reason: format!(
-                    "payload length {} does not match header payload_len {expected}",
-                    payload.len()
-                ),
+            return Err(Error::PayloadLenMismatch {
+                declared: expected,
+                actual: payload.len(),
             });
         }
         Ok(Packet { header, payload })
@@ -228,11 +226,9 @@ impl Packet {
             _ => header.payload_len as usize,
         };
         if data.len() < expected {
-            return Err(Error::MalformedPacket {
-                reason: format!(
-                    "truncated payload: {} bytes present, {expected} expected",
-                    data.len()
-                ),
+            return Err(Error::TruncatedPayload {
+                need: expected,
+                have: data.len(),
             });
         }
         let payload = data.split_to(expected);
@@ -359,13 +355,25 @@ mod tests {
         let mut header = sample_header(PacketKind::PullData);
         header.payload_len = 100;
         let err = Packet::new(header, Bytes::from(vec![0u8; 50])).unwrap_err();
-        assert!(matches!(err, Error::MalformedPacket { .. }));
+        assert_eq!(
+            err,
+            Error::PayloadLenMismatch {
+                declared: 100,
+                actual: 50
+            }
+        );
     }
 
     #[test]
     fn truncated_header_rejected() {
         let err = Packet::decode(Bytes::from(vec![0u8; 5])).unwrap_err();
-        assert!(matches!(err, Error::MalformedPacket { .. }));
+        assert_eq!(
+            err,
+            Error::TruncatedHeader {
+                need: MAX_HEADER_LEN,
+                have: 5
+            }
+        );
     }
 
     #[test]

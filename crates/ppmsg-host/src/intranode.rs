@@ -5,24 +5,33 @@
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use ppmsg_core::wire::Packet;
-use ppmsg_core::{Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag};
+use ppmsg_core::{
+    Action, Completion, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig, RecvBuf, RecvOp,
+    Result, SendOp, Status, Tag, TruncationPolicy,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Completion state shared between the user thread and whoever delivers the
-/// completing packet.
-#[derive(Default)]
-struct Completions {
-    received: HashMap<u64, Bytes>,
-    sent: HashMap<u64, usize>,
-}
-
 struct Member {
     id: ProcessId,
     engine: Mutex<Endpoint>,
-    completions: Mutex<Completions>,
+    /// Completions drained from the engine, awaiting `wait` /
+    /// `drain_completions` (insertion order preserved).
+    done: Mutex<Vec<Completion>>,
     cv: Condvar,
+}
+
+impl Member {
+    /// Publishes a batch of completions and wakes blocked waiters.  Drains
+    /// `comps`, leaving its capacity for reuse.
+    fn publish(&self, comps: &mut Vec<Completion>) {
+        if comps.is_empty() {
+            return;
+        }
+        self.done.lock().append(comps);
+        self.cv.notify_all();
+    }
 }
 
 /// The shared state of one intranode fabric (one simulated "SMP node" worth
@@ -36,32 +45,11 @@ impl Fabric {
         self.members.lock().get(&id.as_u64()).cloned()
     }
 
-    /// Routes packets between members until no more traffic is generated.
-    /// This is the "kernel agent": it may run on any thread that produced
-    /// traffic (the paper runs it on the least-loaded processor; here the OS
-    /// scheduler decides).  One action buffer is reused across every hop, so
-    /// routing a message exchange performs no per-packet allocation.
-    fn route(&self, mut work: VecDeque<(ProcessId, ProcessId, Packet)>) {
-        let mut actions = Vec::new();
-        while let Some((src, dst, packet)) = work.pop_front() {
-            let Some(member) = self.member(dst) else {
-                continue;
-            };
-            {
-                let mut engine = member.engine.lock();
-                engine.handle_packet(src, packet);
-                engine.drain_actions_into(&mut actions);
-            }
-            self.apply_actions(&member, &mut actions, &mut work);
-        }
-    }
-
-    /// Applies one member's actions: queue outgoing packets, record
-    /// completions, ignore cost-model hints (translate/copy) which have no
-    /// user-space equivalent.  Drains `actions`, leaving its capacity for
-    /// reuse.
-    fn apply_actions(
-        &self,
+    /// Queues a member's outgoing packets; cost-model hints
+    /// (translate/copy) and reliability plumbing have no user-space
+    /// equivalent and are dropped.  Drains `actions`, leaving its capacity
+    /// for reuse.
+    fn queue_actions(
         member: &Member,
         actions: &mut Vec<Action>,
         work: &mut VecDeque<(ProcessId, ProcessId, Packet)>,
@@ -74,27 +62,6 @@ impl Fabric {
                 Action::TransmitFrame { .. } => {
                     unreachable!("intranode fabric never uses go-back-N frames")
                 }
-                Action::RecvComplete { handle, data, .. } => {
-                    member.completions.lock().received.insert(handle.0, data);
-                    member.cv.notify_all();
-                }
-                Action::SendComplete { handle, bytes, .. } => {
-                    member.completions.lock().sent.insert(handle.0, bytes);
-                    member.cv.notify_all();
-                }
-                Action::RecvFailed { handle, error, .. } => {
-                    // Surface the failure as an empty completion so the
-                    // blocked receiver wakes up and can report the error.
-                    member
-                        .completions
-                        .lock()
-                        .received
-                        .insert(handle.0, Bytes::new());
-                    member.cv.notify_all();
-                    eprintln!("ppmsg-host: receive {handle:?} failed: {error}");
-                }
-                // Cost-model hints and reliability plumbing: nothing to do on
-                // a real shared-memory path.
                 Action::Translate { .. }
                 | Action::Copy { .. }
                 | Action::SetTimer { .. }
@@ -102,6 +69,29 @@ impl Fabric {
                 | Action::PacketDropped { .. }
                 | Action::ChannelFailed { .. } => {}
             }
+        }
+    }
+
+    /// Routes packets between members until no more traffic is generated.
+    /// This is the "kernel agent": it may run on any thread that produced
+    /// traffic (the paper runs it on the least-loaded processor; here the OS
+    /// scheduler decides).  One action buffer is reused across every hop, so
+    /// routing a message exchange performs no per-packet allocation.
+    fn route(&self, mut work: VecDeque<(ProcessId, ProcessId, Packet)>) {
+        let mut actions = Vec::new();
+        let mut comps = Vec::new();
+        while let Some((src, dst, packet)) = work.pop_front() {
+            let Some(member) = self.member(dst) else {
+                continue;
+            };
+            {
+                let mut engine = member.engine.lock();
+                engine.handle_packet(src, packet);
+                engine.drain_actions_into(&mut actions);
+                engine.drain_completions_into(&mut comps);
+            }
+            member.publish(&mut comps);
+            Self::queue_actions(&member, &mut actions, &mut work);
         }
     }
 }
@@ -137,7 +127,7 @@ impl HostCluster {
         let member = Arc::new(Member {
             id,
             engine: Mutex::new(Endpoint::new(id, self.protocol.clone())),
-            completions: Mutex::new(Completions::default()),
+            done: Mutex::new(Vec::new()),
             cv: Condvar::new(),
         });
         let previous = self
@@ -166,50 +156,106 @@ impl HostEndpoint {
         self.member.id
     }
 
-    /// Posts a send of `data` to `peer`.  Returns once the transfer has been
-    /// initiated (the pushed part delivered and the remainder registered for
-    /// pulling); the data is captured by reference count, so the caller may
-    /// drop its handle immediately.
-    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendHandle {
+    /// Runs one engine interaction, then publishes its completions and
+    /// routes its traffic through the fabric.
+    fn run_engine<R>(&self, f: impl FnOnce(&mut Endpoint) -> R) -> R {
         let mut actions = Vec::new();
-        let handle = {
+        let mut comps = Vec::new();
+        let result = {
             let mut engine = self.member.engine.lock();
-            let handle = engine
-                .post_send(peer, tag, data.into())
-                .expect("post_send failed");
+            let result = f(&mut engine);
             engine.drain_actions_into(&mut actions);
-            handle
+            engine.drain_completions_into(&mut comps);
+            result
         };
+        self.member.publish(&mut comps);
         let mut work = VecDeque::new();
-        self.fabric
-            .apply_actions(&self.member, &mut actions, &mut work);
+        Fabric::queue_actions(&self.member, &mut actions, &mut work);
         self.fabric.route(work);
-        handle
+        result
     }
 
-    /// Blocks until the send identified by `handle` has been fully handed
-    /// over (for Push-Pull sends this means the receiver has pulled the
-    /// remainder).  Returns the number of bytes sent, or `None` on timeout.
-    pub fn wait_send(&self, handle: SendHandle, timeout: Duration) -> Option<usize> {
-        let mut completions = self.member.completions.lock();
+    /// Posts a send of `data` to `peer`, returning its operation handle.
+    /// The transfer is initiated before this returns (the pushed part
+    /// delivered and the remainder registered for pulling); the data is
+    /// captured by reference count, so the caller may drop its handle
+    /// immediately.
+    pub fn post_send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> Result<SendOp> {
+        let data = data.into();
+        self.run_engine(|engine| engine.post_send(peer, tag, data))
+    }
+
+    /// Posts an engine-buffered receive.  `src` / `tag` may be the
+    /// [`ANY_SOURCE`](ppmsg_core::ANY_SOURCE) /
+    /// [`ANY_TAG`](ppmsg_core::ANY_TAG) wildcards.
+    pub fn post_recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        self.run_engine(|engine| engine.post_recv_with(src, tag, capacity, policy))
+    }
+
+    /// Posts a receive that reassembles directly into the caller-owned
+    /// `buf`, handed back in the completion.
+    pub fn post_recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        self.run_engine(|engine| engine.post_recv_into(src, tag, buf, policy))
+    }
+
+    /// Cancels a still-unmatched receive; see
+    /// [`Endpoint::cancel`](ppmsg_core::Endpoint::cancel).
+    pub fn cancel(&self, op: RecvOp) -> bool {
+        self.run_engine(|engine| engine.cancel(op))
+    }
+
+    /// Drains every completion produced so far into `out`.
+    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
+        out.append(&mut self.member.done.lock());
+    }
+
+    /// Blocks until the operation `op` completes, returning its completion,
+    /// or `None` when `timeout` expires first.
+    pub fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
+        // An absolute deadline, so unrelated completions waking the condvar
+        // cannot restart the timeout.
+        let deadline = std::time::Instant::now() + timeout;
+        let mut done = self.member.done.lock();
         loop {
-            if let Some(bytes) = completions.sent.remove(&handle.0) {
-                return Some(bytes);
+            if let Some(pos) = done.iter().position(|c| c.op == op) {
+                return Some(done.remove(pos));
             }
-            if self
-                .member
-                .cv
-                .wait_for(&mut completions, timeout)
-                .timed_out()
-            {
-                return completions.sent.remove(&handle.0);
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
             }
+            self.member.cv.wait_for(&mut done, deadline - now);
         }
     }
 
+    /// Posts a send of `data` to `peer` (panicking convenience wrapper
+    /// around [`HostEndpoint::post_send`]).
+    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendOp {
+        self.post_send(peer, tag, data).expect("post_send failed")
+    }
+
+    /// Blocks until the send identified by `op` has been fully handed over
+    /// (for Push-Pull sends this means the receiver has pulled the
+    /// remainder).  Returns the number of bytes sent, or `None` on timeout.
+    pub fn wait_send(&self, op: SendOp, timeout: Duration) -> Option<usize> {
+        self.wait(OpId::Send(op), timeout).map(|c| c.len)
+    }
+
     /// Posts a receive for a message from `peer` with `tag` of at most
-    /// `max_len` bytes and blocks until it arrives (or `timeout` expires, in
-    /// which case `None` is returned).
+    /// `max_len` bytes and blocks until it arrives (or `timeout` expires /
+    /// the receive fails, in which case `None` is returned).
     pub fn recv(
         &self,
         peer: ProcessId,
@@ -217,31 +263,13 @@ impl HostEndpoint {
         max_len: usize,
         timeout: Duration,
     ) -> Option<Bytes> {
-        let mut actions = Vec::new();
-        let handle = {
-            let mut engine = self.member.engine.lock();
-            let handle = engine.post_recv(peer, tag, max_len).ok()?;
-            engine.drain_actions_into(&mut actions);
-            handle
-        };
-        let mut work = VecDeque::new();
-        self.fabric
-            .apply_actions(&self.member, &mut actions, &mut work);
-        self.fabric.route(work);
-
-        let mut completions = self.member.completions.lock();
-        loop {
-            if let Some(data) = completions.received.remove(&handle.0) {
-                return Some(data);
-            }
-            if self
-                .member
-                .cv
-                .wait_for(&mut completions, timeout)
-                .timed_out()
-            {
-                return completions.received.remove(&handle.0);
-            }
+        let op = self
+            .post_recv(peer, tag, max_len, TruncationPolicy::Error)
+            .ok()?;
+        let completion = self.wait(OpId::Recv(op), timeout)?;
+        match completion.status {
+            Status::Ok | Status::Truncated { .. } => completion.data,
+            Status::Cancelled | Status::Error(_) => None,
         }
     }
 
@@ -254,7 +282,7 @@ impl HostEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppmsg_core::ProtocolMode;
+    use ppmsg_core::{ProtocolMode, ANY_SOURCE, ANY_TAG};
     use std::thread;
 
     const T: Duration = Duration::from_secs(5);
@@ -358,6 +386,51 @@ mod tests {
         assert!(a
             .recv(ProcessId::new(0, 1), Tag(1), 64, Duration::from_millis(50))
             .is_none());
+    }
+
+    #[test]
+    fn wildcard_receive_and_recv_into() {
+        let cluster = HostCluster::new(
+            0,
+            ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024),
+        );
+        let a = cluster.add_endpoint(0);
+        let b = cluster.add_endpoint(1);
+        let data = payload(4096);
+        let wild = b
+            .post_recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
+            .unwrap();
+        a.send(b.id(), Tag(77), data.clone());
+        let done = b.wait(OpId::Recv(wild), T).expect("wildcard completed");
+        assert_eq!(done.peer, a.id());
+        assert_eq!(done.tag, Tag(77));
+        assert_eq!(done.data.unwrap(), data);
+
+        let op = b
+            .post_recv_into(
+                a.id(),
+                Tag(78),
+                RecvBuf::with_capacity(4096),
+                TruncationPolicy::Error,
+            )
+            .unwrap();
+        a.send(b.id(), Tag(78), data.clone());
+        let done = b.wait(OpId::Recv(op), T).expect("recv_into completed");
+        assert_eq!(done.buf.unwrap().as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn cancelled_receive_reports_cancellation() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
+        let a = cluster.add_endpoint(0);
+        let b = cluster.add_endpoint(1);
+        let op = b
+            .post_recv(a.id(), Tag(1), 64, TruncationPolicy::Error)
+            .unwrap();
+        assert!(b.cancel(op));
+        let done = b.wait(OpId::Recv(op), T).unwrap();
+        assert_eq!(done.status, Status::Cancelled);
+        assert!(!b.cancel(op), "stale handle must not cancel again");
     }
 
     #[test]

@@ -7,7 +7,8 @@ use parking_lot::{Condvar, Mutex};
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
-    Action, Endpoint, EndpointStats, ProcessId, ProtocolConfig, SendHandle, Tag, TimerId,
+    Action, Completion, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig, RecvBuf, RecvOp,
+    Result, SendOp, Status, Tag, TimerId, TruncationPolicy,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -16,18 +17,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-#[derive(Default)]
-struct Completions {
-    received: HashMap<u64, Bytes>,
-    sent: HashMap<u64, usize>,
-}
-
 struct Shared {
     id: ProcessId,
     engine: Mutex<Endpoint>,
     socket: UdpSocket,
     peers: Mutex<HashMap<u64, SocketAddr>>,
-    completions: Mutex<Completions>,
+    /// Completions drained from the engine, awaiting `wait` /
+    /// `drain_completions` (insertion order preserved).
+    done: Mutex<Vec<Completion>>,
     cv: Condvar,
     timers: Mutex<Vec<(Instant, TimerId)>>,
     /// Reusable encode buffers: frame serialisation allocates nothing once
@@ -37,9 +34,19 @@ struct Shared {
 }
 
 impl Shared {
-    /// Executes a batch of engine actions: frames go out on the socket,
-    /// timers are (re)armed, completions wake blocked callers.  Drains
-    /// `actions`, leaving its capacity for the caller to reuse.
+    /// Publishes a batch of completions and wakes blocked callers.  Drains
+    /// `comps`, leaving its capacity for reuse.
+    fn publish(&self, comps: &mut Vec<Completion>) {
+        if comps.is_empty() {
+            return;
+        }
+        self.done.lock().append(comps);
+        self.cv.notify_all();
+    }
+
+    /// Executes a batch of engine actions: frames go out on the socket and
+    /// timers are (re)armed.  Drains `actions`, leaving its capacity for the
+    /// caller to reuse.
     fn apply_actions(&self, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
@@ -73,22 +80,6 @@ impl Shared {
                         !(t.peer == timer.peer && t.generation == timer.generation)
                     });
                 }
-                Action::RecvComplete { handle, data, .. } => {
-                    self.completions.lock().received.insert(handle.0, data);
-                    self.cv.notify_all();
-                }
-                Action::SendComplete { handle, bytes, .. } => {
-                    self.completions.lock().sent.insert(handle.0, bytes);
-                    self.cv.notify_all();
-                }
-                Action::RecvFailed { handle, error, .. } => {
-                    self.completions
-                        .lock()
-                        .received
-                        .insert(handle.0, Bytes::new());
-                    self.cv.notify_all();
-                    eprintln!("ppmsg-host/udp: receive {handle:?} failed: {error}");
-                }
                 Action::Translate { .. } | Action::Copy { .. } | Action::PacketDropped { .. } => {}
                 Action::ChannelFailed { peer } => {
                     eprintln!("ppmsg-host/udp: channel to {peer} failed (peer unreachable)");
@@ -98,9 +89,29 @@ impl Shared {
         }
     }
 
+    /// Runs one engine interaction, then publishes completions and applies
+    /// actions, reusing the caller's buffers.
+    fn run_engine<R>(
+        &self,
+        actions: &mut Vec<Action>,
+        comps: &mut Vec<Completion>,
+        f: impl FnOnce(&mut Endpoint) -> R,
+    ) -> R {
+        let result = {
+            let mut engine = self.engine.lock();
+            let result = f(&mut engine);
+            engine.drain_actions_into(actions);
+            engine.drain_completions_into(comps);
+            result
+        };
+        self.publish(comps);
+        self.apply_actions(actions);
+        result
+    }
+
     /// Fires any timers whose deadline has passed, reusing the caller's
-    /// action buffer.
-    fn fire_due_timers(&self, actions: &mut Vec<Action>) {
+    /// buffers.
+    fn fire_due_timers(&self, actions: &mut Vec<Action>, comps: &mut Vec<Completion>) {
         let now = Instant::now();
         let due: Vec<TimerId> = {
             let mut timers = self.timers.lock();
@@ -109,12 +120,7 @@ impl Shared {
             fire.into_iter().map(|(_, t)| t).collect()
         };
         for timer in due {
-            {
-                let mut engine = self.engine.lock();
-                engine.handle_timer(timer);
-                engine.drain_actions_into(actions);
-            }
-            self.apply_actions(actions);
+            self.run_engine(actions, comps, |engine| engine.handle_timer(timer));
         }
     }
 }
@@ -140,7 +146,7 @@ impl UdpEndpoint {
             engine: Mutex::new(Endpoint::new(id, protocol)),
             socket,
             peers: Mutex::new(HashMap::new()),
-            completions: Mutex::new(Completions::default()),
+            done: Mutex::new(Vec::new()),
             cv: Condvar::new(),
             timers: Mutex::new(Vec::new()),
             codec: Mutex::new(PacketBufPool::new()),
@@ -154,6 +160,7 @@ impl UdpEndpoint {
                 // Reused across packets: the reception path allocates only a
                 // copy of each datagram's bytes.
                 let mut actions: Vec<Action> = Vec::new();
+                let mut comps: Vec<Completion> = Vec::new();
                 while !worker.shutdown.load(Ordering::Relaxed) {
                     match worker.socket.recv_from(&mut buf) {
                         Ok((n, from)) => {
@@ -169,12 +176,9 @@ impl UdpEndpoint {
                                     })
                                 };
                                 if let Some(peer) = peer {
-                                    {
-                                        let mut engine = worker.engine.lock();
-                                        engine.handle_frame(peer, frame);
-                                        engine.drain_actions_into(&mut actions);
-                                    }
-                                    worker.apply_actions(&mut actions);
+                                    worker.run_engine(&mut actions, &mut comps, |engine| {
+                                        engine.handle_frame(peer, frame)
+                                    });
                                 }
                             }
                         }
@@ -183,7 +187,7 @@ impl UdpEndpoint {
                                 || e.kind() == std::io::ErrorKind::TimedOut => {}
                         Err(_) => {}
                     }
-                    worker.fire_due_timers(&mut actions);
+                    worker.fire_due_timers(&mut actions, &mut comps);
                 }
             })
             .expect("failed to spawn UDP reception thread");
@@ -208,40 +212,94 @@ impl UdpEndpoint {
         self.shared.peers.lock().insert(peer.as_u64(), addr);
     }
 
-    /// Posts a send of `data` to `peer` and returns immediately.
-    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendHandle {
+    /// Posts a send of `data` to `peer`, returning its operation handle.
+    pub fn post_send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> Result<SendOp> {
+        let data = data.into();
         let mut actions = Vec::new();
-        let handle = {
-            let mut engine = self.shared.engine.lock();
-            let handle = engine
-                .post_send(peer, tag, data.into())
-                .expect("post_send failed");
-            engine.drain_actions_into(&mut actions);
-            handle
-        };
-        self.shared.apply_actions(&mut actions);
-        handle
+        let mut comps = Vec::new();
+        self.shared.run_engine(&mut actions, &mut comps, |engine| {
+            engine.post_send(peer, tag, data)
+        })
     }
 
-    /// Blocks until the send identified by `handle` has been fully handed to
-    /// the transport, or `timeout` expires.
-    pub fn wait_send(&self, handle: SendHandle, timeout: Duration) -> Option<usize> {
+    /// Posts an engine-buffered receive.  `src` / `tag` may be the
+    /// [`ANY_SOURCE`](ppmsg_core::ANY_SOURCE) /
+    /// [`ANY_TAG`](ppmsg_core::ANY_TAG) wildcards.
+    pub fn post_recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        let mut actions = Vec::new();
+        let mut comps = Vec::new();
+        self.shared.run_engine(&mut actions, &mut comps, |engine| {
+            engine.post_recv_with(src, tag, capacity, policy)
+        })
+    }
+
+    /// Posts a receive that reassembles directly into the caller-owned
+    /// `buf`, handed back in the completion.
+    pub fn post_recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        let mut actions = Vec::new();
+        let mut comps = Vec::new();
+        self.shared.run_engine(&mut actions, &mut comps, |engine| {
+            engine.post_recv_into(src, tag, buf, policy)
+        })
+    }
+
+    /// Cancels a still-unmatched receive; see
+    /// [`Endpoint::cancel`](ppmsg_core::Endpoint::cancel).
+    pub fn cancel(&self, op: RecvOp) -> bool {
+        let mut actions = Vec::new();
+        let mut comps = Vec::new();
+        self.shared
+            .run_engine(&mut actions, &mut comps, |engine| engine.cancel(op))
+    }
+
+    /// Drains every completion produced so far into `out`.
+    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
+        out.append(&mut self.shared.done.lock());
+    }
+
+    /// Blocks until the operation `op` completes, returning its completion,
+    /// or `None` when `timeout` expires first.
+    pub fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
         let deadline = Instant::now() + timeout;
-        let mut completions = self.shared.completions.lock();
+        let mut done = self.shared.done.lock();
         loop {
-            if let Some(bytes) = completions.sent.remove(&handle.0) {
-                return Some(bytes);
+            if let Some(pos) = done.iter().position(|c| c.op == op) {
+                return Some(done.remove(pos));
             }
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            self.shared.cv.wait_for(&mut completions, deadline - now);
+            self.shared.cv.wait_for(&mut done, deadline - now);
         }
     }
 
+    /// Posts a send of `data` to `peer` (panicking convenience wrapper
+    /// around [`UdpEndpoint::post_send`]) and returns immediately.
+    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendOp {
+        self.post_send(peer, tag, data).expect("post_send failed")
+    }
+
+    /// Blocks until the send identified by `op` has been fully handed to
+    /// the transport, or `timeout` expires.
+    pub fn wait_send(&self, op: SendOp, timeout: Duration) -> Option<usize> {
+        self.wait(OpId::Send(op), timeout).map(|c| c.len)
+    }
+
     /// Posts a receive and blocks until the message arrives or `timeout`
-    /// expires.
+    /// expires (or the receive fails; `None` in both cases).
     pub fn recv(
         &self,
         peer: ProcessId,
@@ -249,25 +307,13 @@ impl UdpEndpoint {
         max_len: usize,
         timeout: Duration,
     ) -> Option<Bytes> {
-        let mut actions = Vec::new();
-        let handle = {
-            let mut engine = self.shared.engine.lock();
-            let handle = engine.post_recv(peer, tag, max_len).ok()?;
-            engine.drain_actions_into(&mut actions);
-            handle
-        };
-        self.shared.apply_actions(&mut actions);
-        let deadline = Instant::now() + timeout;
-        let mut completions = self.shared.completions.lock();
-        loop {
-            if let Some(data) = completions.received.remove(&handle.0) {
-                return Some(data);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            self.shared.cv.wait_for(&mut completions, deadline - now);
+        let op = self
+            .post_recv(peer, tag, max_len, TruncationPolicy::Error)
+            .ok()?;
+        let completion = self.wait(OpId::Recv(op), timeout)?;
+        match completion.status {
+            Status::Ok | Status::Truncated { .. } => completion.data,
+            Status::Cancelled | Status::Error(_) => None,
         }
     }
 
@@ -289,7 +335,7 @@ impl Drop for UdpEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppmsg_core::ProtocolMode;
+    use ppmsg_core::{ProtocolMode, ANY_SOURCE};
 
     const T: Duration = Duration::from_secs(10);
 
@@ -365,5 +411,24 @@ mod tests {
         assert!(a
             .recv(b.id(), Tag(9), 64, Duration::from_millis(100))
             .is_none());
+    }
+
+    #[test]
+    fn wildcard_recv_into_over_udp() {
+        let (a, b) = pair(ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024));
+        let data = payload(8192);
+        let op = b
+            .post_recv_into(
+                ANY_SOURCE,
+                Tag(4),
+                RecvBuf::with_capacity(8192),
+                TruncationPolicy::Error,
+            )
+            .unwrap();
+        a.send(b.id(), Tag(4), data.clone());
+        let done = b.wait(OpId::Recv(op), T).expect("recv timed out");
+        assert_eq!(done.status, Status::Ok);
+        assert_eq!(done.peer, a.id());
+        assert_eq!(done.buf.unwrap().as_slice(), &data[..]);
     }
 }

@@ -5,7 +5,8 @@
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
-    Action, Endpoint, InjectMode, ProcessId, ProtocolConfig, RecvHandle, Tag, TimerId, U64Index,
+    Action, Completion, Endpoint, InjectMode, OpId, ProcessId, ProtocolConfig, RecvOp, Status, Tag,
+    TimerId, U64Index,
 };
 use simnet::loss::LossModel;
 use simnet::{EthernetLink, LinkConfig, Nic, NicConfig, Switch, SwitchConfig};
@@ -163,11 +164,12 @@ struct ProcState {
     id: ProcessId,
     endpoint: Endpoint,
     script: ScriptState,
-    /// The receive handle the process is currently blocked on, if any.
-    blocked: Option<RecvHandle>,
-    /// Completion time of each finished receive, indexed by handle value
-    /// (handles are dense per endpoint, so this is a flat table).
-    recv_done: Vec<Option<SimTime>>,
+    /// The receive operation the process is currently blocked on, if any.
+    blocked: Option<RecvOp>,
+    /// Completion time of each finished receive, indexed by operation slot
+    /// with the generation stored alongside (slots are dense and recycled,
+    /// so this stays a flat table).
+    recv_done: Vec<Option<(u32, SimTime)>>,
     /// Outstanding retransmission timers `(peer key, generation, event)`.
     /// Go-back-N keeps at most one timer per peer channel, so a linear scan
     /// over this short list is cheaper than any map.
@@ -175,16 +177,20 @@ struct ProcState {
 }
 
 impl ProcState {
-    fn recv_done_at(&self, handle: RecvHandle) -> Option<SimTime> {
-        self.recv_done.get(handle.0 as usize).copied().flatten()
+    fn recv_done_at(&self, op: RecvOp) -> Option<SimTime> {
+        self.recv_done
+            .get(op.slot() as usize)
+            .copied()
+            .flatten()
+            .and_then(|(generation, time)| (generation == op.generation()).then_some(time))
     }
 
-    fn set_recv_done(&mut self, handle: RecvHandle, time: SimTime) {
-        let idx = handle.0 as usize;
+    fn set_recv_done(&mut self, op: RecvOp, time: SimTime) {
+        let idx = op.slot() as usize;
         if self.recv_done.len() <= idx {
             self.recv_done.resize(idx + 1, None);
         }
-        self.recv_done[idx] = Some(time);
+        self.recv_done[idx] = Some((op.generation(), time));
     }
 }
 
@@ -202,6 +208,8 @@ pub struct SimCluster {
     /// Reusable action buffer (drained endpoint actions land here instead of
     /// a fresh `Vec` per event).
     action_buf: Vec<Action>,
+    /// Reusable completion buffer, drained after every engine interaction.
+    comp_buf: Vec<Completion>,
     loss: LossModel,
     frames_dropped: u64,
     max_events: u64,
@@ -231,6 +239,7 @@ impl SimCluster {
             procs: Vec::new(),
             proc_index: U64Index::new(),
             action_buf: Vec::new(),
+            comp_buf: Vec::new(),
             loss: LossModel::none(),
             frames_dropped: 0,
             max_events: 50_000_000,
@@ -359,8 +368,9 @@ impl SimCluster {
                 let mut actions = std::mem::take(&mut self.action_buf);
                 self.procs[idx].endpoint.drain_actions_into(&mut actions);
                 let cpu = self.nodes[owner.node.index()].processors().least_loaded();
-                self.process_actions(engine, owner, &mut actions, time, cpu, false);
+                let (_, done) = self.process_actions(engine, owner, &mut actions, time, cpu, false);
                 self.action_buf = actions;
+                self.absorb_completions(engine, owner, done);
             }
         }
     }
@@ -406,9 +416,10 @@ impl SimCluster {
                     ep.post_send(peer, tag, data).expect("post_send failed");
                     let mut actions = std::mem::take(&mut self.action_buf);
                     self.procs[idx].endpoint.drain_actions_into(&mut actions);
-                    let end =
+                    let (end, done) =
                         self.process_actions(engine, process, &mut actions, t1, app_cpu, false);
                     self.action_buf = actions;
+                    self.absorb_completions(engine, process, done);
                     self.procs[idx].script.pc = pc + 1;
                     engine.schedule_at(end, Ev::AppStep { process });
                     return;
@@ -456,7 +467,7 @@ impl SimCluster {
     ) {
         let idx = self.proc_idx(process);
         let app_cpu = self.nodes[process.node.index()].app_processor(process.local_rank);
-        let handle = self.procs[idx]
+        let op = self.procs[idx]
             .endpoint
             .post_recv(peer, tag, len.max(1))
             .expect("post_recv failed");
@@ -464,13 +475,15 @@ impl SimCluster {
         self.procs[idx].endpoint.drain_actions_into(&mut actions);
         // The destination translation (when not masked) was already charged
         // as part of the registration work, so skip charging it again.
-        let end = self.process_actions(engine, process, &mut actions, time, app_cpu, true);
+        let (end, comp_time) =
+            self.process_actions(engine, process, &mut actions, time, app_cpu, true);
         self.action_buf = actions;
-        if let Some(done) = self.procs[idx].recv_done_at(handle) {
+        self.absorb_completions(engine, process, comp_time);
+        if let Some(done) = self.procs[idx].recv_done_at(op) {
             let resume = done.max(end) + self.cfg.hw.wakeup_cost;
             engine.schedule_at(resume, Ev::AppStep { process });
         } else {
-            self.procs[idx].blocked = Some(handle);
+            self.procs[idx].blocked = Some(op);
         }
     }
 
@@ -518,13 +531,16 @@ impl SimCluster {
         self.procs[idx as usize]
             .endpoint
             .drain_actions_into(&mut actions);
-        self.process_actions(engine, dst, &mut actions, after_proc, cpu, false);
+        let (_, done) = self.process_actions(engine, dst, &mut actions, after_proc, cpu, false);
         self.action_buf = actions;
+        self.absorb_completions(engine, dst, done);
     }
 
     /// Converts a batch of protocol actions into simulated time, scheduling
-    /// follow-on events (wire arrivals, timers, application wake-ups).
-    /// Returns the time at which the issuing context finishes its own work.
+    /// follow-on events (wire arrivals, timers).  Returns `(cursor, done)`:
+    /// the time the issuing context finishes its own work, and the time any
+    /// parallel (least-loaded-processor) copies have drained too — the
+    /// moment completions produced by this batch become visible.
     fn process_actions(
         &mut self,
         engine: &mut Engine<Ev>,
@@ -533,7 +549,7 @@ impl SimCluster {
         start: SimTime,
         cpu: ProcessorId,
         skip_translate: bool,
-    ) -> SimTime {
+    ) -> (SimTime, SimTime) {
         let hw = self.cfg.hw.clone();
         let node_idx = owner.node.index();
         let owner_idx = self.proc_idx(owner);
@@ -660,19 +676,6 @@ impl SimCluster {
                         engine.cancel(id);
                     }
                 }
-                Action::SendComplete { .. } => {}
-                Action::RecvComplete { handle, .. } => {
-                    let done = cursor.max(parallel_end);
-                    let proc = &mut self.procs[owner_idx];
-                    proc.set_recv_done(handle, done);
-                    if proc.blocked == Some(handle) {
-                        proc.blocked = None;
-                        engine.schedule_at(done + hw.wakeup_cost, Ev::AppStep { process: owner });
-                    }
-                }
-                Action::RecvFailed { error, .. } => {
-                    panic!("simulated receive failed: {error}");
-                }
                 Action::PacketDropped { .. } => {
                     self.frames_dropped += 1;
                 }
@@ -681,7 +684,38 @@ impl SimCluster {
                 }
             }
         }
-        cursor
+        (cursor, cursor.max(parallel_end))
+    }
+
+    /// Drains the endpoint's completion queue after an engine interaction,
+    /// recording receive completion times and waking blocked scripts.  The
+    /// simulated completion time is when the interaction's processing
+    /// (including parallel copies) finished.
+    fn absorb_completions(&mut self, engine: &mut Engine<Ev>, owner: ProcessId, done: SimTime) {
+        let idx = self.proc_idx(owner);
+        let mut comps = std::mem::take(&mut self.comp_buf);
+        self.procs[idx].endpoint.drain_completions_into(&mut comps);
+        for completion in comps.drain(..) {
+            match completion.op {
+                OpId::Send(_) => {}
+                OpId::Recv(op) => match completion.status {
+                    Status::Ok | Status::Truncated { .. } => {
+                        let proc = &mut self.procs[idx];
+                        proc.set_recv_done(op, done);
+                        if proc.blocked == Some(op) {
+                            proc.blocked = None;
+                            engine.schedule_at(
+                                done + self.cfg.hw.wakeup_cost,
+                                Ev::AppStep { process: owner },
+                            );
+                        }
+                    }
+                    Status::Cancelled => {}
+                    Status::Error(error) => panic!("simulated receive failed: {error}"),
+                },
+            }
+        }
+        self.comp_buf = comps;
     }
 }
 

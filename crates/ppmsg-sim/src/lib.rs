@@ -21,9 +21,11 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod loopback;
 
 pub use cluster::{ClusterConfig, Op, ProcessScript, RunReport, SimCluster};
 pub use experiments::{
     bandwidth_sweep, btp1_sweep, btp2_sweep, early_late_test, fig3_intranode, fig4_internode,
     headline_numbers, BandwidthPoint, EarlyLateVariant, FigurePoint, HeadlineNumbers,
 };
+pub use loopback::{LoopbackCluster, LoopbackEndpoint};

@@ -1,0 +1,303 @@
+//! A deterministic, in-memory binding of the operations API onto a cluster
+//! of protocol engines — the "sim cluster" backend of the `Transport` trait
+//! in the facade crate.
+//!
+//! Unlike [`SimCluster`](crate::cluster::SimCluster), which models time and
+//! hardware and drives processes from scripts, the loopback cluster pumps
+//! the same engines **synchronously with zero latency**: every post routes
+//! the resulting packets (intranode) and go-back-N frames (internode) to
+//! their destination engines immediately, in order and without loss, until
+//! the whole cluster is quiescent.  That makes it the ideal substrate for
+//! examples, integration tests, and benchmarks that care about protocol
+//! behaviour — completions, wildcards, cancellation, truncation — rather
+//! than timing.
+//!
+//! Because delivery is lossless and in-order, retransmission timers can
+//! never usefully fire and are simply discarded.
+
+use ppmsg_core::reliability::Frame;
+use ppmsg_core::wire::Packet;
+use ppmsg_core::{
+    Action, Completion, Endpoint, OpId, ProcessId, ProtocolConfig, RecvBuf, RecvOp, Result, SendOp,
+    Tag, TruncationPolicy, U64Index,
+};
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+enum Item {
+    Packet(Packet),
+    Frame(Frame),
+}
+
+struct Proc {
+    id: ProcessId,
+    engine: Endpoint,
+    /// Completions drained from the engine, awaiting the application.
+    done: Vec<Completion>,
+}
+
+struct Router {
+    procs: Vec<Proc>,
+    index: U64Index,
+    work: VecDeque<(ProcessId, ProcessId, Item)>,
+    actions: Vec<Action>,
+}
+
+impl Router {
+    fn idx(&self, id: ProcessId) -> Option<usize> {
+        self.index.get(id.as_u64()).map(|i| i as usize)
+    }
+
+    /// Drains `procs[idx]`'s engine outputs into the work queue and its
+    /// completion list, then routes queued traffic until the cluster is
+    /// quiescent.
+    fn pump_from(&mut self, idx: usize) {
+        self.collect(idx);
+        while let Some((src, dst, item)) = self.work.pop_front() {
+            let Some(d) = self.idx(dst) else {
+                continue; // peer not added: traffic to it is dropped
+            };
+            match item {
+                Item::Packet(packet) => self.procs[d].engine.handle_packet(src, packet),
+                Item::Frame(frame) => self.procs[d].engine.handle_frame(src, frame),
+            }
+            self.collect(d);
+        }
+    }
+
+    /// Moves one engine's pending actions into the work queue and its
+    /// completions into the endpoint's done list.
+    fn collect(&mut self, idx: usize) {
+        let proc = &mut self.procs[idx];
+        let id = proc.id;
+        let mut actions = std::mem::take(&mut self.actions);
+        proc.engine.drain_actions_into(&mut actions);
+        proc.engine.drain_completions_into(&mut proc.done);
+        for action in actions.drain(..) {
+            match action {
+                Action::Transmit { dst, packet, .. } => {
+                    self.work.push_back((id, dst, Item::Packet(packet)));
+                }
+                Action::TransmitFrame { dst, frame, .. } => {
+                    self.work.push_back((id, dst, Item::Frame(frame)));
+                }
+                // Zero-latency lossless delivery: cost-model hints have no
+                // substrate to charge and timers can never usefully fire.
+                Action::Translate { .. }
+                | Action::Copy { .. }
+                | Action::SetTimer { .. }
+                | Action::CancelTimer { .. }
+                | Action::PacketDropped { .. }
+                | Action::ChannelFailed { .. } => {}
+            }
+        }
+        self.actions = actions;
+    }
+}
+
+/// A zero-latency in-memory cluster of protocol endpoints sharing one
+/// synchronous router.  Endpoints may live on the same simulated node
+/// (intranode packet path) or different nodes (internode go-back-N path).
+#[derive(Clone)]
+pub struct LoopbackCluster {
+    router: Arc<Mutex<Router>>,
+    protocol: ProtocolConfig,
+}
+
+impl LoopbackCluster {
+    /// Creates an empty cluster; every endpoint uses `protocol`.
+    pub fn new(protocol: ProtocolConfig) -> Self {
+        LoopbackCluster {
+            router: Arc::new(Mutex::new(Router {
+                procs: Vec::new(),
+                index: U64Index::new(),
+                work: VecDeque::new(),
+                actions: Vec::new(),
+            })),
+            protocol,
+        }
+    }
+
+    /// Adds a process to the cluster and returns its endpoint handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process was already added.
+    pub fn add_endpoint(&self, id: ProcessId) -> LoopbackEndpoint {
+        let mut router = self.router.lock().unwrap();
+        assert!(
+            router.index.get(id.as_u64()).is_none(),
+            "endpoint {id} added twice"
+        );
+        let idx = router.procs.len() as u32;
+        router.index.insert(id.as_u64(), idx);
+        router.procs.push(Proc {
+            id,
+            engine: Endpoint::new(id, self.protocol.clone()),
+            done: Vec::new(),
+        });
+        LoopbackEndpoint {
+            router: self.router.clone(),
+            id,
+        }
+    }
+}
+
+/// One process's handle onto a [`LoopbackCluster`].
+#[derive(Clone)]
+pub struct LoopbackEndpoint {
+    router: Arc<Mutex<Router>>,
+    id: ProcessId,
+}
+
+impl LoopbackEndpoint {
+    /// This endpoint's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn with_engine<R>(&self, f: impl FnOnce(&mut Endpoint) -> R) -> R {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        let result = f(&mut router.procs[idx].engine);
+        router.pump_from(idx);
+        result
+    }
+
+    /// Posts a send; the transfer (including any pull phase the peer
+    /// triggers) is routed to quiescence before this returns.
+    pub fn post_send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> Result<SendOp> {
+        let data = data.into();
+        self.with_engine(|e| e.post_send(peer, tag, data))
+    }
+
+    /// Posts an engine-buffered receive (wildcards allowed).
+    pub fn post_recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        self.with_engine(|e| e.post_recv_with(src, tag, capacity, policy))
+    }
+
+    /// Posts a caller-buffered receive (wildcards allowed).
+    pub fn post_recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        self.with_engine(|e| e.post_recv_into(src, tag, buf, policy))
+    }
+
+    /// Cancels a still-unmatched receive; see
+    /// [`Endpoint::cancel`](ppmsg_core::Endpoint::cancel).
+    pub fn cancel(&self, op: RecvOp) -> bool {
+        self.with_engine(|e| e.cancel(op))
+    }
+
+    /// Drains every completion produced so far into `out`.
+    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        out.append(&mut router.procs[idx].done);
+    }
+
+    /// Takes the completion of `op` if the operation has finished.  The
+    /// cluster is synchronous, so anything that can complete has already
+    /// completed by the time this is called — there is nothing to wait for.
+    pub fn take_completion(&self, op: OpId) -> Option<Completion> {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        let done = &mut router.procs[idx].done;
+        let pos = done.iter().position(|c| c.op == op)?;
+        Some(done.remove(pos))
+    }
+
+    /// Protocol statistics of this endpoint.
+    pub fn stats(&self) -> ppmsg_core::EndpointStats {
+        let router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        router.procs[idx].engine.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppmsg_core::{Status, ANY_SOURCE, ANY_TAG};
+
+    fn payload(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn intranode_and_internode_transfer() {
+        let cluster =
+            LoopbackCluster::new(ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024));
+        let a = cluster.add_endpoint(ProcessId::new(0, 0));
+        let b = cluster.add_endpoint(ProcessId::new(0, 1)); // same node
+        let c = cluster.add_endpoint(ProcessId::new(1, 0)); // other node
+        for peer in [&b, &c] {
+            let data = payload(10_000);
+            let recv = peer
+                .post_recv(a.id(), Tag(1), 10_000, TruncationPolicy::Error)
+                .unwrap();
+            let send = a.post_send(peer.id(), Tag(1), data.clone()).unwrap();
+            let done = peer.take_completion(OpId::Recv(recv)).expect("delivered");
+            assert_eq!(done.status, Status::Ok);
+            assert_eq!(done.data.unwrap(), data);
+            assert!(a.take_completion(OpId::Send(send)).is_some());
+        }
+    }
+
+    #[test]
+    fn wildcard_and_cancel() {
+        let cluster =
+            LoopbackCluster::new(ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024));
+        let a = cluster.add_endpoint(ProcessId::new(0, 0));
+        let b = cluster.add_endpoint(ProcessId::new(1, 0));
+        let cancelled = b
+            .post_recv(a.id(), Tag(9), 64, TruncationPolicy::Error)
+            .unwrap();
+        assert!(b.cancel(cancelled));
+        let wild = b
+            .post_recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
+            .unwrap();
+        let data = payload(2000);
+        a.post_send(b.id(), Tag(9), data.clone()).unwrap();
+        let done = b.take_completion(OpId::Recv(wild)).expect("wildcard match");
+        assert_eq!(done.peer, a.id());
+        assert_eq!(done.tag, Tag(9));
+        assert_eq!(done.data.unwrap(), data);
+        assert_eq!(
+            b.take_completion(OpId::Recv(cancelled)).unwrap().status,
+            Status::Cancelled
+        );
+    }
+
+    #[test]
+    fn recv_into_returns_buffer() {
+        let cluster = LoopbackCluster::new(ProtocolConfig::paper_intranode());
+        let a = cluster.add_endpoint(ProcessId::new(0, 0));
+        let b = cluster.add_endpoint(ProcessId::new(0, 1));
+        let data = payload(4096);
+        let op = b
+            .post_recv_into(
+                a.id(),
+                Tag(2),
+                RecvBuf::with_capacity(4096),
+                TruncationPolicy::Error,
+            )
+            .unwrap();
+        a.post_send(b.id(), Tag(2), data.clone()).unwrap();
+        let done = b.take_completion(OpId::Recv(op)).expect("delivered");
+        let buf = done.buf.expect("buffer handed back");
+        assert_eq!(buf.as_slice(), &data[..]);
+    }
+}

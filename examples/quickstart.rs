@@ -1,12 +1,67 @@
 //! Quickstart: drive the sans-I/O protocol engine by hand.
 //!
 //! Two endpoints on the same node exchange a 4 KiB message; we relay the
-//! engine's actions ourselves so every protocol step is visible.
+//! engine's actions ourselves so every protocol step is visible, then drain
+//! the completion queues for the results.  A second exchange receives into a
+//! caller-owned buffer (`post_recv_into`) — the allocation-free pull path.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use bytes::Bytes;
 use push_pull_messaging::prelude::*;
+
+/// Relays one endpoint's actions into the other, printing each step.
+fn pump(me: &mut Endpoint, other: &mut Endpoint) -> bool {
+    let mut progressed = false;
+    while let Some(action) = me.poll_action() {
+        progressed = true;
+        match action {
+            Action::Transmit { packet, .. } => {
+                println!(
+                    "  {} -> {}: {:?} ({} payload bytes)",
+                    me.id(),
+                    other.id(),
+                    packet.header.kind,
+                    packet.payload.len()
+                );
+                other.handle_packet(me.id(), packet);
+            }
+            Action::Copy { kind, bytes, .. } => {
+                println!("  {}: copy {:?} of {} bytes", me.id(), kind, bytes);
+            }
+            _ => {}
+        }
+    }
+    progressed
+}
+
+fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
+    loop {
+        let mut progressed = pump(sender, receiver);
+        progressed |= pump(receiver, sender);
+        if !progressed {
+            break;
+        }
+    }
+}
+
+/// Prints and returns every completion an endpoint has queued.
+fn drain(endpoint: &mut Endpoint) -> Vec<Completion> {
+    let mut out = Vec::new();
+    endpoint.drain_completions_into(&mut out);
+    for c in &out {
+        println!(
+            "  {}: {} completed with {:?} ({} bytes, peer {}, {})",
+            endpoint.id(),
+            c.op,
+            c.status,
+            c.len,
+            c.peer,
+            c.tag
+        );
+    }
+    out
+}
 
 fn main() {
     let cfg = ProtocolConfig::paper_intranode();
@@ -21,49 +76,37 @@ fn main() {
         message.len()
     );
     sender.post_send(bob, Tag(7), message.clone()).unwrap();
-    receiver.post_recv(alice, Tag(7), 4096).unwrap();
+    let recv_op = receiver.post_recv(alice, Tag(7), 4096).unwrap();
+    relay(&mut sender, &mut receiver);
 
-    // Relay packets between the two endpoints until both go idle, printing
-    // each protocol step.
-    fn pump(me: &mut Endpoint, other: &mut Endpoint, delivered: &mut Option<bytes::Bytes>) -> bool {
-        let mut progressed = false;
-        while let Some(action) = me.poll_action() {
-            progressed = true;
-            match action {
-                Action::Transmit { packet, .. } => {
-                    println!(
-                        "  {} -> {}: {:?} ({} payload bytes)",
-                        me.id(),
-                        other.id(),
-                        packet.header.kind,
-                        packet.payload.len()
-                    );
-                    other.handle_packet(me.id(), packet);
-                }
-                Action::Copy { kind, bytes, .. } => {
-                    println!("  {}: copy {:?} of {} bytes", me.id(), kind, bytes);
-                }
-                Action::RecvComplete { data, .. } => {
-                    println!("  {}: receive complete ({} bytes)", me.id(), data.len());
-                    *delivered = Some(data);
-                }
-                Action::SendComplete { bytes, .. } => {
-                    println!("  {}: send complete ({bytes} bytes)", me.id());
-                }
-                _ => {}
-            }
-        }
-        progressed
-    }
+    drain(&mut sender);
+    let delivered = drain(&mut receiver)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(recv_op))
+        .expect("message must be delivered");
+    assert_eq!(delivered.status, Status::Ok);
+    assert_eq!(delivered.data.unwrap(), message);
+    println!("message delivered intact through the completion queue");
 
-    let mut delivered = None;
-    loop {
-        let mut progressed = pump(&mut sender, &mut receiver, &mut delivered);
-        progressed |= pump(&mut receiver, &mut sender, &mut delivered);
-        if !progressed {
-            break;
-        }
-    }
-    assert_eq!(delivered.expect("message must be delivered"), message);
-    println!("message delivered intact — done");
+    // Round two: a caller-owned buffer. The engine reassembles the pushed
+    // and pulled fragments directly into it and hands it back.
+    println!("\nreceiving into a caller-owned RecvBuf (allocation-free pull path)");
+    let op = receiver
+        .post_recv_into(
+            alice,
+            Tag(8),
+            RecvBuf::with_capacity(4096),
+            TruncationPolicy::Error,
+        )
+        .unwrap();
+    sender.post_send(bob, Tag(8), message.clone()).unwrap();
+    relay(&mut sender, &mut receiver);
+    drain(&mut sender);
+    let completion = drain(&mut receiver)
+        .into_iter()
+        .find(|c| c.op == OpId::Recv(op))
+        .expect("caller-buffered receive must complete");
+    let buf = completion.buf.expect("buffer handed back");
+    assert_eq!(buf.as_slice(), &message[..]);
+    println!("caller buffer returned with {} bytes — done", buf.len());
 }

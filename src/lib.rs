@@ -4,12 +4,17 @@
 //! ICPP 1999).  It re-exports the workspace crates so examples, integration
 //! tests and downstream users can depend on a single package:
 //!
-//! * [`core`](ppmsg_core) — the sans-I/O protocol engine (Push-Zero /
-//!   Push-Pull / Push-All, BTP policy, go-back-N, zero-buffer descriptors).
-//! * [`sim`](ppmsg_sim) — the paper's testbed as a discrete-event simulation
-//!   plus the experiment harness for every figure.
-//! * [`host`](ppmsg_host) — the same engine over real shared memory
+//! * [`core`] — the sans-I/O protocol engine (Push-Zero / Push-Pull /
+//!   Push-All, BTP policy, go-back-N, zero-buffer descriptors) and the
+//!   typed operations layer (`SendOp`/`RecvOp` handles, completion queues,
+//!   caller-owned receive buffers, wildcards, cancellation).
+//! * [`sim`] — the paper's testbed as a discrete-event simulation
+//!   plus the experiment harness for every figure, and the deterministic
+//!   loopback binding of the operations API.
+//! * [`host`] — the same engine over real shared memory
 //!   (threads) and UDP sockets.
+//! * [`transport`] — the [`Transport`] trait: one post / drain-completions /
+//!   wait front-end implemented by every backend.
 //! * [`simsmp`] / [`simnet`] — the SMP-node and Fast-Ethernet substrates.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
@@ -21,11 +26,19 @@ pub use ppmsg_sim as sim;
 pub use simnet;
 pub use simsmp;
 
+pub mod transport;
+
+pub use transport::Transport;
+
 /// The protocol types most users need, re-exported flat.
 pub mod prelude {
+    pub use crate::transport::Transport;
     pub use ppmsg_core::{
-        Action, BtpPolicy, Endpoint, OptFlags, ProcessId, ProtocolConfig, ProtocolMode, Tag,
+        Action, BtpPolicy, Completion, Endpoint, OpId, OptFlags, ProcessId, ProtocolConfig,
+        ProtocolMode, RecvBuf, RecvOp, SendOp, Status, Tag, TruncationPolicy,
     };
     pub use ppmsg_host::{HostCluster, HostEndpoint, UdpEndpoint};
-    pub use ppmsg_sim::{ClusterConfig, Op, ProcessScript, SimCluster};
+    pub use ppmsg_sim::{
+        ClusterConfig, LoopbackCluster, LoopbackEndpoint, Op, ProcessScript, SimCluster,
+    };
 }

@@ -71,6 +71,108 @@ fn host_and_sim_backends_both_deliver_all_modes() {
     }
 }
 
+/// Exercises the shared `Transport` front-end on any backend: exact and
+/// wildcard matching, caller-owned buffers, cancellation, and batch
+/// completion draining.  The same function runs against the intranode
+/// fabric, the UDP backend, and the sim-cluster loopback binding.
+fn exercise_transport<T: Transport>(a: &T, b: &T, label: &str) {
+    use push_pull_messaging::core::{ANY_SOURCE, ANY_TAG};
+
+    // Exact-match blocking round trip through the provided conveniences.
+    let data = payload(4096);
+    let recv = b
+        .post_recv(a.local_id(), Tag(1), 4096, TruncationPolicy::Error)
+        .unwrap();
+    let sent = a
+        .send_blocking(b.local_id(), Tag(1), data.clone(), TIMEOUT)
+        .expect("send completed");
+    assert_eq!(sent, 4096, "{label}");
+    let done = b.wait(OpId::Recv(recv), TIMEOUT).expect("recv completed");
+    assert_eq!(done.status, Status::Ok, "{label}");
+    assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
+
+    // Wildcard receive: reports the concrete source and tag.
+    let wild = b
+        .post_recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
+        .unwrap();
+    a.send_blocking(b.local_id(), Tag(42), data.clone(), TIMEOUT)
+        .expect("wildcard send");
+    let done = b.wait(OpId::Recv(wild), TIMEOUT).expect("wildcard recv");
+    assert_eq!(done.peer, a.local_id(), "{label}");
+    assert_eq!(done.tag, Tag(42), "{label}");
+    assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
+
+    // Caller-owned buffer: the multi-fragment pull path lands in our
+    // storage and the buffer comes back in the completion.
+    let op = b
+        .post_recv_into(
+            a.local_id(),
+            Tag(2),
+            RecvBuf::with_capacity(4096),
+            TruncationPolicy::Error,
+        )
+        .unwrap();
+    a.send_blocking(b.local_id(), Tag(2), data.clone(), TIMEOUT)
+        .expect("recv_into send");
+    let done = b.wait(OpId::Recv(op), TIMEOUT).expect("recv_into recv");
+    assert_eq!(done.status, Status::Ok, "{label}");
+    let buf = done.buf.expect("buffer handed back");
+    assert_eq!(buf.as_slice(), &data[..], "{label}");
+
+    // Cancellation: the op completes Cancelled, never with data, and the
+    // message posted afterwards goes to the replacement receive.
+    let doomed = b
+        .post_recv(a.local_id(), Tag(3), 4096, TruncationPolicy::Error)
+        .unwrap();
+    assert!(b.cancel(doomed), "{label}: pending recv must cancel");
+    assert!(!b.cancel(doomed), "{label}: stale handle must not cancel");
+    let done = b.wait(OpId::Recv(doomed), TIMEOUT).expect("cancellation");
+    assert_eq!(done.status, Status::Cancelled, "{label}");
+    let replacement = b
+        .post_recv(a.local_id(), Tag(3), 4096, TruncationPolicy::Error)
+        .unwrap();
+    a.send_blocking(b.local_id(), Tag(3), data.clone(), TIMEOUT)
+        .expect("post-cancel send");
+    let done = b
+        .wait(OpId::Recv(replacement), TIMEOUT)
+        .expect("replacement");
+    assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
+
+    // Batch draining: nothing left over after the waits above.
+    let mut leftovers = Vec::new();
+    b.drain_completions(&mut leftovers);
+    assert!(
+        leftovers.iter().all(|c| matches!(c.op, OpId::Send(_))),
+        "{label}: no receive completions may linger"
+    );
+}
+
+#[test]
+fn transport_trait_drives_intranode_udp_and_loopback_backends() {
+    // Intranode shared-memory fabric.
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(128 * 1024),
+    );
+    let a = cluster.add_endpoint(0);
+    let b = cluster.add_endpoint(1);
+    exercise_transport(&a, &b, "intranode");
+
+    // UDP internode backend.
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
+    let a = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    a.add_peer(b.id(), b.local_addr().unwrap());
+    b.add_peer(a.id(), a.local_addr().unwrap());
+    exercise_transport(&a, &b, "udp");
+
+    // Deterministic sim-cluster loopback binding.
+    let cluster = LoopbackCluster::new(proto);
+    let a = cluster.add_endpoint(ProcessId::new(0, 0));
+    let b = cluster.add_endpoint(ProcessId::new(1, 0));
+    exercise_transport(&a, &b, "loopback");
+}
+
 #[test]
 fn udp_and_intranode_backends_interoperate_with_same_engine_config() {
     let proto = ProtocolConfig::paper_internode().with_pushed_buffer(64 * 1024);

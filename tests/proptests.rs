@@ -7,7 +7,9 @@ use push_pull_messaging::core::queues::Assembly;
 use push_pull_messaging::core::reliability::{Frame, GbnConfig, GbnEvent, GoBackN};
 use push_pull_messaging::core::wire::{Packet, PacketHeader, PacketKind, PushPart};
 use push_pull_messaging::core::zbuf::pages_spanned;
-use push_pull_messaging::core::{BtpPolicy, BtpSplit, MessageId, OptFlags, ProtocolMode};
+use push_pull_messaging::core::{
+    BtpPolicy, BtpSplit, MessageId, OptFlags, ProtocolMode, TruncationPolicy, ANY_SOURCE, ANY_TAG,
+};
 use push_pull_messaging::prelude::*;
 
 fn arb_mode() -> impl Strategy<Value = ProtocolMode> {
@@ -223,7 +225,6 @@ proptest! {
             receiver.post_recv(a, Tag(1), len).unwrap();
         }
 
-        let mut delivered = None;
         for _ in 0..10_000 {
             let mut progressed = false;
             while let Some(action) = sender.poll_action() {
@@ -239,12 +240,17 @@ proptest! {
                 match action {
                     Action::TransmitFrame { frame, .. } => sender.handle_frame(b, frame),
                     Action::Transmit { packet, .. } => sender.handle_packet(b, packet),
-                    Action::RecvComplete { data, .. } => delivered = Some(data),
                     _ => {}
                 }
             }
             if !progressed {
                 break;
+            }
+        }
+        let mut delivered = None;
+        while let Some(c) = receiver.poll_completion() {
+            if let (OpId::Recv(_), Status::Ok) = (&c.op, &c.status) {
+                delivered = c.data.clone();
             }
         }
         prop_assert_eq!(delivered.expect("message delivered"), data);
@@ -259,7 +265,7 @@ proptest! {
 
 mod models {
     use push_pull_messaging::core::queues::{PendingSend, PostedReceive};
-    use push_pull_messaging::core::{MessageId, ProcessId, Tag};
+    use push_pull_messaging::core::{MessageId, ProcessId, RecvOp, Tag};
     use std::collections::HashMap;
 
     /// The original receive queue: linear scan over a flat `Vec`.
@@ -285,11 +291,8 @@ mod models {
             self.posted.iter().find(|r| r.src == src && r.tag == tag)
         }
 
-        pub fn cancel(
-            &mut self,
-            handle: push_pull_messaging::core::RecvHandle,
-        ) -> Option<PostedReceive> {
-            let idx = self.posted.iter().position(|r| r.handle == handle)?;
+        pub fn cancel(&mut self, op: RecvOp) -> Option<PostedReceive> {
+            let idx = self.posted.iter().position(|r| r.op == op)?;
             Some(self.posted.remove(idx))
         }
 
@@ -384,23 +387,23 @@ proptest! {
         ops in proptest::collection::vec((0u8..4, 0u8..3, 0u32..3), 1..80),
     ) {
         use push_pull_messaging::core::queues::{PostedReceive, ReceiveQueue};
-        use push_pull_messaging::core::RecvHandle;
 
         let srcs = [ProcessId::new(0, 0), ProcessId::new(0, 1), ProcessId::new(1, 0)];
         let mut real = ReceiveQueue::new();
         let mut model = models::ModelRecvQueue::default();
-        let mut next_handle = 0u64;
+        let mut next_handle = 0u32;
         for (kind, src_sel, tag) in ops {
             let src = srcs[src_sel as usize];
             let tag = Tag(tag);
             match kind {
                 0 | 3 => {
                     let recv = PostedReceive {
-                        handle: RecvHandle(next_handle),
+                        op: RecvOp::from_raw(next_handle, 0),
                         src,
                         tag,
                         capacity: 64,
                         translated: false,
+                        policy: TruncationPolicy::Error,
                     };
                     next_handle += 1;
                     real.register(recv);
@@ -413,7 +416,10 @@ proptest! {
                     // Cancel a pseudo-random previously issued handle (may
                     // already be matched/cancelled: both must agree).
                     if next_handle > 0 {
-                        let h = RecvHandle((tag.0 as u64 * 7 + src_sel as u64) % next_handle);
+                        let h = RecvOp::from_raw(
+                            (tag.0 * 7 + src_sel as u32) % next_handle,
+                            0,
+                        );
                         prop_assert_eq!(real.cancel(h), model.cancel(h));
                     }
                 }
@@ -477,7 +483,7 @@ proptest! {
         ops in proptest::collection::vec((0u8..3, 0u64..24), 1..80),
     ) {
         use push_pull_messaging::core::queues::{PendingSend, SendQueue};
-        use push_pull_messaging::core::{MessageId, SendHandle};
+        use push_pull_messaging::core::MessageId;
 
         let mut real = SendQueue::new();
         let mut model = models::ModelSendQueue::default();
@@ -486,7 +492,7 @@ proptest! {
             match kind {
                 0 => {
                     let send = PendingSend {
-                        handle: SendHandle(next_id),
+                        op: SendOp::from_raw(next_id as u32, 0),
                         dst: ProcessId::new(1, 0),
                         tag: Tag(0),
                         msg_id: MessageId(next_id),
@@ -508,16 +514,13 @@ proptest! {
                 1 => {
                     let id = MessageId(sel);
                     prop_assert_eq!(
-                        real.remove(id).map(|s| s.handle),
-                        model.remove(id).map(|s| s.handle)
+                        real.remove(id).map(|s| s.op),
+                        model.remove(id).map(|s| s.op)
                     );
                 }
                 _ => {
                     let id = MessageId(sel);
-                    prop_assert_eq!(
-                        real.get(id).map(|s| s.handle),
-                        model.get(id).map(|s| s.handle)
-                    );
+                    prop_assert_eq!(real.get(id).map(|s| s.op), model.get(id).map(|s| s.op));
                 }
             }
             prop_assert_eq!(real.len(), model.len());
@@ -551,7 +554,7 @@ proptest! {
                 sender.post_send(b, Tag(tag_sels[i]), payloads[i].clone()).unwrap();
             }
         };
-        let post_recvs = |receiver: &mut Endpoint| -> Vec<(u32, push_pull_messaging::core::RecvHandle)> {
+        let post_recvs = |receiver: &mut Endpoint| -> Vec<(u32, RecvOp)> {
             (0..k)
                 .map(|i| {
                     let tag = tag_sels[i];
@@ -570,7 +573,6 @@ proptest! {
         };
 
         // Relay until quiet.
-        let mut delivered: Vec<(push_pull_messaging::core::RecvHandle, Bytes)> = Vec::new();
         for _ in 0..10_000 {
             let mut progressed = false;
             while let Some(action) = sender.poll_action() {
@@ -586,12 +588,18 @@ proptest! {
                 match action {
                     Action::TransmitFrame { frame, .. } => sender.handle_frame(b, frame),
                     Action::Transmit { packet, .. } => sender.handle_packet(b, packet),
-                    Action::RecvComplete { handle, data, .. } => delivered.push((handle, data)),
                     _ => {}
                 }
             }
             if !progressed {
                 break;
+            }
+        }
+        let mut delivered: Vec<(RecvOp, Bytes)> = Vec::new();
+        while let Some(c) = receiver.poll_completion() {
+            if let OpId::Recv(op) = c.op {
+                prop_assert_eq!(&c.status, &Status::Ok);
+                delivered.push((op, c.data.clone().expect("engine-buffered data")));
             }
         }
         prop_assert_eq!(delivered.len(), k, "every message delivered exactly once");
@@ -603,14 +611,135 @@ proptest! {
             sent_per_tag.entry(tag).or_default().push(i);
         }
         let mut seen_per_tag: std::collections::HashMap<u32, usize> = Default::default();
-        let by_handle: std::collections::HashMap<u64, Bytes> =
-            delivered.into_iter().map(|(h, d)| (h.0, d)).collect();
+        let by_handle: std::collections::HashMap<RecvOp, Bytes> =
+            delivered.into_iter().collect();
         for (tag, handle) in handles {
             let j = *seen_per_tag.entry(tag).or_default();
             seen_per_tag.insert(tag, j + 1);
             let msg_idx = sent_per_tag[&tag][j];
-            let got = by_handle.get(&handle.0).expect("handle completed");
+            let got = by_handle.get(&handle).expect("handle completed");
             prop_assert_eq!(got, &payloads[msg_idx], "tag {} position {}", tag, j);
         }
+    }
+
+    /// Wildcard matching is FIFO-consistent with the naive linear-scan
+    /// model: for any interleaving of exact and wildcard registrations with
+    /// concrete incoming messages, the bucketed queue picks exactly the
+    /// receive a front-to-back scan over posting order would pick.
+    #[test]
+    fn wildcard_matching_is_fifo_consistent_with_linear_scan(
+        ops in proptest::collection::vec((0u8..2, 0u8..3, 0u8..3), 1..100),
+    ) {
+        use push_pull_messaging::core::queues::{PostedReceive, ReceiveQueue};
+
+        let srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0), ANY_SOURCE];
+        let tags = [Tag(0), Tag(1), ANY_TAG];
+        let concrete_srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0)];
+        let mut real = ReceiveQueue::new();
+        // The naive model: posted receives in posting order, matched by a
+        // front-to-back scan honouring wildcard selectors.
+        let mut model: Vec<PostedReceive> = Vec::new();
+        let mut next = 0u32;
+        for (kind, src_sel, tag_sel) in ops {
+            match kind {
+                0 => {
+                    let recv = PostedReceive {
+                        op: RecvOp::from_raw(next, 0),
+                        src: srcs[src_sel as usize],
+                        tag: tags[tag_sel as usize],
+                        capacity: 64,
+                        translated: false,
+                        policy: TruncationPolicy::Error,
+                    };
+                    next += 1;
+                    real.register(recv);
+                    model.push(recv);
+                }
+                _ => {
+                    // An incoming message always has concrete source/tag.
+                    let src = concrete_srcs[(src_sel % 2) as usize];
+                    let tag = tags[(tag_sel % 2) as usize];
+                    let model_hit = model
+                        .iter()
+                        .position(|r| {
+                            (r.src.is_any_source() || r.src == src)
+                                && (r.tag.is_any() || r.tag == tag)
+                        })
+                        .map(|i| model.remove(i));
+                    let real_peek = real.peek_match(src, tag).copied();
+                    let real_hit = real.match_incoming(src, tag);
+                    prop_assert_eq!(real_peek, real_hit);
+                    prop_assert_eq!(real_hit.map(|r| r.op), model_hit.map(|r| r.op));
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+        }
+    }
+
+    /// A cancelled `RecvOp` is never completed afterwards: its only
+    /// completion is `Cancelled`, and every message it would have matched is
+    /// delivered to surviving receives instead.
+    #[test]
+    fn cancelled_recv_op_is_never_completed(
+        count in 1usize..6,
+        cancel_mask in 0u8..32,
+        sizes in proptest::collection::vec(1usize..4000, 6..7),
+    ) {
+        let cfg = ProtocolConfig::paper_internode().with_pushed_buffer(1 << 20);
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        let mut sender = Endpoint::new(a, cfg.clone());
+        let mut receiver = Endpoint::new(b, cfg);
+
+        let ops: Vec<RecvOp> = (0..count)
+            .map(|_| receiver.post_recv(a, Tag(1), 4096).unwrap())
+            .collect();
+        let cancelled: Vec<RecvOp> = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| cancel_mask & (1 << i) != 0)
+            .map(|(_, &op)| op)
+            .collect();
+        for &op in &cancelled {
+            prop_assert!(receiver.cancel(op));
+        }
+        let survivors = count - cancelled.len();
+        for size in sizes.iter().take(survivors) {
+            sender.post_send(b, Tag(1), Bytes::from(vec![7u8; *size])).unwrap();
+        }
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            while let Some(action) = sender.poll_action() {
+                progressed = true;
+                if let Action::TransmitFrame { frame, .. } = action {
+                    receiver.handle_frame(a, frame);
+                }
+            }
+            while let Some(action) = receiver.poll_action() {
+                progressed = true;
+                if let Action::TransmitFrame { frame, .. } = action {
+                    sender.handle_frame(b, frame);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let mut completed_ok = 0usize;
+        while let Some(c) = receiver.poll_completion() {
+            if let OpId::Recv(op) = c.op {
+                if cancelled.contains(&op) {
+                    prop_assert_eq!(
+                        c.status,
+                        Status::Cancelled,
+                        "cancelled op may only report cancellation"
+                    );
+                } else {
+                    prop_assert_eq!(c.status, Status::Ok);
+                    completed_ok += 1;
+                }
+            }
+        }
+        prop_assert_eq!(completed_ok, survivors, "survivors all complete");
     }
 }

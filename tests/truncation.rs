@@ -1,0 +1,107 @@
+//! Regression tests for the ROADMAP PR-1 "too-small receive poisons the
+//! message" bug, at the backend level.
+//!
+//! The seed dropped an arriving message's state when it matched a too-small
+//! receive, discarding the already-delivered eager prefix; a later
+//! big-enough receive would then re-create partial state, the pull phase
+//! would fill in everything *except* the discarded prefix, and the receive
+//! hung forever.  Under the operations API a too-small receive under
+//! [`TruncationPolicy::Error`] completes with `Status::Error` and the
+//! message stays intact for the next adequate receive, while
+//! [`TruncationPolicy::Truncate`] delivers the prefix that fits.
+
+use push_pull_messaging::core::Error;
+use push_pull_messaging::prelude::*;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i * 13 % 256) as u8).collect::<Vec<u8>>())
+}
+
+/// Too-small receive with `TruncationPolicy::Error` completes with an error
+/// and the next adequate receive gets the full message.
+fn exercise_error_policy<T: Transport>(a: &T, b: &T, label: &str) {
+    let data = payload(8192);
+    a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
+    // Too-small receive: must fail, not hang and not poison.
+    let small = b
+        .post_recv(a.local_id(), Tag(1), 64, TruncationPolicy::Error)
+        .unwrap();
+    let failed = b
+        .wait(OpId::Recv(small), TIMEOUT)
+        .unwrap_or_else(|| panic!("{label}: too-small receive never completed"));
+    assert!(
+        matches!(
+            failed.status,
+            Status::Error(Error::ReceiveTooSmall {
+                posted: 64,
+                incoming: 8192
+            })
+        ),
+        "{label}: unexpected status {:?}",
+        failed.status
+    );
+    // The message is unharmed: an adequate receive obtains every byte,
+    // including the eager prefix the seed used to discard.
+    let ok = b
+        .post_recv(a.local_id(), Tag(1), 8192, TruncationPolicy::Error)
+        .unwrap();
+    let done = b
+        .wait(OpId::Recv(ok), TIMEOUT)
+        .unwrap_or_else(|| panic!("{label}: adequate receive hung (poisoned message)"));
+    assert_eq!(done.status, Status::Ok, "{label}");
+    assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
+}
+
+/// `TruncationPolicy::Truncate` completes with `Status::Truncated` and the
+/// prefix that fits, consuming the message.
+fn exercise_truncate_policy<T: Transport>(a: &T, b: &T, label: &str) {
+    let data = payload(8192);
+    a.post_send(b.local_id(), Tag(2), data.clone()).unwrap();
+    let op = b
+        .post_recv(a.local_id(), Tag(2), 100, TruncationPolicy::Truncate)
+        .unwrap();
+    let done = b
+        .wait(OpId::Recv(op), TIMEOUT)
+        .unwrap_or_else(|| panic!("{label}: truncating receive never completed"));
+    assert_eq!(
+        done.status,
+        Status::Truncated { message_len: 8192 },
+        "{label}"
+    );
+    assert_eq!(done.len, 100, "{label}");
+    assert_eq!(done.data.as_deref(), Some(&data[..100]), "{label}");
+}
+
+#[test]
+fn too_small_receive_no_longer_poisons_the_message() {
+    // Intranode fabric.
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(128 * 1024),
+    );
+    let a = cluster.add_endpoint(0);
+    let b = cluster.add_endpoint(1);
+    exercise_error_policy(&a, &b, "intranode");
+    exercise_truncate_policy(&a, &b, "intranode");
+
+    // UDP backend.
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
+    let a = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    a.add_peer(b.id(), b.local_addr().unwrap());
+    b.add_peer(a.id(), a.local_addr().unwrap());
+    exercise_error_policy(&a, &b, "udp");
+    exercise_truncate_policy(&a, &b, "udp");
+
+    // Sim-cluster loopback binding.
+    let cluster = LoopbackCluster::new(proto);
+    let a = cluster.add_endpoint(ProcessId::new(0, 0));
+    let b = cluster.add_endpoint(ProcessId::new(1, 0));
+    exercise_error_policy(&a, &b, "loopback");
+    exercise_truncate_policy(&a, &b, "loopback");
+}

@@ -1,6 +1,8 @@
-//! Regression test for the PR-1 acceptance criterion: the steady-state
-//! `post_send` → `handle_packet`/`handle_frame` → `RecvComplete` loop must
-//! perform **zero heap allocations**.
+//! Regression test for the PR-1/PR-2 acceptance criteria: the steady-state
+//! `post_send` → `handle_packet`/`handle_frame` → completion loop must
+//! perform **zero heap allocations** — both for fully-eager single-packet
+//! ping-pong and for the **multi-fragment pulled path** received through a
+//! recycled caller-owned buffer (`post_recv_into`).
 //!
 //! Two independent detectors have to agree:
 //!
@@ -8,12 +10,15 @@
 //!    file is its own test binary with a single test, so nothing else
 //!    allocates concurrently), and
 //! 2. [`EndpointStats::steady_allocs`], the engine's own instrumentation of
-//!    its arenas, index tables, pools, and action queue.
+//!    its arenas, index tables, operation slabs, pools, go-back-N queues,
+//!    action queue, and completion queue.
 //!
-//! The loop is the `lib.rs` doc-example ping-pong with a message small
-//! enough to travel fully eagerly in one packet — the latency-critical
-//! regime the paper tunes BTP for, and the regime where a single `malloc`
-//! would be visible in the microsecond budget.
+//! The fully-eager loop is the `lib.rs` doc-example ping-pong with a message
+//! small enough to travel in one packet — the latency-critical regime the
+//! paper tunes BTP for.  The pulled loop moves 4 KiB messages whose
+//! remainder is fragmented and pulled; the seed allocated twice per delivery
+//! there (assembly storage handoff + owned `Bytes`), which the caller-owned
+//! receive buffer eliminates.
 
 use bytes::Bytes;
 use push_pull_messaging::prelude::*;
@@ -45,9 +50,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-/// Relays actions between two endpoints until both are quiet, delivering
-/// completions nowhere (the data `Bytes` are dropped, which only drops a
-/// reference count on the sender's buffer).
+/// Relays actions between two endpoints until both are quiet.
 fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
     loop {
         let mut progressed = false;
@@ -70,6 +73,13 @@ fn relay(sender: &mut Endpoint, receiver: &mut Endpoint) {
     }
 }
 
+/// Drains both completion queues, dropping the results (dropping a
+/// zero-copy `Bytes` delivery only decrements a reference count).
+fn drain_completions(a: &mut Endpoint, b: &mut Endpoint) {
+    while a.poll_completion().is_some() {}
+    while b.poll_completion().is_some() {}
+}
+
 fn pingpong_round(a: &mut Endpoint, b: &mut Endpoint, data: &Bytes) {
     let size = data.len();
     b.post_recv(a.id(), Tag(1), size).unwrap();
@@ -78,6 +88,7 @@ fn pingpong_round(a: &mut Endpoint, b: &mut Endpoint, data: &Bytes) {
     a.post_recv(b.id(), Tag(2), size).unwrap();
     b.post_send(a.id(), Tag(2), data.clone()).unwrap();
     relay(b, a);
+    drain_completions(a, b);
 }
 
 fn assert_steady_state_zero_alloc(cfg: ProtocolConfig, intranode: bool, size: usize, label: &str) {
@@ -91,8 +102,10 @@ fn assert_steady_state_zero_alloc(cfg: ProtocolConfig, intranode: bool, size: us
     let mut b = Endpoint::new(b_id, cfg);
     // `size` must fit inside the path's BTP so each message travels as
     // exactly one fully-eager packet and is delivered as a zero-copy slice
-    // of it.  (A pulled remainder is reassembled into a freshly owned
-    // `Bytes`, which necessarily allocates once per delivered message.)
+    // of it.  (A pulled remainder delivered through `post_recv` is
+    // reassembled into a freshly owned `Bytes`, which necessarily allocates
+    // once per delivered message — see the `post_recv_into` loop below for
+    // the allocation-free pull path.)
     let data = Bytes::from(vec![0xEEu8; size]);
 
     // Warm-up: size every arena, index table, pool, and queue.
@@ -122,8 +135,65 @@ fn assert_steady_state_zero_alloc(cfg: ProtocolConfig, intranode: bool, size: us
     assert_eq!(a.stats().recvs_completed, 1064, "{label}: recvs completed");
 }
 
+/// The multi-fragment pulled path through a recycled caller-owned buffer:
+/// each 4 KiB message pushes 16 eager bytes and pulls the remaining 4080 in
+/// three max-payload fragments reassembled directly into the `RecvBuf`.
+fn assert_pull_path_zero_alloc_with_recv_into(label: &str) {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024);
+    let size = 4096usize;
+    let mut a = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut b = Endpoint::new(ProcessId::new(0, 1), cfg);
+    let data = Bytes::from(vec![0xABu8; size]);
+    let mut recycled = Some(RecvBuf::with_capacity(size));
+
+    let round = |a: &mut Endpoint, b: &mut Endpoint, recycled: &mut Option<RecvBuf>| {
+        let buf = recycled.take().expect("buffer in flight");
+        let op = b
+            .post_recv_into(a.id(), Tag(1), buf, TruncationPolicy::Error)
+            .unwrap();
+        a.post_send(b.id(), Tag(1), data.clone()).unwrap();
+        relay(a, b);
+        while a.poll_completion().is_some() {}
+        while let Some(completion) = b.poll_completion() {
+            if completion.op == OpId::Recv(op) {
+                assert!(matches!(completion.status, Status::Ok));
+                let buf = completion.buf.expect("caller buffer handed back");
+                assert_eq!(buf.len(), size);
+                *recycled = Some(buf);
+            }
+        }
+        assert!(recycled.is_some(), "pulled message did not complete");
+    };
+
+    // Warm-up.
+    for _ in 0..64 {
+        round(&mut a, &mut b, &mut recycled);
+    }
+    let engine_allocs_before = a.stats().steady_allocs + b.stats().steady_allocs;
+    let heap_allocs_before = ALLOCS.load(Ordering::Relaxed);
+
+    for _ in 0..1000 {
+        round(&mut a, &mut b, &mut recycled);
+    }
+
+    let heap_allocs = ALLOCS.load(Ordering::Relaxed) - heap_allocs_before;
+    let engine_allocs = a.stats().steady_allocs + b.stats().steady_allocs - engine_allocs_before;
+    assert_eq!(
+        heap_allocs, 0,
+        "{label}: pulled recv_into loop hit the real allocator {heap_allocs} times over 1000 rounds"
+    );
+    assert_eq!(
+        engine_allocs, 0,
+        "{label}: EndpointStats::steady_allocs grew by {engine_allocs} over 1000 rounds"
+    );
+    assert!(
+        b.stats().bytes_pulled == 0 && a.stats().bytes_pulled > 0,
+        "{label}: transfers must actually use the pull path"
+    );
+}
+
 #[test]
-fn steady_state_pingpong_performs_zero_heap_allocations() {
+fn steady_state_loops_perform_zero_heap_allocations() {
     // Intranode: raw packets through the kernel queues (BTP = 16 bytes).
     assert_steady_state_zero_alloc(
         ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024),
@@ -139,4 +209,6 @@ fn steady_state_pingpong_performs_zero_heap_allocations() {
         64,
         "internode frames",
     );
+    // Multi-fragment pulled messages into a recycled caller-owned buffer.
+    assert_pull_path_zero_alloc_with_recv_into("intranode pulled recv_into");
 }
