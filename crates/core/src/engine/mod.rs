@@ -192,6 +192,8 @@ pub struct EndpointStats {
     pub recvs_failed: u64,
     /// Receive operations cancelled before they matched a message.
     pub recvs_cancelled: u64,
+    /// Send operations cancelled before their remainder was pulled.
+    pub sends_cancelled: u64,
     /// Receive operations that completed truncated
     /// ([`TruncationPolicy::Truncate`]).
     pub recvs_truncated: u64,
@@ -343,8 +345,10 @@ pub struct Endpoint {
     pub(crate) actions: VecDeque<Action>,
     /// Completed operations awaiting [`Endpoint::poll_completion`].
     pub(crate) completions: VecDeque<Completion>,
-    /// Generation-checked table of in-flight send operations.
-    pub(crate) send_ops: OpTable<()>,
+    /// Generation-checked table of in-flight send operations, each recording
+    /// its message id so [`Endpoint::cancel_send`] can find the registered
+    /// send without a scan.
+    pub(crate) send_ops: OpTable<MessageId>,
     /// Generation-checked table of in-flight receive operations.
     pub(crate) recv_ops: OpTable<RecvRec>,
     pub(crate) stats: EndpointStats,

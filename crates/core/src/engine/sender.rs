@@ -25,9 +25,9 @@ impl Endpoint {
         if dst == self.id() {
             return Err(Error::SelfSend { process: dst });
         }
-        let (op_slot, op_generation) = self.send_ops.insert(());
-        let op = SendOp::from_raw(op_slot, op_generation);
         let msg_id = self.alloc_msg_id();
+        let (op_slot, op_generation) = self.send_ops.insert(msg_id);
+        let op = SendOp::from_raw(op_slot, op_generation);
         let policy = self.btp_for(dst);
         let opts = self.config().opts;
         let mode = self.config().mode;
@@ -112,6 +112,56 @@ impl Endpoint {
             self.complete_send(op, dst, tag, total_len);
         }
         Ok(op)
+    }
+
+    /// Cancels a posted send whose remainder has not been pulled yet.
+    ///
+    /// Returns `true` if the operation was cancelled: the send is removed
+    /// from the send queue, its pinned [`Bytes`] payload is released, and a
+    /// [`Status::Cancelled`] completion is queued — the operation can never
+    /// complete afterwards.  Returns `false` for stale handles, sends that
+    /// completed eagerly (everything pushed, nothing left to cancel), and
+    /// sends whose pull request has already been served.
+    ///
+    /// The receiver is **not** notified: if it had already matched the
+    /// message and issued its pull request, that receive keeps waiting for
+    /// pulled data that will never arrive (the stale request is answered
+    /// with a drop action).  A protocol-level NACK that fails the remote
+    /// receive is future work; until then, cancel sends only when the peer
+    /// is known not to have posted the matching receive (the exact situation
+    /// — a pull that never arrives — this exists to reclaim).
+    pub fn cancel_send(&mut self, op: SendOp) -> bool {
+        let Some(&mut msg_id) = self.send_ops.get_mut(op.slot(), op.generation()) else {
+            return false;
+        };
+        let Some(pending) = self.send_queue.get(msg_id) else {
+            // Live operation without a queue entry cannot happen today (an
+            // eager send completes inside `post_send`); guard anyway.
+            return false;
+        };
+        if pending.pull_served {
+            return false;
+        }
+        let pending = self
+            .send_queue
+            .remove(msg_id)
+            .expect("pending send vanished during cancel");
+        self.send_ops
+            .remove(op.slot(), op.generation())
+            .expect("cancelling send without live operation record");
+        self.stats.sends_cancelled += 1;
+        self.push_completion(Completion {
+            op: OpId::Send(op),
+            peer: pending.dst,
+            tag: pending.tag,
+            len: 0,
+            status: Status::Cancelled,
+            data: None,
+            buf: None,
+        });
+        // `pending.data` — the pinned payload — is dropped here, reclaiming
+        // the caller's bytes.
+        true
     }
 
     /// Retires a send operation and queues its completion.

@@ -867,6 +867,53 @@ fn stats_track_operations() {
 }
 
 #[test]
+fn cancel_send_reclaims_unpulled_send() {
+    // Push-Zero: nothing is pushed eagerly, so the whole payload stays
+    // registered until the receiver pulls — the cancellable regime.
+    let cfg = ProtocolConfig::paper_intranode().with_mode(ProtocolMode::PushZero);
+    let (mut s, mut r) = intranode_pair(cfg);
+    let op = s.post_send(r.id(), Tag(5), payload(4096)).unwrap();
+    let _ = run_pair(&mut s, &mut r); // announce travels; no receive posted
+    assert!(s.cancel_send(op), "unpulled send must cancel");
+    assert!(!s.cancel_send(op), "stale handle must not cancel again");
+    let done = completions(&mut s);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].op, OpId::Send(op));
+    assert_eq!(done[0].status, Status::Cancelled);
+    assert_eq!(done[0].len, 0);
+    assert_eq!(s.stats().sends_cancelled, 1);
+    assert_eq!(s.stats().sends_completed, 0);
+    assert!(s.send_queue.is_empty(), "pinned payload must be released");
+
+    // A receive posted afterwards answers the (now stale) pull request with
+    // a drop, never with data: the cancelled operation stays cancelled.
+    r.post_recv(s.id(), Tag(5), 4096).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    assert!(
+        completions(&mut s).is_empty(),
+        "cancelled send must never complete again"
+    );
+}
+
+#[test]
+fn cancel_send_refuses_completed_and_pulled_sends() {
+    // Fully-eager send: completes inside post_send, nothing to cancel.
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024);
+    let (mut s, r) = intranode_pair(cfg.clone());
+    let eager = s.post_send(r.id(), Tag(1), payload(8)).unwrap();
+    assert!(!s.cancel_send(eager), "eager send completed at post time");
+
+    // Pulled send that ran to completion: the handle is stale by then.
+    let (mut s, mut r) = intranode_pair(cfg);
+    r.post_recv(s.id(), Tag(2), 4096).unwrap();
+    let op = s.post_send(r.id(), Tag(2), payload(4096)).unwrap();
+    let _ = run_pair(&mut s, &mut r);
+    assert!(!s.cancel_send(op), "completed send must not cancel");
+    assert_eq!(s.stats().sends_completed, 1);
+    assert_eq!(s.stats().sends_cancelled, 0);
+}
+
+#[test]
 fn dynamic_pushed_buffer_resize() {
     let cfg = ProtocolConfig::paper_internode();
     let mut e = Endpoint::new(ProcessId::new(0, 0), cfg);

@@ -101,7 +101,10 @@ pub use config::{OptFlags, ProtocolConfig, ProtocolMode};
 pub use engine::{Action, CopyKind, Endpoint, EndpointStats, InjectMode, TranslateCtx};
 pub use error::{Error, Result};
 pub use index::{Slab, SrcTagMap, U64Index};
-pub use ops::{Completion, OpId, RecvBuf, RecvOp, SendOp, Status, TruncationPolicy};
+pub use ops::{
+    Completion, CompletionQueue, OpId, RecvBuf, RecvOp, SendOp, Status, TruncationPolicy,
+    WakerTable, DEFAULT_COMPLETION_RETENTION,
+};
 pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
 pub use reliability::{GbnConfig, GbnEvent, GoBackN};
 pub use types::{MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG};

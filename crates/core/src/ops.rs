@@ -29,7 +29,9 @@ use crate::error::Error;
 use crate::queues::merge_interval;
 use crate::types::{ProcessId, Tag};
 use bytes::Bytes;
+use std::collections::VecDeque;
 use std::fmt;
+use std::task::Waker;
 
 /// Handle of a posted send operation.
 ///
@@ -390,6 +392,506 @@ impl<T> OpTable<T> {
     }
 }
 
+/// One kind's waker slots: `slot → (generation, waker)`.
+///
+/// One entry per slot, latest registration wins: a stale registration (a
+/// dropped future's, or an expired blocking wait's) survives only until the
+/// operation slot is reused, so stale registrations — and anything keyed on
+/// them, like eviction exemptions — are bounded by the endpoint's peak
+/// number of concurrent operations, never by its lifetime.
+#[derive(Debug, Default)]
+struct WakerSlots {
+    slots: Vec<Option<(u32, Waker)>>,
+    registered: usize,
+    alloc_events: u64,
+}
+
+impl WakerSlots {
+    fn register(&mut self, slot: u32, generation: u32, waker: &Waker) {
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            if idx >= self.slots.capacity() {
+                self.alloc_events += 1;
+            }
+            self.slots.resize_with(idx + 1, || None);
+        }
+        match &mut self.slots[idx] {
+            // Re-registration by the same task on a spurious poll: `will_wake`
+            // lets us skip the clone entirely.
+            Some((gen, existing)) if *gen == generation && existing.will_wake(waker) => {}
+            // A registration through a *stale* handle (re-waiting an
+            // already-claimed op) must never clobber the live waker of the
+            // newer operation that reused the slot — refuse it.  (Wrapping
+            // comparison: within one slot generations advance by 1 per
+            // reuse, so half-range ordering is exact in practice.)
+            Some((gen, _)) if (gen.wrapping_sub(generation) as i32) > 0 => {}
+            entry => {
+                if entry.is_none() {
+                    self.registered += 1;
+                }
+                *entry = Some((generation, waker.clone()));
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32, generation: u32) -> Option<Waker> {
+        let entry = self.slots.get_mut(slot as usize)?;
+        match entry {
+            Some((gen, _)) if *gen == generation => {
+                self.registered -= 1;
+                entry.take().map(|(_, w)| w)
+            }
+            _ => None,
+        }
+    }
+
+    fn get(&self, slot: u32, generation: u32) -> Option<&Waker> {
+        match self.slots.get(slot as usize)? {
+            Some((gen, waker)) if *gen == generation => Some(waker),
+            _ => None,
+        }
+    }
+}
+
+/// Async wakers of in-flight operations, keyed by op slot + generation.
+///
+/// Backends park a task's [`Waker`] here when the operation it awaits has not
+/// completed yet, and take it back out (to wake) when the completion is
+/// published.  Storage is slot-indexed like the operation tables themselves,
+/// so registering and taking are O(1) and allocation-free once the table has
+/// grown to the endpoint's peak number of concurrent operations; the
+/// generation check makes a waker registered for a retired operation
+/// unreachable — a slot reuse can never wake (or be woken by) a stale task.
+#[derive(Debug, Default)]
+pub struct WakerTable {
+    send: WakerSlots,
+    recv: WakerSlots,
+}
+
+impl WakerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `waker` to be taken when operation `op` completes,
+    /// replacing any waker previously registered for the same operation.
+    /// Steady-state re-registration (same op, same task) is free.
+    pub fn register_waker(&mut self, op: OpId, waker: &Waker) {
+        match op {
+            OpId::Send(s) => self.send.register(s.slot(), s.generation(), waker),
+            OpId::Recv(r) => self.recv.register(r.slot(), r.generation(), waker),
+        }
+    }
+
+    /// Removes and returns the waker registered for `op`, if any.  Returns
+    /// `None` for stale handles (a newer operation reused the slot).
+    pub fn take_waker(&mut self, op: OpId) -> Option<Waker> {
+        match op {
+            OpId::Send(s) => self.send.take(s.slot(), s.generation()),
+            OpId::Recv(r) => self.recv.take(r.slot(), r.generation()),
+        }
+    }
+
+    /// The waker registered for `op`, if any, left in place.
+    pub fn get_waker(&self, op: OpId) -> Option<&Waker> {
+        match op {
+            OpId::Send(s) => self.send.get(s.slot(), s.generation()),
+            OpId::Recv(r) => self.recv.get(r.slot(), r.generation()),
+        }
+    }
+
+    /// Number of registrations currently held (live wakers, including any
+    /// stale ones whose slot has not been reused yet).
+    pub fn len(&self) -> usize {
+        self.send.registered + self.recv.registered
+    }
+
+    /// `true` when no waker is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of heap allocations this table has performed.
+    pub fn alloc_events(&self) -> u64 {
+        self.send.alloc_events + self.recv.alloc_events
+    }
+}
+
+/// One kind's completion slots: `slot → [(generation, completion)]`.
+///
+/// A slot usually holds at most one unclaimed completion, but the operation
+/// tables recycle a slot the moment its operation retires, so a *newer*
+/// operation on the same slot can complete while an older completion is
+/// still unclaimed — each slot is therefore a (tiny) generation-keyed list,
+/// whose capacity is retained across claims so steady-state churn stays
+/// allocation-free.
+#[derive(Debug, Default)]
+struct CompletionSlots {
+    slots: Vec<Vec<(u32, Completion)>>,
+    alloc_events: u64,
+}
+
+impl CompletionSlots {
+    fn insert(&mut self, slot: u32, generation: u32, completion: Completion) {
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            if idx >= self.slots.capacity() {
+                self.alloc_events += 1;
+            }
+            self.slots.resize_with(idx + 1, Vec::new);
+        }
+        let entries = &mut self.slots[idx];
+        debug_assert!(
+            entries.iter().all(|(gen, _)| *gen != generation),
+            "duplicate completion for live operation"
+        );
+        if entries.len() == entries.capacity() {
+            self.alloc_events += 1;
+        }
+        entries.push((generation, completion));
+    }
+
+    fn take(&mut self, slot: u32, generation: u32) -> Option<Completion> {
+        let entries = self.slots.get_mut(slot as usize)?;
+        let pos = entries.iter().position(|(gen, _)| *gen == generation)?;
+        // Order across operations is tracked by the queue's `order` deque;
+        // within a slot, swap_remove is fine.
+        Some(entries.swap_remove(pos).1)
+    }
+
+    fn contains(&self, slot: u32, generation: u32) -> bool {
+        self.slots
+            .get(slot as usize)
+            .is_some_and(|entries| entries.iter().any(|(gen, _)| *gen == generation))
+    }
+}
+
+/// Default number of unclaimed completions a [`CompletionQueue`] retains
+/// before evicting the oldest.
+pub const DEFAULT_COMPLETION_RETENTION: usize = 4096;
+
+/// The backend-side completion queue of one endpoint: completed operations
+/// indexed by their handle, plus the [`WakerTable`] of tasks awaiting them.
+///
+/// This replaces the linearly-scanned `done` vector the host backends used
+/// to keep: claiming one operation's completion ([`CompletionQueue::take`])
+/// is an O(1) slot probe instead of an O(n) scan-and-shift, so a
+/// long-running endpoint with many unclaimed completions (fire-and-forget
+/// sends) no longer degrades every `wait` — the retention scan that made
+/// such endpoints O(n²) is gone.
+///
+/// Completions that are *never* claimed are evicted once more than the
+/// retention cap ([`CompletionQueue::set_retention`], default
+/// [`DEFAULT_COMPLETION_RETENTION`]) are outstanding, oldest first, so a
+/// fire-and-forget workload cannot grow the queue without bound.  Claimed or
+/// drained completions never count against the cap.
+#[derive(Debug)]
+pub struct CompletionQueue {
+    send: CompletionSlots,
+    recv: CompletionSlots,
+    /// Insertion order for FIFO draining and oldest-first eviction.  Entries
+    /// whose completion was already taken are stale and skipped (and the
+    /// deque is compacted when stale entries dominate).
+    order: VecDeque<OpId>,
+    live: usize,
+    retention: usize,
+    evicted: u64,
+    wakers: WakerTable,
+    /// Recycled buffer for the wakers a `publish` batch collects, so the
+    /// caller can wake them *after* releasing the lock guarding this queue
+    /// without allocating per batch.
+    wake_scratch: Vec<Waker>,
+    alloc_events: u64,
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionQueue {
+    /// Creates an empty queue with the default retention cap.
+    pub fn new() -> Self {
+        CompletionQueue {
+            send: CompletionSlots::default(),
+            recv: CompletionSlots::default(),
+            order: VecDeque::new(),
+            live: 0,
+            retention: DEFAULT_COMPLETION_RETENTION,
+            evicted: 0,
+            wakers: WakerTable::new(),
+            wake_scratch: Vec::new(),
+            alloc_events: 0,
+        }
+    }
+
+    /// Caps the number of unclaimed completions retained; the oldest are
+    /// evicted (and counted in [`CompletionQueue::evicted`]) beyond it.
+    pub fn set_retention(&mut self, retention: usize) {
+        self.retention = retention.max(1);
+        self.evict_over_cap();
+    }
+
+    /// Number of completions evicted because they were never claimed.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of completions currently waiting to be claimed.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no completion is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn is_live(&self, op: OpId) -> bool {
+        match op {
+            OpId::Send(s) => self.send.contains(s.slot(), s.generation()),
+            OpId::Recv(r) => self.recv.contains(r.slot(), r.generation()),
+        }
+    }
+
+    fn take_slot(&mut self, op: OpId) -> Option<Completion> {
+        match op {
+            OpId::Send(s) => self.send.take(s.slot(), s.generation()),
+            OpId::Recv(r) => self.recv.take(r.slot(), r.generation()),
+        }
+    }
+
+    /// Evicts oldest-first past the retention cap, **skipping any operation
+    /// a waiter has registered for**: a registered waker marks the
+    /// completion as spoken for (futures register from creation /
+    /// first-`Pending` poll, blocking `wait`ers via
+    /// [`CompletionQueue::register_interest`], and registrations persist
+    /// until the completion is claimed), so eviction can never strand a
+    /// waiter on an operation that completed.  Only completions nobody
+    /// waits for — the fire-and-forget traffic the cap exists for — are
+    /// dropped.  Exempt completions are bounded by the waker table (one
+    /// registration per operation slot), so the queue stays bounded by
+    /// `retention + peak concurrent operations`.
+    ///
+    /// The loop only runs while evictable (non-exempt) entries are
+    /// guaranteed to exist (`live > retention + registrations`), so the
+    /// all-exempt steady state — a large async fan-out — costs O(1) per
+    /// push instead of rescanning the deque.
+    fn evict_over_cap(&mut self) {
+        let mut scan = self.order.len();
+        while self.live > self.retention + self.wakers.len() && scan > 0 {
+            scan -= 1;
+            let Some(op) = self.order.pop_front() else {
+                break;
+            };
+            if !self.is_live(op) {
+                continue; // stale entry: already claimed
+            }
+            if self.wakers.get_waker(op).is_some() {
+                // Awaited: exempt, keep its drain position at the back.
+                if self.order.len() == self.order.capacity() {
+                    self.alloc_events += 1;
+                }
+                self.order.push_back(op);
+                continue;
+            }
+            self.take_slot(op);
+            self.live -= 1;
+            self.evicted += 1;
+        }
+    }
+
+    /// Marks `op` as waited-on without supplying a real waker: its
+    /// completion (present or future) becomes exempt from retention
+    /// eviction until claimed.  Blocking `wait` paths call this before
+    /// parking on a condvar — they re-check on every publish, so they need
+    /// the exemption, not a wake — and futures call it at creation so a
+    /// completion cannot be evicted before their first poll.  A real waker
+    /// already registered for the operation is left untouched, and the
+    /// generation ordering in the waker table makes a stale handle's
+    /// interest harmless to the slot's current occupant.
+    pub fn register_interest(&mut self, op: OpId) {
+        if self.wakers.get_waker(op).is_none() {
+            self.wakers.register_waker(op, Waker::noop());
+        }
+    }
+
+    /// Drops a [`CompletionQueue::register_interest`] registration for `op`
+    /// if one is still in place (a real waker registered by a future is left
+    /// alone).  Blocking `wait` paths call this when they give up on a
+    /// timeout, so an abandoned wait does not leave its completion exempt
+    /// from eviction — and undrainable — forever.
+    pub fn clear_interest(&mut self, op: OpId) {
+        if self
+            .wakers
+            .get_waker(op)
+            .is_some_and(|w| w.will_wake(Waker::noop()))
+        {
+            drop(self.wakers.take_waker(op));
+        }
+    }
+
+    /// Drops **any** waker registered for `op` — noop interest or a real
+    /// waker alike.  A future that abandons its await (is dropped before
+    /// resolving) calls this so the operation's completion goes back to
+    /// being ordinary fire-and-forget traffic: drainable through
+    /// [`CompletionQueue::drain_into`] and evictable past the retention
+    /// cap, instead of pinned for a waiter that no longer exists.
+    pub fn deregister(&mut self, op: OpId) {
+        drop(self.wakers.take_waker(op));
+    }
+
+    /// Stores one completion and returns a clone of the waker of the task
+    /// awaiting it, if any.  The caller must `wake()` it **after releasing
+    /// whatever lock guards this queue** — an arbitrary executor's waker may
+    /// poll inline, which would re-enter the lock.  The registration itself
+    /// stays in the table until the completion is claimed, keeping the
+    /// operation exempt from retention eviction for the whole wake → poll →
+    /// claim window.
+    pub fn push(&mut self, completion: Completion) -> Option<Waker> {
+        let op = completion.op;
+        match op {
+            OpId::Send(s) => self.send.insert(s.slot(), s.generation(), completion),
+            OpId::Recv(r) => self.recv.insert(r.slot(), r.generation(), completion),
+        }
+        if self.order.len() == self.order.capacity() {
+            self.alloc_events += 1;
+        }
+        self.order.push_back(op);
+        self.live += 1;
+        self.evict_over_cap();
+        // A noop registration is an eviction exemption
+        // ([`CompletionQueue::register_interest`]), not a waiter: waking it
+        // would make every fire-and-forget completion pay the wake path.
+        self.wakers
+            .get_waker(op)
+            .filter(|w| !w.will_wake(Waker::noop()))
+            .cloned()
+    }
+
+    /// Stores a batch of completions, draining `comps` (its capacity is kept
+    /// for reuse).  Returns the wakers of every task that awaited one of
+    /// them; the caller must invoke them **after releasing the lock guarding
+    /// this queue**, then hand the buffer back through
+    /// [`CompletionQueue::recycle_woken`] so the steady path stays
+    /// allocation-free.  An empty return means nothing to wake (and nothing
+    /// to recycle).
+    #[must_use = "returned wakers must be woken after the queue's lock is released"]
+    pub fn publish(&mut self, comps: &mut Vec<Completion>) -> Vec<Waker> {
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        for completion in comps.drain(..) {
+            if let Some(waker) = self.push(completion) {
+                if woken.len() == woken.capacity() {
+                    self.alloc_events += 1;
+                }
+                woken.push(waker);
+            }
+        }
+        if woken.is_empty() {
+            // Nothing to wake: keep the scratch (and its capacity) in place.
+            self.wake_scratch = woken;
+            return Vec::new();
+        }
+        woken
+    }
+
+    /// Returns a drained wake buffer from [`CompletionQueue::publish`] so
+    /// its capacity is reused by the next batch.
+    pub fn recycle_woken(&mut self, woken: Vec<Waker>) {
+        debug_assert!(woken.is_empty(), "recycled wake buffer must be drained");
+        if woken.capacity() > self.wake_scratch.capacity() {
+            self.wake_scratch = woken;
+        }
+    }
+
+    /// Claims the completion of `op`, if the operation has finished and its
+    /// completion has not been claimed, drained, or evicted yet.  Any waker
+    /// still registered for the operation is dropped — the await is over.
+    pub fn take(&mut self, op: OpId) -> Option<Completion> {
+        let completion = self.take_slot(op)?;
+        drop(self.wakers.take_waker(op));
+        self.live -= 1;
+        // Taking leaves a stale entry in `order`; compact once stale entries
+        // outnumber live ones so the deque stays proportional to the live
+        // set (amortized O(1) per take).
+        if self.order.len() > 64 && self.order.len() >= 2 * self.live {
+            let mut retained = std::mem::take(&mut self.order);
+            retained.retain(|&op| self.is_live(op));
+            self.order = retained;
+        }
+        Some(completion)
+    }
+
+    /// [`CompletionQueue::take`], registering `waker` to be woken when the
+    /// operation completes if it has not yet.  Checking and registering are
+    /// one atomic step from the caller's point of view (this method runs
+    /// under the caller's lock), so a completion can never slip between a
+    /// failed check and the registration — the lost-wakeup race of the
+    /// check-then-register idiom cannot happen.
+    pub fn take_or_register(&mut self, op: OpId, waker: &Waker) -> Option<Completion> {
+        if let Some(completion) = self.take(op) {
+            return Some(completion);
+        }
+        self.wakers.register_waker(op, waker);
+        None
+    }
+
+    /// Appends every unclaimed, **unawaited** completion to `out`, oldest
+    /// first, reusing `out`'s capacity.  A completion some waiter has
+    /// registered for (a parked future or a blocking `wait`) is left in
+    /// place — a concurrent drain loop must not steal a result out from
+    /// under a task that would then pend forever.
+    pub fn drain_into(&mut self, out: &mut Vec<Completion>) {
+        for _ in 0..self.order.len() {
+            let Some(op) = self.order.pop_front() else {
+                break;
+            };
+            if !self.is_live(op) {
+                continue; // stale entry: already claimed
+            }
+            if self.wakers.get_waker(op).is_some() {
+                // Awaited: keep it (and its drain position) for the waiter.
+                if self.order.len() == self.order.capacity() {
+                    self.alloc_events += 1;
+                }
+                self.order.push_back(op);
+                continue;
+            }
+            let completion = self.take_slot(op).expect("live entry has a completion");
+            self.live -= 1;
+            out.push(completion);
+        }
+    }
+
+    /// Number of heap allocations this queue (including its waker table) has
+    /// performed.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+            + self.send.alloc_events
+            + self.recv.alloc_events
+            + self.wakers.alloc_events()
+    }
+}
+
+/// Invokes a [`CompletionQueue::publish`] wake batch **outside** the lock
+/// that guards the queue, then hands the drained buffer to `recycle` (which
+/// should briefly re-take the lock and call
+/// [`CompletionQueue::recycle_woken`]).  Centralises the
+/// publish → unlock → wake → recycle protocol all backends must follow: a
+/// waker is arbitrary executor code and may legally poll — and so re-enter
+/// the endpoint — inline.  No-op (and no lock retaken) for empty batches.
+pub fn wake_all<F: FnOnce(Vec<Waker>)>(mut woken: Vec<Waker>, recycle: F) {
+    if woken.is_empty() {
+        return;
+    }
+    for waker in woken.drain(..) {
+        waker.wake();
+    }
+    recycle(woken);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +958,213 @@ mod tests {
         assert_eq!(op.to_string(), "recv3.7");
         assert_eq!(SendOp::from_raw(1, 0).to_string(), "send1.0");
         assert_eq!(OpId::from(op), OpId::Recv(op));
+    }
+
+    /// A real (non-noop) waker: push() deliberately does not wake noop
+    /// interest registrations, so tests standing in for an actual awaiting
+    /// task need one of these.
+    fn test_waker() -> Waker {
+        struct NopWake;
+        impl std::task::Wake for NopWake {
+            fn wake(self: std::sync::Arc<Self>) {}
+        }
+        Waker::from(std::sync::Arc::new(NopWake))
+    }
+
+    fn completion(op: OpId) -> Completion {
+        Completion {
+            op,
+            peer: ProcessId::new(0, 1),
+            tag: Tag(0),
+            len: 0,
+            status: Status::Ok,
+            data: None,
+            buf: None,
+        }
+    }
+
+    #[test]
+    fn completion_queue_takes_by_op_and_drains_in_order() {
+        let mut q = CompletionQueue::new();
+        let a = OpId::Send(SendOp::from_raw(0, 0));
+        let b = OpId::Recv(RecvOp::from_raw(0, 0));
+        let c = OpId::Send(SendOp::from_raw(1, 0));
+        for op in [a, b, c] {
+            assert!(q.push(completion(op)).is_none());
+        }
+        assert_eq!(q.len(), 3);
+        // O(1) claim by handle, generation-checked.
+        assert_eq!(q.take(b).unwrap().op, b);
+        assert!(q.take(b).is_none(), "claimed completion must be gone");
+        assert!(
+            q.take(OpId::Send(SendOp::from_raw(0, 9))).is_none(),
+            "stale generation must not claim"
+        );
+        // Draining skips the claimed entry and preserves insertion order.
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out.iter().map(|c| c.op).collect::<Vec<_>>(), vec![a, c]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn completion_queue_evicts_oldest_beyond_retention() {
+        let mut q = CompletionQueue::new();
+        q.set_retention(4);
+        for slot in 0..10u32 {
+            q.push(completion(OpId::Send(SendOp::from_raw(slot, 0))));
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.evicted(), 6);
+        // The oldest six are gone; the newest four survive.
+        assert!(q.take(OpId::Send(SendOp::from_raw(0, 0))).is_none());
+        assert!(q.take(OpId::Send(SendOp::from_raw(9, 0))).is_some());
+    }
+
+    #[test]
+    fn completion_queue_steady_churn_does_not_allocate() {
+        let mut q = CompletionQueue::new();
+        // Warm up: grow the slot vectors and push the order deque past its
+        // stale-compaction threshold (it grows once to ~2× the threshold,
+        // then compaction keeps it there).
+        for round in 0..200u32 {
+            let op = OpId::Recv(RecvOp::from_raw(round % 8, round / 8));
+            q.push(completion(op));
+            assert!(q.take(op).is_some());
+        }
+        let allocs = q.alloc_events();
+        for round in 200..10_000u32 {
+            let op = OpId::Recv(RecvOp::from_raw(round % 8, round / 8));
+            q.push(completion(op));
+            assert!(q.take(op).is_some());
+        }
+        assert_eq!(q.alloc_events(), allocs, "steady churn must not allocate");
+    }
+
+    #[test]
+    fn waker_table_is_generation_checked() {
+        let mut t = WakerTable::new();
+        let waker = Waker::noop();
+        let old = OpId::Recv(RecvOp::from_raw(2, 0));
+        let new = OpId::Recv(RecvOp::from_raw(2, 1));
+        t.register_waker(old, waker);
+        // A newer op reusing the slot replaces the stale registration...
+        t.register_waker(new, waker);
+        // ...and the stale handle can no longer take anything.
+        assert!(t.take_waker(old).is_none());
+        assert!(t.take_waker(new).is_some());
+        assert!(t.take_waker(new).is_none(), "wakers are taken once");
+    }
+
+    #[test]
+    fn eviction_spares_awaited_completions() {
+        let mut q = CompletionQueue::new();
+        q.set_retention(4);
+        // A task awaits op (0,0): its waker is registered before anything
+        // completes, as a real first poll would.
+        let awaited = OpId::Send(SendOp::from_raw(0, 0));
+        let waker = test_waker();
+        assert!(q.take_or_register(awaited, &waker).is_none());
+        // Its completion arrives first, then a flood of fire-and-forget
+        // completions far beyond the cap.
+        assert!(q.push(completion(awaited)).is_some(), "awaiter is woken");
+        for slot in 1..20u32 {
+            q.push(completion(OpId::Send(SendOp::from_raw(slot, 0))));
+        }
+        // One registration is live, so the queue holds retention + 1.
+        assert_eq!(q.len(), 5);
+        // The flood evicted unawaited completions only; the awaited one is
+        // still claimable (and claiming clears its registration).
+        assert!(
+            q.take(awaited).is_some(),
+            "awaited completion must survive eviction"
+        );
+        assert_eq!(q.evicted(), 15);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn registered_interest_protects_blocking_waiters_from_eviction() {
+        // A blocking `wait` registers interest (no real waker) before
+        // parking; its completion must survive an over-cap flood that
+        // arrives between its wakeups.
+        let mut q = CompletionQueue::new();
+        q.set_retention(2);
+        let waited = OpId::Recv(RecvOp::from_raw(7, 3));
+        q.register_interest(waited);
+        q.push(completion(waited));
+        for slot in 0..10u32 {
+            q.push(completion(OpId::Send(SendOp::from_raw(slot, 0))));
+        }
+        assert!(
+            q.take(waited).is_some(),
+            "waited-on completion must survive the flood"
+        );
+        // Interest is cleared by the claim; nothing protects the slot now.
+        q.push(completion(OpId::Recv(RecvOp::from_raw(7, 4))));
+        for slot in 0..10u32 {
+            q.push(completion(OpId::Send(SendOp::from_raw(slot, 1))));
+        }
+        assert!(
+            q.take(OpId::Recv(RecvOp::from_raw(7, 4))).is_none(),
+            "uninterested completion is evictable again"
+        );
+    }
+
+    #[test]
+    fn stale_registration_cannot_clobber_newer_waker() {
+        let mut q = CompletionQueue::new();
+        let old = OpId::Recv(RecvOp::from_raw(3, 0));
+        let new = OpId::Recv(RecvOp::from_raw(3, 1));
+        // The old op completed (unclaimed); the newer op reusing the slot is
+        // being awaited.
+        q.push(completion(old));
+        let waker = test_waker();
+        assert!(q.take_or_register(new, &waker).is_none());
+        // Re-awaiting / noting interest in the stale handle must not steal
+        // the slot's registration from the newer op...
+        q.register_interest(old);
+        assert!(q.take_or_register(old, Waker::noop()).is_some());
+        // ...so the newer op's completion still finds a waker to wake.
+        assert!(
+            q.push(completion(new)).is_some(),
+            "newer op's waker must survive stale-handle traffic"
+        );
+    }
+
+    #[test]
+    fn drain_leaves_awaited_completions_for_their_waiter() {
+        let mut q = CompletionQueue::new();
+        let awaited = OpId::Recv(RecvOp::from_raw(0, 0));
+        let loose = OpId::Send(SendOp::from_raw(0, 0));
+        assert!(q.take_or_register(awaited, Waker::noop()).is_none());
+        q.push(completion(awaited));
+        q.push(completion(loose));
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(
+            out.iter().map(|c| c.op).collect::<Vec<_>>(),
+            vec![loose],
+            "drain must not steal an awaited completion"
+        );
+        assert!(
+            q.take(awaited).is_some(),
+            "the waiter still claims its result"
+        );
+    }
+
+    #[test]
+    fn take_or_register_wakes_exactly_once() {
+        let mut q = CompletionQueue::new();
+        let op = OpId::Recv(RecvOp::from_raw(0, 0));
+        let waker = test_waker();
+        assert!(q.take_or_register(op, &waker).is_none());
+        // The registered waker is surfaced when the completion arrives.
+        assert!(q.push(completion(op)).is_some());
+        // No waker left behind; the completion is claimable.
+        assert!(q
+            .push(completion(OpId::Recv(RecvOp::from_raw(1, 0))))
+            .is_none());
+        assert!(q.take_or_register(op, Waker::noop()).is_some());
     }
 }

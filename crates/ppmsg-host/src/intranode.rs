@@ -6,31 +6,37 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
-    Action, Completion, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig, RecvBuf, RecvOp,
-    Result, SendOp, Status, Tag, TruncationPolicy,
+    Action, Completion, CompletionQueue, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig,
+    RecvBuf, RecvOp, Result, SendOp, Status, Tag, TruncationPolicy,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::task::Waker;
 use std::time::Duration;
 
 struct Member {
     id: ProcessId,
     engine: Mutex<Endpoint>,
-    /// Completions drained from the engine, awaiting `wait` /
-    /// `drain_completions` (insertion order preserved).
-    done: Mutex<Vec<Completion>>,
+    /// Completions drained from the engine, op-indexed so `wait` claims in
+    /// O(1) (drain order preserved separately), with the wakers of async
+    /// tasks awaiting them.
+    done: Mutex<CompletionQueue>,
     cv: Condvar,
 }
 
 impl Member {
-    /// Publishes a batch of completions and wakes blocked waiters.  Drains
-    /// `comps`, leaving its capacity for reuse.
+    /// Publishes a batch of completions, waking blocked waiters and any
+    /// async task awaiting one of them.  Drains `comps`, leaving its
+    /// capacity for reuse.  Async wakers are invoked **after** the `done`
+    /// lock is released: a waker is arbitrary executor code and may poll
+    /// (and so re-enter this endpoint) inline.
     fn publish(&self, comps: &mut Vec<Completion>) {
         if comps.is_empty() {
             return;
         }
-        self.done.lock().append(comps);
+        let woken = self.done.lock().publish(comps);
         self.cv.notify_all();
+        ppmsg_core::ops::wake_all(woken, |drained| self.done.lock().recycle_woken(drained));
     }
 }
 
@@ -127,7 +133,7 @@ impl HostCluster {
         let member = Arc::new(Member {
             id,
             engine: Mutex::new(Endpoint::new(id, self.protocol.clone())),
-            done: Mutex::new(Vec::new()),
+            done: Mutex::new(CompletionQueue::new()),
             cv: Condvar::new(),
         });
         let previous = self
@@ -216,9 +222,42 @@ impl HostEndpoint {
         self.run_engine(|engine| engine.cancel(op))
     }
 
-    /// Drains every completion produced so far into `out`.
+    /// Cancels a posted send whose remainder has not been pulled yet; see
+    /// [`Endpoint::cancel_send`](ppmsg_core::Endpoint::cancel_send).
+    pub fn cancel_send(&self, op: SendOp) -> bool {
+        self.run_engine(|engine| engine.cancel_send(op))
+    }
+
+    /// Drains every completion produced so far into `out`, oldest first.
     pub fn drain_completions(&self, out: &mut Vec<Completion>) {
-        out.append(&mut self.member.done.lock());
+        self.member.done.lock().drain_into(out);
+    }
+
+    /// Takes the completion of `op` if the operation has finished, without
+    /// blocking.
+    pub fn take_completion(&self, op: OpId) -> Option<Completion> {
+        self.member.done.lock().take(op)
+    }
+
+    /// Exempts `op`'s completion from retention eviction until claimed; see
+    /// [`CompletionQueue::register_interest`](ppmsg_core::CompletionQueue::register_interest).
+    pub fn register_interest(&self, op: OpId) {
+        self.member.done.lock().register_interest(op);
+    }
+
+    /// Drops any waker registered for `op` (an abandoned await); see
+    /// [`CompletionQueue::deregister`](ppmsg_core::CompletionQueue::deregister).
+    pub fn deregister_interest(&self, op: OpId) {
+        self.member.done.lock().deregister(op);
+    }
+
+    /// Takes the completion of `op`, registering `waker` to be woken when it
+    /// lands if the operation is still in flight.  Checking and registering
+    /// happen under one lock, so a completion published concurrently can
+    /// never be missed.  This is the poll primitive behind the async
+    /// front-end's futures.
+    pub fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
+        self.member.done.lock().take_or_register(op, waker)
     }
 
     /// Blocks until the operation `op` completes, returning its completion,
@@ -228,12 +267,18 @@ impl HostEndpoint {
         // cannot restart the timeout.
         let deadline = std::time::Instant::now() + timeout;
         let mut done = self.member.done.lock();
+        // Exempt the awaited completion from retention eviction while this
+        // thread parks between condvar wakeups.
+        done.register_interest(op);
         loop {
-            if let Some(pos) = done.iter().position(|c| c.op == op) {
-                return Some(done.remove(pos));
+            if let Some(completion) = done.take(op) {
+                return Some(completion);
             }
             let now = std::time::Instant::now();
             if now >= deadline {
+                // Give up the eviction exemption: an abandoned wait must not
+                // pin its completion (and block draining it) forever.
+                done.clear_interest(op);
                 return None;
             }
             self.member.cv.wait_for(&mut done, deadline - now);

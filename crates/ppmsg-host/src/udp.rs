@@ -7,13 +7,14 @@ use parking_lot::{Condvar, Mutex};
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
-    Action, Completion, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig, RecvBuf, RecvOp,
-    Result, SendOp, Status, Tag, TimerId, TruncationPolicy,
+    Action, Completion, CompletionQueue, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig,
+    RecvBuf, RecvOp, Result, SendOp, Status, Tag, TimerId, TruncationPolicy,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::task::Waker;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -22,9 +23,10 @@ struct Shared {
     engine: Mutex<Endpoint>,
     socket: UdpSocket,
     peers: Mutex<HashMap<u64, SocketAddr>>,
-    /// Completions drained from the engine, awaiting `wait` /
-    /// `drain_completions` (insertion order preserved).
-    done: Mutex<Vec<Completion>>,
+    /// Completions drained from the engine, op-indexed so `wait` claims in
+    /// O(1) (drain order preserved separately), with the wakers of async
+    /// tasks awaiting them.
+    done: Mutex<CompletionQueue>,
     cv: Condvar,
     timers: Mutex<Vec<(Instant, TimerId)>>,
     /// Reusable encode buffers: frame serialisation allocates nothing once
@@ -34,14 +36,18 @@ struct Shared {
 }
 
 impl Shared {
-    /// Publishes a batch of completions and wakes blocked callers.  Drains
-    /// `comps`, leaving its capacity for reuse.
+    /// Publishes a batch of completions, waking blocked callers and any
+    /// async task awaiting one of them.  Drains `comps`, leaving its
+    /// capacity for reuse.  Async wakers are invoked **after** the `done`
+    /// lock is released: a waker is arbitrary executor code and may poll
+    /// (and so re-enter this endpoint) inline.
     fn publish(&self, comps: &mut Vec<Completion>) {
         if comps.is_empty() {
             return;
         }
-        self.done.lock().append(comps);
+        let woken = self.done.lock().publish(comps);
         self.cv.notify_all();
+        ppmsg_core::ops::wake_all(woken, |drained| self.done.lock().recycle_woken(drained));
     }
 
     /// Executes a batch of engine actions: frames go out on the socket and
@@ -146,7 +152,7 @@ impl UdpEndpoint {
             engine: Mutex::new(Endpoint::new(id, protocol)),
             socket,
             peers: Mutex::new(HashMap::new()),
-            done: Mutex::new(Vec::new()),
+            done: Mutex::new(CompletionQueue::new()),
             cv: Condvar::new(),
             timers: Mutex::new(Vec::new()),
             codec: Mutex::new(PacketBufPool::new()),
@@ -264,9 +270,45 @@ impl UdpEndpoint {
             .run_engine(&mut actions, &mut comps, |engine| engine.cancel(op))
     }
 
-    /// Drains every completion produced so far into `out`.
+    /// Cancels a posted send whose remainder has not been pulled yet; see
+    /// [`Endpoint::cancel_send`](ppmsg_core::Endpoint::cancel_send).
+    pub fn cancel_send(&self, op: SendOp) -> bool {
+        let mut actions = Vec::new();
+        let mut comps = Vec::new();
+        self.shared
+            .run_engine(&mut actions, &mut comps, |engine| engine.cancel_send(op))
+    }
+
+    /// Drains every completion produced so far into `out`, oldest first.
     pub fn drain_completions(&self, out: &mut Vec<Completion>) {
-        out.append(&mut self.shared.done.lock());
+        self.shared.done.lock().drain_into(out);
+    }
+
+    /// Takes the completion of `op` if the operation has finished, without
+    /// blocking.
+    pub fn take_completion(&self, op: OpId) -> Option<Completion> {
+        self.shared.done.lock().take(op)
+    }
+
+    /// Exempts `op`'s completion from retention eviction until claimed; see
+    /// [`CompletionQueue::register_interest`](ppmsg_core::CompletionQueue::register_interest).
+    pub fn register_interest(&self, op: OpId) {
+        self.shared.done.lock().register_interest(op);
+    }
+
+    /// Drops any waker registered for `op` (an abandoned await); see
+    /// [`CompletionQueue::deregister`](ppmsg_core::CompletionQueue::deregister).
+    pub fn deregister_interest(&self, op: OpId) {
+        self.shared.done.lock().deregister(op);
+    }
+
+    /// Takes the completion of `op`, registering `waker` to be woken when it
+    /// lands if the operation is still in flight.  Checking and registering
+    /// happen under one lock, so a completion published concurrently (by the
+    /// reception thread) can never be missed.  This is the poll primitive
+    /// behind the async front-end's futures.
+    pub fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
+        self.shared.done.lock().take_or_register(op, waker)
     }
 
     /// Blocks until the operation `op` completes, returning its completion,
@@ -274,12 +316,18 @@ impl UdpEndpoint {
     pub fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
         let deadline = Instant::now() + timeout;
         let mut done = self.shared.done.lock();
+        // Exempt the awaited completion from retention eviction while this
+        // thread parks between condvar wakeups.
+        done.register_interest(op);
         loop {
-            if let Some(pos) = done.iter().position(|c| c.op == op) {
-                return Some(done.remove(pos));
+            if let Some(completion) = done.take(op) {
+                return Some(completion);
             }
             let now = Instant::now();
             if now >= deadline {
+                // Give up the eviction exemption: an abandoned wait must not
+                // pin its completion (and block draining it) forever.
+                done.clear_interest(op);
                 return None;
             }
             self.shared.cv.wait_for(&mut done, deadline - now);

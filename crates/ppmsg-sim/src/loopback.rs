@@ -18,13 +18,14 @@
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
-    Action, Completion, Endpoint, OpId, ProcessId, ProtocolConfig, RecvBuf, RecvOp, Result, SendOp,
-    Tag, TruncationPolicy, U64Index,
+    Action, Completion, CompletionQueue, Endpoint, OpId, ProcessId, ProtocolConfig, RecvBuf,
+    RecvOp, Result, SendOp, Tag, TruncationPolicy, U64Index,
 };
 
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
+use std::task::Waker;
 
 enum Item {
     Packet(Packet),
@@ -34,8 +35,9 @@ enum Item {
 struct Proc {
     id: ProcessId,
     engine: Endpoint,
-    /// Completions drained from the engine, awaiting the application.
-    done: Vec<Completion>,
+    /// Completions drained from the engine, op-indexed and awaiting the
+    /// application (with the wakers of async tasks awaiting them).
+    done: CompletionQueue,
 }
 
 struct Router {
@@ -43,6 +45,11 @@ struct Router {
     index: U64Index,
     work: VecDeque<(ProcessId, ProcessId, Item)>,
     actions: Vec<Action>,
+    comps: Vec<Completion>,
+    /// Wakers collected while routing; invoked by the endpoint that holds
+    /// the router lock **after** releasing it (a waker is arbitrary executor
+    /// code and may poll — and so re-enter the router — inline).
+    pending_wakes: Vec<Waker>,
 }
 
 impl Router {
@@ -68,13 +75,25 @@ impl Router {
     }
 
     /// Moves one engine's pending actions into the work queue and its
-    /// completions into the endpoint's done list.
+    /// completions into the endpoint's completion queue, deferring the
+    /// wakers of awaiting tasks into [`Router::pending_wakes`].
     fn collect(&mut self, idx: usize) {
-        let proc = &mut self.procs[idx];
-        let id = proc.id;
         let mut actions = std::mem::take(&mut self.actions);
-        proc.engine.drain_actions_into(&mut actions);
-        proc.engine.drain_completions_into(&mut proc.done);
+        let mut comps = std::mem::take(&mut self.comps);
+        let id;
+        let mut woken;
+        {
+            let proc = &mut self.procs[idx];
+            id = proc.id;
+            proc.engine.drain_actions_into(&mut actions);
+            proc.engine.drain_completions_into(&mut comps);
+            woken = proc.done.publish(&mut comps);
+        }
+        if !woken.is_empty() {
+            self.pending_wakes.append(&mut woken);
+            self.procs[idx].done.recycle_woken(woken);
+        }
+        self.comps = comps;
         for action in actions.drain(..) {
             match action {
                 Action::Transmit { dst, packet, .. } => {
@@ -115,6 +134,8 @@ impl LoopbackCluster {
                 index: U64Index::new(),
                 work: VecDeque::new(),
                 actions: Vec::new(),
+                comps: Vec::new(),
+                pending_wakes: Vec::new(),
             })),
             protocol,
         }
@@ -136,7 +157,7 @@ impl LoopbackCluster {
         router.procs.push(Proc {
             id,
             engine: Endpoint::new(id, self.protocol.clone()),
-            done: Vec::new(),
+            done: CompletionQueue::new(),
         });
         LoopbackEndpoint {
             router: self.router.clone(),
@@ -163,6 +184,21 @@ impl LoopbackEndpoint {
         let idx = router.idx(self.id).expect("endpoint registered");
         let result = f(&mut router.procs[idx].engine);
         router.pump_from(idx);
+        // Wake awaiting tasks only after the router lock is released; the
+        // take-only-when-non-empty dance preserves the scratch capacity on
+        // the (common) no-waker path.
+        let wakes = if router.pending_wakes.is_empty() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut router.pending_wakes)
+        };
+        drop(router);
+        ppmsg_core::ops::wake_all(wakes, |drained| {
+            let mut router = self.router.lock().unwrap();
+            if drained.capacity() > router.pending_wakes.capacity() {
+                router.pending_wakes = drained;
+            }
+        });
         result
     }
 
@@ -201,11 +237,17 @@ impl LoopbackEndpoint {
         self.with_engine(|e| e.cancel(op))
     }
 
-    /// Drains every completion produced so far into `out`.
+    /// Cancels a posted send whose remainder has not been pulled yet; see
+    /// [`Endpoint::cancel_send`](ppmsg_core::Endpoint::cancel_send).
+    pub fn cancel_send(&self, op: SendOp) -> bool {
+        self.with_engine(|e| e.cancel_send(op))
+    }
+
+    /// Drains every completion produced so far into `out`, oldest first.
     pub fn drain_completions(&self, out: &mut Vec<Completion>) {
         let mut router = self.router.lock().unwrap();
         let idx = router.idx(self.id).expect("endpoint registered");
-        out.append(&mut router.procs[idx].done);
+        router.procs[idx].done.drain_into(out);
     }
 
     /// Takes the completion of `op` if the operation has finished.  The
@@ -214,9 +256,32 @@ impl LoopbackEndpoint {
     pub fn take_completion(&self, op: OpId) -> Option<Completion> {
         let mut router = self.router.lock().unwrap();
         let idx = router.idx(self.id).expect("endpoint registered");
-        let done = &mut router.procs[idx].done;
-        let pos = done.iter().position(|c| c.op == op)?;
-        Some(done.remove(pos))
+        router.procs[idx].done.take(op)
+    }
+
+    /// Takes the completion of `op`, registering `waker` to be woken when it
+    /// lands if the operation is still in flight.  This is the poll
+    /// primitive behind the async front-end's futures.
+    pub fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        router.procs[idx].done.take_or_register(op, waker)
+    }
+
+    /// Exempts `op`'s completion from retention eviction until claimed; see
+    /// [`CompletionQueue::register_interest`](ppmsg_core::CompletionQueue::register_interest).
+    pub fn register_interest(&self, op: OpId) {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        router.procs[idx].done.register_interest(op);
+    }
+
+    /// Drops any waker registered for `op` (an abandoned await); see
+    /// [`CompletionQueue::deregister`](ppmsg_core::CompletionQueue::deregister).
+    pub fn deregister_interest(&self, op: OpId) {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        router.procs[idx].done.deregister(op);
     }
 
     /// Protocol statistics of this endpoint.

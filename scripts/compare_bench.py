@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_PR*.json files and fail on hot-path regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25] [--calibrate]
+
+Every benchmark key present in both files is compared; a key whose current
+median exceeds baseline * threshold is a regression and the script exits 1.
+Keys only present on one side (benches added or retired between PRs) are
+reported and skipped.
+
+--calibrate rescales the current numbers by the median speed ratio of the
+``*_naive`` benches shared by both files.  Those benches run the frozen
+pre-refactor implementations preserved in ``ppmsg_bench::baseline``, so their
+drift measures the machine/toolchain, not our code; dividing it out lets a
+checked-in baseline from one machine gate runs on another (CI runners are not
+the laptop that produced the baseline).  Without any shared naive keys the
+flag is a no-op.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {k: float(v) for k, v in doc["benches"].items()}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when current > baseline * threshold (default 1.25)")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="rescale by the shared *_naive benches' drift")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    shared = sorted(base.keys() & cur.keys())
+    if not shared:
+        print("error: no shared benchmark keys to compare", file=sys.stderr)
+        return 1
+
+    scale = 1.0
+    if args.calibrate:
+        ratios = [cur[k] / base[k] for k in shared
+                  if k.endswith("_naive") and base[k] > 0]
+        if ratios:
+            scale = statistics.median(ratios)
+            print(f"calibration: machine-drift scale {scale:.3f} "
+                  f"(median of {len(ratios)} frozen-baseline benches)")
+
+    regressions = []
+    print(f"{'benchmark':<48} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for key in shared:
+        adjusted = cur[key] / scale
+        ratio = adjusted / base[key] if base[key] > 0 else float("inf")
+        flag = ""
+        if ratio > args.threshold:
+            regressions.append((key, ratio))
+            flag = "  << REGRESSION"
+        print(f"{key:<48} {base[key]:>10.1f} {adjusted:>10.1f} {ratio:>6.2f}x{flag}")
+
+    for key in sorted(base.keys() - cur.keys()):
+        print(f"{key:<48} {'(retired)':>10}")
+    for key in sorted(cur.keys() - base.keys()):
+        print(f"{key:<48} {'(new)':>21} {cur[key]:>10.1f}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.2f}x:",
+              file=sys.stderr)
+        for key, ratio in regressions:
+            print(f"  {key}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nok: {len(shared)} benches within {args.threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

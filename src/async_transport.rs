@@ -1,0 +1,439 @@
+//! The async front-end: completion-driven futures over any [`Transport`]
+//! backend, plus the executors that drive them.
+//!
+//! [`AsyncTransport`] adds `send(...).await` / `recv(...).await` /
+//! `recv_into(...).await` on top of the posted-operations API.  Posting is
+//! unchanged — the same generation-checked handles, the same engine — but
+//! instead of blocking in `wait`, a task parks its [`Waker`] in the
+//! endpoint's [`CompletionQueue`](ppmsg_core::CompletionQueue) (keyed by op
+//! slot + generation) and is woken exactly when its completion is published.
+//! One thread can therefore overlap any number of in-flight operations — the
+//! paper's latency-hiding postal model carried through to the application
+//! layer, and the single-progress-loop concurrency model of non-threaded
+//! event handling frameworks rather than a thread per blocking `wait`.
+//!
+//! Two executors are provided, both dependency-free:
+//!
+//! * [`block_on`] drives one future on the current thread, parking between
+//!   polls — the async analogue of `wait` for straight-line code;
+//! * [`Driver`] is a **manual-step multiplexer**: spawn N tasks, then
+//!   [`Driver::step`] / [`Driver::run_until_stalled`] poll exactly one /
+//!   every ready task in FIFO order, or [`Driver::run`] parks until all
+//!   tasks finish.  On the deterministic [`LoopbackCluster`] nothing ever
+//!   waits on a real clock or another thread, so a `Driver`-scheduled test
+//!   executes the same interleaving every run — async tests stay
+//!   deterministic and single-threaded.  On the host backends the same
+//!   driver overlaps real traffic: progress happens on the backends' own
+//!   threads (the intranode router runs on whichever thread posted, the UDP
+//!   reception thread pumps frames and timers), and completions wake the
+//!   driver through the waker table.
+//!
+//! [`LoopbackCluster`]: ppmsg_sim::LoopbackCluster
+
+use crate::transport::Transport;
+use bytes::Bytes;
+use ppmsg_core::{Completion, OpId, ProcessId, RecvBuf, Result, Tag, TruncationPolicy};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// A [`Transport`] whose operation completions can be awaited.
+///
+/// The single required method, [`AsyncTransport::poll_op`], claims an
+/// operation's completion or registers the calling task's waker — check and
+/// registration are one atomic step inside the endpoint's completion-queue
+/// lock, so a completion published concurrently can never be missed.  The
+/// provided combinators post an operation and return an [`OpFuture`] that
+/// resolves to its [`Completion`].
+///
+/// ```
+/// use push_pull_messaging::prelude::*;
+/// use bytes::Bytes;
+///
+/// // One task overlaps two receives with a send on the deterministic
+/// // loopback cluster; the same code drives the host backends.
+/// let cluster = LoopbackCluster::new(ProtocolConfig::paper_intranode());
+/// let a = cluster.add_endpoint(ProcessId::new(0, 0));
+/// let b = cluster.add_endpoint(ProcessId::new(0, 1));
+/// block_on(async {
+///     let first = b.recv(a.id(), Tag(1), 1024, TruncationPolicy::Error).unwrap();
+///     let second = b.recv(a.id(), Tag(2), 1024, TruncationPolicy::Error).unwrap();
+///     a.send(b.id(), Tag(2), Bytes::from(b"two".to_vec())).unwrap().await;
+///     a.send(b.id(), Tag(1), Bytes::from(b"one".to_vec())).unwrap().await;
+///     let one = first.await;
+///     let two = second.await;
+///     assert_eq!(one.data.unwrap(), Bytes::from(b"one".to_vec()));
+///     assert_eq!(two.data.unwrap(), Bytes::from(b"two".to_vec()));
+/// });
+/// ```
+pub trait AsyncTransport: Transport {
+    /// Claims the completion of `op` if the operation has finished;
+    /// otherwise registers `cx`'s waker to be woken when it does.  The two
+    /// halves are atomic with respect to completion publication
+    /// ([`Transport::poll_completion`]).
+    fn poll_op(&self, op: OpId, cx: &mut Context<'_>) -> Poll<Completion> {
+        match self.poll_completion(op, cx.waker()) {
+            Some(completion) => Poll::Ready(completion),
+            None => Poll::Pending,
+        }
+    }
+
+    /// Marks `op` as waited-on so its completion is exempt from the
+    /// endpoint's retention eviction from the moment the future exists —
+    /// even before its first poll registers a real waker.
+    fn note_interest(&self, op: OpId) {
+        self.register_interest(op);
+    }
+
+    /// Withdraws any waker or interest registered for `op` — called when an
+    /// [`OpFuture`] is dropped without resolving, so an abandoned await
+    /// hands the operation's completion back to the ordinary
+    /// drain/eviction flow instead of pinning it for a waiter that no
+    /// longer exists.
+    fn forget_interest(&self, op: OpId) {
+        self.deregister_interest(op);
+    }
+
+    /// Posts a send and returns a future resolving to its [`Completion`]
+    /// when the message has been fully handed to the transport (for
+    /// Push-Pull sends, when the receiver has pulled the remainder).
+    fn send(&self, peer: ProcessId, tag: Tag, data: Bytes) -> Result<OpFuture<'_, Self>> {
+        let op = self.post_send(peer, tag, data)?;
+        Ok(OpFuture::new(self, OpId::Send(op)))
+    }
+
+    /// Posts an engine-buffered receive (wildcards allowed) and returns a
+    /// future resolving to its [`Completion`]; the message bytes arrive in
+    /// the completion's `data` field.
+    fn recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<OpFuture<'_, Self>> {
+        let op = self.post_recv(src, tag, capacity, policy)?;
+        Ok(OpFuture::new(self, OpId::Recv(op)))
+    }
+
+    /// Posts a caller-buffered receive and returns a future resolving to its
+    /// [`Completion`]; the buffer comes back in the completion's `buf` field
+    /// (also on cancellation and failure), so one buffer can be recycled
+    /// across awaits indefinitely.
+    fn recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<OpFuture<'_, Self>> {
+        let op = self.post_recv_into(src, tag, buf, policy)?;
+        Ok(OpFuture::new(self, OpId::Recv(op)))
+    }
+}
+
+/// Every [`Transport`] is an [`AsyncTransport`]: the poll/interest
+/// primitives are part of the `Transport` plumbing, so the async front-end
+/// comes for free on all backends (and any future one).
+impl<T: Transport + ?Sized> AsyncTransport for T {}
+
+/// A posted operation's pending [`Completion`].
+///
+/// Dropping the future abandons the await but **not** the operation: its
+/// waker/interest registration is withdrawn on drop, so the transfer still
+/// runs and its completion stays claimable through [`Transport::wait`] /
+/// [`Transport::drain_completions`] like any fire-and-forget result (use
+/// [`Transport::cancel`] / [`Transport::cancel_send`] to actually revoke
+/// the operation).  Spurious wakes are harmless — a poll that finds no
+/// completion just re-registers the waker, and the slot + generation key
+/// guarantees a resolved future can never observe a different (newer)
+/// operation's completion.
+#[derive(Debug)]
+pub struct OpFuture<'a, T: AsyncTransport + ?Sized> {
+    transport: &'a T,
+    op: OpId,
+    done: bool,
+}
+
+impl<'a, T: AsyncTransport + ?Sized> OpFuture<'a, T> {
+    /// Wraps an already-posted operation (e.g. one posted through the
+    /// blocking [`Transport`] API, or re-awaited after a future was dropped)
+    /// so its completion can be awaited.  Creating the future marks the
+    /// operation as waited-on, so its completion cannot be evicted out from
+    /// under a task that has not been polled yet.
+    pub fn new(transport: &'a T, op: OpId) -> Self {
+        transport.note_interest(op);
+        OpFuture {
+            transport,
+            op,
+            done: false,
+        }
+    }
+
+    /// The handle of the posted operation (e.g. to cancel it mid-await).
+    pub fn op(&self) -> OpId {
+        self.op
+    }
+}
+
+impl<T: AsyncTransport + ?Sized> Future for OpFuture<'_, T> {
+    type Output = Completion;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Completion> {
+        assert!(!self.done, "OpFuture polled after completion");
+        match self.transport.poll_op(self.op, cx) {
+            Poll::Ready(completion) => {
+                self.done = true;
+                Poll::Ready(completion)
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<T: AsyncTransport + ?Sized> Drop for OpFuture<'_, T> {
+    fn drop(&mut self) {
+        // An abandoned await must not keep the operation's completion
+        // pinned: withdraw the registration so the result is drainable and
+        // evictable again.  (Resolved futures already cleared it at claim.)
+        if !self.done {
+            self.transport.forget_interest(self.op);
+        }
+    }
+}
+
+/// Wakes a parked thread (the [`block_on`] waker, and the [`Driver`]'s
+/// idle-parking signal).
+struct ThreadParker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl ThreadParker {
+    fn current() -> Arc<Self> {
+        Arc::new(ThreadParker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        })
+    }
+
+    /// Parks the current thread until `notify` has been called since the
+    /// last `wait` returned.
+    fn wait(&self) {
+        while !self.notified.swap(false, Ordering::Acquire) {
+            std::thread::park();
+        }
+    }
+
+    fn notify(&self) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+impl Wake for ThreadParker {
+    fn wake(self: Arc<Self>) {
+        self.notify();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notify();
+    }
+}
+
+/// Runs one future to completion on the current thread, parking between
+/// polls — the async analogue of [`Transport::wait`] for straight-line code.
+/// The future is polled in place (no boxing); on the deterministic loopback
+/// backend it typically resolves without ever parking.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let parker = ThreadParker::current();
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => parker.wait(),
+        }
+    }
+}
+
+/// What the driver's tasks share with their wakers: the FIFO ready queue
+/// (slot + spawn generation, so a stale waker from a finished task can never
+/// poke a task that reused its slot) and the driver thread's parker.
+struct DriverShared {
+    ready: Mutex<VecDeque<(usize, u64)>>,
+    parker: Arc<ThreadParker>,
+}
+
+impl DriverShared {
+    fn mark_ready(&self, index: usize, generation: u64) {
+        self.ready.lock().unwrap().push_back((index, generation));
+        self.parker.notify();
+    }
+}
+
+/// Wakes one driver task: flags it ready and unparks the driver thread.
+struct TaskWaker {
+    index: usize,
+    generation: u64,
+    shared: Arc<DriverShared>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.mark_ready(self.index, self.generation);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.mark_ready(self.index, self.generation);
+    }
+}
+
+struct Task {
+    future: Pin<Box<dyn Future<Output = ()> + 'static>>,
+    waker: Waker,
+}
+
+/// The shared progress driver: a single-threaded executor multiplexing any
+/// number of spawned tasks over their endpoints' completion queues.
+///
+/// Tasks are polled in FIFO ready order, one [`Driver::step`] at a time —
+/// there is no background thread and no time source, so on the synchronous
+/// [`LoopbackCluster`](ppmsg_sim::LoopbackCluster) a driver-scheduled
+/// workload executes **deterministically**: the same spawn order yields the
+/// same interleaving, every run.  On the host backends, [`Driver::run`]
+/// parks between steps and endpoint completions wake it through the waker
+/// table, overlapping N in-flight operations on one thread.
+///
+/// Results leave tasks through whatever the closures capture (an
+/// `Arc<Mutex<_>>`, a channel, ...); the driver itself only schedules.
+pub struct Driver {
+    shared: Arc<DriverShared>,
+    tasks: Vec<Option<Task>>,
+    /// Per-slot spawn generation: bumped when a task retires, so ready-queue
+    /// entries and wakers of finished tasks go stale instead of poking
+    /// whatever task reuses the slot.
+    generations: Vec<u64>,
+    /// Retired slots available for reuse — a long-lived driver spawning one
+    /// task per request stays bounded by its peak concurrency, not its
+    /// lifetime spawn count.
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Driver {
+    /// Creates a driver owned by the current thread ([`Driver::run`] parks
+    /// this thread while it waits for completions).
+    pub fn new() -> Self {
+        Driver {
+            shared: Arc::new(DriverShared {
+                ready: Mutex::new(VecDeque::new()),
+                parker: ThreadParker::current(),
+            }),
+            tasks: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of spawned tasks that have not completed yet.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Number of task slots ever allocated — bounded by the peak number of
+    /// concurrently live tasks, not by the lifetime spawn count.
+    pub fn slots(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Spawns a task; it is polled for the first time on the next step.
+    /// Tasks are scheduled in spawn order (retired slots are reused, FIFO
+    /// fairness comes from the ready queue).
+    pub fn spawn(&mut self, future: impl Future<Output = ()> + 'static) {
+        let index = match self.free.pop() {
+            Some(index) => index,
+            None => {
+                self.tasks.push(None);
+                self.generations.push(0);
+                self.tasks.len() - 1
+            }
+        };
+        let generation = self.generations[index];
+        let waker = Waker::from(Arc::new(TaskWaker {
+            index,
+            generation,
+            shared: self.shared.clone(),
+        }));
+        self.tasks[index] = Some(Task {
+            future: Box::pin(future),
+            waker,
+        });
+        self.live += 1;
+        self.shared.mark_ready(index, generation);
+    }
+
+    /// Polls the oldest ready task once.  Returns `false` when no task was
+    /// ready (duplicate and stale wake-ups are skipped, not counted as
+    /// progress).
+    pub fn step(&mut self) -> bool {
+        loop {
+            let (index, generation) = {
+                let mut ready = self.shared.ready.lock().unwrap();
+                match ready.pop_front() {
+                    Some(entry) => entry,
+                    None => return false,
+                }
+            };
+            // A wake for a task that already finished (its slot generation
+            // moved on) or a duplicate entry for one already polled is
+            // spurious: skip it.
+            if self.generations[index] != generation {
+                continue;
+            }
+            let Some(task) = self.tasks[index].as_mut() else {
+                continue;
+            };
+            let mut cx = Context::from_waker(&task.waker);
+            match task.future.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.tasks[index] = None;
+                    self.generations[index] += 1;
+                    self.free.push(index);
+                    self.live -= 1;
+                }
+                Poll::Pending => {}
+            }
+            return true;
+        }
+    }
+
+    /// Steps until no task is ready.  Never blocks: on the loopback backend
+    /// this runs the whole workload to quiescence; on host backends it runs
+    /// until every remaining task waits on in-flight traffic.
+    pub fn run_until_stalled(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs every spawned task to completion, parking the current thread
+    /// whenever no task is ready (endpoint completions wake it).
+    pub fn run(&mut self) {
+        while self.live > 0 {
+            self.run_until_stalled();
+            if self.live == 0 {
+                break;
+            }
+            self.shared.parker.wait();
+        }
+    }
+}

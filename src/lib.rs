@@ -15,6 +15,9 @@
 //!   (threads) and UDP sockets.
 //! * [`transport`] — the [`Transport`] trait: one post / drain-completions /
 //!   wait front-end implemented by every backend.
+//! * [`async_transport`] — the [`AsyncTransport`] trait: `send(...).await` /
+//!   `recv(...).await` futures resolved from the per-endpoint completion
+//!   queue, plus the [`block_on`] and [`Driver`] executors.
 //! * [`simsmp`] / [`simnet`] — the SMP-node and Fast-Ethernet substrates.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
@@ -26,12 +29,15 @@ pub use ppmsg_sim as sim;
 pub use simnet;
 pub use simsmp;
 
+pub mod async_transport;
 pub mod transport;
 
+pub use async_transport::{block_on, AsyncTransport, Driver, OpFuture};
 pub use transport::Transport;
 
 /// The protocol types most users need, re-exported flat.
 pub mod prelude {
+    pub use crate::async_transport::{block_on, AsyncTransport, Driver, OpFuture};
     pub use crate::transport::Transport;
     pub use ppmsg_core::{
         Action, BtpPolicy, Completion, Endpoint, OpId, OptFlags, ProcessId, ProtocolConfig,

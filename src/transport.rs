@@ -15,6 +15,7 @@ use ppmsg_core::{
 };
 use ppmsg_host::{HostEndpoint, UdpEndpoint};
 use ppmsg_sim::LoopbackEndpoint;
+use std::task::Waker;
 use std::time::Duration;
 
 /// A protocol endpoint that can post typed operations and report their
@@ -96,12 +97,49 @@ pub trait Transport {
     /// for stale handles and already-matched receives.
     fn cancel(&self, op: RecvOp) -> bool;
 
-    /// Drains every completion produced so far into `out`, oldest first.
+    /// Cancels a posted send whose remainder has not been pulled yet,
+    /// reclaiming the pinned payload.  Returns `true` when the operation was
+    /// cancelled (a [`Status::Cancelled`] completion is produced); `false`
+    /// for stale handles, eagerly-completed sends, and sends whose pull has
+    /// already been served.  See
+    /// [`ppmsg_core::Endpoint::cancel_send`] for the receiver-side caveat.
+    fn cancel_send(&self, op: SendOp) -> bool;
+
+    /// Drains every unclaimed completion into `out`, oldest first — except
+    /// completions some waiter has registered for (a parked async future or
+    /// a blocking [`Transport::wait`]), which stay queued for that waiter.
+    /// Note the endpoint's **retention cap**
+    /// ([`ppmsg_core::DEFAULT_COMPLETION_RETENTION`]): completions of
+    /// operations nobody waits for are evicted oldest-first beyond it, so a
+    /// fire-and-forget workload that drains only occasionally sees at most
+    /// the newest `retention` results.
     fn drain_completions(&self, out: &mut Vec<Completion>);
 
     /// Waits until operation `op` completes, returning its completion, or
-    /// `None` when `timeout` expires first.
+    /// `None` when `timeout` expires first.  Calling `wait` (or creating an
+    /// async future) marks the operation as waited-on, which exempts its
+    /// completion from retention eviction — but a completion that was
+    /// **already evicted** before any waiter appeared (it aged past the
+    /// retention cap as unclaimed fire-and-forget traffic) is gone: `wait`
+    /// then blocks the full timeout and returns `None` even though the
+    /// operation succeeded.  Claim completions promptly, or register the
+    /// wait before flooding the endpoint.
     fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion>;
+
+    /// Takes the completion of `op` if the operation has finished, or
+    /// registers `waker` to be woken when it does — one atomic step with
+    /// respect to completion publication.  This is the poll primitive
+    /// behind the async front-end.
+    fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion>;
+
+    /// Exempts `op`'s completion (present or future) from retention
+    /// eviction until claimed; see
+    /// [`ppmsg_core::CompletionQueue::register_interest`].
+    fn register_interest(&self, op: OpId);
+
+    /// Withdraws any waker or interest registered for `op` (an abandoned
+    /// await); see [`ppmsg_core::CompletionQueue::deregister`].
+    fn deregister_interest(&self, op: OpId);
 
     /// Convenience: posts a send and blocks until it completes, returning
     /// the number of bytes handed to the transport.
@@ -169,12 +207,28 @@ impl Transport for HostEndpoint {
         HostEndpoint::cancel(self, op)
     }
 
+    fn cancel_send(&self, op: SendOp) -> bool {
+        HostEndpoint::cancel_send(self, op)
+    }
+
     fn drain_completions(&self, out: &mut Vec<Completion>) {
         HostEndpoint::drain_completions(self, out)
     }
 
     fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
         HostEndpoint::wait(self, op, timeout)
+    }
+
+    fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
+        HostEndpoint::poll_completion(self, op, waker)
+    }
+
+    fn register_interest(&self, op: OpId) {
+        HostEndpoint::register_interest(self, op)
+    }
+
+    fn deregister_interest(&self, op: OpId) {
+        HostEndpoint::deregister_interest(self, op)
     }
 }
 
@@ -211,12 +265,28 @@ impl Transport for UdpEndpoint {
         UdpEndpoint::cancel(self, op)
     }
 
+    fn cancel_send(&self, op: SendOp) -> bool {
+        UdpEndpoint::cancel_send(self, op)
+    }
+
     fn drain_completions(&self, out: &mut Vec<Completion>) {
         UdpEndpoint::drain_completions(self, out)
     }
 
     fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
         UdpEndpoint::wait(self, op, timeout)
+    }
+
+    fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
+        UdpEndpoint::poll_completion(self, op, waker)
+    }
+
+    fn register_interest(&self, op: OpId) {
+        UdpEndpoint::register_interest(self, op)
+    }
+
+    fn deregister_interest(&self, op: OpId) {
+        UdpEndpoint::deregister_interest(self, op)
     }
 }
 
@@ -253,6 +323,10 @@ impl Transport for LoopbackEndpoint {
         LoopbackEndpoint::cancel(self, op)
     }
 
+    fn cancel_send(&self, op: SendOp) -> bool {
+        LoopbackEndpoint::cancel_send(self, op)
+    }
+
     fn drain_completions(&self, out: &mut Vec<Completion>) {
         LoopbackEndpoint::drain_completions(self, out)
     }
@@ -261,5 +335,17 @@ impl Transport for LoopbackEndpoint {
     /// completed by the time `wait` is called, so the timeout never blocks.
     fn wait(&self, op: OpId, _timeout: Duration) -> Option<Completion> {
         self.take_completion(op)
+    }
+
+    fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
+        LoopbackEndpoint::poll_completion(self, op, waker)
+    }
+
+    fn register_interest(&self, op: OpId) {
+        LoopbackEndpoint::register_interest(self, op)
+    }
+
+    fn deregister_interest(&self, op: OpId) {
+        LoopbackEndpoint::deregister_interest(self, op)
     }
 }

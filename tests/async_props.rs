@@ -1,0 +1,218 @@
+//! Property tests for the async waker path: random interleavings of posted
+//! receives, spurious polls, mid-await cancellations, abandoned futures, and
+//! matching sends on the deterministic loopback cluster must never surface a
+//! stale, duplicate, or mismatched completion; every completion that lands
+//! after a task registered its waker must actually wake it; and a dropped
+//! future's completion must flow back to the ordinary drain path instead of
+//! staying pinned for a waiter that no longer exists.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use push_pull_messaging::core::ops::Completion;
+use push_pull_messaging::prelude::*;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Counts every wake; stands in for an executor's ready queue.
+struct CountingWaker(AtomicUsize);
+
+impl CountingWaker {
+    fn pair() -> (Arc<Self>, Waker) {
+        let inner = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let waker = Waker::from(inner.clone());
+        (inner, waker)
+    }
+
+    fn count(&self) -> usize {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl Wake for CountingWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct PendingRecv<'a> {
+    fut: OpFuture<'a, LoopbackEndpoint>,
+    tag: u32,
+    /// `true` once `cancel` accepted the operation.
+    cancelled: bool,
+    /// `true` if some poll returned `Pending` (a waker is registered).
+    registered: bool,
+}
+
+impl PendingRecv<'_> {
+    fn recv_op(&self) -> RecvOp {
+        match self.fut.op() {
+            OpId::Recv(op) => op,
+            OpId::Send(_) => unreachable!("receives only"),
+        }
+    }
+}
+
+/// Checks one resolved completion against the operation's known state.
+fn check_resolution(pending: &PendingRecv<'_>, completion: &Completion) {
+    assert_eq!(completion.op, pending.fut.op(), "completion op id");
+    if pending.cancelled {
+        assert_eq!(
+            completion.status,
+            Status::Cancelled,
+            "cancelled op must resolve Cancelled"
+        );
+        assert!(completion.data.is_none(), "cancelled op must carry no data");
+    } else {
+        assert_eq!(completion.status, Status::Ok, "matched op must resolve Ok");
+        assert_eq!(completion.tag, Tag(pending.tag), "completion tag");
+        assert!(completion.data.is_some(), "matched op must carry data");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the interleaving of posts, spurious polls, cancellations,
+    /// abandoned awaits, and sends: every held operation resolves exactly
+    /// once with its own completion and never again afterwards, every
+    /// completion landing after a registration wakes the registered waker,
+    /// and abandoned operations' completions drain normally.
+    #[test]
+    fn spurious_wakes_and_cancellation_never_yield_stale_completions(
+        ops in proptest::collection::vec((0u8..5, 0u32..3), 1..80),
+    ) {
+        let cluster = LoopbackCluster::new(
+            ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
+        );
+        let a = cluster.add_endpoint(ProcessId::new(0, 0));
+        let b = cluster.add_endpoint(ProcessId::new(0, 1));
+        let (counter, waker) = CountingWaker::pair();
+
+        let mut pending: Vec<PendingRecv<'_>> = Vec::new();
+        let mut abandoned: Vec<(RecvOp, bool)> = Vec::new();
+        let mut resolved_after_registration = 0usize;
+
+        // Polls `pending[i]`'s held future once, enforcing the invariants;
+        // returns `true` when the entry resolved and was removed.  (Failures
+        // assert directly: the vendored proptest reports via panics.)
+        let resolve_if_ready = |pending: &mut Vec<PendingRecv<'_>>,
+                                i: usize,
+                                resolved_after_registration: &mut usize|
+         -> bool {
+            let mut cx = Context::from_waker(&waker);
+            match Pin::new(&mut pending[i].fut).poll(&mut cx) {
+                Poll::Ready(completion) => {
+                    check_resolution(&pending[i], &completion);
+                    assert!(
+                        b.take_completion(completion.op).is_none(),
+                        "a claimed completion must not be claimable again"
+                    );
+                    if pending[i].registered {
+                        *resolved_after_registration += 1;
+                    }
+                    pending.remove(i);
+                    true
+                }
+                Poll::Pending => {
+                    pending[i].registered = true;
+                    false
+                }
+            }
+        };
+
+        for (kind, t) in ops {
+            match kind {
+                // Post an exact-match receive and poll its future once (a
+                // receive matching an already-buffered unexpected message
+                // resolves on this very first poll).
+                0 => {
+                    let fut = b
+                        .recv(a.id(), Tag(t), 4096, TruncationPolicy::Error)
+                        .unwrap();
+                    pending.push(PendingRecv { fut, tag: t, cancelled: false, registered: false });
+                    let i = pending.len() - 1;
+                    resolve_if_ready(&mut pending, i, &mut resolved_after_registration);
+                }
+                // Spurious poll of an arbitrary in-flight operation: must
+                // never fabricate a completion.
+                1 if !pending.is_empty() => {
+                    let i = t as usize % pending.len();
+                    resolve_if_ready(&mut pending, i, &mut resolved_after_registration);
+                }
+                // Cancel an arbitrary in-flight operation mid-await.  A
+                // `true` pins its fate to Cancelled; `false` means it
+                // already matched and must still resolve normally.
+                2 if !pending.is_empty() => {
+                    let i = t as usize % pending.len();
+                    if !pending[i].cancelled && b.cancel(pending[i].recv_op()) {
+                        pending[i].cancelled = true;
+                    }
+                }
+                // Send a matching message (the loopback cluster routes it to
+                // quiescence synchronously, waking any registered waker).
+                3 => {
+                    a.post_send(b.id(), Tag(t), Bytes::from(vec![t as u8; 64])).unwrap();
+                }
+                // Abandon an await: drop the future mid-flight.  The drop
+                // must deregister, handing the operation's eventual
+                // completion back to the ordinary drain flow.
+                4 if !pending.is_empty() => {
+                    let i = t as usize % pending.len();
+                    let entry = pending.remove(i);
+                    abandoned.push((entry.recv_op(), entry.cancelled));
+                    // `entry.fut` drops here.
+                }
+                _ => {}
+            }
+        }
+
+        // Wind down: cancel whatever is still unmatched (held and
+        // abandoned), then every held operation must resolve on one final
+        // poll.
+        for p in &mut pending {
+            if !p.cancelled && b.cancel(p.recv_op()) {
+                p.cancelled = true;
+            }
+        }
+        for (op, cancelled) in &mut abandoned {
+            if !*cancelled && b.cancel(*op) {
+                *cancelled = true;
+            }
+        }
+        while !pending.is_empty() {
+            prop_assert!(
+                resolve_if_ready(&mut pending, 0, &mut resolved_after_registration),
+                "every held operation must resolve after cancellation or match"
+            );
+        }
+
+        // Abandoned operations are nobody's await anymore: their
+        // completions must surface through the plain drain path (a pinned,
+        // undrainable completion here means the dropped future leaked its
+        // waker registration).
+        let mut drained = Vec::new();
+        b.drain_completions(&mut drained);
+        for (op, _) in &abandoned {
+            prop_assert!(
+                drained.iter().any(|c| c.op == OpId::Recv(*op)),
+                "abandoned op {op} must drain normally"
+            );
+        }
+
+        // Every completion that landed after a Pending poll registered the
+        // waker must have woken it (abandoned awaits resolve via drain and
+        // are not counted).
+        prop_assert!(
+            counter.count() >= resolved_after_registration,
+            "wakes {} < resolutions after registration {}",
+            counter.count(),
+            resolved_after_registration
+        );
+    }
+}

@@ -10,7 +10,11 @@ use ppmsg_sim::experiments::{
 use push_pull_messaging::prelude::*;
 use std::time::Duration;
 
-const TIMEOUT: Duration = Duration::from_secs(10);
+// Generous: the suite runs many test binaries in parallel (and CI runs the
+// whole matrix), so a UDP retransmission path can be starved for seconds
+// without anything being wrong.  Tests normally finish in milliseconds; the
+// timeout only bounds genuine failures.
+const TIMEOUT: Duration = Duration::from_secs(30);
 
 fn payload(len: usize) -> Bytes {
     Bytes::from((0..len).map(|i| (i * 7 % 256) as u8).collect::<Vec<u8>>())
@@ -171,6 +175,176 @@ fn transport_trait_drives_intranode_udp_and_loopback_backends() {
     let a = cluster.add_endpoint(ProcessId::new(0, 0));
     let b = cluster.add_endpoint(ProcessId::new(1, 0));
     exercise_transport(&a, &b, "loopback");
+}
+
+/// Exercises the async front-end on any backend: overlapped sends and
+/// receives awaited out of posting order, caller-owned buffers recycled
+/// across awaits, and send cancellation reclaiming an unpulled payload.
+fn exercise_async_transport<T: AsyncTransport>(a: &T, b: &T, label: &str) {
+    use push_pull_messaging::core::{ANY_SOURCE, ANY_TAG};
+
+    let data = payload(4096);
+
+    // Overlap two receives and two sends in one task; await the second
+    // exchange first to prove completions resolve by operation, not order.
+    let (one, two) = block_on(async {
+        let first = b
+            .recv(a.local_id(), Tag(1), 4096, TruncationPolicy::Error)
+            .unwrap();
+        let second = b
+            .recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
+            .unwrap();
+        let s1 = a.send(b.local_id(), Tag(1), data.clone()).unwrap();
+        let s2 = a.send(b.local_id(), Tag(2), data.clone()).unwrap();
+        let two = second.await;
+        let one = first.await;
+        s2.await;
+        s1.await;
+        (one, two)
+    });
+    assert_eq!(one.status, Status::Ok, "{label}");
+    assert_eq!(one.data.as_deref(), Some(&data[..]), "{label}");
+    assert_eq!(two.tag, Tag(2), "{label}: wildcard reports concrete tag");
+    assert_eq!(two.data.as_deref(), Some(&data[..]), "{label}");
+
+    // Caller-owned buffer recycled across two awaited receives.
+    block_on(async {
+        let mut buf = RecvBuf::with_capacity(4096);
+        for round in 0..2 {
+            let recv = b
+                .recv_into(a.local_id(), Tag(3), buf, TruncationPolicy::Error)
+                .unwrap();
+            a.send(b.local_id(), Tag(3), data.clone()).unwrap().await;
+            let done = recv.await;
+            assert!(matches!(done.status, Status::Ok), "round {round}");
+            buf = done.buf.expect("buffer handed back");
+            assert_eq!(buf.as_slice(), &data[..], "round {round}");
+        }
+    });
+
+    // cancel_send through the Transport front-end: a send whose pull never
+    // comes is reclaimed with a Cancelled completion.  The pushed buffer is
+    // far smaller than 256 KiB, so a remainder is always registered for
+    // pulling, and no receive is ever posted to pull it.
+    let unpulled = a
+        .post_send(b.local_id(), Tag(99), payload(256 * 1024))
+        .unwrap();
+    assert!(
+        a.cancel_send(unpulled),
+        "{label}: unpulled send must cancel"
+    );
+    assert!(!a.cancel_send(unpulled), "{label}: stale handle");
+    let done = block_on(OpFuture::new(a, OpId::Send(unpulled)));
+    assert_eq!(done.status, Status::Cancelled, "{label}");
+}
+
+#[test]
+fn async_transport_drives_intranode_udp_and_loopback_backends() {
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(128 * 1024),
+    );
+    let a = cluster.add_endpoint(0);
+    let b = cluster.add_endpoint(1);
+    exercise_async_transport(&a, &b, "intranode");
+
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
+    let a = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto.clone(), "127.0.0.1:0").unwrap();
+    a.add_peer(b.id(), b.local_addr().unwrap());
+    b.add_peer(a.id(), a.local_addr().unwrap());
+    exercise_async_transport(&a, &b, "udp");
+
+    let cluster = LoopbackCluster::new(proto);
+    let a = cluster.add_endpoint(ProcessId::new(0, 0));
+    let b = cluster.add_endpoint(ProcessId::new(1, 0));
+    exercise_async_transport(&a, &b, "loopback");
+}
+
+/// N async receives posted interleaved (wildcard and exact) complete in
+/// posting order on the deterministic loopback cluster, whatever order the
+/// driver awaits them in.
+#[test]
+fn loopback_async_receives_complete_in_posting_order() {
+    use push_pull_messaging::core::{ANY_SOURCE, ANY_TAG};
+    use std::sync::{Arc as StdArc, Mutex};
+
+    const N: usize = 16;
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
+    let a = cluster.add_endpoint(ProcessId::new(0, 0));
+    let b = cluster.add_endpoint(ProcessId::new(0, 1));
+
+    let order: StdArc<Mutex<Vec<usize>>> = StdArc::new(Mutex::new(Vec::new()));
+    let mut driver = Driver::new();
+
+    // One task per receive, spawned in posting order; every receive matches
+    // every message (all wildcards on the same tag), so completion order is
+    // exactly posting order.
+    for _ in 0..N {
+        let b = b.clone();
+        let order = order.clone();
+        driver.spawn(async move {
+            let done = b
+                .recv(ANY_SOURCE, ANY_TAG, 64, TruncationPolicy::Error)
+                .unwrap()
+                .await;
+            assert_eq!(done.status, Status::Ok);
+            // The sender encodes the message's sequence number in its first
+            // byte; receive i must get message i.
+            order.lock().unwrap().push(done.data.unwrap()[0] as usize);
+        });
+    }
+    // Let every receive get posted (tasks run in spawn order), then send the
+    // numbered messages.
+    driver.run_until_stalled();
+    {
+        let a = a.clone();
+        let b_id = b.id();
+        driver.spawn(async move {
+            for i in 0..N {
+                a.send(b_id, Tag(1), Bytes::from(vec![i as u8; 8]))
+                    .unwrap()
+                    .await;
+            }
+        });
+    }
+    driver.run();
+    assert_eq!(
+        *order.lock().unwrap(),
+        (0..N).collect::<Vec<_>>(),
+        "interleaved async receives must complete in posting order"
+    );
+}
+
+/// A long-lived driver spawning one task per exchange reuses retired task
+/// slots (bounded by peak concurrency, not lifetime spawn count), and a
+/// finished task's stale waker can never poke the task that reuses its slot.
+#[test]
+fn driver_reuses_task_slots_across_many_spawns() {
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
+    let a = cluster.add_endpoint(ProcessId::new(0, 0));
+    let b = cluster.add_endpoint(ProcessId::new(0, 1));
+    let mut driver = Driver::new();
+    for i in 0..100u32 {
+        let (a, b) = (a.clone(), b.clone());
+        driver.spawn(async move {
+            let recv = b.recv(a.id(), Tag(1), 64, TruncationPolicy::Error).unwrap();
+            a.send(b.id(), Tag(1), Bytes::from(vec![i as u8; 8]))
+                .unwrap()
+                .await;
+            let done = recv.await;
+            assert_eq!(done.data.unwrap()[0], i as u8);
+        });
+        driver.run();
+        assert_eq!(driver.live(), 0, "round {i}");
+    }
+    assert_eq!(
+        driver.slots(),
+        1,
+        "sequential spawn/run churn must reuse one slot"
+    );
 }
 
 #[test]
