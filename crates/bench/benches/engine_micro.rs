@@ -3,13 +3,15 @@
 //! under pending-operation load, and the wire codec.
 //!
 //! Besides the Criterion groups, this bench measures the hot-path numbers
-//! directly with `std::time::Instant` and writes them to `BENCH_PR3.json`
+//! directly with `std::time::Instant` and writes them to `BENCH_PR4.json`
 //! at the repository root: the PR-1 slab/bucket structure numbers and the
 //! PR-2 operations-layer numbers (re-run so regressions against the
-//! checked-in `BENCH_PR2.json` baseline are visible — CI's `bench-smoke`
-//! job fails on >25% drift), plus the PR-3 async front-end ping-pong
-//! variants (`block_on` single-task and `Driver` two-task) next to the
-//! synchronous engine-level loop they wrap.
+//! checked-in `BENCH_PR3.json` baseline are visible — CI's `bench-smoke`
+//! job fails on >25% drift), the PR-3 async front-end ping-pong variants
+//! (`block_on` single-task and `Driver` two-task) next to the synchronous
+//! engine-level loop they wrap, and the PR-4 additions: vectored sends
+//! (scatter list vs caller-coalesced single buffer) and the wildcard
+//! `peek_unexpected` scan against a deep unexpected-message backlog.
 //!
 //! Numbers are **median-of-samples** ns/op.  Setting `BENCH_QUICK=1`
 //! shortens calibration and sampling for CI smoke runs; the medians get a
@@ -18,14 +20,16 @@
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ppmsg_bench::baseline::{NaiveReceiveQueue, NaiveSendQueue};
-use ppmsg_core::queues::{PendingSend, PostedReceive, ReceiveQueue, SendQueue};
+use ppmsg_core::queues::{
+    BufferQueue, PendingSend, PostedReceive, ReceiveQueue, SendQueue, UnexpectedKey,
+};
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
     Action, BtpPolicy, BtpSplit, Endpoint, MessageId, OpId, OptFlags, Packet, PacketHeader,
-    PacketKind, ProcessId, ProtocolConfig, ProtocolMode, PushPart, RecvBuf, RecvOp, SendOp, Tag,
-    TruncationPolicy, ANY_SOURCE,
+    PacketKind, ProcessId, ProtocolConfig, ProtocolMode, PushPart, RecvBuf, RecvOp, SendOp,
+    SendPayload, Tag, TruncationPolicy, ANY_SOURCE, ANY_TAG,
 };
-use push_pull_messaging::prelude::{block_on, AsyncTransport, Driver};
+use push_pull_messaging::prelude::{block_on, Driver, Endpoint as FrontEnd};
 use push_pull_messaging::sim::{LoopbackCluster, LoopbackEndpoint};
 use std::time::Instant;
 
@@ -101,7 +105,7 @@ fn pending_send(msg_id: u64) -> PendingSend {
         dst: ProcessId::new(1, 0),
         tag: Tag(0),
         msg_id: MessageId(msg_id),
-        data: Bytes::new(),
+        payload: SendPayload::Single(Bytes::new()),
         split: BtpSplit::plan(
             ProtocolMode::PushPull,
             BtpPolicy::INTERNODE_DEFAULT,
@@ -194,16 +198,16 @@ fn bench_pingpong_ns_per_roundtrip(size: usize, rounds: usize) -> f64 {
     start.elapsed().as_nanos() as f64 / rounds as f64 / 2.0
 }
 
-fn loopback_pair(cfg: ProtocolConfig) -> (LoopbackEndpoint, LoopbackEndpoint) {
+fn loopback_pair(cfg: ProtocolConfig) -> (FrontEnd<LoopbackEndpoint>, FrontEnd<LoopbackEndpoint>) {
     let cluster = LoopbackCluster::new(cfg);
     (
-        cluster.add_endpoint(ProcessId::new(0, 0)),
-        cluster.add_endpoint(ProcessId::new(0, 1)),
+        FrontEnd::new(cluster.add_endpoint(ProcessId::new(0, 0))),
+        FrontEnd::new(cluster.add_endpoint(ProcessId::new(0, 1))),
     )
 }
 
 /// Async variant of the ping-pong loop: one `block_on` task awaiting
-/// `AsyncTransport` futures over the loopback cluster.  Measures the whole
+/// `Endpoint` front-end futures over the loopback cluster.  Measures the whole
 /// front-end — posting through the router lock, op-indexed completion
 /// claiming, and future resolution — on top of the same engine work as
 /// [`bench_pingpong_ns_per_roundtrip`].
@@ -215,14 +219,14 @@ fn bench_async_pingpong_block_on(size: usize, rounds: usize) -> f64 {
     block_on(async {
         for _ in 0..rounds {
             let recv = b
-                .recv(a.id(), Tag(1), size, TruncationPolicy::Error)
+                .recv(a.local_id(), Tag(1), size, TruncationPolicy::Error)
                 .unwrap();
-            a.send(b.id(), Tag(1), data.clone()).unwrap().await;
+            a.send(b.local_id(), Tag(1), data.clone()).unwrap().await;
             recv.await;
             let recv = a
-                .recv(b.id(), Tag(2), size, TruncationPolicy::Error)
+                .recv(b.local_id(), Tag(2), size, TruncationPolicy::Error)
                 .unwrap();
-            b.send(a.id(), Tag(2), data.clone()).unwrap().await;
+            b.send(a.local_id(), Tag(2), data.clone()).unwrap().await;
             recv.await;
         }
     });
@@ -242,7 +246,7 @@ fn bench_async_pingpong_driver(size: usize, rounds: usize) -> f64 {
     let start = Instant::now();
     {
         let (a, b) = (a.clone(), b.clone());
-        let b_id = b.id();
+        let b_id = b.local_id();
         driver.spawn(async move {
             for _ in 0..rounds {
                 let recv = a.recv(b_id, Tag(2), size, TruncationPolicy::Error).unwrap();
@@ -252,7 +256,7 @@ fn bench_async_pingpong_driver(size: usize, rounds: usize) -> f64 {
         });
     }
     {
-        let a_id = a.id();
+        let a_id = a.local_id();
         driver.spawn(async move {
             for _ in 0..rounds {
                 let got = b
@@ -315,6 +319,94 @@ fn bench_pull_recv_into(size: usize) -> f64 {
             }
         }
         assert!(recycled.is_some(), "pull transfer did not complete");
+    })
+}
+
+/// One full transfer of `segments` × `seg_size` bytes posted as a vectored
+/// send: the scatter list goes on the wire without coalescing, the receiver
+/// reassembles it into a recycled caller buffer.
+fn bench_vectored_send(segments: usize, seg_size: usize) -> f64 {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20);
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut r = Endpoint::new(ProcessId::new(0, 1), cfg);
+    let total = segments * seg_size;
+    let parts: Vec<Bytes> = (0..segments)
+        .map(|i| Bytes::from(vec![i as u8; seg_size]))
+        .collect();
+    let mut recycled = Some(RecvBuf::with_capacity(total));
+    ns_per_iter(|| {
+        let buf = recycled.take().expect("buffer in flight");
+        let op = r
+            .post_recv_into(s.id(), Tag(1), buf, TruncationPolicy::Error)
+            .unwrap();
+        s.post_send_vectored(r.id(), Tag(1), &parts).unwrap();
+        relay(&mut s, &mut r);
+        while s.poll_completion().is_some() {}
+        while let Some(c) = r.poll_completion() {
+            if c.op == OpId::Recv(op) {
+                recycled = Some(c.buf.expect("caller buffer handed back"));
+            }
+        }
+        assert!(recycled.is_some(), "vectored transfer did not complete");
+    })
+}
+
+/// The caller-coalesced baseline for [`bench_vectored_send`]: the same
+/// segments copied into one contiguous buffer before a plain `post_send` —
+/// what an application had to do before vectored sends existed.
+fn bench_coalesced_send(segments: usize, seg_size: usize) -> f64 {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20);
+    let mut s = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut r = Endpoint::new(ProcessId::new(0, 1), cfg);
+    let total = segments * seg_size;
+    let parts: Vec<Bytes> = (0..segments)
+        .map(|i| Bytes::from(vec![i as u8; seg_size]))
+        .collect();
+    let mut recycled = Some(RecvBuf::with_capacity(total));
+    ns_per_iter(|| {
+        // The coalescing copy is the cost under measurement.
+        let mut joined = Vec::with_capacity(total);
+        for part in &parts {
+            joined.extend_from_slice(part);
+        }
+        let buf = recycled.take().expect("buffer in flight");
+        let op = r
+            .post_recv_into(s.id(), Tag(1), buf, TruncationPolicy::Error)
+            .unwrap();
+        s.post_send(r.id(), Tag(1), Bytes::from(joined)).unwrap();
+        relay(&mut s, &mut r);
+        while s.poll_completion().is_some() {}
+        while let Some(c) = r.poll_completion() {
+            if c.op == OpId::Recv(op) {
+                recycled = Some(c.buf.expect("caller buffer handed back"));
+            }
+        }
+        assert!(recycled.is_some(), "coalesced transfer did not complete");
+    })
+}
+
+/// Wildcard `peek_unexpected` against a deep unexpected-message backlog:
+/// the known linear scan (ROADMAP PR-2) measured at its painful size so a
+/// future fix has a number to beat.  Exact-selector peeks against the same
+/// backlog stay O(1) and are reported alongside.
+fn bench_deep_backlog_peek(backlog: usize, wildcard: bool) -> f64 {
+    let mut q = BufferQueue::new();
+    let srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0)];
+    for i in 0..backlog {
+        q.insert(
+            UnexpectedKey {
+                src: srcs[i % srcs.len()],
+                msg_id: MessageId(i as u64),
+            },
+            Tag((i % 7) as u32),
+        );
+    }
+    ns_per_iter(|| {
+        if wildcard {
+            black_box(q.peek_unexpected(ANY_SOURCE, ANY_TAG)).unwrap();
+        } else {
+            black_box(q.peek_unexpected(srcs[0], Tag(0))).unwrap();
+        }
     })
 }
 
@@ -389,16 +481,16 @@ fn bench_header_decode() -> f64 {
 
 fn write_bench_json(rows: &[(String, f64)]) {
     let mut json = String::from(
-        "{\n  \"pr\": 3,\n  \"unit\": \"ns/op (median of samples)\",\n  \"benches\": {\n",
+        "{\n  \"pr\": 4,\n  \"unit\": \"ns/op (median of samples)\",\n  \"benches\": {\n",
     );
     for (i, (name, ns)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
     }
     json.push_str("  }\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
     if let Err(e) = std::fs::write(path, json) {
-        eprintln!("failed to write BENCH_PR3.json: {e}");
+        eprintln!("failed to write BENCH_PR4.json: {e}");
     } else {
         println!("wrote {path}");
     }
@@ -477,6 +569,38 @@ fn hot_path_report(_c: &mut Criterion) {
     rows.push(("packet_encode_760B_pooled".into(), enc_pooled));
     rows.push(("packet_encode_760B_fresh".into(), enc_fresh));
     rows.push(("packet_decode_760B".into(), dec));
+
+    // PR-4: vectored sends vs the caller-coalesced single buffer they
+    // replace, at a gather shape typical for header+body framing.
+    for (segments, seg_size) in [(4usize, 1024usize), (8, 8192)] {
+        let vectored_ns = bench_vectored_send(segments, seg_size);
+        let coalesced_ns = bench_coalesced_send(segments, seg_size);
+        println!(
+            "vectored send {segments}x{seg_size}B: vectored {vectored_ns:>9.1} ns/op, coalesced {coalesced_ns:>9.1} ns/op ({:.2}x)",
+            coalesced_ns / vectored_ns
+        );
+        rows.push((format!("send_{segments}x{seg_size}B_vectored"), vectored_ns));
+        rows.push((
+            format!("send_{segments}x{seg_size}B_coalesced"),
+            coalesced_ns,
+        ));
+    }
+
+    // PR-4: the wildcard peek against a deep unexpected backlog (the known
+    // ROADMAP PR-2 linear scan), next to the exact-selector O(1) probe.
+    for backlog in [1024usize, 4096] {
+        let wild_ns = bench_deep_backlog_peek(backlog, true);
+        let exact_ns = bench_deep_backlog_peek(backlog, false);
+        println!(
+            "peek_unexpected, {backlog} backlog: wildcard {wild_ns:>9.1} ns/op, exact {exact_ns:>7.1} ns/op ({:.0}x)",
+            wild_ns / exact_ns
+        );
+        rows.push((
+            format!("peek_unexpected_{backlog}_backlog_wildcard"),
+            wild_ns,
+        ));
+        rows.push((format!("peek_unexpected_{backlog}_backlog_exact"), exact_ns));
+    }
 
     write_bench_json(&rows);
 }

@@ -1,11 +1,34 @@
 //! E10 — the real host backend (modern hardware, not a paper figure): wall
 //! clock latency and bandwidth of the intranode shared-memory fabric and the
-//! UDP loopback transport.
+//! UDP loopback transport, driven through the `Endpoint` front-end exactly
+//! as an application would.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ppmsg_host::{HostCluster, ProcessId, ProtocolConfig, Tag, UdpEndpoint};
+use push_pull_messaging::prelude::{Endpoint, OpId, RawTransport};
 use std::time::Duration;
+
+fn pingpong<T: RawTransport>(
+    a: &Endpoint<T>,
+    b: &Endpoint<T>,
+    data: &Bytes,
+    size: usize,
+    timeout: Duration,
+) {
+    // Post the send, then receive: a large message only completes its send
+    // once the receiver's pull has been served, so a blocking send before
+    // the matching receive would deadlock.
+    let s1 = a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
+    let got = b
+        .recv_blocking(a.local_id(), Tag(1), size, timeout)
+        .unwrap();
+    let s2 = b.post_send(a.local_id(), Tag(2), got).unwrap();
+    a.recv_blocking(b.local_id(), Tag(2), size, timeout)
+        .unwrap();
+    a.wait(OpId::Send(s1), timeout).unwrap();
+    b.wait(OpId::Send(s2), timeout).unwrap();
+}
 
 fn bench(c: &mut Criterion) {
     let timeout = Duration::from_secs(10);
@@ -15,19 +38,14 @@ fn bench(c: &mut Criterion) {
         0,
         ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
     );
-    let a = cluster.add_endpoint(0);
-    let b = cluster.add_endpoint(1);
+    let a = Endpoint::new(cluster.add_endpoint(0));
+    let b = Endpoint::new(cluster.add_endpoint(1));
     let mut group = c.benchmark_group("host_intranode");
     for size in [16usize, 4096, 65536] {
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_function(format!("pingpong_{size}B"), |bench| {
             let data = Bytes::from(vec![7u8; size]);
-            bench.iter(|| {
-                a.send(b.id(), Tag(1), data.clone());
-                let got = b.recv(a.id(), Tag(1), size, timeout).unwrap();
-                b.send(a.id(), Tag(2), got);
-                a.recv(b.id(), Tag(2), size, timeout).unwrap()
-            });
+            bench.iter(|| pingpong(&a, &b, &data, size, timeout));
         });
     }
     group.finish();
@@ -38,18 +56,14 @@ fn bench(c: &mut Criterion) {
     let ub = UdpEndpoint::bind(ProcessId::new(1, 0), proto, "127.0.0.1:0").unwrap();
     ua.add_peer(ub.id(), ub.local_addr().unwrap());
     ub.add_peer(ua.id(), ua.local_addr().unwrap());
+    let (ua, ub) = (Endpoint::new(ua), Endpoint::new(ub));
     let mut group = c.benchmark_group("host_udp_loopback");
     group.sample_size(20);
     for size in [16usize, 4096] {
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_function(format!("pingpong_{size}B"), |bench| {
             let data = Bytes::from(vec![7u8; size]);
-            bench.iter(|| {
-                ua.send(ub.id(), Tag(1), data.clone());
-                let got = ub.recv(ua.id(), Tag(1), size, timeout).unwrap();
-                ub.send(ua.id(), Tag(2), got);
-                ua.recv(ub.id(), Tag(2), size, timeout).unwrap()
-            });
+            bench.iter(|| pingpong(&ua, &ub, &data, size, timeout));
         });
     }
     group.finish();

@@ -123,7 +123,7 @@ mod tests {
             dst: a,
             tag: Tag(0),
             msg_id: MessageId(9),
-            data: bytes::Bytes::new(),
+            payload: ppmsg_core::SendPayload::Single(bytes::Bytes::new()),
             split: BtpSplit::plan(
                 ProtocolMode::PushPull,
                 BtpPolicy::INTERNODE_DEFAULT,

@@ -3,6 +3,7 @@
 
 use crate::btp::BtpPolicy;
 use crate::error::{Error, Result};
+use crate::ops::{CompletionQueue, TruncationPolicy};
 use crate::reliability::GbnConfig;
 use serde::{Deserialize, Serialize};
 
@@ -263,6 +264,119 @@ impl Default for ProtocolConfig {
     }
 }
 
+/// Per-endpoint configuration overrides, applied on top of a backend's
+/// shared [`ProtocolConfig`].
+///
+/// Historically every backend hardwired the same defaults for all of its
+/// endpoints: the completion-retention cap
+/// ([`DEFAULT_COMPLETION_RETENTION`](crate::DEFAULT_COMPLETION_RETENTION)),
+/// the go-back-N window, and the BTP eager threshold all came from the
+/// cluster-wide protocol configuration, and the truncation policy had to be
+/// spelled out on every posted receive.  `EndpointConfig` is the builder
+/// that makes these **per endpoint**: pass it to a backend's `*_with`
+/// constructor (`HostCluster::add_endpoint_with`,
+/// `LoopbackCluster::add_endpoint_with`, `UdpEndpoint::bind_with`) or apply
+/// it to an existing endpoint through the facade front-end.
+///
+/// Every field is optional; an unset field keeps the backend's default.
+///
+/// ```
+/// use ppmsg_core::{EndpointConfig, TruncationPolicy};
+///
+/// let cfg = EndpointConfig::new()
+///     .completion_retention(256)          // evict unclaimed results beyond 256
+///     .truncation(TruncationPolicy::Truncate) // default for convenience receives
+///     .gbn_window(16)                     // wider internode in-flight window
+///     .eager_threshold(256);              // push 256 bytes before the pull
+/// assert_eq!(cfg.retention(), Some(256));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EndpointConfig {
+    completion_retention: Option<usize>,
+    truncation: Option<TruncationPolicy>,
+    gbn_window: Option<usize>,
+    eager_threshold: Option<usize>,
+}
+
+impl EndpointConfig {
+    /// A configuration with every override unset (backend defaults apply).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of unclaimed completions this endpoint retains before
+    /// evicting the oldest unawaited ones
+    /// ([`CompletionQueue::set_retention`]); evictions are surfaced through
+    /// `EndpointStats::completions_evicted`.
+    pub fn completion_retention(mut self, cap: usize) -> Self {
+        self.completion_retention = Some(cap);
+        self
+    }
+
+    /// Sets the default [`TruncationPolicy`] used by the front-end's
+    /// convenience receives that do not spell a policy out.
+    ///
+    /// This field is a **front-end** setting: it takes effect through the
+    /// facade's `Endpoint::with_config` (which owns the convenience
+    /// receives), not through a backend's `*_with` constructor — backends
+    /// only consume the protocol-and-queue overrides (retention, window,
+    /// eager threshold).  When constructing through a backend, apply the
+    /// same config on both layers:
+    /// `Endpoint::with_config(cluster.add_endpoint_with(id, &cfg), &cfg)`.
+    pub fn truncation(mut self, policy: TruncationPolicy) -> Self {
+        self.truncation = Some(policy);
+        self
+    }
+
+    /// Overrides the go-back-N window (maximum unacknowledged data frames in
+    /// flight) for this endpoint's internode channels.
+    pub fn gbn_window(mut self, window: usize) -> Self {
+        self.gbn_window = Some(window);
+        self
+    }
+
+    /// Overrides the BTP eager threshold: messages are pushed eagerly up to
+    /// `bytes` (a single, non-split `BTP = bytes` on both the intranode and
+    /// internode paths) and pulled beyond it.
+    pub fn eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// The configured retention cap, if any.
+    pub fn retention(&self) -> Option<usize> {
+        self.completion_retention
+    }
+
+    /// The default truncation policy for convenience receives
+    /// ([`TruncationPolicy::Error`] unless overridden).
+    pub fn default_truncation(&self) -> TruncationPolicy {
+        self.truncation.unwrap_or_default()
+    }
+
+    /// Applies the protocol-level overrides (go-back-N window, BTP eager
+    /// threshold) to a backend's base [`ProtocolConfig`], returning the
+    /// per-endpoint configuration the engine should be built with.
+    pub fn apply_protocol(&self, mut base: ProtocolConfig) -> ProtocolConfig {
+        if let Some(window) = self.gbn_window {
+            base.gbn.window = window;
+        }
+        if let Some(bytes) = self.eager_threshold {
+            base.intranode_btp = BtpPolicy::single(bytes);
+            base.internode_btp = BtpPolicy::single(bytes);
+        }
+        base
+    }
+
+    /// Applies the completion-retention override to an endpoint's
+    /// [`CompletionQueue`] (no-op when unset).
+    pub fn apply_retention(&self, queue: &mut CompletionQueue) {
+        if let Some(cap) = self.completion_retention {
+            queue.set_retention(cap);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +442,45 @@ mod tests {
         let mut cfg = ProtocolConfig::default();
         cfg.gbn.window = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn endpoint_config_overrides_apply() {
+        let cfg = EndpointConfig::new()
+            .completion_retention(7)
+            .truncation(TruncationPolicy::Truncate)
+            .gbn_window(3)
+            .eager_threshold(128);
+        assert_eq!(cfg.retention(), Some(7));
+        assert_eq!(cfg.default_truncation(), TruncationPolicy::Truncate);
+        let proto = cfg.apply_protocol(ProtocolConfig::paper_internode());
+        assert_eq!(proto.gbn.window, 3);
+        assert_eq!(proto.internode_btp, BtpPolicy::single(128));
+        assert_eq!(proto.intranode_btp, BtpPolicy::single(128));
+        proto.validate().unwrap();
+
+        let mut queue = CompletionQueue::new();
+        cfg.apply_retention(&mut queue);
+        for slot in 0..10u32 {
+            queue.push(crate::ops::Completion {
+                op: crate::ops::OpId::Send(crate::ops::SendOp::from_raw(slot, 0)),
+                peer: crate::types::ProcessId::new(0, 1),
+                tag: crate::types::Tag(0),
+                len: 0,
+                status: crate::ops::Status::Ok,
+                data: None,
+                buf: None,
+            });
+        }
+        assert_eq!(queue.len(), 7, "retention cap applied");
+    }
+
+    #[test]
+    fn unset_endpoint_config_changes_nothing() {
+        let cfg = EndpointConfig::new();
+        assert_eq!(cfg.retention(), None);
+        assert_eq!(cfg.default_truncation(), TruncationPolicy::Error);
+        let base = ProtocolConfig::paper_internode();
+        assert_eq!(cfg.apply_protocol(base.clone()), base);
     }
 }

@@ -226,6 +226,14 @@ pub struct EndpointStats {
     /// must keep this counter constant — the regression test in
     /// `tests/integration.rs` asserts exactly that.
     pub steady_allocs: u64,
+    /// Completions silently evicted from the endpoint's backend
+    /// [`CompletionQueue`](crate::CompletionQueue) because they were never
+    /// claimed and aged past the retention cap.  The engine itself does not
+    /// retain completions (this field stays `0` on a bare [`Endpoint`]);
+    /// backends merge [`CompletionQueue::evicted`](crate::CompletionQueue::evicted)
+    /// in when reporting stats, so a fire-and-forget workload losing results
+    /// to the cap is observable instead of silent.
+    pub completions_evicted: u64,
 }
 
 /// Payload storage of one incoming message.

@@ -5,7 +5,7 @@ use super::{Action, Endpoint, InjectMode, TranslateCtx};
 use crate::btp::BtpSplit;
 use crate::error::{Error, Result};
 use crate::ops::{Completion, OpId, SendOp, Status};
-use crate::queues::PendingSend;
+use crate::queues::{PendingSend, SendPayload};
 use crate::types::{MessageId, ProcessId, Tag};
 use crate::wire::{Packet, PacketHeader, PacketKind, PushPart};
 use bytes::Bytes;
@@ -22,6 +22,39 @@ impl Endpoint {
     /// ([`Endpoint::poll_completion`]) as a [`Completion`] carrying the
     /// returned [`SendOp`].
     pub fn post_send(&mut self, dst: ProcessId, tag: Tag, data: Bytes) -> Result<SendOp> {
+        self.post_send_payload(dst, tag, SendPayload::Single(data))
+    }
+
+    /// Posts a vectored send: `segments` are concatenated into **one**
+    /// message on the receive side, but are never coalesced on the wire —
+    /// every packet's payload is a zero-copy slice of exactly one segment
+    /// ([`SendPayload::for_each_chunk`]), so a scatter list of header and
+    /// body buffers is pushed and pulled without a staging copy.  Empty
+    /// segments are allowed and skipped; an empty list behaves like an empty
+    /// [`Endpoint::post_send`].
+    ///
+    /// Posting pins the segment list in one shared allocation
+    /// (`Arc<[Bytes]>`, plus a refcount bump per segment); serving the pull
+    /// later clones only the refcount, like the single-buffer path.
+    pub fn post_send_vectored(
+        &mut self,
+        dst: ProcessId,
+        tag: Tag,
+        segments: &[Bytes],
+    ) -> Result<SendOp> {
+        self.post_send_payload(
+            dst,
+            tag,
+            SendPayload::Vectored(std::sync::Arc::from(segments)),
+        )
+    }
+
+    fn post_send_payload(
+        &mut self,
+        dst: ProcessId,
+        tag: Tag,
+        payload: SendPayload,
+    ) -> Result<SendOp> {
         if dst == self.id() {
             return Err(Error::SelfSend { process: dst });
         }
@@ -31,8 +64,8 @@ impl Endpoint {
         let policy = self.btp_for(dst);
         let opts = self.config().opts;
         let mode = self.config().mode;
-        let split = BtpSplit::plan(mode, policy, opts, data.len());
-        let total_len = data.len();
+        let split = BtpSplit::plan(mode, policy, opts, payload.len());
+        let total_len = payload.len();
         self.stats.sends_posted += 1;
 
         // §4.3 Address Translation Overhead Masking decides *when* the source
@@ -69,7 +102,7 @@ impl Endpoint {
             total_len,
             split,
             PushPart::First,
-            &data,
+            &payload,
             inject,
         );
 
@@ -82,7 +115,7 @@ impl Endpoint {
                 total_len,
                 split,
                 PushPart::Second,
-                &data,
+                &payload,
                 inject,
             );
         }
@@ -101,7 +134,7 @@ impl Endpoint {
                 dst,
                 tag,
                 msg_id,
-                data,
+                payload,
                 split,
                 pull_served: false,
                 fully_transmitted: false,
@@ -159,8 +192,8 @@ impl Endpoint {
             data: None,
             buf: None,
         });
-        // `pending.data` — the pinned payload — is dropped here, reclaiming
-        // the caller's bytes.
+        // `pending.payload` — the pinned payload — is dropped here,
+        // reclaiming the caller's bytes.
         true
     }
 
@@ -183,6 +216,8 @@ impl Endpoint {
 
     /// Builds and submits the push packets of one part directly — no
     /// intermediate `Vec<Packet>`, keeping `post_send` allocation-free.
+    /// Chunking is delegated to [`SendPayload::for_each_chunk`]: a vectored
+    /// payload's packets split at segment boundaries instead of coalescing.
     #[allow(clippy::too_many_arguments)] // mirrors the packet header fields
     fn emit_push_packets(
         &mut self,
@@ -192,7 +227,7 @@ impl Endpoint {
         total_len: usize,
         split: BtpSplit,
         part: PushPart,
-        data: &Bytes,
+        payload: &SendPayload,
         inject: InjectMode,
     ) {
         let (start, len) = match part {
@@ -201,11 +236,7 @@ impl Endpoint {
         };
         let eager_len = (split.first_push + split.second_push) as u32;
         let max_payload = self.config().max_payload;
-        let mut offset = start;
-        let end = start + len;
-        loop {
-            let chunk = (end - offset).min(max_payload);
-            let payload = data.slice(offset..offset + chunk);
+        payload.for_each_chunk(start, start + len, max_payload, |offset, chunk| {
             let header = PacketHeader {
                 kind: PacketKind::Push(part),
                 src: self.id(),
@@ -215,17 +246,12 @@ impl Endpoint {
                 total_len: total_len as u32,
                 eager_len,
                 offset: offset as u32,
-                payload_len: chunk as u32,
+                payload_len: chunk.len() as u32,
             };
-            let packet =
-                Packet::new(header, payload).expect("push packet construction cannot fail");
-            self.stats.bytes_pushed += chunk as u64;
+            let packet = Packet::new(header, chunk).expect("push packet construction cannot fail");
+            self.stats.bytes_pushed += packet.payload.len() as u64;
             self.submit_packet(dst, packet, inject);
-            offset += chunk;
-            if offset >= end {
-                break;
-            }
-        }
+        });
     }
 
     fn emit_translate(
@@ -263,7 +289,7 @@ impl Endpoint {
             return;
         }
         pending.pull_served = true;
-        let data = pending.data.clone();
+        let payload = pending.payload.clone();
         let split = pending.split;
         let op = pending.op;
         let tag = pending.tag;
@@ -273,7 +299,7 @@ impl Endpoint {
             "pull request must come from the send's destination"
         );
 
-        let total_len = data.len();
+        let total_len = payload.len();
         let eager_len = split.first_push + split.second_push;
         let max_payload = self.config().max_payload;
         self.stats.pull_requests_served += 1;
@@ -281,29 +307,33 @@ impl Endpoint {
         // Transmit the remainder (arrow 1b.2 in Fig. 1).  The reception
         // handler at the receive party copies each packet straight into the
         // destination buffer using the registered zero buffer (arrow 2a).
-        let mut offset = split.pulled_offset();
-        while offset < total_len {
-            let len = (total_len - offset).min(max_payload);
-            let header = PacketHeader {
-                kind: PacketKind::PullData,
-                src: self.id(),
-                dst,
-                msg_id,
-                tag,
-                total_len: total_len as u32,
-                eager_len: eager_len as u32,
-                offset: offset as u32,
-                payload_len: len as u32,
-            };
-            let payload = data.slice(offset..offset + len);
-            let packet =
-                Packet::new(header, payload).expect("pull data packet construction cannot fail");
-            self.stats.bytes_pulled += len as u64;
-            // The pull phase is served by the kernel-side reception handler;
-            // the data leaves through the kernel transmission path.
-            self.submit_packet(dst, packet, InjectMode::Kernel);
-            offset += len;
-        }
+        // The pull phase never has a zero-length range (`needs_pull` held),
+        // so the announce-chunk special case of `for_each_chunk` cannot
+        // trigger here.
+        payload.for_each_chunk(
+            split.pulled_offset(),
+            total_len,
+            max_payload,
+            |offset, chunk| {
+                let header = PacketHeader {
+                    kind: PacketKind::PullData,
+                    src: self.id(),
+                    dst,
+                    msg_id,
+                    tag,
+                    total_len: total_len as u32,
+                    eager_len: eager_len as u32,
+                    offset: offset as u32,
+                    payload_len: chunk.len() as u32,
+                };
+                let packet =
+                    Packet::new(header, chunk).expect("pull data packet construction cannot fail");
+                self.stats.bytes_pulled += packet.payload.len() as u64;
+                // The pull phase is served by the kernel-side reception handler;
+                // the data leaves through the kernel transmission path.
+                self.submit_packet(dst, packet, InjectMode::Kernel);
+            },
+        );
 
         // The message is now fully handed to the transport.
         if let Some(pending) = self.send_queue.get_mut(msg_id) {

@@ -92,21 +92,23 @@ pub mod index;
 pub mod ops;
 pub mod queues;
 pub mod reliability;
+pub mod transport;
 pub mod types;
 pub mod wire;
 pub mod zbuf;
 
 pub use btp::{BtpPolicy, BtpSplit};
-pub use config::{OptFlags, ProtocolConfig, ProtocolMode};
+pub use config::{EndpointConfig, OptFlags, ProtocolConfig, ProtocolMode};
 pub use engine::{Action, CopyKind, Endpoint, EndpointStats, InjectMode, TranslateCtx};
 pub use error::{Error, Result};
 pub use index::{Slab, SrcTagMap, U64Index};
 pub use ops::{
-    Completion, CompletionQueue, OpId, RecvBuf, RecvOp, SendOp, Status, TruncationPolicy,
-    WakerTable, DEFAULT_COMPLETION_RETENTION,
+    Claim, Completion, CompletionQueue, OpId, RecvBuf, RecvOp, SendOp, Status, TruncationPolicy,
+    WaitPoll, WakerTable, DEFAULT_COMPLETION_RETENTION,
 };
-pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
+pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendPayload, SendQueue};
 pub use reliability::{GbnConfig, GbnEvent, GoBackN};
+pub use transport::RawTransport;
 pub use types::{MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG};
 pub use wire::{Packet, PacketBufPool, PacketHeader, PacketKind, PushPart, MAX_HEADER_LEN};
 pub use zbuf::{AddressTranslator, IdentityTranslator, PhysSegment, ZeroBuffer};

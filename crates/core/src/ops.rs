@@ -392,64 +392,112 @@ impl<T> OpTable<T> {
     }
 }
 
-/// One kind's waker slots: `slot → (generation, waker)`.
+/// One kind's waker slots: `slot → [(generation, waker)]`.
 ///
-/// One entry per slot, latest registration wins: a stale registration (a
-/// dropped future's, or an expired blocking wait's) survives only until the
-/// operation slot is reused, so stale registrations — and anything keyed on
-/// them, like eviction exemptions — are bounded by the endpoint's peak
-/// number of concurrent operations, never by its lifetime.
+/// Storage is slot-indexed like the operation tables, but each slot holds a
+/// (tiny) generation-keyed **list**, not a single latest-wins entry: the
+/// operation tables recycle a slot the moment its operation retires, so a
+/// waiter of an older, still-unclaimed completion and a waiter of the newer
+/// operation that reused the slot must both keep their registrations — a
+/// latest-wins slot silently dropped the older waiter's eviction exemption,
+/// letting the retention cap evict an awaited completion into a
+/// forever-pending future (caught by the retention proptest).  List
+/// capacity is retained across take/re-register churn, so the steady path
+/// stays allocation-free; every registration has a deterministic removal
+/// (claim, future drop, or wait timeout), which bounds the lists by the
+/// number of live waiters.
 #[derive(Debug, Default)]
 struct WakerSlots {
-    slots: Vec<Option<(u32, Waker)>>,
+    slots: Vec<Vec<(u32, Registration)>>,
     registered: usize,
     alloc_events: u64,
 }
 
+/// One waiter registration: either a bare eviction-exemption *interest* (a
+/// blocking path that re-checks on its own, or a future not yet polled) or
+/// a real [`Waker`] to invoke on publication.
+///
+/// Interest used to be encoded as a registered `Waker::noop()` and detected
+/// with `will_wake(Waker::noop())` — but the noop waker's vtable is
+/// const-promoted **per crate**, so a noop registered through code
+/// instantiated in one crate does not `will_wake`-match a `Waker::noop()`
+/// conjured in another, and the detection silently failed across the crate
+/// boundary.  An explicit variant cannot mis-compare.
+#[derive(Debug)]
+enum Registration {
+    /// Eviction exemption only: nothing to wake on publication.
+    Interest,
+    /// A task's waker, invoked when the completion is published.
+    Waker(Waker),
+}
+
+impl Registration {
+    fn waker(&self) -> Option<&Waker> {
+        match self {
+            Registration::Interest => None,
+            Registration::Waker(waker) => Some(waker),
+        }
+    }
+}
+
 impl WakerSlots {
-    fn register(&mut self, slot: u32, generation: u32, waker: &Waker) {
+    /// Finds the entry for `(slot, generation)`, creating storage up to
+    /// `slot` on first touch.
+    fn entry_mut(&mut self, slot: u32, generation: u32) -> Option<&mut Registration> {
         let idx = slot as usize;
         if idx >= self.slots.len() {
             if idx >= self.slots.capacity() {
                 self.alloc_events += 1;
             }
-            self.slots.resize_with(idx + 1, || None);
+            self.slots.resize_with(idx + 1, Vec::new);
         }
-        match &mut self.slots[idx] {
-            // Re-registration by the same task on a spurious poll: `will_wake`
-            // lets us skip the clone entirely.
-            Some((gen, existing)) if *gen == generation && existing.will_wake(waker) => {}
-            // A registration through a *stale* handle (re-waiting an
-            // already-claimed op) must never clobber the live waker of the
-            // newer operation that reused the slot — refuse it.  (Wrapping
-            // comparison: within one slot generations advance by 1 per
-            // reuse, so half-range ordering is exact in practice.)
-            Some((gen, _)) if (gen.wrapping_sub(generation) as i32) > 0 => {}
-            entry => {
-                if entry.is_none() {
-                    self.registered += 1;
-                }
-                *entry = Some((generation, waker.clone()));
-            }
+        self.slots[idx]
+            .iter_mut()
+            .find(|(gen, _)| *gen == generation)
+            .map(|(_, registration)| registration)
+    }
+
+    fn insert(&mut self, slot: u32, generation: u32, registration: Registration) {
+        let entries = &mut self.slots[slot as usize];
+        if entries.len() == entries.capacity() {
+            self.alloc_events += 1;
+        }
+        entries.push((generation, registration));
+        self.registered += 1;
+    }
+
+    fn register(&mut self, slot: u32, generation: u32, waker: &Waker) {
+        match self.entry_mut(slot, generation) {
+            // Re-registration for the same operation: latest waker wins, and
+            // `will_wake` (same task on a spurious poll) skips the clone.
+            Some(Registration::Waker(existing)) if existing.will_wake(waker) => {}
+            Some(registration) => *registration = Registration::Waker(waker.clone()),
+            None => self.insert(slot, generation, Registration::Waker(waker.clone())),
         }
     }
 
-    fn take(&mut self, slot: u32, generation: u32) -> Option<Waker> {
-        let entry = self.slots.get_mut(slot as usize)?;
-        match entry {
-            Some((gen, _)) if *gen == generation => {
-                self.registered -= 1;
-                entry.take().map(|(_, w)| w)
-            }
-            _ => None,
+    /// Registers a bare interest, never downgrading a real waker.
+    fn register_interest(&mut self, slot: u32, generation: u32) {
+        if self.entry_mut(slot, generation).is_none() {
+            self.insert(slot, generation, Registration::Interest);
         }
     }
 
-    fn get(&self, slot: u32, generation: u32) -> Option<&Waker> {
-        match self.slots.get(slot as usize)? {
-            Some((gen, waker)) if *gen == generation => Some(waker),
-            _ => None,
-        }
+    fn take(&mut self, slot: u32, generation: u32) -> Option<Registration> {
+        let entries = self.slots.get_mut(slot as usize)?;
+        let pos = entries.iter().position(|(gen, _)| *gen == generation)?;
+        self.registered -= 1;
+        // Wake order across operations is driven by completion publication;
+        // within a slot, swap_remove is fine (and keeps the capacity).
+        Some(entries.swap_remove(pos).1)
+    }
+
+    fn get(&self, slot: u32, generation: u32) -> Option<&Registration> {
+        self.slots
+            .get(slot as usize)?
+            .iter()
+            .find(|(gen, _)| *gen == generation)
+            .map(|(_, registration)| registration)
     }
 }
 
@@ -457,10 +505,12 @@ impl WakerSlots {
 ///
 /// Backends park a task's [`Waker`] here when the operation it awaits has not
 /// completed yet, and take it back out (to wake) when the completion is
-/// published.  Storage is slot-indexed like the operation tables themselves,
-/// so registering and taking are O(1) and allocation-free once the table has
-/// grown to the endpoint's peak number of concurrent operations; the
-/// generation check makes a waker registered for a retired operation
+/// published.  Storage is slot-indexed like the operation tables themselves
+/// (each slot holding a tiny generation-keyed list, so waiters of an old
+/// unclaimed completion and of the newer operation reusing its slot
+/// coexist); registering and taking are O(1) and allocation-free once the
+/// table has grown to the endpoint's peak number of concurrent operations,
+/// and the generation key makes a waker registered for a retired operation
 /// unreachable — a slot reuse can never wake (or be woken by) a stale task.
 #[derive(Debug, Default)]
 pub struct WakerTable {
@@ -475,8 +525,9 @@ impl WakerTable {
     }
 
     /// Registers `waker` to be taken when operation `op` completes,
-    /// replacing any waker previously registered for the same operation.
-    /// Steady-state re-registration (same op, same task) is free.
+    /// replacing any waker (or bare interest) previously registered for the
+    /// same operation.  Steady-state re-registration (same op, same task)
+    /// is free.
     pub fn register_waker(&mut self, op: OpId, waker: &Waker) {
         match op {
             OpId::Send(s) => self.send.register(s.slot(), s.generation(), waker),
@@ -484,25 +535,50 @@ impl WakerTable {
         }
     }
 
-    /// Removes and returns the waker registered for `op`, if any.  Returns
-    /// `None` for stale handles (a newer operation reused the slot).
-    pub fn take_waker(&mut self, op: OpId) -> Option<Waker> {
+    /// Registers a bare eviction-exemption interest for `op` — no waker to
+    /// invoke on publication.  A real waker already registered is left in
+    /// place.
+    pub fn register_interest(&mut self, op: OpId) {
         match op {
-            OpId::Send(s) => self.send.take(s.slot(), s.generation()),
-            OpId::Recv(r) => self.recv.take(r.slot(), r.generation()),
+            OpId::Send(s) => self.send.register_interest(s.slot(), s.generation()),
+            OpId::Recv(r) => self.recv.register_interest(r.slot(), r.generation()),
         }
     }
 
-    /// The waker registered for `op`, if any, left in place.
+    /// Removes `op`'s registration, returning its waker if the registration
+    /// carried one (`None` for bare interests and stale handles).
+    pub fn take_waker(&mut self, op: OpId) -> Option<Waker> {
+        let registration = match op {
+            OpId::Send(s) => self.send.take(s.slot(), s.generation()),
+            OpId::Recv(r) => self.recv.take(r.slot(), r.generation()),
+        }?;
+        match registration {
+            Registration::Interest => None,
+            Registration::Waker(waker) => Some(waker),
+        }
+    }
+
+    /// The waker registered for `op`, if any, left in place (`None` for
+    /// bare interests).
     pub fn get_waker(&self, op: OpId) -> Option<&Waker> {
+        self.get(op).and_then(Registration::waker)
+    }
+
+    fn get(&self, op: OpId) -> Option<&Registration> {
         match op {
             OpId::Send(s) => self.send.get(s.slot(), s.generation()),
             OpId::Recv(r) => self.recv.get(r.slot(), r.generation()),
         }
     }
 
-    /// Number of registrations currently held (live wakers, including any
-    /// stale ones whose slot has not been reused yet).
+    /// `true` when any registration — real waker or bare interest — is held
+    /// for `op`.
+    pub fn has_registration(&self, op: OpId) -> bool {
+        self.get(op).is_some()
+    }
+
+    /// Number of registrations currently held (wakers and bare interests,
+    /// including any stale ones whose slot has not been reused yet).
     pub fn len(&self) -> usize {
         self.send.registered + self.recv.registered
     }
@@ -560,6 +636,14 @@ impl CompletionSlots {
         Some(entries.swap_remove(pos).1)
     }
 
+    fn get(&self, slot: u32, generation: u32) -> Option<&Completion> {
+        self.slots
+            .get(slot as usize)?
+            .iter()
+            .find(|(gen, _)| *gen == generation)
+            .map(|(_, completion)| completion)
+    }
+
     fn contains(&self, slot: u32, generation: u32) -> bool {
         self.slots
             .get(slot as usize)
@@ -570,6 +654,37 @@ impl CompletionSlots {
 /// Default number of unclaimed completions a [`CompletionQueue`] retains
 /// before evicting the oldest.
 pub const DEFAULT_COMPLETION_RETENTION: usize = 4096;
+
+/// Outcome of one [`CompletionQueue::take_or_wait`] step.
+#[derive(Debug)]
+pub enum WaitPoll {
+    /// The operation had finished; its completion was claimed.
+    Ready(Completion),
+    /// Not finished yet; the caller's waker is registered (replacing only a
+    /// noop interest or the caller's own previous registration) and will be
+    /// woken on publication.
+    Registered,
+    /// Another task's real waker is registered for this operation; nothing
+    /// was claimed or changed.  The caller should yield and re-poll — the
+    /// registered waiter has priority on the completion.
+    Occupied,
+}
+
+/// What a [`CompletionQueue::peek_each`] inspector decides about one
+/// completion it was shown by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// Leave the completion queued (its drain position is preserved): a
+    /// later [`CompletionQueue::take`], drain, or `wait` can still claim it
+    /// and move its `Bytes`/[`RecvBuf`] out.  This is the telemetry path —
+    /// look, count, never touch ownership.
+    Keep,
+    /// Consume the completion: it is removed from the queue and dropped
+    /// (dropping releases any `Bytes` refcount or [`RecvBuf`] it carried).
+    /// Use this to retire fire-and-forget results whose status has been
+    /// inspected, without materialising them through a drain vector.
+    Remove,
+}
 
 /// The backend-side completion queue of one endpoint: completed operations
 /// indexed by their handle, plus the [`WakerTable`] of tasks awaiting them.
@@ -672,8 +787,9 @@ impl CompletionQueue {
     /// waiter on an operation that completed.  Only completions nobody
     /// waits for — the fire-and-forget traffic the cap exists for — are
     /// dropped.  Exempt completions are bounded by the waker table (one
-    /// registration per operation slot), so the queue stays bounded by
-    /// `retention + peak concurrent operations`.
+    /// registration per live waiter, each removed at claim, future drop, or
+    /// wait timeout), so the queue stays bounded by
+    /// `retention + concurrently awaited operations`.
     ///
     /// The loop only runs while evictable (non-exempt) entries are
     /// guaranteed to exist (`live > retention + registrations`), so the
@@ -689,7 +805,7 @@ impl CompletionQueue {
             if !self.is_live(op) {
                 continue; // stale entry: already claimed
             }
-            if self.wakers.get_waker(op).is_some() {
+            if self.wakers.has_registration(op) {
                 // Awaited: exempt, keep its drain position at the back.
                 if self.order.len() == self.order.capacity() {
                     self.alloc_events += 1;
@@ -713,9 +829,7 @@ impl CompletionQueue {
     /// generation ordering in the waker table makes a stale handle's
     /// interest harmless to the slot's current occupant.
     pub fn register_interest(&mut self, op: OpId) {
-        if self.wakers.get_waker(op).is_none() {
-            self.wakers.register_waker(op, Waker::noop());
-        }
+        self.wakers.register_interest(op);
     }
 
     /// Drops a [`CompletionQueue::register_interest`] registration for `op`
@@ -724,11 +838,7 @@ impl CompletionQueue {
     /// timeout, so an abandoned wait does not leave its completion exempt
     /// from eviction — and undrainable — forever.
     pub fn clear_interest(&mut self, op: OpId) {
-        if self
-            .wakers
-            .get_waker(op)
-            .is_some_and(|w| w.will_wake(Waker::noop()))
-        {
+        if matches!(self.wakers.get(op), Some(Registration::Interest)) {
             drop(self.wakers.take_waker(op));
         }
     }
@@ -765,10 +875,7 @@ impl CompletionQueue {
         // A noop registration is an eviction exemption
         // ([`CompletionQueue::register_interest`]), not a waiter: waking it
         // would make every fire-and-forget completion pay the wake path.
-        self.wakers
-            .get_waker(op)
-            .filter(|w| !w.will_wake(Waker::noop()))
-            .cloned()
+        self.wakers.get_waker(op).cloned()
     }
 
     /// Stores a batch of completions, draining `comps` (its capacity is kept
@@ -838,6 +945,42 @@ impl CompletionQueue {
         None
     }
 
+    /// The polite variant of [`CompletionQueue::take_or_register`] for
+    /// *secondary* waiters (a blocking wait racing a live future): it never
+    /// claims a completion out from under — and never displaces the
+    /// registration of — another task registered for `op`.  Any existing
+    /// registration that is not this `waker`'s own — a future's real waker
+    /// **or** its bare [`CompletionQueue::register_interest`] (only futures
+    /// register interest) — leaves the operation untouched and returns
+    /// [`WaitPoll::Occupied`], so the registered waiter keeps its wakeup,
+    /// its eviction exemption, and its claim.
+    pub fn take_or_wait(&mut self, op: OpId, waker: &Waker) -> WaitPoll {
+        match self.wakers.get(op) {
+            Some(Registration::Interest) => return WaitPoll::Occupied,
+            Some(Registration::Waker(w)) if !w.will_wake(waker) => return WaitPoll::Occupied,
+            _ => {}
+        }
+        if let Some(completion) = self.take(op) {
+            return WaitPoll::Ready(completion);
+        }
+        self.wakers.register_waker(op, waker);
+        WaitPoll::Registered
+    }
+
+    /// Withdraws a [`CompletionQueue::take_or_wait`] registration, touching
+    /// nothing unless the registered waker is `waker` itself — an expiring
+    /// blocking wait must not tear down a registration that meanwhile went
+    /// to another task.
+    pub fn deregister_waiter(&mut self, op: OpId, waker: &Waker) {
+        if self
+            .wakers
+            .get_waker(op)
+            .is_some_and(|w| w.will_wake(waker))
+        {
+            drop(self.wakers.take_waker(op));
+        }
+    }
+
     /// Appends every unclaimed, **unawaited** completion to `out`, oldest
     /// first, reusing `out`'s capacity.  A completion some waiter has
     /// registered for (a parked future or a blocking `wait`) is left in
@@ -851,7 +994,7 @@ impl CompletionQueue {
             if !self.is_live(op) {
                 continue; // stale entry: already claimed
             }
-            if self.wakers.get_waker(op).is_some() {
+            if self.wakers.has_registration(op) {
                 // Awaited: keep it (and its drain position) for the waiter.
                 if self.order.len() == self.order.capacity() {
                     self.alloc_events += 1;
@@ -862,6 +1005,54 @@ impl CompletionQueue {
             let completion = self.take_slot(op).expect("live entry has a completion");
             self.live -= 1;
             out.push(completion);
+        }
+    }
+
+    /// Shows every unclaimed, **unawaited** completion to `f` by reference,
+    /// oldest first — the borrowed counterpart of
+    /// [`CompletionQueue::drain_into`]: nothing is moved, so a multi-fragment
+    /// pulled receive can be inspected (status, peer, payload bytes) without
+    /// its [`RecvBuf`] or `Bytes` ever leaving the queue.  `f` returns a
+    /// [`Claim`] per completion: [`Claim::Keep`] preserves it (and its drain
+    /// position), [`Claim::Remove`] consumes and drops it.
+    ///
+    /// Completions a waiter has registered for (a parked future or a
+    /// blocking `wait`) are skipped entirely, exactly as in `drain_into` — an
+    /// inspector must not observe, and can certainly not remove, a result
+    /// that is spoken for.
+    pub fn peek_each(&mut self, f: &mut dyn FnMut(&Completion) -> Claim) {
+        for _ in 0..self.order.len() {
+            let Some(op) = self.order.pop_front() else {
+                break;
+            };
+            if !self.is_live(op) {
+                continue; // stale entry: already claimed
+            }
+            if self.wakers.has_registration(op) {
+                // Awaited: keep it (and its drain position) for the waiter.
+                if self.order.len() == self.order.capacity() {
+                    self.alloc_events += 1;
+                }
+                self.order.push_back(op);
+                continue;
+            }
+            let completion = match op {
+                OpId::Send(s) => self.send.get(s.slot(), s.generation()),
+                OpId::Recv(r) => self.recv.get(r.slot(), r.generation()),
+            }
+            .expect("live entry has a completion");
+            match f(completion) {
+                Claim::Keep => {
+                    if self.order.len() == self.order.capacity() {
+                        self.alloc_events += 1;
+                    }
+                    self.order.push_back(op);
+                }
+                Claim::Remove => {
+                    drop(self.take_slot(op));
+                    self.live -= 1;
+                }
+            }
         }
     }
 
@@ -1048,12 +1239,17 @@ mod tests {
         let old = OpId::Recv(RecvOp::from_raw(2, 0));
         let new = OpId::Recv(RecvOp::from_raw(2, 1));
         t.register_waker(old, waker);
-        // A newer op reusing the slot replaces the stale registration...
+        // A newer op reusing the slot registers independently: both waiters
+        // coexist (an awaited-but-unclaimed older completion must keep its
+        // registration when the slot is recycled)...
         t.register_waker(new, waker);
-        // ...and the stale handle can no longer take anything.
-        assert!(t.take_waker(old).is_none());
+        assert_eq!(t.len(), 2);
+        // ...and each generation takes exactly its own waker, exactly once.
+        assert!(t.take_waker(old).is_some());
+        assert!(t.take_waker(old).is_none(), "wakers are taken once");
         assert!(t.take_waker(new).is_some());
         assert!(t.take_waker(new).is_none(), "wakers are taken once");
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -1151,6 +1347,134 @@ mod tests {
             q.take(awaited).is_some(),
             "the waiter still claims its result"
         );
+    }
+
+    #[test]
+    fn take_or_wait_never_displaces_or_steals_from_a_live_future() {
+        let mut q = CompletionQueue::new();
+        let op = OpId::Recv(RecvOp::from_raw(0, 0));
+        let future_waker = test_waker();
+        let wait_waker = test_waker();
+        // A future is registered first; a blocking wait must back off...
+        assert!(q.take_or_register(op, &future_waker).is_none());
+        assert!(matches!(
+            q.take_or_wait(op, &wait_waker),
+            WaitPoll::Occupied
+        ));
+        // ...even once the completion has landed: the registered waiter owns
+        // the claim.
+        assert!(q.push(completion(op)).is_some(), "future woken");
+        assert!(matches!(
+            q.take_or_wait(op, &wait_waker),
+            WaitPoll::Occupied
+        ));
+        assert!(q.take(op).is_some(), "the future still claims its result");
+
+        // A bare interest is a future's registration too (only futures
+        // register interest): the wait must not upgrade it away.
+        let op2 = OpId::Recv(RecvOp::from_raw(1, 0));
+        q.register_interest(op2);
+        assert!(matches!(
+            q.take_or_wait(op2, &wait_waker),
+            WaitPoll::Occupied
+        ));
+        q.deregister(op2); // the future is dropped
+                           // With no registration at all, the wait registers and claims
+                           // normally.
+        assert!(matches!(
+            q.take_or_wait(op2, &wait_waker),
+            WaitPoll::Registered
+        ));
+        assert!(q.push(completion(op2)).is_some(), "wait waker woken");
+        assert!(matches!(
+            q.take_or_wait(op2, &wait_waker),
+            WaitPoll::Ready(_)
+        ));
+    }
+
+    #[test]
+    fn deregister_waiter_removes_only_its_own_registration() {
+        let mut q = CompletionQueue::new();
+        let op = OpId::Send(SendOp::from_raw(0, 0));
+        let future_waker = test_waker();
+        let wait_waker = test_waker();
+        assert!(q.take_or_register(op, &future_waker).is_none());
+        // An expiring wait must not tear down the future's registration.
+        q.deregister_waiter(op, &wait_waker);
+        assert!(
+            q.push(completion(op)).is_some(),
+            "future's waker must survive a foreign deregister_waiter"
+        );
+        // Its own registration is removed.
+        let op2 = OpId::Send(SendOp::from_raw(1, 0));
+        assert!(matches!(
+            q.take_or_wait(op2, &wait_waker),
+            WaitPoll::Registered
+        ));
+        q.deregister_waiter(op2, &wait_waker);
+        assert!(
+            q.push(completion(op2)).is_none(),
+            "deregistered wait must not be woken"
+        );
+    }
+
+    #[test]
+    fn peek_each_inspects_without_moving_and_can_remove() {
+        let mut q = CompletionQueue::new();
+        let a = OpId::Send(SendOp::from_raw(0, 0));
+        let b = OpId::Recv(RecvOp::from_raw(0, 0));
+        let c = OpId::Send(SendOp::from_raw(1, 0));
+        let awaited = OpId::Recv(RecvOp::from_raw(1, 0));
+        for op in [a, b, c] {
+            q.push(completion(op));
+        }
+        let waker = test_waker();
+        assert!(q.take_or_register(awaited, &waker).is_none());
+        q.push(completion(awaited));
+
+        // First pass: pure telemetry.  Awaited entries are never shown.
+        let mut seen = Vec::new();
+        q.peek_each(&mut |completion| {
+            seen.push(completion.op);
+            Claim::Keep
+        });
+        assert_eq!(seen, vec![a, b, c], "oldest first, awaited skipped");
+        assert_eq!(q.len(), 4, "peek with Keep moves nothing");
+
+        // Second pass: retire the send completions in place.
+        q.peek_each(&mut |completion| match completion.op {
+            OpId::Send(_) => Claim::Remove,
+            OpId::Recv(_) => Claim::Keep,
+        });
+        assert!(q.take(a).is_none(), "removed in place");
+        assert!(q.take(c).is_none(), "removed in place");
+        // The kept receive is still claimable, in its drain position...
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out.iter().map(|c| c.op).collect::<Vec<_>>(), vec![b]);
+        // ...and the awaited completion still belongs to its waiter.
+        assert!(q.take(awaited).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_each_steady_churn_does_not_allocate() {
+        let mut q = CompletionQueue::new();
+        for round in 0..200u32 {
+            let op = OpId::Recv(RecvOp::from_raw(round % 8, round / 8));
+            q.push(completion(op));
+            q.peek_each(&mut |_| Claim::Keep);
+            assert!(q.take(op).is_some());
+        }
+        let allocs = q.alloc_events();
+        for round in 200..5_000u32 {
+            let op = OpId::Recv(RecvOp::from_raw(round % 8, round / 8));
+            q.push(completion(op));
+            q.peek_each(&mut |_| Claim::Keep);
+            q.peek_each(&mut |_| Claim::Remove);
+            assert!(q.take(op).is_none(), "peek removed it");
+        }
+        assert_eq!(q.alloc_events(), allocs, "steady peeking must not allocate");
     }
 
     #[test]

@@ -6,6 +6,101 @@ use crate::index::{Slab, U64Index, NIL};
 use crate::ops::SendOp;
 use crate::types::{MessageId, ProcessId, Tag};
 use bytes::Bytes;
+use std::sync::Arc;
+
+/// The payload of one send operation: a single contiguous buffer, or a
+/// vectored list of segments sent as one message.
+///
+/// Vectored payloads are transmitted **without coalescing**: every wire
+/// packet's payload is a zero-copy [`Bytes::slice`] of exactly one segment
+/// ([`SendPayload::for_each_chunk`] never crosses a segment boundary), so a
+/// scatter list of headers and body buffers goes on the wire without ever
+/// being copied into a contiguous staging buffer.
+#[derive(Debug, Clone)]
+pub enum SendPayload {
+    /// One contiguous buffer (the [`post_send`](crate::Endpoint::post_send)
+    /// path).
+    Single(Bytes),
+    /// A scatter list of segments, concatenated on the receive side (the
+    /// [`post_send_vectored`](crate::Endpoint::post_send_vectored) path).
+    /// Empty segments are skipped on the wire.  The list is shared
+    /// (`Arc<[Bytes]>`): posting pays one allocation to pin the segment
+    /// list, and cloning the pending payload to serve the pull phase is a
+    /// refcount bump, like the single-buffer path.
+    Vectored(Arc<[Bytes]>),
+}
+
+impl SendPayload {
+    /// Total message length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            SendPayload::Single(data) => data.len(),
+            SendPayload::Vectored(segments) => segments.iter().map(|s| s.len()).sum(),
+        }
+    }
+
+    /// `true` for empty messages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls `f(offset, chunk)` for every wire chunk covering the message
+    /// range `[start, end)`: each chunk is at most `max_payload` bytes, is a
+    /// zero-copy slice of the underlying storage, and never crosses a
+    /// segment boundary (no coalescing).  A zero-length range yields exactly
+    /// one empty chunk — a zero-byte push still announces the message.
+    pub fn for_each_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        max_payload: usize,
+        mut f: impl FnMut(usize, Bytes),
+    ) {
+        debug_assert!(start <= end && end <= self.len());
+        if start == end {
+            f(start, Bytes::new());
+            return;
+        }
+        match self {
+            SendPayload::Single(data) => {
+                let mut offset = start;
+                while offset < end {
+                    let chunk = (end - offset).min(max_payload);
+                    f(offset, data.slice(offset..offset + chunk));
+                    offset += chunk;
+                }
+            }
+            SendPayload::Vectored(segments) => {
+                // `base` is the message offset where the current segment
+                // starts; chunks are clipped to [start, end) ∩ the segment.
+                let mut base = 0usize;
+                for segment in segments.iter() {
+                    let seg_end = base + segment.len();
+                    let lo = start.max(base);
+                    let hi = end.min(seg_end);
+                    let mut offset = lo;
+                    while offset < hi {
+                        let chunk = (hi - offset).min(max_payload);
+                        f(offset, segment.slice(offset - base..offset - base + chunk));
+                        offset += chunk;
+                    }
+                    base = seg_end;
+                    if base >= end {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl From<Bytes> for SendPayload {
+    fn from(data: Bytes) -> Self {
+        SendPayload::Single(data)
+    }
+}
 
 /// One registered send operation (arrow 1b.1 in Fig. 1).
 #[derive(Debug, Clone)]
@@ -18,8 +113,8 @@ pub struct PendingSend {
     pub tag: Tag,
     /// The message identifier chosen by the sender.
     pub msg_id: MessageId,
-    /// The complete message payload (cheaply sliceable).
-    pub data: Bytes,
+    /// The complete message payload (cheaply sliceable, possibly vectored).
+    pub payload: SendPayload,
     /// How the message was split into pushed and pulled parts.
     pub split: BtpSplit,
     /// `true` once the pull request has been answered (the pulled bytes have
@@ -38,13 +133,13 @@ impl PendingSend {
     /// Length of the user message in bytes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.payload.len()
     }
 
     /// `true` for empty messages.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.payload.is_empty()
     }
 }
 
@@ -191,7 +286,7 @@ mod tests {
             dst: ProcessId::new(1, 0),
             tag: Tag(0),
             msg_id: MessageId(msg_id),
-            data: Bytes::from(vec![0u8; len]),
+            payload: SendPayload::Single(Bytes::from(vec![0u8; len])),
             split: BtpSplit::plan(
                 ProtocolMode::PushPull,
                 BtpPolicy::INTERNODE_DEFAULT,
@@ -259,6 +354,82 @@ mod tests {
         let p = pending(1, 0);
         assert!(p.is_empty());
         assert_eq!(p.len(), 0);
+    }
+
+    /// Collects `for_each_chunk` output as `(offset, len, ptr)` triples.
+    fn chunks(
+        payload: &SendPayload,
+        start: usize,
+        end: usize,
+        max: usize,
+    ) -> Vec<(usize, usize, *const u8)> {
+        let mut out = Vec::new();
+        payload.for_each_chunk(start, end, max, |offset, chunk| {
+            out.push((offset, chunk.len(), chunk.as_ptr()));
+        });
+        out
+    }
+
+    #[test]
+    fn single_payload_chunks_by_max_payload() {
+        let payload = SendPayload::Single(Bytes::from(vec![7u8; 10]));
+        let got = chunks(&payload, 2, 10, 3);
+        assert_eq!(
+            got.iter().map(|&(o, l, _)| (o, l)).collect::<Vec<_>>(),
+            vec![(2, 3), (5, 3), (8, 2)]
+        );
+    }
+
+    #[test]
+    fn vectored_payload_never_crosses_segment_boundaries() {
+        let segments = vec![
+            Bytes::from(vec![1u8; 5]),
+            Bytes::new(), // empty segments are skipped on the wire
+            Bytes::from(vec![2u8; 7]),
+            Bytes::from(vec![3u8; 4]),
+        ];
+        let payload = SendPayload::Vectored(segments.clone().into());
+        assert_eq!(payload.len(), 16);
+        // Full range, max_payload 4: chunks split at 5 and 12 (segment
+        // boundaries) as well as every 4 bytes within a segment.
+        let got = chunks(&payload, 0, 16, 4);
+        assert_eq!(
+            got.iter().map(|&(o, l, _)| (o, l)).collect::<Vec<_>>(),
+            vec![(0, 4), (4, 1), (5, 4), (9, 3), (12, 4)]
+        );
+        // Every chunk is a zero-copy slice: its pointer lies inside the
+        // segment that owns its offset — no staging copy anywhere.
+        for &(offset, len, ptr) in &got {
+            let (seg, base) = if offset < 5 {
+                (&segments[0], 0)
+            } else if offset < 12 {
+                (&segments[2], 5)
+            } else {
+                (&segments[3], 12)
+            };
+            let seg_ptr = seg.as_ptr();
+            assert_eq!(ptr, unsafe { seg_ptr.add(offset - base) });
+            assert!(offset - base + len <= seg.len());
+        }
+        // A sub-range that starts and ends mid-segment.
+        let got = chunks(&payload, 3, 14, 100);
+        assert_eq!(
+            got.iter().map(|&(o, l, _)| (o, l)).collect::<Vec<_>>(),
+            vec![(3, 2), (5, 7), (12, 2)]
+        );
+    }
+
+    #[test]
+    fn zero_length_range_yields_one_announce_chunk() {
+        for payload in [
+            SendPayload::Single(Bytes::new()),
+            SendPayload::Vectored(Vec::new().into()),
+            SendPayload::Vectored(vec![Bytes::new(), Bytes::new()].into()),
+        ] {
+            let got = chunks(&payload, 0, 0, 1460);
+            assert_eq!(got.len(), 1);
+            assert_eq!((got[0].0, got[0].1), (0, 0));
+        }
     }
 
     #[test]

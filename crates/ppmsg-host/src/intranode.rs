@@ -3,39 +3,36 @@
 //! engine the simulator uses.
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
-    Action, Completion, CompletionQueue, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig,
-    RecvBuf, RecvOp, Result, SendOp, Status, Tag, TruncationPolicy,
+    Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, ProcessId,
+    ProtocolConfig, RawTransport, RecvBuf, RecvOp, Result, SendOp, Tag, TruncationPolicy,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::task::Waker;
-use std::time::Duration;
 
 struct Member {
     id: ProcessId,
     engine: Mutex<Endpoint>,
-    /// Completions drained from the engine, op-indexed so `wait` claims in
-    /// O(1) (drain order preserved separately), with the wakers of async
-    /// tasks awaiting them.
+    /// Completions drained from the engine, op-indexed so claims are O(1)
+    /// (drain order preserved separately), with the wakers of tasks
+    /// awaiting them — async futures and the facade's blocking `wait`
+    /// alike, so publication needs no condvar broadcast.
     done: Mutex<CompletionQueue>,
-    cv: Condvar,
 }
 
 impl Member {
-    /// Publishes a batch of completions, waking blocked waiters and any
-    /// async task awaiting one of them.  Drains `comps`, leaving its
-    /// capacity for reuse.  Async wakers are invoked **after** the `done`
-    /// lock is released: a waker is arbitrary executor code and may poll
-    /// (and so re-enter this endpoint) inline.
+    /// Publishes a batch of completions, waking every waiter registered for
+    /// one of them.  Drains `comps`, leaving its capacity for reuse.
+    /// Wakers are invoked **after** the `done` lock is released: a waker is
+    /// arbitrary executor code and may poll (and so re-enter this endpoint)
+    /// inline.
     fn publish(&self, comps: &mut Vec<Completion>) {
         if comps.is_empty() {
             return;
         }
         let woken = self.done.lock().publish(comps);
-        self.cv.notify_all();
         ppmsg_core::ops::wake_all(woken, |drained| self.done.lock().recycle_woken(drained));
     }
 }
@@ -129,12 +126,32 @@ impl HostCluster {
     ///
     /// Panics if the local rank was already added.
     pub fn add_endpoint(&self, local_rank: u32) -> HostEndpoint {
+        self.add_endpoint_with(local_rank, &EndpointConfig::new())
+    }
+
+    /// Adds a process with per-endpoint configuration overrides: the
+    /// completion-retention cap, go-back-N window, and BTP eager threshold
+    /// from `config` replace the fabric-wide defaults for this endpoint
+    /// only.
+    ///
+    /// Only the protocol-and-queue overrides (retention cap, window, eager
+    /// threshold) apply here; the config's default *truncation policy* is a
+    /// front-end concern — wrap the returned endpoint in the facade's
+    /// `Endpoint::with_config(raw, config)` to honor it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local rank was already added or the resulting protocol
+    /// configuration is invalid.
+    pub fn add_endpoint_with(&self, local_rank: u32, config: &EndpointConfig) -> HostEndpoint {
         let id = ProcessId::new(self.node, local_rank);
+        let protocol = config.apply_protocol(self.protocol.clone());
+        let mut done = CompletionQueue::new();
+        config.apply_retention(&mut done);
         let member = Arc::new(Member {
             id,
-            engine: Mutex::new(Endpoint::new(id, self.protocol.clone())),
-            done: Mutex::new(CompletionQueue::new()),
-            cv: Condvar::new(),
+            engine: Mutex::new(Endpoint::new(id, protocol)),
+            done: Mutex::new(done),
         });
         let previous = self
             .fabric
@@ -191,6 +208,18 @@ impl HostEndpoint {
         self.run_engine(|engine| engine.post_send(peer, tag, data))
     }
 
+    /// Posts a vectored send: `segments` arrive as one concatenated message
+    /// but are never coalesced on the wire; see
+    /// [`Endpoint::post_send_vectored`](ppmsg_core::Endpoint::post_send_vectored).
+    pub fn post_send_vectored(
+        &self,
+        peer: ProcessId,
+        tag: Tag,
+        segments: &[Bytes],
+    ) -> Result<SendOp> {
+        self.run_engine(|engine| engine.post_send_vectored(peer, tag, segments))
+    }
+
     /// Posts an engine-buffered receive.  `src` / `tag` may be the
     /// [`ANY_SOURCE`](ppmsg_core::ANY_SOURCE) /
     /// [`ANY_TAG`](ppmsg_core::ANY_TAG) wildcards.
@@ -228,112 +257,118 @@ impl HostEndpoint {
         self.run_engine(|engine| engine.cancel_send(op))
     }
 
-    /// Drains every completion produced so far into `out`, oldest first.
-    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
-        self.member.done.lock().drain_into(out);
-    }
-
-    /// Takes the completion of `op` if the operation has finished, without
-    /// blocking.
-    pub fn take_completion(&self, op: OpId) -> Option<Completion> {
-        self.member.done.lock().take(op)
-    }
-
-    /// Exempts `op`'s completion from retention eviction until claimed; see
-    /// [`CompletionQueue::register_interest`](ppmsg_core::CompletionQueue::register_interest).
-    pub fn register_interest(&self, op: OpId) {
-        self.member.done.lock().register_interest(op);
-    }
-
-    /// Drops any waker registered for `op` (an abandoned await); see
-    /// [`CompletionQueue::deregister`](ppmsg_core::CompletionQueue::deregister).
-    pub fn deregister_interest(&self, op: OpId) {
-        self.member.done.lock().deregister(op);
-    }
-
-    /// Takes the completion of `op`, registering `waker` to be woken when it
-    /// lands if the operation is still in flight.  Checking and registering
-    /// happen under one lock, so a completion published concurrently can
-    /// never be missed.  This is the poll primitive behind the async
-    /// front-end's futures.
-    pub fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
-        self.member.done.lock().take_or_register(op, waker)
-    }
-
-    /// Blocks until the operation `op` completes, returning its completion,
-    /// or `None` when `timeout` expires first.
-    pub fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
-        // An absolute deadline, so unrelated completions waking the condvar
-        // cannot restart the timeout.
-        let deadline = std::time::Instant::now() + timeout;
-        let mut done = self.member.done.lock();
-        // Exempt the awaited completion from retention eviction while this
-        // thread parks between condvar wakeups.
-        done.register_interest(op);
-        loop {
-            if let Some(completion) = done.take(op) {
-                return Some(completion);
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                // Give up the eviction exemption: an abandoned wait must not
-                // pin its completion (and block draining it) forever.
-                done.clear_interest(op);
-                return None;
-            }
-            self.member.cv.wait_for(&mut done, deadline - now);
-        }
-    }
-
-    /// Posts a send of `data` to `peer` (panicking convenience wrapper
-    /// around [`HostEndpoint::post_send`]).
-    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendOp {
-        self.post_send(peer, tag, data).expect("post_send failed")
-    }
-
-    /// Blocks until the send identified by `op` has been fully handed over
-    /// (for Push-Pull sends this means the receiver has pulled the
-    /// remainder).  Returns the number of bytes sent, or `None` on timeout.
-    pub fn wait_send(&self, op: SendOp, timeout: Duration) -> Option<usize> {
-        self.wait(OpId::Send(op), timeout).map(|c| c.len)
-    }
-
-    /// Posts a receive for a message from `peer` with `tag` of at most
-    /// `max_len` bytes and blocks until it arrives (or `timeout` expires /
-    /// the receive fails, in which case `None` is returned).
-    pub fn recv(
-        &self,
-        peer: ProcessId,
-        tag: Tag,
-        max_len: usize,
-        timeout: Duration,
-    ) -> Option<Bytes> {
-        let op = self
-            .post_recv(peer, tag, max_len, TruncationPolicy::Error)
-            .ok()?;
-        let completion = self.wait(OpId::Recv(op), timeout)?;
-        match completion.status {
-            Status::Ok | Status::Truncated { .. } => completion.data,
-            Status::Cancelled | Status::Error(_) => None,
-        }
-    }
-
-    /// Protocol statistics of this endpoint.
+    /// Protocol statistics of this endpoint, including the completion
+    /// queue's eviction counter
+    /// ([`EndpointStats::completions_evicted`]).
     pub fn stats(&self) -> EndpointStats {
-        self.member.engine.lock().stats()
+        let mut stats = self.member.engine.lock().stats();
+        stats.completions_evicted = self.member.done.lock().evicted();
+        stats
+    }
+}
+
+/// The intranode fabric's backend contract: the posting core delegates to
+/// the engine behind the member lock, and completion access goes through the
+/// `done` queue under its own lock (publication wakes registered wakers
+/// after releasing it).
+impl RawTransport for HostEndpoint {
+    fn local_id(&self) -> ProcessId {
+        self.id()
+    }
+
+    fn post_send(&self, peer: ProcessId, tag: Tag, data: Bytes) -> Result<SendOp> {
+        HostEndpoint::post_send(self, peer, tag, data)
+    }
+
+    fn post_send_vectored(&self, peer: ProcessId, tag: Tag, segments: &[Bytes]) -> Result<SendOp> {
+        HostEndpoint::post_send_vectored(self, peer, tag, segments)
+    }
+
+    fn post_recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        HostEndpoint::post_recv(self, src, tag, capacity, policy)
+    }
+
+    fn post_recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        HostEndpoint::post_recv_into(self, src, tag, buf, policy)
+    }
+
+    fn cancel_recv(&self, op: RecvOp) -> bool {
+        HostEndpoint::cancel(self, op)
+    }
+
+    fn cancel_send(&self, op: SendOp) -> bool {
+        HostEndpoint::cancel_send(self, op)
+    }
+
+    fn with_completions(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
+        f(&mut self.member.done.lock());
+    }
+
+    fn stats(&self) -> EndpointStats {
+        HostEndpoint::stats(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppmsg_core::{ProtocolMode, ANY_SOURCE, ANY_TAG};
+    use ppmsg_core::{OpId, ProtocolMode, Status, ANY_SOURCE, ANY_TAG};
     use std::thread;
+    use std::time::Duration;
 
     const T: Duration = Duration::from_secs(5);
 
     fn payload(len: usize) -> Bytes {
         Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    /// Test-local blocking wait over the `RawTransport` core (the real
+    /// blocking front-end lives in the facade crate, which this crate
+    /// cannot depend on): claim-poll with a short sleep.
+    fn wait(ep: &HostEndpoint, op: OpId, timeout: Duration) -> Option<Completion> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(completion) = ep.take_completion(op) {
+                return Some(completion);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn send(ep: &HostEndpoint, peer: ProcessId, tag: Tag, data: Bytes) -> SendOp {
+        ep.post_send(peer, tag, data).expect("post_send failed")
+    }
+
+    fn recv(
+        ep: &HostEndpoint,
+        peer: ProcessId,
+        tag: Tag,
+        max_len: usize,
+        timeout: Duration,
+    ) -> Option<Bytes> {
+        let op = ep
+            .post_recv(peer, tag, max_len, TruncationPolicy::Error)
+            .ok()?;
+        let completion = wait(ep, OpId::Recv(op), timeout)?;
+        match completion.status {
+            Status::Ok | Status::Truncated { .. } => completion.data,
+            Status::Cancelled | Status::Error(_) => None,
+        }
     }
 
     #[test]
@@ -357,12 +392,12 @@ mod tests {
             let expect = data.clone();
 
             let receiver = thread::spawn(move || {
-                let got = b.recv(a_id, Tag(5), 8192, T).expect("recv timed out");
-                b.send(a_id, Tag(6), got.clone());
+                let got = recv(&b, a_id, Tag(5), 8192, T).expect("recv timed out");
+                send(&b, a_id, Tag(6), got.clone());
                 got
             });
-            a.send(b_id, Tag(5), data);
-            let echoed = a.recv(b_id, Tag(6), 8192, T).expect("echo timed out");
+            send(&a, b_id, Tag(5), data);
+            let echoed = recv(&a, b_id, Tag(6), 8192, T).expect("echo timed out");
             let got = receiver.join().unwrap();
             assert_eq!(got, expect, "mode {mode:?}");
             assert_eq!(echoed, expect, "mode {mode:?}");
@@ -380,10 +415,10 @@ mod tests {
         let data = payload(4096);
         // Send before any receive is posted: data must wait in the pushed
         // buffer and be drained when the receive appears.
-        let h = a.send(b.id(), Tag(1), data.clone());
-        let got = b.recv(a.id(), Tag(1), 4096, T).expect("recv timed out");
+        let h = send(&a, b.id(), Tag(1), data.clone());
+        let got = recv(&b, a.id(), Tag(1), 4096, T).expect("recv timed out");
         assert_eq!(got, data);
-        assert!(a.wait_send(h, T).is_some());
+        assert!(wait(&a, OpId::Send(h), T).is_some());
         assert!(b.stats().bytes_copied_staged > 0);
     }
 
@@ -396,10 +431,10 @@ mod tests {
         let b_id = b.id();
         let data = payload(4096);
         let expect = data.clone();
-        let receiver = thread::spawn(move || b.recv(a_id, Tag(2), 4096, T));
+        let receiver = thread::spawn(move || recv(&b, a_id, Tag(2), 4096, T));
         // Give the receiver a moment to post.
         thread::sleep(Duration::from_millis(50));
-        a.send(b_id, Tag(2), data);
+        send(&a, b_id, Tag(2), data);
         assert_eq!(receiver.join().unwrap().unwrap(), expect);
     }
 
@@ -413,12 +448,10 @@ mod tests {
         let b = cluster.add_endpoint(1);
         let count = 50usize;
         for i in 0..count {
-            a.send(b.id(), Tag(9), payload(i * 37 + 1));
+            send(&a, b.id(), Tag(9), payload(i * 37 + 1));
         }
         for i in 0..count {
-            let got = b
-                .recv(a.id(), Tag(9), 64 * 1024, T)
-                .expect("recv timed out");
+            let got = recv(&b, a.id(), Tag(9), 64 * 1024, T).expect("recv timed out");
             assert_eq!(got.len(), i * 37 + 1);
         }
     }
@@ -428,9 +461,14 @@ mod tests {
         let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
         let a = cluster.add_endpoint(0);
         let _b = cluster.add_endpoint(1);
-        assert!(a
-            .recv(ProcessId::new(0, 1), Tag(1), 64, Duration::from_millis(50))
-            .is_none());
+        assert!(recv(
+            &a,
+            ProcessId::new(0, 1),
+            Tag(1),
+            64,
+            Duration::from_millis(50)
+        )
+        .is_none());
     }
 
     #[test]
@@ -445,8 +483,8 @@ mod tests {
         let wild = b
             .post_recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
             .unwrap();
-        a.send(b.id(), Tag(77), data.clone());
-        let done = b.wait(OpId::Recv(wild), T).expect("wildcard completed");
+        send(&a, b.id(), Tag(77), data.clone());
+        let done = wait(&b, OpId::Recv(wild), T).expect("wildcard completed");
         assert_eq!(done.peer, a.id());
         assert_eq!(done.tag, Tag(77));
         assert_eq!(done.data.unwrap(), data);
@@ -459,8 +497,8 @@ mod tests {
                 TruncationPolicy::Error,
             )
             .unwrap();
-        a.send(b.id(), Tag(78), data.clone());
-        let done = b.wait(OpId::Recv(op), T).expect("recv_into completed");
+        send(&a, b.id(), Tag(78), data.clone());
+        let done = wait(&b, OpId::Recv(op), T).expect("recv_into completed");
         assert_eq!(done.buf.unwrap().as_slice(), &data[..]);
     }
 
@@ -473,7 +511,7 @@ mod tests {
             .post_recv(a.id(), Tag(1), 64, TruncationPolicy::Error)
             .unwrap();
         assert!(b.cancel(op));
-        let done = b.wait(OpId::Recv(op), T).unwrap();
+        let done = wait(&b, OpId::Recv(op), T).unwrap();
         assert_eq!(done.status, Status::Cancelled);
         assert!(!b.cancel(op), "stale handle must not cancel again");
     }

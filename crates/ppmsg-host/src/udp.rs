@@ -3,18 +3,17 @@
 //! reception, acknowledgements, and retransmission timers.
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
-    Action, Completion, CompletionQueue, Endpoint, EndpointStats, OpId, ProcessId, ProtocolConfig,
-    RecvBuf, RecvOp, Result, SendOp, Status, Tag, TimerId, TruncationPolicy,
+    Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, ProcessId,
+    ProtocolConfig, RawTransport, RecvBuf, RecvOp, Result, SendOp, Tag, TimerId, TruncationPolicy,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::task::Waker;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -23,11 +22,11 @@ struct Shared {
     engine: Mutex<Endpoint>,
     socket: UdpSocket,
     peers: Mutex<HashMap<u64, SocketAddr>>,
-    /// Completions drained from the engine, op-indexed so `wait` claims in
-    /// O(1) (drain order preserved separately), with the wakers of async
-    /// tasks awaiting them.
+    /// Completions drained from the engine, op-indexed so claims are O(1)
+    /// (drain order preserved separately), with the wakers of tasks
+    /// awaiting them — async futures and the facade's blocking `wait`
+    /// alike, so publication needs no condvar broadcast.
     done: Mutex<CompletionQueue>,
-    cv: Condvar,
     timers: Mutex<Vec<(Instant, TimerId)>>,
     /// Reusable encode buffers: frame serialisation allocates nothing once
     /// the pool has warmed up to the largest frame size in flight.
@@ -36,17 +35,16 @@ struct Shared {
 }
 
 impl Shared {
-    /// Publishes a batch of completions, waking blocked callers and any
-    /// async task awaiting one of them.  Drains `comps`, leaving its
-    /// capacity for reuse.  Async wakers are invoked **after** the `done`
-    /// lock is released: a waker is arbitrary executor code and may poll
-    /// (and so re-enter this endpoint) inline.
+    /// Publishes a batch of completions, waking every waiter registered for
+    /// one of them.  Drains `comps`, leaving its capacity for reuse.
+    /// Wakers are invoked **after** the `done` lock is released: a waker is
+    /// arbitrary executor code and may poll (and so re-enter this endpoint)
+    /// inline.
     fn publish(&self, comps: &mut Vec<Completion>) {
         if comps.is_empty() {
             return;
         }
         let woken = self.done.lock().publish(comps);
-        self.cv.notify_all();
         ppmsg_core::ops::wake_all(woken, |drained| self.done.lock().recycle_woken(drained));
     }
 
@@ -89,14 +87,26 @@ impl Shared {
                 Action::Translate { .. } | Action::Copy { .. } | Action::PacketDropped { .. } => {}
                 Action::ChannelFailed { peer } => {
                     eprintln!("ppmsg-host/udp: channel to {peer} failed (peer unreachable)");
-                    self.cv.notify_all();
                 }
             }
         }
     }
 
-    /// Runs one engine interaction, then publishes completions and applies
-    /// actions, reusing the caller's buffers.
+    /// Runs one engine interaction, applying its actions **before releasing
+    /// the engine lock**, then publishes completions; the caller's buffers
+    /// are reused.
+    ///
+    /// Applying under the lock is load-bearing: engine interactions run on
+    /// both user threads and the reception thread, and the go-back-N timer
+    /// protocol (`SetTimer` re-arms with a bumped generation, `CancelTimer`
+    /// revokes a specific generation) is only correct if each interaction's
+    /// actions are applied in the order the engine produced them.  Applying
+    /// after unlock let a stale `SetTimer` overwrite a newer re-arm: the
+    /// stale generation's timeout was then ignored by the channel, no
+    /// retransmission ever fired, and a single reordered/lost datagram
+    /// wedged the transfer forever.  (Frame transmission order benefits the
+    /// same way — out-of-order sends forced the receiver into discard +
+    /// cumulative-ack recovery.)
     fn run_engine<R>(
         &self,
         actions: &mut Vec<Action>,
@@ -108,10 +118,10 @@ impl Shared {
             let result = f(&mut engine);
             engine.drain_actions_into(actions);
             engine.drain_completions_into(comps);
+            self.apply_actions(actions);
             result
         };
         self.publish(comps);
-        self.apply_actions(actions);
         result
     }
 
@@ -145,6 +155,26 @@ impl UdpEndpoint {
         protocol: ProtocolConfig,
         bind_addr: &str,
     ) -> std::io::Result<UdpEndpoint> {
+        UdpEndpoint::bind_with(id, protocol, bind_addr, &EndpointConfig::new())
+    }
+
+    /// [`UdpEndpoint::bind`] with per-endpoint configuration overrides: the
+    /// completion-retention cap, go-back-N window, and BTP eager threshold
+    /// from `config` replace the protocol-wide defaults for this endpoint.
+    ///
+    /// Only the protocol-and-queue overrides (retention cap, window, eager
+    /// threshold) apply here; the config's default *truncation policy* is a
+    /// front-end concern — wrap the returned endpoint in the facade's
+    /// `Endpoint::with_config(raw, config)` to honor it.
+    pub fn bind_with(
+        id: ProcessId,
+        protocol: ProtocolConfig,
+        bind_addr: &str,
+        config: &EndpointConfig,
+    ) -> std::io::Result<UdpEndpoint> {
+        let protocol = config.apply_protocol(protocol);
+        let mut done = CompletionQueue::new();
+        config.apply_retention(&mut done);
         let socket = UdpSocket::bind(bind_addr)?;
         socket.set_read_timeout(Some(Duration::from_millis(2)))?;
         let shared = Arc::new(Shared {
@@ -152,8 +182,7 @@ impl UdpEndpoint {
             engine: Mutex::new(Endpoint::new(id, protocol)),
             socket,
             peers: Mutex::new(HashMap::new()),
-            done: Mutex::new(CompletionQueue::new()),
-            cv: Condvar::new(),
+            done: Mutex::new(done),
             timers: Mutex::new(Vec::new()),
             codec: Mutex::new(PacketBufPool::new()),
             shutdown: AtomicBool::new(false),
@@ -228,6 +257,22 @@ impl UdpEndpoint {
         })
     }
 
+    /// Posts a vectored send: `segments` arrive as one concatenated message
+    /// but are never coalesced on the wire; see
+    /// [`Endpoint::post_send_vectored`](ppmsg_core::Endpoint::post_send_vectored).
+    pub fn post_send_vectored(
+        &self,
+        peer: ProcessId,
+        tag: Tag,
+        segments: &[Bytes],
+    ) -> Result<SendOp> {
+        let mut actions = Vec::new();
+        let mut comps = Vec::new();
+        self.shared.run_engine(&mut actions, &mut comps, |engine| {
+            engine.post_send_vectored(peer, tag, segments)
+        })
+    }
+
     /// Posts an engine-buffered receive.  `src` / `tag` may be the
     /// [`ANY_SOURCE`](ppmsg_core::ANY_SOURCE) /
     /// [`ANY_TAG`](ppmsg_core::ANY_TAG) wildcards.
@@ -279,95 +324,74 @@ impl UdpEndpoint {
             .run_engine(&mut actions, &mut comps, |engine| engine.cancel_send(op))
     }
 
-    /// Drains every completion produced so far into `out`, oldest first.
-    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
-        self.shared.done.lock().drain_into(out);
-    }
-
-    /// Takes the completion of `op` if the operation has finished, without
-    /// blocking.
-    pub fn take_completion(&self, op: OpId) -> Option<Completion> {
-        self.shared.done.lock().take(op)
-    }
-
-    /// Exempts `op`'s completion from retention eviction until claimed; see
-    /// [`CompletionQueue::register_interest`](ppmsg_core::CompletionQueue::register_interest).
-    pub fn register_interest(&self, op: OpId) {
-        self.shared.done.lock().register_interest(op);
-    }
-
-    /// Drops any waker registered for `op` (an abandoned await); see
-    /// [`CompletionQueue::deregister`](ppmsg_core::CompletionQueue::deregister).
-    pub fn deregister_interest(&self, op: OpId) {
-        self.shared.done.lock().deregister(op);
-    }
-
-    /// Takes the completion of `op`, registering `waker` to be woken when it
-    /// lands if the operation is still in flight.  Checking and registering
-    /// happen under one lock, so a completion published concurrently (by the
-    /// reception thread) can never be missed.  This is the poll primitive
-    /// behind the async front-end's futures.
-    pub fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
-        self.shared.done.lock().take_or_register(op, waker)
-    }
-
-    /// Blocks until the operation `op` completes, returning its completion,
-    /// or `None` when `timeout` expires first.
-    pub fn wait(&self, op: OpId, timeout: Duration) -> Option<Completion> {
-        let deadline = Instant::now() + timeout;
-        let mut done = self.shared.done.lock();
-        // Exempt the awaited completion from retention eviction while this
-        // thread parks between condvar wakeups.
-        done.register_interest(op);
-        loop {
-            if let Some(completion) = done.take(op) {
-                return Some(completion);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                // Give up the eviction exemption: an abandoned wait must not
-                // pin its completion (and block draining it) forever.
-                done.clear_interest(op);
-                return None;
-            }
-            self.shared.cv.wait_for(&mut done, deadline - now);
-        }
-    }
-
-    /// Posts a send of `data` to `peer` (panicking convenience wrapper
-    /// around [`UdpEndpoint::post_send`]) and returns immediately.
-    pub fn send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> SendOp {
-        self.post_send(peer, tag, data).expect("post_send failed")
-    }
-
-    /// Blocks until the send identified by `op` has been fully handed to
-    /// the transport, or `timeout` expires.
-    pub fn wait_send(&self, op: SendOp, timeout: Duration) -> Option<usize> {
-        self.wait(OpId::Send(op), timeout).map(|c| c.len)
-    }
-
-    /// Posts a receive and blocks until the message arrives or `timeout`
-    /// expires (or the receive fails; `None` in both cases).
-    pub fn recv(
-        &self,
-        peer: ProcessId,
-        tag: Tag,
-        max_len: usize,
-        timeout: Duration,
-    ) -> Option<Bytes> {
-        let op = self
-            .post_recv(peer, tag, max_len, TruncationPolicy::Error)
-            .ok()?;
-        let completion = self.wait(OpId::Recv(op), timeout)?;
-        match completion.status {
-            Status::Ok | Status::Truncated { .. } => completion.data,
-            Status::Cancelled | Status::Error(_) => None,
-        }
-    }
-
-    /// Protocol statistics of this endpoint.
+    /// Protocol statistics of this endpoint, including the completion
+    /// queue's eviction counter
+    /// ([`EndpointStats::completions_evicted`]).
     pub fn stats(&self) -> EndpointStats {
-        self.shared.engine.lock().stats()
+        let mut stats = self.shared.engine.lock().stats();
+        stats.completions_evicted = self.shared.done.lock().evicted();
+        stats
+    }
+
+    /// Go-back-N statistics for the channel to `peer`, if one exists; see
+    /// [`Endpoint::channel_stats`](ppmsg_core::Endpoint::channel_stats).
+    pub fn channel_stats(&self, peer: ProcessId) -> Option<ppmsg_core::reliability::GbnStats> {
+        self.shared.engine.lock().channel_stats(peer)
+    }
+}
+
+/// The UDP backend's contract: posting runs the engine on the calling
+/// thread (the reception thread publishes concurrent completions), and
+/// completion access goes through the `done` queue under its lock —
+/// check-and-register through [`RawTransport::with_completions`] can never
+/// miss a completion the reception thread publishes concurrently.
+impl RawTransport for UdpEndpoint {
+    fn local_id(&self) -> ProcessId {
+        self.id()
+    }
+
+    fn post_send(&self, peer: ProcessId, tag: Tag, data: Bytes) -> Result<SendOp> {
+        UdpEndpoint::post_send(self, peer, tag, data)
+    }
+
+    fn post_send_vectored(&self, peer: ProcessId, tag: Tag, segments: &[Bytes]) -> Result<SendOp> {
+        UdpEndpoint::post_send_vectored(self, peer, tag, segments)
+    }
+
+    fn post_recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        UdpEndpoint::post_recv(self, src, tag, capacity, policy)
+    }
+
+    fn post_recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        UdpEndpoint::post_recv_into(self, src, tag, buf, policy)
+    }
+
+    fn cancel_recv(&self, op: RecvOp) -> bool {
+        UdpEndpoint::cancel(self, op)
+    }
+
+    fn cancel_send(&self, op: SendOp) -> bool {
+        UdpEndpoint::cancel_send(self, op)
+    }
+
+    fn with_completions(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
+        f(&mut self.shared.done.lock());
+    }
+
+    fn stats(&self) -> EndpointStats {
+        UdpEndpoint::stats(self)
     }
 }
 
@@ -383,12 +407,50 @@ impl Drop for UdpEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppmsg_core::{ProtocolMode, ANY_SOURCE};
+    use ppmsg_core::{OpId, ProtocolMode, Status, ANY_SOURCE};
 
     const T: Duration = Duration::from_secs(10);
 
     fn payload(len: usize) -> Bytes {
         Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    /// Test-local blocking wait over the `RawTransport` core (the real
+    /// blocking front-end lives in the facade crate, which this crate
+    /// cannot depend on): claim-poll with a short sleep while the reception
+    /// thread makes progress.
+    fn wait(ep: &UdpEndpoint, op: OpId, timeout: Duration) -> Option<Completion> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(completion) = ep.take_completion(op) {
+                return Some(completion);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn send(ep: &UdpEndpoint, peer: ProcessId, tag: Tag, data: Bytes) -> SendOp {
+        ep.post_send(peer, tag, data).expect("post_send failed")
+    }
+
+    fn recv(
+        ep: &UdpEndpoint,
+        peer: ProcessId,
+        tag: Tag,
+        max_len: usize,
+        timeout: Duration,
+    ) -> Option<Bytes> {
+        let op = ep
+            .post_recv(peer, tag, max_len, TruncationPolicy::Error)
+            .ok()?;
+        let completion = wait(ep, OpId::Recv(op), timeout)?;
+        match completion.status {
+            Status::Ok | Status::Truncated { .. } => completion.data,
+            Status::Cancelled | Status::Error(_) => None,
+        }
     }
 
     fn pair(protocol: ProtocolConfig) -> (UdpEndpoint, UdpEndpoint) {
@@ -411,10 +473,10 @@ mod tests {
                 .with_pushed_buffer(64 * 1024);
             let (a, b) = pair(protocol);
             let data = payload(8192);
-            let h = a.send(b.id(), Tag(3), data.clone());
-            let got = b.recv(a.id(), Tag(3), 8192, T).expect("recv timed out");
+            let h = send(&a, b.id(), Tag(3), data.clone());
+            let got = recv(&b, a.id(), Tag(3), 8192, T).expect("recv timed out");
             assert_eq!(got, data, "mode {mode:?}");
-            assert!(a.wait_send(h, T).is_some(), "mode {mode:?}");
+            assert!(wait(&a, OpId::Send(h), T).is_some(), "mode {mode:?}");
         }
     }
 
@@ -423,11 +485,11 @@ mod tests {
         let (a, b) = pair(ProtocolConfig::paper_internode());
         for i in 1..=10usize {
             let data = payload(i * 333);
-            a.send(b.id(), Tag(1), data.clone());
-            let got = b.recv(a.id(), Tag(1), 8192, T).unwrap();
+            send(&a, b.id(), Tag(1), data.clone());
+            let got = recv(&b, a.id(), Tag(1), 8192, T).unwrap();
             assert_eq!(got, data);
-            b.send(a.id(), Tag(2), got);
-            let back = a.recv(b.id(), Tag(2), 8192, T).unwrap();
+            send(&b, a.id(), Tag(2), got);
+            let back = recv(&a, b.id(), Tag(2), 8192, T).unwrap();
             assert_eq!(back, data);
         }
         assert_eq!(a.stats().sends_completed, 10);
@@ -444,11 +506,9 @@ mod tests {
             .with_pushed_buffer(4 * 1024);
         let (a, b) = pair(protocol);
         let data = payload(16 * 1024);
-        a.send(b.id(), Tag(7), data.clone());
+        send(&a, b.id(), Tag(7), data.clone());
         std::thread::sleep(Duration::from_millis(120));
-        let got = b
-            .recv(a.id(), Tag(7), 16 * 1024, T)
-            .expect("recv timed out");
+        let got = recv(&b, a.id(), Tag(7), 16 * 1024, T).expect("recv timed out");
         assert_eq!(got, data);
         assert!(b.stats().frames_dropped > 0, "expected pushed-buffer drops");
     }
@@ -456,9 +516,7 @@ mod tests {
     #[test]
     fn recv_timeout_returns_none() {
         let (a, b) = pair(ProtocolConfig::paper_internode());
-        assert!(a
-            .recv(b.id(), Tag(9), 64, Duration::from_millis(100))
-            .is_none());
+        assert!(recv(&a, b.id(), Tag(9), 64, Duration::from_millis(100)).is_none());
     }
 
     #[test]
@@ -473,8 +531,8 @@ mod tests {
                 TruncationPolicy::Error,
             )
             .unwrap();
-        a.send(b.id(), Tag(4), data.clone());
-        let done = b.wait(OpId::Recv(op), T).expect("recv timed out");
+        send(&a, b.id(), Tag(4), data.clone());
+        let done = wait(&b, OpId::Recv(op), T).expect("recv timed out");
         assert_eq!(done.status, Status::Ok);
         assert_eq!(done.peer, a.id());
         assert_eq!(done.buf.unwrap().as_slice(), &data[..]);

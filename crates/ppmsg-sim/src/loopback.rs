@@ -1,6 +1,6 @@
 //! A deterministic, in-memory binding of the operations API onto a cluster
-//! of protocol engines — the "sim cluster" backend of the `Transport` trait
-//! in the facade crate.
+//! of protocol engines — the "sim cluster" [`RawTransport`] backend of the
+//! facade crate's `Endpoint` front-end.
 //!
 //! Unlike [`SimCluster`](crate::cluster::SimCluster), which models time and
 //! hardware and drives processes from scripts, the loopback cluster pumps
@@ -18,8 +18,8 @@
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
-    Action, Completion, CompletionQueue, Endpoint, OpId, ProcessId, ProtocolConfig, RecvBuf,
-    RecvOp, Result, SendOp, Tag, TruncationPolicy, U64Index,
+    Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, OpId, ProcessId,
+    ProtocolConfig, RawTransport, RecvBuf, RecvOp, Result, SendOp, Tag, TruncationPolicy, U64Index,
 };
 
 use bytes::Bytes;
@@ -147,17 +147,37 @@ impl LoopbackCluster {
     ///
     /// Panics if the process was already added.
     pub fn add_endpoint(&self, id: ProcessId) -> LoopbackEndpoint {
+        self.add_endpoint_with(id, &EndpointConfig::new())
+    }
+
+    /// Adds a process with per-endpoint configuration overrides: the
+    /// completion-retention cap, go-back-N window, and BTP eager threshold
+    /// from `config` replace the cluster-wide defaults for this endpoint
+    /// only.
+    ///
+    /// Only the protocol-and-queue overrides (retention cap, window, eager
+    /// threshold) apply here; the config's default *truncation policy* is a
+    /// front-end concern — wrap the returned endpoint in the facade's
+    /// `Endpoint::with_config(raw, config)` to honor it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process was already added or the resulting protocol
+    /// configuration is invalid.
+    pub fn add_endpoint_with(&self, id: ProcessId, config: &EndpointConfig) -> LoopbackEndpoint {
         let mut router = self.router.lock().unwrap();
         assert!(
             router.index.get(id.as_u64()).is_none(),
             "endpoint {id} added twice"
         );
+        let mut done = CompletionQueue::new();
+        config.apply_retention(&mut done);
         let idx = router.procs.len() as u32;
         router.index.insert(id.as_u64(), idx);
         router.procs.push(Proc {
             id,
-            engine: Endpoint::new(id, self.protocol.clone()),
-            done: CompletionQueue::new(),
+            engine: Endpoint::new(id, config.apply_protocol(self.protocol.clone())),
+            done,
         });
         LoopbackEndpoint {
             router: self.router.clone(),
@@ -209,6 +229,18 @@ impl LoopbackEndpoint {
         self.with_engine(|e| e.post_send(peer, tag, data))
     }
 
+    /// Posts a vectored send: `segments` arrive as one concatenated message
+    /// but are never coalesced on the wire; see
+    /// [`Endpoint::post_send_vectored`](ppmsg_core::Endpoint::post_send_vectored).
+    pub fn post_send_vectored(
+        &self,
+        peer: ProcessId,
+        tag: Tag,
+        segments: &[Bytes],
+    ) -> Result<SendOp> {
+        self.with_engine(|e| e.post_send_vectored(peer, tag, segments))
+    }
+
     /// Posts an engine-buffered receive (wildcards allowed).
     pub fn post_recv(
         &self,
@@ -243,13 +275,6 @@ impl LoopbackEndpoint {
         self.with_engine(|e| e.cancel_send(op))
     }
 
-    /// Drains every completion produced so far into `out`, oldest first.
-    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
-        let mut router = self.router.lock().unwrap();
-        let idx = router.idx(self.id).expect("endpoint registered");
-        router.procs[idx].done.drain_into(out);
-    }
-
     /// Takes the completion of `op` if the operation has finished.  The
     /// cluster is synchronous, so anything that can complete has already
     /// completed by the time this is called — there is nothing to wait for.
@@ -259,36 +284,71 @@ impl LoopbackEndpoint {
         router.procs[idx].done.take(op)
     }
 
-    /// Takes the completion of `op`, registering `waker` to be woken when it
-    /// lands if the operation is still in flight.  This is the poll
-    /// primitive behind the async front-end's futures.
-    pub fn poll_completion(&self, op: OpId, waker: &Waker) -> Option<Completion> {
-        let mut router = self.router.lock().unwrap();
-        let idx = router.idx(self.id).expect("endpoint registered");
-        router.procs[idx].done.take_or_register(op, waker)
-    }
-
-    /// Exempts `op`'s completion from retention eviction until claimed; see
-    /// [`CompletionQueue::register_interest`](ppmsg_core::CompletionQueue::register_interest).
-    pub fn register_interest(&self, op: OpId) {
-        let mut router = self.router.lock().unwrap();
-        let idx = router.idx(self.id).expect("endpoint registered");
-        router.procs[idx].done.register_interest(op);
-    }
-
-    /// Drops any waker registered for `op` (an abandoned await); see
-    /// [`CompletionQueue::deregister`](ppmsg_core::CompletionQueue::deregister).
-    pub fn deregister_interest(&self, op: OpId) {
-        let mut router = self.router.lock().unwrap();
-        let idx = router.idx(self.id).expect("endpoint registered");
-        router.procs[idx].done.deregister(op);
-    }
-
-    /// Protocol statistics of this endpoint.
-    pub fn stats(&self) -> ppmsg_core::EndpointStats {
+    /// Protocol statistics of this endpoint, including the completion
+    /// queue's eviction counter
+    /// ([`EndpointStats::completions_evicted`]).
+    pub fn stats(&self) -> EndpointStats {
         let router = self.router.lock().unwrap();
         let idx = router.idx(self.id).expect("endpoint registered");
-        router.procs[idx].engine.stats()
+        let mut stats = router.procs[idx].engine.stats();
+        stats.completions_evicted = router.procs[idx].done.evicted();
+        stats
+    }
+}
+
+/// The loopback binding's backend contract: every post routes the cluster
+/// to quiescence synchronously, and completion access goes through the
+/// per-process queue under the router lock (wakers collected while routing
+/// are invoked only after the lock is released).
+impl RawTransport for LoopbackEndpoint {
+    fn local_id(&self) -> ProcessId {
+        self.id()
+    }
+
+    fn post_send(&self, peer: ProcessId, tag: Tag, data: Bytes) -> Result<SendOp> {
+        LoopbackEndpoint::post_send(self, peer, tag, data)
+    }
+
+    fn post_send_vectored(&self, peer: ProcessId, tag: Tag, segments: &[Bytes]) -> Result<SendOp> {
+        LoopbackEndpoint::post_send_vectored(self, peer, tag, segments)
+    }
+
+    fn post_recv(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        capacity: usize,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        LoopbackEndpoint::post_recv(self, src, tag, capacity, policy)
+    }
+
+    fn post_recv_into(
+        &self,
+        src: ProcessId,
+        tag: Tag,
+        buf: RecvBuf,
+        policy: TruncationPolicy,
+    ) -> Result<RecvOp> {
+        LoopbackEndpoint::post_recv_into(self, src, tag, buf, policy)
+    }
+
+    fn cancel_recv(&self, op: RecvOp) -> bool {
+        LoopbackEndpoint::cancel(self, op)
+    }
+
+    fn cancel_send(&self, op: SendOp) -> bool {
+        LoopbackEndpoint::cancel_send(self, op)
+    }
+
+    fn with_completions(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
+        let mut router = self.router.lock().unwrap();
+        let idx = router.idx(self.id).expect("endpoint registered");
+        f(&mut router.procs[idx].done);
+    }
+
+    fn stats(&self) -> EndpointStats {
+        LoopbackEndpoint::stats(self)
     }
 }
 

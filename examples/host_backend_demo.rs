@@ -16,16 +16,24 @@ fn main() {
         0,
         ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
     );
-    let a = cluster.add_endpoint(0);
-    let b = cluster.add_endpoint(1);
+    let a = Endpoint::new(cluster.add_endpoint(0));
+    let b = Endpoint::new(cluster.add_endpoint(1));
     let data = Bytes::from(vec![1u8; 65536]);
     let start = Instant::now();
     let iters = 2000;
     for _ in 0..iters {
-        a.send(b.id(), Tag(1), data.clone());
-        let got = b.recv(a.id(), Tag(1), data.len(), timeout).unwrap();
-        b.send(a.id(), Tag(2), got);
-        a.recv(b.id(), Tag(2), data.len(), timeout).unwrap();
+        // Post the send, then receive: a large message only completes its
+        // send once the receiver's pull has been served, so a blocking send
+        // before the matching receive would deadlock.
+        let s1 = a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
+        let got = b
+            .recv_blocking(a.local_id(), Tag(1), data.len(), timeout)
+            .unwrap();
+        let s2 = b.post_send(a.local_id(), Tag(2), got).unwrap();
+        a.recv_blocking(b.local_id(), Tag(2), data.len(), timeout)
+            .unwrap();
+        a.wait(OpId::Send(s1), timeout).unwrap();
+        b.wait(OpId::Send(s2), timeout).unwrap();
     }
     let elapsed = start.elapsed();
     let bytes = 2.0 * iters as f64 * data.len() as f64;
@@ -41,14 +49,20 @@ fn main() {
     let ub = UdpEndpoint::bind(ProcessId::new(1, 0), proto, "127.0.0.1:0").unwrap();
     ua.add_peer(ub.id(), ub.local_addr().unwrap());
     ub.add_peer(ua.id(), ua.local_addr().unwrap());
+    let (ua, ub) = (Endpoint::new(ua), Endpoint::new(ub));
     let data = Bytes::from(vec![2u8; 4096]);
     let start = Instant::now();
     let iters = 500;
     for _ in 0..iters {
-        ua.send(ub.id(), Tag(1), data.clone());
-        let got = ub.recv(ua.id(), Tag(1), data.len(), timeout).unwrap();
-        ub.send(ua.id(), Tag(2), got);
-        ua.recv(ub.id(), Tag(2), data.len(), timeout).unwrap();
+        let s1 = ua.post_send(ub.local_id(), Tag(1), data.clone()).unwrap();
+        let got = ub
+            .recv_blocking(ua.local_id(), Tag(1), data.len(), timeout)
+            .unwrap();
+        let s2 = ub.post_send(ua.local_id(), Tag(2), got).unwrap();
+        ua.recv_blocking(ub.local_id(), Tag(2), data.len(), timeout)
+            .unwrap();
+        ua.wait(OpId::Send(s1), timeout).unwrap();
+        ub.wait(OpId::Send(s2), timeout).unwrap();
     }
     let elapsed = start.elapsed();
     println!(

@@ -8,6 +8,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use bytes::Bytes;
+// This example drives the sans-I/O protocol *engine* by hand; the explicit
+// import shadows the prelude's transport front-end of the same name.
+use push_pull_messaging::core::Endpoint;
 use push_pull_messaging::prelude::*;
 
 /// Relays one endpoint's actions into the other, printing each step.

@@ -40,8 +40,10 @@ fn reply_for(request: &[u8]) -> Bytes {
 
 /// Runs the request/reply exchange: `endpoints[0]` serves, the rest are
 /// clients.  Returns the number of replies received, which the caller checks
-/// against the expected total.
-fn run_request_reply<T: AsyncTransport + 'static>(endpoints: Vec<T>, label: &str) -> usize {
+/// against the expected total.  Generic over the backend through the
+/// `Endpoint<T: RawTransport>` front-end — the same function also accepts
+/// `Endpoint<Box<dyn RawTransport>>` for heterogeneous fleets.
+fn run_request_reply<T: RawTransport + 'static>(endpoints: Vec<Endpoint<T>>, label: &str) -> usize {
     let total = (endpoints.len() - 1) * REQUESTS_PER_CLIENT;
     let replies = Arc::new(Mutex::new(0usize));
     let mut driver = Driver::new();
@@ -111,9 +113,9 @@ fn main() {
     // every run.
     let cluster =
         LoopbackCluster::new(ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024));
-    let mut endpoints = vec![cluster.add_endpoint(ProcessId::new(0, 0))];
+    let mut endpoints = vec![Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)))];
     for rank in 1..=CLIENTS as u32 {
-        endpoints.push(cluster.add_endpoint(ProcessId::new(rank, 0)));
+        endpoints.push(Endpoint::new(cluster.add_endpoint(ProcessId::new(rank, 0))));
     }
     assert_eq!(run_request_reply(endpoints, "loopback"), expected);
 
@@ -123,9 +125,9 @@ fn main() {
         0,
         ProtocolConfig::paper_intranode().with_pushed_buffer(128 * 1024),
     );
-    let mut endpoints = vec![cluster.add_endpoint(0)];
+    let mut endpoints = vec![Endpoint::new(cluster.add_endpoint(0))];
     for rank in 1..=CLIENTS as u32 {
-        endpoints.push(cluster.add_endpoint(rank));
+        endpoints.push(Endpoint::new(cluster.add_endpoint(rank)));
     }
     assert_eq!(run_request_reply(endpoints, "intranode"), expected);
 
@@ -134,19 +136,19 @@ fn main() {
     let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
     let mut endpoints = Vec::new();
     for rank in 0..=CLIENTS as u32 {
-        endpoints.push(
+        endpoints.push(Endpoint::new(
             UdpEndpoint::bind(ProcessId::new(rank, 0), proto.clone(), "127.0.0.1:0")
                 .expect("bind UDP endpoint"),
-        );
+        ));
     }
     let addrs: Vec<_> = endpoints
         .iter()
-        .map(|e| (e.id(), e.local_addr().unwrap()))
+        .map(|e| (e.local_id(), e.raw().local_addr().unwrap()))
         .collect();
     for endpoint in &endpoints {
         for (id, addr) in &addrs {
-            if *id != endpoint.id() {
-                endpoint.add_peer(*id, *addr);
+            if *id != endpoint.local_id() {
+                endpoint.raw().add_peer(*id, *addr);
             }
         }
     }

@@ -1,16 +1,21 @@
-//! The async front-end: completion-driven futures over any [`Transport`]
-//! backend, plus the executors that drive them.
+//! The async front-end: completion-driven futures over any
+//! [`RawTransport`] backend, plus the executors that drive them.
 //!
-//! [`AsyncTransport`] adds `send(...).await` / `recv(...).await` /
-//! `recv_into(...).await` on top of the posted-operations API.  Posting is
-//! unchanged — the same generation-checked handles, the same engine — but
-//! instead of blocking in `wait`, a task parks its [`Waker`] in the
-//! endpoint's [`CompletionQueue`](ppmsg_core::CompletionQueue) (keyed by op
-//! slot + generation) and is woken exactly when its completion is published.
-//! One thread can therefore overlap any number of in-flight operations — the
+//! [`Endpoint`](crate::transport::Endpoint)'s `send(...)` / `recv(...)` /
+//! `recv_into(...)` combinators return an [`OpFuture`] resolving to the
+//! operation's [`Completion`].  Posting is unchanged — the same
+//! generation-checked handles, the same engine — but instead of blocking in
+//! `wait`, a task parks its [`Waker`] in the endpoint's
+//! [`CompletionQueue`](ppmsg_core::CompletionQueue) (keyed by op slot +
+//! generation) and is woken exactly when its completion is published.  One
+//! thread can therefore overlap any number of in-flight operations — the
 //! paper's latency-hiding postal model carried through to the application
 //! layer, and the single-progress-loop concurrency model of non-threaded
 //! event handling frameworks rather than a thread per blocking `wait`.
+//!
+//! [`OpFuture`] is generic over the **raw** backend, so it works both
+//! through the [`Endpoint`](crate::transport::Endpoint) front-end and
+//! directly over a backend handle (or a `Box<dyn RawTransport>`).
 //!
 //! Two executors are provided, both dependency-free:
 //!
@@ -29,148 +34,81 @@
 //!   driver through the waker table.
 //!
 //! [`LoopbackCluster`]: ppmsg_sim::LoopbackCluster
+//!
+//! ```
+//! use push_pull_messaging::prelude::*;
+//! use bytes::Bytes;
+//!
+//! // One task overlaps two receives with a send on the deterministic
+//! // loopback cluster; the same code drives the host backends.
+//! let cluster = LoopbackCluster::new(ProtocolConfig::paper_intranode());
+//! let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+//! let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 1)));
+//! block_on(async {
+//!     let first = b.recv(a.local_id(), Tag(1), 1024, TruncationPolicy::Error).unwrap();
+//!     let second = b.recv(a.local_id(), Tag(2), 1024, TruncationPolicy::Error).unwrap();
+//!     a.send(b.local_id(), Tag(2), Bytes::from(b"two".to_vec())).unwrap().await;
+//!     a.send(b.local_id(), Tag(1), Bytes::from(b"one".to_vec())).unwrap().await;
+//!     let one = first.await;
+//!     let two = second.await;
+//!     assert_eq!(one.data.unwrap(), Bytes::from(b"one".to_vec()));
+//!     assert_eq!(two.data.unwrap(), Bytes::from(b"two".to_vec()));
+//! });
+//! ```
 
-use crate::transport::Transport;
-use bytes::Bytes;
-use ppmsg_core::{Completion, OpId, ProcessId, RecvBuf, Result, Tag, TruncationPolicy};
+use ppmsg_core::{Completion, OpId, RawTransport};
 use std::collections::VecDeque;
+use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::Thread;
-
-/// A [`Transport`] whose operation completions can be awaited.
-///
-/// The single required method, [`AsyncTransport::poll_op`], claims an
-/// operation's completion or registers the calling task's waker — check and
-/// registration are one atomic step inside the endpoint's completion-queue
-/// lock, so a completion published concurrently can never be missed.  The
-/// provided combinators post an operation and return an [`OpFuture`] that
-/// resolves to its [`Completion`].
-///
-/// ```
-/// use push_pull_messaging::prelude::*;
-/// use bytes::Bytes;
-///
-/// // One task overlaps two receives with a send on the deterministic
-/// // loopback cluster; the same code drives the host backends.
-/// let cluster = LoopbackCluster::new(ProtocolConfig::paper_intranode());
-/// let a = cluster.add_endpoint(ProcessId::new(0, 0));
-/// let b = cluster.add_endpoint(ProcessId::new(0, 1));
-/// block_on(async {
-///     let first = b.recv(a.id(), Tag(1), 1024, TruncationPolicy::Error).unwrap();
-///     let second = b.recv(a.id(), Tag(2), 1024, TruncationPolicy::Error).unwrap();
-///     a.send(b.id(), Tag(2), Bytes::from(b"two".to_vec())).unwrap().await;
-///     a.send(b.id(), Tag(1), Bytes::from(b"one".to_vec())).unwrap().await;
-///     let one = first.await;
-///     let two = second.await;
-///     assert_eq!(one.data.unwrap(), Bytes::from(b"one".to_vec()));
-///     assert_eq!(two.data.unwrap(), Bytes::from(b"two".to_vec()));
-/// });
-/// ```
-pub trait AsyncTransport: Transport {
-    /// Claims the completion of `op` if the operation has finished;
-    /// otherwise registers `cx`'s waker to be woken when it does.  The two
-    /// halves are atomic with respect to completion publication
-    /// ([`Transport::poll_completion`]).
-    fn poll_op(&self, op: OpId, cx: &mut Context<'_>) -> Poll<Completion> {
-        match self.poll_completion(op, cx.waker()) {
-            Some(completion) => Poll::Ready(completion),
-            None => Poll::Pending,
-        }
-    }
-
-    /// Marks `op` as waited-on so its completion is exempt from the
-    /// endpoint's retention eviction from the moment the future exists —
-    /// even before its first poll registers a real waker.
-    fn note_interest(&self, op: OpId) {
-        self.register_interest(op);
-    }
-
-    /// Withdraws any waker or interest registered for `op` — called when an
-    /// [`OpFuture`] is dropped without resolving, so an abandoned await
-    /// hands the operation's completion back to the ordinary
-    /// drain/eviction flow instead of pinning it for a waiter that no
-    /// longer exists.
-    fn forget_interest(&self, op: OpId) {
-        self.deregister_interest(op);
-    }
-
-    /// Posts a send and returns a future resolving to its [`Completion`]
-    /// when the message has been fully handed to the transport (for
-    /// Push-Pull sends, when the receiver has pulled the remainder).
-    fn send(&self, peer: ProcessId, tag: Tag, data: Bytes) -> Result<OpFuture<'_, Self>> {
-        let op = self.post_send(peer, tag, data)?;
-        Ok(OpFuture::new(self, OpId::Send(op)))
-    }
-
-    /// Posts an engine-buffered receive (wildcards allowed) and returns a
-    /// future resolving to its [`Completion`]; the message bytes arrive in
-    /// the completion's `data` field.
-    fn recv(
-        &self,
-        src: ProcessId,
-        tag: Tag,
-        capacity: usize,
-        policy: TruncationPolicy,
-    ) -> Result<OpFuture<'_, Self>> {
-        let op = self.post_recv(src, tag, capacity, policy)?;
-        Ok(OpFuture::new(self, OpId::Recv(op)))
-    }
-
-    /// Posts a caller-buffered receive and returns a future resolving to its
-    /// [`Completion`]; the buffer comes back in the completion's `buf` field
-    /// (also on cancellation and failure), so one buffer can be recycled
-    /// across awaits indefinitely.
-    fn recv_into(
-        &self,
-        src: ProcessId,
-        tag: Tag,
-        buf: RecvBuf,
-        policy: TruncationPolicy,
-    ) -> Result<OpFuture<'_, Self>> {
-        let op = self.post_recv_into(src, tag, buf, policy)?;
-        Ok(OpFuture::new(self, OpId::Recv(op)))
-    }
-}
-
-/// Every [`Transport`] is an [`AsyncTransport`]: the poll/interest
-/// primitives are part of the `Transport` plumbing, so the async front-end
-/// comes for free on all backends (and any future one).
-impl<T: Transport + ?Sized> AsyncTransport for T {}
+use std::time::Instant;
 
 /// A posted operation's pending [`Completion`].
 ///
+/// Created by the [`Endpoint`](crate::transport::Endpoint) combinators, or
+/// directly with [`OpFuture::new`] over any [`RawTransport`] (including a
+/// `dyn` one).  Creating the future marks the operation as waited-on, so its
+/// completion cannot be retention-evicted before the first poll registers a
+/// real waker.
+///
 /// Dropping the future abandons the await but **not** the operation: its
 /// waker/interest registration is withdrawn on drop, so the transfer still
-/// runs and its completion stays claimable through [`Transport::wait`] /
-/// [`Transport::drain_completions`] like any fire-and-forget result (use
-/// [`Transport::cancel`] / [`Transport::cancel_send`] to actually revoke
-/// the operation).  Spurious wakes are harmless — a poll that finds no
-/// completion just re-registers the waker, and the slot + generation key
+/// runs and its completion stays claimable through
+/// [`Endpoint::wait`](crate::transport::Endpoint::wait) /
+/// [`Endpoint::drain_completions`](crate::transport::Endpoint::drain_completions)
+/// like any fire-and-forget result (use `cancel` / `cancel_send` to actually
+/// revoke the operation).  Spurious wakes are harmless — a poll that finds
+/// no completion just re-registers the waker, and the slot + generation key
 /// guarantees a resolved future can never observe a different (newer)
 /// operation's completion.
-#[derive(Debug)]
-pub struct OpFuture<'a, T: AsyncTransport + ?Sized> {
-    transport: &'a T,
+pub struct OpFuture<'a, T: RawTransport + ?Sized> {
+    raw: &'a T,
     op: OpId,
     done: bool,
+    /// `true` once a poll returned `Pending`, i.e. this future's task waker
+    /// is (or was) the registration held for the operation.  Before that,
+    /// the future's only possible registration is the bare interest from
+    /// [`OpFuture::new`] — which drop must distinguish, so an unpolled
+    /// future abandoned while a blocking wait is parked on the same
+    /// operation does not tear down the wait's waker.
+    registered: bool,
 }
 
-impl<'a, T: AsyncTransport + ?Sized> OpFuture<'a, T> {
+impl<'a, T: RawTransport + ?Sized> OpFuture<'a, T> {
     /// Wraps an already-posted operation (e.g. one posted through the
-    /// blocking [`Transport`] API, or re-awaited after a future was dropped)
-    /// so its completion can be awaited.  Creating the future marks the
-    /// operation as waited-on, so its completion cannot be evicted out from
-    /// under a task that has not been polled yet.
-    pub fn new(transport: &'a T, op: OpId) -> Self {
-        transport.note_interest(op);
+    /// blocking API, or re-awaited after a future was dropped) so its
+    /// completion can be awaited.
+    pub fn new(raw: &'a T, op: OpId) -> Self {
+        raw.register_interest(op);
         OpFuture {
-            transport,
+            raw,
             op,
             done: false,
+            registered: false,
         }
     }
 
@@ -180,41 +118,65 @@ impl<'a, T: AsyncTransport + ?Sized> OpFuture<'a, T> {
     }
 }
 
-impl<T: AsyncTransport + ?Sized> Future for OpFuture<'_, T> {
+impl<T: RawTransport + ?Sized> fmt::Debug for OpFuture<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpFuture")
+            .field("op", &self.op)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<T: RawTransport + ?Sized> Future for OpFuture<'_, T> {
     type Output = Completion;
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Completion> {
         assert!(!self.done, "OpFuture polled after completion");
-        match self.transport.poll_op(self.op, cx) {
-            Poll::Ready(completion) => {
+        match self.raw.poll_completion(self.op, cx.waker()) {
+            Some(completion) => {
                 self.done = true;
                 Poll::Ready(completion)
             }
-            Poll::Pending => Poll::Pending,
+            None => {
+                self.registered = true;
+                Poll::Pending
+            }
         }
     }
 }
 
-impl<T: AsyncTransport + ?Sized> Drop for OpFuture<'_, T> {
+impl<T: RawTransport + ?Sized> Drop for OpFuture<'_, T> {
     fn drop(&mut self) {
         // An abandoned await must not keep the operation's completion
         // pinned: withdraw the registration so the result is drainable and
         // evictable again.  (Resolved futures already cleared it at claim.)
-        if !self.done {
-            self.transport.forget_interest(self.op);
+        // Withdraw only what this future owns: after a Pending poll the
+        // registration is our task waker (remove it outright); before any
+        // poll it can only be our bare interest — `clear_interest` leaves a
+        // real waker some blocking waiter parked in the meantime alone.
+        if self.done {
+            return;
+        }
+        if self.registered {
+            self.raw.deregister_interest(self.op);
+        } else {
+            let op = self.op;
+            self.raw
+                .with_completions(&mut |queue| queue.clear_interest(op));
         }
     }
 }
 
-/// Wakes a parked thread (the [`block_on`] waker, and the [`Driver`]'s
-/// idle-parking signal).
-struct ThreadParker {
+/// Wakes a parked thread (the [`block_on`] waker, the [`Driver`]'s
+/// idle-parking signal, and the blocking
+/// [`Endpoint::wait`](crate::transport::Endpoint::wait)).
+pub(crate) struct ThreadParker {
     thread: Thread,
     notified: AtomicBool,
 }
 
 impl ThreadParker {
-    fn current() -> Arc<Self> {
+    pub(crate) fn current() -> Arc<Self> {
         Arc::new(ThreadParker {
             thread: std::thread::current(),
             notified: AtomicBool::new(false),
@@ -222,10 +184,22 @@ impl ThreadParker {
     }
 
     /// Parks the current thread until `notify` has been called since the
-    /// last `wait` returned.
+    /// last wait returned.
     fn wait(&self) {
         while !self.notified.swap(false, Ordering::Acquire) {
             std::thread::park();
+        }
+    }
+
+    /// Parks until notified or `deadline` passes, whichever comes first.
+    /// Spurious returns are allowed (the caller re-checks its condition).
+    pub(crate) fn wait_until(&self, deadline: Instant) {
+        while !self.notified.swap(false, Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            std::thread::park_timeout(deadline - now);
         }
     }
 
@@ -245,7 +219,7 @@ impl Wake for ThreadParker {
 }
 
 /// Runs one future to completion on the current thread, parking between
-/// polls — the async analogue of [`Transport::wait`] for straight-line code.
+/// polls — the async analogue of a blocking `wait` for straight-line code.
 /// The future is polled in place (no boxing); on the deterministic loopback
 /// backend it typically resolves without ever parking.
 pub fn block_on<F: Future>(future: F) -> F::Output {

@@ -5,23 +5,27 @@
 //! tests and downstream users can depend on a single package:
 //!
 //! * [`core`] — the sans-I/O protocol engine (Push-Zero / Push-Pull /
-//!   Push-All, BTP policy, go-back-N, zero-buffer descriptors) and the
-//!   typed operations layer (`SendOp`/`RecvOp` handles, completion queues,
-//!   caller-owned receive buffers, wildcards, cancellation).
+//!   Push-All, BTP policy, go-back-N, zero-buffer descriptors), the typed
+//!   operations layer (`SendOp`/`RecvOp` handles, completion queues,
+//!   caller-owned receive buffers, wildcards, cancellation, vectored
+//!   sends), and the object-safe [`RawTransport`] backend contract.
 //! * [`sim`] — the paper's testbed as a discrete-event simulation
 //!   plus the experiment harness for every figure, and the deterministic
 //!   loopback binding of the operations API.
 //! * [`host`] — the same engine over real shared memory
 //!   (threads) and UDP sockets.
-//! * [`transport`] — the [`Transport`] trait: one post / drain-completions /
-//!   wait front-end implemented by every backend.
-//! * [`async_transport`] — the [`AsyncTransport`] trait: `send(...).await` /
-//!   `recv(...).await` futures resolved from the per-endpoint completion
-//!   queue, plus the [`block_on`] and [`Driver`] executors.
+//! * [`transport`] — the generic [`Endpoint`]`<T: RawTransport>` front-end:
+//!   blocking `send`/`recv`/`wait`, async futures, vectored sends, borrowed
+//!   completion drains, and per-endpoint [`EndpointConfig`] overrides — all
+//!   shared code over the backend core.  **The PR-3 `Transport` /
+//!   `AsyncTransport` traits were replaced by this split; see the
+//!   [migration guide](transport) in the module docs.**
+//! * [`async_transport`] — the [`OpFuture`] completion future plus the
+//!   [`block_on`] and [`Driver`] executors.
 //! * [`simsmp`] / [`simnet`] — the SMP-node and Fast-Ethernet substrates.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the reproduction details.
+//! See `README.md` for a quickstart and the `Transport` → `RawTransport` /
+//! `Endpoint` migration table.
 
 pub use ppmsg_core as core;
 pub use ppmsg_host as host;
@@ -32,15 +36,20 @@ pub use simsmp;
 pub mod async_transport;
 pub mod transport;
 
-pub use async_transport::{block_on, AsyncTransport, Driver, OpFuture};
-pub use transport::Transport;
+pub use async_transport::{block_on, Driver, OpFuture};
+pub use transport::{Endpoint, EndpointConfig, RawTransport};
 
 /// The protocol types most users need, re-exported flat.
+///
+/// Note that [`Endpoint`] here is the generic transport front-end
+/// ([`transport::Endpoint`]); the sans-I/O protocol engine it drives is
+/// `ppmsg_core::Endpoint` (import it explicitly when
+/// relaying actions by hand).
 pub mod prelude {
-    pub use crate::async_transport::{block_on, AsyncTransport, Driver, OpFuture};
-    pub use crate::transport::Transport;
+    pub use crate::async_transport::{block_on, Driver, OpFuture};
+    pub use crate::transport::{Endpoint, EndpointConfig, RawTransport};
     pub use ppmsg_core::{
-        Action, BtpPolicy, Completion, Endpoint, OpId, OptFlags, ProcessId, ProtocolConfig,
+        Action, BtpPolicy, Claim, Completion, OpId, OptFlags, ProcessId, ProtocolConfig,
         ProtocolMode, RecvBuf, RecvOp, SendOp, Status, Tag, TruncationPolicy,
     };
     pub use ppmsg_host::{HostCluster, HostEndpoint, UdpEndpoint};

@@ -90,8 +90,8 @@ proptest! {
         let cluster = LoopbackCluster::new(
             ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024),
         );
-        let a = cluster.add_endpoint(ProcessId::new(0, 0));
-        let b = cluster.add_endpoint(ProcessId::new(0, 1));
+        let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+        let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 1)));
         let (counter, waker) = CountingWaker::pair();
 
         let mut pending: Vec<PendingRecv<'_>> = Vec::new();
@@ -133,7 +133,7 @@ proptest! {
                 // resolves on this very first poll).
                 0 => {
                     let fut = b
-                        .recv(a.id(), Tag(t), 4096, TruncationPolicy::Error)
+                        .recv(a.local_id(), Tag(t), 4096, TruncationPolicy::Error)
                         .unwrap();
                     pending.push(PendingRecv { fut, tag: t, cancelled: false, registered: false });
                     let i = pending.len() - 1;
@@ -157,7 +157,7 @@ proptest! {
                 // Send a matching message (the loopback cluster routes it to
                 // quiescence synchronously, waking any registered waker).
                 3 => {
-                    a.post_send(b.id(), Tag(t), Bytes::from(vec![t as u8; 64])).unwrap();
+                    a.post_send(b.local_id(), Tag(t), Bytes::from(vec![t as u8; 64])).unwrap();
                 }
                 // Abandon an await: drop the future mid-flight.  The drop
                 // must deregister, handing the operation's eventual

@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: the protocol engine driven by the
-//! simulator and by the host backend must agree on behaviour, and the
-//! simulated figures must keep the qualitative shapes the paper reports.
+//! simulator and by the host backend must agree on behaviour, heterogeneous
+//! backends must be drivable behind one `Box<dyn RawTransport>` type, and
+//! the simulated figures must keep the qualitative shapes the paper
+//! reports.  (Per-backend behavioural conformance lives in
+//! `tests/conformance.rs`, written once and instantiated per backend.)
 
 use bytes::Bytes;
 use ppmsg_sim::experiments::{
@@ -34,12 +37,13 @@ fn host_and_sim_backends_both_deliver_all_modes() {
                 .with_mode(mode)
                 .with_pushed_buffer(128 * 1024),
         );
-        let a = cluster.add_endpoint(0);
-        let b = cluster.add_endpoint(1);
+        let a = Endpoint::new(cluster.add_endpoint(0));
+        let b = Endpoint::new(cluster.add_endpoint(1));
         let data = payload(10_000);
-        a.send(b.id(), Tag(1), data.clone());
+        a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
         assert_eq!(
-            b.recv(a.id(), Tag(1), 10_000, TIMEOUT).expect("host recv"),
+            b.recv_blocking(a.local_id(), Tag(1), 10_000, TIMEOUT)
+                .expect("host recv"),
             data,
             "host backend, mode {mode:?}"
         );
@@ -75,190 +79,64 @@ fn host_and_sim_backends_both_deliver_all_modes() {
     }
 }
 
-/// Exercises the shared `Transport` front-end on any backend: exact and
-/// wildcard matching, caller-owned buffers, cancellation, and batch
-/// completion draining.  The same function runs against the intranode
-/// fabric, the UDP backend, and the sim-cluster loopback binding.
-fn exercise_transport<T: Transport>(a: &T, b: &T, label: &str) {
-    use push_pull_messaging::core::{ANY_SOURCE, ANY_TAG};
+/// One type-erased endpoint: any backend behind one concrete type.
+type DynEndpoint = Endpoint<Box<dyn RawTransport>>;
 
-    // Exact-match blocking round trip through the provided conveniences.
+/// A non-generic exchange over the type-erased front-end: this function
+/// compiles against `Endpoint<Box<dyn RawTransport>>` only — no type
+/// parameter, no monomorphisation per backend.
+fn exchange_dyn(a: &DynEndpoint, b: &DynEndpoint, label: &str) {
     let data = payload(4096);
     let recv = b
-        .post_recv(a.local_id(), Tag(1), 4096, TruncationPolicy::Error)
+        .post_recv(a.local_id(), Tag(5), 4096, TruncationPolicy::Error)
         .unwrap();
-    let sent = a
-        .send_blocking(b.local_id(), Tag(1), data.clone(), TIMEOUT)
-        .expect("send completed");
-    assert_eq!(sent, 4096, "{label}");
-    let done = b.wait(OpId::Recv(recv), TIMEOUT).expect("recv completed");
-    assert_eq!(done.status, Status::Ok, "{label}");
-    assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
-
-    // Wildcard receive: reports the concrete source and tag.
-    let wild = b
-        .post_recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
-        .unwrap();
-    a.send_blocking(b.local_id(), Tag(42), data.clone(), TIMEOUT)
-        .expect("wildcard send");
-    let done = b.wait(OpId::Recv(wild), TIMEOUT).expect("wildcard recv");
-    assert_eq!(done.peer, a.local_id(), "{label}");
-    assert_eq!(done.tag, Tag(42), "{label}");
-    assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
-
-    // Caller-owned buffer: the multi-fragment pull path lands in our
-    // storage and the buffer comes back in the completion.
-    let op = b
-        .post_recv_into(
-            a.local_id(),
-            Tag(2),
-            RecvBuf::with_capacity(4096),
-            TruncationPolicy::Error,
-        )
-        .unwrap();
-    a.send_blocking(b.local_id(), Tag(2), data.clone(), TIMEOUT)
-        .expect("recv_into send");
-    let done = b.wait(OpId::Recv(op), TIMEOUT).expect("recv_into recv");
-    assert_eq!(done.status, Status::Ok, "{label}");
-    let buf = done.buf.expect("buffer handed back");
-    assert_eq!(buf.as_slice(), &data[..], "{label}");
-
-    // Cancellation: the op completes Cancelled, never with data, and the
-    // message posted afterwards goes to the replacement receive.
-    let doomed = b
-        .post_recv(a.local_id(), Tag(3), 4096, TruncationPolicy::Error)
-        .unwrap();
-    assert!(b.cancel(doomed), "{label}: pending recv must cancel");
-    assert!(!b.cancel(doomed), "{label}: stale handle must not cancel");
-    let done = b.wait(OpId::Recv(doomed), TIMEOUT).expect("cancellation");
-    assert_eq!(done.status, Status::Cancelled, "{label}");
-    let replacement = b
-        .post_recv(a.local_id(), Tag(3), 4096, TruncationPolicy::Error)
-        .unwrap();
-    a.send_blocking(b.local_id(), Tag(3), data.clone(), TIMEOUT)
-        .expect("post-cancel send");
+    a.send_blocking(b.local_id(), Tag(5), data.clone(), TIMEOUT)
+        .unwrap_or_else(|| panic!("{label}: dyn send"));
     let done = b
-        .wait(OpId::Recv(replacement), TIMEOUT)
-        .expect("replacement");
+        .wait(OpId::Recv(recv), TIMEOUT)
+        .unwrap_or_else(|| panic!("{label}: dyn recv"));
+    assert_eq!(done.status, Status::Ok, "{label}");
     assert_eq!(done.data.as_deref(), Some(&data[..]), "{label}");
-
-    // Batch draining: nothing left over after the waits above.
-    let mut leftovers = Vec::new();
-    b.drain_completions(&mut leftovers);
-    assert!(
-        leftovers.iter().all(|c| matches!(c.op, OpId::Send(_))),
-        "{label}: no receive completions may linger"
-    );
+    // The async combinators work unchanged through the erased type.
+    let echoed = block_on(async {
+        let recv = a
+            .recv(b.local_id(), Tag(6), 4096, TruncationPolicy::Error)
+            .unwrap();
+        b.send(a.local_id(), Tag(6), data.clone()).unwrap().await;
+        recv.await
+    });
+    assert_eq!(echoed.data.as_deref(), Some(&data[..]), "{label}");
 }
 
+/// `Box<dyn RawTransport>` is a first-class backend: endpoints of **two
+/// different backends** (the intranode shared-memory fabric and the
+/// sim-cluster loopback binding) live in one routing table behind one
+/// concrete type and are driven by one non-generic function.
 #[test]
-fn transport_trait_drives_intranode_udp_and_loopback_backends() {
-    // Intranode shared-memory fabric.
-    let cluster = HostCluster::new(
+fn dyn_raw_transport_routes_over_two_backends_behind_one_type() {
+    let host = HostCluster::new(
         0,
         ProtocolConfig::paper_intranode().with_pushed_buffer(128 * 1024),
     );
-    let a = cluster.add_endpoint(0);
-    let b = cluster.add_endpoint(1);
-    exercise_transport(&a, &b, "intranode");
+    let loopback =
+        LoopbackCluster::new(ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024));
 
-    // UDP internode backend.
-    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
-    let a = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
-    let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto.clone(), "127.0.0.1:0").unwrap();
-    a.add_peer(b.id(), b.local_addr().unwrap());
-    b.add_peer(a.id(), a.local_addr().unwrap());
-    exercise_transport(&a, &b, "udp");
-
-    // Deterministic sim-cluster loopback binding.
-    let cluster = LoopbackCluster::new(proto);
-    let a = cluster.add_endpoint(ProcessId::new(0, 0));
-    let b = cluster.add_endpoint(ProcessId::new(1, 0));
-    exercise_transport(&a, &b, "loopback");
-}
-
-/// Exercises the async front-end on any backend: overlapped sends and
-/// receives awaited out of posting order, caller-owned buffers recycled
-/// across awaits, and send cancellation reclaiming an unpulled payload.
-fn exercise_async_transport<T: AsyncTransport>(a: &T, b: &T, label: &str) {
-    use push_pull_messaging::core::{ANY_SOURCE, ANY_TAG};
-
-    let data = payload(4096);
-
-    // Overlap two receives and two sends in one task; await the second
-    // exchange first to prove completions resolve by operation, not order.
-    let (one, two) = block_on(async {
-        let first = b
-            .recv(a.local_id(), Tag(1), 4096, TruncationPolicy::Error)
-            .unwrap();
-        let second = b
-            .recv(ANY_SOURCE, ANY_TAG, 4096, TruncationPolicy::Error)
-            .unwrap();
-        let s1 = a.send(b.local_id(), Tag(1), data.clone()).unwrap();
-        let s2 = a.send(b.local_id(), Tag(2), data.clone()).unwrap();
-        let two = second.await;
-        let one = first.await;
-        s2.await;
-        s1.await;
-        (one, two)
-    });
-    assert_eq!(one.status, Status::Ok, "{label}");
-    assert_eq!(one.data.as_deref(), Some(&data[..]), "{label}");
-    assert_eq!(two.tag, Tag(2), "{label}: wildcard reports concrete tag");
-    assert_eq!(two.data.as_deref(), Some(&data[..]), "{label}");
-
-    // Caller-owned buffer recycled across two awaited receives.
-    block_on(async {
-        let mut buf = RecvBuf::with_capacity(4096);
-        for round in 0..2 {
-            let recv = b
-                .recv_into(a.local_id(), Tag(3), buf, TruncationPolicy::Error)
-                .unwrap();
-            a.send(b.local_id(), Tag(3), data.clone()).unwrap().await;
-            let done = recv.await;
-            assert!(matches!(done.status, Status::Ok), "round {round}");
-            buf = done.buf.expect("buffer handed back");
-            assert_eq!(buf.as_slice(), &data[..], "round {round}");
-        }
-    });
-
-    // cancel_send through the Transport front-end: a send whose pull never
-    // comes is reclaimed with a Cancelled completion.  The pushed buffer is
-    // far smaller than 256 KiB, so a remainder is always registered for
-    // pulling, and no receive is ever posted to pull it.
-    let unpulled = a
-        .post_send(b.local_id(), Tag(99), payload(256 * 1024))
-        .unwrap();
-    assert!(
-        a.cancel_send(unpulled),
-        "{label}: unpulled send must cancel"
-    );
-    assert!(!a.cancel_send(unpulled), "{label}: stale handle");
-    let done = block_on(OpFuture::new(a, OpId::Send(unpulled)));
-    assert_eq!(done.status, Status::Cancelled, "{label}");
-}
-
-#[test]
-fn async_transport_drives_intranode_udp_and_loopback_backends() {
-    let cluster = HostCluster::new(
-        0,
-        ProtocolConfig::paper_intranode().with_pushed_buffer(128 * 1024),
-    );
-    let a = cluster.add_endpoint(0);
-    let b = cluster.add_endpoint(1);
-    exercise_async_transport(&a, &b, "intranode");
-
-    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
-    let a = UdpEndpoint::bind(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0").unwrap();
-    let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto.clone(), "127.0.0.1:0").unwrap();
-    a.add_peer(b.id(), b.local_addr().unwrap());
-    b.add_peer(a.id(), a.local_addr().unwrap());
-    exercise_async_transport(&a, &b, "udp");
-
-    let cluster = LoopbackCluster::new(proto);
-    let a = cluster.add_endpoint(ProcessId::new(0, 0));
-    let b = cluster.add_endpoint(ProcessId::new(1, 0));
-    exercise_async_transport(&a, &b, "loopback");
+    // One table, two backends, one element type.
+    let table: Vec<(&str, DynEndpoint, DynEndpoint)> = vec![
+        (
+            "host",
+            Endpoint::new(host.add_endpoint(0)).boxed(),
+            Endpoint::new(host.add_endpoint(1)).boxed(),
+        ),
+        (
+            "loopback",
+            Endpoint::new(loopback.add_endpoint(ProcessId::new(0, 0))).boxed(),
+            Endpoint::new(loopback.add_endpoint(ProcessId::new(1, 0))).boxed(),
+        ),
+    ];
+    for (label, a, b) in &table {
+        exchange_dyn(a, b, label);
+    }
 }
 
 /// N async receives posted interleaved (wildcard and exact) complete in
@@ -272,8 +150,8 @@ fn loopback_async_receives_complete_in_posting_order() {
     const N: usize = 16;
     let cluster =
         LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(256 * 1024));
-    let a = cluster.add_endpoint(ProcessId::new(0, 0));
-    let b = cluster.add_endpoint(ProcessId::new(0, 1));
+    let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+    let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 1)));
 
     let order: StdArc<Mutex<Vec<usize>>> = StdArc::new(Mutex::new(Vec::new()));
     let mut driver = Driver::new();
@@ -300,7 +178,7 @@ fn loopback_async_receives_complete_in_posting_order() {
     driver.run_until_stalled();
     {
         let a = a.clone();
-        let b_id = b.id();
+        let b_id = b.local_id();
         driver.spawn(async move {
             for i in 0..N {
                 a.send(b_id, Tag(1), Bytes::from(vec![i as u8; 8]))
@@ -324,14 +202,16 @@ fn loopback_async_receives_complete_in_posting_order() {
 fn driver_reuses_task_slots_across_many_spawns() {
     let cluster =
         LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
-    let a = cluster.add_endpoint(ProcessId::new(0, 0));
-    let b = cluster.add_endpoint(ProcessId::new(0, 1));
+    let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+    let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 1)));
     let mut driver = Driver::new();
     for i in 0..100u32 {
         let (a, b) = (a.clone(), b.clone());
         driver.spawn(async move {
-            let recv = b.recv(a.id(), Tag(1), 64, TruncationPolicy::Error).unwrap();
-            a.send(b.id(), Tag(1), Bytes::from(vec![i as u8; 8]))
+            let recv = b
+                .recv(a.local_id(), Tag(1), 64, TruncationPolicy::Error)
+                .unwrap();
+            a.send(b.local_id(), Tag(1), Bytes::from(vec![i as u8; 8]))
                 .unwrap()
                 .await;
             let done = recv.await;
@@ -354,15 +234,53 @@ fn udp_and_intranode_backends_interoperate_with_same_engine_config() {
     let b = UdpEndpoint::bind(ProcessId::new(1, 0), proto, "127.0.0.1:0").unwrap();
     a.add_peer(b.id(), b.local_addr().unwrap());
     b.add_peer(a.id(), a.local_addr().unwrap());
+    let (a, b) = (Endpoint::new(a), Endpoint::new(b));
     for len in [1usize, 80, 760, 1460, 8192, 40_000] {
         let data = payload(len);
-        a.send(b.id(), Tag(4), data.clone());
+        a.post_send(b.local_id(), Tag(4), data.clone()).unwrap();
         assert_eq!(
-            b.recv(a.id(), Tag(4), len, TIMEOUT).unwrap(),
+            b.recv_blocking(a.local_id(), Tag(4), len, TIMEOUT).unwrap(),
             data,
             "len {len}"
         );
     }
+}
+
+/// Per-endpoint protocol overrides through a backend `*_with` constructor:
+/// a `gbn_window` / `eager_threshold` override shapes one endpoint's engine
+/// without touching its cluster siblings.
+#[test]
+fn endpoint_config_overrides_protocol_per_endpoint() {
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024));
+    // `a` pushes everything below 2 KiB eagerly; `c` keeps the paper's
+    // 80+680 split.
+    let a = Endpoint::new(cluster.add_endpoint_with(
+        ProcessId::new(0, 0),
+        &EndpointConfig::new().eager_threshold(2048).gbn_window(4),
+    ));
+    let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0)));
+    let c = Endpoint::new(cluster.add_endpoint(ProcessId::new(2, 0)));
+
+    let data = payload(1500);
+    // From the eager endpoint: the whole 1500-byte message is pushed (no
+    // pull phase), even though the cluster default would pull past 760.
+    let recv = b
+        .post_recv(a.local_id(), Tag(1), 1500, TruncationPolicy::Error)
+        .unwrap();
+    a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
+    let done = b.wait(OpId::Recv(recv), TIMEOUT).expect("eager delivery");
+    assert_eq!(done.data.as_deref(), Some(&data[..]));
+    assert_eq!(a.stats().pull_requests_served, 0, "nothing to pull");
+
+    // From the default endpoint the same message needs the pull phase.
+    let recv = b
+        .post_recv(c.local_id(), Tag(2), 1500, TruncationPolicy::Error)
+        .unwrap();
+    c.post_send(b.local_id(), Tag(2), data.clone()).unwrap();
+    let done = b.wait(OpId::Recv(recv), TIMEOUT).expect("pulled delivery");
+    assert_eq!(done.data.as_deref(), Some(&data[..]));
+    assert_eq!(c.stats().pull_requests_served, 1, "default path pulls");
 }
 
 #[test]

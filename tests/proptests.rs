@@ -10,6 +10,9 @@ use push_pull_messaging::core::zbuf::pages_spanned;
 use push_pull_messaging::core::{
     BtpPolicy, BtpSplit, MessageId, OptFlags, ProtocolMode, TruncationPolicy, ANY_SOURCE, ANY_TAG,
 };
+// The explicit import shadows the prelude's transport front-end: these
+// properties drive the sans-I/O protocol engine by hand.
+use push_pull_messaging::core::Endpoint;
 use push_pull_messaging::prelude::*;
 
 fn arb_mode() -> impl Strategy<Value = ProtocolMode> {
@@ -496,7 +499,7 @@ proptest! {
                         dst: ProcessId::new(1, 0),
                         tag: Tag(0),
                         msg_id: MessageId(next_id),
-                        data: Bytes::new(),
+                        payload: push_pull_messaging::core::SendPayload::Single(Bytes::new()),
                         split: BtpSplit::plan(
                             ProtocolMode::PushPull,
                             BtpPolicy::INTERNODE_DEFAULT,
@@ -672,6 +675,177 @@ proptest! {
                     prop_assert_eq!(real_hit.map(|r| r.op), model_hit.map(|r| r.op));
                 }
             }
+            prop_assert_eq!(real.len(), model.len());
+        }
+    }
+
+    /// Splitting a message into arbitrary segments and posting it with
+    /// `post_send_vectored` delivers exactly the same bytes as the single
+    /// contiguous send, for any mode and segmentation.
+    #[test]
+    fn vectored_send_equals_contiguous_send(
+        mode in arb_mode(),
+        cuts in proptest::collection::vec(0usize..10_000, 0..6),
+        len in 0usize..10_000,
+        seed in any::<u8>(),
+    ) {
+        let cfg = ProtocolConfig::paper_internode()
+            .with_mode(mode)
+            .with_pushed_buffer(256 * 1024);
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        let mut sender = Endpoint::new(a, cfg.clone());
+        let mut receiver = Endpoint::new(b, cfg);
+        let data = Bytes::from(
+            (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>(),
+        );
+        // Cut points define the segmentation (duplicates yield empty
+        // segments, which must be legal).
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (len + 1)).collect();
+        bounds.push(0);
+        bounds.push(len);
+        bounds.sort_unstable();
+        let segments: Vec<Bytes> = bounds
+            .windows(2)
+            .map(|w| data.slice(w[0]..w[1]))
+            .collect();
+
+        sender.post_send_vectored(b, Tag(1), &segments).unwrap();
+        receiver.post_recv(a, Tag(1), len.max(1)).unwrap();
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            while let Some(action) = sender.poll_action() {
+                progressed = true;
+                if let Action::TransmitFrame { frame, .. } = action {
+                    receiver.handle_frame(a, frame);
+                }
+            }
+            while let Some(action) = receiver.poll_action() {
+                progressed = true;
+                if let Action::TransmitFrame { frame, .. } = action {
+                    sender.handle_frame(b, frame);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let mut delivered = None;
+        while let Some(c) = receiver.poll_completion() {
+            if let (OpId::Recv(_), Status::Ok) = (&c.op, &c.status) {
+                delivered = c.data.clone();
+            }
+        }
+        prop_assert_eq!(delivered.expect("vectored message delivered"), data);
+    }
+
+    /// The `EndpointConfig` completion-retention cap is honored per
+    /// endpoint: after a flood of fire-and-forget eager sends, at most `cap`
+    /// unclaimed completions remain drainable, operations a waiter
+    /// registered for are never evicted, and every eviction is surfaced in
+    /// `EndpointStats::completions_evicted`.
+    #[test]
+    fn endpoint_retention_cap_is_honored(
+        cap in 1usize..24,
+        extra in 0usize..48,
+        waited in 0usize..6,
+    ) {
+        use push_pull_messaging::Endpoint as FrontEnd;
+        let cluster = LoopbackCluster::new(
+            ProtocolConfig::paper_intranode().with_pushed_buffer(512 * 1024),
+        );
+        let a = FrontEnd::with_config(
+            cluster.add_endpoint(ProcessId::new(0, 0)),
+            &EndpointConfig::new().completion_retention(cap),
+        );
+        let _b = cluster.add_endpoint(ProcessId::new(0, 1));
+        let peer = ProcessId::new(0, 1);
+        let payload = Bytes::from(vec![1u8; 8]); // fully eager under BTP=16
+
+        // `waited` sends whose futures register interest up front: they are
+        // spoken for and must survive any flood.
+        let waited_futures: Vec<_> = (0..waited)
+            .map(|_| a.send(peer, Tag(1), payload.clone()).unwrap())
+            .collect();
+
+        // The fire-and-forget flood: each eager send completes inside the
+        // post, so the queue sees cap + extra unawaited completions.
+        for _ in 0..cap + extra {
+            a.post_send(peer, Tag(2), payload.clone()).unwrap();
+        }
+
+        let mut drained = Vec::new();
+        a.drain_completions(&mut drained);
+        prop_assert!(
+            drained.len() <= cap,
+            "cap {} but {} unclaimed fire-and-forget completions drained",
+            cap,
+            drained.len()
+        );
+        prop_assert!(drained.iter().all(|c| c.tag == Tag(2)), "drain must not steal awaited ops");
+        // Eviction is observable, and accounts exactly for the overflow.
+        let evicted = a.stats().completions_evicted;
+        prop_assert_eq!(evicted as usize, cap + extra - drained.len());
+        // Waiter-registered operations are never evicted: every future still
+        // resolves.
+        for fut in waited_futures {
+            let done = block_on(fut);
+            prop_assert_eq!(done.status, Status::Ok);
+        }
+    }
+
+    /// Wildcard (`ANY_SOURCE`/`ANY_TAG`) matching against a **deep**
+    /// unexpected-message backlog (1k+ buffered messages, the known linear
+    /// scan of ROADMAP PR-2) stays FIFO-consistent with the naive
+    /// linear-scan model: every peek and claim picks the globally oldest
+    /// matching message, whatever selector mix and claim order follow.
+    #[test]
+    fn wildcard_peek_consistent_at_deep_unexpected_backlog(
+        depth in 1000usize..1500,
+        ops in proptest::collection::vec((0u8..3, 0u8..3), 1..40),
+    ) {
+        use push_pull_messaging::core::queues::{BufferQueue, UnexpectedKey};
+
+        let srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0)];
+        let tags = [Tag(0), Tag(1), Tag(2)];
+        let mut real = BufferQueue::new();
+        let mut model: Vec<(ProcessId, MessageId, Tag)> = Vec::new();
+        for i in 0..depth {
+            let src = srcs[i % srcs.len()];
+            let msg_id = MessageId(i as u64);
+            let tag = tags[i % tags.len()];
+            real.insert(UnexpectedKey { src, msg_id }, tag);
+            model.push((src, msg_id, tag));
+        }
+        for (sel_src, sel_tag) in ops {
+            let src = match sel_src {
+                0 => srcs[0],
+                1 => srcs[1],
+                _ => ANY_SOURCE,
+            };
+            let tag = match sel_tag {
+                0 => tags[0],
+                1 => tags[1],
+                _ => ANY_TAG,
+            };
+            let model_hit = model
+                .iter()
+                .position(|&(s, _, t)| {
+                    (src.is_any_source() || s == src) && (tag.is_any() || t == tag)
+                });
+            let peeked = real.peek_unexpected(src, tag);
+            prop_assert_eq!(
+                peeked.map(|(k, t)| (k.src, k.msg_id, t)),
+                model_hit.map(|i| model[i]),
+                "peek at backlog {}",
+                real.len()
+            );
+            // Claim what was peeked, as the engine does on a match.
+            let claimed = real.match_posted(src, tag);
+            prop_assert_eq!(
+                claimed.map(|k| k.msg_id),
+                model_hit.map(|i| model.remove(i).1)
+            );
             prop_assert_eq!(real.len(), model.len());
         }
     }

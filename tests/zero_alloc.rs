@@ -22,6 +22,11 @@
 //! receive buffer eliminates.
 
 use bytes::Bytes;
+// The explicit import shadows the prelude's transport front-end: the two
+// synchronous loops drive the sans-I/O engine by hand.  The async loop uses
+// the front-end (`prelude::Endpoint`) through an alias.
+use push_pull_messaging::core::Endpoint;
+use push_pull_messaging::prelude::Endpoint as FrontEnd;
 use push_pull_messaging::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -213,43 +218,53 @@ fn assert_pull_path_zero_alloc_with_recv_into(label: &str) {
 
 /// The steady-state **async** ping-pong path: one task on [`block_on`]
 /// drives fully-eager exchanges and recycled caller-buffered pulled
-/// exchanges over the loopback cluster through `AsyncTransport` futures.
-/// Posting, routing, completion storage (op-indexed slots + order deque),
-/// and future resolution must all run allocation-free once warm; the async
-/// layer's only steady costs are refcount bumps on the shared waker.
+/// exchanges over the loopback cluster through the `Endpoint` front-end's
+/// futures.  Posting, routing, completion storage (op-indexed slots + order
+/// deque), future resolution, and a borrowed `peek_completions` pass per
+/// round must all run allocation-free once warm; the async layer's only
+/// steady costs are refcount bumps on the shared waker.
 fn assert_async_pingpong_zero_alloc(label: &str) {
     /// One async round: a fully-eager exchange (engine-buffered receive)
-    /// followed by a pulled exchange into the recycled caller buffer.
+    /// followed by a pulled exchange into the recycled caller buffer, then
+    /// a borrowed drain pass over whatever is left unclaimed.
     async fn round(
-        a: &LoopbackEndpoint,
-        b: &LoopbackEndpoint,
+        a: &FrontEnd<LoopbackEndpoint>,
+        b: &FrontEnd<LoopbackEndpoint>,
         eager: &Bytes,
         pulled: &Bytes,
         buf: &mut Option<RecvBuf>,
     ) {
-        let recv = b.recv(a.id(), Tag(1), 16, TruncationPolicy::Error).unwrap();
-        a.send(b.id(), Tag(1), eager.clone()).unwrap().await;
+        let recv = b
+            .recv(a.local_id(), Tag(1), 16, TruncationPolicy::Error)
+            .unwrap();
+        a.send(b.local_id(), Tag(1), eager.clone()).unwrap().await;
         let done = recv.await;
         assert!(matches!(done.status, Status::Ok));
         drop(done);
         let recv = b
             .recv_into(
-                a.id(),
+                a.local_id(),
                 Tag(2),
                 buf.take().expect("buffer in flight"),
                 TruncationPolicy::Error,
             )
             .unwrap();
-        a.send(b.id(), Tag(2), pulled.clone()).unwrap().await;
+        a.send(b.local_id(), Tag(2), pulled.clone()).unwrap().await;
         let done = recv.await;
         assert!(matches!(done.status, Status::Ok));
         *buf = Some(done.buf.expect("caller buffer handed back"));
+        // Borrowed drain: inspecting completions in place is part of the
+        // allocation-free steady state.
+        b.peek_completions(|completion| {
+            assert!(completion.status.is_ok());
+            Claim::Keep
+        });
     }
 
     let cluster =
         LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
-    let a = cluster.add_endpoint(ProcessId::new(0, 0));
-    let b = cluster.add_endpoint(ProcessId::new(0, 1));
+    let a = FrontEnd::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+    let b = FrontEnd::new(cluster.add_endpoint(ProcessId::new(0, 1)));
     let eager = Bytes::from(vec![0xCDu8; 16]); // one fully-eager packet
     let pulled = Bytes::from(vec![0xEFu8; 4096]); // multi-fragment pull
 
@@ -304,6 +319,6 @@ fn steady_state_loops_perform_zero_heap_allocations() {
     // Multi-fragment pulled messages into a recycled caller-owned buffer.
     assert_pull_path_zero_alloc_with_recv_into("intranode pulled recv_into");
     // The same traffic through the async front-end over the loopback
-    // cluster: AsyncTransport futures + CompletionQueue, still zero-alloc.
+    // cluster: Endpoint front-end futures + CompletionQueue, still zero-alloc.
     assert_async_pingpong_zero_alloc("async loopback pingpong");
 }
