@@ -3,15 +3,17 @@
 //! under pending-operation load, and the wire codec.
 //!
 //! Besides the Criterion groups, this bench measures the hot-path numbers
-//! directly with `std::time::Instant` and writes them to `BENCH_PR4.json`
+//! directly with `std::time::Instant` and writes them to `BENCH_PR5.json`
 //! at the repository root: the PR-1 slab/bucket structure numbers and the
 //! PR-2 operations-layer numbers (re-run so regressions against the
-//! checked-in `BENCH_PR3.json` baseline are visible — CI's `bench-smoke`
+//! checked-in `BENCH_PR4.json` baseline are visible — CI's `bench-smoke`
 //! job fails on >25% drift), the PR-3 async front-end ping-pong variants
 //! (`block_on` single-task and `Driver` two-task) next to the synchronous
-//! engine-level loop they wrap, and the PR-4 additions: vectored sends
-//! (scatter list vs caller-coalesced single buffer) and the wildcard
-//! `peek_unexpected` scan against a deep unexpected-message backlog.
+//! engine-level loop they wrap, the PR-4 vectored sends (scatter list vs
+//! caller-coalesced single buffer), and the PR-5 additions: the wildcard
+//! `peek_unexpected` probe re-measured against a deep unexpected backlog
+//! (now an O(1) arrival-list head instead of the PR-2 linear scan) and
+//! 8-rank broadcast / all-reduce collectives on the loopback cluster.
 //!
 //! Numbers are **median-of-samples** ns/op.  Setting `BENCH_QUICK=1`
 //! shortens calibration and sampling for CI smoke runs; the medians get a
@@ -29,6 +31,7 @@ use ppmsg_core::{
     PacketKind, ProcessId, ProtocolConfig, ProtocolMode, PushPart, RecvBuf, RecvOp, SendOp,
     SendPayload, Tag, TruncationPolicy, ANY_SOURCE, ANY_TAG,
 };
+use push_pull_messaging::coll::Group;
 use push_pull_messaging::prelude::{block_on, Driver, Endpoint as FrontEnd};
 use push_pull_messaging::sim::{LoopbackCluster, LoopbackEndpoint};
 use std::time::Instant;
@@ -385,10 +388,52 @@ fn bench_coalesced_send(segments: usize, seg_size: usize) -> f64 {
     })
 }
 
+/// One full collective per round over an 8-rank loopback group on a single
+/// `Driver`: what an application pays per broadcast / all-reduce, including
+/// tag derivation, tree posting, completion claiming, and executor wake-ups.
+/// The 64 KiB broadcast exercises the pipelined chunked path (default
+/// 32 KiB chunks); the all-reduce combine hands back one of its inputs, so
+/// the measured cost is all transport.
+fn bench_collective_8rank(all_reduce: bool, size: usize, rounds: usize) -> f64 {
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20));
+    let ids: Vec<ProcessId> = (0..8).map(|r| ProcessId::new(0, r)).collect();
+    let group = Group::new(9, ids.clone()).unwrap();
+    let mut driver = Driver::new();
+    for &id in &ids {
+        let member = group.bind(FrontEnd::new(cluster.add_endpoint(id))).unwrap();
+        driver.spawn(async move {
+            let mine = Bytes::from(vec![member.rank() as u8 + 1; size]);
+            for _ in 0..rounds {
+                if all_reduce {
+                    let got = member
+                        .all_reduce(mine.clone(), |a, b| if a[0] >= b[0] { a } else { b })
+                        .await
+                        .unwrap();
+                    assert_eq!(got[0], 8);
+                } else {
+                    let data = if member.rank() == 0 {
+                        mine.clone()
+                    } else {
+                        Bytes::new()
+                    };
+                    let got = member.broadcast(0, data, size).await.unwrap();
+                    assert_eq!(got.len(), size);
+                }
+            }
+        });
+    }
+    let start = Instant::now();
+    driver.run();
+    start.elapsed().as_nanos() as f64 / rounds as f64
+}
+
 /// Wildcard `peek_unexpected` against a deep unexpected-message backlog:
-/// the known linear scan (ROADMAP PR-2) measured at its painful size so a
-/// future fix has a number to beat.  Exact-selector peeks against the same
-/// backlog stay O(1) and are reported alongside.
+/// the PR-2 linear scan (~2.3 µs at 1k, ~9 µs at 4k buffered in
+/// `BENCH_PR4.json`) replaced by PR 5's arrival-ordered per-src / per-tag /
+/// global intrusive lists — every selector shape is now one O(1) list-head
+/// probe.  Exact-selector peeks against the same backlog are reported
+/// alongside (they must not regress).
 fn bench_deep_backlog_peek(backlog: usize, wildcard: bool) -> f64 {
     let mut q = BufferQueue::new();
     let srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0)];
@@ -481,16 +526,16 @@ fn bench_header_decode() -> f64 {
 
 fn write_bench_json(rows: &[(String, f64)]) {
     let mut json = String::from(
-        "{\n  \"pr\": 4,\n  \"unit\": \"ns/op (median of samples)\",\n  \"benches\": {\n",
+        "{\n  \"pr\": 5,\n  \"unit\": \"ns/op (median of samples)\",\n  \"benches\": {\n",
     );
     for (i, (name, ns)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
     }
     json.push_str("  }\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
     if let Err(e) = std::fs::write(path, json) {
-        eprintln!("failed to write BENCH_PR4.json: {e}");
+        eprintln!("failed to write BENCH_PR5.json: {e}");
     } else {
         println!("wrote {path}");
     }
@@ -586,13 +631,14 @@ fn hot_path_report(_c: &mut Criterion) {
         ));
     }
 
-    // PR-4: the wildcard peek against a deep unexpected backlog (the known
-    // ROADMAP PR-2 linear scan), next to the exact-selector O(1) probe.
+    // PR-5: the wildcard peek against a deep unexpected backlog — the PR-2
+    // linear scan replaced by O(1) arrival-list heads — next to the
+    // exact-selector probe, which must not regress.
     for backlog in [1024usize, 4096] {
         let wild_ns = bench_deep_backlog_peek(backlog, true);
         let exact_ns = bench_deep_backlog_peek(backlog, false);
         println!(
-            "peek_unexpected, {backlog} backlog: wildcard {wild_ns:>9.1} ns/op, exact {exact_ns:>7.1} ns/op ({:.0}x)",
+            "peek_unexpected, {backlog} backlog: wildcard {wild_ns:>9.1} ns/op, exact {exact_ns:>7.1} ns/op ({:.1}x)",
             wild_ns / exact_ns
         );
         rows.push((
@@ -602,12 +648,24 @@ fn hot_path_report(_c: &mut Criterion) {
         rows.push((format!("peek_unexpected_{backlog}_backlog_exact"), exact_ns));
     }
 
+    // PR-5: 8-rank collectives on the loopback cluster, one Driver.
+    let coll_rounds = if quick_mode() { 100 } else { 400 };
+    for size in [4096usize, 65536] {
+        let bcast_ns = bench_collective_8rank(false, size, coll_rounds);
+        let allreduce_ns = bench_collective_8rank(true, size, coll_rounds);
+        println!(
+            "collective 8 ranks, {size:>5} B: broadcast {bcast_ns:>10.1} ns/op, all_reduce {allreduce_ns:>10.1} ns/op"
+        );
+        rows.push((format!("bcast_8rank_{size}B_ns_per_op"), bcast_ns));
+        rows.push((format!("all_reduce_8rank_{size}B_ns_per_op"), allreduce_ns));
+    }
+
     write_bench_json(&rows);
 }
 
 fn bench(c: &mut Criterion) {
     if quick_mode() {
-        // The CI smoke job only consumes hot_path_report's BENCH_PR3.json;
+        // The CI smoke job only consumes hot_path_report's BENCH_PR5.json;
         // skip the Criterion groups and their warm-up entirely.
         return;
     }

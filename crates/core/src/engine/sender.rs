@@ -5,7 +5,7 @@ use super::{Action, Endpoint, InjectMode, TranslateCtx};
 use crate::btp::BtpSplit;
 use crate::error::{Error, Result};
 use crate::ops::{Completion, OpId, SendOp, Status};
-use crate::queues::{PendingSend, SendPayload};
+use crate::queues::{chunk_segments, PendingSend, SendPayload};
 use crate::types::{MessageId, ProcessId, Tag};
 use crate::wire::{Packet, PacketHeader, PacketKind, PushPart};
 use bytes::Bytes;
@@ -22,7 +22,9 @@ impl Endpoint {
     /// ([`Endpoint::poll_completion`]) as a [`Completion`] carrying the
     /// returned [`SendOp`].
     pub fn post_send(&mut self, dst: ProcessId, tag: Tag, data: Bytes) -> Result<SendOp> {
-        self.post_send_payload(dst, tag, SendPayload::Single(data))
+        self.post_send_segments(dst, tag, std::slice::from_ref(&data), |_| {
+            SendPayload::Single(data.clone())
+        })
     }
 
     /// Posts a vectored send: `segments` are concatenated into **one**
@@ -33,27 +35,34 @@ impl Endpoint {
     /// segments are allowed and skipped; an empty list behaves like an empty
     /// [`Endpoint::post_send`].
     ///
-    /// Posting pins the segment list in one shared allocation
-    /// (`Arc<[Bytes]>`, plus a refcount bump per segment); serving the pull
-    /// later clones only the refcount, like the single-buffer path.
+    /// The push phase is emitted **directly from the borrowed segment
+    /// list**: a fully-eager vectored send (everything fits the BTP push,
+    /// the latency-critical small-scatter case) never materialises an owned
+    /// payload and therefore never allocates, whatever the segment count.
+    /// Only a send that registers a pull remainder pins the list, in one
+    /// shared `Arc<[Bytes]>` allocation amortised against the multi-packet
+    /// pull transfer it serves; serving the pull later clones only
+    /// refcounts, like the single-buffer path.
     pub fn post_send_vectored(
         &mut self,
         dst: ProcessId,
         tag: Tag,
         segments: &[Bytes],
     ) -> Result<SendOp> {
-        self.post_send_payload(
-            dst,
-            tag,
-            SendPayload::Vectored(std::sync::Arc::from(segments)),
-        )
+        self.post_send_segments(dst, tag, segments, |segments| {
+            SendPayload::Vectored(std::sync::Arc::from(segments))
+        })
     }
 
-    fn post_send_payload(
+    /// Shared posting body: pushes the eager part straight off the borrowed
+    /// `segments`, and calls `pin` to build the owned [`SendPayload`] only
+    /// when a pull remainder must outlive this call.
+    fn post_send_segments(
         &mut self,
         dst: ProcessId,
         tag: Tag,
-        payload: SendPayload,
+        segments: &[Bytes],
+        pin: impl FnOnce(&[Bytes]) -> SendPayload,
     ) -> Result<SendOp> {
         if dst == self.id() {
             return Err(Error::SelfSend { process: dst });
@@ -64,8 +73,8 @@ impl Endpoint {
         let policy = self.btp_for(dst);
         let opts = self.config().opts;
         let mode = self.config().mode;
-        let split = BtpSplit::plan(mode, policy, opts, payload.len());
-        let total_len = payload.len();
+        let total_len = segments.iter().map(Bytes::len).sum();
+        let split = BtpSplit::plan(mode, policy, opts, total_len);
         self.stats.sends_posted += 1;
 
         // §4.3 Address Translation Overhead Masking decides *when* the source
@@ -102,7 +111,7 @@ impl Endpoint {
             total_len,
             split,
             PushPart::First,
-            &payload,
+            segments,
             inject,
         );
 
@@ -115,7 +124,7 @@ impl Endpoint {
                 total_len,
                 split,
                 PushPart::Second,
-                &payload,
+                segments,
                 inject,
             );
         }
@@ -128,13 +137,14 @@ impl Endpoint {
 
         if split.needs_pull() {
             // Register the send so the pull request can be served later
-            // (arrow 1b.1 in Fig. 1).
+            // (arrow 1b.1 in Fig. 1) — the only case that needs an owned,
+            // pinned payload.
             self.send_queue.register(PendingSend {
                 op,
                 dst,
                 tag,
                 msg_id,
-                payload,
+                payload: pin(segments),
                 split,
                 pull_served: false,
                 fully_transmitted: false,
@@ -215,9 +225,10 @@ impl Endpoint {
     }
 
     /// Builds and submits the push packets of one part directly — no
-    /// intermediate `Vec<Packet>`, keeping `post_send` allocation-free.
-    /// Chunking is delegated to [`SendPayload::for_each_chunk`]: a vectored
-    /// payload's packets split at segment boundaries instead of coalescing.
+    /// intermediate `Vec<Packet>` and no owned payload, keeping `post_send`
+    /// and the fully-eager vectored path allocation-free.  Chunking is
+    /// delegated to [`chunk_segments`]: a vectored payload's packets split
+    /// at segment boundaries instead of coalescing.
     #[allow(clippy::too_many_arguments)] // mirrors the packet header fields
     fn emit_push_packets(
         &mut self,
@@ -227,7 +238,7 @@ impl Endpoint {
         total_len: usize,
         split: BtpSplit,
         part: PushPart,
-        payload: &SendPayload,
+        segments: &[Bytes],
         inject: InjectMode,
     ) {
         let (start, len) = match part {
@@ -236,22 +247,29 @@ impl Endpoint {
         };
         let eager_len = (split.first_push + split.second_push) as u32;
         let max_payload = self.config().max_payload;
-        payload.for_each_chunk(start, start + len, max_payload, |offset, chunk| {
-            let header = PacketHeader {
-                kind: PacketKind::Push(part),
-                src: self.id(),
-                dst,
-                msg_id,
-                tag,
-                total_len: total_len as u32,
-                eager_len,
-                offset: offset as u32,
-                payload_len: chunk.len() as u32,
-            };
-            let packet = Packet::new(header, chunk).expect("push packet construction cannot fail");
-            self.stats.bytes_pushed += packet.payload.len() as u64;
-            self.submit_packet(dst, packet, inject);
-        });
+        chunk_segments(
+            segments,
+            start,
+            start + len,
+            max_payload,
+            |offset, chunk| {
+                let header = PacketHeader {
+                    kind: PacketKind::Push(part),
+                    src: self.id(),
+                    dst,
+                    msg_id,
+                    tag,
+                    total_len: total_len as u32,
+                    eager_len,
+                    offset: offset as u32,
+                    payload_len: chunk.len() as u32,
+                };
+                let packet =
+                    Packet::new(header, chunk).expect("push packet construction cannot fail");
+                self.stats.bytes_pushed += packet.payload.len() as u64;
+                self.submit_packet(dst, packet, inject);
+            },
+        );
     }
 
     fn emit_translate(

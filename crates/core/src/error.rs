@@ -74,6 +74,20 @@ pub enum Error {
         /// The raw message id from the request.
         msg_id: u64,
     },
+    /// A send or receive was posted through the transport front-end with a
+    /// tag in the reserved (collective) half of the tag space — see
+    /// [`crate::types::COLLECTIVE_TAG_BIT`].
+    ReservedTag {
+        /// The offending tag.
+        tag: Tag,
+    },
+    /// A collective operation was invoked in a way that violates its
+    /// group-uniform contract (bad root rank, wrong contribution size,
+    /// a non-member endpoint, a length-changing combine, ...).
+    CollectiveMisuse {
+        /// What contract was broken.
+        what: &'static str,
+    },
     /// A send or receive handle was used after it completed.
     StaleHandle,
     /// The engine was asked to send to itself.
@@ -134,6 +148,11 @@ impl fmt::Display for Error {
             Error::UnknownMessage { peer, msg_id } => {
                 write!(f, "unknown message {msg_id} referenced by {peer}")
             }
+            Error::ReservedTag { tag } => write!(
+                f,
+                "{tag} lies in the reserved collective tag space (high bit set)"
+            ),
+            Error::CollectiveMisuse { what } => write!(f, "collective misuse: {what}"),
             Error::StaleHandle => write!(f, "operation handle already completed"),
             Error::SelfSend { process } => write!(f, "process {process} attempted to send to itself"),
             Error::MatchingConflict { source, tag } => {

@@ -310,6 +310,16 @@ pub struct Chain {
     pub tail: u32,
 }
 
+impl Default for Chain {
+    /// An empty chain (both ends [`NIL`]).
+    fn default() -> Self {
+        Chain {
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SrcTagEntry {
     src: u64,
@@ -422,6 +432,49 @@ impl SrcTagMap {
                 SlotState::Occupied => {}
             }
             i = (i + 1) & mask as usize;
+        }
+    }
+
+    /// Returns a mutable reference to the chain for `(src, tag)`, inserting
+    /// an empty chain first if the pair is new — the single-probe
+    /// ensure-and-borrow the per-message list maintenance paths need
+    /// (a `get` + `set` + `get_mut` sequence would probe three times).
+    #[inline]
+    pub fn ensure(&mut self, src: u64, tag: u32) -> &mut Chain {
+        loop {
+            if !self.entries.is_empty() {
+                let mask = self.entries.len() as u64 - 1;
+                let mut i = fib_hash(src_tag_hash(src, tag), mask);
+                let found = loop {
+                    match self.entries[i].state {
+                        SlotState::Empty => {
+                            // New bucket: grow first at the load threshold.
+                            if self.live * 4 >= self.entries.len() * 3 {
+                                break None;
+                            }
+                            self.entries[i] = SrcTagEntry {
+                                src,
+                                tag,
+                                chain: Chain::default(),
+                                state: SlotState::Occupied,
+                            };
+                            self.live += 1;
+                            break Some(i);
+                        }
+                        SlotState::Occupied
+                            if self.entries[i].src == src && self.entries[i].tag == tag =>
+                        {
+                            break Some(i)
+                        }
+                        SlotState::Occupied => {}
+                    }
+                    i = (i + 1) & mask as usize;
+                };
+                if let Some(i) = found {
+                    return &mut self.entries[i].chain;
+                }
+            }
+            self.grow();
         }
     }
 
@@ -583,6 +636,23 @@ mod tests {
         }
         assert_eq!(m.get(500, 500), None);
         assert_eq!(m.len(), 500);
+    }
+
+    #[test]
+    fn ensure_creates_then_borrows_in_place() {
+        let mut m = SrcTagMap::new();
+        assert_eq!(*m.ensure(7, 3), Chain::default(), "created empty");
+        m.ensure(7, 3).head = 42;
+        assert_eq!(m.get(7, 3).unwrap().head, 42, "same bucket on re-ensure");
+        assert_eq!(m.len(), 1);
+        // Survives growth past the load threshold.
+        for i in 0..500u32 {
+            m.ensure(i as u64, i).tail = i;
+        }
+        for i in 0..500u32 {
+            assert_eq!(m.get(i as u64, i).unwrap().tail, i, "key {i}");
+        }
+        assert_eq!(m.get(7, 3).unwrap().head, 42);
     }
 
     #[test]

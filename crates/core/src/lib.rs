@@ -109,6 +109,8 @@ pub use ops::{
 pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendPayload, SendQueue};
 pub use reliability::{GbnConfig, GbnEvent, GoBackN};
 pub use transport::RawTransport;
-pub use types::{MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG};
+pub use types::{
+    MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BIT,
+};
 pub use wire::{Packet, PacketBufPool, PacketHeader, PacketKind, PushPart, MAX_HEADER_LEN};
 pub use zbuf::{AddressTranslator, IdentityTranslator, PhysSegment, ZeroBuffer};

@@ -14,16 +14,44 @@ pub struct UnexpectedKey {
     pub msg_id: MessageId,
 }
 
+/// Intrusive doubly-linked list hooks for one wildcard dimension.
+#[derive(Debug, Clone, Copy)]
+struct Links {
+    prev: u32,
+    next: u32,
+}
+
+impl Links {
+    const UNLINKED: Links = Links {
+        prev: NIL,
+        next: NIL,
+    };
+}
+
+/// The three arrival-ordered wildcard lists a node can be threaded into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dim {
+    /// All messages from one source (serves `(src, ANY_TAG)` selectors);
+    /// excludes reserved-tag messages, which `ANY_TAG` never matches.
+    BySrc,
+    /// All messages with one concrete tag (serves `(ANY_SOURCE, tag)`
+    /// selectors); includes reserved tags — naming a tag is always allowed.
+    ByTag,
+    /// Every non-reserved message (serves `(ANY_SOURCE, ANY_TAG)`).
+    All,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Node {
     key: UnexpectedKey,
     tag: Tag,
-    /// Global arrival sequence, used to arbitrate FIFO order across buckets
-    /// when a wildcard receive scans for the oldest matching message.
-    seq: u64,
     /// Next-younger unexpected message with the same `(src, tag)`, or
-    /// [`NIL`].
+    /// [`NIL`] — the exact-match FIFO chain, also used for duplicate
+    /// detection.
     next: u32,
+    by_src: Links,
+    by_tag: Links,
+    all: Links,
 }
 
 /// Arrival-ordered index of unexpected messages.
@@ -37,13 +65,24 @@ struct Node {
 ///
 /// Like [`ReceiveQueue`](crate::queues::ReceiveQueue), entries live in a slab
 /// threaded into per-`(source, tag)` FIFO chains, making insert/match/remove
-/// O(1) amortized (O(chain length) for mid-chain removal, which only happens
-/// when a message is dropped) and allocation-free in steady state.
+/// O(1) amortized and allocation-free in steady state.  In addition, every
+/// node is threaded into arrival-ordered doubly-linked lists per *source*,
+/// per *tag*, and globally, so that a **wildcard** selector peeks its answer
+/// off one list head in O(1) — the PR-2 linear scan (~2.3 µs at a 1k
+/// backlog, ~9 µs at 4k) is gone.  Reserved (collective-space) tags are kept
+/// out of the `ANY_TAG`-serving lists entirely: a wildcard receive can never
+/// observe collective traffic.
 #[derive(Debug, Default)]
 pub struct BufferQueue {
     nodes: Slab<Node>,
     buckets: SrcTagMap,
-    next_seq: u64,
+    /// Arrival-ordered list heads per source (key `(src, 0)`), holding only
+    /// non-reserved-tag nodes.
+    src_lists: SrcTagMap,
+    /// Arrival-ordered list heads per concrete tag (key `(0, tag)`).
+    tag_lists: SrcTagMap,
+    /// Arrival-ordered list over every non-reserved-tag node.
+    all_list: Chain,
 }
 
 impl BufferQueue {
@@ -52,14 +91,64 @@ impl BufferQueue {
         Self::default()
     }
 
+    #[inline]
+    fn links(node: &Node, dim: Dim) -> Links {
+        match dim {
+            Dim::BySrc => node.by_src,
+            Dim::ByTag => node.by_tag,
+            Dim::All => node.all,
+        }
+    }
+
+    #[inline]
+    fn links_mut(node: &mut Node, dim: Dim) -> &mut Links {
+        match dim {
+            Dim::BySrc => &mut node.by_src,
+            Dim::ByTag => &mut node.by_tag,
+            Dim::All => &mut node.all,
+        }
+    }
+
+    /// Appends `slot` (already in the slab, hooks [`Links::UNLINKED`]) to
+    /// the tail of the arrival list whose head/tail record is `chain`.
+    /// Takes the slab and the chain as **separate borrows** so the caller
+    /// pays exactly one map probe ([`SrcTagMap::ensure`]) per dimension.
+    fn list_append(nodes: &mut Slab<Node>, chain: &mut Chain, slot: u32, dim: Dim) {
+        let tail = chain.tail;
+        if tail == NIL {
+            chain.head = slot;
+        } else {
+            Self::links_mut(nodes.get_mut(tail).expect("live list tail"), dim).next = slot;
+            Self::links_mut(nodes.get_mut(slot).expect("live node"), dim).prev = tail;
+        }
+        chain.tail = slot;
+    }
+
+    /// Unlinks `slot` from the arrival list whose head/tail record is
+    /// `chain`, in O(1) via the stored prev/next hooks (same single-probe
+    /// split-borrow pattern as [`BufferQueue::list_append`]).
+    fn list_unlink(nodes: &mut Slab<Node>, chain: &mut Chain, slot: u32, dim: Dim) {
+        let links = Self::links(nodes.get(slot).expect("live node"), dim);
+        if links.prev != NIL {
+            Self::links_mut(nodes.get_mut(links.prev).expect("live prev"), dim).next = links.next;
+        }
+        if links.next != NIL {
+            Self::links_mut(nodes.get_mut(links.next).expect("live next"), dim).prev = links.prev;
+        }
+        if chain.head == slot {
+            chain.head = links.next;
+        }
+        if chain.tail == slot {
+            chain.tail = links.prev;
+        }
+    }
+
     /// Records the arrival of an unexpected message.  Duplicate insertions of
     /// the same key are ignored (a message becomes "known" on its first
     /// pushed packet; later fragments do not re-queue it).
     #[inline]
     pub fn insert(&mut self, key: UnexpectedKey, tag: Tag) {
         let src = key.src.as_u64();
-        let seq = self.next_seq;
-        self.next_seq += 1;
         match self.buckets.get(src, tag.0) {
             Some(chain) => {
                 // Duplicate check only walks this message's own (src, tag)
@@ -73,12 +162,7 @@ impl BufferQueue {
                     }
                     cursor = node.next;
                 }
-                let slot = self.nodes.insert(Node {
-                    key,
-                    tag,
-                    seq,
-                    next: NIL,
-                });
+                let slot = self.insert_node(key, tag);
                 let chain = self
                     .buckets
                     .get_mut(src, tag.0)
@@ -96,12 +180,7 @@ impl BufferQueue {
                 }
             }
             None => {
-                let slot = self.nodes.insert(Node {
-                    key,
-                    tag,
-                    seq,
-                    next: NIL,
-                });
+                let slot = self.insert_node(key, tag);
                 self.buckets.set(
                     src,
                     tag.0,
@@ -114,6 +193,36 @@ impl BufferQueue {
         }
     }
 
+    /// Creates the slab node and threads it onto the wildcard lists it
+    /// belongs to (reserved tags stay off the `ANY_TAG`-serving lists).
+    fn insert_node(&mut self, key: UnexpectedKey, tag: Tag) -> u32 {
+        let src = key.src.as_u64();
+        let slot = self.nodes.insert(Node {
+            key,
+            tag,
+            next: NIL,
+            by_src: Links::UNLINKED,
+            by_tag: Links::UNLINKED,
+            all: Links::UNLINKED,
+        });
+        Self::list_append(
+            &mut self.nodes,
+            self.tag_lists.ensure(0, tag.0),
+            slot,
+            Dim::ByTag,
+        );
+        if !tag.is_reserved() {
+            Self::list_append(
+                &mut self.nodes,
+                self.src_lists.ensure(src, 0),
+                slot,
+                Dim::BySrc,
+            );
+            Self::list_append(&mut self.nodes, &mut self.all_list, slot, Dim::All);
+        }
+        slot
+    }
+
     /// Returns (without removing) the oldest unexpected message matching a
     /// posted receive's selector, which may use
     /// [`ANY_SOURCE`](crate::types::ANY_SOURCE) /
@@ -121,31 +230,22 @@ impl BufferQueue {
     /// key and tag are returned so the caller can claim it with
     /// [`BufferQueue::remove_with_tag`] once it decides to consume it.
     ///
-    /// The exact-selector path is a single O(1) bucket probe; a wildcard
-    /// selector scans the (short) set of pending unexpected messages for the
-    /// smallest arrival sequence — posting a wildcard receive is not a
-    /// per-packet operation, so the scan is off the hot path.
+    /// Every selector shape is a single O(1) probe: the exact pair reads its
+    /// bucket head, and each wildcard shape reads the head of its
+    /// arrival-ordered list (per source, per tag, or global).  An `ANY_TAG`
+    /// selector never observes reserved (collective-space) tags.
     pub fn peek_unexpected(&self, src: ProcessId, tag: Tag) -> Option<(UnexpectedKey, Tag)> {
-        if !src.is_any_source() && !tag.is_any() {
-            let chain = self.buckets.get(src.as_u64(), tag.0)?;
-            if chain.head == NIL {
-                return None;
-            }
-            let node = self
-                .nodes
-                .get(chain.head)
-                .expect("bucket head must be live");
-            return Some((node.key, node.tag));
+        let head = match (src.is_any_source(), tag.is_any()) {
+            (false, false) => self.buckets.get(src.as_u64(), tag.0)?.head,
+            (false, true) => self.src_lists.get(src.as_u64(), 0)?.head,
+            (true, false) => self.tag_lists.get(0, tag.0)?.head,
+            (true, true) => self.all_list.head,
+        };
+        if head == NIL {
+            return None;
         }
-        let mut best: Option<&Node> = None;
-        for (_, node) in self.nodes.iter() {
-            let src_ok = src.is_any_source() || node.key.src == src;
-            let tag_ok = tag.is_any() || node.tag == tag;
-            if src_ok && tag_ok && best.map(|b| node.seq < b.seq).unwrap_or(true) {
-                best = Some(node);
-            }
-        }
-        best.map(|node| (node.key, node.tag))
+        let node = self.nodes.get(head).expect("list head must be live");
+        Some((node.key, node.tag))
     }
 
     /// Finds and removes the oldest unexpected message matching `src` and
@@ -161,7 +261,8 @@ impl BufferQueue {
     }
 
     /// Removes a specific unexpected message whose tag is known (the engine
-    /// always knows it from the message state).  O(chain length).
+    /// always knows it from the message state).  O(chain length) on the
+    /// exact-match chain, O(1) on the wildcard lists.
     pub fn remove_with_tag(&mut self, key: UnexpectedKey, tag: Tag) -> bool {
         let src = key.src.as_u64();
         let Some(chain) = self.buckets.get(src, tag.0) else {
@@ -172,6 +273,21 @@ impl BufferQueue {
         while cursor != NIL {
             let node = *self.nodes.get(cursor).expect("chain must be intact");
             if node.key == key {
+                Self::list_unlink(
+                    &mut self.nodes,
+                    self.tag_lists.ensure(0, tag.0),
+                    cursor,
+                    Dim::ByTag,
+                );
+                if !tag.is_reserved() {
+                    Self::list_unlink(
+                        &mut self.nodes,
+                        self.src_lists.ensure(src, 0),
+                        cursor,
+                        Dim::BySrc,
+                    );
+                    Self::list_unlink(&mut self.nodes, &mut self.all_list, cursor, Dim::All);
+                }
                 self.nodes.remove(cursor);
                 if prev != NIL {
                     self.nodes.get_mut(prev).unwrap().next = node.next;
@@ -227,13 +343,17 @@ impl BufferQueue {
     /// Number of heap allocations this queue has performed (steady state
     /// must not add any).
     pub fn alloc_events(&self) -> u64 {
-        self.nodes.alloc_events() + self.buckets.alloc_events()
+        self.nodes.alloc_events()
+            + self.buckets.alloc_events()
+            + self.src_lists.alloc_events()
+            + self.tag_lists.alloc_events()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::{ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BIT};
 
     fn key(src: ProcessId, id: u64) -> UnexpectedKey {
         UnexpectedKey {
@@ -288,7 +408,6 @@ mod tests {
 
     #[test]
     fn peek_unexpected_honours_wildcards_in_arrival_order() {
-        use crate::types::{ANY_SOURCE, ANY_TAG};
         let mut q = BufferQueue::new();
         let a = ProcessId::new(0, 0);
         let b = ProcessId::new(1, 0);
@@ -310,6 +429,68 @@ mod tests {
         assert_eq!(tag, Tag(5));
         // Peek does not remove.
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn wildcard_lists_survive_interior_removal() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        let b = ProcessId::new(1, 0);
+        q.insert(key(a, 1), Tag(5));
+        q.insert(key(b, 2), Tag(5));
+        q.insert(key(a, 3), Tag(6));
+        q.insert(key(b, 4), Tag(6));
+        // Remove the middle of every list (b/2 sits mid-all, mid-tag-5).
+        assert!(q.remove_with_tag(key(b, 2), Tag(5)));
+        assert_eq!(q.peek_unexpected(ANY_SOURCE, ANY_TAG).unwrap().0, key(a, 1));
+        assert_eq!(q.peek_unexpected(ANY_SOURCE, Tag(6)).unwrap().0, key(a, 3));
+        assert_eq!(q.peek_unexpected(b, ANY_TAG).unwrap().0, key(b, 4));
+        // Remove a list head, then a tail.
+        assert!(q.remove_with_tag(key(a, 1), Tag(5)));
+        assert!(q.remove_with_tag(key(b, 4), Tag(6)));
+        assert_eq!(q.peek_unexpected(ANY_SOURCE, ANY_TAG).unwrap().0, key(a, 3));
+        assert_eq!(q.peek_unexpected(a, ANY_TAG).unwrap().0, key(a, 3));
+        assert!(q.peek_unexpected(b, ANY_TAG).is_none());
+        // Lists are reusable after a full drain.
+        assert!(q.remove_with_tag(key(a, 3), Tag(6)));
+        assert!(q.peek_unexpected(ANY_SOURCE, ANY_TAG).is_none());
+        q.insert(key(b, 5), Tag(5));
+        assert_eq!(q.peek_unexpected(ANY_SOURCE, ANY_TAG).unwrap().0, key(b, 5));
+    }
+
+    #[test]
+    fn reserved_tags_hidden_from_any_tag_peeks() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        let coll = Tag(COLLECTIVE_TAG_BIT | 9);
+        q.insert(key(a, 1), coll);
+        // Invisible to every ANY_TAG-shaped selector...
+        assert!(q.peek_unexpected(a, ANY_TAG).is_none());
+        assert!(q.peek_unexpected(ANY_SOURCE, ANY_TAG).is_none());
+        // ...but fully matchable by naming the tag.
+        assert_eq!(q.peek_unexpected(a, coll).unwrap().0, key(a, 1));
+        assert_eq!(q.peek_unexpected(ANY_SOURCE, coll).unwrap().0, key(a, 1));
+        assert_eq!(q.match_posted(ANY_SOURCE, coll).unwrap(), key(a, 1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wildcard_peek_is_allocation_free_in_steady_state() {
+        let mut q = BufferQueue::new();
+        let a = ProcessId::new(0, 0);
+        for i in 0..64 {
+            q.insert(key(a, i), Tag((i % 4) as u32));
+        }
+        for i in 0..64 {
+            assert!(q.remove(key(a, i)));
+        }
+        let allocs = q.alloc_events();
+        for round in 0..10_000u64 {
+            q.insert(key(a, round), Tag((round % 4) as u32));
+            assert!(q.peek_unexpected(ANY_SOURCE, ANY_TAG).is_some());
+            assert_eq!(q.match_posted(a, ANY_TAG).unwrap().msg_id.0, round);
+        }
+        assert_eq!(q.alloc_events(), allocs, "steady churn must not allocate");
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub use assembly::Assembly;
 pub use buffer_queue::{BufferQueue, UnexpectedKey};
 pub use pushed_buffer::{PushedBuffer, PushedBufferStats};
 pub use recv_queue::{PostedReceive, ReceiveQueue};
-pub use send_queue::{PendingSend, SendPayload, SendQueue};
+pub use send_queue::{chunk_segments, PendingSend, SendPayload, SendQueue};

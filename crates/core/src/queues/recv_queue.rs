@@ -148,15 +148,20 @@ impl ReceiveQueue {
         Some(self.nodes.get(chain.head).expect("live head").seq)
     }
 
-    /// The four bucket keys an incoming `(src, tag)` message can match.
+    /// The bucket keys an incoming `(src, tag)` message can match: the exact
+    /// pair, plus the wildcard selectors that accept it.  A **reserved**
+    /// (collective-space) tag is never matched by an `ANY_TAG` selector, so
+    /// only the first two keys apply to it.
     #[inline]
-    fn candidate_keys(src: ProcessId, tag: Tag) -> [(u64, u32); 4] {
-        [
+    fn candidate_keys(src: ProcessId, tag: Tag) -> ([(u64, u32); 4], usize) {
+        let keys = [
             (src.as_u64(), tag.0),
             (ANY_SOURCE.as_u64(), tag.0),
             (src.as_u64(), ANY_TAG.0),
             (ANY_SOURCE.as_u64(), ANY_TAG.0),
-        ]
+        ];
+        let candidates = if tag.is_reserved() { 2 } else { 4 };
+        (keys, candidates)
     }
 
     /// Finds and removes the oldest posted receive matching an incoming
@@ -168,9 +173,9 @@ impl ReceiveQueue {
             // Exact fast path: one bucket probe, as in the PR-1 design.
             return self.pop_head(src.as_u64(), tag.0);
         }
-        let keys = Self::candidate_keys(src, tag);
+        let (keys, candidates) = Self::candidate_keys(src, tag);
         let mut best: Option<(u64, usize)> = None;
-        for (i, &(s, t)) in keys.iter().enumerate() {
+        for (i, &(s, t)) in keys.iter().take(candidates).enumerate() {
             if let Some(seq) = self.head_seq(s, t) {
                 if best.map(|(b, _)| seq < b).unwrap_or(true) {
                     best = Some((seq, i));
@@ -186,8 +191,12 @@ impl ReceiveQueue {
     #[inline]
     pub fn peek_match(&self, src: ProcessId, tag: Tag) -> Option<&PostedReceive> {
         let mut best: Option<(u64, u32)> = None;
-        let keys = Self::candidate_keys(src, tag);
-        let probes = if self.wildcard_live == 0 { 1 } else { 4 };
+        let (keys, candidates) = Self::candidate_keys(src, tag);
+        let probes = if self.wildcard_live == 0 {
+            1
+        } else {
+            candidates
+        };
         for &(s, t) in keys.iter().take(probes) {
             if let Some(chain) = self.buckets.get(s, t) {
                 if chain.head != NIL {
@@ -403,6 +412,26 @@ mod tests {
         // correct.
         q.register(posted(2, a, 7, 8));
         assert_eq!(q.match_incoming(a, Tag(7)).unwrap().op, op(2));
+    }
+
+    #[test]
+    fn wildcard_tag_never_matches_reserved_tags() {
+        use crate::types::COLLECTIVE_TAG_BIT;
+        let mut q = ReceiveQueue::new();
+        let a = ProcessId::new(0, 0);
+        let reserved = Tag(COLLECTIVE_TAG_BIT | 7);
+        q.register(posted(1, a, ANY_TAG.0, 8));
+        q.register(posted(2, ANY_SOURCE, ANY_TAG.0, 8));
+        // A collective-space message sails past both wildcards...
+        assert!(q.match_incoming(a, reserved).is_none());
+        assert!(q.peek_match(a, reserved).is_none());
+        // ...but a receive naming the reserved tag (even with a wildcard
+        // source) matches it as usual.
+        q.register(posted(3, ANY_SOURCE, reserved.0, 8));
+        assert_eq!(q.peek_match(a, reserved).unwrap().op, op(3));
+        assert_eq!(q.match_incoming(a, reserved).unwrap().op, op(3));
+        // The plain wildcards are still live for ordinary traffic.
+        assert_eq!(q.match_incoming(a, Tag(5)).unwrap().op, op(1));
     }
 
     #[test]

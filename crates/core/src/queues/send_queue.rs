@@ -8,14 +8,66 @@ use crate::types::{MessageId, ProcessId, Tag};
 use bytes::Bytes;
 use std::sync::Arc;
 
+/// Calls `f(offset, chunk)` for every wire chunk covering the message range
+/// `[start, end)` of the concatenation of `segments`: each chunk is at most
+/// `max_payload` bytes, is a zero-copy slice of the underlying storage, and
+/// never crosses a segment boundary (no coalescing).  A zero-length range
+/// yields exactly one empty chunk — a zero-byte push still announces the
+/// message.
+///
+/// Working on a **borrowed** slice is what keeps the fully-eager vectored
+/// send allocation-free: the engine chunks the caller's segment list
+/// directly and only pins it (in one shared `Arc<[Bytes]>`) when a pull
+/// remainder must outlive the posting call.
+pub fn chunk_segments(
+    segments: &[Bytes],
+    start: usize,
+    end: usize,
+    max_payload: usize,
+    mut f: impl FnMut(usize, Bytes),
+) {
+    debug_assert!(start <= end);
+    if start == end {
+        f(start, Bytes::new());
+        return;
+    }
+    // `base` is the message offset where the current segment starts; chunks
+    // are clipped to [start, end) ∩ the segment.
+    let mut base = 0usize;
+    for segment in segments {
+        let seg_end = base + segment.len();
+        let lo = start.max(base);
+        let hi = end.min(seg_end);
+        let mut offset = lo;
+        while offset < hi {
+            let chunk = (hi - offset).min(max_payload);
+            f(offset, segment.slice(offset - base..offset - base + chunk));
+            offset += chunk;
+        }
+        base = seg_end;
+        if base >= end {
+            break;
+        }
+    }
+}
+
 /// The payload of one send operation: a single contiguous buffer, or a
 /// vectored list of segments sent as one message.
 ///
 /// Vectored payloads are transmitted **without coalescing**: every wire
 /// packet's payload is a zero-copy [`Bytes::slice`] of exactly one segment
-/// ([`SendPayload::for_each_chunk`] never crosses a segment boundary), so a
-/// scatter list of headers and body buffers goes on the wire without ever
-/// being copied into a contiguous staging buffer.
+/// ([`chunk_segments`] never crosses a segment boundary), so a scatter list
+/// of headers and body buffers goes on the wire without ever being copied
+/// into a contiguous staging buffer.
+///
+/// A `SendPayload` only exists for sends that register a **pull remainder**
+/// (it lives in the send queue until the receiver pulls): fully-eager sends
+/// — including small vectored ones, the latency-critical case — are chunked
+/// straight off the caller's borrowed segment slice and never construct
+/// one, so they never pay the `Arc<[Bytes]>` pin.  Keeping the vectored
+/// variant a thin shared pointer (rather than inlining segments here) also
+/// keeps the [`PendingSend`] record small: it is moved in and out of the
+/// send-queue slab on every registered send.
 #[derive(Debug, Clone)]
 pub enum SendPayload {
     /// One contiguous buffer (the [`post_send`](crate::Endpoint::post_send)
@@ -24,9 +76,9 @@ pub enum SendPayload {
     /// A scatter list of segments, concatenated on the receive side (the
     /// [`post_send_vectored`](crate::Endpoint::post_send_vectored) path).
     /// Empty segments are skipped on the wire.  The list is shared
-    /// (`Arc<[Bytes]>`): posting pays one allocation to pin the segment
-    /// list, and cloning the pending payload to serve the pull phase is a
-    /// refcount bump, like the single-buffer path.
+    /// (`Arc<[Bytes]>`): a send with a pull remainder pays one allocation to
+    /// pin the segment list, and cloning the pending payload to serve the
+    /// pull phase is a refcount bump, like the single-buffer path.
     Vectored(Arc<[Bytes]>),
 }
 
@@ -47,51 +99,21 @@ impl SendPayload {
     }
 
     /// Calls `f(offset, chunk)` for every wire chunk covering the message
-    /// range `[start, end)`: each chunk is at most `max_payload` bytes, is a
-    /// zero-copy slice of the underlying storage, and never crosses a
-    /// segment boundary (no coalescing).  A zero-length range yields exactly
-    /// one empty chunk — a zero-byte push still announces the message.
+    /// range `[start, end)`; see [`chunk_segments`], which this delegates to
+    /// (a single buffer chunks exactly like a one-segment list).
     pub fn for_each_chunk(
         &self,
         start: usize,
         end: usize,
         max_payload: usize,
-        mut f: impl FnMut(usize, Bytes),
+        f: impl FnMut(usize, Bytes),
     ) {
         debug_assert!(start <= end && end <= self.len());
-        if start == end {
-            f(start, Bytes::new());
-            return;
-        }
         match self {
             SendPayload::Single(data) => {
-                let mut offset = start;
-                while offset < end {
-                    let chunk = (end - offset).min(max_payload);
-                    f(offset, data.slice(offset..offset + chunk));
-                    offset += chunk;
-                }
+                chunk_segments(std::slice::from_ref(data), start, end, max_payload, f)
             }
-            SendPayload::Vectored(segments) => {
-                // `base` is the message offset where the current segment
-                // starts; chunks are clipped to [start, end) ∩ the segment.
-                let mut base = 0usize;
-                for segment in segments.iter() {
-                    let seg_end = base + segment.len();
-                    let lo = start.max(base);
-                    let hi = end.min(seg_end);
-                    let mut offset = lo;
-                    while offset < hi {
-                        let chunk = (hi - offset).min(max_payload);
-                        f(offset, segment.slice(offset - base..offset - base + chunk));
-                        offset += chunk;
-                    }
-                    base = seg_end;
-                    if base >= end {
-                        break;
-                    }
-                }
-            }
+            SendPayload::Vectored(segments) => chunk_segments(segments, start, end, max_payload, f),
         }
     }
 }
@@ -430,6 +452,35 @@ mod tests {
             assert_eq!(got.len(), 1);
             assert_eq!((got[0].0, got[0].1), (0, 0));
         }
+    }
+
+    #[test]
+    fn single_payload_chunks_like_a_one_segment_list() {
+        let data = Bytes::from(vec![9u8; 10]);
+        let single = SendPayload::Single(data.clone());
+        let vectored = SendPayload::Vectored(vec![data].into());
+        for (start, end, max) in [(0usize, 10usize, 3usize), (2, 9, 4), (0, 0, 8)] {
+            assert_eq!(
+                chunks(&single, start, end, max)
+                    .iter()
+                    .map(|&(o, l, _)| (o, l))
+                    .collect::<Vec<_>>(),
+                chunks(&vectored, start, end, max)
+                    .iter()
+                    .map(|&(o, l, _)| (o, l))
+                    .collect::<Vec<_>>(),
+                "range {start}..{end} max {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_is_only_as_large_as_its_thin_variants() {
+        // The vectored variant must stay a thin shared pointer: PendingSend
+        // records move through the send-queue slab on every registered send,
+        // so an inline segment array here would tax every single-buffer send
+        // with its size.
+        assert!(std::mem::size_of::<SendPayload>() <= 40);
     }
 
     #[test]

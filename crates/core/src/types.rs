@@ -76,6 +76,13 @@ impl fmt::Display for ProcessId {
 }
 
 /// A user-level message tag used for matching sends to receives, as in MPI.
+///
+/// The tag space is split in two: values without [`COLLECTIVE_TAG_BIT`] are
+/// free for point-to-point traffic, values with it set are **reserved** for
+/// the collectives subsystem (and for the [`ANY_TAG`] sentinel).  Reserved
+/// tags are never matched by an [`ANY_TAG`] wildcard receive, so collective
+/// traffic cannot be stolen by an application's catch-all receive posted on
+/// the same endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Tag(pub u32);
 
@@ -84,6 +91,14 @@ impl Tag {
     #[inline]
     pub fn is_any(&self) -> bool {
         *self == ANY_TAG
+    }
+
+    /// `true` when this tag lies in the reserved (collective) half of the
+    /// tag space — see [`COLLECTIVE_TAG_BIT`].  The [`ANY_TAG`] sentinel is
+    /// reserved too.
+    #[inline]
+    pub fn is_reserved(&self) -> bool {
+        self.0 & COLLECTIVE_TAG_BIT != 0
     }
 }
 
@@ -125,10 +140,22 @@ pub const ANY_SOURCE: ProcessId = ProcessId {
 };
 
 /// Wildcard tag selector for posted receives: matches a message with any
-/// tag, as MPI's `MPI_ANY_TAG` does.
+/// **non-reserved** tag, as MPI's `MPI_ANY_TAG` does within a communicator.
+/// Messages sent with a reserved (collective-space) tag are invisible to it;
+/// they can only be matched by naming their concrete tag.
 ///
 /// This is a reserved [`Tag`] value (`u32::MAX`); senders must not use it.
 pub const ANY_TAG: Tag = Tag(u32::MAX);
+
+/// The high bit of the 32-bit tag space marks a tag as **reserved** for the
+/// collectives subsystem: per-group collective operations derive their tags
+/// inside this half, and wildcard ([`ANY_TAG`]) receives never match it, so
+/// user point-to-point traffic and collective traffic cannot collide on one
+/// endpoint.  The transport front-end rejects reserved tags on its posting
+/// API ([`crate::Error::ReservedTag`]); only the collectives layer (or code
+/// driving [`crate::RawTransport`] directly, which is trusted to know what
+/// it is doing) uses them.
+pub const COLLECTIVE_TAG_BIT: u32 = 0x8000_0000;
 
 /// Identifies a protocol timer (used by the go-back-N retransmission logic).
 ///
@@ -197,5 +224,13 @@ mod tests {
         assert!(ANY_TAG.is_any());
         assert!(!Tag(0).is_any());
         assert_eq!(ANY_SOURCE.as_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn reserved_tag_space_is_the_high_bit() {
+        assert!(!Tag(0).is_reserved());
+        assert!(!Tag(COLLECTIVE_TAG_BIT - 1).is_reserved());
+        assert!(Tag(COLLECTIVE_TAG_BIT).is_reserved());
+        assert!(ANY_TAG.is_reserved(), "the wildcard sentinel is reserved");
     }
 }

@@ -1,0 +1,137 @@
+//! Collective communication demo: a distributed "word-count"-style
+//! pipeline — scatter, compute, all-reduce, gather — run twice:
+//!
+//! 1. deterministically, with every rank as a task on one [`Driver`] over
+//!    the loopback cluster (the same interleaving every run), and
+//! 2. concurrently, with one OS thread per rank over the intranode host
+//!    backend, using the blocking collective flavours.
+//!
+//! Run with `cargo run --example collectives`.
+
+use bytes::Bytes;
+use push_pull_messaging::coll::Group;
+use push_pull_messaging::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Sum two little-endian u64 payloads element-wise (length-preserving and
+/// associative, as the reduce contract requires; addition is commutative
+/// too, but the tree wouldn't care if it weren't).
+fn sum_u64(a: Bytes, b: Bytes) -> Bytes {
+    let mut out = Vec::with_capacity(a.len());
+    for (x, y) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        let sum =
+            u64::from_le_bytes(x.try_into().unwrap()) + u64::from_le_bytes(y.try_into().unwrap());
+        out.extend_from_slice(&sum.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// The SPMD body every rank runs: scatter a block of numbers from rank 0,
+/// locally sum the block, all-reduce the partial sums, and gather the
+/// per-rank partials back to rank 0 for display.
+async fn rank_body<T: ppmsg_core::RawTransport>(
+    member: GroupMember<T>,
+    input: Bytes,
+    block: usize,
+    log: Arc<Mutex<Vec<String>>>,
+) {
+    let n = member.group().size();
+    let mine = member.scatter(0, input, block).await.expect("scatter");
+
+    // Local phase: fold my block into one u64.
+    let local: u64 = mine
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .sum();
+
+    // Everyone learns the global sum.
+    let global = member
+        .all_reduce(Bytes::copy_from_slice(&local.to_le_bytes()), sum_u64)
+        .await
+        .expect("all_reduce");
+    let global = u64::from_le_bytes(global[..8].try_into().unwrap());
+
+    // Rank 0 collects the per-rank partials for the report.
+    let partials = member
+        .gather(0, Bytes::copy_from_slice(&local.to_le_bytes()))
+        .await
+        .expect("gather");
+    member.barrier().await.expect("barrier");
+
+    if let Some(partials) = partials {
+        let per_rank: Vec<u64> = partials
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        log.lock().unwrap().push(format!(
+            "  {n} ranks: partial sums {per_rank:?}, global sum {global}"
+        ));
+    }
+}
+
+fn input_numbers(n_ranks: usize, per_rank: usize) -> (Bytes, usize, u64) {
+    let total = n_ranks * per_rank;
+    let mut buf = Vec::with_capacity(total * 8);
+    let mut expect = 0u64;
+    for v in 1..=total as u64 {
+        expect += v;
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    (Bytes::from(buf), per_rank * 8, expect)
+}
+
+fn main() {
+    let ranks = 6usize;
+    let (input, block, expect) = input_numbers(ranks, 8);
+    println!(
+        "summing 1..={} across {ranks} ranks (expect {expect})",
+        ranks * 8
+    );
+
+    // --- Deterministic: one Driver, loopback cluster, three sim nodes. ---
+    println!("loopback cluster, one Driver:");
+    let cluster = LoopbackCluster::new(ProtocolConfig::paper_internode());
+    let ids: Vec<ProcessId> = (0..ranks)
+        .map(|r| ProcessId::new((r / 2) as u32, (r % 2) as u32))
+        .collect();
+    let group = Group::new(1, ids.clone()).unwrap();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut driver = Driver::new();
+    for &id in &ids {
+        let member = group.bind(Endpoint::new(cluster.add_endpoint(id))).unwrap();
+        let data = if member.rank() == 0 {
+            input.clone()
+        } else {
+            Bytes::new()
+        };
+        driver.spawn(rank_body(member, data, block, log.clone()));
+    }
+    driver.run();
+    for line in log.lock().unwrap().drain(..) {
+        println!("{line}");
+    }
+
+    // --- Concurrent: one thread per rank, intranode shared memory. ---
+    println!("intranode host backend, one thread per rank:");
+    let host = HostCluster::new(0, ProtocolConfig::paper_intranode());
+    let ids: Vec<ProcessId> = (0..ranks as u32).map(|r| ProcessId::new(0, r)).collect();
+    let group = Group::new(2, ids.clone()).unwrap();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
+        for &id in &ids {
+            let member = group
+                .bind(Endpoint::new(host.add_endpoint(id.local_rank)))
+                .unwrap();
+            let data = if member.rank() == 0 {
+                input.clone()
+            } else {
+                Bytes::new()
+            };
+            let log = log.clone();
+            s.spawn(move || block_on(rank_body(member, data, block, log)));
+        }
+    });
+    for line in log.lock().unwrap().drain(..) {
+        println!("{line}");
+    }
+}

@@ -175,12 +175,29 @@ pub(crate) struct ThreadParker {
     notified: AtomicBool,
 }
 
+std::thread_local! {
+    /// One cached parker per thread for the blocking-wait path.  Handing the
+    /// same `Arc` to every `Endpoint::wait` on a thread makes a blocking-wait
+    /// loop allocation-free (the waker clone is a refcount bump); a stale
+    /// notification left by an earlier wait at worst causes one spurious
+    /// wake-up, which every user of the parker already tolerates.
+    static CACHED_PARKER: Arc<ThreadParker> = ThreadParker::current();
+}
+
 impl ThreadParker {
     pub(crate) fn current() -> Arc<Self> {
         Arc::new(ThreadParker {
             thread: std::thread::current(),
             notified: AtomicBool::new(false),
         })
+    }
+
+    /// The calling thread's cached parker (see [`CACHED_PARKER`]).  Safe for
+    /// `Endpoint::wait`, which never re-enters itself on one thread; the
+    /// executors ([`block_on`], [`Driver`]) keep private instances because a
+    /// future they poll may legitimately call a blocking wait inside.
+    pub(crate) fn cached() -> Arc<Self> {
+        CACHED_PARKER.with(Arc::clone)
     }
 
     /// Parks the current thread until `notify` has been called since the

@@ -1,0 +1,72 @@
+//! Personalized all-to-all exchange: every rank hands a distinct block to
+//! every other rank.
+
+use super::group::GroupMember;
+use bytes::Bytes;
+use ppmsg_core::{Error, OpId, RawTransport, Result};
+use std::future::Future;
+
+impl<T: RawTransport> GroupMember<T> {
+    /// Exchanges personalized blocks with every member: `blocks[r]` is what
+    /// this rank sends to rank `r` (all blocks the same, group-uniform
+    /// length; `blocks.len()` must equal the group size), and the returned
+    /// vector holds what each rank sent to this one (`result[r]` from rank
+    /// `r`, the own block passed through locally).
+    ///
+    /// All `n - 1` receives are posted up front, then the sends go out in
+    /// rotation order (`rank + 1, rank + 2, ...` wrapping), so every pair
+    /// exchanges simultaneously and no rank is a hotspot; the transport's
+    /// push-pull flow control does the pacing.
+    pub fn all_to_all(&self, blocks: &[Bytes]) -> impl Future<Output = Result<Vec<Bytes>>> + '_ {
+        let tag = self.coll_tag();
+        // Pin the caller's blocks (refcount bumps) so the future is
+        // self-contained.
+        let blocks = blocks.to_vec();
+        async move {
+            let n = self.size();
+            let rank = self.rank();
+            if blocks.len() != n {
+                return Err(Error::CollectiveMisuse {
+                    what: "all_to_all needs exactly one block per member",
+                });
+            }
+            let len = blocks.first().map(Bytes::len).unwrap_or(0);
+            if blocks.iter().any(|b| b.len() != len) {
+                return Err(Error::CollectiveMisuse {
+                    what: "all_to_all blocks must have equal, group-uniform length",
+                });
+            }
+            let mut recvs: Vec<(usize, OpId)> = Vec::with_capacity(n - 1);
+            for i in 1..n {
+                let from = (rank + n - i) % n;
+                recvs.push((from, self.coll_post_recv(from, tag, len)?));
+            }
+            let mut sends: Vec<OpId> = Vec::with_capacity(n - 1);
+            for i in 1..n {
+                let to = (rank + i) % n;
+                sends.push(self.coll_post_send(to, tag, blocks[to].clone())?);
+            }
+            let mut results: Vec<Bytes> = vec![Bytes::new(); n];
+            results[rank] = blocks[rank].clone();
+            for (from, op) in recvs {
+                let done = self.coll_wait(op).await?;
+                let got = done.data.unwrap_or_default();
+                if got.len() != len {
+                    return Err(Error::CollectiveMisuse {
+                        what: "all_to_all blocks must have equal, group-uniform length",
+                    });
+                }
+                results[from] = got;
+            }
+            for op in sends {
+                self.coll_wait(op).await?;
+            }
+            Ok(results)
+        }
+    }
+
+    /// Blocking flavour of [`GroupMember::all_to_all`].
+    pub fn all_to_all_blocking(&self, blocks: &[Bytes]) -> Result<Vec<Bytes>> {
+        crate::async_transport::block_on(self.all_to_all(blocks))
+    }
+}

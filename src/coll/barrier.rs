@@ -1,0 +1,43 @@
+//! Dissemination barrier: `ceil(log2 n)` rounds of zero-byte exchanges
+//! after which every rank has (transitively) heard from every other rank —
+//! no rank can pass the barrier before the last rank has entered it.
+
+use super::group::GroupMember;
+use super::tree;
+use bytes::Bytes;
+use ppmsg_core::{RawTransport, Result};
+use std::future::Future;
+
+impl<T: RawTransport> GroupMember<T> {
+    /// Synchronizes the whole group: completes only after **every** member
+    /// has entered the barrier.
+    ///
+    /// Uses the dissemination algorithm: in round `k` each rank sends a
+    /// zero-byte message to `(rank + 2^k) mod n` and waits for one from
+    /// `(rank - 2^k) mod n`.  After `ceil(log2 n)` rounds, each rank's exit
+    /// transitively depends on every rank's entry — the same latency as a
+    /// binomial gather + broadcast, but symmetric (no root) and with one
+    /// message per rank per round.
+    pub fn barrier(&self) -> impl Future<Output = Result<()>> + '_ {
+        let tag = self.coll_tag();
+        async move {
+            let n = self.size();
+            for k in 0..tree::rounds(n) {
+                let (to, from) = tree::dissemination_peers(self.rank(), n, k);
+                // Post both before awaiting either: the send must not wait
+                // for the receive, or two ranks in the same round deadlock.
+                let recv = self.coll_post_recv(from, tag, 0)?;
+                let send = self.coll_post_send(to, tag, Bytes::new())?;
+                self.coll_wait(recv).await?;
+                self.coll_wait(send).await?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Blocking flavour of [`GroupMember::barrier`] (one thread per rank on
+    /// the host backends).
+    pub fn barrier_blocking(&self) -> Result<()> {
+        crate::async_transport::block_on(self.barrier())
+    }
+}

@@ -1,0 +1,197 @@
+//! Binomial-tree broadcast, with a pipelined chunked variant for large
+//! payloads.
+
+use super::group::GroupMember;
+use super::tree;
+use super::MAX_CHILDREN;
+use bytes::Bytes;
+use ppmsg_core::{Error, OpId, RawTransport, Result, Tag};
+use std::future::Future;
+
+impl<T: RawTransport> GroupMember<T> {
+    /// Broadcasts `len` bytes from rank `root` to every member, returning
+    /// the payload on all ranks.
+    ///
+    /// The root passes the payload as `data` (its length must equal `len`);
+    /// the other ranks pass anything (conventionally `Bytes::new()`) — like
+    /// MPI's `MPI_Bcast` count, **`len` must be the same on every rank**: it
+    /// is what lets each relay derive the pipeline chunking without a
+    /// metadata round-trip.
+    ///
+    /// Payloads up to the group's [`chunk size`](super::Group::chunk_size)
+    /// travel as one message down a binomial tree rooted at `root`
+    /// (`ceil(log2 n)` latency steps, every hop a zero-copy refcount of the
+    /// same buffer).  Larger payloads are split into chunks that each relay
+    /// forwards as soon as it arrives, so all tree levels stream
+    /// concurrently and the pipeline hides the depth.
+    ///
+    /// ```
+    /// use push_pull_messaging::prelude::*;
+    /// use push_pull_messaging::coll::Group;
+    /// use bytes::Bytes;
+    ///
+    /// let cluster = LoopbackCluster::new(ProtocolConfig::paper_intranode());
+    /// let ids: Vec<ProcessId> = (0..3).map(|r| ProcessId::new(0, r)).collect();
+    /// let group = Group::new(1, ids.clone()).unwrap();
+    /// let members: Vec<_> = ids
+    ///     .iter()
+    ///     .map(|&id| group.bind(Endpoint::new(cluster.add_endpoint(id))).unwrap())
+    ///     .collect();
+    ///
+    /// // One Driver runs all three ranks deterministically on one thread.
+    /// let mut driver = Driver::new();
+    /// for member in members {
+    ///     driver.spawn(async move {
+    ///         let data = if member.rank() == 0 {
+    ///             Bytes::from(vec![0xAB; 64])
+    ///         } else {
+    ///             Bytes::new()
+    ///         };
+    ///         let got = member.broadcast(0, data, 64).await.unwrap();
+    ///         assert_eq!(&got[..], &[0xAB; 64][..]);
+    ///     });
+    /// }
+    /// driver.run();
+    /// ```
+    pub fn broadcast(
+        &self,
+        root: usize,
+        data: Bytes,
+        len: usize,
+    ) -> impl Future<Output = Result<Bytes>> + '_ {
+        let tag = self.coll_tag();
+        async move { self.broadcast_with_tag(root, data, len, tag).await }
+    }
+
+    /// Blocking flavour of [`GroupMember::broadcast`]: drives the future on
+    /// the calling thread (each rank on its own thread for the host
+    /// backends; prefer the future + a `Driver` on the loopback cluster,
+    /// where a lone blocking rank would wait for peers forever).
+    pub fn broadcast_blocking(&self, root: usize, data: Bytes, len: usize) -> Result<Bytes> {
+        crate::async_transport::block_on(self.broadcast(root, data, len))
+    }
+
+    /// The broadcast body under an externally chosen tag — shared with the
+    /// dissemination phase of [`GroupMember::all_reduce`].
+    pub(crate) async fn broadcast_with_tag(
+        &self,
+        root: usize,
+        data: Bytes,
+        len: usize,
+        tag: Tag,
+    ) -> Result<Bytes> {
+        self.check_root(root)?;
+        let n = self.size();
+        if self.rank() == root && data.len() != len {
+            return Err(Error::CollectiveMisuse {
+                what: "broadcast root must supply exactly `len` bytes",
+            });
+        }
+        if n == 1 {
+            return Ok(data);
+        }
+        if len > self.group().chunk_size() {
+            self.broadcast_chunked(root, data, len, tag).await
+        } else {
+            self.broadcast_plain(root, data, len, tag).await
+        }
+    }
+
+    /// Single-message binomial broadcast: receive from the tree parent,
+    /// forward to every child (largest subtree first), all forwards
+    /// overlapped.
+    async fn broadcast_plain(
+        &self,
+        root: usize,
+        data: Bytes,
+        len: usize,
+        tag: Tag,
+    ) -> Result<Bytes> {
+        let n = self.size();
+        // Virtual rank: the tree is rooted at `root` by rotation — order is
+        // irrelevant for a broadcast, so no extra relay hop is needed.
+        let v = (self.rank() + n - root) % n;
+        let abs = |vr: usize| (vr + root) % n;
+        let payload = if v == 0 {
+            data
+        } else {
+            let got = self.coll_recv(abs(tree::parent(v)), tag, len).await?;
+            if got.len() != len {
+                return Err(Error::CollectiveMisuse {
+                    what: "broadcast payload shorter than the group-uniform len",
+                });
+            }
+            got
+        };
+        // Forwarding is a refcount bump per child, never a copy.
+        let mut pending = [None::<OpId>; MAX_CHILDREN];
+        let mut count = 0;
+        for child in tree::children(v, n) {
+            pending[count] = Some(self.coll_post_send(abs(child), tag, payload.clone())?);
+            count += 1;
+        }
+        for op in pending.iter().take(count).flatten() {
+            self.coll_wait(*op).await?;
+        }
+        Ok(payload)
+    }
+
+    /// Pipelined chunked broadcast: the payload is cut into
+    /// [`chunk_size`](super::Group::chunk_size) pieces; every relay posts
+    /// all its chunk receives up front and forwards each chunk the moment it
+    /// completes, so the tree streams — chunk `i` moves through level `d+1`
+    /// while chunk `i+1` is still arriving at level `d`.
+    async fn broadcast_chunked(
+        &self,
+        root: usize,
+        data: Bytes,
+        len: usize,
+        tag: Tag,
+    ) -> Result<Bytes> {
+        let n = self.size();
+        let chunk = self.group().chunk_size();
+        let chunks = len.div_ceil(chunk);
+        let v = (self.rank() + n - root) % n;
+        let abs = |vr: usize| (vr + root) % n;
+        let children: Vec<usize> = tree::children(v, n).map(abs).collect();
+        let mut sends: Vec<OpId> = Vec::with_capacity(children.len() * chunks);
+
+        let payload = if v == 0 {
+            for i in 0..chunks {
+                let lo = i * chunk;
+                // Chunks are zero-copy slices of the root buffer.
+                let piece = data.slice(lo..len.min(lo + chunk));
+                for &child in &children {
+                    sends.push(self.coll_post_send(child, tag, piece.clone())?);
+                }
+            }
+            data
+        } else {
+            let parent = abs(tree::parent(v));
+            let recvs: Vec<OpId> = (0..chunks)
+                .map(|_| self.coll_post_recv(parent, tag, chunk))
+                .collect::<Result<_>>()?;
+            let mut assembled = Vec::with_capacity(len);
+            for (i, op) in recvs.into_iter().enumerate() {
+                let done = self.coll_wait(op).await?;
+                let piece = done.data.unwrap_or_default();
+                let lo = i * chunk;
+                if piece.len() != len.min(lo + chunk) - lo {
+                    return Err(Error::CollectiveMisuse {
+                        what: "broadcast chunk shorter than the group-uniform split",
+                    });
+                }
+                // Forward before touching the next chunk: the pipeline.
+                for &child in &children {
+                    sends.push(self.coll_post_send(child, tag, piece.clone())?);
+                }
+                assembled.extend_from_slice(&piece);
+            }
+            Bytes::from(assembled)
+        };
+        for op in sends {
+            self.coll_wait(op).await?;
+        }
+        Ok(payload)
+    }
+}

@@ -1,0 +1,158 @@
+//! Binomial-tree gather and scatter.  Both move whole **subtree blocks** —
+//! a binomial subtree covers a contiguous rank range, so its members'
+//! payloads form one contiguous region of the gathered buffer.  Gather rides
+//! the vectored-send path: a relay forwards its accumulated segment list
+//! without ever coalescing it in memory.
+
+use super::group::GroupMember;
+use super::tree;
+use super::MAX_CHILDREN;
+use bytes::Bytes;
+use ppmsg_core::{Error, OpId, RawTransport, Result};
+use std::future::Future;
+
+impl<T: RawTransport> GroupMember<T> {
+    /// Gathers every rank's `contribution` to rank `root`, which receives
+    /// the concatenation in **rank order** (`n * len` bytes, where `len` is
+    /// the group-uniform contribution length); the other ranks get `None`.
+    ///
+    /// Relays climb a rank-0-rooted binomial tree: each relay accumulates
+    /// its subtree's blocks as a segment list and forwards them as **one
+    /// vectored send** — the blocks are concatenated by the transport on the
+    /// receiving side, never copied into a staging buffer on the sending
+    /// side.  For `root != 0`, the result takes one extra hop from rank 0.
+    pub fn gather(
+        &self,
+        root: usize,
+        contribution: Bytes,
+    ) -> impl Future<Output = Result<Option<Bytes>>> + '_ {
+        let tag = self.coll_tag();
+        async move {
+            self.check_root(root)?;
+            let n = self.size();
+            let rank = self.rank();
+            let len = contribution.len();
+            // Climb: segments accumulate [rank, rank + covered) in order.
+            let mut segments: Vec<Bytes> = Vec::with_capacity(tree::rounds(n) as usize + 1);
+            segments.push(contribution);
+            let mut k = 0;
+            while 1usize << k < n {
+                let bit = 1usize << k;
+                if rank & bit != 0 {
+                    let op = self.coll_post_send_vectored(rank - bit, tag, &segments)?;
+                    self.coll_wait(op).await?;
+                    segments.clear();
+                    break;
+                }
+                if rank + bit < n {
+                    let peer = rank + bit;
+                    let block = bit.min(n - peer) * len;
+                    let got = self.coll_recv(peer, tag, block).await?;
+                    if got.len() != block {
+                        return Err(Error::CollectiveMisuse {
+                            what: "gather contributions must have equal length on every rank",
+                        });
+                    }
+                    segments.push(got);
+                }
+                k += 1;
+            }
+            if rank == 0 {
+                let mut out = Vec::with_capacity(n * len);
+                for segment in &segments {
+                    out.extend_from_slice(segment);
+                }
+                let all = Bytes::from(out);
+                if root == 0 {
+                    return Ok(Some(all));
+                }
+                self.coll_send(root, tag, all).await?;
+                Ok(None)
+            } else if rank == root {
+                Ok(Some(self.coll_recv(0, tag, n * len).await?))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    /// Blocking flavour of [`GroupMember::gather`].
+    pub fn gather_blocking(&self, root: usize, contribution: Bytes) -> Result<Option<Bytes>> {
+        crate::async_transport::block_on(self.gather(root, contribution))
+    }
+
+    /// Scatters `root`'s buffer of `n * len` bytes across the group in rank
+    /// order: every rank returns its own `len`-byte block.  The root passes
+    /// the full buffer as `data`; the other ranks pass anything
+    /// (conventionally `Bytes::new()`).  Like `broadcast`, **`len` must be
+    /// group-uniform**.
+    ///
+    /// Blocks descend a rank-0-rooted binomial tree, halving at each level:
+    /// every forwarded piece is a zero-copy slice of the buffer the relay
+    /// received.  For `root != 0` the whole buffer takes one extra hop from
+    /// `root` to rank 0 first (rank 0 then redistributes — the root's own
+    /// block comes back to it through the tree).
+    pub fn scatter(
+        &self,
+        root: usize,
+        data: Bytes,
+        len: usize,
+    ) -> impl Future<Output = Result<Bytes>> + '_ {
+        let tag = self.coll_tag();
+        async move {
+            self.check_root(root)?;
+            let n = self.size();
+            let rank = self.rank();
+            if rank == root && data.len() != n * len {
+                return Err(Error::CollectiveMisuse {
+                    what: "scatter root must supply size() * len bytes",
+                });
+            }
+            // Move the full buffer to the tree root (rank 0).
+            let held = if rank == 0 {
+                if root == 0 {
+                    data
+                } else {
+                    let got = self.coll_recv(root, tag, n * len).await?;
+                    if got.len() != n * len {
+                        return Err(Error::CollectiveMisuse {
+                            what: "scatter buffer shorter than the group-uniform split",
+                        });
+                    }
+                    got
+                }
+            } else {
+                if rank == root {
+                    self.coll_send(0, tag, data).await?;
+                }
+                // Receive my subtree's block from my tree parent.
+                let span = tree::subtree_size(rank, n);
+                let got = self.coll_recv(tree::parent(rank), tag, span * len).await?;
+                if got.len() != span * len {
+                    return Err(Error::CollectiveMisuse {
+                        what: "scatter block shorter than the group-uniform split",
+                    });
+                }
+                got
+            };
+            // Forward each child its subtree's slice (zero-copy).
+            let mut pending = [None::<OpId>; MAX_CHILDREN];
+            let mut count = 0;
+            for child in tree::children(rank, n) {
+                let offset = (child - rank) * len;
+                let piece = held.slice(offset..offset + tree::subtree_size(child, n) * len);
+                pending[count] = Some(self.coll_post_send(child, tag, piece)?);
+                count += 1;
+            }
+            for op in pending.iter().take(count).flatten() {
+                self.coll_wait(*op).await?;
+            }
+            Ok(held.slice(0..len))
+        }
+    }
+
+    /// Blocking flavour of [`GroupMember::scatter`].
+    pub fn scatter_blocking(&self, root: usize, data: Bytes, len: usize) -> Result<Bytes> {
+        crate::async_transport::block_on(self.scatter(root, data, len))
+    }
+}

@@ -1,0 +1,402 @@
+//! Process groups: the ordered member set every collective operation runs
+//! over, and the per-rank [`GroupMember`] handle that binds a group to one
+//! endpoint.
+
+use crate::transport::Endpoint;
+use bytes::Bytes;
+use ppmsg_core::{
+    Error, OpId, ProcessId, RawTransport, Result, Tag, TruncationPolicy, COLLECTIVE_TAG_BIT,
+};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Default pipeline chunk size for large broadcasts (see
+/// [`Group::with_chunk_size`]): payloads above this are split into
+/// `chunk_size` pieces relayed down the tree as they arrive.
+pub const DEFAULT_CHUNK_SIZE: usize = 32 * 1024;
+
+#[derive(Debug)]
+struct GroupInner {
+    id: u16,
+    members: Box<[ProcessId]>,
+    chunk_size: usize,
+}
+
+/// An ordered set of processes that perform collective operations together —
+/// the communicator of the collectives subsystem.
+///
+/// A process's **rank** is its index in the member list; every collective is
+/// defined in rank order (a non-commutative reduce combines contributions as
+/// the left fold over ranks `0..n`).  The group's `id` carves out a slice of
+/// the reserved collective tag space ([`COLLECTIVE_TAG_BIT`]): two groups
+/// with different ids can run collectives over the same endpoints
+/// concurrently without their traffic mixing, and no group's traffic is ever
+/// visible to user point-to-point receives — wildcard (`ANY_TAG`) receives
+/// skip the reserved space entirely.
+///
+/// `Group` is cheaply cloneable (shared immutable state); every rank
+/// typically holds a clone and binds its own endpoint with [`Group::bind`].
+///
+/// ```
+/// use push_pull_messaging::prelude::*;
+/// use push_pull_messaging::coll::Group;
+/// use bytes::Bytes;
+///
+/// let cluster = LoopbackCluster::new(ProtocolConfig::paper_intranode());
+/// let ids: Vec<ProcessId> = (0..4).map(|r| ProcessId::new(0, r)).collect();
+/// let group = Group::new(7, ids.clone()).unwrap();
+/// assert_eq!(group.size(), 4);
+/// assert_eq!(group.rank_of(ids[2]), Some(2));
+///
+/// // Each rank binds its own endpoint; the binding checks membership.
+/// let member0 = group
+///     .bind(Endpoint::new(cluster.add_endpoint(ids[0])))
+///     .unwrap();
+/// assert_eq!(member0.rank(), 0);
+/// # let _ = member0;
+/// # let _ = Bytes::new();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Group {
+    inner: Arc<GroupInner>,
+}
+
+impl Group {
+    /// Largest usable group id.  The derived-tag layout is `bit 31`
+    /// (reserved flag) `| id << 8 | sequence slot`, so ids occupy bits
+    /// 8..23 and bits 24..30 are **always zero** — that zero gap is what
+    /// keeps every derived tag distinct from the all-ones `ANY_TAG`
+    /// sentinel, for any id.  The cap merely keeps ids to 15 bits, holding
+    /// the top bit of the id field (and the value `0x7FFF`) in reserve for
+    /// future tag-space subdivision.
+    pub const MAX_GROUP_ID: u16 = 0x7FFE;
+
+    /// Creates a group from an ordered member list.  Every member must be a
+    /// distinct, concrete process id; `id` must be at most
+    /// [`Group::MAX_GROUP_ID`]; the list must not be empty.  All ranks must
+    /// construct the group with the **same id and member order** — the order
+    /// *is* the rank assignment.
+    pub fn new(id: u16, members: impl Into<Vec<ProcessId>>) -> Result<Group> {
+        let members: Vec<ProcessId> = members.into();
+        if id > Self::MAX_GROUP_ID {
+            return Err(Error::CollectiveMisuse {
+                what: "group id exceeds MAX_GROUP_ID",
+            });
+        }
+        if members.is_empty() {
+            return Err(Error::CollectiveMisuse {
+                what: "a group needs at least one member",
+            });
+        }
+        for (i, m) in members.iter().enumerate() {
+            if m.is_any_source() {
+                return Err(Error::CollectiveMisuse {
+                    what: "wildcard process ids cannot be group members",
+                });
+            }
+            if members[..i].contains(m) {
+                return Err(Error::CollectiveMisuse {
+                    what: "duplicate member in group",
+                });
+            }
+        }
+        Ok(Group {
+            inner: Arc::new(GroupInner {
+                id,
+                members: members.into_boxed_slice(),
+                chunk_size: DEFAULT_CHUNK_SIZE,
+            }),
+        })
+    }
+
+    /// Returns a copy of this group with a different broadcast pipeline
+    /// chunk size (minimum 1).  Like the member order, the chunk size is
+    /// part of the collective contract: all ranks must use the same value.
+    pub fn with_chunk_size(&self, chunk_size: usize) -> Group {
+        Group {
+            inner: Arc::new(GroupInner {
+                id: self.inner.id,
+                members: self.inner.members.clone(),
+                chunk_size: chunk_size.max(1),
+            }),
+        }
+    }
+
+    /// The group id (the tag-space slice this group communicates in).
+    pub fn id(&self) -> u16 {
+        self.inner.id
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.inner.members.len()
+    }
+
+    /// The ordered member list; a member's index is its rank.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.inner.members
+    }
+
+    /// The rank of `id` within this group, if it is a member.
+    pub fn rank_of(&self, id: ProcessId) -> Option<usize> {
+        self.inner.members.iter().position(|&m| m == id)
+    }
+
+    /// The broadcast pipeline chunk size (see [`Group::with_chunk_size`]).
+    pub fn chunk_size(&self) -> usize {
+        self.inner.chunk_size
+    }
+
+    /// Binds `endpoint` to this group, producing the [`GroupMember`] handle
+    /// collective operations are invoked on.  Fails if the endpoint's
+    /// process id is not in the member list.
+    pub fn bind<T: RawTransport>(&self, endpoint: Endpoint<T>) -> Result<GroupMember<T>> {
+        let Some(rank) = self.rank_of(endpoint.local_id()) else {
+            return Err(Error::CollectiveMisuse {
+                what: "endpoint is not a member of the group",
+            });
+        };
+        Ok(GroupMember {
+            group: self.clone(),
+            rank,
+            endpoint,
+            next_seq: Cell::new(0),
+        })
+    }
+}
+
+/// One rank's handle on a [`Group`]: the object collective operations are
+/// invoked on.
+///
+/// Each collective call consumes one slot of the member's cyclic collective
+/// sequence, which (together with the group id) derives the reserved tag the
+/// operation communicates under.  For the tags to line up, **every member
+/// must invoke the same collectives in the same order** — the usual MPI
+/// rule.  Consequently a `GroupMember` is not `Clone`: one handle per
+/// (group, endpoint) pair keeps the sequence consistent.  Collectives on
+/// *different* groups (different ids) may interleave freely, as may ordinary
+/// point-to-point traffic on the same endpoint.
+///
+/// The sequence cycles through [`GroupMember::SEQ_SLOTS`] tag slots, so a
+/// long-lived group reuses a bounded tag set (the engine's per-`(src, tag)`
+/// matching state stays bounded too, however many collectives ever run); the
+/// corresponding contract is that no more than `SEQ_SLOTS` collectives of
+/// one group may be simultaneously in flight per member — far beyond any
+/// sane overlap, since each one pins buffers and operations.
+///
+/// Every collective comes in two flavours: a future (driveable by
+/// [`Driver`](crate::async_transport::Driver) or any executor, so one thread
+/// can run many ranks deterministically on the loopback cluster) and a
+/// `*_blocking` convenience that drives the future on the calling thread.
+///
+/// # Errors are not recoverable within the group
+///
+/// A collective that returns an error (a contract violation such as
+/// mismatched lengths, a cancelled operation, a transport failure) may
+/// leave reserved-tag messages of the failed operation buffered at some
+/// members, and the facade deliberately gives applications no way to
+/// receive reserved tags — a later collective whose cyclic tag slot comes
+/// back around could otherwise silently match the stale message.  Treat a
+/// collective error as fatal for the group: drop every member handle and
+/// re-bind under a **fresh group id**, whose tag slice is untouched.
+#[derive(Debug)]
+pub struct GroupMember<T: RawTransport> {
+    group: Group,
+    rank: usize,
+    endpoint: Endpoint<T>,
+    next_seq: Cell<u8>,
+}
+
+impl<T: RawTransport> GroupMember<T> {
+    /// Number of distinct tag slots a member's collective sequence cycles
+    /// through — the bound on how many collectives of one group may overlap
+    /// in flight per member.
+    pub const SEQ_SLOTS: usize = 64;
+
+    /// The group this member belongs to.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// This member's rank (its index in [`Group::members`]).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The bound endpoint (point-to-point traffic stays fully usable next
+    /// to collectives).
+    pub fn endpoint(&self) -> &Endpoint<T> {
+        &self.endpoint
+    }
+
+    /// Unbinds, handing the endpoint back.
+    pub fn into_endpoint(self) -> Endpoint<T> {
+        self.endpoint
+    }
+
+    /// Number of members (shorthand for `self.group().size()`).
+    #[inline]
+    pub(crate) fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// The process id of `rank`.
+    #[inline]
+    pub(crate) fn peer(&self, rank: usize) -> ProcessId {
+        self.group.inner.members[rank]
+    }
+
+    /// Derives the reserved tag of the next collective operation and
+    /// advances the cyclic sequence.  Called exactly once per collective,
+    /// **at invocation** (not at first poll), so the tag order matches the
+    /// call order even when the returned futures are polled out of order.
+    /// Layout: the reserved bit, then the 15-bit group id, then the 8-bit
+    /// sequence slot — a bounded tag set per group, reused forever.
+    #[inline]
+    pub(crate) fn coll_tag(&self) -> Tag {
+        let seq = self.next_seq.get();
+        self.next_seq.set((seq + 1) % Self::SEQ_SLOTS as u8);
+        Tag(COLLECTIVE_TAG_BIT | (self.group.id() as u32) << 8 | seq as u32)
+    }
+
+    /// Validates a root rank.
+    #[inline]
+    pub(crate) fn check_root(&self, root: usize) -> Result<()> {
+        if root >= self.size() {
+            return Err(Error::CollectiveMisuse {
+                what: "root rank out of range",
+            });
+        }
+        Ok(())
+    }
+
+    /// Posts a collective send to `rank` and awaits its completion.  Posting
+    /// goes through the raw backend: the facade's posting API rejects
+    /// reserved tags, which is exactly what collective traffic uses.
+    pub(crate) async fn coll_send(&self, rank: usize, tag: Tag, data: Bytes) -> Result<()> {
+        let op = self.endpoint.raw().post_send(self.peer(rank), tag, data)?;
+        check(self.endpoint.future(OpId::Send(op)).await).map(|_| ())
+    }
+
+    /// Posts a collective send without awaiting it (the caller collects the
+    /// handle and awaits later, overlapping several children).
+    pub(crate) fn coll_post_send(&self, rank: usize, tag: Tag, data: Bytes) -> Result<OpId> {
+        Ok(OpId::Send(self.endpoint.raw().post_send(
+            self.peer(rank),
+            tag,
+            data,
+        )?))
+    }
+
+    /// Vectored flavour of [`GroupMember::coll_post_send`].
+    pub(crate) fn coll_post_send_vectored(
+        &self,
+        rank: usize,
+        tag: Tag,
+        segments: &[Bytes],
+    ) -> Result<OpId> {
+        Ok(OpId::Send(self.endpoint.raw().post_send_vectored(
+            self.peer(rank),
+            tag,
+            segments,
+        )?))
+    }
+
+    /// Posts a collective receive from `rank` without awaiting it.
+    pub(crate) fn coll_post_recv(&self, rank: usize, tag: Tag, capacity: usize) -> Result<OpId> {
+        Ok(OpId::Recv(self.endpoint.raw().post_recv(
+            self.peer(rank),
+            tag,
+            capacity,
+            TruncationPolicy::Error,
+        )?))
+    }
+
+    /// Posts a collective receive from `rank` and awaits the message.
+    pub(crate) async fn coll_recv(&self, rank: usize, tag: Tag, capacity: usize) -> Result<Bytes> {
+        let op = self.coll_post_recv(rank, tag, capacity)?;
+        let done = check(self.endpoint.future(op).await)?;
+        Ok(done.data.unwrap_or_default())
+    }
+
+    /// Awaits a previously posted collective operation.
+    pub(crate) async fn coll_wait(&self, op: OpId) -> Result<ppmsg_core::Completion> {
+        check(self.endpoint.future(op).await)
+    }
+}
+
+/// Maps a completion's status onto the collective's `Result`: anything but
+/// `Ok` aborts the operation with the underlying error.
+pub(crate) fn check(completion: ppmsg_core::Completion) -> Result<ppmsg_core::Completion> {
+    use ppmsg_core::Status;
+    match completion.status {
+        Status::Ok => Ok(completion),
+        Status::Truncated { message_len } => Err(Error::ReceiveTooSmall {
+            posted: completion.len,
+            incoming: message_len,
+        }),
+        Status::Cancelled => Err(Error::CollectiveMisuse {
+            what: "a collective operation was cancelled mid-flight",
+        }),
+        Status::Error(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppmsg_core::ANY_SOURCE;
+
+    fn ids(n: u32) -> Vec<ProcessId> {
+        (0..n).map(|r| ProcessId::new(0, r)).collect()
+    }
+
+    #[test]
+    fn group_validation() {
+        assert!(Group::new(0, ids(4)).is_ok());
+        assert!(Group::new(Group::MAX_GROUP_ID, ids(1)).is_ok());
+        assert!(matches!(
+            Group::new(Group::MAX_GROUP_ID + 1, ids(2)),
+            Err(Error::CollectiveMisuse { .. })
+        ));
+        assert!(matches!(
+            Group::new(0, Vec::new()),
+            Err(Error::CollectiveMisuse { .. })
+        ));
+        let mut dup = ids(3);
+        dup.push(dup[1]);
+        assert!(matches!(
+            Group::new(0, dup),
+            Err(Error::CollectiveMisuse { .. })
+        ));
+        assert!(matches!(
+            Group::new(0, vec![ANY_SOURCE]),
+            Err(Error::CollectiveMisuse { .. })
+        ));
+    }
+
+    #[test]
+    fn ranks_follow_member_order() {
+        let members = vec![
+            ProcessId::new(1, 0),
+            ProcessId::new(0, 0),
+            ProcessId::new(0, 1),
+        ];
+        let group = Group::new(3, members.clone()).unwrap();
+        for (rank, id) in members.iter().enumerate() {
+            assert_eq!(group.rank_of(*id), Some(rank));
+        }
+        assert_eq!(group.rank_of(ProcessId::new(9, 9)), None);
+        assert_eq!(group.members(), &members[..]);
+    }
+
+    #[test]
+    fn derived_tags_are_reserved_and_never_any_tag() {
+        use ppmsg_core::ANY_TAG;
+        // Even the worst-case id/seq combination stays clear of the
+        // sentinel.
+        let tag = Tag(COLLECTIVE_TAG_BIT | (Group::MAX_GROUP_ID as u32) << 8 | 0xFF);
+        assert!(tag.is_reserved());
+        assert_ne!(tag, ANY_TAG);
+    }
+}

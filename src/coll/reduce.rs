@@ -1,0 +1,144 @@
+//! Binomial-tree reduction: combine every rank's contribution with a
+//! user-supplied associative operator, preserving **rank order** so
+//! non-commutative operators fold exactly like the sequential reference.
+
+use super::group::GroupMember;
+use bytes::Bytes;
+use ppmsg_core::{Error, RawTransport, Result, Tag};
+use std::future::Future;
+
+impl<T: RawTransport> GroupMember<T> {
+    /// Reduces the group's contributions to rank `root`, returning
+    /// `Some(result)` there and `None` on every other rank.
+    ///
+    /// `combine` must be **associative** and **length-preserving** (the
+    /// result of `combine(a, b)` has the same length as `a` and `b`; all
+    /// ranks contribute equal-length payloads) — it need *not* be
+    /// commutative: the binomial tree only ever combines a contiguous rank
+    /// range with the contiguous range right of it, so the result equals
+    /// the sequential left fold `combine(..combine(combine(c0, c1), c2).., cn-1)`
+    /// in rank order, for any operator an MPI user could pass as a custom
+    /// op.
+    ///
+    /// The tree is rooted at rank 0 (rooting it elsewhere would rotate the
+    /// combine order, breaking non-commutative operators); for `root != 0`
+    /// the result takes one extra hop from rank 0 to `root`.
+    pub fn reduce<'a, F>(
+        &'a self,
+        root: usize,
+        contribution: Bytes,
+        mut combine: F,
+    ) -> impl Future<Output = Result<Option<Bytes>>> + 'a
+    where
+        F: FnMut(Bytes, Bytes) -> Bytes + 'a,
+    {
+        let tag = self.coll_tag();
+        async move {
+            self.check_root(root)?;
+            let len = contribution.len();
+            let acc = self.reduce_to_zero(contribution, tag, &mut combine).await?;
+            if root == 0 {
+                return Ok(acc);
+            }
+            let rank = self.rank();
+            if rank == 0 {
+                self.coll_send(root, tag, acc.expect("rank 0 holds the fold"))
+                    .await?;
+                Ok(None)
+            } else if rank == root {
+                Ok(Some(self.coll_recv(0, tag, len).await?))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    /// Blocking flavour of [`GroupMember::reduce`].
+    pub fn reduce_blocking<F>(
+        &self,
+        root: usize,
+        contribution: Bytes,
+        combine: F,
+    ) -> Result<Option<Bytes>>
+    where
+        F: FnMut(Bytes, Bytes) -> Bytes,
+    {
+        crate::async_transport::block_on(self.reduce(root, contribution, combine))
+    }
+
+    /// Reduces the group's contributions and delivers the result to
+    /// **every** rank: a rank-0-rooted binomial reduction followed by a
+    /// binomial broadcast, each on its own tag.  The same operator contract
+    /// as [`GroupMember::reduce`] applies.
+    pub fn all_reduce<'a, F>(
+        &'a self,
+        contribution: Bytes,
+        mut combine: F,
+    ) -> impl Future<Output = Result<Bytes>> + 'a
+    where
+        F: FnMut(Bytes, Bytes) -> Bytes + 'a,
+    {
+        let reduce_tag = self.coll_tag();
+        let bcast_tag = self.coll_tag();
+        async move {
+            let len = contribution.len();
+            let acc = self
+                .reduce_to_zero(contribution, reduce_tag, &mut combine)
+                .await?;
+            self.broadcast_with_tag(0, acc.unwrap_or_default(), len, bcast_tag)
+                .await
+        }
+    }
+
+    /// Blocking flavour of [`GroupMember::all_reduce`].
+    pub fn all_reduce_blocking<F>(&self, contribution: Bytes, combine: F) -> Result<Bytes>
+    where
+        F: FnMut(Bytes, Bytes) -> Bytes,
+    {
+        crate::async_transport::block_on(self.all_reduce(contribution, combine))
+    }
+
+    /// The rank-0-rooted binomial reduction: in round `k`, every rank with
+    /// bit `k` set sends its partial fold (covering the contiguous rank
+    /// range `[rank, rank + 2^k)`) to `rank - 2^k` and retires; the receiver
+    /// appends it to the right of its own partial — contiguity is what keeps
+    /// non-commutative operators correct.  Returns `Some(fold)` on rank 0.
+    pub(crate) async fn reduce_to_zero<F>(
+        &self,
+        contribution: Bytes,
+        tag: Tag,
+        combine: &mut F,
+    ) -> Result<Option<Bytes>>
+    where
+        F: FnMut(Bytes, Bytes) -> Bytes,
+    {
+        let n = self.size();
+        let rank = self.rank();
+        let len = contribution.len();
+        let mut acc = contribution;
+        let mut k = 0;
+        while 1usize << k < n {
+            let bit = 1usize << k;
+            if rank & bit != 0 {
+                self.coll_send(rank - bit, tag, acc).await?;
+                return Ok(None);
+            }
+            if rank + bit < n {
+                let got = self.coll_recv(rank + bit, tag, len).await?;
+                if got.len() != len {
+                    return Err(Error::CollectiveMisuse {
+                        what: "reduce contributions must have equal length on every rank",
+                    });
+                }
+                acc = combine(acc, got);
+                if acc.len() != len {
+                    return Err(Error::CollectiveMisuse {
+                        what: "reduce combine operator must preserve length",
+                    });
+                }
+            }
+            k += 1;
+        }
+        Ok(Some(acc))
+    }
+}

@@ -1,0 +1,152 @@
+//! Topology helpers for the collective algorithms: binomial trees (used by
+//! broadcast, reduce, gather, scatter) and dissemination rounds (used by
+//! barrier).  Everything here is pure rank arithmetic, unit-tested in
+//! isolation from any transport.
+//!
+//! # Binomial trees
+//!
+//! Ranks are *virtual* (tree-relative): the caller maps between virtual and
+//! absolute ranks when the tree is rooted away from rank 0 (broadcast
+//! rotates; the order-sensitive collectives root at absolute 0 instead, see
+//! the module docs of [`super`]).  Virtual rank 0 is the root; the parent of
+//! `v != 0` is `v` with its lowest set bit cleared, and the children of `v`
+//! are `v | 1 << k` for each `k` below the lowest set bit of `v` (every `k`
+//! for the root).  The subtree of `v` covers the contiguous virtual range
+//! `[v, min(v + 2^lsb(v), n))` — contiguity is what lets gather and scatter
+//! move whole subtree blocks as single messages.
+
+/// Number of communication rounds a collective over `n` ranks needs:
+/// `ceil(log2 n)`, the binomial tree depth and the dissemination round
+/// count.
+#[inline]
+pub(crate) fn rounds(n: usize) -> u32 {
+    debug_assert!(n >= 1);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Parent of virtual rank `v` in the binomial tree (`v != 0`): `v` with its
+/// lowest set bit cleared.
+#[inline]
+pub(crate) fn parent(v: usize) -> usize {
+    debug_assert!(v != 0);
+    v & (v - 1)
+}
+
+/// The size of the subtree rooted at virtual rank `v` in a tree of `n`
+/// ranks (including `v` itself).
+#[inline]
+pub(crate) fn subtree_size(v: usize, n: usize) -> usize {
+    debug_assert!(v < n);
+    if v == 0 {
+        return n;
+    }
+    let span = 1 << v.trailing_zeros();
+    span.min(n - v)
+}
+
+/// Children of virtual rank `v` in a tree of `n` ranks, **largest subtree
+/// first** (the order a pipelined broadcast should feed them in).
+pub(crate) fn children(v: usize, n: usize) -> impl Iterator<Item = usize> {
+    let limit = if v == 0 {
+        rounds(n)
+    } else {
+        v.trailing_zeros()
+    };
+    (0..limit)
+        .rev()
+        .map(move |k| v | 1 << k)
+        .filter(move |&c| c < n)
+}
+
+/// The dissemination peers of `rank` in round `k` (distance `2^k`): who we
+/// send to and who we receive from.
+#[inline]
+pub(crate) fn dissemination_peers(rank: usize, n: usize, k: u32) -> (usize, usize) {
+    let d = 1 << k;
+    ((rank + d) % n, (rank + n - d % n) % n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(rounds(1), 0);
+        assert_eq!(rounds(2), 1);
+        assert_eq!(rounds(3), 2);
+        assert_eq!(rounds(4), 2);
+        assert_eq!(rounds(5), 3);
+        assert_eq!(rounds(16), 4);
+        assert_eq!(rounds(17), 5);
+    }
+
+    #[test]
+    fn every_rank_has_exactly_one_parent_edge() {
+        for n in 1..=33usize {
+            for v in 1..n {
+                let p = parent(v);
+                assert!(p < v, "parent must be older (n={n}, v={v})");
+                assert!(
+                    children(p, n).any(|c| c == v),
+                    "child lists must mirror parent (n={n}, v={v})"
+                );
+            }
+            // The tree spans all ranks: walking parents from any rank
+            // terminates at the root.
+            for mut v in 0..n {
+                let mut hops = 0;
+                while v != 0 {
+                    v = parent(v);
+                    hops += 1;
+                    assert!(hops <= rounds(n), "path longer than tree depth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtrees_are_contiguous_and_partition_the_ranks() {
+        for n in 1..=33usize {
+            for v in 0..n {
+                let size = subtree_size(v, n);
+                assert!(v + size <= n);
+                // v's subtree = v plus its children's subtrees, contiguously.
+                let mut covered = size - 1;
+                for c in children(v, n) {
+                    covered -= subtree_size(c, n);
+                }
+                assert_eq!(covered, 0, "n={n}, v={v}");
+            }
+            assert_eq!(subtree_size(0, n), n);
+        }
+    }
+
+    #[test]
+    fn children_are_ordered_largest_subtree_first() {
+        let kids: Vec<usize> = children(0, 16).collect();
+        assert_eq!(kids, vec![8, 4, 2, 1]);
+        let kids: Vec<usize> = children(4, 16).collect();
+        assert_eq!(kids, vec![6, 5]);
+        let kids: Vec<usize> = children(0, 6).collect();
+        assert_eq!(kids, vec![4, 2, 1]);
+        assert_eq!(children(5, 6).count(), 0);
+    }
+
+    #[test]
+    fn dissemination_peers_cover_every_distance() {
+        let n = 5;
+        for rank in 0..n {
+            let mut sends = Vec::new();
+            for k in 0..rounds(n) {
+                let (to, from) = dissemination_peers(rank, n, k);
+                assert_ne!(to, rank);
+                assert_ne!(from, rank);
+                sends.push(to);
+            }
+            sends.sort_unstable();
+            sends.dedup();
+            assert_eq!(sends.len(), rounds(n) as usize, "distinct send peers");
+        }
+    }
+}

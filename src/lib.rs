@@ -22,6 +22,10 @@
 //!   [migration guide](transport) in the module docs.**
 //! * [`async_transport`] — the [`OpFuture`] completion future plus the
 //!   [`block_on`] and [`Driver`] executors.
+//! * [`coll`] — the collectives subsystem: process [`Group`]s with a
+//!   reserved per-group tag space, and tree-structured broadcast / barrier /
+//!   reduce / all-reduce / gather / scatter / all-to-all over any
+//!   [`RawTransport`] backend, as futures and blocking calls.
 //! * [`simsmp`] / [`simnet`] — the SMP-node and Fast-Ethernet substrates.
 //!
 //! See `README.md` for a quickstart and the `Transport` → `RawTransport` /
@@ -34,9 +38,11 @@ pub use simnet;
 pub use simsmp;
 
 pub mod async_transport;
+pub mod coll;
 pub mod transport;
 
 pub use async_transport::{block_on, Driver, OpFuture};
+pub use coll::{Group, GroupMember};
 pub use transport::{Endpoint, EndpointConfig, RawTransport};
 
 /// The protocol types most users need, re-exported flat.
@@ -47,6 +53,7 @@ pub use transport::{Endpoint, EndpointConfig, RawTransport};
 /// relaying actions by hand).
 pub mod prelude {
     pub use crate::async_transport::{block_on, Driver, OpFuture};
+    pub use crate::coll::{Group, GroupMember};
     pub use crate::transport::{Endpoint, EndpointConfig, RawTransport};
     pub use ppmsg_core::{
         Action, BtpPolicy, Claim, Completion, OpId, OptFlags, ProcessId, ProtocolConfig,

@@ -70,13 +70,36 @@
 use crate::async_transport::{OpFuture, ThreadParker};
 use bytes::Bytes;
 use ppmsg_core::{
-    Claim, Completion, EndpointStats, OpId, ProcessId, RecvBuf, RecvOp, Result, SendOp, Status,
-    Tag, TruncationPolicy,
+    Claim, Completion, EndpointStats, Error, OpId, ProcessId, RecvBuf, RecvOp, Result, SendOp,
+    Status, Tag, TruncationPolicy,
 };
 use std::task::Waker;
 use std::time::{Duration, Instant};
 
 pub use ppmsg_core::{EndpointConfig, RawTransport};
+
+/// Rejects a send tag in the reserved (collective) half of the tag space:
+/// the front-end keeps user point-to-point traffic out of it so per-group
+/// collective tags can never collide with application messages.  The
+/// collectives layer posts through [`RawTransport`] directly.
+#[inline]
+fn check_send_tag(tag: Tag) -> Result<()> {
+    if tag.is_reserved() {
+        return Err(Error::ReservedTag { tag });
+    }
+    Ok(())
+}
+
+/// Rejects a reserved receive selector.  [`ppmsg_core::ANY_TAG`] is allowed
+/// (it is a wildcard, not a tag on the wire) — and the matching engine
+/// guarantees it never matches reserved-tag messages.
+#[inline]
+fn check_recv_tag(tag: Tag) -> Result<()> {
+    if tag.is_reserved() && !tag.is_any() {
+        return Err(Error::ReservedTag { tag });
+    }
+    Ok(())
+}
 
 /// The generic transport front-end: one convenience layer over any
 /// [`RawTransport`] backend.
@@ -180,6 +203,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
 
     /// Posts a send; see [`RawTransport::post_send`].
     pub fn post_send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> Result<SendOp> {
+        check_send_tag(tag)?;
         self.raw.post_send(peer, tag, data.into())
     }
 
@@ -192,6 +216,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         tag: Tag,
         segments: &[Bytes],
     ) -> Result<SendOp> {
+        check_send_tag(tag)?;
         self.raw.post_send_vectored(peer, tag, segments)
     }
 
@@ -204,6 +229,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         capacity: usize,
         policy: TruncationPolicy,
     ) -> Result<RecvOp> {
+        check_recv_tag(tag)?;
         self.raw.post_recv(src, tag, capacity, policy)
     }
 
@@ -215,6 +241,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         buf: RecvBuf,
         policy: TruncationPolicy,
     ) -> Result<RecvOp> {
+        check_recv_tag(tag)?;
         self.raw.post_recv_into(src, tag, buf, policy)
     }
 
@@ -292,7 +319,9 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         /// us directly).
         const OCCUPIED_POLL: Duration = Duration::from_millis(2);
         let deadline = Instant::now() + timeout;
-        let parker = ThreadParker::current();
+        // The thread-local parker: a blocking-wait loop pays refcount bumps,
+        // not an `Arc` allocation per call (ROADMAP PR-4 item).
+        let parker = ThreadParker::cached();
         let waker = Waker::from(parker.clone());
         loop {
             let mut poll = WaitPoll::Occupied;
@@ -378,6 +407,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         tag: Tag,
         data: impl Into<Bytes>,
     ) -> Result<OpFuture<'_, T>> {
+        check_send_tag(tag)?;
         let op = self.raw.post_send(peer, tag, data.into())?;
         Ok(OpFuture::new(&self.raw, OpId::Send(op)))
     }
@@ -390,6 +420,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         tag: Tag,
         segments: &[Bytes],
     ) -> Result<OpFuture<'_, T>> {
+        check_send_tag(tag)?;
         let op = self.raw.post_send_vectored(peer, tag, segments)?;
         Ok(OpFuture::new(&self.raw, OpId::Send(op)))
     }
@@ -404,6 +435,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         capacity: usize,
         policy: TruncationPolicy,
     ) -> Result<OpFuture<'_, T>> {
+        check_recv_tag(tag)?;
         let op = self.raw.post_recv(src, tag, capacity, policy)?;
         Ok(OpFuture::new(&self.raw, OpId::Recv(op)))
     }
@@ -419,6 +451,7 @@ impl<T: RawTransport + ?Sized> Endpoint<T> {
         buf: RecvBuf,
         policy: TruncationPolicy,
     ) -> Result<OpFuture<'_, T>> {
+        check_recv_tag(tag)?;
         let op = self.raw.post_recv_into(src, tag, buf, policy)?;
         Ok(OpFuture::new(&self.raw, OpId::Recv(op)))
     }

@@ -1,0 +1,265 @@
+//! Property-based tests of the collective algorithms, run deterministically:
+//! every group lives on the loopback cluster and is driven by the
+//! single-threaded `Driver`, so each proptest case executes the same
+//! interleaving every time.
+//!
+//! * Tree `reduce` / `all_reduce` over arbitrary group sizes, payload
+//!   sizes, roots, and a **non-commutative** (but associative) combine
+//!   operator equal the sequential left fold over ranks — the rank-order
+//!   guarantee that makes user-supplied operators safe.
+//! * `barrier` never lets any rank exit before the last rank has entered,
+//!   whatever the spawn order and however unevenly ranks arrive.
+//! * Chunked pipelined `broadcast` delivers byte-identical payloads for
+//!   arbitrary payload/chunk-size combinations, including ragged tails.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use push_pull_messaging::coll::Group;
+use push_pull_messaging::prelude::*;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+/// Deterministic per-rank contribution, perturbed by the proptest seed.
+fn contribution(rank: usize, len: usize, seed: u64) -> Bytes {
+    Bytes::from(
+        (0..len)
+            .map(|i| (rank * 37 + i * 11) as u8 ^ (seed as u8))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+/// Associative, non-commutative, length-preserving combine (affine-map
+/// composition over `Z_256`; see `tests/coll_conformance.rs`).
+fn affine_combine(a: Bytes, b: Bytes) -> Bytes {
+    assert_eq!(a.len(), b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut i = 0;
+    while i + 1 < a.len() {
+        let (a1, c1) = (a[i], a[i + 1]);
+        let (a2, c2) = (b[i], b[i + 1]);
+        out.push(a1.wrapping_mul(a2));
+        out.push(a2.wrapping_mul(c1).wrapping_add(c2));
+        i += 2;
+    }
+    if a.len() % 2 == 1 {
+        out.push(a[a.len() - 1].wrapping_mul(b[b.len() - 1]));
+    }
+    Bytes::from(out)
+}
+
+/// Builds an `n`-rank loopback group spanning several simulated nodes (both
+/// the intranode and internode engine paths participate).
+fn loopback_group(n: usize, id: u16) -> Vec<GroupMember<LoopbackEndpoint>> {
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_internode().with_pushed_buffer(1 << 20));
+    let ids: Vec<ProcessId> = (0..n)
+        .map(|r| ProcessId::new((r / 3) as u32, (r % 3) as u32))
+        .collect();
+    let group = Group::new(id, ids.clone()).unwrap();
+    ids.iter()
+        .map(|&pid| {
+            group
+                .bind(Endpoint::new(cluster.add_endpoint(pid)))
+                .unwrap()
+        })
+        .collect()
+}
+
+/// A future that returns `Pending` (rescheduling itself) `n` times before
+/// resolving — lets ranks arrive at a collective after different amounts of
+/// driver work, deterministically.
+struct YieldN(usize);
+
+impl Future for YieldN {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.0 == 0 {
+            return Poll::Ready(());
+        }
+        self.0 -= 1;
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree reduction ≡ sequential left fold, for every rank count, root,
+    /// and payload size (odd, even, and empty), under a non-commutative
+    /// operator.
+    #[test]
+    fn tree_reduce_equals_sequential_left_fold(
+        n in 1usize..17,
+        len in 0usize..48,
+        root_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let root = (root_seed % n as u64) as usize;
+        let members = loopback_group(n, 21);
+        let expected = (0..n)
+            .map(|r| contribution(r, len, seed))
+            .reduce(affine_combine)
+            .unwrap();
+
+        let reduce_results = Arc::new(Mutex::new(vec![None::<Option<Bytes>>; n]));
+        let allreduce_results = Arc::new(Mutex::new(vec![None::<Bytes>; n]));
+        let mut driver = Driver::new();
+        for member in members {
+            let reduce_results = reduce_results.clone();
+            let allreduce_results = allreduce_results.clone();
+            driver.spawn(async move {
+                let rank = member.rank();
+                let mine = contribution(rank, len, seed);
+                let reduced = member
+                    .reduce(root, mine.clone(), affine_combine)
+                    .await
+                    .expect("reduce");
+                reduce_results.lock().unwrap()[rank] = Some(reduced);
+                let all = member
+                    .all_reduce(mine, affine_combine)
+                    .await
+                    .expect("all_reduce");
+                allreduce_results.lock().unwrap()[rank] = Some(all);
+            });
+        }
+        driver.run();
+        prop_assert_eq!(driver.live(), 0, "all ranks completed");
+
+        for (rank, got) in reduce_results.lock().unwrap().iter().enumerate() {
+            let got = got.as_ref().expect("rank finished");
+            if rank == root {
+                prop_assert_eq!(got.as_ref().expect("root result"), &expected);
+            } else {
+                prop_assert!(got.is_none(), "rank {} is not the root", rank);
+            }
+        }
+        for got in allreduce_results.lock().unwrap().iter() {
+            prop_assert_eq!(got.as_ref().expect("rank finished"), &expected);
+        }
+    }
+
+    /// No rank leaves a barrier before the last rank has entered it —
+    /// whatever order ranks are spawned in and however unevenly they arrive
+    /// (each rank yields a proptest-chosen number of times first).
+    #[test]
+    fn barrier_releases_no_rank_before_the_last_enters(
+        n in 2usize..13,
+        spawn_seed in any::<u64>(),
+        delays in proptest::collection::vec(0usize..25, 12..13),
+    ) {
+        let mut members: Vec<Option<_>> = loopback_group(n, 22).into_iter().map(Some).collect();
+        // Deterministic permutation of the spawn order.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = spawn_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        // (rank, entered) events in driver execution order.
+        let events = Arc::new(Mutex::new(Vec::<(usize, bool)>::new()));
+        let mut driver = Driver::new();
+        for &rank in &order {
+            let member = members[rank].take().unwrap();
+            let events = events.clone();
+            let delay = delays[rank];
+            driver.spawn(async move {
+                YieldN(delay).await;
+                events.lock().unwrap().push((member.rank(), true));
+                member.barrier().await.expect("barrier");
+                events.lock().unwrap().push((member.rank(), false));
+            });
+        }
+        driver.run();
+        prop_assert_eq!(driver.live(), 0);
+
+        let events = events.lock().unwrap();
+        prop_assert_eq!(events.len(), 2 * n);
+        let last_enter = events
+            .iter()
+            .rposition(|&(_, enter)| enter)
+            .expect("entries logged");
+        let first_exit = events
+            .iter()
+            .position(|&(_, enter)| !enter)
+            .expect("exits logged");
+        prop_assert!(
+            first_exit > last_enter,
+            "rank {} exited (event {}) before rank {} entered (event {})",
+            events[first_exit].0, first_exit, events[last_enter].0, last_enter
+        );
+    }
+
+    /// Chunked pipelined broadcast is byte-identical to the payload for
+    /// arbitrary payload lengths and chunk sizes (ragged tails included).
+    #[test]
+    fn chunked_broadcast_delivers_identical_bytes(
+        n in 2usize..10,
+        len in 1usize..6000,
+        chunk in 1usize..700,
+        root_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let root = (root_seed % n as u64) as usize;
+        let members: Vec<_> = loopback_group(n, 23)
+            .into_iter()
+            .map(|m| {
+                let group = m.group().with_chunk_size(chunk);
+                group.bind(m.into_endpoint()).unwrap()
+            })
+            .collect();
+        let payload = contribution(root, len, seed);
+        let results = Arc::new(Mutex::new(vec![None::<Bytes>; n]));
+        let mut driver = Driver::new();
+        for member in members {
+            let results = results.clone();
+            let payload = payload.clone();
+            driver.spawn(async move {
+                let rank = member.rank();
+                let data = if rank == root { payload } else { Bytes::new() };
+                let got = member.broadcast(root, data, len).await.expect("broadcast");
+                results.lock().unwrap()[rank] = Some(got);
+            });
+        }
+        driver.run();
+        prop_assert_eq!(driver.live(), 0);
+        for got in results.lock().unwrap().iter() {
+            prop_assert_eq!(got.as_ref().expect("rank finished"), &payload);
+        }
+    }
+}
+
+/// Driver scheduling on the loopback cluster is deterministic: the same
+/// spawn order yields the same event interleaving, run after run.
+#[test]
+fn driver_scheduled_collectives_are_deterministic() {
+    let run_once = || {
+        let members = loopback_group(6, 24);
+        let events = Arc::new(Mutex::new(Vec::<(usize, u8)>::new()));
+        let mut driver = Driver::new();
+        for member in members {
+            let events = events.clone();
+            driver.spawn(async move {
+                let rank = member.rank();
+                YieldN(rank * 3 % 5).await;
+                events.lock().unwrap().push((rank, 0));
+                let got = member
+                    .all_reduce(contribution(rank, 12, 7), affine_combine)
+                    .await
+                    .unwrap();
+                events.lock().unwrap().push((rank, got[0]));
+                member.barrier().await.unwrap();
+                events.lock().unwrap().push((rank, 2));
+            });
+        }
+        driver.run();
+        Arc::try_unwrap(events).unwrap().into_inner().unwrap()
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "loopback Driver runs must be reproducible");
+    assert_eq!(first.len(), 18);
+}

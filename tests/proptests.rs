@@ -795,19 +795,23 @@ proptest! {
     }
 
     /// Wildcard (`ANY_SOURCE`/`ANY_TAG`) matching against a **deep**
-    /// unexpected-message backlog (1k+ buffered messages, the known linear
-    /// scan of ROADMAP PR-2) stays FIFO-consistent with the naive
-    /// linear-scan model: every peek and claim picks the globally oldest
-    /// matching message, whatever selector mix and claim order follow.
+    /// unexpected-message backlog (1k+ buffered messages, the linear scan
+    /// of ROADMAP PR-2, now an O(1) list-head peek) stays FIFO-consistent
+    /// with the naive linear-scan model: every peek and claim picks the
+    /// globally oldest matching message, whatever selector mix and claim
+    /// order follow.  Reserved (collective-space) tags participate too:
+    /// `ANY_TAG` never observes them, while naming them exactly (with a
+    /// concrete or wildcard source) always works.
     #[test]
     fn wildcard_peek_consistent_at_deep_unexpected_backlog(
         depth in 1000usize..1500,
-        ops in proptest::collection::vec((0u8..3, 0u8..3), 1..40),
+        ops in proptest::collection::vec((0u8..3, 0u8..4), 1..40),
     ) {
         use push_pull_messaging::core::queues::{BufferQueue, UnexpectedKey};
+        use push_pull_messaging::core::COLLECTIVE_TAG_BIT;
 
         let srcs = [ProcessId::new(0, 0), ProcessId::new(1, 0)];
-        let tags = [Tag(0), Tag(1), Tag(2)];
+        let tags = [Tag(0), Tag(1), Tag(COLLECTIVE_TAG_BIT | 2)];
         let mut real = BufferQueue::new();
         let mut model: Vec<(ProcessId, MessageId, Tag)> = Vec::new();
         for i in 0..depth {
@@ -826,12 +830,20 @@ proptest! {
             let tag = match sel_tag {
                 0 => tags[0],
                 1 => tags[1],
+                2 => tags[2],
                 _ => ANY_TAG,
             };
             let model_hit = model
                 .iter()
                 .position(|&(s, _, t)| {
-                    (src.is_any_source() || s == src) && (tag.is_any() || t == tag)
+                    (src.is_any_source() || s == src)
+                        && if tag.is_any() {
+                            // The wildcard never matches the reserved
+                            // (collective) half of the tag space.
+                            !t.is_reserved()
+                        } else {
+                            t == tag
+                        }
                 });
             let peeked = real.peek_unexpected(src, tag);
             prop_assert_eq!(

@@ -296,6 +296,284 @@ fn assert_async_pingpong_zero_alloc(label: &str) {
     );
 }
 
+/// A small vectored send on the steady path: the push phase is chunked
+/// straight off the caller's **borrowed** segment slice, so a fully-eager
+/// vectored send never materialises an owned payload — no `Arc<[Bytes]>`
+/// pin, no allocation at all — and the exchange into a recycled caller
+/// buffer stays clean.
+fn assert_small_vectored_send_zero_alloc(label: &str) {
+    let cfg = ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024);
+    let mut a = Endpoint::new(ProcessId::new(0, 0), cfg.clone());
+    let mut b = Endpoint::new(ProcessId::new(0, 1), cfg);
+    // 16 bytes in three segments: fully eager, three packets (chunks never
+    // cross segment boundaries), reassembled into the caller buffer.
+    let segments = [
+        Bytes::from(vec![0x11u8; 6]),
+        Bytes::from(vec![0x22u8; 4]),
+        Bytes::from(vec![0x33u8; 6]),
+    ];
+    let total: usize = segments.iter().map(Bytes::len).sum();
+    let mut recycled = Some(RecvBuf::with_capacity(total));
+
+    let round = |a: &mut Endpoint, b: &mut Endpoint, recycled: &mut Option<RecvBuf>| {
+        let buf = recycled.take().expect("buffer in flight");
+        let op = b
+            .post_recv_into(a.id(), Tag(1), buf, TruncationPolicy::Error)
+            .unwrap();
+        a.post_send_vectored(b.id(), Tag(1), &segments).unwrap();
+        relay(a, b);
+        while a.poll_completion().is_some() {}
+        while let Some(completion) = b.poll_completion() {
+            if completion.op == OpId::Recv(op) {
+                assert!(matches!(completion.status, Status::Ok));
+                let buf = completion.buf.expect("caller buffer handed back");
+                assert_eq!(buf.len(), total);
+                *recycled = Some(buf);
+            }
+        }
+        assert!(recycled.is_some(), "vectored message did not complete");
+    };
+
+    for _ in 0..64 {
+        round(&mut a, &mut b, &mut recycled);
+    }
+    let engine_allocs_before = a.stats().steady_allocs + b.stats().steady_allocs;
+    let heap_allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        round(&mut a, &mut b, &mut recycled);
+    }
+    let heap_allocs = ALLOCS.load(Ordering::Relaxed) - heap_allocs_before;
+    let engine_allocs = a.stats().steady_allocs + b.stats().steady_allocs - engine_allocs_before;
+    assert_eq!(
+        heap_allocs, 0,
+        "{label}: small vectored send loop hit the real allocator {heap_allocs} times"
+    );
+    assert_eq!(engine_allocs, 0, "{label}: steady_allocs grew");
+}
+
+/// The blocking front-end `wait` loop: with the thread-local parker cache,
+/// a post + `Endpoint::wait` cycle performs no heap allocation (the old
+/// code paid one `Arc` per `wait` call for its parking waker).
+fn assert_blocking_wait_zero_alloc(label: &str) {
+    use std::time::Duration;
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
+    let a = FrontEnd::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+    let b = FrontEnd::new(cluster.add_endpoint(ProcessId::new(0, 1)));
+    let data = Bytes::from(vec![0x5Au8; 16]);
+    let timeout = Duration::from_secs(5);
+
+    let round = |a: &FrontEnd<LoopbackEndpoint>, b: &FrontEnd<LoopbackEndpoint>| {
+        let recv = b
+            .post_recv(a.local_id(), Tag(1), 16, TruncationPolicy::Error)
+            .unwrap();
+        let send = a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
+        assert!(b.wait(OpId::Recv(recv), timeout).is_some());
+        assert!(a.wait(OpId::Send(send), timeout).is_some());
+    };
+
+    // Warm-up must cross the completion queues' order-deque compaction
+    // threshold (one entry per round, compacted past 64) so the one-time
+    // capacity doubling happens before measurement.
+    for _ in 0..200 {
+        round(&a, &b);
+    }
+    let heap_allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        round(&a, &b);
+    }
+    let heap_allocs = ALLOCS.load(Ordering::Relaxed) - heap_allocs_before;
+    assert_eq!(
+        heap_allocs, 0,
+        "{label}: blocking wait loop hit the real allocator {heap_allocs} times over 1000 rounds"
+    );
+}
+
+/// The steady-state **collective** inner loops: a 4-rank loopback group on
+/// one `Driver` runs broadcast + all_reduce + barrier rounds; once warm,
+/// the whole stack — tag derivation, tree posting, completion claiming,
+/// future wake-ups, zero-copy eager forwarding — must not allocate.  The
+/// combine operator hands back one of its inputs (a refcount move), as an
+/// element-wise reduction over pre-owned buffers would.
+fn assert_collective_loops_zero_alloc(label: &str) {
+    use push_pull_messaging::coll::Group;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    let cluster =
+        LoopbackCluster::new(ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024));
+    let ids: Vec<ProcessId> = (0..4).map(|r| ProcessId::new(0, r)).collect();
+    let group = Group::new(6, ids.clone()).unwrap();
+    // Heap-counter snapshots pushed by rank 0 between barriers; capacity
+    // pre-reserved so the pushes themselves cannot allocate inside the
+    // measured window.
+    let marks: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(4)));
+    let warm = Arc::new(AtomicBool::new(false));
+    let mut driver = Driver::new();
+    for &id in &ids {
+        let member = group.bind(FrontEnd::new(cluster.add_endpoint(id))).unwrap();
+        let marks = marks.clone();
+        let warm = warm.clone();
+        driver.spawn(async move {
+            // ------------------------------------------------------------
+            // Pre-size the engine's matching state: whether a collective
+            // message arrives *unexpected* (before its receive is posted)
+            // depends on interleaving phase, and each `(src, tag-slot)`
+            // pair's first unexpected arrival creates a bucket in the
+            // bounded unexpected-queue maps.  Push every pair through the
+            // unexpected path once, deterministically, so nothing is left
+            // to create later: sends first (reserved tags go through the
+            // raw backend), then a point-to-point handshake that guarantees
+            // every peer's sends have landed, then the claiming receives.
+            // ------------------------------------------------------------
+            use push_pull_messaging::core::{OpId as CoreOpId, COLLECTIVE_TAG_BIT};
+            let me = member.rank();
+            let n = member.group().size();
+            let gid = member.group().id() as u32;
+            let slot_tag = |s: u32| Tag(COLLECTIVE_TAG_BIT | gid << 8 | s);
+            let slots =
+                push_pull_messaging::coll::GroupMember::<LoopbackEndpoint>::SEQ_SLOTS as u32;
+            let byte = Bytes::from(vec![0u8; 1]);
+            let peers: Vec<ProcessId> = (0..n)
+                .filter(|&r| r != me)
+                .map(|r| member.group().members()[r])
+                .collect();
+            // Receive-queue buckets: register-and-cancel a receive per pair
+            // (a receive that matches an already-buffered message instantly
+            // never registers, so it would leave no bucket behind — in that
+            // case repeat once against the now-empty pair).
+            let mut consumed = vec![false; peers.len() * slots as usize];
+            for (pi, &peer) in peers.iter().enumerate() {
+                for s in 0..slots {
+                    let op = member
+                        .endpoint()
+                        .raw()
+                        .post_recv(peer, slot_tag(s), 1, TruncationPolicy::Error)
+                        .unwrap();
+                    if !member.endpoint().cancel(op) {
+                        consumed[pi * slots as usize + s as usize] = true;
+                        let op = member
+                            .endpoint()
+                            .raw()
+                            .post_recv(peer, slot_tag(s), 1, TruncationPolicy::Error)
+                            .unwrap();
+                        assert!(member.endpoint().cancel(op), "one message per pair");
+                    }
+                }
+            }
+            for &peer in &peers {
+                for s in 0..slots {
+                    member
+                        .endpoint()
+                        .raw()
+                        .post_send(peer, slot_tag(s), byte.clone())
+                        .unwrap();
+                }
+                member
+                    .endpoint()
+                    .post_send(peer, Tag(999), byte.clone())
+                    .unwrap();
+            }
+            for (pi, &peer) in peers.iter().enumerate() {
+                let op = member
+                    .endpoint()
+                    .post_recv(peer, Tag(999), 1, TruncationPolicy::Error)
+                    .unwrap();
+                member.endpoint().future(CoreOpId::Recv(op)).await;
+                for s in 0..slots {
+                    if consumed[pi * slots as usize + s as usize] {
+                        continue; // the bucket probe above already claimed it
+                    }
+                    let op = member
+                        .endpoint()
+                        .raw()
+                        .post_recv(peer, slot_tag(s), 1, TruncationPolicy::Error)
+                        .unwrap();
+                    member.endpoint().future(CoreOpId::Recv(op)).await;
+                }
+            }
+            // Retire the fire-and-forget pre-warm send completions.
+            let mut scratch = Vec::new();
+            member.endpoint().drain_completions(&mut scratch);
+            drop(scratch);
+
+            let mine = Bytes::from(vec![member.rank() as u8 + 1; 16]);
+            let round = |data: Bytes| async {
+                let got = member.broadcast(0, data, 16).await.unwrap();
+                assert_eq!(got[0], 1);
+                let max = member
+                    .all_reduce(mine.clone(), |x, y| if x[0] >= y[0] { x } else { y })
+                    .await
+                    .unwrap();
+                assert_eq!(max[0], 4);
+                member.barrier().await.unwrap();
+            };
+            // Warm-up runs in 64-round blocks until one whole block stops
+            // touching the allocator: whether a collective message arrives
+            // *unexpected* (before its receive is posted) depends on the
+            // interleaving phase, and each `(src, tag-slot)` pair's first
+            // unexpected arrival creates its bucket in the bounded
+            // unexpected-queue maps — convergence, not a fixed round count,
+            // is the honest warm-up criterion.
+            let mut blocks = 0;
+            loop {
+                let before = ALLOCS.load(Ordering::Relaxed);
+                for _ in 0..64 {
+                    round(if member.rank() == 0 {
+                        mine.clone()
+                    } else {
+                        Bytes::new()
+                    })
+                    .await;
+                }
+                member.barrier().await.unwrap();
+                if member.rank() == 0 {
+                    warm.store(ALLOCS.load(Ordering::Relaxed) == before, Ordering::Relaxed);
+                }
+                member.barrier().await.unwrap();
+                if warm.load(Ordering::Relaxed) {
+                    break;
+                }
+                blocks += 1;
+                assert!(
+                    blocks < 64,
+                    "collective loop never reached an allocation-free steady state"
+                );
+            }
+            if member.rank() == 0 {
+                marks.lock().unwrap().push(ALLOCS.load(Ordering::Relaxed));
+            }
+            member.barrier().await.unwrap();
+            for _ in 0..1000 {
+                round(if member.rank() == 0 {
+                    mine.clone()
+                } else {
+                    Bytes::new()
+                })
+                .await;
+            }
+            member.barrier().await.unwrap();
+            if member.rank() == 0 {
+                marks.lock().unwrap().push(ALLOCS.load(Ordering::Relaxed));
+            }
+            // Keep every task alive until after the final mark: a sibling
+            // retiring early would grow the driver's free-slot list inside
+            // the measured window.
+            member.barrier().await.unwrap();
+        });
+    }
+    driver.run();
+    assert_eq!(driver.live(), 0);
+    let marks = marks.lock().unwrap();
+    assert_eq!(marks.len(), 2);
+    assert_eq!(
+        marks[1] - marks[0],
+        0,
+        "{label}: 1000 collective rounds hit the real allocator {} times",
+        marks[1] - marks[0]
+    );
+}
+
 #[test]
 fn steady_state_loops_perform_zero_heap_allocations() {
     // Only this thread's allocations count; the libtest harness thread is
@@ -321,4 +599,10 @@ fn steady_state_loops_perform_zero_heap_allocations() {
     // The same traffic through the async front-end over the loopback
     // cluster: Endpoint front-end futures + CompletionQueue, still zero-alloc.
     assert_async_pingpong_zero_alloc("async loopback pingpong");
+    // Fully-eager vectored sends chunk off the borrowed slice — no Arc pin.
+    assert_small_vectored_send_zero_alloc("intranode small vectored send");
+    // Blocking waits reuse the thread-local parker — no Arc per call.
+    assert_blocking_wait_zero_alloc("loopback blocking wait");
+    // Collective broadcast/all_reduce/barrier rounds on a 4-rank group.
+    assert_collective_loops_zero_alloc("loopback collectives");
 }
