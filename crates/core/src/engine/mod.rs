@@ -220,6 +220,16 @@ pub struct EndpointStats {
     pub frames_dropped: u64,
     /// Bytes dropped at the pushed-buffer admission check.
     pub bytes_dropped: u64,
+    /// [`Action::PacketDropped`] events emitted, whatever the
+    /// [`DropReason`] — pushed-buffer overflows, unknown-message references,
+    /// and malformed traffic alike.  Counted by the engine itself, so every
+    /// backend reports it without having to observe the action stream.
+    pub packets_dropped: u64,
+    /// [`Action::ChannelFailed`] events emitted: internode channels that
+    /// exhausted their retry budget.  Operations pending against the failed
+    /// peer complete with [`Error::ChannelFailed`](crate::Error::ChannelFailed)
+    /// at the same moment.
+    pub channels_failed: u64,
     /// Heap-allocation events attributable to the engine's data structures:
     /// arena growth, index rehashes, assembly/scratch pool misses, and
     /// action-queue growth.  After warm-up, a steady-state send/receive loop
@@ -297,7 +307,6 @@ impl IncomingMsg {
 /// assigns on first contact.
 #[derive(Debug)]
 struct PeerState {
-    #[allow(dead_code)] // kept for diagnostics; lookups go through the interner
     id: ProcessId,
     /// Go-back-N channel for internode peers (lazily created).
     channel: Option<GoBackN>,
@@ -368,6 +377,9 @@ pub struct Endpoint {
     /// Engine-local allocation events (pool misses, queue growth); merged
     /// with the per-structure counters in [`Endpoint::stats`].
     alloc_events: u64,
+    /// Test hook: apply [`GoBackN::sabotage_skip_rearm`] to every channel
+    /// (see [`Endpoint::sabotage_skip_rearm`]).
+    sabotage_skip_rearm: bool,
 }
 
 impl Endpoint {
@@ -402,6 +414,7 @@ impl Endpoint {
             assembly_pool: Vec::new(),
             gbn_scratch: Vec::new(),
             alloc_events: 0,
+            sabotage_skip_rearm: false,
         }
     }
 
@@ -611,10 +624,15 @@ impl Endpoint {
 
     pub(crate) fn channel_mut(&mut self, peer: ProcessId) -> &mut GoBackN {
         let cfg = self.config.gbn;
+        let sabotage = self.sabotage_skip_rearm;
         let slot = self.peer_slot(peer);
-        self.peers[slot as usize]
-            .channel
-            .get_or_insert_with(|| GoBackN::new(cfg))
+        self.peers[slot as usize].channel.get_or_insert_with(|| {
+            let mut channel = GoBackN::new(cfg);
+            if sabotage {
+                channel.sabotage_skip_rearm();
+            }
+            channel
+        })
     }
 
     /// Finds the slot of the in-flight incoming message `(src, msg_id)`, if
@@ -757,7 +775,151 @@ impl Endpoint {
                 GbnEvent::CancelTimer { generation } => self.push_action(Action::CancelTimer {
                     timer: TimerId { peer, generation },
                 }),
-                GbnEvent::ChannelFailed => self.push_action(Action::ChannelFailed { peer }),
+                GbnEvent::ChannelFailed => {
+                    self.push_action(Action::ChannelFailed { peer });
+                    self.fail_peer(peer);
+                }
+            }
+        }
+    }
+
+    /// Retires every operation pending against `peer` with
+    /// [`Error::ChannelFailed`](crate::Error::ChannelFailed): registered
+    /// sends awaiting a pull, partially received incoming messages, and
+    /// exact-source posted receives naming the peer.  Wildcard receives stay
+    /// posted — another peer can still satisfy them.
+    ///
+    /// Called when the go-back-N channel to `peer` exhausts its retries, so
+    /// a dead peer produces clean error completions instead of operations
+    /// that silently never finish.
+    fn fail_peer(&mut self, peer: ProcessId) {
+        use crate::ops::{OpId, Status};
+        let error = crate::error::Error::ChannelFailed { peer };
+
+        // Registered sends whose remainder the dead peer will never pull.
+        let doomed_sends: Vec<MessageId> = self
+            .send_queue
+            .iter()
+            .filter(|p| p.dst == peer)
+            .map(|p| p.msg_id)
+            .collect();
+        for msg_id in doomed_sends {
+            let pending = self
+                .send_queue
+                .remove(msg_id)
+                .expect("doomed send vanished mid-failure");
+            self.send_ops
+                .remove(pending.op.slot(), pending.op.generation())
+                .expect("pending send without live operation record");
+            self.push_completion(Completion {
+                op: OpId::Send(pending.op),
+                peer,
+                tag: pending.tag,
+                len: 0,
+                status: Status::Error(error.clone()),
+                data: None,
+                buf: None,
+            });
+        }
+
+        // Partially received incoming messages from the peer: matched ones
+        // fail their receive (handing back any caller buffer); unmatched
+        // ones are discarded along with their buffer-queue entry and pushed
+        // buffer reservation.
+        let doomed_incoming: Vec<u32> = self
+            .peer_index
+            .get(peer.as_u64())
+            .map(|slot| self.peers[slot as usize].incoming.clone())
+            .unwrap_or_default();
+        for slot in doomed_incoming {
+            let Some(mut incoming) = self.incoming_remove(peer, slot) else {
+                continue;
+            };
+            if incoming.pushed_buffer_footprint > 0 {
+                self.pushed_buffer.release(incoming.pushed_buffer_footprint);
+            }
+            self.buffer_queue.remove_with_tag(
+                crate::queues::UnexpectedKey {
+                    src: peer,
+                    msg_id: incoming.msg_id,
+                },
+                incoming.tag,
+            );
+            let Some(op) = incoming.matched else {
+                continue;
+            };
+            self.recv_ops
+                .remove(op.slot(), op.generation())
+                .expect("matched receive without operation record");
+            let buf = match std::mem::replace(&mut incoming.body, MsgBody::Empty) {
+                MsgBody::Caller(caller_buf) => Some(caller_buf),
+                MsgBody::Assembling(assembly) => {
+                    self.release_assembly(assembly);
+                    None
+                }
+                _ => None,
+            };
+            self.stats.recvs_failed += 1;
+            self.push_completion(Completion {
+                op: OpId::Recv(op),
+                peer,
+                tag: incoming.tag,
+                len: 0,
+                status: Status::Error(error.clone()),
+                data: None,
+                buf,
+            });
+        }
+
+        // Posted receives naming the dead peer exactly can never match now.
+        let doomed_recvs: Vec<crate::ops::RecvOp> = self
+            .recv_queue
+            .iter()
+            .filter(|posted| posted.src == peer)
+            .map(|posted| posted.op)
+            .collect();
+        for op in doomed_recvs {
+            let posted = self
+                .recv_queue
+                .cancel(op)
+                .expect("doomed receive vanished mid-failure");
+            let rec = self
+                .recv_ops
+                .remove(op.slot(), op.generation())
+                .expect("queued receive without operation record");
+            self.stats.recvs_failed += 1;
+            self.push_completion(Completion {
+                op: OpId::Recv(op),
+                peer,
+                tag: posted.tag,
+                len: 0,
+                status: Status::Error(error.clone()),
+                data: None,
+                buf: rec.buf,
+            });
+        }
+    }
+
+    /// Visits every internode go-back-N channel with its peer id — the hook
+    /// harnesses use to distinguish a cleanly failed channel from a wedged
+    /// one (unacknowledged frames, no timer pending, not failed).
+    pub fn each_channel(&self, mut f: impl FnMut(ProcessId, &GoBackN)) {
+        for peer in &self.peers {
+            if let Some(channel) = &peer.channel {
+                f(peer.id, channel);
+            }
+        }
+    }
+
+    /// Applies the chaos harness's injected retransmission bug
+    /// ([`GoBackN::sabotage_skip_rearm`]) to every current and future channel
+    /// of this endpoint.  Never call outside tests.
+    #[doc(hidden)]
+    pub fn sabotage_skip_rearm(&mut self) {
+        self.sabotage_skip_rearm = true;
+        for peer in &mut self.peers {
+            if let Some(channel) = peer.channel.as_mut() {
+                channel.sabotage_skip_rearm();
             }
         }
     }
@@ -793,6 +955,11 @@ impl Endpoint {
     }
 
     pub(crate) fn push_action(&mut self, action: Action) {
+        match &action {
+            Action::PacketDropped { .. } => self.stats.packets_dropped += 1,
+            Action::ChannelFailed { .. } => self.stats.channels_failed += 1,
+            _ => {}
+        }
         if self.actions.len() == self.actions.capacity() {
             self.alloc_events += 1;
         }

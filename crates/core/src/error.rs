@@ -106,6 +106,13 @@ pub enum Error {
     /// The go-back-N window is exhausted; the caller must retry after
     /// acknowledgements drain the window.
     WindowFull,
+    /// The go-back-N channel to `peer` exceeded its retry budget and was
+    /// declared dead.  Operations pending against the peer complete with
+    /// this error instead of waiting forever.
+    ChannelFailed {
+        /// The unreachable peer.
+        peer: ProcessId,
+    },
     /// A configuration value is outside its legal range.
     InvalidConfig {
         /// Description of the invalid field.
@@ -159,6 +166,9 @@ impl fmt::Display for Error {
                 write!(f, "conflicting receive posted for source {source}, {tag}")
             }
             Error::WindowFull => write!(f, "go-back-N window full"),
+            Error::ChannelFailed { peer } => {
+                write!(f, "channel to {peer} failed after exhausting retries")
+            }
             Error::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
         }
     }

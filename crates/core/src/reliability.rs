@@ -173,6 +173,10 @@ pub struct GoBackN {
     timer_armed: bool,
     retries: u32,
     failed: bool,
+    /// Test hook: when set, `on_timeout` retransmits but never re-arms the
+    /// timer, wedging the channel if the retransmission is lost too.  Exists
+    /// so the chaos harness can prove it catches a real retransmission bug.
+    skip_rearm: bool,
     // --- receiver side ---
     next_expected: u64,
     stats: GbnStats,
@@ -198,6 +202,7 @@ impl GoBackN {
             timer_armed: false,
             retries: 0,
             failed: false,
+            skip_rearm: false,
             next_expected: 0,
             stats: GbnStats::default(),
             alloc_events: 0,
@@ -279,11 +284,25 @@ impl GoBackN {
             }));
         }
         self.timer_generation += 1;
+        if self.skip_rearm {
+            // Injected bug (see `sabotage_skip_rearm`): losing any frame of
+            // the retransmitted window now wedges the channel for good.
+            self.timer_armed = false;
+            return;
+        }
         self.timer_armed = true;
         out.push(GbnEvent::SetTimer {
             generation: self.timer_generation,
             delay_us: self.cfg.rto_us,
         });
+    }
+
+    /// Disables the retransmission-timer re-arm after a timeout — an
+    /// intentionally injected reliability bug used by the chaos harness's
+    /// "teeth" regression test.  Never enable outside tests.
+    #[doc(hidden)]
+    pub fn sabotage_skip_rearm(&mut self) {
+        self.skip_rearm = true;
     }
 
     fn pump(&mut self, out: &mut Vec<GbnEvent>) {

@@ -19,10 +19,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod experiments;
 pub mod loopback;
 
+pub use chaos::{
+    seed_start_from_env, seeds_from_env, sweep, ChaosCluster, ChaosConfig, ChaosEndpoint,
+    ChaosReport, ChaosStats, PartitionConfig, SeedFailure, TraceKind, TraceRecord,
+};
 pub use cluster::{ClusterConfig, Op, ProcessScript, RunReport, SimCluster};
 pub use experiments::{
     bandwidth_sweep, btp1_sweep, btp2_sweep, early_late_test, fig3_intranode, fig4_internode,

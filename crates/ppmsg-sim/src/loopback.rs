@@ -46,6 +46,11 @@ struct Router {
     work: VecDeque<(ProcessId, ProcessId, Item)>,
     actions: Vec<Action>,
     comps: Vec<Completion>,
+    /// Packets and frames addressed to a process that was never added to the
+    /// cluster.  They are dropped (there is no engine to deliver them to),
+    /// but the drop is counted so a misrouted test fails loudly instead of
+    /// hanging on a completion that can never arrive.
+    unroutable: u64,
     /// Wakers collected while routing; invoked by the endpoint that holds
     /// the router lock **after** releasing it (a waker is arbitrary executor
     /// code and may poll — and so re-enter the router — inline).
@@ -64,7 +69,9 @@ impl Router {
         self.collect(idx);
         while let Some((src, dst, item)) = self.work.pop_front() {
             let Some(d) = self.idx(dst) else {
-                continue; // peer not added: traffic to it is dropped
+                // Peer not added: the traffic is dropped, visibly.
+                self.unroutable += 1;
+                continue;
             };
             match item {
                 Item::Packet(packet) => self.procs[d].engine.handle_packet(src, packet),
@@ -135,10 +142,18 @@ impl LoopbackCluster {
                 work: VecDeque::new(),
                 actions: Vec::new(),
                 comps: Vec::new(),
+                unroutable: 0,
                 pending_wakes: Vec::new(),
             })),
             protocol,
         }
+    }
+
+    /// Number of packets and frames addressed to a process that was never
+    /// added to the cluster.  Any non-zero value means a test (or example)
+    /// is sending into the void — assert this is `0` to catch misroutes.
+    pub fn unroutable_drops(&self) -> u64 {
+        self.router.lock().unwrap().unroutable
     }
 
     /// Adds a process to the cluster and returns its endpoint handle.
@@ -424,5 +439,19 @@ mod tests {
         let done = b.take_completion(OpId::Recv(op)).expect("delivered");
         let buf = done.buf.expect("buffer handed back");
         assert_eq!(buf.as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn traffic_to_unknown_peer_is_counted() {
+        let cluster = LoopbackCluster::new(ProtocolConfig::paper_internode());
+        let a = cluster.add_endpoint(ProcessId::new(0, 0));
+        assert_eq!(cluster.unroutable_drops(), 0);
+        // Never added: the send's frames fall off the edge of the cluster.
+        let ghost = ProcessId::new(7, 0);
+        a.post_send(ghost, Tag(1), payload(64)).unwrap();
+        assert!(
+            cluster.unroutable_drops() > 0,
+            "misrouted traffic must be observable"
+        );
     }
 }

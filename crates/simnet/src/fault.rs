@@ -1,0 +1,331 @@
+//! Seeded fault models beyond plain loss: duplication, reordering, delay
+//! jitter, and partition schedules.
+//!
+//! Every model here is driven by its own deterministic [`StdRng`] stream, so
+//! a fault plane built from one master seed replays the same decision
+//! sequence run after run — the property the chaos harness's seed-replay
+//! workflow depends on.  [`LossModel`](crate::loss::LossModel) stays the drop
+//! decider; the models in this module answer the *other* questions a faulty
+//! link poses: is this frame duplicated, is it held back past its successors,
+//! how long does it take, and is the link partitioned right now.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixes `salt` into `master`, returning an independent derived seed.
+///
+/// Used to give every link (and every model on that link) its own RNG stream
+/// from one master seed: streams must not correlate, and adding a link must
+/// not shift the streams of existing links.  The finalizer is splitmix64's,
+/// which is bijective and well dispersed.
+pub fn derive_seed(master: u64, salt: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decides whether a frame is delivered twice.
+#[derive(Debug, Clone)]
+pub struct DuplicateModel {
+    p: f64,
+    rng: StdRng,
+}
+
+impl DuplicateModel {
+    /// Each frame is independently duplicated with probability `p`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        DuplicateModel {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `true` if the next frame should arrive twice.
+    pub fn should_duplicate(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.p
+    }
+}
+
+/// Decides whether a frame is held back so later frames overtake it.
+///
+/// Reordering is modelled as extra delay: a held frame arrives up to
+/// `max_hold_us` later than its nominal delivery time, so any frame sent in
+/// that window passes it.  This produces *real* out-of-order arrival at the
+/// receiver without the model having to know about other frames.
+#[derive(Debug, Clone)]
+pub struct ReorderModel {
+    p: f64,
+    max_hold_us: u64,
+    rng: StdRng,
+}
+
+impl ReorderModel {
+    /// Each frame is independently held with probability `p`, for a uniform
+    /// extra delay in `[1, max_hold_us]` microseconds.
+    pub fn new(p: f64, max_hold_us: u64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        ReorderModel {
+            p,
+            max_hold_us,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Extra hold time for the next frame, or `None` when it is not held.
+    pub fn hold_us(&mut self) -> Option<u64> {
+        // Draw both values unconditionally so the stream consumed per frame
+        // is constant — hold decisions on one frame must not shift the
+        // delays of later frames.
+        let held = self.rng.gen::<f64>() < self.p;
+        let hold = if self.max_hold_us == 0 {
+            0
+        } else {
+            1 + self.rng.gen_range(0..self.max_hold_us)
+        };
+        (held && hold > 0).then_some(hold)
+    }
+}
+
+/// Per-frame latency: a fixed base plus uniform jitter.
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    base_us: u64,
+    jitter_us: u64,
+    rng: StdRng,
+}
+
+impl DelayModel {
+    /// Frames take `base_us` plus a uniform draw from `[0, jitter_us]`
+    /// microseconds.
+    pub fn new(base_us: u64, jitter_us: u64, seed: u64) -> Self {
+        DelayModel {
+            base_us,
+            jitter_us,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The wire latency of the next frame in microseconds.
+    pub fn delay_us(&mut self) -> u64 {
+        if self.jitter_us == 0 {
+            return self.base_us;
+        }
+        self.base_us + self.rng.gen_range(0..self.jitter_us + 1)
+    }
+}
+
+/// A seeded schedule of partition-and-heal windows for one node pair.
+///
+/// The schedule alternates healthy gaps and blocked windows, both drawn
+/// uniformly from the configured ranges, generated lazily as time advances.
+/// [`PartitionSchedule::blocked`] must be queried with a monotonically
+/// non-decreasing clock (the chaos router's virtual time satisfies this).
+#[derive(Debug, Clone)]
+pub struct PartitionSchedule {
+    rng: StdRng,
+    gap_us: (u64, u64),
+    len_us: (u64, u64),
+    /// The current or next blocked window `[start, end)`.
+    window: (u64, u64),
+}
+
+impl PartitionSchedule {
+    /// A schedule whose healthy gaps last `gap_us.0..=gap_us.1` and whose
+    /// blocked windows last `len_us.0..=len_us.1` microseconds.
+    pub fn new(seed: u64, gap_us: (u64, u64), len_us: (u64, u64)) -> Self {
+        assert!(
+            gap_us.0 <= gap_us.1 && len_us.0 <= len_us.1,
+            "range inverted"
+        );
+        assert!(
+            gap_us.1 > 0,
+            "a zero-length gap would block the link forever"
+        );
+        let mut schedule = PartitionSchedule {
+            rng: StdRng::seed_from_u64(seed),
+            gap_us,
+            len_us,
+            window: (0, 0),
+        };
+        schedule.window = schedule.next_window(0);
+        schedule
+    }
+
+    fn draw(&mut self, (lo, hi): (u64, u64)) -> u64 {
+        if lo == hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi + 1)
+        }
+    }
+
+    fn next_window(&mut self, from: u64) -> (u64, u64) {
+        let start = from + self.draw(self.gap_us).max(1);
+        let end = start + self.draw(self.len_us);
+        (start, end)
+    }
+
+    /// `true` while the pair is partitioned at virtual time `now_us`.
+    pub fn blocked(&mut self, now_us: u64) -> bool {
+        loop {
+            let (start, end) = self.window;
+            if now_us < start {
+                return false;
+            }
+            if now_us < end {
+                return true;
+            }
+            self.window = self.next_window(end);
+        }
+    }
+}
+
+/// What happens to one frame crossing a faulty link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// The frame is lost.
+    Dropped,
+    /// The frame arrives after `delay_us`; when `duplicate_delay_us` is set,
+    /// a second copy arrives after that many microseconds as well.
+    Deliver {
+        /// Wire latency of the (first) copy, in microseconds.
+        delay_us: u64,
+        /// Latency of the duplicate copy, if the frame is duplicated.
+        duplicate_delay_us: Option<u64>,
+    },
+}
+
+/// The composite fault plane of one directed link: loss, duplication,
+/// reordering, and latency jitter, each on its own derived RNG stream.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    /// Drop decider (reuses the existing loss models).
+    pub loss: crate::loss::LossModel,
+    /// Duplication decider.
+    pub duplicate: DuplicateModel,
+    /// Reorder (hold-back) decider.
+    pub reorder: ReorderModel,
+    /// Latency model.
+    pub delay: DelayModel,
+}
+
+impl LinkFaults {
+    /// Decides the fate of the next frame on this link.
+    ///
+    /// Every model is consulted on every frame — including dropped ones — so
+    /// each model consumes a constant amount of its stream per frame and the
+    /// decision sequence for frame *n* never depends on the fate of frames
+    /// before it.
+    pub fn decide(&mut self) -> FrameFate {
+        let dropped = self.loss.should_drop();
+        let delay = self.delay.delay_us() + self.reorder.hold_us().unwrap_or(0);
+        let duplicate = self
+            .duplicate
+            .should_duplicate()
+            .then(|| self.delay.delay_us() + self.reorder.hold_us().unwrap_or(0));
+        if dropped {
+            FrameFate::Dropped
+        } else {
+            FrameFate::Deliver {
+                delay_us: delay,
+                duplicate_delay_us: duplicate,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_disperses() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn duplicate_model_is_deterministic_and_calibrated() {
+        let mut a = DuplicateModel::new(0.3, 9);
+        let mut b = DuplicateModel::new(0.3, 9);
+        let seq_a: Vec<bool> = (0..500).map(|_| a.should_duplicate()).collect();
+        let seq_b: Vec<bool> = (0..500).map(|_| b.should_duplicate()).collect();
+        assert_eq!(seq_a, seq_b);
+        let dups = seq_a.iter().filter(|&&d| d).count();
+        assert!(
+            (90..220).contains(&dups),
+            "duplicate count {dups} far from 30%"
+        );
+    }
+
+    #[test]
+    fn reorder_model_holds_within_bound() {
+        let mut m = ReorderModel::new(0.5, 40, 3);
+        let mut held = 0;
+        for _ in 0..500 {
+            if let Some(hold) = m.hold_us() {
+                assert!((1..=40).contains(&hold));
+                held += 1;
+            }
+        }
+        assert!((150..350).contains(&held), "held {held} far from 50%");
+    }
+
+    #[test]
+    fn delay_model_stays_in_range() {
+        let mut m = DelayModel::new(30, 20, 5);
+        for _ in 0..500 {
+            let d = m.delay_us();
+            assert!((30..=50).contains(&d));
+        }
+        let mut fixed = DelayModel::new(7, 0, 5);
+        assert!((0..100).all(|_| fixed.delay_us() == 7));
+    }
+
+    #[test]
+    fn partition_schedule_alternates_and_is_deterministic() {
+        let build = || PartitionSchedule::new(11, (50, 100), (20, 60));
+        let mut a = build();
+        let mut b = build();
+        let seq_a: Vec<bool> = (0..5000).map(|t| a.blocked(t)).collect();
+        let seq_b: Vec<bool> = (0..5000).map(|t| b.blocked(t)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&x| x), "schedule never partitioned");
+        assert!(seq_a.iter().any(|&x| !x), "schedule never healed");
+        assert!(!seq_a[0], "time zero starts healthy (gap first)");
+    }
+
+    #[test]
+    fn link_faults_consume_constant_stream_per_frame() {
+        // Two identically seeded planes must agree on frame n even though
+        // one of them saw different *fates* earlier — guaranteed by the
+        // constant-consumption rule in `decide`.
+        let build = || LinkFaults {
+            loss: crate::loss::LossModel::bernoulli(0.3, 1),
+            duplicate: DuplicateModel::new(0.3, 2),
+            reorder: ReorderModel::new(0.3, 50, 3),
+            delay: DelayModel::new(30, 10, 4),
+        };
+        let mut a = build();
+        let mut b = build();
+        let fates_a: Vec<FrameFate> = (0..200).map(|_| a.decide()).collect();
+        let fates_b: Vec<FrameFate> = (0..200).map(|_| b.decide()).collect();
+        assert_eq!(fates_a, fates_b);
+        assert!(fates_a.contains(&FrameFate::Dropped));
+        assert!(fates_a.iter().any(|f| matches!(
+            f,
+            FrameFate::Deliver {
+                duplicate_delay_us: Some(_),
+                ..
+            }
+        )));
+    }
+}

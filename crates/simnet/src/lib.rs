@@ -11,15 +11,21 @@
 //!   direct (user-space) injection, and interrupt generation.
 //! * [`switch`] — store-and-forward switch latency and per-port queueing.
 //! * [`loss`] — deterministic loss injection for failure testing.
+//! * [`fault`] — seeded duplication / reorder / delay / partition models for
+//!   the chaos harness.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod link;
 pub mod loss;
 pub mod nic;
 pub mod switch;
 
+pub use fault::{
+    derive_seed, DelayModel, DuplicateModel, FrameFate, LinkFaults, PartitionSchedule, ReorderModel,
+};
 pub use link::{EthernetLink, LinkConfig};
 pub use loss::LossModel;
 pub use nic::{Nic, NicConfig, NicStats};

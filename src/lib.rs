@@ -61,6 +61,7 @@ pub mod prelude {
     };
     pub use ppmsg_host::{HostCluster, HostEndpoint, UdpEndpoint};
     pub use ppmsg_sim::{
-        ClusterConfig, LoopbackCluster, LoopbackEndpoint, Op, ProcessScript, SimCluster,
+        ChaosCluster, ChaosConfig, ChaosEndpoint, ChaosReport, ChaosStats, ClusterConfig,
+        LoopbackCluster, LoopbackEndpoint, Op, ProcessScript, SimCluster,
     };
 }

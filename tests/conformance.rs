@@ -412,6 +412,21 @@ mod setup {
             Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0))),
         )
     }
+
+    /// The chaos cluster at a fixed seed: every contract must also hold
+    /// with drops, duplicates, reordering, delay jitter, and scheduled
+    /// partitions between the two endpoints (`tests/chaos.rs` sweeps the
+    /// same behaviours across many seeds).
+    pub fn chaos_pair() -> (Endpoint<ChaosEndpoint>, Endpoint<ChaosEndpoint>) {
+        let cluster = ChaosCluster::new(
+            ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024),
+            ChaosConfig::new(0xC0FFEE),
+        );
+        (
+            Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0))),
+            Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0))),
+        )
+    }
 }
 
 /// Instantiates every conformance case as a `#[test]` for one backend.
@@ -450,3 +465,4 @@ macro_rules! conformance_suite {
 conformance_suite!(intranode, setup::intranode_pair);
 conformance_suite!(udp, setup::udp_pair);
 conformance_suite!(loopback, setup::loopback_pair);
+conformance_suite!(chaos, setup::chaos_pair);
