@@ -1,0 +1,257 @@
+//! The PR-7 many-peer benchmark, in two parts, written to `BENCH_PR7.json`
+//! at the repository root:
+//!
+//! * **Part A — real sockets.** One reactor-hosted server endpoint serves
+//!   1024 concurrent client endpoints (real UDP sockets, spread across a
+//!   few client-side reactors so the client side is not the bottleneck) in
+//!   a request/reply workload, once per reliability mode.  The number
+//!   reported is wall-clock nanoseconds per completed request/reply round
+//!   trip at full concurrency — the workload the reactor's batched
+//!   `recvmmsg`/`sendmmsg` path and O(1) peer/timer structures exist for.
+//! * **Part B — seeded loss.** The deterministic chaos cluster replays the
+//!   *same* seeded 30%-loss fault plane under go-back-N and under
+//!   selective repeat and reports each mode's retransmission counter.
+//!   Go-back-N resends the whole window from the lost frame; selective
+//!   repeat resends only what the SACKs reveal as missing, so its counter
+//!   must come out far smaller — the run asserts `sr < gbn` so a
+//!   regression fails the bench rather than just skewing a number.
+//!
+//! `BENCH_QUICK=1` shrinks rounds and seeds for the CI smoke job.
+
+use bytes::Bytes;
+use push_pull_messaging::core::ANY_SOURCE;
+use push_pull_messaging::prelude::*;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 1024;
+const CLIENT_REACTORS: usize = 4;
+const REQ_LEN: usize = 64;
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn wait_raw(ep: &ReactorEndpoint, op: OpId) -> Completion {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        if let Some(done) = ep.take_completion(op) {
+            return done;
+        }
+        if Instant::now() >= deadline {
+            panic!("bench operation {op:?} on {} timed out", ep.id());
+        }
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part A: 1024 real-socket clients against one reactor endpoint
+// ---------------------------------------------------------------------------
+
+struct ManyClients {
+    // Reactors must outlive their endpoints' traffic; order matters only
+    // for dropping after the run.
+    _server_reactor: Reactor,
+    _client_reactors: Vec<Reactor>,
+    server: ReactorEndpoint,
+    clients: Vec<ReactorEndpoint>,
+}
+
+fn many_clients_setup(mode: ReliabilityMode) -> ManyClients {
+    let proto = ProtocolConfig::paper_internode().with_pushed_buffer(8 << 20);
+    let config = EndpointConfig::new().reliability(mode);
+    let server_reactor = Reactor::new().expect("spawn server reactor");
+    let server = server_reactor
+        .add_endpoint_with(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0", &config)
+        .expect("bind server endpoint");
+    let server_addr = server.local_addr().unwrap();
+    let client_reactors: Vec<Reactor> = (0..CLIENT_REACTORS)
+        .map(|_| Reactor::new().expect("spawn client reactor"))
+        .collect();
+    let clients: Vec<ReactorEndpoint> = (0..CLIENTS)
+        .map(|i| {
+            let ep = client_reactors[i % CLIENT_REACTORS]
+                .add_endpoint_with(
+                    ProcessId::new(1, i as u32),
+                    proto.clone(),
+                    "127.0.0.1:0",
+                    &config,
+                )
+                .expect("bind client endpoint");
+            ep.add_peer(server.id(), server_addr);
+            server.add_peer(ep.id(), ep.local_addr().unwrap());
+            ep
+        })
+        .collect();
+    ManyClients {
+        _server_reactor: server_reactor,
+        _client_reactors: client_reactors,
+        server,
+        clients,
+    }
+}
+
+/// One full round: every client issues a request, the server receives all
+/// of them (wildcard) and replies to each source, every client claims its
+/// reply.  All completions are claimed so the retention caps never evict.
+fn many_clients_round(bench: &ManyClients, req: &Bytes) {
+    let recvs: Vec<RecvOp> = (0..CLIENTS)
+        .map(|_| {
+            bench
+                .server
+                .post_recv(ANY_SOURCE, Tag(1), REQ_LEN, TruncationPolicy::Error)
+                .expect("server post_recv")
+        })
+        .collect();
+    let reply_recvs: Vec<RecvOp> = bench
+        .clients
+        .iter()
+        .map(|c| {
+            c.post_recv(bench.server.id(), Tag(2), REQ_LEN, TruncationPolicy::Error)
+                .expect("client post_recv")
+        })
+        .collect();
+    let sends: Vec<SendOp> = bench
+        .clients
+        .iter()
+        .map(|c| {
+            c.post_send(bench.server.id(), Tag(1), req.clone())
+                .expect("client post_send")
+        })
+        .collect();
+    let mut replies = Vec::with_capacity(CLIENTS);
+    for op in recvs {
+        let done = wait_raw(&bench.server, OpId::Recv(op));
+        assert_eq!(done.status, Status::Ok);
+        replies.push(
+            bench
+                .server
+                .post_send(done.peer, Tag(2), req.clone())
+                .expect("server reply"),
+        );
+    }
+    for (c, op) in bench.clients.iter().zip(reply_recvs) {
+        let done = wait_raw(c, OpId::Recv(op));
+        assert_eq!(done.status, Status::Ok);
+    }
+    for (c, op) in bench.clients.iter().zip(sends) {
+        wait_raw(c, OpId::Send(op));
+    }
+    for op in replies {
+        wait_raw(&bench.server, OpId::Send(op));
+    }
+}
+
+/// Nanoseconds per completed request/reply at 1024-client concurrency.
+fn bench_many_clients(mode: ReliabilityMode, rounds: usize) -> f64 {
+    let bench = many_clients_setup(mode);
+    let req = Bytes::from(vec![0x5Au8; REQ_LEN]);
+    // Warmup round: opens every ARQ channel and faults in the peer tables.
+    many_clients_round(&bench, &req);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        many_clients_round(&bench, &req);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let retx = bench.server.stats().retransmits;
+    println!(
+        "  server stats: {} recvs, {} retransmits",
+        bench.server.stats().recvs_completed,
+        retx
+    );
+    elapsed / (rounds * CLIENTS) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Part B: identical seeded loss, go-back-N vs selective repeat
+// ---------------------------------------------------------------------------
+
+/// Sender-side retransmissions accumulated over `seeds` runs of a 64 KiB
+/// transfer through the chaos cluster at 30% frame loss.  The fault plane
+/// derives every decision from the seed, so both reliability modes face
+/// the same loss process.
+fn seeded_loss_retransmits(mode: ReliabilityMode, seeds: u64) -> u64 {
+    let mut total = 0;
+    for seed in 1..=seeds {
+        let chaos = ChaosConfig::new(seed).with_drop(0.3).with_partition(None);
+        let cluster = ChaosCluster::new(
+            ProtocolConfig::paper_internode()
+                .with_pushed_buffer(1 << 20)
+                .with_reliability(mode),
+            chaos,
+        );
+        let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+        let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0)));
+        let data = Bytes::from(vec![0xB7u8; 64 * 1024]);
+        let recv = b
+            .post_recv(a.local_id(), Tag(1), data.len(), TruncationPolicy::Error)
+            .unwrap();
+        a.post_send(b.local_id(), Tag(1), data.clone()).unwrap();
+        let done = b.wait(OpId::Recv(recv), TIMEOUT).expect("chaos transfer");
+        assert_eq!(done.data.as_deref(), Some(&data[..]));
+        total += a.stats().retransmits;
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+
+fn write_bench_json(rows: &[(String, f64)]) {
+    let mut json = String::from(
+        "{\n  \"pr\": 7,\n  \"unit\": \"ns/req for many_clients rows, frame counts for seeded_loss rows\",\n  \"benches\": {\n",
+    );
+    for (i, (name, value)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write BENCH_PR7.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let rounds = if quick_mode() { 2 } else { 8 };
+    let seeds = if quick_mode() { 3 } else { 8 };
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    for mode in [ReliabilityMode::GoBackN, ReliabilityMode::SelectiveRepeat] {
+        println!(
+            "many_clients: {CLIENTS} clients, {rounds} rounds, {}",
+            mode.label()
+        );
+        let ns = bench_many_clients(mode, rounds);
+        let rps = 1e9 / ns;
+        println!("  {:.1} ns/req ({rps:.0} req/s sustained)", ns);
+        let key = match mode {
+            ReliabilityMode::GoBackN => "many_clients_1024_gbn_ns_per_req",
+            ReliabilityMode::SelectiveRepeat => "many_clients_1024_sr_ns_per_req",
+        };
+        rows.push((key.into(), ns));
+    }
+
+    println!("seeded_loss: 64 KiB transfers, 30% loss, {seeds} seeds");
+    let gbn = seeded_loss_retransmits(ReliabilityMode::GoBackN, seeds);
+    let sr = seeded_loss_retransmits(ReliabilityMode::SelectiveRepeat, seeds);
+    println!(
+        "  retransmits: go-back-N {gbn}, selective-repeat {sr} ({:.1}x)",
+        gbn as f64 / sr.max(1) as f64
+    );
+    assert!(
+        sr < gbn,
+        "selective repeat must retransmit fewer frames than go-back-N \
+         under identical seeded loss (sr={sr}, gbn={gbn})"
+    );
+    rows.push(("seeded_loss_gbn_retransmits".into(), gbn as f64));
+    rows.push(("seeded_loss_sr_retransmits".into(), sr as f64));
+    rows.push((
+        "seeded_loss_retx_ratio_gbn_over_sr".into(),
+        gbn as f64 / sr.max(1) as f64,
+    ));
+
+    write_bench_json(&rows);
+}

@@ -4,7 +4,7 @@
 use crate::btp::BtpPolicy;
 use crate::error::{Error, Result};
 use crate::ops::{CompletionQueue, TruncationPolicy};
-use crate::reliability::GbnConfig;
+use crate::reliability::{GbnConfig, ReliabilityMode};
 use serde::{Deserialize, Serialize};
 
 /// Which of the three messaging mechanisms from the paper the endpoint runs.
@@ -154,8 +154,13 @@ pub struct ProtocolConfig {
     /// Maximum payload bytes carried by a single wire packet (the Ethernet
     /// MTU minus protocol headers for the internode path).
     pub max_payload: usize,
-    /// Go-back-N transport configuration for internode channels.
+    /// Go-back-N transport configuration for internode channels.  Shared by
+    /// both reliability modes: the window / RTO / retry knobs mean the same
+    /// thing to selective repeat.
     pub gbn: GbnConfig,
+    /// Which ARQ scheme internode channels run: the paper's go-back-N
+    /// (default) or selective repeat for lossy / high-fan-in links.
+    pub reliability: ReliabilityMode,
     /// Whether intranode transfers bypass the go-back-N layer (shared memory
     /// is reliable, so they always can; disabling this is only useful for
     /// testing the ARQ logic over a lossy in-memory channel).
@@ -174,6 +179,7 @@ impl ProtocolConfig {
             pushed_buffer_capacity: 12 * 1024,
             max_payload: 1460,
             gbn: GbnConfig::default(),
+            reliability: ReliabilityMode::default(),
             reliable_intranode: true,
         }
     }
@@ -189,6 +195,7 @@ impl ProtocolConfig {
             pushed_buffer_capacity: 4 * 1024,
             max_payload: 1460,
             gbn: GbnConfig::default(),
+            reliability: ReliabilityMode::default(),
             reliable_intranode: true,
         }
     }
@@ -209,6 +216,13 @@ impl ProtocolConfig {
     /// configuration.
     pub fn with_pushed_buffer(mut self, bytes: usize) -> Self {
         self.pushed_buffer_capacity = bytes;
+        self
+    }
+
+    /// Sets the reliability mode for internode channels, consuming and
+    /// returning the configuration.
+    pub fn with_reliability(mut self, mode: ReliabilityMode) -> Self {
+        self.reliability = mode;
         self
     }
 
@@ -296,6 +310,7 @@ pub struct EndpointConfig {
     truncation: Option<TruncationPolicy>,
     gbn_window: Option<usize>,
     eager_threshold: Option<usize>,
+    reliability: Option<ReliabilityMode>,
 }
 
 impl EndpointConfig {
@@ -343,6 +358,16 @@ impl EndpointConfig {
         self
     }
 
+    /// Overrides the ARQ scheme this endpoint's internode channels run —
+    /// [`ReliabilityMode::SelectiveRepeat`] for lossy or high-fan-in links,
+    /// [`ReliabilityMode::GoBackN`] (the paper's scheme) otherwise.  Like the
+    /// window override, this is applied at engine construction, so pass it to
+    /// a backend's `*_with` constructor.
+    pub fn reliability(mut self, mode: ReliabilityMode) -> Self {
+        self.reliability = Some(mode);
+        self
+    }
+
     /// The configured retention cap, if any.
     pub fn retention(&self) -> Option<usize> {
         self.completion_retention
@@ -364,6 +389,9 @@ impl EndpointConfig {
         if let Some(bytes) = self.eager_threshold {
             base.intranode_btp = BtpPolicy::single(bytes);
             base.internode_btp = BtpPolicy::single(bytes);
+        }
+        if let Some(mode) = self.reliability {
+            base.reliability = mode;
         }
         base
     }
@@ -450,11 +478,13 @@ mod tests {
             .completion_retention(7)
             .truncation(TruncationPolicy::Truncate)
             .gbn_window(3)
-            .eager_threshold(128);
+            .eager_threshold(128)
+            .reliability(ReliabilityMode::SelectiveRepeat);
         assert_eq!(cfg.retention(), Some(7));
         assert_eq!(cfg.default_truncation(), TruncationPolicy::Truncate);
         let proto = cfg.apply_protocol(ProtocolConfig::paper_internode());
         assert_eq!(proto.gbn.window, 3);
+        assert_eq!(proto.reliability, ReliabilityMode::SelectiveRepeat);
         assert_eq!(proto.internode_btp, BtpPolicy::single(128));
         assert_eq!(proto.intranode_btp, BtpPolicy::single(128));
         proto.validate().unwrap();

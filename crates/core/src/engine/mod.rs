@@ -30,7 +30,7 @@ use crate::config::ProtocolConfig;
 use crate::index::{Slab, U64Index};
 use crate::ops::{Completion, OpTable, RecvBuf, RecvOp, TruncationPolicy};
 use crate::queues::{Assembly, BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
-use crate::reliability::{Frame, GbnEvent, GoBackN};
+use crate::reliability::{ArqChannel, Frame, GbnEvent};
 use crate::types::{MessageId, ProcessId, Tag, TimerId};
 use crate::wire::Packet;
 use bytes::Bytes;
@@ -224,12 +224,30 @@ pub struct EndpointStats {
     /// [`DropReason`] — pushed-buffer overflows, unknown-message references,
     /// and malformed traffic alike.  Counted by the engine itself, so every
     /// backend reports it without having to observe the action stream.
+    ///
+    /// Note: traffic addressed to a process the *router* does not know never
+    /// reaches an engine, so it cannot appear here — the loopback and chaos
+    /// clusters count it separately in their `unroutable_drops()` accessor.
     pub packets_dropped: u64,
     /// [`Action::ChannelFailed`] events emitted: internode channels that
     /// exhausted their retry budget.  Operations pending against the failed
     /// peer complete with [`Error::ChannelFailed`](crate::Error::ChannelFailed)
-    /// at the same moment.
+    /// at the same moment.  Deliberately induced failures (e.g. a permanent
+    /// chaos partition) land here too — a failed channel is a clean outcome,
+    /// distinct from both a wedge and an unroutable drop.
     pub channels_failed: u64,
+    /// Data frames this endpoint's ARQ channels retransmitted, in either
+    /// reliability mode.  Under go-back-N one timeout retransmits the whole
+    /// in-flight window, so this grows in window-sized steps; under selective
+    /// repeat each increment corresponds to one presumed-lost frame.
+    pub retransmits: u64,
+    /// Acknowledgement frames received across this endpoint's ARQ channels
+    /// (cumulative acks and SACKs alike).
+    pub acks_received: u64,
+    /// Data frames received whose payload had already been accepted — a
+    /// retransmission that crossed an in-flight ack, or a network duplicate.
+    /// Summed across this endpoint's ARQ channels.
+    pub duplicate_frames: u64,
     /// Heap-allocation events attributable to the engine's data structures:
     /// arena growth, index rehashes, assembly/scratch pool misses, and
     /// action-queue growth.  After warm-up, a steady-state send/receive loop
@@ -308,8 +326,9 @@ impl IncomingMsg {
 #[derive(Debug)]
 struct PeerState {
     id: ProcessId,
-    /// Go-back-N channel for internode peers (lazily created).
-    channel: Option<GoBackN>,
+    /// ARQ channel for internode peers (lazily created; go-back-N or
+    /// selective repeat per [`ProtocolConfig::reliability`]).
+    channel: Option<ArqChannel>,
     /// Slots (into [`Endpoint::incoming`]) of this peer's in-flight incoming
     /// messages.  A handful at most, so a linear scan beats any index.
     incoming: Vec<u32>,
@@ -377,8 +396,9 @@ pub struct Endpoint {
     /// Engine-local allocation events (pool misses, queue growth); merged
     /// with the per-structure counters in [`Endpoint::stats`].
     alloc_events: u64,
-    /// Test hook: apply [`GoBackN::sabotage_skip_rearm`] to every channel
-    /// (see [`Endpoint::sabotage_skip_rearm`]).
+    /// Test hook: apply
+    /// [`GoBackN::sabotage_skip_rearm`](crate::reliability::GoBackN::sabotage_skip_rearm)
+    /// to every channel (see [`Endpoint::sabotage_skip_rearm`]).
     sabotage_skip_rearm: bool,
 }
 
@@ -454,6 +474,12 @@ impl Endpoint {
                 .filter_map(|p| p.channel.as_ref())
                 .map(|c| c.alloc_events())
                 .sum::<u64>();
+        for channel in self.peers.iter().filter_map(|p| p.channel.as_ref()) {
+            let c = channel.stats();
+            stats.retransmits += c.retransmissions;
+            stats.acks_received += c.acks_received;
+            stats.duplicate_frames += c.duplicates;
+        }
         stats
     }
 
@@ -463,7 +489,9 @@ impl Endpoint {
         self.pushed_buffer.stats()
     }
 
-    /// Go-back-N statistics for the channel to `peer`, if one exists.
+    /// ARQ statistics for the channel to `peer`, if one exists (the
+    /// [`GbnStats`](crate::reliability::GbnStats) counters are shared by both
+    /// reliability modes).
     pub fn channel_stats(&self, peer: ProcessId) -> Option<crate::reliability::GbnStats> {
         let slot = self.peer_index.get(peer.as_u64())?;
         self.peers[slot as usize]
@@ -622,12 +650,13 @@ impl Endpoint {
         slot
     }
 
-    pub(crate) fn channel_mut(&mut self, peer: ProcessId) -> &mut GoBackN {
+    pub(crate) fn channel_mut(&mut self, peer: ProcessId) -> &mut ArqChannel {
         let cfg = self.config.gbn;
+        let mode = self.config.reliability;
         let sabotage = self.sabotage_skip_rearm;
         let slot = self.peer_slot(peer);
         self.peers[slot as usize].channel.get_or_insert_with(|| {
-            let mut channel = GoBackN::new(cfg);
+            let mut channel = ArqChannel::new(mode, cfg);
             if sabotage {
                 channel.sabotage_skip_rearm();
             }
@@ -900,10 +929,11 @@ impl Endpoint {
         }
     }
 
-    /// Visits every internode go-back-N channel with its peer id — the hook
+    /// Visits every internode ARQ channel with its peer id — the hook
     /// harnesses use to distinguish a cleanly failed channel from a wedged
-    /// one (unacknowledged frames, no timer pending, not failed).
-    pub fn each_channel(&self, mut f: impl FnMut(ProcessId, &GoBackN)) {
+    /// one (unacknowledged frames, no timer pending, not failed), in either
+    /// reliability mode.
+    pub fn each_channel(&self, mut f: impl FnMut(ProcessId, &ArqChannel)) {
         for peer in &self.peers {
             if let Some(channel) = &peer.channel {
                 f(peer.id, channel);
@@ -912,8 +942,9 @@ impl Endpoint {
     }
 
     /// Applies the chaos harness's injected retransmission bug
-    /// ([`GoBackN::sabotage_skip_rearm`]) to every current and future channel
-    /// of this endpoint.  Never call outside tests.
+    /// ([`GoBackN::sabotage_skip_rearm`](crate::reliability::GoBackN::sabotage_skip_rearm))
+    /// to every current and future channel of this endpoint.  Never call
+    /// outside tests.
     #[doc(hidden)]
     pub fn sabotage_skip_rearm(&mut self) {
         self.sabotage_skip_rearm = true;
@@ -950,8 +981,18 @@ impl Endpoint {
             return false;
         }
         // The kernel stores the whole packet (header included) in the pushed
-        // buffer, so the footprint is payload plus header.
-        packet.payload.len() + crate::wire::MAX_HEADER_LEN > self.pushed_buffer.free()
+        // buffer, so the footprint is payload plus header.  A selective-
+        // repeat receiver may also be holding out-of-order frames that were
+        // admitted earlier but will only claim their pushed-buffer space when
+        // the hole fills; count them now so that deferred drain can never
+        // oversubscribe the buffer.
+        let ring_bytes = self
+            .peer_index
+            .get(src.as_u64())
+            .and_then(|slot| self.peers[slot as usize].channel.as_ref())
+            .map(|c| c.buffered_bytes())
+            .unwrap_or(0);
+        packet.payload.len() + crate::wire::MAX_HEADER_LEN + ring_bytes > self.pushed_buffer.free()
     }
 
     pub(crate) fn push_action(&mut self, action: Action) {

@@ -47,6 +47,12 @@ pub enum Error {
         /// The unrecognised kind byte.
         byte: u8,
     },
+    /// A SACK frame declared more bitmap words than the wire format allows
+    /// (see [`MAX_SACK_WORDS`](crate::reliability::MAX_SACK_WORDS)).
+    SackTooWide {
+        /// The declared word count.
+        words: u8,
+    },
     /// A packet carried an unrecognised kind byte.
     UnknownPacketKind {
         /// The unrecognised kind byte.
@@ -140,6 +146,9 @@ impl fmt::Display for Error {
             }
             Error::UnknownFrameKind { byte } => {
                 write!(f, "malformed frame: unknown frame kind {byte}")
+            }
+            Error::SackTooWide { words } => {
+                write!(f, "malformed SACK frame: {words} bitmap words exceeds the maximum")
             }
             Error::UnknownPacketKind { byte } => {
                 write!(f, "malformed packet: unknown packet kind {byte}")

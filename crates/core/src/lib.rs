@@ -107,7 +107,9 @@ pub use ops::{
     WaitPoll, WakerTable, DEFAULT_COMPLETION_RETENTION,
 };
 pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendPayload, SendQueue};
-pub use reliability::{GbnConfig, GbnEvent, GoBackN};
+pub use reliability::{
+    ArqChannel, GbnConfig, GbnEvent, GbnStats, GoBackN, ReliabilityMode, SelectiveRepeat,
+};
 pub use transport::RawTransport;
 pub use types::{
     MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BIT,

@@ -11,19 +11,24 @@
 //!   cross-space zero buffer degenerates to passing `Bytes` handles, which
 //!   is also a one-copy transfer);
 //! * **internode**: endpoints bound to UDP sockets (loopback or a real
-//!   network) exchange go-back-N framed packets, with a background thread
-//!   per endpoint handling reception and retransmission timers.
+//!   network) exchange ARQ-framed packets — either one background thread
+//!   per endpoint ([`UdpEndpoint`]) or one [`Reactor`] event loop driving
+//!   many endpoints with batched `recvmmsg`/`sendmmsg` I/O and a shared
+//!   timer wheel ([`ReactorEndpoint`]).
 //!
 //! The public entry points are [`HostCluster`] / [`HostEndpoint`] for the
-//! intranode fabric and [`UdpEndpoint`] for socket-based internode channels.
+//! intranode fabric and [`UdpEndpoint`] / [`Reactor`] for socket-based
+//! internode channels.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod intranode;
+mod reactor;
 mod udp;
 
 pub use intranode::{HostCluster, HostEndpoint};
+pub use reactor::{Reactor, ReactorEndpoint};
 pub use udp::UdpEndpoint;
 
 pub use ppmsg_core::{ProcessId, ProtocolConfig, ProtocolMode, Tag};

@@ -540,18 +540,18 @@ impl ChaosRouter {
     /// fault-plane outcome — fail the seed loudly.
     fn wedge_check(&self) {
         for proc in &self.procs {
-            let mut wedged: Option<ProcessId> = None;
+            let mut wedged: Option<(ProcessId, &'static str)> = None;
             proc.engine.each_channel(|peer, channel| {
                 if !channel.idle() && !channel.failed() && wedged.is_none() {
-                    wedged = Some(peer);
+                    wedged = Some((peer, channel.mode().label()));
                 }
             });
-            if let Some(peer) = wedged {
+            if let Some((peer, mode)) = wedged {
                 panic!(
                     "chaos seed {}: endpoint {} wedged towards {} at t={}us — unacknowledged \
-                     frames with no retransmission timer pending and no channel failure; replay \
-                     with `ChaosConfig::new({})` (see README \"Chaos testing\")",
-                    self.cfg.seed, proc.id, peer, self.now_us, self.cfg.seed
+                     frames on a {} channel with no retransmission timer pending and no channel \
+                     failure; replay with `ChaosConfig::new({})` (see README \"Chaos testing\")",
+                    self.cfg.seed, proc.id, peer, self.now_us, mode, self.cfg.seed
                 );
             }
         }

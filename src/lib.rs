@@ -13,7 +13,9 @@
 //!   plus the experiment harness for every figure, and the deterministic
 //!   loopback binding of the operations API.
 //! * [`host`] — the same engine over real shared memory
-//!   (threads) and UDP sockets.
+//!   (threads) and UDP sockets, including the many-peer
+//!   [`host::Reactor`] backend (one event loop, batched
+//!   `recvmmsg`/`sendmmsg` I/O, a shared timer wheel).
 //! * [`transport`] — the generic [`Endpoint`]`<T: RawTransport>` front-end:
 //!   blocking `send`/`recv`/`wait`, async futures, vectored sends, borrowed
 //!   completion drains, and per-endpoint [`EndpointConfig`] overrides — all
@@ -57,9 +59,9 @@ pub mod prelude {
     pub use crate::transport::{Endpoint, EndpointConfig, RawTransport};
     pub use ppmsg_core::{
         Action, BtpPolicy, Claim, Completion, OpId, OptFlags, ProcessId, ProtocolConfig,
-        ProtocolMode, RecvBuf, RecvOp, SendOp, Status, Tag, TruncationPolicy,
+        ProtocolMode, RecvBuf, RecvOp, ReliabilityMode, SendOp, Status, Tag, TruncationPolicy,
     };
-    pub use ppmsg_host::{HostCluster, HostEndpoint, UdpEndpoint};
+    pub use ppmsg_host::{HostCluster, HostEndpoint, Reactor, ReactorEndpoint, UdpEndpoint};
     pub use ppmsg_sim::{
         ChaosCluster, ChaosConfig, ChaosEndpoint, ChaosReport, ChaosStats, ClusterConfig,
         LoopbackCluster, LoopbackEndpoint, Op, ProcessScript, SimCluster,

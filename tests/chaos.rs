@@ -45,6 +45,12 @@ fn proto() -> ProtocolConfig {
     ProtocolConfig::paper_internode().with_pushed_buffer(1 << 20)
 }
 
+/// The same protocol with selective repeat driving every internode
+/// channel: the sweeps must hold under SACK-based recovery too.
+fn proto_sr() -> ProtocolConfig {
+    proto().with_reliability(ReliabilityMode::SelectiveRepeat)
+}
+
 // ---------------------------------------------------------------------------
 // Conformance sweep: point-to-point contracts under every fault type
 // ---------------------------------------------------------------------------
@@ -55,7 +61,16 @@ fn proto() -> ProtocolConfig {
 /// truncation policies, vectored sends, and a same-tag ordering stress —
 /// with sizes varied by the seed.
 fn conformance_scenario(seed: u64) {
-    let cluster = ChaosCluster::new(proto(), ChaosConfig::new(seed));
+    conformance_scenario_with(seed, proto())
+}
+
+/// The conformance workload with selective-repeat channels.
+fn conformance_scenario_sr(seed: u64) {
+    conformance_scenario_with(seed, proto_sr())
+}
+
+fn conformance_scenario_with(seed: u64, protocol: ProtocolConfig) {
+    let cluster = ChaosCluster::new(protocol, ChaosConfig::new(seed));
     let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
     let b = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 1)));
     let c = Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0)));
@@ -177,6 +192,16 @@ fn conformance_sweep_across_seeds() {
     let start = seed_start_from_env(0);
     let n = seeds_from_env(700);
     sweep(start..start + n, conformance_scenario).assert_clean("conformance");
+}
+
+/// The full conformance sweep again with selective repeat on every
+/// channel: SACK-bitmap recovery must survive the same drops, duplicates,
+/// reordering, and partition-and-heal windows go-back-N does.
+#[test]
+fn conformance_sweep_across_seeds_selective_repeat() {
+    let start = seed_start_from_env(0);
+    let n = seeds_from_env(700);
+    sweep(start..start + n, conformance_scenario_sr).assert_clean("conformance-sr");
 }
 
 // ---------------------------------------------------------------------------
@@ -426,6 +451,43 @@ fn sabotaged_retransmission_fails_the_sweep() {
         clean.failures.is_empty(),
         "without sabotage the same seeds must pass: {:?}",
         clean.failures
+    );
+}
+
+/// The wedge detector understands selective-repeat channels too: with the
+/// single RTO timer's re-arm sabotaged, a seed that loses the
+/// retransmission leaves unacked frames with no pending timer, and the
+/// quiescence check must flag the channel — naming the mode — within the
+/// first few hundred seeds.
+#[test]
+fn sabotaged_selective_repeat_fails_the_sweep() {
+    let report = sweep(0..300, |seed| {
+        let mut cfg = ChaosConfig::new(seed).with_drop(0.3).with_partition(None);
+        cfg.sabotage_skip_rearm = true;
+        let cluster = ChaosCluster::new(proto_sr(), cfg);
+        let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+        let c = Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0)));
+        let data = payload(6_000);
+        let recv = c
+            .post_recv(a.local_id(), Tag(1), 6_000, TruncationPolicy::Error)
+            .unwrap();
+        a.post_send(c.local_id(), Tag(1), data.clone()).unwrap();
+        if let Some(done) = c.take_completion(OpId::Recv(recv)) {
+            assert_eq!(done.data.as_deref(), Some(&data[..]));
+        }
+    });
+    assert_eq!(report.seeds_run, 300);
+    assert!(
+        !report.failures.is_empty(),
+        "a disabled RTO re-arm must be caught within 300 seeds in SR mode"
+    );
+    assert!(
+        report
+            .failures
+            .iter()
+            .any(|f| f.message.contains("wedged") && f.message.contains("selective-repeat")),
+        "failures must come from the wedge detector and name the mode: {:?}",
+        report.failures.first()
     );
 }
 

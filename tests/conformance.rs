@@ -418,14 +418,64 @@ mod setup {
     /// partitions between the two endpoints (`tests/chaos.rs` sweeps the
     /// same behaviours across many seeds).
     pub fn chaos_pair() -> (Endpoint<ChaosEndpoint>, Endpoint<ChaosEndpoint>) {
+        chaos_pair_with(ReliabilityMode::GoBackN)
+    }
+
+    /// The chaos pair again with selective repeat driving every channel:
+    /// SACK-based recovery must satisfy the identical contracts.
+    pub fn chaos_sr_pair() -> (Endpoint<ChaosEndpoint>, Endpoint<ChaosEndpoint>) {
+        chaos_pair_with(ReliabilityMode::SelectiveRepeat)
+    }
+
+    fn chaos_pair_with(
+        mode: ReliabilityMode,
+    ) -> (Endpoint<ChaosEndpoint>, Endpoint<ChaosEndpoint>) {
         let cluster = ChaosCluster::new(
-            ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024),
+            ProtocolConfig::paper_internode()
+                .with_pushed_buffer(128 * 1024)
+                .with_reliability(mode),
             ChaosConfig::new(0xC0FFEE),
         );
         (
             Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0))),
             Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0))),
         )
+    }
+
+    /// One reactor event loop shared by every reactor-backend case: the
+    /// suite doubles as a many-endpoints-on-one-loop stress (each case
+    /// adds a fresh pair, and dropped pairs must deregister cleanly).
+    fn reactor() -> &'static Reactor {
+        static REACTOR: std::sync::OnceLock<Reactor> = std::sync::OnceLock::new();
+        REACTOR.get_or_init(|| Reactor::new().expect("spawn reactor"))
+    }
+
+    pub fn reactor_pair() -> (Endpoint<ReactorEndpoint>, Endpoint<ReactorEndpoint>) {
+        reactor_pair_with(ReliabilityMode::GoBackN)
+    }
+
+    /// Selective repeat over the reactor: both halves of the PR-7
+    /// subsystem (batched event loop + SACK reliability) under the full
+    /// contract suite at once.
+    pub fn reactor_sr_pair() -> (Endpoint<ReactorEndpoint>, Endpoint<ReactorEndpoint>) {
+        reactor_pair_with(ReliabilityMode::SelectiveRepeat)
+    }
+
+    fn reactor_pair_with(
+        mode: ReliabilityMode,
+    ) -> (Endpoint<ReactorEndpoint>, Endpoint<ReactorEndpoint>) {
+        let proto = ProtocolConfig::paper_internode().with_pushed_buffer(128 * 1024);
+        let config = EndpointConfig::new().reliability(mode);
+        let r = reactor();
+        let a = r
+            .add_endpoint_with(ProcessId::new(0, 0), proto.clone(), "127.0.0.1:0", &config)
+            .unwrap();
+        let b = r
+            .add_endpoint_with(ProcessId::new(1, 0), proto, "127.0.0.1:0", &config)
+            .unwrap();
+        a.add_peer(b.id(), b.local_addr().unwrap());
+        b.add_peer(a.id(), a.local_addr().unwrap());
+        (Endpoint::new(a), Endpoint::new(b))
     }
 }
 
@@ -466,3 +516,6 @@ conformance_suite!(intranode, setup::intranode_pair);
 conformance_suite!(udp, setup::udp_pair);
 conformance_suite!(loopback, setup::loopback_pair);
 conformance_suite!(chaos, setup::chaos_pair);
+conformance_suite!(chaos_selective_repeat, setup::chaos_sr_pair);
+conformance_suite!(reactor, setup::reactor_pair);
+conformance_suite!(reactor_selective_repeat, setup::reactor_sr_pair);

@@ -4,11 +4,12 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use push_pull_messaging::core::queues::Assembly;
-use push_pull_messaging::core::reliability::{Frame, GbnConfig, GbnEvent, GoBackN};
+use push_pull_messaging::core::reliability::{Frame, GbnConfig, GbnEvent, GoBackN, MAX_SACK_WORDS};
 use push_pull_messaging::core::wire::{Packet, PacketHeader, PacketKind, PushPart};
 use push_pull_messaging::core::zbuf::pages_spanned;
 use push_pull_messaging::core::{
-    BtpPolicy, BtpSplit, MessageId, OptFlags, ProtocolMode, TruncationPolicy, ANY_SOURCE, ANY_TAG,
+    BtpPolicy, BtpSplit, Error, MessageId, OptFlags, ProtocolMode, TruncationPolicy, ANY_SOURCE,
+    ANY_TAG,
 };
 // The explicit import shadows the prelude's transport front-end: these
 // properties drive the sans-I/O protocol engine by hand.
@@ -98,6 +99,62 @@ proptest! {
             packet: Packet::new(header, Bytes::from(vec![1u8; len])).unwrap(),
         };
         prop_assert_eq!(Frame::decode(frame.encode()).unwrap(), frame);
+    }
+
+    /// SACK wire round-trip: any cumulative point and any bitmap encode to
+    /// a frame that decodes back to itself (the encoding trims trailing
+    /// all-zero words, so the identity holds on the full `[u64; 4]`).
+    #[test]
+    fn sack_frame_roundtrip(
+        next_expected in any::<u64>(),
+        w0 in any::<u64>(),
+        w1 in any::<u64>(),
+        w2 in any::<u64>(),
+        w3 in any::<u64>(),
+        zero_suffix in 0usize..5,
+    ) {
+        // Exercise both dense and sparse bitmaps: force a trailing run of
+        // zero words so the trimmed short forms are hit as often as the
+        // full-width one.
+        let mut bitmap = [w0, w1, w2, w3];
+        for w in bitmap.iter_mut().skip(4 - zero_suffix) {
+            *w = 0;
+        }
+        let frame = Frame::Sack { next_expected, bitmap };
+        let encoded = frame.encode();
+        prop_assert_eq!(Frame::decode(encoded.clone()).unwrap(), frame);
+
+        // Every strict prefix is rejected with the field-carrying
+        // truncation error reporting exactly what was available — never a
+        // panic, never a misdecode into a different frame.
+        for cut in 0..encoded.len() {
+            match Frame::decode(encoded.slice(..cut)) {
+                Err(Error::TruncatedFrame { have }) => prop_assert_eq!(have, cut),
+                other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+            }
+        }
+    }
+
+    /// A SACK frame declaring more bitmap words than
+    /// [`MAX_SACK_WORDS`](push_pull_messaging::core::reliability::MAX_SACK_WORDS)
+    /// is rejected with the declared count, even when that many words are
+    /// actually present on the wire.
+    #[test]
+    fn sack_too_wide_rejected(
+        next_expected in any::<u64>(),
+        words in (MAX_SACK_WORDS as u8 + 1)..u8::MAX,
+    ) {
+        let mut wire = Vec::with_capacity(10 + 8 * usize::from(words));
+        wire.push(2u8); // SACK kind byte
+        wire.extend_from_slice(&next_expected.to_be_bytes());
+        wire.push(words);
+        for i in 0..u64::from(words) {
+            wire.extend_from_slice(&i.to_be_bytes());
+        }
+        match Frame::decode(Bytes::from(wire)) {
+            Err(Error::SackTooWide { words: got }) => prop_assert_eq!(got, words),
+            other => prop_assert!(false, "declared {} words, got {:?}", words, other),
+        }
     }
 
     /// Go-back-N delivers every packet exactly once, in order, under any
