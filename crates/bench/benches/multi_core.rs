@@ -1,0 +1,203 @@
+//! The PR-8 multi-core benchmark, in two parts, written to `BENCH_PR8.json`
+//! at the repository root:
+//!
+//! * **Part A — executor scaling.** Eight disjoint intranode endpoint pairs
+//!   each run a 4 KiB async ping-pong as an independent task; the task set
+//!   executes on the work-stealing [`Pool`] at 1, 2 and 4 workers.  The
+//!   number reported is wall-clock nanoseconds per completed round trip
+//!   aggregated over all pairs — on a multi-core machine the pairs' engine
+//!   work (disjoint shard state, disjoint completion mailboxes) spreads
+//!   across workers and the per-round-trip cost drops toward linearly with
+//!   the worker count; on a single hardware thread the three rows simply
+//!   coincide.
+//! * **Part B — sharded fan-in.** Eight producer threads blast one consumer
+//!   endpoint configured with 1 engine shard and again with 4.  With one
+//!   shard every post and every routed packet serializes on a single engine
+//!   lock; with four, each producer lands on its peer's shard.  Reported as
+//!   nanoseconds per delivered message for each configuration.
+//!
+//! `BENCH_QUICK=1` shrinks the round counts for the CI smoke job.  The
+//! `*_scaling_w1_over_w4` row is the aggregate Part-A speedup (≥ 1.0;
+//! exactly ~1.0 on a single-core runner) and is reported for humans, not
+//! gated — the runner-relative regression gate uses the ns rows.
+
+use bytes::Bytes;
+use push_pull_messaging::executor::Pool;
+use push_pull_messaging::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAIRS: usize = 8;
+const MSG_LEN: usize = 4096;
+const FANIN_PRODUCERS: usize = 8;
+const FANIN_MSG_LEN: usize = 1024;
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// Part A: disjoint ping-pong pairs on the work-stealing pool
+// ---------------------------------------------------------------------------
+
+type Intra = Arc<Endpoint<HostEndpoint>>;
+
+fn pingpong_pairs() -> Vec<(Intra, Intra)> {
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(1 << 20),
+    );
+    (0..PAIRS as u32)
+        .map(|p| {
+            (
+                Arc::new(Endpoint::new(cluster.add_endpoint(2 * p))),
+                Arc::new(Endpoint::new(cluster.add_endpoint(2 * p + 1))),
+            )
+        })
+        .collect()
+}
+
+/// Runs `rounds` 4 KiB round trips on every pair concurrently over a
+/// `workers`-thread pool, returning wall-clock ns per round trip.
+fn pingpong_ns_per_rt(pairs: &[(Intra, Intra)], workers: usize, rounds: usize) -> f64 {
+    let pool = Pool::new(workers);
+    let run = |rounds: usize| {
+        for (a, b) in pairs {
+            let (a, b) = (a.clone(), b.clone());
+            pool.spawn(async move {
+                let ping = Bytes::from(vec![0xA5u8; MSG_LEN]);
+                let pong = Bytes::from(vec![0x5Au8; MSG_LEN]);
+                for _ in 0..rounds {
+                    let reply = a
+                        .recv(b.local_id(), Tag(2), MSG_LEN, TruncationPolicy::Error)
+                        .expect("post pong recv");
+                    let request = b
+                        .recv(a.local_id(), Tag(1), MSG_LEN, TruncationPolicy::Error)
+                        .expect("post ping recv");
+                    a.send(b.local_id(), Tag(1), ping.clone())
+                        .expect("post ping")
+                        .await;
+                    request.await;
+                    b.send(a.local_id(), Tag(2), pong.clone())
+                        .expect("post pong")
+                        .await;
+                    reply.await;
+                }
+            });
+        }
+        pool.wait_idle();
+    };
+    // Warmup: faults in the per-peer channels, the pool's queues and the
+    // lazily-grown engine buffers.  Proportional to the measured rounds so
+    // the first configuration measured is not charged the one-time costs.
+    run(rounds / 4 + 2);
+    let start = Instant::now();
+    run(rounds);
+    start.elapsed().as_nanos() as f64 / (PAIRS * rounds) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Part B: producer fan-in, 1 engine shard vs 4
+// ---------------------------------------------------------------------------
+
+/// Eight producer threads each push `msgs` 1 KiB messages into one consumer
+/// whose engine runs on `shards` shards; returns wall-clock ns per message.
+fn fanin_ns_per_msg(shards: usize, msgs: usize) -> f64 {
+    let cluster = HostCluster::new(
+        0,
+        ProtocolConfig::paper_intranode().with_pushed_buffer(4 << 20),
+    );
+    let consumer = Arc::new(Endpoint::new(cluster.add_endpoint_sharded(0, shards)));
+    let producers: Vec<_> = (1..=FANIN_PRODUCERS as u32)
+        .map(|rank| Endpoint::new(cluster.add_endpoint(rank)))
+        .collect();
+    let payload = Bytes::from(vec![0xC3u8; FANIN_MSG_LEN]);
+
+    let pool = Pool::new(4);
+    for producer in &producers {
+        let src = producer.local_id();
+        let consumer = consumer.clone();
+        pool.spawn(async move {
+            for seq in 0..msgs as u32 {
+                let done = consumer
+                    .recv(src, Tag(seq), FANIN_MSG_LEN, TruncationPolicy::Error)
+                    .expect("post fan-in recv")
+                    .await;
+                assert_eq!(done.status, Status::Ok);
+            }
+        });
+    }
+
+    let start = Instant::now();
+    let senders: Vec<_> = producers
+        .into_iter()
+        .map(|producer| {
+            let payload = payload.clone();
+            let consumer_id = consumer.local_id();
+            std::thread::spawn(move || {
+                for seq in 0..msgs as u32 {
+                    producer
+                        .send_blocking(consumer_id, Tag(seq), payload.clone(), TIMEOUT)
+                        .expect("fan-in send lost");
+                }
+            })
+        })
+        .collect();
+    for sender in senders {
+        sender.join().unwrap();
+    }
+    pool.wait_idle();
+    start.elapsed().as_nanos() as f64 / (FANIN_PRODUCERS * msgs) as f64
+}
+
+// ---------------------------------------------------------------------------
+
+fn write_bench_json(rows: &[(String, f64)]) {
+    let mut json = String::from(
+        "{\n  \"pr\": 8,\n  \"unit\": \"ns/rt for pingpong rows, ns/msg for fanin rows, ratio for scaling rows\",\n  \"benches\": {\n",
+    );
+    for (i, (name, value)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write BENCH_PR8.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let rounds = if quick_mode() { 40 } else { 400 };
+    let fanin_msgs = if quick_mode() { 100 } else { 1000 };
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    println!("multi_core pingpong: {PAIRS} pairs x {rounds} x {MSG_LEN} B round trips");
+    let pairs = pingpong_pairs();
+    let mut w1_ns = 0.0;
+    for workers in [1usize, 2, 4] {
+        let ns = pingpong_ns_per_rt(&pairs, workers, rounds);
+        let rps = 1e9 / ns;
+        println!("  {workers} workers: {ns:.1} ns/rt ({rps:.0} rt/s aggregate)");
+        rows.push((format!("multi_core_pingpong_w{workers}_ns_per_rt"), ns));
+        if workers == 1 {
+            w1_ns = ns;
+        } else if workers == 4 {
+            let scaling = w1_ns / ns;
+            println!("  scaling w1/w4: {scaling:.2}x");
+            rows.push(("multi_core_scaling_w1_over_w4".into(), scaling));
+        }
+    }
+
+    println!("multi_core fanin: {FANIN_PRODUCERS} producers x {fanin_msgs} x {FANIN_MSG_LEN} B");
+    for shards in [1usize, 4] {
+        let ns = fanin_ns_per_msg(shards, fanin_msgs);
+        println!("  {shards} shard(s): {ns:.1} ns/msg");
+        rows.push((format!("multi_core_fanin_{shards}shard_ns_per_msg"), ns));
+    }
+
+    write_bench_json(&rows);
+}

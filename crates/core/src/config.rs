@@ -311,6 +311,7 @@ pub struct EndpointConfig {
     gbn_window: Option<usize>,
     eager_threshold: Option<usize>,
     reliability: Option<ReliabilityMode>,
+    shards: Option<usize>,
 }
 
 impl EndpointConfig {
@@ -366,6 +367,25 @@ impl EndpointConfig {
     pub fn reliability(mut self, mode: ReliabilityMode) -> Self {
         self.reliability = Some(mode);
         self
+    }
+
+    /// Partitions the endpoint's matching/completion state across `count`
+    /// engine shards keyed by peer (see
+    /// [`ShardedEngine`](crate::sharded::ShardedEngine)): traffic from
+    /// independent peers progresses under independent locks.  `1` (the
+    /// default) keeps a single shard — identical locking behaviour to an
+    /// unsharded endpoint.  Backends that host the engine behind a lock
+    /// honor this; note that [`ANY_SOURCE`](crate::types::ANY_SOURCE)
+    /// receives are rejected with [`Error::ShardedWildcard`](crate::Error)
+    /// when more than one shard is configured.
+    pub fn shards(mut self, count: usize) -> Self {
+        self.shards = Some(count.max(1));
+        self
+    }
+
+    /// The configured shard count (`1` when unset).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1)
     }
 
     /// The configured retention cap, if any.

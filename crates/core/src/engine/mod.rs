@@ -264,6 +264,69 @@ pub struct EndpointStats {
     pub completions_evicted: u64,
 }
 
+impl EndpointStats {
+    /// Accumulates `other` into `self`, field by field.  A sharded engine
+    /// ([`crate::sharded::ShardedEngine`]) reports one merged view over its
+    /// shards; the exhaustive destructuring makes adding a counter without
+    /// summing it a compile error.
+    pub fn merge(&mut self, other: &EndpointStats) {
+        let EndpointStats {
+            sends_posted,
+            recvs_posted,
+            sends_completed,
+            recvs_completed,
+            recvs_failed,
+            recvs_cancelled,
+            sends_cancelled,
+            recvs_truncated,
+            bytes_pushed,
+            bytes_pulled,
+            bytes_copied_direct,
+            bytes_copied_staged,
+            bytes_copied_extra,
+            translations,
+            bytes_translated,
+            pull_requests_sent,
+            pull_requests_served,
+            frames_dropped,
+            bytes_dropped,
+            packets_dropped,
+            channels_failed,
+            retransmits,
+            acks_received,
+            duplicate_frames,
+            steady_allocs,
+            completions_evicted,
+        } = other;
+        self.sends_posted += sends_posted;
+        self.recvs_posted += recvs_posted;
+        self.sends_completed += sends_completed;
+        self.recvs_completed += recvs_completed;
+        self.recvs_failed += recvs_failed;
+        self.recvs_cancelled += recvs_cancelled;
+        self.sends_cancelled += sends_cancelled;
+        self.recvs_truncated += recvs_truncated;
+        self.bytes_pushed += bytes_pushed;
+        self.bytes_pulled += bytes_pulled;
+        self.bytes_copied_direct += bytes_copied_direct;
+        self.bytes_copied_staged += bytes_copied_staged;
+        self.bytes_copied_extra += bytes_copied_extra;
+        self.translations += translations;
+        self.bytes_translated += bytes_translated;
+        self.pull_requests_sent += pull_requests_sent;
+        self.pull_requests_served += pull_requests_served;
+        self.frames_dropped += frames_dropped;
+        self.bytes_dropped += bytes_dropped;
+        self.packets_dropped += packets_dropped;
+        self.channels_failed += channels_failed;
+        self.retransmits += retransmits;
+        self.acks_received += acks_received;
+        self.duplicate_frames += duplicate_frames;
+        self.steady_allocs += steady_allocs;
+        self.completions_evicted += completions_evicted;
+    }
+}
+
 /// Payload storage of one incoming message.
 ///
 /// Small fully-eager messages — the latency-critical regime the paper tunes

@@ -124,6 +124,15 @@ pub enum Error {
         /// Description of the invalid field.
         what: String,
     },
+    /// An [`ANY_SOURCE`](crate::types::ANY_SOURCE) receive was posted on a
+    /// sharded engine with more than one shard.  Matching state is
+    /// partitioned by peer, so a wildcard that could match *any* peer has no
+    /// home shard; post to a specific source, or configure one shard when
+    /// wildcard receives are required.
+    ShardedWildcard {
+        /// Number of shards the engine runs.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -179,6 +188,11 @@ impl fmt::Display for Error {
                 write!(f, "channel to {peer} failed after exhausting retries")
             }
             Error::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Error::ShardedWildcard { shards } => write!(
+                f,
+                "ANY_SOURCE receive cannot be matched on a {shards}-shard engine \
+                 (matching state is partitioned by peer)"
+            ),
         }
     }
 }

@@ -92,6 +92,7 @@ pub mod index;
 pub mod ops;
 pub mod queues;
 pub mod reliability;
+pub mod sharded;
 pub mod transport;
 pub mod types;
 pub mod wire;
@@ -103,13 +104,14 @@ pub use engine::{Action, CopyKind, Endpoint, EndpointStats, InjectMode, Translat
 pub use error::{Error, Result};
 pub use index::{Slab, SrcTagMap, U64Index};
 pub use ops::{
-    Claim, Completion, CompletionQueue, OpId, RecvBuf, RecvOp, SendOp, Status, TruncationPolicy,
-    WaitPoll, WakerTable, DEFAULT_COMPLETION_RETENTION,
+    Claim, Completion, CompletionMailbox, CompletionQueue, OpId, RecvBuf, RecvOp, SendOp, Status,
+    TruncationPolicy, WaitPoll, WakerTable, DEFAULT_COMPLETION_RETENTION,
 };
 pub use queues::{BufferQueue, PushedBuffer, ReceiveQueue, SendPayload, SendQueue};
 pub use reliability::{
     ArqChannel, GbnConfig, GbnEvent, GbnStats, GoBackN, ReliabilityMode, SelectiveRepeat,
 };
+pub use sharded::{EngineBatch, ShardedEngine};
 pub use transport::RawTransport;
 pub use types::{
     MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BIT,

@@ -31,6 +31,8 @@ use crate::types::{ProcessId, Tag};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex as StdMutex;
 use std::task::Waker;
 
 /// Handle of a posted send operation.
@@ -1064,6 +1066,14 @@ impl CompletionQueue {
             + self.recv.alloc_events
             + self.wakers.alloc_events()
     }
+
+    /// Number of waiter registrations currently held — real wakers and bare
+    /// eviction-exemption interests alike.  [`CompletionMailbox`] reads this
+    /// after every queue access to decide whether a producer must take the
+    /// publication lock at all.
+    pub fn waiters(&self) -> usize {
+        self.wakers.len()
+    }
 }
 
 /// Invokes a [`CompletionQueue::publish`] wake batch **outside** the lock
@@ -1081,6 +1091,178 @@ pub fn wake_all<F: FnOnce(Vec<Waker>)>(mut woken: Vec<Waker>, recycle: F) {
         waker.wake();
     }
     recycle(woken);
+}
+
+/// Locks a mailbox mutex, shrugging off poisoning: the queue's own state is
+/// valid after a panicking consumer (every mutation is a complete queue
+/// operation), and completions must stay deliverable to the survivors.
+fn relock<T>(mutex: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A [`CompletionQueue`] behind an MPSC publication path.
+///
+/// With a sharded engine, several shards (and with the intranode fabric,
+/// several *routing threads*) complete operations concurrently, but the old
+/// publication scheme made every one of them serialize on the single `done`
+/// lock even when nobody was waiting.  The mailbox splits publication in
+/// two:
+///
+/// * each producer appends its batch to its **own inbox** (one tiny lock per
+///   producer, never contended across producers), and
+/// * the shared queue is only locked to **sweep** the inboxes when a waiter
+///   could be parked — publication with no registered waiter is a pure
+///   inbox append, the fire-and-forget fast path.
+///
+/// Consumers go through [`CompletionMailbox::with`], which sweeps pending
+/// inboxes into the queue *before* running the caller's closure (a poll can
+/// never miss an already-posted completion) and re-checks for a
+/// post-registration race after releasing the lock.  The race is closed the
+/// classic two-flag way: a producer advertises `pending` before loading
+/// `waiters`, a consumer advertises `waiters` before re-loading `pending`
+/// (all `SeqCst`), so in every interleaving at least one side observes the
+/// other and performs the sweep-and-wake.
+#[derive(Debug)]
+pub struct CompletionMailbox {
+    /// One inbox per producer (engine shard / reactor loop); a producer
+    /// only ever locks its own.
+    inboxes: Box<[StdMutex<Vec<Completion>>]>,
+    /// Completions posted to inboxes and not yet swept into the queue.
+    pending: AtomicUsize,
+    /// Snapshot of the queue's waiter-registration count, maintained by
+    /// every queue access; producers skip the queue lock while it is zero.
+    waiters: AtomicUsize,
+    inner: StdMutex<MailboxInner>,
+}
+
+#[derive(Debug)]
+struct MailboxInner {
+    queue: CompletionQueue,
+    /// Sweep staging: inbox batches are moved here (one memcpy per batch)
+    /// and published in a single call, so one sweep produces one wake batch
+    /// and the scratch capacities stabilise — the steady path allocates
+    /// nothing.
+    scratch: Vec<Completion>,
+}
+
+impl CompletionMailbox {
+    /// A mailbox with `producers` inboxes in front of a fresh queue.
+    pub fn new(producers: usize) -> Self {
+        Self::with_queue(producers, CompletionQueue::new())
+    }
+
+    /// A mailbox with `producers` inboxes in front of `queue` (carrying the
+    /// backend's retention configuration).
+    pub fn with_queue(producers: usize, queue: CompletionQueue) -> Self {
+        let inboxes = (0..producers.max(1))
+            .map(|_| StdMutex::new(Vec::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        CompletionMailbox {
+            inboxes,
+            pending: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            inner: StdMutex::new(MailboxInner {
+                queue,
+                scratch: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of producer inboxes.
+    pub fn producers(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Publishes a batch from `producer`, draining `comps` (its capacity is
+    /// kept for reuse).  The batch lands in the producer's own inbox; the
+    /// shared queue is locked — and waiters woken — only when the waiter
+    /// snapshot says somebody may be parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer >= self.producers()`.
+    pub fn post(&self, producer: usize, comps: &mut Vec<Completion>) {
+        if comps.is_empty() {
+            return;
+        }
+        let batch = comps.len();
+        {
+            let mut inbox = relock(&self.inboxes[producer]);
+            inbox.extend(comps.drain(..));
+        }
+        // Advertise the batch *before* loading `waiters` (see the type-level
+        // race argument): a consumer registering concurrently either is seen
+        // here, or sees our `pending` in its post-unlock re-check.
+        self.pending.fetch_add(batch, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            self.deliver();
+        }
+    }
+
+    /// Runs `f` on the queue with every pending inbox swept in first, then
+    /// refreshes the waiter snapshot and closes the producer race.  This is
+    /// the backend's `with_completions` primitive: polls, claims, waker
+    /// registrations, and drains all come through here.
+    pub fn with(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
+        let woken = {
+            let mut inner = relock(&self.inner);
+            let woken = self.sweep(&mut inner);
+            f(&mut inner.queue);
+            self.waiters.store(inner.queue.waiters(), Ordering::SeqCst);
+            woken
+        };
+        wake_all(woken, |drained| {
+            relock(&self.inner).queue.recycle_woken(drained)
+        });
+        // `f` may have registered a waker after our sweep while a producer
+        // posted and loaded a stale zero `waiters` snapshot: re-check.
+        if self.pending.load(Ordering::SeqCst) > 0 && self.waiters.load(Ordering::SeqCst) > 0 {
+            self.deliver();
+        }
+    }
+
+    /// Locks the queue, sweeps the inboxes, and wakes whoever the sweep
+    /// readied.
+    fn deliver(&self) {
+        let woken = {
+            let mut inner = relock(&self.inner);
+            let woken = self.sweep(&mut inner);
+            self.waiters.store(inner.queue.waiters(), Ordering::SeqCst);
+            woken
+        };
+        wake_all(woken, |drained| {
+            relock(&self.inner).queue.recycle_woken(drained)
+        });
+    }
+
+    /// Moves every inbox's contents into the queue (one publication batch),
+    /// returning the wakers to invoke once the queue lock is released.
+    /// Caller holds the `inner` lock.
+    fn sweep(&self, inner: &mut MailboxInner) -> Vec<Waker> {
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return Vec::new();
+        }
+        let mut scratch = std::mem::take(&mut inner.scratch);
+        for inbox in self.inboxes.iter() {
+            let mut inbox = relock(inbox);
+            if !inbox.is_empty() {
+                scratch.extend(inbox.drain(..));
+            }
+        }
+        self.pending.fetch_sub(scratch.len(), Ordering::SeqCst);
+        let woken = inner.queue.publish(&mut scratch);
+        inner.scratch = scratch;
+        woken
+    }
+
+    /// Completions evicted past the retention cap (see
+    /// [`CompletionQueue::evicted`]).
+    pub fn evicted(&self) -> u64 {
+        relock(&self.inner).queue.evicted()
+    }
 }
 
 #[cfg(test)]

@@ -1,39 +1,45 @@
 //! Intranode fabric: threads within one OS process exchanging messages
 //! through a shared in-memory "kernel agent", driving the same protocol
 //! engine the simulator uses.
+//!
+//! Since PR 8 every member hosts a peer-sharded engine
+//! ([`ShardedEngine`]) behind per-shard locks and publishes completions
+//! through an MPSC [`CompletionMailbox`]: threads exchanging traffic with
+//! *different* peers of one endpoint run under different shard locks, and a
+//! publication with no parked waiter never touches the shared completion
+//! lock at all.  The default is one shard per endpoint (identical locking
+//! to the pre-sharding fabric); opt in with
+//! [`EndpointConfig::shards`](ppmsg_core::EndpointConfig::shards) or
+//! [`HostCluster::add_endpoint_sharded`].
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use ppmsg_core::sharded::{EngineBatch, ShardedEngine};
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
-    Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, ProcessId,
+    Action, CompletionMailbox, CompletionQueue, EndpointConfig, EndpointStats, ProcessId,
     ProtocolConfig, RawTransport, RecvBuf, RecvOp, Result, SendOp, Tag, TruncationPolicy,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 struct Member {
-    id: ProcessId,
-    engine: Mutex<Endpoint>,
-    /// Completions drained from the engine, op-indexed so claims are O(1)
-    /// (drain order preserved separately), with the wakers of tasks
-    /// awaiting them — async futures and the facade's blocking `wait`
-    /// alike, so publication needs no condvar broadcast.
-    done: Mutex<CompletionQueue>,
+    /// The peer-sharded protocol engine: traffic for independent peers
+    /// progresses under independent shard locks.
+    engine: ShardedEngine,
+    /// Completions published per shard through the MPSC mailbox; claims,
+    /// polls, and waker registrations (async futures and the facade's
+    /// blocking `wait` alike) go through its queue.
+    done: CompletionMailbox,
 }
 
 impl Member {
-    /// Publishes a batch of completions, waking every waiter registered for
-    /// one of them.  Drains `comps`, leaving its capacity for reuse.
-    /// Wakers are invoked **after** the `done` lock is released: a waker is
-    /// arbitrary executor code and may poll (and so re-enter this endpoint)
-    /// inline.
-    fn publish(&self, comps: &mut Vec<Completion>) {
-        if comps.is_empty() {
-            return;
-        }
-        let woken = self.done.lock().publish(comps);
-        ppmsg_core::ops::wake_all(woken, |drained| self.done.lock().recycle_woken(drained));
+    /// Publishes a drained batch (completions + shard attribution), waking
+    /// every waiter registered for one of them.  Wakers are invoked after
+    /// the mailbox's queue lock is released: a waker is arbitrary executor
+    /// code and may poll (and so re-enter this endpoint) inline.
+    fn publish(&self, batch: &mut EngineBatch) {
+        self.done.post(batch.shard, &mut batch.comps);
     }
 }
 
@@ -53,14 +59,14 @@ impl Fabric {
     /// equivalent and are dropped.  Drains `actions`, leaving its capacity
     /// for reuse.
     fn queue_actions(
-        member: &Member,
+        src: ProcessId,
         actions: &mut Vec<Action>,
         work: &mut VecDeque<(ProcessId, ProcessId, Packet)>,
     ) {
         for action in actions.drain(..) {
             match action {
                 Action::Transmit { dst, packet, .. } => {
-                    work.push_back((member.id, dst, packet));
+                    work.push_back((src, dst, packet));
                 }
                 Action::TransmitFrame { .. } => {
                     unreachable!("intranode fabric never uses go-back-N frames")
@@ -78,23 +84,19 @@ impl Fabric {
     /// Routes packets between members until no more traffic is generated.
     /// This is the "kernel agent": it may run on any thread that produced
     /// traffic (the paper runs it on the least-loaded processor; here the OS
-    /// scheduler decides).  One action buffer is reused across every hop, so
-    /// routing a message exchange performs no per-packet allocation.
+    /// scheduler decides).  One batch is reused across every hop, so routing
+    /// a message exchange performs no per-packet allocation — and each hop
+    /// locks only the shard owning the packet's source, so routers carrying
+    /// different peers' traffic into one busy endpoint run concurrently.
     fn route(&self, mut work: VecDeque<(ProcessId, ProcessId, Packet)>) {
-        let mut actions = Vec::new();
-        let mut comps = Vec::new();
+        let mut batch = EngineBatch::new();
         while let Some((src, dst, packet)) = work.pop_front() {
             let Some(member) = self.member(dst) else {
                 continue;
             };
-            {
-                let mut engine = member.engine.lock();
-                engine.handle_packet(src, packet);
-                engine.drain_actions_into(&mut actions);
-                engine.drain_completions_into(&mut comps);
-            }
-            member.publish(&mut comps);
-            Self::queue_actions(&member, &mut actions, &mut work);
+            member.engine.handle_packet(src, packet, &mut batch);
+            member.publish(&mut batch);
+            Self::queue_actions(dst, &mut batch.actions, &mut work);
         }
     }
 }
@@ -129,15 +131,29 @@ impl HostCluster {
         self.add_endpoint_with(local_rank, &EndpointConfig::new())
     }
 
+    /// Adds a process whose engine state is partitioned across `shards`
+    /// peer-keyed shards (see
+    /// [`ShardedEngine`](ppmsg_core::sharded::ShardedEngine)): threads
+    /// driving traffic with different peers of this endpoint stop contending
+    /// on one engine lock.  Note that multi-shard endpoints reject
+    /// `ANY_SOURCE` receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local rank was already added.
+    pub fn add_endpoint_sharded(&self, local_rank: u32, shards: usize) -> HostEndpoint {
+        self.add_endpoint_with(local_rank, &EndpointConfig::new().shards(shards))
+    }
+
     /// Adds a process with per-endpoint configuration overrides: the
-    /// completion-retention cap, go-back-N window, and BTP eager threshold
-    /// from `config` replace the fabric-wide defaults for this endpoint
-    /// only.
+    /// completion-retention cap, go-back-N window, BTP eager threshold, and
+    /// engine shard count from `config` replace the fabric-wide defaults
+    /// for this endpoint only.
     ///
     /// Only the protocol-and-queue overrides (retention cap, window, eager
-    /// threshold) apply here; the config's default *truncation policy* is a
-    /// front-end concern — wrap the returned endpoint in the facade's
-    /// `Endpoint::with_config(raw, config)` to honor it.
+    /// threshold, shards) apply here; the config's default *truncation
+    /// policy* is a front-end concern — wrap the returned endpoint in the
+    /// facade's `Endpoint::with_config(raw, config)` to honor it.
     ///
     /// # Panics
     ///
@@ -146,12 +162,12 @@ impl HostCluster {
     pub fn add_endpoint_with(&self, local_rank: u32, config: &EndpointConfig) -> HostEndpoint {
         let id = ProcessId::new(self.node, local_rank);
         let protocol = config.apply_protocol(self.protocol.clone());
+        let shards = config.shard_count();
         let mut done = CompletionQueue::new();
         config.apply_retention(&mut done);
         let member = Arc::new(Member {
-            id,
-            engine: Mutex::new(Endpoint::new(id, protocol)),
-            done: Mutex::new(done),
+            engine: ShardedEngine::new(id, protocol, shards),
+            done: CompletionMailbox::with_queue(shards, done),
         });
         let previous = self
             .fabric
@@ -176,26 +192,21 @@ pub struct HostEndpoint {
 impl HostEndpoint {
     /// This endpoint's process id.
     pub fn id(&self) -> ProcessId {
-        self.member.id
+        self.member.engine.id()
     }
 
-    /// Runs one engine interaction, then publishes its completions and
-    /// routes its traffic through the fabric.
-    fn run_engine<R>(&self, f: impl FnOnce(&mut Endpoint) -> R) -> R {
-        let mut actions = Vec::new();
-        let mut comps = Vec::new();
-        let result = {
-            let mut engine = self.member.engine.lock();
-            let result = f(&mut engine);
-            engine.drain_actions_into(&mut actions);
-            engine.drain_completions_into(&mut comps);
-            result
-        };
-        self.member.publish(&mut comps);
+    /// Number of engine shards this endpoint runs (1 unless configured).
+    pub fn shard_count(&self) -> usize {
+        self.member.engine.shard_count()
+    }
+
+    /// Publishes a drained interaction's completions through the mailbox
+    /// and routes its traffic through the fabric.
+    fn finish(&self, batch: &mut EngineBatch) {
+        self.member.publish(batch);
         let mut work = VecDeque::new();
-        Fabric::queue_actions(&self.member, &mut actions, &mut work);
+        Fabric::queue_actions(self.id(), &mut batch.actions, &mut work);
         self.fabric.route(work);
-        result
     }
 
     /// Posts a send of `data` to `peer`, returning its operation handle.
@@ -205,7 +216,10 @@ impl HostEndpoint {
     /// immediately.
     pub fn post_send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> Result<SendOp> {
         let data = data.into();
-        self.run_engine(|engine| engine.post_send(peer, tag, data))
+        let mut batch = EngineBatch::new();
+        let result = self.member.engine.post_send(peer, tag, data, &mut batch);
+        self.finish(&mut batch);
+        result
     }
 
     /// Posts a vectored send: `segments` arrive as one concatenated message
@@ -217,12 +231,20 @@ impl HostEndpoint {
         tag: Tag,
         segments: &[Bytes],
     ) -> Result<SendOp> {
-        self.run_engine(|engine| engine.post_send_vectored(peer, tag, segments))
+        let mut batch = EngineBatch::new();
+        let result = self
+            .member
+            .engine
+            .post_send_vectored(peer, tag, segments, &mut batch);
+        self.finish(&mut batch);
+        result
     }
 
     /// Posts an engine-buffered receive.  `src` / `tag` may be the
     /// [`ANY_SOURCE`](ppmsg_core::ANY_SOURCE) /
-    /// [`ANY_TAG`](ppmsg_core::ANY_TAG) wildcards.
+    /// [`ANY_TAG`](ppmsg_core::ANY_TAG) wildcards — though `ANY_SOURCE`
+    /// requires a single-shard endpoint (the default); see
+    /// [`Error::ShardedWildcard`](ppmsg_core::Error::ShardedWildcard).
     pub fn post_recv(
         &self,
         src: ProcessId,
@@ -230,7 +252,13 @@ impl HostEndpoint {
         capacity: usize,
         policy: TruncationPolicy,
     ) -> Result<RecvOp> {
-        self.run_engine(|engine| engine.post_recv_with(src, tag, capacity, policy))
+        let mut batch = EngineBatch::new();
+        let result = self
+            .member
+            .engine
+            .post_recv_with(src, tag, capacity, policy, &mut batch);
+        self.finish(&mut batch);
+        result
     }
 
     /// Posts a receive that reassembles directly into the caller-owned
@@ -242,27 +270,39 @@ impl HostEndpoint {
         buf: RecvBuf,
         policy: TruncationPolicy,
     ) -> Result<RecvOp> {
-        self.run_engine(|engine| engine.post_recv_into(src, tag, buf, policy))
+        let mut batch = EngineBatch::new();
+        let result = self
+            .member
+            .engine
+            .post_recv_into(src, tag, buf, policy, &mut batch);
+        self.finish(&mut batch);
+        result
     }
 
     /// Cancels a still-unmatched receive; see
     /// [`Endpoint::cancel`](ppmsg_core::Endpoint::cancel).
     pub fn cancel(&self, op: RecvOp) -> bool {
-        self.run_engine(|engine| engine.cancel(op))
+        let mut batch = EngineBatch::new();
+        let result = self.member.engine.cancel_recv(op, &mut batch);
+        self.finish(&mut batch);
+        result
     }
 
     /// Cancels a posted send whose remainder has not been pulled yet; see
     /// [`Endpoint::cancel_send`](ppmsg_core::Endpoint::cancel_send).
     pub fn cancel_send(&self, op: SendOp) -> bool {
-        self.run_engine(|engine| engine.cancel_send(op))
+        let mut batch = EngineBatch::new();
+        let result = self.member.engine.cancel_send(op, &mut batch);
+        self.finish(&mut batch);
+        result
     }
 
-    /// Protocol statistics of this endpoint, including the completion
-    /// queue's eviction counter
+    /// Protocol statistics of this endpoint, merged over its shards and
+    /// including the completion queue's eviction counter
     /// ([`EndpointStats::completions_evicted`]).
     pub fn stats(&self) -> EndpointStats {
-        let mut stats = self.member.engine.lock().stats();
-        stats.completions_evicted = self.member.done.lock().evicted();
+        let mut stats = self.member.engine.stats();
+        stats.completions_evicted = self.member.done.evicted();
         stats
     }
 }
@@ -313,7 +353,7 @@ impl RawTransport for HostEndpoint {
     }
 
     fn with_completions(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
-        f(&mut self.member.done.lock());
+        self.member.done.with(f);
     }
 
     fn stats(&self) -> EndpointStats {
@@ -324,7 +364,7 @@ impl RawTransport for HostEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppmsg_core::{OpId, ProtocolMode, Status, ANY_SOURCE, ANY_TAG};
+    use ppmsg_core::{Completion, OpId, ProtocolMode, Status, ANY_SOURCE, ANY_TAG};
     use std::thread;
     use std::time::Duration;
 
@@ -522,5 +562,58 @@ mod tests {
         let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
         let _a = cluster.add_endpoint(0);
         let _b = cluster.add_endpoint(0);
+    }
+
+    #[test]
+    fn sharded_endpoint_serves_many_peers() {
+        // One 4-shard server, 8 client threads: each client sends a
+        // distinct payload and receives a distinct echo.  Peers spread
+        // round-robin over the shards, so concurrent clients exercise
+        // different shard locks (on multi-core hardware, concurrently).
+        let cluster = HostCluster::new(
+            0,
+            ProtocolConfig::paper_intranode().with_pushed_buffer(512 * 1024),
+        );
+        let server = cluster.add_endpoint_sharded(0, 4);
+        assert_eq!(server.shard_count(), 4);
+        let server_id = server.id();
+        let clients: Vec<_> = (1..9)
+            .map(|r| {
+                let client = cluster.add_endpoint(r);
+                thread::spawn(move || {
+                    let data = payload(512 + r as usize * 37);
+                    send(&client, server_id, Tag(r), data.clone());
+                    let echoed =
+                        recv(&client, server_id, Tag(100 + r), 64 * 1024, T).expect("echo");
+                    assert_eq!(echoed, data);
+                })
+            })
+            .collect();
+        for r in 1..9u32 {
+            let got = recv(&server, ProcessId::new(0, r), Tag(r), 64 * 1024, T)
+                .expect("server recv timed out");
+            send(&server, ProcessId::new(0, r), Tag(100 + r), got);
+        }
+        for handle in clients {
+            handle.join().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.recvs_completed, 8);
+        assert_eq!(stats.sends_completed, 8);
+    }
+
+    #[test]
+    fn sharded_endpoint_rejects_wildcard_source() {
+        let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
+        let sharded = cluster.add_endpoint_sharded(0, 2);
+        let _peer = cluster.add_endpoint(1);
+        let err = sharded
+            .post_recv(ANY_SOURCE, ANY_TAG, 64, TruncationPolicy::Error)
+            .unwrap_err();
+        assert_eq!(err, ppmsg_core::Error::ShardedWildcard { shards: 2 });
+        // A concrete source with ANY_TAG stays legal.
+        assert!(sharded
+            .post_recv(ProcessId::new(0, 1), ANY_TAG, 64, TruncationPolicy::Error)
+            .is_ok());
     }
 }

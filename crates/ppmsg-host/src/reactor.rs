@@ -41,8 +41,9 @@ use parking_lot::Mutex;
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
-    Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, ProcessId,
-    ProtocolConfig, RawTransport, RecvBuf, RecvOp, Result, SendOp, Tag, TimerId, TruncationPolicy,
+    Action, Completion, CompletionMailbox, CompletionQueue, Endpoint, EndpointConfig,
+    EndpointStats, ProcessId, ProtocolConfig, RawTransport, RecvBuf, RecvOp, Result, SendOp, Tag,
+    TimerId, TruncationPolicy,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -397,8 +398,10 @@ struct EpShared {
     socket: UdpSocket,
     peers: Mutex<PeerTable>,
     /// Completions drained from the engine, op-indexed so claims are O(1),
-    /// with the wakers of tasks awaiting them.
-    done: Mutex<CompletionQueue>,
+    /// with the wakers of tasks awaiting them.  Publishing goes through the
+    /// mailbox's MPSC inbox, so the reactor thread and user-thread postings
+    /// never block behind a consumer holding the queue open.
+    done: CompletionMailbox,
     /// Reusable frame-encode buffers.
     codec: Mutex<PacketBufPool>,
     /// The hosting reactor, for timer-wheel inserts from user threads.
@@ -455,14 +458,14 @@ impl SendBatch {
 
 impl EpShared {
     /// Publishes a batch of completions, waking every waiter registered
-    /// for one of them.  Wakers run after the `done` lock is released: a
-    /// waker is arbitrary executor code and may re-enter this endpoint.
+    /// for one of them.  Wakers run after the mailbox's queue lock is
+    /// released: a waker is arbitrary executor code and may re-enter this
+    /// endpoint.
     fn publish(&self, comps: &mut Vec<Completion>) {
         if comps.is_empty() {
             return;
         }
-        let woken = self.done.lock().publish(comps);
-        ppmsg_core::ops::wake_all(woken, |drained| self.done.lock().recycle_woken(drained));
+        self.done.post(0, comps);
     }
 
     /// Executes a batch of engine actions in production order.  With
@@ -767,7 +770,7 @@ impl Reactor {
             engine: Mutex::new(Endpoint::new(id, protocol)),
             socket,
             peers: Mutex::new(PeerTable::default()),
-            done: Mutex::new(done),
+            done: CompletionMailbox::with_queue(1, done),
             codec: Mutex::new(PacketBufPool::new()),
             reactor,
             this: this.clone(),
@@ -897,7 +900,7 @@ impl ReactorEndpoint {
     /// ([`EndpointStats::completions_evicted`]).
     pub fn stats(&self) -> EndpointStats {
         let mut stats = self.shared.engine.lock().stats();
-        stats.completions_evicted = self.shared.done.lock().evicted();
+        stats.completions_evicted = self.shared.done.evicted();
         stats
     }
 
@@ -910,7 +913,8 @@ impl ReactorEndpoint {
 
 /// Same contract as the UDP backend: posting runs the engine on the
 /// calling thread (the reactor thread publishes concurrent completions),
-/// and completion access goes through the `done` queue under its lock, so
+/// and completion access goes through the mailbox's queue, which sweeps
+/// pending inbox batches before running the caller's closure, so
 /// check-and-register through [`RawTransport::with_completions`] can never
 /// miss a concurrently published completion.
 impl RawTransport for ReactorEndpoint {
@@ -955,7 +959,7 @@ impl RawTransport for ReactorEndpoint {
     }
 
     fn with_completions(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
-        f(&mut self.shared.done.lock());
+        self.shared.done.with(f);
     }
 
     fn stats(&self) -> EndpointStats {

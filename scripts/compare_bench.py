@@ -7,7 +7,9 @@ Usage:
 Every benchmark key present in both files is compared; a key whose current
 median exceeds baseline * threshold is a regression and the script exits 1.
 Keys only present on one side (benches added or retired between PRs) are
-reported and skipped.
+reported and skipped.  ``--skip KEY`` (repeatable) excludes a key from the
+gate entirely — for informational rows like speedup ratios, where "bigger
+than baseline" means the hardware got better, not that the code got worse.
 
 --calibrate rescales the current numbers by the median speed ratio of the
 ``*_naive`` benches shared by both files.  Those benches run the frozen
@@ -38,11 +40,13 @@ def main() -> int:
                         help="fail when current > baseline * threshold (default 1.25)")
     parser.add_argument("--calibrate", action="store_true",
                         help="rescale by the shared *_naive benches' drift")
+    parser.add_argument("--skip", action="append", default=[], metavar="KEY",
+                        help="exclude KEY from the regression gate (repeatable)")
     args = parser.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
-    shared = sorted(base.keys() & cur.keys())
+    shared = sorted((base.keys() & cur.keys()) - set(args.skip))
     if not shared:
         print("error: no shared benchmark keys to compare", file=sys.stderr)
         return 1

@@ -1,0 +1,524 @@
+//! The multi-core executor: a work-stealing thread pool next to the
+//! single-threaded [`Driver`](crate::async_transport::Driver).
+//!
+//! [`Pool`] spawns `Send` futures onto N worker threads.  Each worker owns a
+//! FIFO run queue; tasks spawned or woken from outside the pool land in a
+//! shared injector, tasks woken on a worker (the overwhelmingly common case:
+//! a completion published while that worker runs the backend) go to the
+//! waking worker's own queue.  A worker out of local work drains the
+//! injector, then **steals half** of a sibling's queue — half, not one, so a
+//! single imbalanced producer amortises the steal lock over many tasks.
+//!
+//! ## Task lifecycle — stale wakes are no-ops
+//!
+//! Every spawned task lives in a reference-counted cell whose scheduling
+//! state is a single atomic: `Idle → Scheduled → Running → {Idle, Complete}`,
+//! with `Notified` recording a wake that arrived mid-poll.  A waker is just a
+//! handle on the cell, so a wake for a task that already completed (or is
+//! already queued) finds the terminal/queued state and does nothing — the
+//! same stale-wake immunity the single-threaded `Driver` gets from its
+//! generation-checked slots, enforced here by the state machine because
+//! cells are never reused.  The transitions guarantee a task is **enqueued
+//! at most once** at any instant, so two workers can never poll the same
+//! future concurrently.
+//!
+//! ## Picking `Driver` vs `Pool`
+//!
+//! The `Driver` is deterministic (same spawn order ⇒ same interleaving on
+//! the loopback backend) and works with `!Send` futures; use it for tests
+//! and single-core progress loops.  The `Pool` requires `Send` futures and
+//! trades determinism for parallelism: with the sharded engine
+//! ([`ShardedEngine`](ppmsg_core::ShardedEngine)), independent peers'
+//! protocol work runs concurrently on different workers.
+//!
+//! ```
+//! use push_pull_messaging::prelude::*;
+//! use push_pull_messaging::executor::Pool;
+//! use bytes::Bytes;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let cluster = HostCluster::new(0, ProtocolConfig::paper_intranode());
+//! let a = Arc::new(Endpoint::new(cluster.add_endpoint(0)));
+//! let b = Arc::new(Endpoint::new(cluster.add_endpoint(1)));
+//!
+//! let pool = Pool::new(2);
+//! let delivered = Arc::new(AtomicUsize::new(0));
+//! for tag in 0..4u32 {
+//!     let (a, b, delivered) = (a.clone(), b.clone(), delivered.clone());
+//!     pool.spawn(async move {
+//!         let recv = b
+//!             .recv(a.local_id(), Tag(tag), 64, TruncationPolicy::Error)
+//!             .unwrap();
+//!         a.send(b.local_id(), Tag(tag), Bytes::from(vec![tag as u8; 16]))
+//!             .unwrap()
+//!             .await;
+//!         assert_eq!(recv.await.data.unwrap().len(), 16);
+//!         delivered.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! }
+//! pool.wait_idle();
+//! assert_eq!(delivered.load(Ordering::Relaxed), 4);
+//! ```
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, continuing through poisoning: a panicked task must not
+/// wedge every other worker (queues hold only `Arc`s and are valid after an
+/// unwind at any point).
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// Task lifecycle states (see module docs).
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const COMPLETE: u8 = 4;
+
+/// One spawned task: its future and the atomic scheduling state that makes
+/// wakes idempotent.  The waker for the task is the cell itself.
+struct TaskCell {
+    state: AtomicU8,
+    /// `None` once the task completed (the future is dropped eagerly, not
+    /// kept until the last waker dies).  The mutex is uncontended by
+    /// construction — the state machine admits one poller at a time — and
+    /// exists to make the cell `Sync` without `unsafe`.
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    pool: Weak<PoolShared>,
+}
+
+impl TaskCell {
+    /// A wake: schedules the task unless it is already queued, finished, or
+    /// mid-poll (then the poller reschedules it itself via `Notified`).
+    fn schedule(self: &Arc<Self>) {
+        loop {
+            match self
+                .state
+                .compare_exchange(IDLE, SCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    if let Some(pool) = self.pool.upgrade() {
+                        pool.enqueue(self.clone());
+                    } else {
+                        // The pool is gone: the task can never run again.
+                        self.state.store(COMPLETE, Ordering::SeqCst);
+                        *relock(&self.future) = None;
+                    }
+                    return;
+                }
+                Err(RUNNING) => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                    // Lost a race with the poller settling the state; retry.
+                }
+                // Already queued, already notified, or already finished:
+                // this wake has nothing to add.
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+/// State shared by the workers, spawners and wakers.
+struct PoolShared {
+    /// Per-worker FIFO run queues.
+    locals: Box<[Mutex<VecDeque<Arc<TaskCell>>>]>,
+    /// Overflow/entry queue for tasks spawned or woken off-pool.
+    injector: Mutex<VecDeque<Arc<TaskCell>>>,
+    /// Tasks sitting in some queue right now.  Paired with `sleepers` in a
+    /// two-flag handshake (both `SeqCst`): an enqueuer bumps `pending` then
+    /// reads `sleepers`; a worker registers in `sleepers` then re-reads
+    /// `pending` — in the single total order at least one side sees the
+    /// other, so no task is left queued with every worker asleep.
+    pending: AtomicUsize,
+    /// Workers parked on `park_cv`.
+    sleepers: AtomicUsize,
+    /// Spawned-but-not-completed tasks (queued, mid-poll, *or* idle awaiting
+    /// an external wake) — what [`Pool::wait_idle`] waits on.
+    live: AtomicUsize,
+    shutdown: AtomicBool,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+std::thread_local! {
+    /// `(pool identity, worker index)` when the current thread is a pool
+    /// worker — wakes on a worker thread go to its own run queue.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+impl PoolShared {
+    fn identity(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    fn enqueue(self: &Arc<Self>, task: Arc<TaskCell>) {
+        let me = self.identity();
+        let slot = CURRENT_WORKER.with(|w| match w.get() {
+            Some((pool, worker)) if pool == me => Some(worker),
+            _ => None,
+        });
+        match slot {
+            Some(worker) => relock(&self.locals[worker]).push_back(task),
+            None => relock(&self.injector).push_back(task),
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Notify under the park lock so a worker between its `pending`
+            // re-check and its condvar wait cannot miss this signal.
+            let _guard = relock(&self.park_lock);
+            self.park_cv.notify_one();
+        }
+    }
+
+    /// Dequeues the next task for `worker`: own queue, then the injector,
+    /// then half of the first non-empty sibling queue.
+    fn find_work(&self, worker: usize) -> Option<Arc<TaskCell>> {
+        if let Some(task) = relock(&self.locals[worker]).pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+        if let Some(task) = relock(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            let mut stolen = {
+                let mut queue = relock(&self.locals[victim]);
+                let len = queue.len();
+                if len == 0 {
+                    continue;
+                }
+                // Steal the older half (rounded up) from the queue front,
+                // preserving FIFO order on both sides of the split.
+                queue.drain(..len.div_ceil(2)).collect::<VecDeque<_>>()
+            };
+            let task = stolen.pop_front().expect("stole at least one task");
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            if !stolen.is_empty() {
+                relock(&self.locals[worker]).append(&mut stolen);
+            }
+            return Some(task);
+        }
+        None
+    }
+
+    fn retire_task(&self) {
+        if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = relock(&self.idle_lock);
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Polls one dequeued task.  On `Pending`, settles the state machine: a
+    /// wake that raced the poll (`Notified`) re-enqueues immediately.
+    fn run_task(self: &Arc<Self>, task: Arc<TaskCell>) {
+        task.state.store(RUNNING, Ordering::SeqCst);
+        let waker = Waker::from(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut future = relock(&task.future);
+        let Some(fut) = future.as_mut() else {
+            // Unreachable by construction; tolerate it rather than poison.
+            task.state.store(COMPLETE, Ordering::SeqCst);
+            return;
+        };
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *future = None;
+                drop(future);
+                task.state.store(COMPLETE, Ordering::SeqCst);
+                self.retire_task();
+            }
+            Poll::Pending => {
+                drop(future);
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    // A wake arrived mid-poll (`Notified`): requeue now.
+                    task.state.store(SCHEDULED, Ordering::SeqCst);
+                    self.enqueue(task);
+                }
+            }
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, worker: usize) {
+        CURRENT_WORKER.with(|w| w.set(Some((self.identity(), worker))));
+        loop {
+            if let Some(task) = self.find_work(worker) {
+                self.run_task(task);
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Two-flag handshake with `enqueue` (see `pending`): register as
+            // a sleeper first, then re-check for work before waiting.
+            let guard = relock(&self.park_lock);
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst) {
+                let _unused = self
+                    .park_cv
+                    .wait(guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A work-stealing executor: N worker threads, per-worker FIFO run queues,
+/// a shared injector, steal-half balancing.  See the [module docs](self)
+/// for the scheduling model and for when to prefer the single-threaded
+/// [`Driver`](crate::async_transport::Driver).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Starts a pool of `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            locals: (0..workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ppmsg-pool-{index}"))
+                    .spawn(move || shared.worker_loop(index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Spawned tasks that have not completed yet (queued, running, or idle
+    /// awaiting a wake).
+    pub fn live(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// Spawns a task onto the pool.  Unlike
+    /// [`Driver::spawn`](crate::async_transport::Driver::spawn) the future
+    /// must be `Send` — it may be polled from any worker thread, a different
+    /// one after every suspension.
+    pub fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
+        let task = Arc::new(TaskCell {
+            state: AtomicU8::new(SCHEDULED),
+            future: Mutex::new(Some(Box::pin(future))),
+            pool: Arc::downgrade(&self.shared),
+        });
+        self.shared.live.fetch_add(1, Ordering::SeqCst);
+        self.shared.enqueue(task);
+    }
+
+    /// Blocks until every spawned task has completed — including tasks idle
+    /// in an `await`, which finish when their backend wakes them.
+    pub fn wait_idle(&self) {
+        let mut guard = relock(&self.shared.idle_lock);
+        while self.shared.live.load(Ordering::SeqCst) > 0 {
+            guard = self
+                .shared
+                .idle_cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for Pool {
+    /// Stops the workers and joins them.  Tasks still queued or suspended
+    /// are **cancelled** (their futures dropped); call [`Pool::wait_idle`]
+    /// first to run everything to completion.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = relock(&self.shared.park_lock);
+            self.shared.park_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _unused = handle.join();
+        }
+        // Drop abandoned futures deterministically (a suspended task's
+        // waker may otherwise keep its cell alive past the pool).
+        for queue in self.shared.locals.iter() {
+            relock(queue).clear();
+        }
+        relock(&self.shared.injector).clear();
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers())
+            .field("live", &self.live())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_plain_tasks_to_completion() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = counter.clone();
+            pool.spawn(async move {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.live(), 0);
+    }
+
+    /// A future that suspends `yields` times, waking itself from a thread.
+    struct ExternalYield {
+        yields: usize,
+    }
+
+    impl Future for ExternalYield {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yields == 0 {
+                return Poll::Ready(());
+            }
+            self.yields -= 1;
+            let waker = cx.waker().clone();
+            std::thread::spawn(move || waker.wake());
+            Poll::Pending
+        }
+    }
+
+    #[test]
+    fn external_wakes_resume_tasks() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = counter.clone();
+            pool.spawn(async move {
+                ExternalYield { yields: 3 }.await;
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn single_worker_pool_still_progresses() {
+        let pool = Pool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let counter = counter.clone();
+            pool.spawn(async move {
+                ExternalYield { yields: 2 }.await;
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn drop_cancels_queued_tasks() {
+        // A task suspended forever must not hang Drop.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let pool = Pool::new(2);
+        pool.spawn(Never);
+        drop(pool);
+    }
+
+    #[test]
+    fn wake_after_completion_is_a_no_op() {
+        let pool = Pool::new(1);
+        let stash: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        struct Stash {
+            stash: Arc<Mutex<Option<Waker>>>,
+            polled: bool,
+        }
+        impl Future for Stash {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                *self.stash.lock().unwrap() = Some(cx.waker().clone());
+                if self.polled {
+                    return Poll::Ready(());
+                }
+                self.polled = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+        pool.spawn(Stash {
+            stash: stash.clone(),
+            polled: false,
+        });
+        pool.wait_idle();
+        // The task completed; its stashed waker must be inert.
+        stash.lock().unwrap().take().unwrap().wake();
+        pool.wait_idle();
+        assert_eq!(pool.live(), 0);
+    }
+}

@@ -24,6 +24,14 @@
 //!   [migration guide](transport) in the module docs.**
 //! * [`async_transport`] — the [`OpFuture`] completion future plus the
 //!   [`block_on`] and [`Driver`] executors.
+//! * [`executor`] — the multi-core side: the work-stealing [`Pool`]
+//!   executor (per-worker FIFO deques, steal-half, shared injector) for
+//!   `Send` futures; pairs with the sharded engine
+//!   (`ppmsg_core::ShardedEngine`) so independent peers progress on
+//!   different cores.
+//! * [`timer`] — wall-clock futures over a timer wheel: [`sleep`] and
+//!   [`timeout`], so an orphaned await can give up instead of waiting
+//!   forever.
 //! * [`coll`] — the collectives subsystem: process [`Group`]s with a
 //!   reserved per-group tag space, and tree-structured broadcast / barrier /
 //!   reduce / all-reduce / gather / scatter / all-to-all over any
@@ -41,10 +49,14 @@ pub use simsmp;
 
 pub mod async_transport;
 pub mod coll;
+pub mod executor;
+pub mod timer;
 pub mod transport;
 
 pub use async_transport::{block_on, Driver, OpFuture};
 pub use coll::{Group, GroupMember};
+pub use executor::Pool;
+pub use timer::{sleep, timeout, Elapsed, Sleep, Timeout};
 pub use transport::{Endpoint, EndpointConfig, RawTransport};
 
 /// The protocol types most users need, re-exported flat.
@@ -56,6 +68,8 @@ pub use transport::{Endpoint, EndpointConfig, RawTransport};
 pub mod prelude {
     pub use crate::async_transport::{block_on, Driver, OpFuture};
     pub use crate::coll::{Group, GroupMember};
+    pub use crate::executor::Pool;
+    pub use crate::timer::{sleep, timeout, Elapsed};
     pub use crate::transport::{Endpoint, EndpointConfig, RawTransport};
     pub use ppmsg_core::{
         Action, BtpPolicy, Claim, Completion, OpId, OptFlags, ProcessId, ProtocolConfig,
