@@ -20,6 +20,8 @@
 //! obligations (move these bytes, arm this timer); completions are the
 //! application's results (this operation finished, with this status).
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 mod receiver;
 mod sender;
 #[cfg(test)]

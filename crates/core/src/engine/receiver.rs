@@ -2,6 +2,8 @@
 //! caller-buffered), handling arriving pushes and pulled data, issuing pull
 //! requests, cancellation, and completion delivery.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use super::{
     Action, CopyKind, DropReason, Endpoint, IncomingMsg, InjectMode, MsgBody, RecvRec, TranslateCtx,
 };

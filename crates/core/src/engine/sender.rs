@@ -1,6 +1,8 @@
 //! Sender-side half of the protocol engine: posting sends (the push phase)
 //! and serving pull requests.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use super::{Action, Endpoint, InjectMode, TranslateCtx};
 use crate::btp::BtpSplit;
 use crate::error::{Error, Result};

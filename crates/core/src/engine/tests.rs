@@ -1007,6 +1007,8 @@ fn vectored_send_packets_are_zero_copy_and_respect_segment_boundaries() {
                             offset + len
                         );
                         // Zero copy: the payload points into the segment.
+                        // SAFETY: the bounds check above proved
+                        // `offset - seg_start` lies inside `seg`.
                         let expect_ptr = unsafe { seg.as_ptr().add(offset - seg_start) };
                         assert_eq!(packet.payload.as_ptr(), expect_ptr, "payload was copied");
                         inspected += 1;

@@ -29,10 +29,10 @@ use crate::error::Error;
 use crate::queues::merge_interval;
 use crate::types::{ProcessId, Tag};
 use bytes::Bytes;
+use ppmsg_check::sync::atomic::{AtomicUsize, Ordering};
+use ppmsg_check::sync::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex as StdMutex;
 use std::task::Waker;
 
 /// Handle of a posted send operation.
@@ -1093,13 +1093,40 @@ pub fn wake_all<F: FnOnce(Vec<Waker>)>(mut woken: Vec<Waker>, recycle: F) {
     recycle(woken);
 }
 
-/// Locks a mailbox mutex, shrugging off poisoning: the queue's own state is
-/// valid after a panicking consumer (every mutation is a complete queue
-/// operation), and completions must stay deliverable to the survivors.
-fn relock<T>(mutex: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Fault-injection knobs for the model-check harnesses.  Each knob
+/// deliberately reintroduces a historical bug class into the mailbox
+/// handshake; the `--cfg ppmsg_check` CI job asserts the model checker
+/// catches every one within the preemption bound (teeth for the teeth).
+/// Compiled only under `--cfg ppmsg_check`; knobs are plain process-global
+/// flags, so harnesses that flip them must serialize.
+#[cfg(ppmsg_check)]
+pub mod sabotage {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Downgrade the two-flag `pending`/`waiters` handshake from `SeqCst` to
+    /// `Relaxed`, and split the producer's `pending` bump into a plain
+    /// load+store.  Under the model's store-buffer semantics both sides can
+    /// then miss each other's flag — the classic Dekker reordering — and a
+    /// consumer parks forever.
+    pub static WEAK_FLAGS: AtomicBool = AtomicBool::new(false);
+    /// Drop the consumer half of the handshake: `with` skips its post-unlock
+    /// `pending` re-check, so a producer that loaded a stale zero `waiters`
+    /// snapshot leaves a registered waker unserved.
+    pub static SKIP_RECHECK: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn weak_flags() -> bool {
+        WEAK_FLAGS.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn skip_recheck() -> bool {
+        SKIP_RECHECK.load(Ordering::Relaxed)
+    }
+
+    /// Reset every knob (harnesses call this between variants).
+    pub fn reset() {
+        WEAK_FLAGS.store(false, Ordering::Relaxed);
+        SKIP_RECHECK.store(false, Ordering::Relaxed);
+    }
 }
 
 /// A [`CompletionQueue`] behind an MPSC publication path.
@@ -1128,13 +1155,13 @@ fn relock<T>(mutex: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub struct CompletionMailbox {
     /// One inbox per producer (engine shard / reactor loop); a producer
     /// only ever locks its own.
-    inboxes: Box<[StdMutex<Vec<Completion>>]>,
+    inboxes: Box<[Mutex<Vec<Completion>>]>,
     /// Completions posted to inboxes and not yet swept into the queue.
     pending: AtomicUsize,
     /// Snapshot of the queue's waiter-registration count, maintained by
     /// every queue access; producers skip the queue lock while it is zero.
     waiters: AtomicUsize,
-    inner: StdMutex<MailboxInner>,
+    inner: Mutex<MailboxInner>,
 }
 
 #[derive(Debug)]
@@ -1157,17 +1184,20 @@ impl CompletionMailbox {
     /// backend's retention configuration).
     pub fn with_queue(producers: usize, queue: CompletionQueue) -> Self {
         let inboxes = (0..producers.max(1))
-            .map(|_| StdMutex::new(Vec::new()))
+            .map(|_| Mutex::new("core.mailbox.inbox", Vec::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         CompletionMailbox {
             inboxes,
             pending: AtomicUsize::new(0),
             waiters: AtomicUsize::new(0),
-            inner: StdMutex::new(MailboxInner {
-                queue,
-                scratch: Vec::new(),
-            }),
+            inner: Mutex::new(
+                "core.mailbox.inner",
+                MailboxInner {
+                    queue,
+                    scratch: Vec::new(),
+                },
+            ),
         }
     }
 
@@ -1188,18 +1218,61 @@ impl CompletionMailbox {
         if comps.is_empty() {
             return;
         }
+        // Publication must never run under an engine/shard/mailbox lock:
+        // `deliver` below takes the queue lock and invokes wakers.  Locks
+        // outside `core.` (an executor's task mutex, say) are fine — the
+        // deliver path never acquires them.
+        if cfg!(debug_assertions) {
+            ppmsg_check::lockdep::assert_no_locks_held_in("CompletionMailbox::post", "core.");
+        }
         let batch = comps.len();
         {
-            let mut inbox = relock(&self.inboxes[producer]);
+            let mut inbox = self.inboxes[producer].lock();
             inbox.extend(comps.drain(..));
         }
-        // Advertise the batch *before* loading `waiters` (see the type-level
-        // race argument): a consumer registering concurrently either is seen
-        // here, or sees our `pending` in its post-unlock re-check.
-        self.pending.fetch_add(batch, Ordering::SeqCst);
-        if self.waiters.load(Ordering::SeqCst) > 0 {
+        self.advertise(batch);
+        if self.load_waiters() > 0 {
             self.deliver();
         }
+    }
+
+    /// Advertise the batch *before* loading `waiters` (see the type-level
+    /// race argument): a consumer registering concurrently either is seen by
+    /// [`Self::load_waiters`], or sees our `pending` in its post-unlock
+    /// re-check.
+    fn advertise(&self, batch: usize) {
+        #[cfg(ppmsg_check)]
+        if sabotage::weak_flags() {
+            let cur = self.pending.load(Ordering::Relaxed);
+            self.pending.store(cur + batch, Ordering::Relaxed);
+            return;
+        }
+        self.pending.fetch_add(batch, Ordering::SeqCst);
+    }
+
+    fn load_pending(&self) -> usize {
+        #[cfg(ppmsg_check)]
+        if sabotage::weak_flags() {
+            return self.pending.load(Ordering::Relaxed);
+        }
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    fn load_waiters(&self) -> usize {
+        #[cfg(ppmsg_check)]
+        if sabotage::weak_flags() {
+            return self.waiters.load(Ordering::Relaxed);
+        }
+        self.waiters.load(Ordering::SeqCst)
+    }
+
+    fn store_waiters(&self, n: usize) {
+        #[cfg(ppmsg_check)]
+        if sabotage::weak_flags() {
+            self.waiters.store(n, Ordering::Relaxed);
+            return;
+        }
+        self.waiters.store(n, Ordering::SeqCst);
     }
 
     /// Runs `f` on the queue with every pending inbox swept in first, then
@@ -1208,18 +1281,22 @@ impl CompletionMailbox {
     /// registrations, and drains all come through here.
     pub fn with(&self, f: &mut dyn FnMut(&mut CompletionQueue)) {
         let woken = {
-            let mut inner = relock(&self.inner);
+            let mut inner = self.inner.lock();
             let woken = self.sweep(&mut inner);
             f(&mut inner.queue);
-            self.waiters.store(inner.queue.waiters(), Ordering::SeqCst);
+            self.store_waiters(inner.queue.waiters());
             woken
         };
         wake_all(woken, |drained| {
-            relock(&self.inner).queue.recycle_woken(drained)
+            self.inner.lock().queue.recycle_woken(drained)
         });
         // `f` may have registered a waker after our sweep while a producer
         // posted and loaded a stale zero `waiters` snapshot: re-check.
-        if self.pending.load(Ordering::SeqCst) > 0 && self.waiters.load(Ordering::SeqCst) > 0 {
+        #[cfg(ppmsg_check)]
+        if sabotage::skip_recheck() {
+            return;
+        }
+        if self.load_pending() > 0 && self.load_waiters() > 0 {
             self.deliver();
         }
     }
@@ -1228,13 +1305,13 @@ impl CompletionMailbox {
     /// readied.
     fn deliver(&self) {
         let woken = {
-            let mut inner = relock(&self.inner);
+            let mut inner = self.inner.lock();
             let woken = self.sweep(&mut inner);
-            self.waiters.store(inner.queue.waiters(), Ordering::SeqCst);
+            self.store_waiters(inner.queue.waiters());
             woken
         };
         wake_all(woken, |drained| {
-            relock(&self.inner).queue.recycle_woken(drained)
+            self.inner.lock().queue.recycle_woken(drained)
         });
     }
 
@@ -1247,7 +1324,7 @@ impl CompletionMailbox {
         }
         let mut scratch = std::mem::take(&mut inner.scratch);
         for inbox in self.inboxes.iter() {
-            let mut inbox = relock(inbox);
+            let mut inbox = inbox.lock();
             if !inbox.is_empty() {
                 scratch.extend(inbox.drain(..));
             }
@@ -1261,7 +1338,7 @@ impl CompletionMailbox {
     /// Completions evicted past the retention cap (see
     /// [`CompletionQueue::evicted`]).
     pub fn evicted(&self) -> u64 {
-        relock(&self.inner).queue.evicted()
+        self.inner.lock().queue.evicted()
     }
 }
 

@@ -1,6 +1,8 @@
 //! The buffer queue: the ordered index of *unexpected* messages — messages
 //! whose pushed data arrived before the matching receive was posted.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use crate::index::{Chain, Slab, SrcTagMap, NIL};
 use crate::types::{MessageId, ProcessId, Tag};
 

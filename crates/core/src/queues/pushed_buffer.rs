@@ -1,6 +1,8 @@
 //! The pushed buffer: a finite, pinned kernel buffer holding pushed data
 //! whose destination is not yet known.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use serde::{Deserialize, Serialize};
 
 /// Statistics exposed by the pushed buffer, used by the experiment harness to

@@ -1,6 +1,8 @@
 //! The receive queue: posted receive operations waiting to be matched with
 //! an incoming message.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use crate::index::{Chain, Slab, SrcTagMap, NIL};
 use crate::ops::{RecvOp, TruncationPolicy};
 use crate::types::{ProcessId, Tag, ANY_SOURCE, ANY_TAG};

@@ -1,6 +1,8 @@
 //! The send queue: pending send operations whose remainder is waiting to be
 //! pulled by the receiver.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use crate::btp::BtpSplit;
 use crate::index::{Slab, U64Index, NIL};
 use crate::ops::SendOp;
@@ -430,6 +432,8 @@ mod tests {
                 (&segments[3], 12)
             };
             let seg_ptr = seg.as_ptr();
+            // SAFETY: the offsets were chosen inside the segment; the
+            // length assert below re-checks the bound.
             assert_eq!(ptr, unsafe { seg_ptr.add(offset - base) });
             assert!(offset - base + len <= seg.len());
         }

@@ -18,6 +18,8 @@
 //! [`ArqChannel`], so the engine, backends, and chaos harness treat them
 //! uniformly.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use crate::error::{Error, Result};
 use crate::wire::{Packet, MAX_HEADER_LEN};
 use bytes::{Buf, BufMut, Bytes, BytesMut};

@@ -36,6 +36,8 @@
 //! concrete source is unaffected (tag wildcards stay within the source's
 //! shard).
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use crate::engine::{Action, Endpoint, EndpointStats};
 use crate::error::{Error, Result};
 use crate::index::U64Index;
@@ -45,14 +47,27 @@ use crate::types::{ProcessId, Tag, TimerId, ANY_SOURCE};
 use crate::wire::Packet;
 use crate::ProtocolConfig;
 use bytes::Bytes;
-use std::sync::{Mutex, RwLock};
+use ppmsg_check::sync::Mutex;
+use std::sync::RwLock;
 
-/// Locks ignoring poisoning: shard state is consistent between whole engine
-/// calls, and surviving threads must keep draining traffic after a panic.
-fn relock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Lockdep classes for the shard locks, one per shard index so an inverted
+/// cross-shard acquisition names both shards in the report.  Engines with
+/// more shards than classes share the last class; same-class nesting is a
+/// lockdep violation either way, which is exactly the invariant we want
+/// (never hold two shard locks at once).
+const SHARD_CLASSES: [&str; 8] = [
+    "core.shard[0]",
+    "core.shard[1]",
+    "core.shard[2]",
+    "core.shard[3]",
+    "core.shard[4]",
+    "core.shard[5]",
+    "core.shard[6]",
+    "core.shard[7]",
+];
+
+fn shard_class(index: usize) -> &'static str {
+    SHARD_CLASSES[index.min(SHARD_CLASSES.len() - 1)]
 }
 
 /// Scratch buffers one sharded-engine interaction drains into: the actions
@@ -103,7 +118,7 @@ impl ShardedEngine {
     pub fn new(id: ProcessId, config: ProtocolConfig, shards: usize) -> Self {
         let shards = shards.max(1);
         let engines = (0..shards)
-            .map(|_| Mutex::new(Endpoint::new(id, config.clone())))
+            .map(|i| Mutex::new(shard_class(i), Endpoint::new(id, config.clone())))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         ShardedEngine {
@@ -201,7 +216,7 @@ impl ShardedEngine {
         out.shard = shard;
         let first_new = out.comps.len();
         let result = {
-            let mut engine = relock(&self.shards[shard]);
+            let mut engine = self.shards[shard].lock();
             let result = f(&mut engine);
             engine.drain_actions_into(&mut out.actions);
             engine.drain_completions_into(&mut out.comps);
@@ -336,27 +351,27 @@ impl ShardedEngine {
     pub fn stats(&self) -> EndpointStats {
         let mut total = EndpointStats::default();
         for shard in self.shards.iter() {
-            total.merge(&relock(shard).stats());
+            total.merge(&shard.lock().stats());
         }
         total
     }
 
     /// `true` when every shard is idle (see [`Endpoint::idle`]).
     pub fn idle(&self) -> bool {
-        self.shards.iter().all(|shard| relock(shard).idle())
+        self.shards.iter().all(|shard| shard.lock().idle())
     }
 
     /// ARQ statistics of the channel to `peer`, if one exists; see
     /// [`Endpoint::channel_stats`].
     pub fn channel_stats(&self, peer: ProcessId) -> Option<crate::reliability::GbnStats> {
-        relock(&self.shards[self.shard_of(peer)]).channel_stats(peer)
+        self.shards[self.shard_of(peer)].lock().channel_stats(peer)
     }
 
     /// Visits every ARQ channel across all shards; see
     /// [`Endpoint::each_channel`].
     pub fn each_channel(&self, mut f: impl FnMut(ProcessId, &crate::reliability::ArqChannel)) {
         for shard in self.shards.iter() {
-            relock(shard).each_channel(&mut f);
+            shard.lock().each_channel(&mut f);
         }
     }
 
@@ -364,8 +379,19 @@ impl ShardedEngine {
     /// [`Endpoint::resize_pushed_buffer`].  Capacity is per shard.
     pub fn resize_pushed_buffer(&self, capacity: usize) {
         for shard in self.shards.iter() {
-            relock(shard).resize_pushed_buffer(capacity);
+            shard.lock().resize_pushed_buffer(capacity);
         }
+    }
+
+    /// Test-only hook: acquires two shard locks nested in the given order.
+    /// Exists so the lockdep self-tests can prove the cycle detector has
+    /// teeth against the *production* shard classes — nothing in the real
+    /// engine ever holds two shard locks at once.
+    #[doc(hidden)]
+    pub fn __lockdep_lock_pair(&self, first: usize, second: usize) {
+        let ga = self.shards[first].lock();
+        let _gb = self.shards[second].lock();
+        drop(ga);
     }
 }
 

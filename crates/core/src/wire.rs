@@ -9,6 +9,8 @@
 //! on-wire size (needed by the simulator's timing model and counted against
 //! the Ethernet MTU) is a compile-time constant.
 
+// ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
+
 use crate::error::{Error, Result};
 use crate::types::{MessageId, ProcessId, Tag};
 use bytes::{Buf, BufMut, Bytes, BytesMut};

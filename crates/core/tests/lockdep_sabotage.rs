@@ -1,0 +1,38 @@
+//! Lockdep teeth test against the *production* lock classes: deliberately
+//! invert the shard-lock order on a real [`ShardedEngine`] and assert the
+//! cycle detector names both shard classes in its report.
+//!
+//! Kept in its own test binary — the provoked cycle dirties the global
+//! lock-order graph for the rest of the process.  Lockdep is compiled out
+//! in release builds, so the test is debug-only.
+#![cfg(debug_assertions)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ppmsg_core::{ProcessId, ProtocolConfig, ShardedEngine};
+
+#[test]
+fn inverted_shard_order_is_caught() {
+    let engine = ShardedEngine::new(ProcessId::new(0, 0), ProtocolConfig::default(), 4);
+    // Record the sanctioned order once: shard 1 inside shard 0.
+    engine.__lockdep_lock_pair(0, 1);
+    // The inversion must panic naming both production classes.
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        engine.__lockdep_lock_pair(1, 0);
+    }))
+    .expect_err("lockdep missed an inverted shard-lock order");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    for needle in ["lock-order cycle", "core.shard[0]", "core.shard[1]"] {
+        assert!(
+            msg.contains(needle),
+            "cycle report missing `{needle}`:\n{msg}"
+        );
+    }
+    // Reset so the dirtied graph cannot bleed into anything else running
+    // in this binary later.
+    ppmsg_check::lockdep::reset();
+}

@@ -1,0 +1,42 @@
+//! In-tree correctness tooling for the push-pull-messaging workspace.
+//!
+//! Three layers, selected at build time:
+//!
+//! 1. **Bounded model checking** ([`Model`]): with `RUSTFLAGS="--cfg ppmsg_check"`,
+//!    the [`sync`] and [`thread`] shims route every lock, condvar, and atomic
+//!    operation through a deterministic scheduler that explores thread
+//!    interleavings up to a preemption bound, with state hashing to prune
+//!    already-explored subtrees.  Non-`SeqCst` stores are held in a per-thread
+//!    store buffer (a TSO-like model) so weakened-ordering bugs — e.g. a
+//!    Dekker-style two-flag handshake downgraded to `Relaxed` — manifest as
+//!    detectable lost-wakeup deadlocks rather than silently passing.
+//! 2. **Lockdep** ([`lockdep`]): in ordinary `debug_assertions` builds, the
+//!    [`sync::Mutex`] wrapper records the runtime lock-acquisition graph per
+//!    lock *class* and panics on the first cycle, i.e. would-deadlock detection
+//!    without needing the deadlock to fire.  Release builds compile the wrapper
+//!    down to a plain `std::sync::Mutex`.
+//! 3. **`ppmsg-lint`** (the companion binary): a source-level scanner enforcing
+//!    repo invariants (SAFETY comments on `unsafe`, no raw `std::sync::Mutex`
+//!    in instrumented files, no allocation growth in marked hot-path files, no
+//!    `Instant::now()` in engine code) as CI errors.
+//!
+//! The crate is vendored in-tree like the rest of the dependency stubs; there
+//! is no crates.io access in this workspace.
+
+pub mod lockdep;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::{Model, Stats};
+
+/// Convenience wrapper: run `f` under the default [`Model`] configuration.
+///
+/// Under `--cfg ppmsg_check` this exhaustively explores interleavings; in
+/// ordinary builds it simply runs `f` once so harnesses stay compilable.
+pub fn check<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Model::new().check(f)
+}

@@ -1,0 +1,263 @@
+//! Runtime lock-order analysis ("lockdep"), modeled on the Linux kernel's
+//! validator.
+//!
+//! Every instrumented [`crate::sync::Mutex`] belongs to a lock *class* named
+//! by a `&'static str`.  Each time a thread acquires a lock while already
+//! holding others, directed edges `held class → acquired class` enter a
+//! global graph.  The first edge that would close a cycle panics immediately
+//! with both class names and the recorded inverse path — a would-deadlock is
+//! reported the first time the inconsistent *order* is exercised, without
+//! needing the actual deadlock interleaving to fire.
+//!
+//! Additional assertions:
+//! * [`assert_parking`] — a thread must not park on a condvar while holding
+//!   any instrumented lock other than the one it is releasing (a
+//!   held-while-parking bug turns a missed wakeup into a system-wide stall).
+//! * [`assert_no_locks_held`] — entry points that publish completions (e.g.
+//!   `CompletionMailbox::post`) must not be reached with engine/shard locks
+//!   held, keeping the publish path stall-free.
+//!
+//! All bookkeeping is allocation-free in the steady state: the per-thread
+//! held stack retains capacity, class ids are cached per-mutex in an
+//! `AtomicU32`, and the adjacency lists only grow the first time a new
+//! (held, acquired) pair is seen.  The fast path (acquiring with no other
+//! locks held) never touches the global registry.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex as StdMutex;
+
+struct Registry {
+    /// Class id − 1 → name.
+    names: Vec<&'static str>,
+    /// Class id − 1 → ids of classes acquired while this class was held.
+    adj: Vec<Vec<u32>>,
+}
+
+static REGISTRY: StdMutex<Registry> = StdMutex::new(Registry {
+    names: Vec::new(),
+    adj: Vec::new(),
+});
+
+thread_local! {
+    /// (token, class id) pairs for locks currently held by this thread, in
+    /// acquisition order.
+    static HELD: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread token counter; tokens are only ever compared within a
+    /// thread, so no global coordination is needed.
+    static NEXT_TOKEN: Cell<u64> = const { Cell::new(1) };
+}
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    // A cycle panic poisons the registry; later acquisitions (e.g. in tests
+    // that caught the panic) must keep working.
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Resolve (and cache) the id for a class name.  Ids are 1-based so that 0
+/// can serve as the per-mutex "not yet assigned" sentinel.
+pub fn class_id(name: &'static str, cache: &AtomicU32) -> u32 {
+    let cached = cache.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let mut reg = registry();
+    let id = match reg.names.iter().position(|&n| n == name) {
+        Some(i) => i as u32 + 1,
+        None => {
+            reg.names.push(name);
+            reg.adj.push(Vec::new());
+            reg.names.len() as u32
+        }
+    };
+    drop(reg);
+    cache.store(id, Ordering::Relaxed);
+    id
+}
+
+/// Find a path `from ⇝ to` in the order graph, if any.
+fn find_path(reg: &Registry, from: u32, to: u32) -> Option<Vec<u32>> {
+    let mut stack = vec![(from, vec![from])];
+    let mut seen = vec![false; reg.names.len()];
+    while let Some((node, path)) = stack.pop() {
+        if node == to {
+            return Some(path);
+        }
+        let idx = (node - 1) as usize;
+        if seen[idx] {
+            continue;
+        }
+        seen[idx] = true;
+        for &next in &reg.adj[idx] {
+            let mut p = path.clone();
+            p.push(next);
+            stack.push((node_checked(next), p));
+        }
+    }
+    None
+}
+
+fn node_checked(id: u32) -> u32 {
+    debug_assert!(id >= 1);
+    id
+}
+
+fn record_edges(held: &[(u64, u32)], class: u32, name: &'static str) {
+    let mut reg = registry();
+    for &(_, from) in held {
+        if from == class {
+            continue;
+        }
+        let fi = (from - 1) as usize;
+        if reg.adj[fi].contains(&class) {
+            continue;
+        }
+        // Would `from → class` close a cycle? Look for an existing path
+        // `class ⇝ from`.
+        if let Some(path) = find_path(&reg, class, from) {
+            let held_name = reg.names[fi];
+            let chain: Vec<&str> = path
+                .iter()
+                .map(|&id| reg.names[(id - 1) as usize])
+                .collect();
+            drop(reg);
+            panic!(
+                "lockdep: lock-order cycle: acquiring class `{name}` while holding \
+                 `{held_name}`, but the inverse order `{}` was already recorded",
+                chain.join("` -> `"),
+            );
+        }
+        reg.adj[fi].push(class);
+    }
+}
+
+/// Record a (blocking) acquisition of `name`.  Panics on the first
+/// acquisition order that could deadlock.  Returns a token to pass to
+/// [`release`].
+pub fn acquire(name: &'static str, cache: &AtomicU32) -> u64 {
+    let class = class_id(name, cache);
+    let token = NEXT_TOKEN.with(|t| {
+        let v = t.get();
+        t.set(v + 1);
+        v
+    });
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if held.iter().any(|&(_, c)| c == class) {
+            panic!(
+                "lockdep: thread acquired lock class `{name}` while already holding a \
+                 lock of the same class (self-deadlock with std::sync::Mutex)"
+            );
+        }
+        if !held.is_empty() {
+            record_edges(&held, class, name);
+        }
+        held.push((token, class));
+    });
+    token
+}
+
+/// Record a non-blocking (`try_lock`) acquisition: the lock is tracked as
+/// held (so later blocking acquisitions gain edges *from* it) but adds no
+/// ordering edges itself, since a trylock cannot deadlock.
+pub fn acquire_trylock(name: &'static str, cache: &AtomicU32) -> u64 {
+    let class = class_id(name, cache);
+    let token = NEXT_TOKEN.with(|t| {
+        let v = t.get();
+        t.set(v + 1);
+        v
+    });
+    HELD.with(|h| h.borrow_mut().push((token, class)));
+    token
+}
+
+/// Release a lock recorded by [`acquire`]/[`acquire_trylock`].  Out-of-order
+/// release (guard drop order) is fine.
+pub fn release(token: u64) {
+    if token == 0 {
+        return;
+    }
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(i) = held.iter().position(|&(t, _)| t == token) {
+            held.remove(i);
+        }
+    });
+}
+
+/// Number of instrumented locks currently held by this thread.
+pub fn held_count() -> usize {
+    HELD.with(|h| h.borrow().len())
+}
+
+fn held_names() -> String {
+    let reg = registry();
+    HELD.with(|h| {
+        h.borrow()
+            .iter()
+            .map(|&(_, c)| reg.names[(c - 1) as usize])
+            .collect::<Vec<_>>()
+            .join("`, `")
+    })
+}
+
+/// Panic if the calling thread holds any instrumented lock.  Place at entry
+/// to publish/wake paths that must never run under engine locks.
+pub fn assert_no_locks_held(context: &str) {
+    HELD.with(|h| {
+        if !h.borrow().is_empty() {
+            let names = held_names();
+            panic!("lockdep: {context} entered while holding instrumented locks: `{names}`");
+        }
+    });
+}
+
+/// Panic if the calling thread holds any instrumented lock whose class name
+/// starts with `prefix`.  Scoped variant of [`assert_no_locks_held`] for
+/// paths that must not run under one subsystem's locks (e.g. completion
+/// publication under `core.` shard/mailbox locks) but are legitimately
+/// reached while holding unrelated leaf locks (an executor's task mutex).
+pub fn assert_no_locks_held_in(context: &str, prefix: &str) {
+    HELD.with(|h| {
+        let held = h.borrow();
+        let reg = registry();
+        if held
+            .iter()
+            .any(|&(_, c)| reg.names[(c - 1) as usize].starts_with(prefix))
+        {
+            drop(reg);
+            drop(held);
+            let names = held_names();
+            panic!("lockdep: {context} entered while holding `{prefix}*` locks: `{names}`");
+        }
+    });
+}
+
+/// Panic if the calling thread holds any instrumented lock other than the
+/// condvar's own mutex (identified by `own_token`).
+pub fn assert_parking(class: &'static str, own_token: u64) {
+    HELD.with(|h| {
+        let held = h.borrow();
+        if held.iter().any(|&(t, _)| t != own_token) {
+            drop(held);
+            let names = held_names();
+            panic!(
+                "lockdep: parking on condvar of lock class `{class}` while holding other \
+                 instrumented locks: `{names}`"
+            );
+        }
+    });
+}
+
+/// Test hook: clear the global order graph and this thread's held stack so a
+/// test that deliberately provoked a cycle does not poison later assertions
+/// in the same process.
+#[doc(hidden)]
+pub fn reset() {
+    let mut reg = registry();
+    for adj in reg.adj.iter_mut() {
+        adj.clear();
+    }
+    drop(reg);
+    HELD.with(|h| h.borrow_mut().clear());
+}

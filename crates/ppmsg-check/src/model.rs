@@ -1,0 +1,1021 @@
+//! Bounded model checker: deterministic schedule exploration over real OS
+//! threads.
+//!
+//! # How it works
+//!
+//! Every synchronization operation performed through the [`crate::sync`] shims
+//! is a *yield point*.  Exactly one controlled thread runs at a time; at each
+//! yield point the scheduler picks the next transition:
+//!
+//! * `Run(t)` — let thread `t` execute its next operation,
+//! * `Flush(t)` — flush thread `t`'s store buffer to shared memory,
+//! * `Spurious(t)` — spuriously wake thread `t` out of a condvar wait
+//!   (enabled only when the model is configured with a spurious-wake budget).
+//!
+//! The checker performs a depth-first search over these decisions using a
+//! replayable decision trail: each execution follows the recorded prefix, then
+//! takes default choices, recording every branch point it passes.  Backtracking
+//! advances the deepest unexhausted decision.  Choosing anything other than
+//! "continue the current runnable thread" consumes one unit of the preemption
+//! bound; once the bound is exhausted the current thread runs without further
+//! branching, which keeps the state space tractable (most concurrency bugs are
+//! exposed by very few preemptions — see CHESS).
+//!
+//! A fingerprint of the full model state (thread statuses and op histories,
+//! shared atomic values, store buffers, lock/condvar queues, preemptions used)
+//! is taken at every branch point; once a decision node's subtree has been
+//! fully explored its fingerprint enters a "done" set, and any later path that
+//! reaches an identical state is pruned.
+//!
+//! # Memory model
+//!
+//! `SeqCst` operations and all read-modify-writes act directly on the shared
+//! value (RMWs flush the executing thread's buffer first).  Non-`SeqCst`
+//! stores are buffered per thread per address with store-to-load forwarding;
+//! buffers flush on a later `SeqCst` operation by the same thread or when the
+//! scheduler takes an explicit `Flush` transition.  This is a TSO-style
+//! approximation: it is weaker than `SeqCst` (so classic two-flag handshake
+//! bugs are found) while remaining cheap to explore.
+//!
+//! # Failure reporting
+//!
+//! Deadlocks (no runnable thread while some thread is unfinished), harness
+//! panics (assertion failures), and step-budget livelocks abort the run and
+//! surface through a panic in [`Model::check`] carrying the interleaving
+//! trace.
+
+/// Configuration for one bounded model-checking run.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Maximum number of scheduling decisions that deviate from "keep running
+    /// the current thread" per execution.
+    pub preemption_bound: usize,
+    /// Hard cap on explored executions; exceeding it fails the check loudly
+    /// rather than burning CI time.
+    pub max_executions: usize,
+    /// Hard cap on transitions within a single execution (livelock guard).
+    pub max_steps: usize,
+    /// Number of spurious condvar wake-ups the scheduler may inject per
+    /// execution.  Keep at 0 when checking for lost-wakeup deadlocks: a
+    /// spurious wake would rescue the very hang being checked for.
+    pub spurious_budget: usize,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            preemption_bound: 2,
+            max_executions: 400_000,
+            max_steps: 4_000,
+            spurious_budget: 0,
+        }
+    }
+}
+
+/// Exploration statistics returned by a successful [`Model::check`] run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stats {
+    /// Complete executions explored.
+    pub executions: u64,
+    /// Total scheduler transitions taken across all executions.
+    pub transitions: u64,
+    /// Branch points skipped because an identical state had already been
+    /// fully explored.
+    pub pruned: u64,
+}
+
+impl Model {
+    /// A model with the default bounds (preemption bound 2, no spurious
+    /// wake-ups).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exhaustively run `f` under every schedule within the configured
+    /// bounds.  Panics with the failing interleaving trace on deadlock,
+    /// harness panic, or livelock.
+    ///
+    /// Without `--cfg ppmsg_check` this degenerates to running `f` once, so
+    /// harness code stays compilable (and trivially green) in normal builds.
+    pub fn check<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        #[cfg(ppmsg_check)]
+        {
+            engine::explore(self, std::sync::Arc::new(f))
+        }
+        #[cfg(not(ppmsg_check))]
+        {
+            f();
+            Stats {
+                executions: 1,
+                transitions: 0,
+                pruned: 0,
+            }
+        }
+    }
+}
+
+#[cfg(ppmsg_check)]
+pub(crate) use engine::{
+    active, model_cv_notify, model_cv_wait_begin, model_cv_wait_finish, model_join, model_lock,
+    model_rmw, model_spawn, model_try_lock, model_unlock, model_volatile_load,
+    model_volatile_store, Tid,
+};
+
+#[cfg(ppmsg_check)]
+mod engine {
+    use super::{Model, Stats};
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+    pub(crate) type Tid = usize;
+
+    /// Panic payload used to unwind controlled threads when a failure has
+    /// already been recorded; never reported as a bug itself.
+    struct Abort;
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum Transition {
+        Run(Tid),
+        Flush(Tid),
+        Spurious(Tid),
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum Status {
+        Runnable,
+        BlockedLock(u32),
+        BlockedCv(u32),
+        BlockedJoin(Tid),
+        Finished,
+    }
+
+    struct ThreadSt {
+        status: Status,
+        /// Rolling hash of every operation (and observed value) this thread
+        /// has performed — a schedule-independent stand-in for its program
+        /// counter plus local state.
+        history: u64,
+        /// TSO store buffer: (address id, value), insertion-ordered, at most
+        /// one entry per address.
+        buffer: Vec<(u32, u64)>,
+    }
+
+    struct LockSt {
+        owner: Option<Tid>,
+        waiters: Vec<Tid>,
+        class: &'static str,
+    }
+
+    #[derive(Clone, Copy)]
+    struct TraceEv {
+        tid: Tid,
+        what: &'static str,
+        class: &'static str,
+        addr: u32,
+        val: u64,
+    }
+
+    struct Decision {
+        options: Vec<Transition>,
+        chosen: usize,
+        fingerprint: u64,
+    }
+
+    struct Exec {
+        cfg: Model,
+        current: Tid,
+        threads: Vec<ThreadSt>,
+        live: usize,
+        atomics: HashMap<u32, u64>,
+        locks: HashMap<u32, LockSt>,
+        condvars: HashMap<u32, Vec<Tid>>,
+        /// Raw address → small dense id, assigned in first-touch order so ids
+        /// are stable across executions of a deterministic harness.
+        addr_ids: HashMap<usize, u32>,
+        next_addr_id: u32,
+        trail: Vec<Decision>,
+        depth: usize,
+        preemptions: usize,
+        steps: usize,
+        spurious_left: usize,
+        /// Set when the current path entered an already-explored subtree; no
+        /// further decisions are recorded until the execution ends.
+        pruned: bool,
+        done: HashSet<u64>,
+        failure: Option<String>,
+        trace: Vec<TraceEv>,
+        aborting: bool,
+        completed: bool,
+        transitions: u64,
+        pruned_hits: u64,
+    }
+
+    pub(crate) struct Shared {
+        state: StdMutex<Exec>,
+        cv: StdCondvar,
+        handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+    }
+
+    thread_local! {
+        static CTX: RefCell<Option<(Arc<Shared>, Tid)>> = const { RefCell::new(None) };
+    }
+
+    /// The scheduler context of the calling thread, if it is a controlled
+    /// thread inside an active model run.
+    pub(crate) fn active() -> Option<(Arc<Shared>, Tid)> {
+        CTX.with(|c| c.borrow().clone())
+    }
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(FNV_PRIME)
+    }
+
+    fn lock_state(sh: &Shared) -> StdMutexGuard<'_, Exec> {
+        sh.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    impl Exec {
+        fn norm(&mut self, addr: usize) -> u32 {
+            if let Some(&id) = self.addr_ids.get(&addr) {
+                return id;
+            }
+            let id = self.next_addr_id;
+            self.next_addr_id += 1;
+            self.addr_ids.insert(addr, id);
+            id
+        }
+
+        fn record(
+            &mut self,
+            tid: Tid,
+            what: &'static str,
+            class: &'static str,
+            addr: u32,
+            val: u64,
+        ) {
+            let t = &mut self.threads[tid];
+            let mut h = t.history;
+            h = mix(h, what.as_ptr() as u64 ^ what.len() as u64);
+            h = mix(h, addr as u64);
+            h = mix(h, val);
+            t.history = h;
+            if self.trace.len() < self.cfg.max_steps + 64 {
+                self.trace.push(TraceEv {
+                    tid,
+                    what,
+                    class,
+                    addr,
+                    val,
+                });
+            }
+        }
+
+        fn fingerprint(&self) -> u64 {
+            let mut h = FNV_OFFSET;
+            h = mix(h, self.current as u64);
+            h = mix(h, self.preemptions as u64);
+            h = mix(h, self.spurious_left as u64);
+            for t in &self.threads {
+                h = mix(
+                    h,
+                    match t.status {
+                        Status::Runnable => 1,
+                        Status::BlockedLock(a) => 0x100 | u64::from(a) << 16,
+                        Status::BlockedCv(a) => 0x200 | u64::from(a) << 16,
+                        Status::BlockedJoin(t) => 0x300 | (t as u64) << 16,
+                        Status::Finished => 4,
+                    },
+                );
+                h = mix(h, t.history);
+                for &(a, v) in &t.buffer {
+                    h = mix(h, u64::from(a));
+                    h = mix(h, v);
+                }
+                h = mix(h, 0x5ea1);
+            }
+            let mut keys: Vec<u32> = self.atomics.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                h = mix(h, u64::from(k));
+                h = mix(h, self.atomics[&k]);
+            }
+            let mut keys: Vec<u32> = self.locks.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                let l = &self.locks[&k];
+                h = mix(h, u64::from(k));
+                h = mix(h, l.owner.map_or(u64::MAX, |t| t as u64));
+                for &w in &l.waiters {
+                    h = mix(h, w as u64);
+                }
+            }
+            let mut keys: Vec<u32> = self.condvars.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                h = mix(h, u64::from(k));
+                for &w in &self.condvars[&k] {
+                    h = mix(h, w as u64);
+                }
+            }
+            h
+        }
+
+        fn flush_buffer(&mut self, tid: Tid) {
+            let buf = std::mem::take(&mut self.threads[tid].buffer);
+            for (addr, val) in buf {
+                self.atomics.insert(addr, val);
+            }
+        }
+
+        fn fail(&mut self, msg: String) {
+            if self.failure.is_none() {
+                let mut out = String::new();
+                out.push_str(&msg);
+                out.push_str("\n--- interleaving trace (most recent last) ---\n");
+                let start = self.trace.len().saturating_sub(120);
+                for ev in &self.trace[start..] {
+                    out.push_str(&format!(
+                        "  t{} {:<14} {} (addr#{}, val {})\n",
+                        ev.tid, ev.what, ev.class, ev.addr, ev.val
+                    ));
+                }
+                out.push_str(&format!(
+                    "--- {} transitions, {} decision points this execution ---",
+                    self.steps, self.depth
+                ));
+                self.failure = Some(out);
+            }
+            self.aborting = true;
+            self.completed = true;
+        }
+
+        fn deadlock_report(&self) -> String {
+            let mut msg = String::from("deadlock: no runnable thread\n");
+            for (tid, t) in self.threads.iter().enumerate() {
+                let desc = match t.status {
+                    Status::Runnable => "runnable (?)".to_string(),
+                    Status::BlockedLock(a) => {
+                        let class = self.locks.get(&a).map_or("?", |l| l.class);
+                        format!("blocked acquiring lock `{class}` (addr#{a})")
+                    }
+                    Status::BlockedCv(a) => format!("blocked in condvar wait (addr#{a})"),
+                    Status::BlockedJoin(j) => format!("blocked joining thread t{j}"),
+                    Status::Finished => "finished".to_string(),
+                };
+                msg.push_str(&format!("  t{tid}: {desc}\n"));
+            }
+            msg
+        }
+    }
+
+    fn check_abort(st: &Exec) {
+        if st.aborting {
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// Pick the next transition and hand control to it.  Called with the
+    /// state lock held by whichever controlled thread just completed an
+    /// operation (or blocked).
+    fn schedule(sh: &Shared, st: &mut Exec) {
+        if st.aborting {
+            sh.cv.notify_all();
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            st.fail(format!(
+                "step budget exceeded ({} transitions): livelock or unbounded loop in harness",
+                st.cfg.max_steps
+            ));
+            sh.cv.notify_all();
+            return;
+        }
+        loop {
+            if st.live == 0 {
+                st.completed = true;
+                sh.cv.notify_all();
+                return;
+            }
+            let cur_runnable = st
+                .threads
+                .get(st.current)
+                .is_some_and(|t| t.status == Status::Runnable);
+            let mut opts: Vec<Transition> = Vec::new();
+            if cur_runnable {
+                opts.push(Transition::Run(st.current));
+            }
+            for (tid, t) in st.threads.iter().enumerate() {
+                if tid != st.current && t.status == Status::Runnable {
+                    opts.push(Transition::Run(tid));
+                }
+            }
+            let any_run = !opts.is_empty();
+            for (tid, t) in st.threads.iter().enumerate() {
+                if !t.buffer.is_empty() {
+                    opts.push(Transition::Flush(tid));
+                }
+            }
+            let mut any_spurious = false;
+            if st.spurious_left > 0 {
+                for (tid, t) in st.threads.iter().enumerate() {
+                    if matches!(t.status, Status::BlockedCv(_)) {
+                        opts.push(Transition::Spurious(tid));
+                        any_spurious = true;
+                    }
+                }
+            }
+            if !any_run && !any_spurious {
+                // Store-buffer flushes cannot unblock anyone on their own.
+                let report = st.deadlock_report();
+                st.fail(report);
+                sh.cv.notify_all();
+                return;
+            }
+            let forced = cur_runnable && st.preemptions >= st.cfg.preemption_bound;
+            let chosen = if forced {
+                Transition::Run(st.current)
+            } else if opts.len() == 1 {
+                opts[0]
+            } else {
+                pick(st, opts)
+            };
+            st.transitions += 1;
+            if st.aborting {
+                sh.cv.notify_all();
+                return;
+            }
+            let preempting = cur_runnable && chosen != Transition::Run(st.current);
+            match chosen {
+                Transition::Run(t) => {
+                    if preempting {
+                        st.preemptions += 1;
+                    }
+                    st.current = t;
+                    sh.cv.notify_all();
+                    return;
+                }
+                Transition::Flush(t) => {
+                    if preempting {
+                        st.preemptions += 1;
+                    }
+                    st.record(t, "flush", "", 0, 0);
+                    st.flush_buffer(t);
+                }
+                Transition::Spurious(t) => {
+                    if preempting {
+                        st.preemptions += 1;
+                    }
+                    st.spurious_left -= 1;
+                    for waiters in st.condvars.values_mut() {
+                        waiters.retain(|&w| w != t);
+                    }
+                    st.threads[t].status = Status::Runnable;
+                    st.record(t, "spurious-wake", "", 0, 0);
+                }
+            }
+            // Flush / Spurious do not transfer control; decide again.
+        }
+    }
+
+    /// Consume one decision point: replay the trail prefix, then record new
+    /// branch points (unless the state was already fully explored).
+    fn pick(st: &mut Exec, opts: Vec<Transition>) -> Transition {
+        let d = st.depth;
+        st.depth += 1;
+        if d < st.trail.len() {
+            if st.trail[d].options != opts {
+                st.fail(format!(
+                    "nondeterministic harness: decision {} offered {:?} on replay but {:?} originally",
+                    d, opts, st.trail[d].options
+                ));
+                return opts[0];
+            }
+            let chosen = st.trail[d].chosen;
+            return st.trail[d].options[chosen];
+        }
+        if st.pruned {
+            return opts[0];
+        }
+        let fp = st.fingerprint();
+        if st.done.contains(&fp) {
+            st.pruned = true;
+            st.pruned_hits += 1;
+            return opts[0];
+        }
+        let first = opts[0];
+        st.trail.push(Decision {
+            options: opts,
+            chosen: 0,
+            fingerprint: fp,
+        });
+        first
+    }
+
+    /// Block until this thread is scheduled (runnable and current).
+    fn wait_turn<'a>(
+        sh: &'a Shared,
+        mut st: StdMutexGuard<'a, Exec>,
+        tid: Tid,
+    ) -> StdMutexGuard<'a, Exec> {
+        loop {
+            check_abort(&st);
+            if st.current == tid && st.threads[tid].status == Status::Runnable {
+                return st;
+            }
+            st = sh.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// One scheduled operation: perform `f` on the model state, then yield.
+    fn op<R>(sh: &Arc<Shared>, tid: Tid, f: impl FnOnce(&mut Exec) -> R) -> R {
+        let mut st = lock_state(sh);
+        check_abort(&st);
+        let r = f(&mut st);
+        schedule(sh, &mut st);
+        let st = wait_turn(sh, st, tid);
+        drop(st);
+        r
+    }
+
+    // ---- operations invoked by the sync/thread shims -----------------------
+
+    pub(crate) fn model_lock(sh: &Arc<Shared>, tid: Tid, addr: usize, class: &'static str) {
+        loop {
+            let mut st = lock_state(sh);
+            check_abort(&st);
+            let id = st.norm(addr);
+            let owner = st
+                .locks
+                .entry(id)
+                .or_insert(LockSt {
+                    owner: None,
+                    waiters: Vec::new(),
+                    class,
+                })
+                .owner;
+            if owner.is_none() {
+                st.locks.get_mut(&id).expect("lock just inserted").owner = Some(tid);
+                st.record(tid, "lock", class, id, 0);
+                schedule(sh, &mut st);
+                let st = wait_turn(sh, st, tid);
+                drop(st);
+                return;
+            }
+            if owner == Some(tid) {
+                let msg = format!("thread t{tid} re-acquired lock `{class}` it already holds");
+                st.fail(msg);
+                check_abort(&st);
+            }
+            st.locks
+                .get_mut(&id)
+                .expect("lock just inserted")
+                .waiters
+                .push(tid);
+            st.threads[tid].status = Status::BlockedLock(id);
+            st.record(tid, "lock-blocked", class, id, 0);
+            schedule(sh, &mut st);
+            let st = wait_turn(sh, st, tid);
+            drop(st);
+        }
+    }
+
+    pub(crate) fn model_try_lock(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        addr: usize,
+        class: &'static str,
+    ) -> bool {
+        op(sh, tid, |st| {
+            let id = st.norm(addr);
+            let l = st.locks.entry(id).or_insert(LockSt {
+                owner: None,
+                waiters: Vec::new(),
+                class,
+            });
+            if l.owner.is_none() {
+                l.owner = Some(tid);
+                st.record(tid, "try-lock-ok", class, id, 1);
+                true
+            } else {
+                st.record(tid, "try-lock-miss", class, id, 0);
+                false
+            }
+        })
+    }
+
+    pub(crate) fn model_unlock(sh: &Arc<Shared>, tid: Tid, addr: usize, class: &'static str) {
+        let mut st = lock_state(sh);
+        if st.aborting {
+            // Silent release during abort unwinding: must not panic in Drop.
+            let id = st.norm(addr);
+            if let Some(l) = st.locks.get_mut(&id) {
+                if l.owner == Some(tid) {
+                    l.owner = None;
+                }
+            }
+            return;
+        }
+        let id = st.norm(addr);
+        let l = st.locks.get_mut(&id).expect("model_unlock of unknown lock");
+        debug_assert_eq!(l.owner, Some(tid), "unlock by non-owner");
+        l.owner = None;
+        let waiters = std::mem::take(&mut l.waiters);
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+        st.record(tid, "unlock", class, id, 0);
+        schedule(sh, &mut st);
+        let st = wait_turn(sh, st, tid);
+        drop(st);
+    }
+
+    /// First half of a condvar wait: enqueue as a waiter, release the model
+    /// lock, block.  The caller must then drop the real guard and call
+    /// [`model_cv_wait_finish`].
+    pub(crate) fn model_cv_wait_begin(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        cv_addr: usize,
+        lock_addr: usize,
+        class: &'static str,
+    ) {
+        let mut st = lock_state(sh);
+        check_abort(&st);
+        let cv_id = st.norm(cv_addr);
+        let lock_id = st.norm(lock_addr);
+        st.condvars.entry(cv_id).or_default().push(tid);
+        let l = st
+            .locks
+            .get_mut(&lock_id)
+            .expect("condvar wait without model lock");
+        debug_assert_eq!(l.owner, Some(tid), "condvar wait without holding lock");
+        l.owner = None;
+        let waiters = std::mem::take(&mut l.waiters);
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+        st.threads[tid].status = Status::BlockedCv(cv_id);
+        st.record(tid, "cv-wait", class, cv_id, 0);
+        schedule(sh, &mut st);
+        // Intentionally no wait_turn: the caller must release the real OS
+        // mutex before this thread parks, otherwise the model and the real
+        // lock disagree about availability.
+        drop(st);
+    }
+
+    /// Second half of a condvar wait: park until woken and scheduled, then
+    /// re-acquire the model lock.
+    pub(crate) fn model_cv_wait_finish(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        lock_addr: usize,
+        class: &'static str,
+    ) {
+        let st = lock_state(sh);
+        let st = wait_turn(sh, st, tid);
+        drop(st);
+        model_lock(sh, tid, lock_addr, class);
+    }
+
+    pub(crate) fn model_cv_notify(sh: &Arc<Shared>, tid: Tid, cv_addr: usize, all: bool) {
+        op(sh, tid, |st| {
+            let cv_id = st.norm(cv_addr);
+            let waiters = st.condvars.entry(cv_id).or_default();
+            let woken: Vec<Tid> = if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)]
+            };
+            let n = woken.len() as u64;
+            for w in woken {
+                st.threads[w].status = Status::Runnable;
+            }
+            st.record(
+                tid,
+                if all { "notify-all" } else { "notify-one" },
+                "",
+                cv_id,
+                n,
+            );
+        })
+    }
+
+    /// A shared-variable load honoring the store-buffer model.
+    pub(crate) fn model_volatile_load(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        addr: usize,
+        init: u64,
+        seq_cst: bool,
+        class: &'static str,
+    ) -> u64 {
+        op(sh, tid, |st| {
+            let id = st.norm(addr);
+            if seq_cst {
+                st.flush_buffer(tid);
+            }
+            let mut v = *st.atomics.entry(id).or_insert(init);
+            if !seq_cst {
+                // Store-to-load forwarding from this thread's own buffer.
+                if let Some(&(_, buffered)) = st.threads[tid].buffer.iter().find(|&&(a, _)| a == id)
+                {
+                    v = buffered;
+                }
+            }
+            st.record(tid, if seq_cst { "load(sc)" } else { "load" }, class, id, v);
+            v
+        })
+    }
+
+    /// A shared-variable store honoring the store-buffer model.
+    pub(crate) fn model_volatile_store(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        addr: usize,
+        init: u64,
+        val: u64,
+        seq_cst: bool,
+        class: &'static str,
+    ) {
+        op(sh, tid, |st| {
+            let id = st.norm(addr);
+            st.atomics.entry(id).or_insert(init);
+            if seq_cst {
+                st.flush_buffer(tid);
+                st.atomics.insert(id, val);
+            } else if let Some(entry) = st.threads[tid].buffer.iter_mut().find(|(a, _)| *a == id) {
+                entry.1 = val;
+            } else {
+                st.threads[tid].buffer.push((id, val));
+            }
+            st.record(
+                tid,
+                if seq_cst { "store(sc)" } else { "store" },
+                class,
+                id,
+                val,
+            );
+        })
+    }
+
+    /// A read-modify-write: always flushes the buffer and acts on the global
+    /// value (atomic RMWs read the latest value regardless of ordering).
+    pub(crate) fn model_rmw(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        addr: usize,
+        init: u64,
+        f: impl FnOnce(u64) -> Option<u64>,
+        class: &'static str,
+    ) -> u64 {
+        op(sh, tid, |st| {
+            let id = st.norm(addr);
+            st.flush_buffer(tid);
+            let old = *st.atomics.entry(id).or_insert(init);
+            if let Some(new) = f(old) {
+                st.atomics.insert(id, new);
+                st.record(tid, "rmw", class, id, new);
+            } else {
+                st.record(tid, "rmw-fail", class, id, old);
+            }
+            old
+        })
+    }
+
+    pub(crate) fn model_spawn<F: FnOnce() + Send + 'static>(
+        sh: &Arc<Shared>,
+        tid: Tid,
+        f: F,
+    ) -> Tid {
+        let new_tid = {
+            let mut st = lock_state(sh);
+            check_abort(&st);
+            let new_tid = st.threads.len();
+            assert!(new_tid < 8, "model checker supports at most 8 threads");
+            st.threads.push(ThreadSt {
+                status: Status::Runnable,
+                history: FNV_OFFSET ^ new_tid as u64,
+                buffer: Vec::new(),
+            });
+            st.live += 1;
+            st.record(tid, "spawn", "", 0, new_tid as u64);
+            new_tid
+        };
+        let sh2 = Arc::clone(sh);
+        let handle = std::thread::spawn(move || controlled_thread(sh2, new_tid, f));
+        sh.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        let mut st = lock_state(sh);
+        check_abort(&st);
+        schedule(sh, &mut st);
+        let st = wait_turn(sh, st, tid);
+        drop(st);
+        new_tid
+    }
+
+    pub(crate) fn model_join(sh: &Arc<Shared>, tid: Tid, target: Tid) {
+        loop {
+            let mut st = lock_state(sh);
+            check_abort(&st);
+            if st.threads[target].status == Status::Finished {
+                st.record(tid, "join", "", 0, target as u64);
+                schedule(sh, &mut st);
+                let st = wait_turn(sh, st, tid);
+                drop(st);
+                return;
+            }
+            st.threads[tid].status = Status::BlockedJoin(target);
+            st.record(tid, "join-blocked", "", 0, target as u64);
+            schedule(sh, &mut st);
+            let st = wait_turn(sh, st, tid);
+            drop(st);
+        }
+    }
+
+    fn controlled_thread<F: FnOnce()>(sh: Arc<Shared>, tid: Tid, body: F) {
+        {
+            let st = lock_state(&sh);
+            let st = match catch_unwind(AssertUnwindSafe(|| wait_turn(&sh, st, tid))) {
+                Ok(st) => st,
+                Err(_) => {
+                    // Aborted before the first step.
+                    finish_thread(&sh, tid, None);
+                    return;
+                }
+            };
+            drop(st);
+        }
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sh), tid)));
+        let result = catch_unwind(AssertUnwindSafe(body));
+        CTX.with(|c| *c.borrow_mut() = None);
+        let failure = match result {
+            Ok(()) => None,
+            Err(payload) => {
+                if payload.downcast_ref::<Abort>().is_some() {
+                    None
+                } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    Some(format!("thread t{tid} panicked: {s}"))
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    Some(format!("thread t{tid} panicked: {s}"))
+                } else {
+                    Some(format!("thread t{tid} panicked (non-string payload)"))
+                }
+            }
+        };
+        finish_thread(&sh, tid, failure);
+    }
+
+    fn finish_thread(sh: &Arc<Shared>, tid: Tid, failure: Option<String>) {
+        let mut st = lock_state(sh);
+        if st.threads[tid].status != Status::Finished {
+            st.threads[tid].status = Status::Finished;
+            st.live -= 1;
+        }
+        // A finishing thread publishes its outstanding buffered stores; the
+        // OS would eventually flush them, and keeping them pending would make
+        // "thread exited with an unflushed flag" look like a protocol bug.
+        st.flush_buffer(tid);
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedJoin(tid) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        if let Some(msg) = failure {
+            st.fail(msg);
+            sh.cv.notify_all();
+            return;
+        }
+        if st.aborting {
+            sh.cv.notify_all();
+            return;
+        }
+        st.record(tid, "exit", "", 0, 0);
+        schedule(sh, &mut st);
+    }
+
+    fn run_once<F>(cfg: &Model, f: Arc<F>, trail: Vec<Decision>, done: HashSet<u64>) -> Exec
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let sh = Arc::new(Shared {
+            state: StdMutex::new(Exec {
+                cfg: cfg.clone(),
+                current: 0,
+                threads: vec![ThreadSt {
+                    status: Status::Runnable,
+                    history: FNV_OFFSET,
+                    buffer: Vec::new(),
+                }],
+                live: 1,
+                atomics: HashMap::new(),
+                locks: HashMap::new(),
+                condvars: HashMap::new(),
+                addr_ids: HashMap::new(),
+                next_addr_id: 0,
+                trail,
+                depth: 0,
+                preemptions: 0,
+                steps: 0,
+                spurious_left: cfg.spurious_budget,
+                pruned: false,
+                done,
+                failure: None,
+                trace: Vec::new(),
+                aborting: false,
+                completed: false,
+                transitions: 0,
+                pruned_hits: 0,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        });
+        let sh_main = Arc::clone(&sh);
+        let main_handle = std::thread::spawn(move || {
+            let body = move || f();
+            controlled_thread(sh_main, 0, body)
+        });
+        sh.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(main_handle);
+        {
+            let mut st = lock_state(&sh);
+            while !st.completed {
+                st = sh.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Join every controlled thread (they all observe `aborting` or have
+        // finished); no new threads spawn once `completed` is set.
+        loop {
+            let drained: Vec<_> = {
+                let mut h = sh.handles.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *h)
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
+        }
+        let sh = Arc::try_unwrap(sh)
+            .unwrap_or_else(|_| panic!("controlled thread leaked a scheduler handle"));
+        sh.state.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn explore<F>(cfg: &Model, f: Arc<F>) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut trail: Vec<Decision> = Vec::new();
+        let mut done: HashSet<u64> = HashSet::new();
+        let mut stats = Stats::default();
+        loop {
+            stats.executions += 1;
+            if stats.executions > cfg.max_executions as u64 {
+                panic!(
+                    "model check exceeded max_executions ({}) without converging; \
+                     raise the limit or tighten the harness",
+                    cfg.max_executions
+                );
+            }
+            let exec = run_once(cfg, Arc::clone(&f), trail, done);
+            stats.transitions += exec.transitions;
+            stats.pruned += exec.pruned_hits;
+            if let Some(msg) = exec.failure {
+                panic!(
+                    "model check failed on execution {}:\n{}",
+                    stats.executions, msg
+                );
+            }
+            trail = exec.trail;
+            done = exec.done;
+            loop {
+                match trail.last_mut() {
+                    None => return stats,
+                    Some(d) if d.chosen + 1 < d.options.len() => {
+                        d.chosen += 1;
+                        break;
+                    }
+                    Some(d) => {
+                        done.insert(d.fingerprint);
+                        trail.pop();
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! Instrumented synchronization primitives.
+//!
+//! Drop-in replacements for `std::sync` types with three behaviours selected
+//! at build time:
+//!
+//! * **`--cfg ppmsg_check` + active model run**: every operation is a yield
+//!   point routed through the bounded model checker's scheduler (see
+//!   [`crate::model`]).  Atomics follow a TSO-style store-buffer model so
+//!   weakened-ordering bugs are observable.
+//! * **`debug_assertions` (ordinary dev/test builds)**: [`Mutex`] feeds the
+//!   [`crate::lockdep`] lock-order graph — the first acquisition order that
+//!   *could* deadlock panics immediately, and condvar waits assert that no
+//!   unrelated instrumented lock is held while parking.
+//! * **release builds**: a transparent wrapper over `std::sync` (poisoning is
+//!   recovered rather than propagated, matching the workspace's
+//!   `parking_lot`-style conventions).
+//!
+//! Locks are instrumented per *class*: the `&'static str` passed to
+//! [`Mutex::new`] names the class, and every mutex sharing a name shares a
+//! node in the lock-order graph (like Linux lockdep's `struct lock_class`).
+
+use std::fmt;
+use std::sync::atomic::AtomicU32;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+use crate::lockdep;
+
+/// A mutual-exclusion primitive with a lock *class* name, used for lock-order
+/// analysis and model checking.  API mirrors `std::sync::Mutex` except that
+/// [`lock`](Mutex::lock) returns the guard directly (poisoning recovered).
+pub struct Mutex<T> {
+    class: &'static str,
+    class_id: AtomicU32,
+    inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the lock (and its lockdep/model
+/// bookkeeping) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    real: Option<StdMutexGuard<'a, T>>,
+    token: u64,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex belonging to lock class `class`.
+    ///
+    /// Class names are global: two mutexes created with the same name are the
+    /// same node in the lock-order graph.  Use stable, grep-able names like
+    /// `"core.mailbox.inner"`.
+    pub const fn new(class: &'static str, value: T) -> Self {
+        Mutex {
+            class,
+            class_id: AtomicU32::new(0),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    #[cfg(ppmsg_check)]
+    fn addr(&self) -> usize {
+        &self.inner as *const StdMutex<T> as usize
+    }
+
+    /// The lock class this mutex was created with.
+    pub fn class(&self) -> &'static str {
+        self.class
+    }
+
+    /// Acquire the lock, panicking on a detected lock-order cycle in
+    /// `debug_assertions` builds and yielding to the model scheduler under
+    /// `--cfg ppmsg_check`.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(ppmsg_check)]
+        if let Some((sh, tid)) = crate::model::active() {
+            crate::model::model_lock(&sh, tid, self.addr(), self.class);
+            let real = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            return MutexGuard {
+                lock: self,
+                real: Some(real),
+                token: 0,
+            };
+        }
+        let token = if cfg!(debug_assertions) {
+            lockdep::acquire(self.class, &self.class_id)
+        } else {
+            0
+        };
+        let real = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            lock: self,
+            real: Some(real),
+            token,
+        }
+    }
+
+    /// Non-blocking acquire.  Cannot deadlock, so lockdep records it as held
+    /// without adding ordering edges (mirroring Linux lockdep's trylock
+    /// handling).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(ppmsg_check)]
+        if let Some((sh, tid)) = crate::model::active() {
+            if !crate::model::model_try_lock(&sh, tid, self.addr(), self.class) {
+                return None;
+            }
+            let real = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            return Some(MutexGuard {
+                lock: self,
+                real: Some(real),
+                token: 0,
+            });
+        }
+        let real = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        let token = if cfg!(debug_assertions) {
+            lockdep::acquire_trylock(self.class, &self.class_id)
+        } else {
+            0
+        };
+        Some(MutexGuard {
+            lock: self,
+            real: Some(real),
+            token,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Mutex");
+        d.field("class", &self.class);
+        match self.inner.try_lock() {
+            Ok(g) => d.field("data", &&*g),
+            Err(_) => d.field("data", &format_args!("<locked>")),
+        };
+        d.finish()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new("ppmsg_check.default", T::default())
+    }
+}
+
+impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<'a, T: fmt::Debug> fmt::Debug for MutexGuard<'a, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<'a, T> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        // Release the real mutex before the model release so a thread the
+        // scheduler hands the model lock to never blocks on the OS mutex.
+        self.real.take();
+        if self.token != 0 {
+            lockdep::release(self.token);
+        } else {
+            #[cfg(ppmsg_check)]
+            if let Some((sh, tid)) = crate::model::active() {
+                crate::model::model_unlock(&sh, tid, self.lock.addr(), self.lock.class);
+            }
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+///
+/// In `debug_assertions` builds, waiting asserts that the parking thread
+/// holds no instrumented lock other than the one being released (the
+/// held-while-parking rule).  Under an active model run, waits and
+/// notifications are scheduler transitions; the model may inject spurious
+/// wake-ups when configured with a spurious budget, and `wait_timeout` never
+/// reports a timeout (model time does not advance — code whose *progress*
+/// depends on timeouts cannot be model-checked, only code that merely
+/// tolerates early wake-ups).
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    #[cfg(ppmsg_check)]
+    fn addr(&self) -> usize {
+        &self.inner as *const StdCondvar as usize
+    }
+
+    /// Atomically release the guard's mutex and wait for a notification.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(ppmsg_check)]
+        if let Some((sh, tid)) = crate::model::active() {
+            let lock = guard.lock;
+            crate::model::model_cv_wait_begin(&sh, tid, self.addr(), lock.addr(), lock.class);
+            guard.real.take();
+            crate::model::model_cv_wait_finish(&sh, tid, lock.addr(), lock.class);
+            guard.real = Some(lock.inner.lock().unwrap_or_else(|e| e.into_inner()));
+            return guard;
+        }
+        if guard.token != 0 {
+            lockdep::assert_parking(guard.lock.class, guard.token);
+        }
+        let real = guard.real.take().expect("guard accessed after release");
+        let real = self.inner.wait(real).unwrap_or_else(|e| e.into_inner());
+        guard.real = Some(real);
+        guard
+    }
+
+    /// [`wait`](Condvar::wait) with a timeout.  See the type-level docs for
+    /// model-run semantics.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        #[cfg(ppmsg_check)]
+        if crate::model::active().is_some() {
+            let guard = self.wait(guard);
+            return (guard, WaitTimeoutResult { timed_out: false });
+        }
+        if guard.token != 0 {
+            lockdep::assert_parking(guard.lock.class, guard.token);
+        }
+        let real = guard.real.take().expect("guard accessed after release");
+        let (real, res) = self
+            .inner
+            .wait_timeout(real, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.real = Some(real);
+        (
+            guard,
+            WaitTimeoutResult {
+                timed_out: res.timed_out(),
+            },
+        )
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        #[cfg(ppmsg_check)]
+        if let Some((sh, tid)) = crate::model::active() {
+            crate::model::model_cv_notify(&sh, tid, self.addr(), false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        #[cfg(ppmsg_check)]
+        if let Some((sh, tid)) = crate::model::active() {
+            crate::model::model_cv_notify(&sh, tid, self.addr(), true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Atomic types: plain `std::sync::atomic` re-exports in normal builds,
+/// model-checked shims with a TSO store-buffer semantics under
+/// `--cfg ppmsg_check`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(ppmsg_check))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+    };
+
+    #[cfg(ppmsg_check)]
+    pub use checked::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize};
+
+    #[cfg(ppmsg_check)]
+    mod checked {
+        use super::Ordering;
+        use crate::model;
+        use std::fmt;
+
+        fn is_sc(ord: Ordering) -> bool {
+            matches!(ord, Ordering::SeqCst)
+        }
+
+        macro_rules! model_atomic_uint {
+            ($(#[$doc:meta])* $name:ident, $raw:ty, $std:ty, $mask:expr) => {
+                $(#[$doc])*
+                pub struct $name {
+                    cell: $std,
+                }
+
+                impl $name {
+                    /// Create a new atomic with the given initial value.
+                    pub const fn new(v: $raw) -> Self {
+                        Self { cell: <$std>::new(v) }
+                    }
+
+                    fn addr(&self) -> usize {
+                        &self.cell as *const $std as usize
+                    }
+
+                    fn init(&self) -> u64 {
+                        self.cell.load(Ordering::Relaxed) as u64
+                    }
+
+                    /// Load the value.
+                    pub fn load(&self, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_volatile_load(
+                                &sh, tid, self.addr(), self.init(), is_sc(ord), stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.load(ord)
+                        }
+                    }
+
+                    /// Store a value.  Non-`SeqCst` stores sit in the model's
+                    /// per-thread store buffer until flushed.
+                    pub fn store(&self, v: $raw, ord: Ordering) {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_volatile_store(
+                                &sh, tid, self.addr(), self.init(), v as u64 & $mask,
+                                is_sc(ord), stringify!($name),
+                            );
+                        } else {
+                            self.cell.store(v, ord);
+                        }
+                    }
+
+                    /// Swap, returning the previous value.
+                    pub fn swap(&self, v: $raw, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |_| Some(v as u64 & $mask), stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.swap(v, ord)
+                        }
+                    }
+
+                    /// Add, returning the previous value (wrapping).
+                    pub fn fetch_add(&self, v: $raw, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |old| Some(old.wrapping_add(v as u64) & $mask),
+                                stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.fetch_add(v, ord)
+                        }
+                    }
+
+                    /// Subtract, returning the previous value (wrapping).
+                    pub fn fetch_sub(&self, v: $raw, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |old| Some(old.wrapping_sub(v as u64) & $mask),
+                                stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.fetch_sub(v, ord)
+                        }
+                    }
+
+                    /// Bitwise-or, returning the previous value.
+                    pub fn fetch_or(&self, v: $raw, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |old| Some((old | v as u64) & $mask), stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.fetch_or(v, ord)
+                        }
+                    }
+
+                    /// Bitwise-and, returning the previous value.
+                    pub fn fetch_and(&self, v: $raw, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |old| Some(old & v as u64 & $mask), stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.fetch_and(v, ord)
+                        }
+                    }
+
+                    /// Maximum, returning the previous value.
+                    pub fn fetch_max(&self, v: $raw, ord: Ordering) -> $raw {
+                        if let Some((sh, tid)) = model::active() {
+                            model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |old| Some(old.max(v as u64) & $mask), stringify!($name),
+                            ) as $raw
+                        } else {
+                            self.cell.fetch_max(v, ord)
+                        }
+                    }
+
+                    /// Compare-and-exchange: `Ok(previous)` on success,
+                    /// `Err(actual)` on failure.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $raw,
+                        new: $raw,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$raw, $raw> {
+                        if let Some((sh, tid)) = model::active() {
+                            let old = model::model_rmw(
+                                &sh, tid, self.addr(), self.init(),
+                                |old| {
+                                    if old == current as u64 & $mask {
+                                        Some(new as u64 & $mask)
+                                    } else {
+                                        None
+                                    }
+                                },
+                                stringify!($name),
+                            ) as $raw;
+                            if old == current {
+                                Ok(old)
+                            } else {
+                                Err(old)
+                            }
+                        } else {
+                            self.cell.compare_exchange(current, new, success, failure)
+                        }
+                    }
+
+                    /// Weak compare-and-exchange (never fails spuriously in
+                    /// the model; delegates to the strong form).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $raw,
+                        new: $raw,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$raw, $raw> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Mutable access without synchronization.
+                    pub fn get_mut(&mut self) -> &mut $raw {
+                        self.cell.get_mut()
+                    }
+
+                    /// Consume the atomic, returning the value.
+                    pub fn into_inner(self) -> $raw {
+                        self.cell.into_inner()
+                    }
+                }
+
+                impl fmt::Debug for $name {
+                    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        fmt::Debug::fmt(&self.cell, f)
+                    }
+                }
+
+                impl Default for $name {
+                    fn default() -> Self {
+                        Self::new(0)
+                    }
+                }
+            };
+        }
+
+        model_atomic_uint!(
+            /// Model-checked stand-in for `std::sync::atomic::AtomicUsize`.
+            AtomicUsize, usize, std::sync::atomic::AtomicUsize, u64::MAX
+        );
+        model_atomic_uint!(
+            /// Model-checked stand-in for `std::sync::atomic::AtomicU64`.
+            AtomicU64, u64, std::sync::atomic::AtomicU64, u64::MAX
+        );
+        model_atomic_uint!(
+            /// Model-checked stand-in for `std::sync::atomic::AtomicU32`.
+            AtomicU32, u32, std::sync::atomic::AtomicU32, 0xffff_ffffu64
+        );
+        model_atomic_uint!(
+            /// Model-checked stand-in for `std::sync::atomic::AtomicU16`.
+            AtomicU16, u16, std::sync::atomic::AtomicU16, 0xffffu64
+        );
+        model_atomic_uint!(
+            /// Model-checked stand-in for `std::sync::atomic::AtomicU8`.
+            AtomicU8, u8, std::sync::atomic::AtomicU8, 0xffu64
+        );
+
+        /// Model-checked stand-in for `std::sync::atomic::AtomicBool`.
+        pub struct AtomicBool {
+            cell: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Create a new atomic with the given initial value.
+            pub const fn new(v: bool) -> Self {
+                Self {
+                    cell: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                &self.cell as *const std::sync::atomic::AtomicBool as usize
+            }
+
+            fn init(&self) -> u64 {
+                self.cell.load(Ordering::Relaxed) as u64
+            }
+
+            /// Load the value.
+            pub fn load(&self, ord: Ordering) -> bool {
+                if let Some((sh, tid)) = model::active() {
+                    model::model_volatile_load(
+                        &sh,
+                        tid,
+                        self.addr(),
+                        self.init(),
+                        is_sc(ord),
+                        "AtomicBool",
+                    ) != 0
+                } else {
+                    self.cell.load(ord)
+                }
+            }
+
+            /// Store a value.
+            pub fn store(&self, v: bool, ord: Ordering) {
+                if let Some((sh, tid)) = model::active() {
+                    model::model_volatile_store(
+                        &sh,
+                        tid,
+                        self.addr(),
+                        self.init(),
+                        v as u64,
+                        is_sc(ord),
+                        "AtomicBool",
+                    );
+                } else {
+                    self.cell.store(v, ord);
+                }
+            }
+
+            /// Swap, returning the previous value.
+            pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+                if let Some((sh, tid)) = model::active() {
+                    model::model_rmw(
+                        &sh,
+                        tid,
+                        self.addr(),
+                        self.init(),
+                        |_| Some(v as u64),
+                        "AtomicBool",
+                    ) != 0
+                } else {
+                    self.cell.swap(v, ord)
+                }
+            }
+
+            /// Compare-and-exchange: `Ok(previous)` on success.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                if let Some((sh, tid)) = model::active() {
+                    let old = model::model_rmw(
+                        &sh,
+                        tid,
+                        self.addr(),
+                        self.init(),
+                        |old| {
+                            if old == current as u64 {
+                                Some(new as u64)
+                            } else {
+                                None
+                            }
+                        },
+                        "AtomicBool",
+                    ) != 0;
+                    if old == current {
+                        Ok(old)
+                    } else {
+                        Err(old)
+                    }
+                } else {
+                    self.cell.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// Mutable access without synchronization.
+            pub fn get_mut(&mut self) -> &mut bool {
+                self.cell.get_mut()
+            }
+        }
+
+        impl fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.cell, f)
+            }
+        }
+
+        impl Default for AtomicBool {
+            fn default() -> Self {
+                Self::new(false)
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Thread spawn/join shims.
+//!
+//! Inside an active model run (under `--cfg ppmsg_check`), spawned closures
+//! become *controlled threads*: real OS threads serialized by the model
+//! scheduler, with spawn and join as explorable yield points.  Outside a run
+//! this is a thin wrapper over `std::thread`.
+//!
+//! Harness threads return `()`; ship results out through shared state (the
+//! same restriction loom imposes in practice).
+
+/// Handle to a spawned harness thread.
+pub struct JoinHandle {
+    inner: Inner,
+}
+
+enum Inner {
+    Os(std::thread::JoinHandle<()>),
+    #[cfg(ppmsg_check)]
+    Model {
+        tid: crate::model::Tid,
+    },
+}
+
+/// Spawn a harness thread.  A controlled thread under an active model run,
+/// otherwise a plain `std::thread::spawn`.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    #[cfg(ppmsg_check)]
+    if let Some((sh, tid)) = crate::model::active() {
+        let new_tid = crate::model::model_spawn(&sh, tid, f);
+        return JoinHandle {
+            inner: Inner::Model { tid: new_tid },
+        };
+    }
+    JoinHandle {
+        inner: Inner::Os(std::thread::spawn(f)),
+    }
+}
+
+impl JoinHandle {
+    /// Wait for the thread to finish.  Inside a model run this is a blocking
+    /// scheduler transition; a panic in the joined thread is reported by the
+    /// model itself.  Outside a run, a panic in the joined thread is
+    /// propagated.
+    pub fn join(self) {
+        match self.inner {
+            Inner::Os(h) => {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            #[cfg(ppmsg_check)]
+            Inner::Model { tid } => {
+                let (sh, me) =
+                    crate::model::active().expect("model JoinHandle joined outside its model run");
+                crate::model::model_join(&sh, me, tid);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for JoinHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Os(_) => f.write_str("JoinHandle(os)"),
+            #[cfg(ppmsg_check)]
+            Inner::Model { tid } => write!(f, "JoinHandle(model t{tid})"),
+        }
+    }
+}

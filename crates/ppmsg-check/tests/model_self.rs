@@ -1,0 +1,315 @@
+//! Self-tests for the bounded model checker: known-good protocols must pass
+//! exhaustively, and known-bad ones must be caught within the preemption
+//! bound.  These are the "teeth for the teeth" — if the checker stops
+//! detecting any of these canonical bugs, this suite fails.
+#![cfg(ppmsg_check)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use ppmsg_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use ppmsg_check::sync::{Condvar, Mutex};
+use ppmsg_check::{thread, Model};
+
+fn expect_caught<F: Fn() + Send + Sync + 'static>(model: Model, f: F, needle: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| model.check(f)));
+    let payload = match result {
+        Ok(stats) => panic!(
+            "model checker missed the bug (explored {} executions clean)",
+            stats.executions
+        ),
+        Err(p) => p,
+    };
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains(needle),
+        "checker reported a failure but not the expected one; wanted `{needle}`, got:\n{msg}"
+    );
+}
+
+#[test]
+fn atomic_counter_passes() {
+    let stats = Model::new().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let a = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let b = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        a.join();
+        b.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        stats.executions > 1,
+        "two racing threads must produce more than one schedule"
+    );
+}
+
+#[test]
+fn racy_read_modify_write_caught() {
+    // Non-atomic increment (load; store) — a lost update exists and must be
+    // found within one preemption.
+    expect_caught(
+        Model::new(),
+        || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let mk = |n: Arc<AtomicUsize>| {
+                thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            };
+            let a = mk(Arc::clone(&n));
+            let b = mk(Arc::clone(&n));
+            a.join();
+            b.join();
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        },
+        "lost update",
+    );
+}
+
+/// Dekker-style two-flag mutual exclusion: each thread raises its flag, then
+/// checks the other's.  With SeqCst both can *refrain*, but both can never
+/// *enter*.
+fn dekker(ordering: Ordering) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let flags = Arc::new((AtomicUsize::new(0), AtomicUsize::new(0)));
+        let in_crit = Arc::new(AtomicUsize::new(0));
+        let spawn_side = |flags: Arc<(AtomicUsize, AtomicUsize)>,
+                          in_crit: Arc<AtomicUsize>,
+                          mine_first: bool| {
+            thread::spawn(move || {
+                let (mine, theirs) = if mine_first {
+                    (&flags.0, &flags.1)
+                } else {
+                    (&flags.1, &flags.0)
+                };
+                mine.store(1, ordering);
+                if theirs.load(ordering) == 0 {
+                    let overlap = in_crit.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(overlap, 0, "mutual exclusion violated");
+                    in_crit.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let a = spawn_side(Arc::clone(&flags), Arc::clone(&in_crit), true);
+        let b = spawn_side(Arc::clone(&flags), Arc::clone(&in_crit), false);
+        a.join();
+        b.join();
+    }
+}
+
+#[test]
+fn dekker_seqcst_passes() {
+    let stats = Model::new().check(dekker(Ordering::SeqCst));
+    assert!(stats.executions > 1);
+}
+
+#[test]
+fn dekker_relaxed_caught_via_store_buffer() {
+    // With Relaxed flags both stores can sit in store buffers while both
+    // loads read 0 — the classic TSO reordering.  This is exactly the bug
+    // class the mailbox sabotage variants exercise.
+    expect_caught(
+        Model::new(),
+        dekker(Ordering::Relaxed),
+        "mutual exclusion violated",
+    );
+}
+
+#[test]
+fn ab_ba_deadlock_caught() {
+    expect_caught(
+        Model::new(),
+        || {
+            let a = Arc::new(Mutex::new("self.a", ()));
+            let b = Arc::new(Mutex::new("self.b", ()));
+            let t1 = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+            };
+            let t2 = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _gb = b.lock();
+                    let _ga = a.lock();
+                })
+            };
+            t1.join();
+            t2.join();
+        },
+        "deadlock",
+    );
+}
+
+struct FlagAndCv {
+    flag: AtomicBool,
+    m: Mutex<()>,
+    cv: Condvar,
+}
+
+#[test]
+fn lost_wakeup_caught() {
+    // Producer flips the flag and notifies WITHOUT holding the mutex: the
+    // consumer can check the flag, get preempted before parking, miss the
+    // notify, and sleep forever.
+    expect_caught(
+        Model::new(),
+        || {
+            let s = Arc::new(FlagAndCv {
+                flag: AtomicBool::new(false),
+                m: Mutex::new("self.park", ()),
+                cv: Condvar::new(),
+            });
+            let producer = {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    s.flag.store(true, Ordering::SeqCst);
+                    s.cv.notify_one();
+                })
+            };
+            let mut g = s.m.lock();
+            while !s.flag.load(Ordering::SeqCst) {
+                g = s.cv.wait(g);
+            }
+            drop(g);
+            producer.join();
+        },
+        "deadlock",
+    );
+}
+
+#[test]
+fn guarded_wakeup_passes() {
+    // Same protocol with the store+notify under the mutex: no interleaving
+    // loses the wake-up, and the checker proves it.
+    let stats = Model::new().check(|| {
+        let s = Arc::new(FlagAndCv {
+            flag: AtomicBool::new(false),
+            m: Mutex::new("self.park2", ()),
+            cv: Condvar::new(),
+        });
+        let producer = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || {
+                let _g = s.m.lock();
+                s.flag.store(true, Ordering::SeqCst);
+                s.cv.notify_one();
+            })
+        };
+        let mut g = s.m.lock();
+        while !s.flag.load(Ordering::SeqCst) {
+            g = s.cv.wait(g);
+        }
+        drop(g);
+        producer.join();
+    });
+    assert!(stats.executions > 1);
+}
+
+#[test]
+fn spurious_wakeup_injected() {
+    // A wait that does NOT re-check its predicate is broken under spurious
+    // wake-ups; the model injects one and catches the assertion.
+    expect_caught(
+        Model {
+            spurious_budget: 1,
+            ..Model::new()
+        },
+        || {
+            let s = Arc::new(FlagAndCv {
+                flag: AtomicBool::new(false),
+                m: Mutex::new("self.spur", ()),
+                cv: Condvar::new(),
+            });
+            let producer = {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    let _g = s.m.lock();
+                    s.flag.store(true, Ordering::SeqCst);
+                    s.cv.notify_one();
+                })
+            };
+            let g = s.m.lock();
+            if !s.flag.load(Ordering::SeqCst) {
+                let g = s.cv.wait(g);
+                // BUG: single un-looped wait.
+                assert!(s.flag.load(Ordering::SeqCst), "woke without predicate");
+                drop(g);
+            } else {
+                drop(g);
+            }
+            producer.join();
+        },
+        "woke without predicate",
+    );
+}
+
+#[test]
+fn spurious_tolerant_loop_passes() {
+    // The canonical while-loop wait survives injected spurious wake-ups.
+    let stats = Model {
+        spurious_budget: 2,
+        ..Model::new()
+    }
+    .check(|| {
+        let s = Arc::new(FlagAndCv {
+            flag: AtomicBool::new(false),
+            m: Mutex::new("self.spur2", ()),
+            cv: Condvar::new(),
+        });
+        let producer = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || {
+                let _g = s.m.lock();
+                s.flag.store(true, Ordering::SeqCst);
+                s.cv.notify_one();
+            })
+        };
+        let mut g = s.m.lock();
+        while !s.flag.load(Ordering::SeqCst) {
+            g = s.cv.wait(g);
+        }
+        drop(g);
+        producer.join();
+    });
+    assert!(stats.executions > 1);
+}
+
+#[test]
+fn state_hash_prunes() {
+    // Three independent incrementers explode combinatorially; state hashing
+    // must collapse equivalent orders.
+    let stats = Model::new().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    });
+    assert!(stats.pruned > 0, "expected state-hash pruning to trigger");
+}

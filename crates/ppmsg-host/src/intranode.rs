@@ -13,7 +13,7 @@
 //! [`HostCluster::add_endpoint_sharded`].
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use ppmsg_check::sync::Mutex;
 use ppmsg_core::sharded::{EngineBatch, ShardedEngine};
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
@@ -115,7 +115,7 @@ impl HostCluster {
     pub fn new(node: u32, protocol: ProtocolConfig) -> Self {
         HostCluster {
             fabric: Arc::new(Fabric {
-                members: Mutex::new(HashMap::new()),
+                members: Mutex::new("host.fabric.members", HashMap::new()),
             }),
             node,
             protocol,

@@ -37,7 +37,7 @@
 //! suite all run unchanged over it.
 
 use bytes::{Bytes, BytesMut};
-use parking_lot::Mutex;
+use ppmsg_check::sync::Mutex;
 use ppmsg_core::reliability::Frame;
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
@@ -197,6 +197,10 @@ mod sys {
         if fds.is_empty() {
             return 0;
         }
+        // SAFETY: `fds` is a live, exclusively borrowed slice of PollFd,
+        // which is repr(C) and layout-compatible with the kernel's
+        // `struct pollfd`; the pointer/length pair describes exactly that
+        // allocation and `poll` writes only to the `revents` fields.
         unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) }
     }
 
@@ -211,8 +215,14 @@ mod sys {
         metas: &mut Vec<(usize, Option<SocketAddr>)>,
     ) -> bool {
         metas.clear();
+        // SAFETY: SockAddrIn, IoVec, and MMsgHdr are repr(C) structs of
+        // integers and raw pointers; the all-zeroes bit pattern is a valid
+        // (if null) value for every field, and each entry is fully
+        // initialized below before the kernel reads it.
         let mut names: [SockAddrIn; RECV_BATCH] = unsafe { std::mem::zeroed() };
+        // SAFETY: as above — plain-old-data arrays, zero is a valid value.
         let mut iovs: [IoVec; RECV_BATCH] = unsafe { std::mem::zeroed() };
+        // SAFETY: as above — plain-old-data arrays, zero is a valid value.
         let mut hdrs: [MMsgHdr; RECV_BATCH] = unsafe { std::mem::zeroed() };
         for (((hdr, iov), name), buf) in hdrs
             .iter_mut()
@@ -237,6 +247,11 @@ mod sys {
         // The socket is nonblocking, so a `-1` here is almost always
         // EAGAIN ("nothing to read") and is treated as an empty batch
         // either way — the loop re-polls and retransmission covers loss.
+        //
+        // SAFETY: `hdrs` holds RECV_BATCH fully initialized MMsgHdr
+        // entries whose iov/name pointers reference `bufs`/`names`, both
+        // alive and unaliased for the duration of the call; the fd is a
+        // valid open socket borrowed from `socket`.
         let n = unsafe {
             recvmmsg(
                 socket.as_raw_fd(),
@@ -275,8 +290,13 @@ mod sys {
                 end += 1;
             }
             let run = &frames[i..end];
+            // SAFETY: plain-old-data repr(C) arrays (integers and raw
+            // pointers); all-zeroes is a valid value for every field, and
+            // the first `run.len()` entries are initialized below.
             let mut names: [SockAddrIn; SEND_BATCH] = unsafe { std::mem::zeroed() };
+            // SAFETY: as above — plain-old-data arrays, zero is valid.
             let mut iovs: [IoVec; SEND_BATCH] = unsafe { std::mem::zeroed() };
+            // SAFETY: as above — plain-old-data arrays, zero is valid.
             let mut hdrs: [MMsgHdr; SEND_BATCH] = unsafe { std::mem::zeroed() };
             for (k, (buf, addr)) in run.iter().enumerate() {
                 let SocketAddr::V4(v4) = addr else {
@@ -297,6 +317,11 @@ mod sys {
                     flags: 0,
                 };
             }
+            // SAFETY: the first `run.len()` hdrs entries are fully
+            // initialized and their name/iov pointers reference `names`,
+            // `iovs`, and the frame buffers in `run`, all alive across the
+            // call; the fd is a valid open socket and the kernel only
+            // reads the payloads.
             let sent =
                 unsafe { sendmmsg(socket.as_raw_fd(), hdrs.as_mut_ptr(), run.len() as u32, 0) };
             if sent <= 0 {
@@ -722,9 +747,9 @@ impl Reactor {
     /// [`Reactor::add_endpoint`].
     pub fn new() -> std::io::Result<Reactor> {
         let shared = Arc::new(ReactorShared {
-            endpoints: Mutex::new(Vec::new()),
+            endpoints: Mutex::new("host.reactor.endpoints", Vec::new()),
             epoch: AtomicU64::new(0),
-            wheel: Mutex::new(TimerWheel::new(Instant::now())),
+            wheel: Mutex::new("host.reactor.wheel", TimerWheel::new(Instant::now())),
             shutdown: AtomicBool::new(false),
         });
         let worker = shared.clone();
@@ -767,11 +792,11 @@ impl Reactor {
         let reactor = Arc::downgrade(&self.shared);
         let ep = Arc::new_cyclic(|this| EpShared {
             id,
-            engine: Mutex::new(Endpoint::new(id, protocol)),
+            engine: Mutex::new("host.reactor.engine", Endpoint::new(id, protocol)),
             socket,
-            peers: Mutex::new(PeerTable::default()),
+            peers: Mutex::new("host.reactor.peers", PeerTable::default()),
             done: CompletionMailbox::with_queue(1, done),
-            codec: Mutex::new(PacketBufPool::new()),
+            codec: Mutex::new("host.reactor.codec", PacketBufPool::new()),
             reactor,
             this: this.clone(),
         });

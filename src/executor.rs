@@ -61,33 +61,172 @@
 //! assert_eq!(delivered.load(Ordering::Relaxed), 4);
 //! ```
 
+use ppmsg_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use ppmsg_check::sync::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::JoinHandle;
 
-/// Locks a mutex, continuing through poisoning: a panicked task must not
-/// wedge every other worker (queues hold only `Arc`s and are valid after an
-/// unwind at any point).
-fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+pub use task_state::{TaskState, WakeAction};
 
-// Task lifecycle states (see module docs).
-const IDLE: u8 = 0;
-const SCHEDULED: u8 = 1;
-const RUNNING: u8 = 2;
-const NOTIFIED: u8 = 3;
-const COMPLETE: u8 = 4;
+/// The task scheduling state machine, extracted from the pool's `TaskCell` so the
+/// bounded model checker (`ppmsg-check`) can drive it through instrumented
+/// atomics without spinning up OS worker threads.  Public but hidden: it is
+/// an implementation detail exposed only for the model harnesses.
+#[doc(hidden)]
+pub mod task_state {
+    use ppmsg_check::sync::atomic::{AtomicU8, Ordering};
+
+    // Task lifecycle states (see the executor module docs).
+    const IDLE: u8 = 0;
+    const SCHEDULED: u8 = 1;
+    const RUNNING: u8 = 2;
+    const NOTIFIED: u8 = 3;
+    const COMPLETE: u8 = 4;
+
+    /// Sabotage knobs for the model-checker teeth tests: each weakens the
+    /// state machine in a way the checker must catch.  Plain `std` atomics
+    /// on purpose — reading a knob must not be a model yield point.
+    #[cfg(ppmsg_check)]
+    pub mod sabotage {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Drop a wake that lands mid-poll instead of recording `Notified`
+        /// — the canonical lost-wakeup bug.
+        pub static DROP_NOTIFIED: AtomicBool = AtomicBool::new(false);
+        /// Replace the `IDLE -> SCHEDULED` compare-exchange with a racy
+        /// load-then-store, letting two wakers both claim the enqueue.
+        pub static WAKE_NOT_ATOMIC: AtomicBool = AtomicBool::new(false);
+
+        pub(super) fn drop_notified() -> bool {
+            DROP_NOTIFIED.load(Ordering::Relaxed)
+        }
+        pub(super) fn wake_not_atomic() -> bool {
+            WAKE_NOT_ATOMIC.load(Ordering::Relaxed)
+        }
+
+        /// Restore the honest state machine (call between harness runs).
+        pub fn reset() {
+            DROP_NOTIFIED.store(false, Ordering::Relaxed);
+            WAKE_NOT_ATOMIC.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// What the caller of [`TaskState::wake`] must do.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum WakeAction {
+        /// This wake won the `IDLE -> SCHEDULED` transition: enqueue the
+        /// task exactly once.
+        Enqueue,
+        /// The wake was absorbed (already queued, mid-poll, or complete).
+        None,
+    }
+
+    /// The atomic scheduling state that makes task wakes idempotent: any
+    /// number of concurrent wakes produce at most one enqueue, and a wake
+    /// racing a poll is never lost (the poller re-enqueues via `Notified`).
+    #[derive(Debug)]
+    pub struct TaskState {
+        state: AtomicU8,
+    }
+
+    impl TaskState {
+        /// A freshly spawned task: already queued by its spawner.
+        pub fn new_scheduled() -> TaskState {
+            TaskState {
+                state: AtomicU8::new(SCHEDULED),
+            }
+        }
+
+        /// A wake: claims the enqueue unless the task is already queued,
+        /// finished, or mid-poll (then the poller reschedules it itself
+        /// via `Notified`).
+        pub fn wake(&self) -> WakeAction {
+            loop {
+                #[cfg(ppmsg_check)]
+                if sabotage::wake_not_atomic() {
+                    // BUG (sabotage): load-then-store lets two wakers both
+                    // observe IDLE and both claim the enqueue.
+                    if self.state.load(Ordering::SeqCst) == IDLE {
+                        self.state.store(SCHEDULED, Ordering::SeqCst);
+                        return WakeAction::Enqueue;
+                    }
+                }
+                match self.state.compare_exchange(
+                    IDLE,
+                    SCHEDULED,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => return WakeAction::Enqueue,
+                    Err(RUNNING) => {
+                        #[cfg(ppmsg_check)]
+                        if sabotage::drop_notified() {
+                            // BUG (sabotage): a wake racing the poll is
+                            // silently dropped — the classic lost wakeup.
+                            return WakeAction::None;
+                        }
+                        if self
+                            .state
+                            .compare_exchange(RUNNING, NOTIFIED, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            return WakeAction::None;
+                        }
+                        // Lost a race with the poller settling the state;
+                        // retry from the top.
+                    }
+                    // Already queued, already notified, or already
+                    // finished: this wake has nothing to add.
+                    Err(_) => return WakeAction::None,
+                }
+            }
+        }
+
+        /// The worker dequeued this task and is about to poll it.
+        pub fn begin_poll(&self) {
+            self.state.store(RUNNING, Ordering::SeqCst);
+        }
+
+        /// The poll returned `Pending`.  Returns `true` when a wake raced
+        /// the poll (`Notified`) and the caller must re-enqueue now.
+        pub fn finish_poll_pending(&self) -> bool {
+            if self
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                self.state.store(SCHEDULED, Ordering::SeqCst);
+                return true;
+            }
+            false
+        }
+
+        /// The poll returned `Ready`: the task is done, later wakes no-op.
+        pub fn finish_poll_complete(&self) {
+            self.state.store(COMPLETE, Ordering::SeqCst);
+        }
+
+        /// Retires the task without polling (pool gone, queue dropped).
+        pub fn force_complete(&self) {
+            self.state.store(COMPLETE, Ordering::SeqCst);
+        }
+
+        /// Whether the task has finished.
+        pub fn is_complete(&self) -> bool {
+            self.state.load(Ordering::SeqCst) == COMPLETE
+        }
+    }
+}
 
 /// One spawned task: its future and the atomic scheduling state that makes
 /// wakes idempotent.  The waker for the task is the cell itself.
 struct TaskCell {
-    state: AtomicU8,
+    state: TaskState,
     /// `None` once the task completed (the future is dropped eagerly, not
     /// kept until the last waker dies).  The mutex is uncontended by
     /// construction — the state machine admits one poller at a time — and
@@ -100,35 +239,17 @@ impl TaskCell {
     /// A wake: schedules the task unless it is already queued, finished, or
     /// mid-poll (then the poller reschedules it itself via `Notified`).
     fn schedule(self: &Arc<Self>) {
-        loop {
-            match self
-                .state
-                .compare_exchange(IDLE, SCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(_) => {
-                    if let Some(pool) = self.pool.upgrade() {
-                        pool.enqueue(self.clone());
-                    } else {
-                        // The pool is gone: the task can never run again.
-                        self.state.store(COMPLETE, Ordering::SeqCst);
-                        *relock(&self.future) = None;
-                    }
-                    return;
+        match self.state.wake() {
+            WakeAction::Enqueue => {
+                if let Some(pool) = self.pool.upgrade() {
+                    pool.enqueue(self.clone());
+                } else {
+                    // The pool is gone: the task can never run again.
+                    self.state.force_complete();
+                    *self.future.lock() = None;
                 }
-                Err(RUNNING) => {
-                    if self
-                        .state
-                        .compare_exchange(RUNNING, NOTIFIED, Ordering::SeqCst, Ordering::SeqCst)
-                        .is_ok()
-                    {
-                        return;
-                    }
-                    // Lost a race with the poller settling the state; retry.
-                }
-                // Already queued, already notified, or already finished:
-                // this wake has nothing to add.
-                Err(_) => return,
             }
+            WakeAction::None => {}
         }
     }
 }
@@ -184,14 +305,14 @@ impl PoolShared {
             _ => None,
         });
         match slot {
-            Some(worker) => relock(&self.locals[worker]).push_back(task),
-            None => relock(&self.injector).push_back(task),
+            Some(worker) => self.locals[worker].lock().push_back(task),
+            None => self.injector.lock().push_back(task),
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Notify under the park lock so a worker between its `pending`
             // re-check and its condvar wait cannot miss this signal.
-            let _guard = relock(&self.park_lock);
+            let _guard = self.park_lock.lock();
             self.park_cv.notify_one();
         }
     }
@@ -199,11 +320,11 @@ impl PoolShared {
     /// Dequeues the next task for `worker`: own queue, then the injector,
     /// then half of the first non-empty sibling queue.
     fn find_work(&self, worker: usize) -> Option<Arc<TaskCell>> {
-        if let Some(task) = relock(&self.locals[worker]).pop_front() {
+        if let Some(task) = self.locals[worker].lock().pop_front() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(task);
         }
-        if let Some(task) = relock(&self.injector).pop_front() {
+        if let Some(task) = self.injector.lock().pop_front() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(task);
         }
@@ -211,7 +332,7 @@ impl PoolShared {
         for offset in 1..n {
             let victim = (worker + offset) % n;
             let mut stolen = {
-                let mut queue = relock(&self.locals[victim]);
+                let mut queue = self.locals[victim].lock();
                 let len = queue.len();
                 if len == 0 {
                     continue;
@@ -223,7 +344,7 @@ impl PoolShared {
             let task = stolen.pop_front().expect("stole at least one task");
             self.pending.fetch_sub(1, Ordering::SeqCst);
             if !stolen.is_empty() {
-                relock(&self.locals[worker]).append(&mut stolen);
+                self.locals[worker].lock().append(&mut stolen);
             }
             return Some(task);
         }
@@ -232,7 +353,7 @@ impl PoolShared {
 
     fn retire_task(&self) {
         if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _guard = relock(&self.idle_lock);
+            let _guard = self.idle_lock.lock();
             self.idle_cv.notify_all();
         }
     }
@@ -240,31 +361,26 @@ impl PoolShared {
     /// Polls one dequeued task.  On `Pending`, settles the state machine: a
     /// wake that raced the poll (`Notified`) re-enqueues immediately.
     fn run_task(self: &Arc<Self>, task: Arc<TaskCell>) {
-        task.state.store(RUNNING, Ordering::SeqCst);
+        task.state.begin_poll();
         let waker = Waker::from(task.clone());
         let mut cx = Context::from_waker(&waker);
-        let mut future = relock(&task.future);
+        let mut future = task.future.lock();
         let Some(fut) = future.as_mut() else {
             // Unreachable by construction; tolerate it rather than poison.
-            task.state.store(COMPLETE, Ordering::SeqCst);
+            task.state.force_complete();
             return;
         };
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 *future = None;
                 drop(future);
-                task.state.store(COMPLETE, Ordering::SeqCst);
+                task.state.finish_poll_complete();
                 self.retire_task();
             }
             Poll::Pending => {
                 drop(future);
-                if task
-                    .state
-                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_err()
-                {
+                if task.state.finish_poll_pending() {
                     // A wake arrived mid-poll (`Notified`): requeue now.
-                    task.state.store(SCHEDULED, Ordering::SeqCst);
                     self.enqueue(task);
                 }
             }
@@ -283,13 +399,10 @@ impl PoolShared {
             }
             // Two-flag handshake with `enqueue` (see `pending`): register as
             // a sleeper first, then re-check for work before waiting.
-            let guard = relock(&self.park_lock);
+            let guard = self.park_lock.lock();
             self.sleepers.fetch_add(1, Ordering::SeqCst);
             if self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst) {
-                let _unused = self
-                    .park_cv
-                    .wait(guard)
-                    .unwrap_or_else(PoisonError::into_inner);
+                let _unused = self.park_cv.wait(guard);
             }
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
@@ -311,17 +424,17 @@ impl Pool {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             locals: (0..workers)
-                .map(|_| Mutex::new(VecDeque::new()))
+                .map(|_| Mutex::new("pool.local", VecDeque::new()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
-            injector: Mutex::new(VecDeque::new()),
+            injector: Mutex::new("pool.injector", VecDeque::new()),
             pending: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            park_lock: Mutex::new(()),
+            park_lock: Mutex::new("pool.park", ()),
             park_cv: Condvar::new(),
-            idle_lock: Mutex::new(()),
+            idle_lock: Mutex::new("pool.idle", ()),
             idle_cv: Condvar::new(),
         });
         let handles = (0..workers)
@@ -356,8 +469,8 @@ impl Pool {
     /// one after every suspension.
     pub fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
         let task = Arc::new(TaskCell {
-            state: AtomicU8::new(SCHEDULED),
-            future: Mutex::new(Some(Box::pin(future))),
+            state: TaskState::new_scheduled(),
+            future: Mutex::new("pool.task", Some(Box::pin(future))),
             pool: Arc::downgrade(&self.shared),
         });
         self.shared.live.fetch_add(1, Ordering::SeqCst);
@@ -367,13 +480,9 @@ impl Pool {
     /// Blocks until every spawned task has completed — including tasks idle
     /// in an `await`, which finish when their backend wakes them.
     pub fn wait_idle(&self) {
-        let mut guard = relock(&self.shared.idle_lock);
+        let mut guard = self.shared.idle_lock.lock();
         while self.shared.live.load(Ordering::SeqCst) > 0 {
-            guard = self
-                .shared
-                .idle_cv
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
+            guard = self.shared.idle_cv.wait(guard);
         }
     }
 }
@@ -385,7 +494,7 @@ impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let _guard = relock(&self.shared.park_lock);
+            let _guard = self.shared.park_lock.lock();
             self.shared.park_cv.notify_all();
         }
         for handle in self.workers.drain(..) {
@@ -394,9 +503,9 @@ impl Drop for Pool {
         // Drop abandoned futures deterministically (a suspended task's
         // waker may otherwise keep its cell alive past the pool).
         for queue in self.shared.locals.iter() {
-            relock(queue).clear();
+            queue.lock().clear();
         }
-        relock(&self.shared.injector).clear();
+        self.shared.injector.lock().clear();
     }
 }
 
@@ -494,7 +603,7 @@ mod tests {
     #[test]
     fn wake_after_completion_is_a_no_op() {
         let pool = Pool::new(1);
-        let stash: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        let stash: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new("test.stash", None));
         struct Stash {
             stash: Arc<Mutex<Option<Waker>>>,
             polled: bool,
@@ -502,7 +611,7 @@ mod tests {
         impl Future for Stash {
             type Output = ();
             fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-                *self.stash.lock().unwrap() = Some(cx.waker().clone());
+                *self.stash.lock() = Some(cx.waker().clone());
                 if self.polled {
                     return Poll::Ready(());
                 }
@@ -517,7 +626,7 @@ mod tests {
         });
         pool.wait_idle();
         // The task completed; its stashed waker must be inert.
-        stash.lock().unwrap().take().unwrap().wake();
+        stash.lock().take().unwrap().wake();
         pool.wait_idle();
         assert_eq!(pool.live(), 0);
     }

@@ -20,10 +20,11 @@
 //! (1 ms) late, which is noise against the retransmission-scale timeouts
 //! this layer exists for.
 
+use ppmsg_check::sync::{Condvar, Mutex};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
@@ -32,10 +33,6 @@ const TICK_US: u64 = 1_000;
 /// Wheel slot count; deadlines further out than `WHEEL_SLOTS` ticks survive
 /// extra cursor revolutions in their slot, as in the reactor wheel.
 const WHEEL_SLOTS: usize = 256;
-
-fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// One wheel entry: the absolute tick it fires at and the generation-checked
 /// timer slot it resolves.
@@ -183,7 +180,7 @@ fn driver() -> &'static Arc<TimerShared> {
     static DRIVER: OnceLock<Arc<TimerShared>> = OnceLock::new();
     DRIVER.get_or_init(|| {
         let shared = Arc::new(TimerShared {
-            inner: Mutex::new(TimerInner::new(Instant::now())),
+            inner: Mutex::new("timer.driver", TimerInner::new(Instant::now())),
             cv: Condvar::new(),
         });
         let thread_shared = shared.clone();
@@ -197,7 +194,7 @@ fn driver() -> &'static Arc<TimerShared> {
 
 fn driver_loop(shared: Arc<TimerShared>) {
     let mut woken: Vec<Waker> = Vec::new();
-    let mut inner = relock(&shared.inner);
+    let mut inner = shared.inner.lock();
     loop {
         let now = Instant::now();
         inner.advance(now, &mut woken);
@@ -208,17 +205,14 @@ fn driver_loop(shared: Arc<TimerShared>) {
             for waker in woken.drain(..) {
                 waker.wake();
             }
-            inner = relock(&shared.inner);
+            inner = shared.inner.lock();
             continue;
         }
         match inner.nearest_tick() {
             Some(tick) => {
                 let deadline = inner.instant_of(tick);
                 let timeout = deadline.saturating_duration_since(Instant::now());
-                let (guard, _timed_out) = shared
-                    .cv
-                    .wait_timeout(inner, timeout)
-                    .unwrap_or_else(PoisonError::into_inner);
+                let (guard, _timed_out) = shared.cv.wait_timeout(inner, timeout);
                 inner = guard;
             }
             None => {
@@ -226,10 +220,7 @@ fn driver_loop(shared: Arc<TimerShared>) {
                 // catch-up, then park until the next registration.
                 inner.start = now;
                 inner.next_tick = 0;
-                inner = shared
-                    .cv
-                    .wait(inner)
-                    .unwrap_or_else(PoisonError::into_inner);
+                inner = shared.cv.wait(inner);
             }
         }
     }
@@ -263,7 +254,7 @@ pub struct Sleep {
 pub fn sleep(duration: Duration) -> Sleep {
     let shared = driver();
     let deadline = Instant::now() + duration;
-    let (slot, _generation) = relock(&shared.inner).register(deadline);
+    let (slot, _generation) = shared.inner.lock().register(deadline);
     shared.cv.notify_one();
     Sleep {
         shared,
@@ -279,7 +270,7 @@ impl Future for Sleep {
         if self.done {
             return Poll::Ready(());
         }
-        let mut inner = relock(&self.shared.inner);
+        let mut inner = self.shared.inner.lock();
         match &mut inner.table[self.slot].state {
             SlotState::Elapsed => {
                 inner.retire(self.slot);
@@ -300,7 +291,7 @@ impl Drop for Sleep {
         if self.done {
             return;
         }
-        let mut inner = relock(&self.shared.inner);
+        let mut inner = self.shared.inner.lock();
         if let SlotState::Waiting(_) = inner.table[self.slot].state {
             inner.live -= 1;
         }

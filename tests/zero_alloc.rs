@@ -53,6 +53,9 @@ fn count_alloc() {
     }
 }
 
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counting side effect touches no allocator
+// state and itself performs no allocation.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_alloc();
