@@ -33,6 +33,7 @@ use crate::index::{Slab, U64Index};
 use crate::ops::{Completion, OpTable, RecvBuf, RecvOp, TruncationPolicy};
 use crate::queues::{Assembly, BufferQueue, PushedBuffer, ReceiveQueue, SendQueue};
 use crate::reliability::{ArqChannel, Frame, GbnEvent};
+use crate::telemetry::{self, frame_kind, EventKind, OP_SEND_BIT};
 use crate::types::{MessageId, ProcessId, Tag, TimerId};
 use crate::wire::Packet;
 use bytes::Bytes;
@@ -250,6 +251,13 @@ pub struct EndpointStats {
     /// retransmission that crossed an in-flight ack, or a network duplicate.
     /// Summed across this endpoint's ARQ channels.
     pub duplicate_frames: u64,
+    /// Retransmissions triggered by an RTO expiry, summed across this
+    /// endpoint's ARQ channels (a subset of `retransmits`).
+    pub rto_retransmits: u64,
+    /// Retransmissions triggered by duplicate-SACK fast recovery, summed
+    /// across this endpoint's ARQ channels (a subset of `retransmits`;
+    /// always 0 under go-back-N).
+    pub fast_retransmits: u64,
     /// Heap-allocation events attributable to the engine's data structures:
     /// arena growth, index rehashes, assembly/scratch pool misses, and
     /// action-queue growth.  After warm-up, a steady-state send/receive loop
@@ -297,6 +305,8 @@ impl EndpointStats {
             retransmits,
             acks_received,
             duplicate_frames,
+            rto_retransmits,
+            fast_retransmits,
             steady_allocs,
             completions_evicted,
         } = other;
@@ -324,6 +334,8 @@ impl EndpointStats {
         self.retransmits += retransmits;
         self.acks_received += acks_received;
         self.duplicate_frames += duplicate_frames;
+        self.rto_retransmits += rto_retransmits;
+        self.fast_retransmits += fast_retransmits;
         self.steady_allocs += steady_allocs;
         self.completions_evicted += completions_evicted;
     }
@@ -417,6 +429,15 @@ pub(crate) struct RecvRec {
     /// copy on the match path; kept here for diagnostics.
     #[allow(dead_code)]
     pub(crate) policy: TruncationPolicy,
+}
+
+/// Trace arguments for a frame event: `(sequence-or-ack-point, frame kind)`.
+fn frame_trace_args(frame: &Frame) -> (u32, u32) {
+    match frame {
+        Frame::Data { seq, .. } => (*seq as u32, frame_kind::DATA),
+        Frame::Ack { next_expected } => (*next_expected as u32, frame_kind::ACK),
+        Frame::Sack { next_expected, .. } => (*next_expected as u32, frame_kind::SACK),
+    }
 }
 
 /// The per-process Push-Pull Messaging protocol engine.
@@ -544,6 +565,8 @@ impl Endpoint {
             stats.retransmits += c.retransmissions;
             stats.acks_received += c.acks_received;
             stats.duplicate_frames += c.duplicates;
+            stats.rto_retransmits += c.rto_retransmits;
+            stats.fast_retransmits += c.fast_retransmits;
         }
         stats
     }
@@ -633,6 +656,12 @@ impl Endpoint {
     /// [`Action::SetTimer`].
     pub fn handle_timer(&mut self, timer: TimerId) {
         let peer = timer.peer;
+        telemetry::event(
+            EventKind::TimerFire,
+            timer.generation as u32,
+            0,
+            peer.as_u64(),
+        );
         let mut events = self.take_scratch();
         if let Some(slot) = self.peer_index.get(peer.as_u64()) {
             if let Some(channel) = self.peers[slot as usize].channel.as_mut() {
@@ -651,6 +680,8 @@ impl Endpoint {
     /// kernel drops packets it has nowhere to put, so the sender's go-back-N
     /// logic retransmits it later.
     pub fn handle_frame(&mut self, src: ProcessId, frame: Frame) {
+        let (seq_arg, kind_arg) = frame_trace_args(&frame);
+        telemetry::event(EventKind::FrameRx, seq_arg, kind_arg, src.as_u64());
         if let Frame::Data { packet, .. } = &frame {
             if self.would_overflow(src, packet) {
                 let bytes = packet.payload.len();
@@ -690,6 +721,16 @@ impl Endpoint {
     }
 
     pub(crate) fn push_completion(&mut self, completion: Completion) {
+        let (slot, send_bit) = match completion.op {
+            crate::ops::OpId::Send(op) => (op.slot(), OP_SEND_BIT),
+            crate::ops::OpId::Recv(op) => (op.slot(), 0),
+        };
+        telemetry::event(
+            EventKind::OpCompleted,
+            slot | send_bit,
+            (completion.status != crate::ops::Status::Ok) as u32,
+            completion.len as u64,
+        );
         if self.completions.len() == self.completions.capacity() {
             self.alloc_events += 1;
         }
@@ -853,23 +894,41 @@ impl Endpoint {
     ) {
         for event in events.drain(..) {
             match event {
-                GbnEvent::Transmit(frame) => self.push_action(Action::TransmitFrame {
-                    dst: peer,
-                    frame,
-                    inject,
-                }),
+                GbnEvent::Transmit(frame) => {
+                    let (seq_arg, kind_arg) = frame_trace_args(&frame);
+                    telemetry::event(EventKind::FrameTx, seq_arg, kind_arg, peer.as_u64());
+                    self.push_action(Action::TransmitFrame {
+                        dst: peer,
+                        frame,
+                        inject,
+                    })
+                }
                 GbnEvent::Deliver(packet) => self.process_packet(peer, packet),
                 GbnEvent::SetTimer {
                     generation,
                     delay_us,
-                } => self.push_action(Action::SetTimer {
-                    timer: TimerId { peer, generation },
-                    delay_us,
-                }),
+                } => {
+                    telemetry::event(
+                        EventKind::TimerArm,
+                        generation as u32,
+                        delay_us as u32,
+                        peer.as_u64(),
+                    );
+                    self.push_action(Action::SetTimer {
+                        timer: TimerId { peer, generation },
+                        delay_us,
+                    })
+                }
                 GbnEvent::CancelTimer { generation } => self.push_action(Action::CancelTimer {
                     timer: TimerId { peer, generation },
                 }),
                 GbnEvent::ChannelFailed => {
+                    telemetry::event(
+                        EventKind::ChannelFail,
+                        self.config.gbn.max_retries,
+                        0,
+                        peer.as_u64(),
+                    );
                     self.push_action(Action::ChannelFailed { peer });
                     self.fail_peer(peer);
                 }

@@ -92,6 +92,12 @@ impl Endpoint {
         });
         let op = RecvOp::from_raw(op_slot, op_generation);
         self.stats.recvs_posted += 1;
+        crate::telemetry::event(
+            crate::telemetry::EventKind::OpPosted,
+            op_slot,
+            tag.0,
+            capacity as u64,
+        );
         let opts = self.config().opts;
 
         // Without translation masking, the destination buffer's zero buffer
@@ -213,6 +219,12 @@ impl Endpoint {
             incoming.matched = Some(op);
             (incoming.msg_id, incoming.total_len)
         };
+        crate::telemetry::event(
+            crate::telemetry::EventKind::OpMatched,
+            op.slot(),
+            0,
+            total as u64,
+        );
 
         // Caller-buffered receive: reassemble into the application's storage
         // from here on, first draining whatever was staged so far.

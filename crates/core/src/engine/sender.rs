@@ -78,6 +78,12 @@ impl Endpoint {
         let total_len = segments.iter().map(Bytes::len).sum();
         let split = BtpSplit::plan(mode, policy, opts, total_len);
         self.stats.sends_posted += 1;
+        crate::telemetry::event(
+            crate::telemetry::EventKind::OpPosted,
+            op_slot | crate::telemetry::OP_SEND_BIT,
+            tag.0,
+            total_len as u64,
+        );
 
         // §4.3 Address Translation Overhead Masking decides *when* the source
         // buffer's zero buffer is built relative to the first transmission.

@@ -93,6 +93,7 @@ pub mod ops;
 pub mod queues;
 pub mod reliability;
 pub mod sharded;
+pub mod telemetry;
 pub mod transport;
 pub mod types;
 pub mod wire;
@@ -112,6 +113,7 @@ pub use reliability::{
     ArqChannel, GbnConfig, GbnEvent, GbnStats, GoBackN, ReliabilityMode, SelectiveRepeat,
 };
 pub use sharded::{EngineBatch, ShardedEngine};
+pub use telemetry::{Counter, EventKind, HistogramSnapshot, LogHistogram, TraceSnapshot};
 pub use transport::RawTransport;
 pub use types::{
     MessageId, NodeId, ProcessId, Tag, TimerId, ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BIT,

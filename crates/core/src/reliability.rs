@@ -21,6 +21,7 @@
 // ppmsg-lint: deny(hot_path_alloc) — steady-state engine path; pooled buffers only.
 
 use crate::error::{Error, Result};
+use crate::telemetry::{self, EventKind};
 use crate::wire::{Packet, MAX_HEADER_LEN};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,13 @@ pub struct GbnStats {
     /// A subset of `discarded` for go-back-N; counted separately for
     /// selective repeat, where out-of-order is buffered rather than dropped.
     pub duplicates: u64,
+    /// Retransmissions triggered by an RTO expiry (a subset of
+    /// `retransmissions`).
+    pub rto_retransmits: u64,
+    /// Retransmissions triggered by duplicate-SACK fast recovery (a subset
+    /// of `retransmissions`; always 0 for go-back-N, which has no SACK
+    /// hole detection).
+    pub fast_retransmits: u64,
 }
 
 /// Maximum number of 64-bit words in a [`Frame::Sack`] bitmap.
@@ -376,6 +384,9 @@ impl GoBackN {
     /// ignored.
     pub fn on_timeout(&mut self, generation: u64, out: &mut Vec<GbnEvent>) {
         if !self.timer_armed || generation != self.timer_generation || self.failed {
+            if !self.failed {
+                telemetry::event(EventKind::TimerStale, generation as u32, 0, 0);
+            }
             return;
         }
         if self.in_flight.is_empty() {
@@ -393,6 +404,8 @@ impl GoBackN {
         for (seq, packet) in self.in_flight.iter() {
             self.stats.frames_sent += 1;
             self.stats.retransmissions += 1;
+            self.stats.rto_retransmits += 1;
+            telemetry::event(EventKind::FrameRetransmit, *seq as u32, 0, 0);
             out.push(GbnEvent::Transmit(Frame::Data {
                 seq: *seq,
                 packet: packet.clone(),
@@ -739,6 +752,7 @@ impl SelectiveRepeat {
         // miss per SACK; at the threshold it is resent once and the count
         // restarts (mirrors TCP dup-ack recovery).
         if let Some(max_sacked) = max_sacked {
+            let mut first_hole: Option<u64> = None;
             let mut resend: Vec<u64> = Vec::new();
             for slot in self.in_flight.iter_mut() {
                 if slot.seq >= max_sacked {
@@ -747,6 +761,7 @@ impl SelectiveRepeat {
                 if slot.acked || slot.fast_retx {
                     continue;
                 }
+                first_hole.get_or_insert(slot.seq);
                 slot.misses += 1;
                 if slot.misses >= DUP_SACK_THRESHOLD {
                     slot.misses = 0;
@@ -754,12 +769,18 @@ impl SelectiveRepeat {
                     resend.push(slot.seq);
                 }
             }
+            if let Some(hole) = first_hole {
+                let sacked_beyond: u32 = bitmap.iter().map(|w| w.count_ones()).sum();
+                telemetry::event(EventKind::SackHole, hole as u32, sacked_beyond, 0);
+            }
             if !resend.is_empty() {
                 let front_seq = self.in_flight.front().map(|s| s.seq).unwrap_or(0);
                 for seq in resend {
                     let slot = &self.in_flight[(seq - front_seq) as usize];
                     self.stats.frames_sent += 1;
                     self.stats.retransmissions += 1;
+                    self.stats.fast_retransmits += 1;
+                    telemetry::event(EventKind::FrameRetransmit, slot.seq as u32, 1, 0);
                     out.push(GbnEvent::Transmit(Frame::Data {
                         seq: slot.seq,
                         packet: slot.packet.clone(),
@@ -778,6 +799,9 @@ impl SelectiveRepeat {
     /// is resent; everything the receiver already holds stays put.
     pub fn on_timeout(&mut self, generation: u64, out: &mut Vec<GbnEvent>) {
         if !self.timer_armed || generation != self.timer_generation || self.failed {
+            if !self.failed {
+                telemetry::event(EventKind::TimerStale, generation as u32, 0, 0);
+            }
             return;
         }
         if self.in_flight.is_empty() {
@@ -799,6 +823,8 @@ impl SelectiveRepeat {
         slot.misses = 0;
         self.stats.frames_sent += 1;
         self.stats.retransmissions += 1;
+        self.stats.rto_retransmits += 1;
+        telemetry::event(EventKind::FrameRetransmit, slot.seq as u32, 0, 0);
         out.push(GbnEvent::Transmit(Frame::Data {
             seq: slot.seq,
             packet: slot.packet.clone(),

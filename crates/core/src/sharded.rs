@@ -43,12 +43,28 @@ use crate::error::{Error, Result};
 use crate::index::U64Index;
 use crate::ops::{Completion, OpId, RecvBuf, RecvOp, SendOp, TruncationPolicy};
 use crate::reliability::Frame;
+use crate::telemetry::{self, lock_ctx, Counter, EventKind, HistogramSnapshot, LogHistogram};
 use crate::types::{ProcessId, Tag, TimerId, ANY_SOURCE};
 use crate::wire::Packet;
 use crate::ProtocolConfig;
 use bytes::Bytes;
 use ppmsg_check::sync::Mutex;
 use std::sync::RwLock;
+
+/// One engine-lock hold in this many is timed (two monotonic clock reads)
+/// and fed to the shard's hold-time histogram; the rest pay only the
+/// sampling tick.  Holds are short and numerous, so 1-in-64 converges fast
+/// without taxing the hot path.
+const LOCK_SAMPLE: u64 = 64;
+
+/// Per-shard telemetry: an interaction counter doubling as the sampling
+/// ticket, and the sampled lock-hold distribution.  Bumped while the shard
+/// lock is held, so the counter never contends.
+#[derive(Debug, Default)]
+struct ShardTelemetry {
+    calls: Counter,
+    hold_ns: LogHistogram,
+}
 
 /// Lockdep classes for the shard locks, one per shard index so an inverted
 /// cross-shard acquisition names both shards in the report.  Engines with
@@ -109,6 +125,7 @@ pub struct ShardedEngine {
     id: ProcessId,
     shards: Box<[Mutex<Endpoint>]>,
     assign: RwLock<ShardAssign>,
+    shard_telemetry: Box<[ShardTelemetry]>,
 }
 
 impl ShardedEngine {
@@ -121,6 +138,10 @@ impl ShardedEngine {
             .map(|i| Mutex::new(shard_class(i), Endpoint::new(id, config.clone())))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let shard_telemetry = (0..shards)
+            .map(|_| ShardTelemetry::default())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         ShardedEngine {
             id,
             shards: engines,
@@ -128,6 +149,7 @@ impl ShardedEngine {
                 index: U64Index::new(),
                 next: 0,
             }),
+            shard_telemetry,
         }
     }
 
@@ -217,9 +239,24 @@ impl ShardedEngine {
         let first_new = out.comps.len();
         let result = {
             let mut engine = self.shards[shard].lock();
+            // Sampled hold-time measurement: the ticket is taken under the
+            // lock, so the counter never contends; 63 of 64 holds pay only
+            // the tick.
+            let shard_tel = &self.shard_telemetry[shard];
+            let sampled = shard_tel.calls.tick().is_multiple_of(LOCK_SAMPLE);
+            let t0 = if sampled {
+                telemetry::clock::mono_ns()
+            } else {
+                0
+            };
             let result = f(&mut engine);
             engine.drain_actions_into(&mut out.actions);
             engine.drain_completions_into(&mut out.comps);
+            if sampled {
+                let held = telemetry::clock::mono_ns().saturating_sub(t0);
+                shard_tel.hold_ns.record(held);
+                telemetry::event(EventKind::EngineLock, lock_ctx::SHARD, shard as u32, held);
+            }
             result
         };
         if self.shards.len() > 1 {
@@ -359,6 +396,18 @@ impl ShardedEngine {
     /// `true` when every shard is idle (see [`Endpoint::idle`]).
     pub fn idle(&self) -> bool {
         self.shards.iter().all(|shard| shard.lock().idle())
+    }
+
+    /// Merged distribution of **sampled** engine-lock hold times across all
+    /// shards, in nanoseconds (1 hold in [`LOCK_SAMPLE`](self) is timed).
+    /// Mergeable with other snapshots like
+    /// [`EndpointStats::merge`](EndpointStats::merge).
+    pub fn lock_hold_stats(&self) -> HistogramSnapshot {
+        let mut total = HistogramSnapshot::default();
+        for tel in self.shard_telemetry.iter() {
+            total.merge(&tel.hold_ns.snapshot());
+        }
+        total
     }
 
     /// ARQ statistics of the channel to `peer`, if one exists; see

@@ -1,0 +1,203 @@
+//! Trace exporters: chrome://tracing JSON and a plain-text dump.
+//!
+//! Both render a [`TraceSnapshot`] — they never touch live rings, so
+//! exporting is safe from a panic hook or a wedge report.  The chrome format
+//! is the Trace Event JSON array understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): instants (`"ph":"i"`) for point
+//! events and complete spans (`"ph":"X"`) for kinds whose `c` argument is a
+//! duration ([`EventKind::is_span`](super::EventKind::is_span)).  Timestamps
+//! are microseconds, so virtual-clock traces read directly in sim time.
+
+// ppmsg-lint: deny(hot_path_alloc) — keep exporters off the alloc-heavy std conveniences too;
+// they share this module's lint regime (write!-into-String only).
+
+use super::recorder::{snapshot, TraceSnapshot};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `snap` as a chrome://tracing JSON array (load the file as-is in
+/// `chrome://tracing` or Perfetto).  One metadata record names each thread;
+/// event arguments are emitted raw as `args.{a,b,c}` plus `args.dropped` on
+/// the first event of a ring that overwrote history.
+pub fn chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(64 + snap.len() * 96);
+    out.push_str("[\n");
+    let mut first = true;
+    let emit_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+    for ring in &snap.rings {
+        emit_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"",
+            ring.tid
+        );
+        push_json_escaped(&mut out, &ring.name);
+        out.push_str("\"}}");
+        for (i, e) in ring.events.iter().enumerate() {
+            emit_sep(&mut out, &mut first);
+            let ts_us = e.ts_ns as f64 / 1000.0;
+            if e.kind.is_span() {
+                // Span events carry their duration in `c` (ns); draw the
+                // span ending at the recording instant.
+                let dur_us = e.c as f64 / 1000.0;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}",
+                    e.kind.name(),
+                    (ts_us - dur_us).max(0.0),
+                    dur_us,
+                    ring.tid,
+                    e.a,
+                    e.b,
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{},\"c\":{}",
+                    e.kind.name(),
+                    ts_us,
+                    ring.tid,
+                    e.a,
+                    e.b,
+                    e.c,
+                );
+            }
+            if i == 0 && ring.dropped > 0 {
+                let _ = write!(out, ",\"dropped\":{}", ring.dropped);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders `snap` as a human-readable log, all threads merged and sorted by
+/// timestamp: `ts_us tid name a b c`.
+pub fn text_dump(snap: &TraceSnapshot) -> String {
+    let merged = snap.merged();
+    let mut out = String::with_capacity(64 + merged.len() * 64);
+    let _ = writeln!(out, "# flight recorder: {} events", merged.len());
+    for ring in &snap.rings {
+        let _ = writeln!(
+            out,
+            "# tid {} ({}): {} events, {} overwritten",
+            ring.tid,
+            ring.name,
+            ring.events.len(),
+            ring.dropped
+        );
+    }
+    for (tid, e) in merged {
+        let _ = writeln!(
+            out,
+            "{:>14.3}us t{:<3} {:<16} a={} b={} c={}",
+            e.ts_ns as f64 / 1000.0,
+            tid,
+            e.kind.name(),
+            e.a,
+            e.b,
+            e.c,
+        );
+    }
+    out
+}
+
+/// Snapshots every ring and writes the chrome trace to `path`.  Convenience
+/// for failure hooks (chaos seeds, wedge reports).
+pub fn dump_chrome_trace(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(&snapshot()))
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::super::event::{Event, EventKind};
+    use super::super::recorder::RingSnapshot;
+    use super::*;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let mut snap = TraceSnapshot::default();
+        let events = vec![
+            Event {
+                ts_ns: 2_000,
+                kind: EventKind::FrameTx,
+                a: 4,
+                b: 0,
+                c: 7,
+            },
+            Event {
+                ts_ns: 5_000,
+                kind: EventKind::EngineLock,
+                a: 0,
+                b: 1,
+                c: 3_000,
+            },
+        ];
+        snap.rings.push(RingSnapshot {
+            tid: 0,
+            name: String::from("main \"thread\""),
+            dropped: 2,
+            events,
+        });
+        snap
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let json = chrome_trace(&sample_snapshot());
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\":\"frame_tx\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // The span event draws a duration.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":3.000"));
+        // ts of the span = (5000 - 3000) ns = 2 us.
+        assert!(json.contains("\"ts\":2.000,\"dur\""));
+        // Thread name metadata, with the quote escaped.
+        assert!(json.contains("main \\\"thread\\\""));
+        assert!(json.contains("\"dropped\":2"));
+        // Balanced braces — cheap structural sanity without a JSON parser.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn text_dump_merges_and_labels() {
+        let txt = text_dump(&sample_snapshot());
+        assert!(txt.contains("frame_tx"));
+        assert!(txt.contains("engine_lock"));
+        assert!(txt.contains("2 overwritten"));
+        let tx_pos = txt.find("frame_tx").unwrap();
+        let lock_pos = txt.find("engine_lock").unwrap();
+        assert!(tx_pos < lock_pos, "sorted by timestamp");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let empty = TraceSnapshot::default();
+        let json = chrome_trace(&empty);
+        assert!(json.contains('[') && json.contains(']'));
+        let txt = text_dump(&empty);
+        assert!(txt.contains("0 events"));
+    }
+}

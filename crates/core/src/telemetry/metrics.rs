@@ -1,0 +1,294 @@
+//! The metrics plane: lock-free counters and log-bucketed histograms.
+//!
+//! Both types are recordable from any number of threads concurrently (relaxed
+//! atomic adds — a sample is never lost), snapshot-able without stopping
+//! traffic, and mergeable the way [`EndpointStats::merge`](crate::EndpointStats::merge)
+//! is: sum the parts, get the whole.  With the
+//! `telemetry` feature off both compile to zero-sized no-ops.
+//!
+//! [`LogHistogram`] buckets by power of two: bucket 0 holds the value 0 and
+//! bucket `i` (1..=64) holds values in `[2^(i-1), 2^i - 1]`.  That gives
+//! full-range coverage (ns to hours, bytes to TiB) in 65 words with a
+//! recording cost of one `leading_zeros` and one relaxed `fetch_add`.
+//!
+//! The atomics come from `ppmsg_check::sync::atomic`, so under
+//! `--cfg ppmsg_check` a model run can exhaustively interleave concurrent
+//! `record` / `snapshot` pairs (see `crates/core/tests/model_telemetry.rs`);
+//! in ordinary builds they are plain `std` atomics.
+
+// ppmsg-lint: deny(hot_path_alloc) — counters/histograms are bumped on the steady-state path.
+
+#[cfg(feature = "telemetry")]
+use ppmsg_check::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+
+/// Number of histogram buckets: the zero bucket plus one per power of two.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket `value` lands in: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `i`.
+///
+/// # Panics
+/// If `i >= HIST_BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HIST_BUCKETS);
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A monotonically increasing event count, recordable from any thread.
+/// Zero-sized with the `telemetry` feature off.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "telemetry")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            #[cfg(feature = "telemetry")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
+        #[cfg(feature = "telemetry")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds 1 and returns the *previous* count — a sampling ticket (e.g.
+    /// `tick() % 64 == 0` measures one interaction in 64).  Always 0 with
+    /// the feature off.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.value.fetch_add(1, Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        0
+    }
+
+    /// The current count (0 with the feature off).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        0
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (latencies in ns,
+/// sizes in bytes, queue depths).  See the [module docs](self) for the
+/// bucketing scheme.  Zero-sized with the `telemetry` feature off.
+#[derive(Debug)]
+pub struct LogHistogram {
+    #[cfg(feature = "telemetry")]
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[cfg(feature = "telemetry")]
+        {
+            LogHistogram {
+                buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        LogHistogram {}
+    }
+
+    /// Records one sample.  A relaxed add — concurrent recorders never lose
+    /// a sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = value;
+        #[cfg(feature = "telemetry")]
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the bucket counts without stopping recorders.  Buckets are read
+    /// independently (relaxed), so a snapshot racing a `record` may or may
+    /// not include that sample — but every sample lands in exactly one later
+    /// snapshot, and counts never decrease.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(feature = "telemetry")]
+        {
+            let mut out = HistogramSnapshot::default();
+            for (slot, bucket) in out.buckets.iter_mut().zip(self.buckets.iter()) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            out
+        }
+        #[cfg(not(feature = "telemetry"))]
+        HistogramSnapshot::default()
+    }
+}
+
+/// A point-in-time copy of a [`LogHistogram`]'s buckets: plain data, mergeable
+/// and queryable.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per bucket; see [`bucket_bounds`] for value ranges.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Adds `other`'s buckets into `self` — same shape as
+    /// [`EndpointStats::merge`](crate::EndpointStats::merge): merging shard
+    /// snapshots yields the engine-wide distribution.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 if empty.  `quantile_bound(1.0)` bounds the
+    /// maximum sample.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).1
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    /// Compact one-line summary: `n=… p50≤… p99≤… max≤…`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50<={} p99<={} max<={}",
+            self.count(),
+            self.quantile_bound(0.50),
+            self.quantile_bound(0.99),
+            self.quantile_bound(1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_matches_bounds() {
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn record_snapshot_quantiles() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 1, 7, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[3], 1); // 7 in [4,7]
+        assert_eq!(s.quantile_bound(0.0), 0);
+        assert!(s.quantile_bound(1.0) >= 1_000_000);
+        // p50: the 3rd of 6 samples is one of the two 1s → bound 1.
+        assert_eq!(s.quantile_bound(0.5), 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.buckets[bucket_of(5)], 2);
+        assert_eq!(m.buckets[bucket_of(100)], 1);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        #[cfg(feature = "telemetry")]
+        assert_eq!(c.get(), 5);
+        #[cfg(not(feature = "telemetry"))]
+        assert_eq!(c.get(), 0);
+    }
+}

@@ -20,9 +20,17 @@
 //! * **virtual_clock** — `crates/core` is sans-I/O and fully virtual-time
 //!   (the chaos harness depends on it): no `Instant::now()` or
 //!   `SystemTime::now()`.
+//! * **telemetry_hot_path** — every file under `crates/core/src/telemetry/`
+//!   runs on the steady-state send/recv path and must opt into the
+//!   hot-path-alloc rule with the `deny(hot_path_alloc)` marker.
+//! * **telemetry_clock** — only `telemetry/clock.rs` owns sanctioned clock
+//!   reads; other telemetry files may not even carry the
+//!   `allow(virtual_clock)` escape — they must stamp through the
+//!   time-source abstraction (`clock::now_ns` / `clock::mono_ns`).
 //!
 //! A line can be exempted with a trailing `ppmsg-lint: allow(<rule>)`
-//! comment.  Pattern strings below are assembled with `concat!` so this file
+//! comment (the two telemetry rules above are file-level and cannot be
+//! waived).  Pattern strings below are assembled with `concat!` so this file
 //! never matches its own rules.
 
 use std::path::{Path, PathBuf};
@@ -125,16 +133,32 @@ fn check_source(rel_path: &str, content: &str, out: &mut Vec<Violation>) {
     let hot_path = content.contains(DENY_HOT_PATH);
     let raw_sync = RAW_SYNC_FILES.iter().any(|f| rel_path.ends_with(f));
     let core_engine = rel_path.contains("crates/core/src/");
+    let telemetry_file = rel_path.contains("crates/core/src/telemetry/");
+
+    if telemetry_file && !hot_path {
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: "telemetry_hot_path",
+            msg: format!(
+                "telemetry files run on the steady-state path: add a `{DENY_HOT_PATH}` marker"
+            ),
+        });
+    }
     let unsafe_pats = unsafe_patterns();
     let sync_pats = raw_sync_patterns();
     let alloc_pats = hot_path_patterns();
     let clock_pats = clock_patterns();
 
-    // First `#[cfg(test)]` line: the conventional start of a file's test
-    // tail, exempt from the hot-path-alloc rule.
+    // First test-gated cfg line — `#[cfg(test)]` or a compound like
+    // `#[cfg(all(test, feature = "telemetry"))]` — marks the conventional
+    // start of a file's test tail, exempt from the hot-path-alloc rule.
     let test_tail = lines
         .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with("#[cfg(") && t.contains("(test")
+        })
         .unwrap_or(lines.len());
 
     let mut in_block = false;
@@ -214,6 +238,23 @@ fn check_source(rel_path: &str, content: &str, out: &mut Vec<Violation>) {
                     });
                 }
             }
+        }
+
+        // Only clock.rs owns sanctioned clock reads; elsewhere in the
+        // telemetry module even the escape hatch is banned, so every stamp
+        // goes through the time-source abstraction.
+        if telemetry_file
+            && !rel_path.ends_with("telemetry/clock.rs")
+            && line.contains(&allow_marker("virtual_clock"))
+        {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: "telemetry_clock",
+                msg: "only telemetry/clock.rs may read the wall clock; use clock::now_ns / \
+                      clock::mono_ns"
+                    .to_string(),
+            });
         }
     }
 }
@@ -383,5 +424,38 @@ mod tests {
         let allow = super::allow_marker("virtual_clock");
         let src = format!("let t = std::time::{now}(); // {allow}\n");
         assert!(run("crates/core/src/engine/mod.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn telemetry_files_must_carry_the_hot_path_marker() {
+        // Sabotage: a telemetry file without the marker fires at line 1...
+        let bare = "pub fn event() {}\n";
+        assert_eq!(
+            run("crates/core/src/telemetry/recorder.rs", bare),
+            vec!["telemetry_hot_path:1"]
+        );
+        // ...and the same content outside the telemetry dir is fine.
+        assert!(run("crates/core/src/engine/mod.rs", bare).is_empty());
+
+        let marked = format!("// {}\npub fn event() {{}}\n", super::DENY_HOT_PATH);
+        assert!(run("crates/core/src/telemetry/recorder.rs", &marked).is_empty());
+    }
+
+    #[test]
+    fn telemetry_clock_escape_is_clock_rs_only() {
+        let now = concat!("Instant::", "now");
+        let allow = super::allow_marker("virtual_clock");
+        let src = format!(
+            "// {}\nlet t = std::time::{now}(); // {allow}\n",
+            super::DENY_HOT_PATH
+        );
+        // Sabotage: the virtual_clock escape hatch inside a non-clock
+        // telemetry file is itself a violation...
+        assert_eq!(
+            run("crates/core/src/telemetry/recorder.rs", &src),
+            vec!["telemetry_clock:2"]
+        );
+        // ...while clock.rs (the abstraction's owner) may use it.
+        assert!(run("crates/core/src/telemetry/clock.rs", &src).is_empty());
     }
 }

@@ -89,6 +89,8 @@ impl Fabric {
     /// locks only the shard owning the packet's source, so routers carrying
     /// different peers' traffic into one busy endpoint run concurrently.
     fn route(&self, mut work: VecDeque<(ProcessId, ProcessId, Packet)>) {
+        // One clock read stamps every event this routing pass emits.
+        ppmsg_core::telemetry::clock::hold();
         let mut batch = EngineBatch::new();
         while let Some((src, dst, packet)) = work.pop_front() {
             let Some(member) = self.member(dst) else {
@@ -216,6 +218,8 @@ impl HostEndpoint {
     /// immediately.
     pub fn post_send(&self, peer: ProcessId, tag: Tag, data: impl Into<Bytes>) -> Result<SendOp> {
         let data = data.into();
+        // Latch one clock read for every event this interaction emits.
+        ppmsg_core::telemetry::clock::hold();
         let mut batch = EngineBatch::new();
         let result = self.member.engine.post_send(peer, tag, data, &mut batch);
         self.finish(&mut batch);
@@ -231,6 +235,7 @@ impl HostEndpoint {
         tag: Tag,
         segments: &[Bytes],
     ) -> Result<SendOp> {
+        ppmsg_core::telemetry::clock::hold();
         let mut batch = EngineBatch::new();
         let result = self
             .member
@@ -252,6 +257,7 @@ impl HostEndpoint {
         capacity: usize,
         policy: TruncationPolicy,
     ) -> Result<RecvOp> {
+        ppmsg_core::telemetry::clock::hold();
         let mut batch = EngineBatch::new();
         let result = self
             .member
@@ -270,6 +276,7 @@ impl HostEndpoint {
         buf: RecvBuf,
         policy: TruncationPolicy,
     ) -> Result<RecvOp> {
+        ppmsg_core::telemetry::clock::hold();
         let mut batch = EngineBatch::new();
         let result = self
             .member

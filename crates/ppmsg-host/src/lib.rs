@@ -28,7 +28,7 @@ mod reactor;
 mod udp;
 
 pub use intranode::{HostCluster, HostEndpoint};
-pub use reactor::{Reactor, ReactorEndpoint};
+pub use reactor::{Reactor, ReactorEndpoint, ReactorMetrics};
 pub use udp::UdpEndpoint;
 
 pub use ppmsg_core::{ProcessId, ProtocolConfig, ProtocolMode, Tag};

@@ -39,6 +39,7 @@
 use bytes::{Bytes, BytesMut};
 use ppmsg_check::sync::Mutex;
 use ppmsg_core::reliability::Frame;
+use ppmsg_core::telemetry::{self, lock_ctx, Counter, EventKind, LogHistogram};
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
     Action, Completion, CompletionMailbox, CompletionQueue, Endpoint, EndpointConfig,
@@ -69,6 +70,10 @@ const TICK_US: u64 = 500;
 const WHEEL_SLOTS: usize = 256;
 /// How long the event loop blocks waiting for readable sockets.
 const POLL_TIMEOUT_MS: i32 = 2;
+/// One user-thread engine interaction in this many is timed for the
+/// lock-hold histogram / flight recorder (same cadence as the sharded
+/// engine's sampling).
+const LOCK_SAMPLE: u64 = 64;
 
 // ---------------------------------------------------------------------------
 // Batched-syscall bindings (Linux) — the workspace vendors no `libc`.
@@ -433,6 +438,31 @@ struct EpShared {
     reactor: Weak<ReactorShared>,
     /// Self-reference handed to wheel entries.
     this: Weak<EpShared>,
+    /// User-thread engine interactions; the count doubles as the sampling
+    /// ticket for [`LOCK_SAMPLE`]d lock-hold measurements.
+    user_calls: Counter,
+}
+
+/// The reactor's metrics plane: batch-size and lock-hold distributions plus
+/// event-loop counters, recordable lock-free from the loop thread and
+/// snapshot-able from any thread via [`Reactor::metrics`].  All fields are
+/// zero-cost no-ops when the `telemetry` feature is off.
+#[derive(Debug, Default)]
+pub struct ReactorMetrics {
+    /// Datagrams delivered to an engine per `recvmmsg` batch.
+    pub recv_batch: LogHistogram,
+    /// Frames flushed per batch (the `sendmmsg` coalescing payoff).
+    pub send_batch: LogHistogram,
+    /// Nanoseconds the engine lock was held per reception batch.
+    pub batch_lock_ns: LogHistogram,
+    /// Reception batches processed.
+    pub batches: Counter,
+    /// Timer-wheel entries fired (including stale generations the channels
+    /// discard — compare with `EndpointStats` retransmit counts).
+    pub timers_fired: Counter,
+    /// Sampled user-thread engine lock holds, in nanoseconds
+    /// (one interaction in `LOCK_SAMPLE` = 64 is measured).
+    pub user_lock_ns: LogHistogram,
 }
 
 struct ReactorShared {
@@ -442,18 +472,23 @@ struct ReactorShared {
     epoch: AtomicU64,
     wheel: Mutex<TimerWheel>,
     shutdown: AtomicBool,
+    metrics: ReactorMetrics,
 }
 
 /// Outgoing frames coalesced during one engine interaction, flushed in
 /// production order before the engine lock is released.
 struct SendBatch {
     frames: Vec<(BytesMut, SocketAddr)>,
+    /// Frames flushed since the last [`SendBatch::take_sent`], for the
+    /// per-batch telemetry record.
+    sent: usize,
 }
 
 impl SendBatch {
     fn new() -> SendBatch {
         SendBatch {
             frames: Vec::with_capacity(SEND_BATCH),
+            sent: 0,
         }
     }
 
@@ -464,10 +499,16 @@ impl SendBatch {
         self.frames.push((buf, addr));
     }
 
+    /// Frames flushed since the last call, resetting the tally.
+    fn take_sent(&mut self) -> usize {
+        std::mem::take(&mut self.sent)
+    }
+
     fn flush(&mut self, ep: &EpShared) {
         if self.frames.is_empty() {
             return;
         }
+        self.sent += self.frames.len();
         #[cfg(target_os = "linux")]
         sys::send_batch(&ep.socket, &self.frames);
         #[cfg(not(target_os = "linux"))]
@@ -554,12 +595,28 @@ impl EpShared {
         comps: &mut Vec<Completion>,
         f: impl FnOnce(&mut Endpoint) -> R,
     ) -> R {
+        telemetry::clock::hold();
         let result = {
             let mut engine = self.engine.lock();
+            // The ticket is taken under the lock, so it never contends;
+            // one interaction in LOCK_SAMPLE pays for two clock reads.
+            let sampled = self.user_calls.tick().is_multiple_of(LOCK_SAMPLE);
+            let t0 = if sampled {
+                telemetry::clock::mono_ns()
+            } else {
+                0
+            };
             let result = f(&mut engine);
             engine.drain_actions_into(actions);
             engine.drain_completions_into(comps);
             self.apply_actions(actions, None);
+            if sampled {
+                let held = telemetry::clock::mono_ns().saturating_sub(t0);
+                if let Some(reactor) = self.reactor.upgrade() {
+                    reactor.metrics.user_lock_ns.record(held);
+                }
+                telemetry::event(EventKind::EngineLock, lock_ctx::REACTOR_USER, 0, held);
+            }
             result
         };
         self.publish(comps);
@@ -619,7 +676,10 @@ fn process_batch(
     batch: &mut SendBatch,
     actions: &mut Vec<Action>,
     comps: &mut Vec<Completion>,
+    metrics: &ReactorMetrics,
 ) {
+    let received = scratch.metas.len();
+    let t0 = telemetry::clock::mono_ns();
     {
         let mut engine = ep.engine.lock();
         {
@@ -639,6 +699,13 @@ fn process_batch(
         ep.apply_actions(actions, Some(batch));
         batch.flush(ep);
     }
+    let held = telemetry::clock::mono_ns().saturating_sub(t0);
+    let sent = batch.take_sent();
+    metrics.batches.inc();
+    metrics.recv_batch.record(received as u64);
+    metrics.send_batch.record(sent as u64);
+    metrics.batch_lock_ns.record(held);
+    telemetry::event(EventKind::ReactorBatch, received as u32, sent as u32, held);
     ep.publish(comps);
 }
 
@@ -650,6 +717,7 @@ fn drain_endpoint(
     batch: &mut SendBatch,
     actions: &mut Vec<Action>,
     comps: &mut Vec<Completion>,
+    metrics: &ReactorMetrics,
 ) -> bool {
     let mut any = false;
     for _ in 0..MAX_BATCH_ROUNDS {
@@ -658,7 +726,7 @@ fn drain_endpoint(
             break;
         }
         any = true;
-        process_batch(ep, scratch, batch, actions, comps);
+        process_batch(ep, scratch, batch, actions, comps, metrics);
         if !full {
             break;
         }
@@ -678,6 +746,8 @@ fn reactor_loop(shared: Arc<ReactorShared>) {
     let mut pollfds: Vec<sys::PollFd> = Vec::new();
 
     while !shared.shutdown.load(Ordering::Relaxed) {
+        // One clock read stamps every trace event this loop pass emits.
+        telemetry::clock::hold();
         let epoch = shared.epoch.load(Ordering::Acquire);
         if epoch != seen_epoch {
             seen_epoch = epoch;
@@ -698,7 +768,14 @@ fn reactor_loop(shared: Arc<ReactorShared>) {
                 if sys::poll_readable(&mut pollfds, POLL_TIMEOUT_MS) > 0 {
                     for (pfd, ep) in pollfds.iter().zip(eps.iter()) {
                         if pfd.readable() {
-                            drain_endpoint(ep, &mut scratch, &mut batch, &mut actions, &mut comps);
+                            drain_endpoint(
+                                ep,
+                                &mut scratch,
+                                &mut batch,
+                                &mut actions,
+                                &mut comps,
+                                &shared.metrics,
+                            );
                         }
                     }
                 }
@@ -707,7 +784,14 @@ fn reactor_loop(shared: Arc<ReactorShared>) {
             {
                 let mut any = false;
                 for ep in &eps {
-                    any |= drain_endpoint(ep, &mut scratch, &mut batch, &mut actions, &mut comps);
+                    any |= drain_endpoint(
+                        ep,
+                        &mut scratch,
+                        &mut batch,
+                        &mut actions,
+                        &mut comps,
+                        &shared.metrics,
+                    );
                 }
                 if !any {
                     std::thread::sleep(Duration::from_micros(500));
@@ -717,6 +801,7 @@ fn reactor_loop(shared: Arc<ReactorShared>) {
 
         fired.clear();
         shared.wheel.lock().advance(Instant::now(), &mut fired);
+        shared.metrics.timers_fired.add(fired.len() as u64);
         for (ep, timer) in fired.drain(..) {
             if let Some(ep) = ep.upgrade() {
                 ep.run_engine(&mut actions, &mut comps, |engine| {
@@ -751,6 +836,7 @@ impl Reactor {
             epoch: AtomicU64::new(0),
             wheel: Mutex::new("host.reactor.wheel", TimerWheel::new(Instant::now())),
             shutdown: AtomicBool::new(false),
+            metrics: ReactorMetrics::default(),
         });
         let worker = shared.clone();
         let thread = std::thread::Builder::new()
@@ -799,10 +885,17 @@ impl Reactor {
             codec: Mutex::new("host.reactor.codec", PacketBufPool::new()),
             reactor,
             this: this.clone(),
+            user_calls: Counter::new(),
         });
         self.shared.endpoints.lock().push(ep.clone());
         self.shared.epoch.fetch_add(1, Ordering::Release);
         Ok(ReactorEndpoint { shared: ep })
+    }
+
+    /// The reactor's live metrics plane — batch-size / lock-hold histograms
+    /// and event-loop counters, snapshot-able without stopping traffic.
+    pub fn metrics(&self) -> &ReactorMetrics {
+        &self.shared.metrics
     }
 }
 

@@ -5,6 +5,7 @@
 use bytes::Bytes;
 use parking_lot::Mutex;
 use ppmsg_core::reliability::Frame;
+use ppmsg_core::telemetry::{self, lock_ctx, Counter, EventKind};
 use ppmsg_core::wire::PacketBufPool;
 use ppmsg_core::{
     Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, ProcessId,
@@ -32,7 +33,13 @@ struct Shared {
     /// the pool has warmed up to the largest frame size in flight.
     codec: Mutex<PacketBufPool>,
     shutdown: AtomicBool,
+    /// Engine interactions; the count doubles as the sampling ticket for
+    /// the 1-in-[`LOCK_SAMPLE`] lock-hold measurement.
+    calls: Counter,
 }
+
+/// One engine interaction in this many is timed for the flight recorder.
+const LOCK_SAMPLE: u64 = 64;
 
 impl Shared {
     /// Publishes a batch of completions, waking every waiter registered for
@@ -113,12 +120,24 @@ impl Shared {
         comps: &mut Vec<Completion>,
         f: impl FnOnce(&mut Endpoint) -> R,
     ) -> R {
+        telemetry::clock::hold();
         let result = {
             let mut engine = self.engine.lock();
+            // Ticket taken under the lock, so it never contends.
+            let sampled = self.calls.tick().is_multiple_of(LOCK_SAMPLE);
+            let t0 = if sampled {
+                telemetry::clock::mono_ns()
+            } else {
+                0
+            };
             let result = f(&mut engine);
             engine.drain_actions_into(actions);
             engine.drain_completions_into(comps);
             self.apply_actions(actions);
+            if sampled {
+                let held = telemetry::clock::mono_ns().saturating_sub(t0);
+                telemetry::event(EventKind::EngineLock, lock_ctx::UDP, 0, held);
+            }
             result
         };
         self.publish(comps);
@@ -186,6 +205,7 @@ impl UdpEndpoint {
             timers: Mutex::new(Vec::new()),
             codec: Mutex::new(PacketBufPool::new()),
             shutdown: AtomicBool::new(false),
+            calls: Counter::new(),
         });
         let worker = shared.clone();
         let thread = std::thread::Builder::new()

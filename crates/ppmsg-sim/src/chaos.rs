@@ -23,7 +23,8 @@
 //! a scenario across many seeds, catches those panics, and reports every
 //! failing seed with replay instructions.
 
-use ppmsg_core::reliability::Frame;
+use ppmsg_core::reliability::{Frame, GbnStats};
+use ppmsg_core::telemetry;
 use ppmsg_core::wire::Packet;
 use ppmsg_core::{
     Action, Completion, CompletionQueue, Endpoint, EndpointConfig, EndpointStats, OpId, ProcessId,
@@ -489,13 +490,17 @@ impl ChaosRouter {
         while let Some(Reverse(pending)) = self.queue.pop() {
             debug_assert!(pending.at_us >= self.now_us, "virtual time went backwards");
             self.now_us = pending.at_us;
+            // Every trace event this dispatch emits is stamped with the
+            // virtual clock, so a replayed seed produces identical traces.
+            telemetry::clock::set_virtual_us(self.now_us);
             self.stats.events += 1;
             if self.stats.events > self.cfg.max_events {
+                let trace = self.dump_failure_trace();
                 panic!(
                     "chaos seed {}: exceeded the {}-event budget at t={}us — the run is not \
                      converging; replay with `ChaosConfig::new({})` (raise `max_events` only if \
-                     the workload legitimately needs more)",
-                    self.cfg.seed, self.cfg.max_events, self.now_us, self.cfg.seed
+                     the workload legitimately needs more); flight recorder dump: {}",
+                    self.cfg.seed, self.cfg.max_events, self.now_us, self.cfg.seed, trace
                 );
             }
             match pending.ev {
@@ -540,20 +545,38 @@ impl ChaosRouter {
     /// fault-plane outcome — fail the seed loudly.
     fn wedge_check(&self) {
         for proc in &self.procs {
-            let mut wedged: Option<(ProcessId, &'static str)> = None;
+            let mut wedged: Option<(ProcessId, &'static str, GbnStats)> = None;
             proc.engine.each_channel(|peer, channel| {
                 if !channel.idle() && !channel.failed() && wedged.is_none() {
-                    wedged = Some((peer, channel.mode().label()));
+                    wedged = Some((peer, channel.mode().label(), channel.stats()));
                 }
             });
-            if let Some((peer, mode)) = wedged {
+            if let Some((peer, mode, stats)) = wedged {
+                let trace = self.dump_failure_trace();
                 panic!(
                     "chaos seed {}: endpoint {} wedged towards {} at t={}us — unacknowledged \
                      frames on a {} channel with no retransmission timer pending and no channel \
-                     failure; replay with `ChaosConfig::new({})` (see README \"Chaos testing\")",
-                    self.cfg.seed, proc.id, peer, self.now_us, mode, self.cfg.seed
+                     failure; replay with `ChaosConfig::new({})` (see README \"Chaos testing\"); \
+                     stalled channel stats: {:?}; flight recorder dump: {}",
+                    self.cfg.seed, proc.id, peer, self.now_us, mode, self.cfg.seed, stats, trace
                 );
             }
+        }
+    }
+
+    /// Writes the flight recorder's chrome://tracing dump for a failing
+    /// seed — to `$CHAOS_TRACE_DIR` when set, the OS temp directory
+    /// otherwise — and returns the path (or the error, best effort: the
+    /// panic it decorates must fire regardless).
+    fn dump_failure_trace(&self) -> String {
+        let dir = std::env::var_os("CHAOS_TRACE_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let _ = std::fs::create_dir_all(&dir); // best effort; the write below reports any error
+        let path = dir.join(format!("ppmsg-chaos-seed-{}.trace.json", self.cfg.seed));
+        match telemetry::export::dump_chrome_trace(&path) {
+            Ok(()) => path.display().to_string(),
+            Err(e) => format!("<failed to write {}: {e}>", path.display()),
         }
     }
 }
@@ -688,6 +711,10 @@ impl ChaosEndpoint {
 
     fn with_engine<R>(&self, f: impl FnOnce(&mut Endpoint) -> R) -> R {
         let mut router = self.router.lock().unwrap();
+        // The posting thread joins the router's virtual clock for the
+        // duration of the interaction, so post-side trace events carry
+        // deterministic timestamps too.
+        telemetry::clock::set_virtual_us(router.now_us);
         let idx = router.idx(self.id).expect("endpoint registered");
         let result = f(&mut router.procs[idx].engine);
         router.collect(idx);
@@ -698,6 +725,9 @@ impl ChaosEndpoint {
             std::mem::take(&mut router.pending_wakes)
         };
         drop(router);
+        // Hand the thread's trace clock back: the same test thread may go
+        // on to drive a wall-clocked host backend.
+        telemetry::clock::set_wall();
         ppmsg_core::ops::wake_all(wakes, |drained| {
             let mut router = self.router.lock().unwrap();
             if drained.capacity() > router.pending_wakes.capacity() {

@@ -55,6 +55,10 @@ struct Router {
     /// the router lock **after** releasing it (a waker is arbitrary executor
     /// code and may poll — and so re-enter the router — inline).
     pending_wakes: Vec<Waker>,
+    /// Interaction counter doubling as the cluster's virtual trace clock:
+    /// the loopback substrate has no time model, so trace events are
+    /// stamped with the (deterministic) interaction ordinal instead.
+    steps: u64,
 }
 
 impl Router {
@@ -144,6 +148,7 @@ impl LoopbackCluster {
                 comps: Vec::new(),
                 unroutable: 0,
                 pending_wakes: Vec::new(),
+                steps: 0,
             })),
             protocol,
         }
@@ -216,6 +221,10 @@ impl LoopbackEndpoint {
 
     fn with_engine<R>(&self, f: impl FnOnce(&mut Endpoint) -> R) -> R {
         let mut router = self.router.lock().unwrap();
+        // Stamp this interaction's trace events with the deterministic
+        // interaction ordinal (the loopback cluster models no time).
+        router.steps += 1;
+        ppmsg_core::telemetry::clock::set_virtual_us(router.steps);
         let idx = router.idx(self.id).expect("endpoint registered");
         let result = f(&mut router.procs[idx].engine);
         router.pump_from(idx);
@@ -228,6 +237,9 @@ impl LoopbackEndpoint {
             std::mem::take(&mut router.pending_wakes)
         };
         drop(router);
+        // Return the thread's trace clock to wall time: the same test
+        // thread may go on to drive a wall-clocked host backend.
+        ppmsg_core::telemetry::clock::set_wall();
         ppmsg_core::ops::wake_all(wakes, |drained| {
             let mut router = self.router.lock().unwrap();
             if drained.capacity() > router.pending_wakes.capacity() {

@@ -63,6 +63,9 @@
 
 use ppmsg_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use ppmsg_check::sync::{Condvar, Mutex};
+#[cfg(not(ppmsg_check))]
+use ppmsg_core::telemetry::{self, EventKind};
+use ppmsg_core::telemetry::{Counter, LogHistogram};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::future::Future;
@@ -263,6 +266,25 @@ impl Wake for TaskCell {
     }
 }
 
+/// The pool's metrics plane: scheduling counters and a queue-depth
+/// histogram, recordable lock-free from every worker and snapshot-able via
+/// [`Pool::metrics`].  All fields are zero-cost no-ops when the `telemetry`
+/// feature is off, and the bumps are compiled out entirely under
+/// `--cfg ppmsg_check` so model runs of the pool keep their state space.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Tasks spawned onto the pool.
+    pub spawns: Counter,
+    /// Steal operations that found a victim (each moves half a queue).
+    pub steals: Counter,
+    /// Tasks moved by steals — `stolen_tasks / steals` is the mean batch.
+    pub stolen_tasks: Counter,
+    /// Times a worker went to sleep with no work anywhere.
+    pub parks: Counter,
+    /// Queued-task count observed at each enqueue (scheduling pressure).
+    pub queue_depth: LogHistogram,
+}
+
 /// State shared by the workers, spawners and wakers.
 struct PoolShared {
     /// Per-worker FIFO run queues.
@@ -285,6 +307,7 @@ struct PoolShared {
     park_cv: Condvar,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    metrics: PoolMetrics,
 }
 
 std::thread_local! {
@@ -308,7 +331,11 @@ impl PoolShared {
             Some(worker) => self.locals[worker].lock().push_back(task),
             None => self.injector.lock().push_back(task),
         }
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        let queued = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        #[cfg(not(ppmsg_check))]
+        self.metrics.queue_depth.record(queued as u64);
+        #[cfg(ppmsg_check)]
+        let _ = queued;
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Notify under the park lock so a worker between its `pending`
             // re-check and its condvar wait cannot miss this signal.
@@ -343,6 +370,17 @@ impl PoolShared {
             };
             let task = stolen.pop_front().expect("stole at least one task");
             self.pending.fetch_sub(1, Ordering::SeqCst);
+            #[cfg(not(ppmsg_check))]
+            {
+                self.metrics.steals.inc();
+                self.metrics.stolen_tasks.add(1 + stolen.len() as u64);
+                telemetry::event(
+                    EventKind::ExecutorSteal,
+                    worker as u32,
+                    victim as u32,
+                    1 + stolen.len() as u64,
+                );
+            }
             if !stolen.is_empty() {
                 self.locals[worker].lock().append(&mut stolen);
             }
@@ -402,6 +440,11 @@ impl PoolShared {
             let guard = self.park_lock.lock();
             self.sleepers.fetch_add(1, Ordering::SeqCst);
             if self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst) {
+                #[cfg(not(ppmsg_check))]
+                {
+                    self.metrics.parks.inc();
+                    telemetry::event(EventKind::ExecutorPark, worker as u32, 0, 0);
+                }
                 let _unused = self.park_cv.wait(guard);
             }
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -436,6 +479,7 @@ impl Pool {
             park_cv: Condvar::new(),
             idle_lock: Mutex::new("pool.idle", ()),
             idle_cv: Condvar::new(),
+            metrics: PoolMetrics::default(),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -474,7 +518,18 @@ impl Pool {
             pool: Arc::downgrade(&self.shared),
         });
         self.shared.live.fetch_add(1, Ordering::SeqCst);
+        #[cfg(not(ppmsg_check))]
+        {
+            self.shared.metrics.spawns.inc();
+            telemetry::event(EventKind::ExecutorSpawn, 0, 0, self.live() as u64);
+        }
         self.shared.enqueue(task);
+    }
+
+    /// The pool's live metrics plane — scheduling counters and the
+    /// queue-depth histogram, snapshot-able while workers run.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.shared.metrics
     }
 
     /// Blocks until every spawned task has completed — including tasks idle

@@ -141,6 +141,12 @@ impl TimerInner {
                 let slot = &mut self.table[entry.slot];
                 // Stale generation = the sleep was dropped; skip.
                 if slot.generation != entry.generation {
+                    ppmsg_core::telemetry::event(
+                        ppmsg_core::telemetry::EventKind::TimerStale,
+                        entry.generation as u32,
+                        0,
+                        entry.slot as u64,
+                    );
                     continue;
                 }
                 if let SlotState::Waiting(waker) = &mut slot.state {
@@ -149,6 +155,12 @@ impl TimerInner {
                     }
                     slot.state = SlotState::Elapsed;
                     self.live -= 1;
+                    ppmsg_core::telemetry::event(
+                        ppmsg_core::telemetry::EventKind::TimerFire,
+                        entry.generation as u32,
+                        0,
+                        entry.slot as u64,
+                    );
                 }
             }
             self.next_tick = cur + 1;
@@ -254,7 +266,13 @@ pub struct Sleep {
 pub fn sleep(duration: Duration) -> Sleep {
     let shared = driver();
     let deadline = Instant::now() + duration;
-    let (slot, _generation) = shared.inner.lock().register(deadline);
+    let (slot, generation) = shared.inner.lock().register(deadline);
+    ppmsg_core::telemetry::event(
+        ppmsg_core::telemetry::EventKind::TimerArm,
+        generation as u32,
+        duration.as_micros().min(u32::MAX as u128) as u32,
+        slot as u64,
+    );
     shared.cv.notify_one();
     Sleep {
         shared,

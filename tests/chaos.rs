@@ -547,3 +547,74 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Flight-recorder dump on failure (the PR-10 observability contract)
+// ---------------------------------------------------------------------------
+
+/// A failing seed must leave behind a replayable chrome://tracing dump whose
+/// events span the channel, timer, and engine layers — the acceptance
+/// criterion for the always-on flight recorder.  The sabotaged re-arm forces
+/// a wedge within the first few hundred seeds; the wedge panic names the
+/// dump file it wrote.
+#[cfg(feature = "telemetry")]
+#[test]
+fn failed_seed_dumps_a_loadable_flight_recorder_trace() {
+    let report = sweep(0..300, |seed| {
+        let mut cfg = ChaosConfig::new(seed).with_drop(0.3).with_partition(None);
+        cfg.sabotage_skip_rearm = true;
+        let cluster = ChaosCluster::new(proto(), cfg);
+        let a = Endpoint::new(cluster.add_endpoint(ProcessId::new(0, 0)));
+        let c = Endpoint::new(cluster.add_endpoint(ProcessId::new(1, 0)));
+        let data = payload(6_000);
+        let recv = c
+            .post_recv(a.local_id(), Tag(1), 6_000, TruncationPolicy::Error)
+            .unwrap();
+        a.post_send(c.local_id(), Tag(1), data.clone()).unwrap();
+        if let Some(done) = c.take_completion(OpId::Recv(recv)) {
+            assert_eq!(done.data.as_deref(), Some(&data[..]));
+        }
+    });
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.message.contains("wedged"))
+        .expect("the sabotaged re-arm must wedge within 300 seeds");
+
+    // The panic message names both the stalled channel's stats and the dump.
+    assert!(
+        failure.message.contains("stalled channel stats"),
+        "wedge report must print the channel stats: {}",
+        failure.message
+    );
+    let path = failure
+        .message
+        .split("flight recorder dump: ")
+        .nth(1)
+        .expect("wedge report must name its dump file")
+        .trim();
+    assert!(
+        !path.starts_with("<failed"),
+        "dump must have been written: {path}"
+    );
+
+    let json = std::fs::read_to_string(path).expect("dump file readable");
+    // chrome://tracing / Perfetto load a JSON array of event records.
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced braces — structurally loadable"
+    );
+    // Events from all three instrumented layers made it into the dump:
+    // the ARQ channel (frames on the wire), the retransmission timers,
+    // and the protocol engine (operation lifecycle).
+    for name in ["frame_tx", "timer_arm", "op_posted"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "dump must contain {name} events"
+        );
+    }
+    let _ = std::fs::remove_file(path);
+}

@@ -986,3 +986,127 @@ proptest! {
         prop_assert_eq!(completed_ok, survivors, "survivors all complete");
     }
 }
+
+/// Properties of the metrics plane ([`telemetry::LogHistogram`] /
+/// [`telemetry::Counter`]): the histogram is lossless with respect to its
+/// bucket bounds, merging is a bucketwise sum that never loses a sample,
+/// and concurrent recorders never drop one either.
+#[cfg(feature = "telemetry")]
+mod telemetry_metrics {
+    use super::*;
+    use push_pull_messaging::core::telemetry::{
+        bucket_bounds, bucket_of, Counter, HistogramSnapshot, LogHistogram, HIST_BUCKETS,
+    };
+
+    /// Samples spread across the full bucket range: a raw `u64` shifted
+    /// right by a variable amount covers tiny and huge magnitudes alike.
+    /// (The vendored proptest has no `prop_map`, so the shift is applied
+    /// by [`widen`] inside the test body.)
+    fn arb_samples() -> impl Strategy<Value = Vec<(u64, u32)>> {
+        collection::vec((any::<u64>(), 0u32..64), 0..200)
+    }
+
+    fn widen(raw: Vec<(u64, u32)>) -> Vec<u64> {
+        raw.into_iter().map(|(v, shift)| v >> shift).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Losslessness: every recorded sample is counted exactly once, in
+        /// the one bucket whose inclusive bounds contain it.
+        #[test]
+        fn histogram_is_lossless_wrt_bucket_bounds(samples in arb_samples()) {
+            let samples = widen(samples);
+            let h = LogHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let snap = h.snapshot();
+            prop_assert_eq!(snap.count(), samples.len() as u64, "no sample lost or duplicated");
+            for i in 0..HIST_BUCKETS {
+                let (lo, hi) = bucket_bounds(i);
+                let expected = samples.iter().filter(|&&s| lo <= s && s <= hi).count() as u64;
+                prop_assert_eq!(
+                    snap.buckets[i], expected,
+                    "bucket {} [{}, {}] must hold exactly the samples in bounds", i, lo, hi
+                );
+                prop_assert!(snap.buckets[i] == 0 || (bucket_of(lo) == i && bucket_of(hi) == i));
+            }
+        }
+
+        /// Merge is a bucketwise sum: counts add, no bucket ever decreases,
+        /// and the quantile bound stays monotone in `q`.
+        #[test]
+        fn histogram_merge_is_monotone(xs in arb_samples(), ys in arb_samples()) {
+            let (xs, ys) = (widen(xs), widen(ys));
+            let a = LogHistogram::new();
+            let b = LogHistogram::new();
+            for &s in &xs {
+                a.record(s);
+            }
+            for &s in &ys {
+                b.record(s);
+            }
+            let before = a.snapshot();
+            let mut merged = before;
+            merged.merge(&b.snapshot());
+            prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+            for i in 0..HIST_BUCKETS {
+                prop_assert!(merged.buckets[i] >= before.buckets[i], "merge never shrinks a bucket");
+                prop_assert_eq!(merged.buckets[i], before.buckets[i] + b.snapshot().buckets[i]);
+            }
+            let mut prev = 0u64;
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let bound = merged.quantile_bound(q);
+                prop_assert!(bound >= prev, "quantile bound monotone in q");
+                prev = bound;
+            }
+            // Merging the empty histogram is the identity.
+            let mut same = before;
+            same.merge(&HistogramSnapshot::default());
+            prop_assert_eq!(same, before);
+        }
+
+        /// Single-threaded `tick` hands out consecutive sampling tickets
+        /// starting at the current count.
+        #[test]
+        fn counter_tick_is_a_fetch_add(start in 0u64..1000, n in 1u64..64) {
+            let c = Counter::new();
+            c.add(start);
+            for i in 0..n {
+                prop_assert_eq!(c.tick(), start + i);
+            }
+            prop_assert_eq!(c.get(), start + n);
+        }
+    }
+
+    /// Concurrent recording never loses a sample: N threads hammer one
+    /// histogram and one counter; the totals come out exact.  (The same
+    /// property is model-checked exhaustively on a small schedule in
+    /// `crates/core/tests/model_telemetry.rs`.)
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let hist = std::sync::Arc::new(LogHistogram::new());
+        let counter = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let hist = std::sync::Arc::clone(&hist);
+                let counter = std::sync::Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        hist.record(t * PER_THREAD + i);
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hist.snapshot().count(), THREADS * PER_THREAD);
+        assert_eq!(counter.get(), THREADS * PER_THREAD);
+    }
+}

@@ -582,6 +582,20 @@ fn steady_state_loops_perform_zero_heap_allocations() {
     // Only this thread's allocations count; the libtest harness thread is
     // free to report progress however it likes.
     MEASURED_THREAD.with(|f| f.set(true));
+    // The flight recorder stays ON for every measured loop below: the
+    // telemetry plane's hot-path contract is that recording trace events
+    // (ops, frames, timers) costs zero heap allocations once warm.  The
+    // one-time per-thread ring registration is paid here, before any
+    // measured window opens.
+    #[cfg(feature = "telemetry")]
+    {
+        use push_pull_messaging::core::telemetry::recorder;
+        assert!(
+            recorder::enabled(),
+            "flight recorder must be on while the allocation-free loops run"
+        );
+        recorder::touch_current_thread();
+    }
     // Intranode: raw packets through the kernel queues (BTP = 16 bytes).
     assert_steady_state_zero_alloc(
         ProtocolConfig::paper_intranode().with_pushed_buffer(64 * 1024),
@@ -608,4 +622,17 @@ fn steady_state_loops_perform_zero_heap_allocations() {
     assert_blocking_wait_zero_alloc("loopback blocking wait");
     // Collective broadcast/all_reduce/barrier rounds on a 4-rank group.
     assert_collective_loops_zero_alloc("loopback collectives");
+    // Prove the recorder was live the whole time, not compiled out or
+    // disabled: the loops above must have left real events in this thread's
+    // ring (ops posted/completed at minimum).
+    #[cfg(feature = "telemetry")]
+    {
+        use push_pull_messaging::core::telemetry::{snapshot, EventKind};
+        let snap = snapshot();
+        assert!(
+            snap.has_kind(EventKind::OpPosted) && snap.has_kind(EventKind::OpCompleted),
+            "the measured loops recorded no trace events — the zero-alloc proof no longer \
+             covers the flight recorder"
+        );
+    }
 }
